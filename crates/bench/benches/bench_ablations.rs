@@ -1,0 +1,82 @@
+//! Ablation benches (E15–E18): energy accounting overhead, burst-plan
+//! variants, estimate-growth strategies, and terminating runs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, sync_run, BENCH_SEED};
+use mmhew_discovery::{run_sync_discovery_terminating, SyncAlgorithm, SyncParams};
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    for id in ["E15", "E16", "E17", "E18", "E19"] {
+        print_experiment(id);
+    }
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("grid network");
+    let delta = net.max_degree().max(1) as u64;
+
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("e17_adaptive_plus_one", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&net, SyncAlgorithm::Adaptive, &StartSchedule::Identical, 2_000_000, seed)
+        })
+    });
+    g.bench_function("e17_adaptive_doubling_dwell4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(
+                &net,
+                SyncAlgorithm::AdaptiveDoubling { dwell: 4 },
+                &StartSchedule::Identical,
+                2_000_000,
+                seed,
+            )
+        })
+    });
+    g.bench_function("e19_exact_probability_all_links", |b| {
+        b.iter(|| {
+            net.links()
+                .iter()
+                .map(|&l| {
+                    mmhew_discovery::alg3_link_coverage_probability(&net, l, delta)
+                })
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("e18_terminating_run_q1600", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_sync_discovery_terminating(
+                &net,
+                SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+                1_600,
+                StartSchedule::Identical,
+                SyncRunConfig::until_all_terminated(2_000_000),
+                SeedTree::new(seed),
+            )
+            .expect("valid protocols")
+            .terminated_slot()
+            .expect("quiescence fires")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E1 bench: Algorithm 1 run-to-completion cost as N grows (ring, fixed Δ).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E1");
+    let mut g = c.benchmark_group("e1_n_scaling");
+    for n in [16usize, 64] {
+        let net = NetworkBuilder::ring(n)
+            .universe(4)
+            .build(SeedTree::new(BENCH_SEED))
+            .expect("ring network");
+        g.bench_function(format!("ring{n}_alg1"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, staged(4), &StartSchedule::Identical, 1_000_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

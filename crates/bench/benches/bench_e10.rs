@@ -1,0 +1,58 @@
+//! E10 bench: asynchronous discovery at zero drift vs the 1/7 limit.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{async_run, print_experiment, BENCH_SEED};
+use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, ClockConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E10");
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(6)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("grid network");
+    let delta = net.max_degree().max(1) as u64;
+    let mut g = c.benchmark_group("e10_async");
+    for (label, drift) in [
+        ("ideal", DriftModel::Ideal),
+        (
+            "drift_1_7",
+            DriftModel::RandomPiecewise {
+                bound: DriftBound::PAPER,
+                segment: RealDuration::from_nanos(15_000),
+            },
+        ),
+    ] {
+        let config = AsyncRunConfig::until_complete(1_000_000)
+            .with_frame_len(LocalDuration::from_nanos(3_000))
+            .with_clocks(ClockConfig {
+                drift,
+                offset_window: LocalDuration::from_nanos(30_000),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_nanos(30_000),
+            });
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                async_run(&net, delta, &config, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E11 bench: paper's algorithm vs the per-universal-channel strawman.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, sync_run, uniform, BENCH_SEED};
+use mmhew_discovery::SyncAlgorithm;
+use mmhew_engine::StartSchedule;
+use mmhew_spectrum::{AvailabilityModel, ChannelSet};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E11");
+    let shared: ChannelSet = (0u16..4).collect();
+    let net = NetworkBuilder::complete(6)
+        .universe(64)
+        .availability(AvailabilityModel::Explicit(vec![shared; 6]))
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("explicit network");
+    let delta = net.max_degree().max(1) as u64;
+    let mut g = c.benchmark_group("e11_baseline");
+    g.bench_function("alg3_U64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&net, uniform(delta), &StartSchedule::Identical, 2_000_000, seed)
+        })
+    });
+    g.bench_function("strawman_U64", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(
+                &net,
+                SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+                &StartSchedule::Identical,
+                2_000_000,
+                seed,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! E12 bench: discovery on an asymmetric communication graph.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, sync_run, uniform, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E12");
+    let net = NetworkBuilder::asymmetric_disk(18, 8.0, 1.0, 5.0)
+        .universe(6)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("asymmetric network");
+    let delta = net.max_degree().max(1) as u64;
+    c.bench_function("e12_asymmetric_disk18", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&net, uniform(delta), &StartSchedule::Identical, 4_000_000, seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

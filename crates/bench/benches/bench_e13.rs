@@ -1,0 +1,49 @@
+//! E13 bench: discovery over reliable vs lossy channels.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
+use mmhew_discovery::run_sync_discovery;
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_radio::Impairments;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E13");
+    let net = NetworkBuilder::ring(10)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let delta = net.max_degree().max(1) as u64;
+    let mut g = c.benchmark_group("e13_unreliable");
+    for (label, q) in [("q1.0", 1.0), ("q0.25", 0.25)] {
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync_discovery(
+                    &net,
+                    uniform(delta),
+                    StartSchedule::Identical,
+                    SyncRunConfig::until_complete(4_000_000)
+                        .with_impairments(Impairments::with_delivery_probability(q)),
+                    SeedTree::new(seed),
+                )
+                .expect("valid protocol")
+                .completion_slot()
+                .expect("completed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E14 bench: discovery under uniform vs per-channel propagation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, sync_run, uniform, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_topology::{NetworkBuilder, Propagation};
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E14");
+    let mut g = c.benchmark_group("e14_propagation");
+    for (label, prop) in [
+        ("uniform", Propagation::Uniform),
+        (
+            "diverse",
+            Propagation::PerChannelRange {
+                ranges: vec![3.0, 2.2, 1.6, 1.2],
+            },
+        ),
+    ] {
+        let net = NetworkBuilder::unit_disk(20, 10.0, 3.0)
+            .universe(4)
+            .propagation(prop)
+            .build(SeedTree::new(BENCH_SEED))
+            .expect("unit disk network");
+        let delta = net.max_degree().max(1) as u64;
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, uniform(delta), &StartSchedule::Identical, 4_000_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

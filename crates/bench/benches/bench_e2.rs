@@ -1,0 +1,36 @@
+//! E2 bench: Algorithm 1 cost under tight vs very loose degree estimates.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E2");
+    let net = NetworkBuilder::ring(16)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let mut g = c.benchmark_group("e2_dest_scaling");
+    for dest in [2u64, 128] {
+        g.bench_function(format!("ring16_dest{dest}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, staged(dest), &StartSchedule::Identical, 1_000_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

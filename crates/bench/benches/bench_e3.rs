@@ -1,0 +1,45 @@
+//! E3 bench: cost under a wide channel universe (S) vs a dense graph (Δ).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E3");
+    let wide = NetworkBuilder::ring(16)
+        .universe(16)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let dense = NetworkBuilder::complete(9)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("complete network");
+    let mut g = c.benchmark_group("e3_s_delta");
+    g.bench_function("ring16_S16", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&wide, staged(4), &StartSchedule::Identical, 1_000_000, seed)
+        })
+    });
+    g.bench_function("complete9_D8", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&dense, staged(8), &StartSchedule::Identical, 1_000_000, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

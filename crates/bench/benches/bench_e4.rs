@@ -1,0 +1,43 @@
+//! E4 bench: adaptive (Algorithm 2) vs informed (Algorithm 1) discovery.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, BENCH_SEED};
+use mmhew_discovery::SyncAlgorithm;
+use mmhew_engine::StartSchedule;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E4");
+    let net = NetworkBuilder::grid(4, 4)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("grid network");
+    let delta = net.max_degree().max(1) as u64;
+    let mut g = c.benchmark_group("e4_adaptive");
+    g.bench_function("grid4x4_alg1_exact", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&net, staged(delta), &StartSchedule::Identical, 1_000_000, seed)
+        })
+    });
+    g.bench_function("grid4x4_alg2_adaptive", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&net, SyncAlgorithm::Adaptive, &StartSchedule::Identical, 1_000_000, seed)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

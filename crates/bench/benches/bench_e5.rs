@@ -1,0 +1,43 @@
+//! E5 bench: Algorithm 3's linear Δ_est cost vs Algorithm 1's logarithmic one.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, uniform, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E5");
+    let net = NetworkBuilder::ring(16)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let mut g = c.benchmark_group("e5_uniform_vs_staged");
+    for dest in [2u64, 128] {
+        g.bench_function(format!("alg1_dest{dest}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, staged(dest), &StartSchedule::Identical, 1_000_000, seed)
+            })
+        });
+        g.bench_function(format!("alg3_dest{dest}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, uniform(dest), &StartSchedule::Identical, 1_000_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E6 bench: Algorithm 3 under widely staggered start times.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, sync_run, uniform, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E6");
+    let net = NetworkBuilder::grid(4, 4)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("grid network");
+    let delta = net.max_degree().max(1) as u64;
+    let mut g = c.benchmark_group("e6_variable_start");
+    for window in [0u64, 4096] {
+        let starts = if window == 0 {
+            StartSchedule::Identical
+        } else {
+            StartSchedule::Staggered { window }
+        };
+        g.bench_function(format!("alg3_window{window}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, uniform(delta), &starts, window + 1_000_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 bench: discovery cost at high vs low span-ratio ρ.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, BENCH_SEED};
+use mmhew_engine::StartSchedule;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E7");
+    let mut g = c.benchmark_group("e7_rho");
+    for (shared, private, label) in [(4u16, 0u16, "rho1.0"), (1, 3, "rho0.25")] {
+        let net = NetworkBuilder::complete(6)
+            .universe(shared + 6 * private)
+            .availability(AvailabilityModel::PairwiseOverlap { shared, private })
+            .build(SeedTree::new(BENCH_SEED))
+            .expect("overlap network");
+        let delta = net.max_degree().max(1) as u64;
+        g.bench_function(label, |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                sync_run(&net, staged(delta), &StartSchedule::Identical, 2_000_000, seed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

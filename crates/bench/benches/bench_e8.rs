@@ -1,0 +1,34 @@
+//! E8 bench: a run at the Theorem 1 budget (failure-probability setting).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, staged, sync_run, BENCH_SEED};
+use mmhew_discovery::Bounds;
+use mmhew_engine::StartSchedule;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E8");
+    let net = NetworkBuilder::ring(12)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let budget = Bounds::from_network(&net, 4, 0.01).theorem1_slots().ceil() as u64;
+    c.bench_function("e8_run_at_thm1_budget", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sync_run(&net, staged(4), &StartSchedule::Identical, budget, seed)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! E9 bench: cost of the Lemma 4/7 structural checks over drifting clocks.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, BENCH_SEED};
+use mmhew_time::{
+    find_aligned_pair_after, overlapping_frames, DriftBound, DriftModel, DriftedClock,
+    FrameSchedule, LocalDuration, LocalTime, RealDuration, RealTime,
+};
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E9");
+    let model = DriftModel::RandomPiecewise {
+        bound: DriftBound::PAPER,
+        segment: RealDuration::from_nanos(1_500),
+    };
+    c.bench_function("e9_lemma_checks_100_trials", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut violations = 0u32;
+            for t in 0..100u64 {
+                let seed = SeedTree::new(BENCH_SEED ^ round).index(t);
+                let mut cv = DriftedClock::new(model.clone(), LocalTime::ZERO, seed.branch("v"));
+                let mut cu =
+                    DriftedClock::new(model.clone(), LocalTime::from_nanos(t * 37), seed.branch("u"));
+                let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(3_000));
+                let su = FrameSchedule::new(
+                    LocalTime::from_nanos(t * 37),
+                    LocalDuration::from_nanos(3_000),
+                );
+                let f = sv.frame_interval(t % 8, &mut cv);
+                if overlapping_frames(&f, &su, &mut cu, 64).len() > 3 {
+                    violations += 1;
+                }
+                if find_aligned_pair_after(
+                    RealTime::from_nanos(t * 511),
+                    &sv,
+                    &mut cv,
+                    &su,
+                    &mut cu,
+                    2,
+                )
+                .is_none()
+                {
+                    violations += 1;
+                }
+            }
+            violations
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

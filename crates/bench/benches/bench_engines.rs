@@ -1,0 +1,76 @@
+//! Micro-benchmarks of the simulation substrates: slot resolution, channel
+//! set algebra, drifting-clock queries, and async event processing.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::BENCH_SEED;
+use mmhew_radio::{resolve_slot, Impairments, SlotAction};
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_time::{
+    DriftBound, DriftModel, DriftedClock, LocalTime, RealDuration, RealTime,
+};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use rand::Rng;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    // Slot resolution on a dense 64-node graph.
+    let net = NetworkBuilder::complete(64)
+        .universe(8)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("complete network");
+    let mut rng = SeedTree::new(1).rng();
+    let actions: Vec<SlotAction> = (0..64)
+        .map(|_| {
+            let channel = ChannelId::new(rng.gen_range(0..8));
+            if rng.gen_bool(0.3) {
+                SlotAction::Transmit { channel }
+            } else {
+                SlotAction::Listen { channel }
+            }
+        })
+        .collect();
+    c.bench_function("resolve_slot_complete64", |b| {
+        let mut medium_rng = SeedTree::new(2).rng();
+        b.iter(|| resolve_slot(&net, &actions, &Impairments::reliable(), &mut medium_rng))
+    });
+
+    // Channel-set algebra.
+    let a: ChannelSet = (0u16..200).step_by(3).collect();
+    let bset: ChannelSet = (0u16..200).step_by(7).collect();
+    c.bench_function("channel_set_intersection_200", |b| {
+        b.iter(|| a.intersection(&bset).len())
+    });
+    let mut choose_rng = SeedTree::new(3).rng();
+    c.bench_function("channel_set_choose_uniform", |b| {
+        b.iter(|| a.choose_uniform(&mut choose_rng))
+    });
+
+    // Clock queries across random drift segments.
+    let model = DriftModel::RandomPiecewise {
+        bound: DriftBound::PAPER,
+        segment: RealDuration::from_nanos(10_000),
+    };
+    c.bench_function("clock_local_at_1000_queries", |b| {
+        let mut round = 0u64;
+        b.iter(|| {
+            round += 1;
+            let mut clock =
+                DriftedClock::new(model.clone(), LocalTime::ZERO, SeedTree::new(round));
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc ^= clock.local_at(RealTime::from_nanos(i * 997)).as_nanos();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! F-CDF bench: per-link coverage-time collection (the figure's series).
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
+use mmhew_discovery::run_sync_discovery;
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("F-CDF");
+    let net = NetworkBuilder::ring(16)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let delta = net.max_degree().max(1) as u64;
+    c.bench_function("fcdf_link_coverage_collection", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let out = run_sync_discovery(
+                &net,
+                uniform(delta),
+                StartSchedule::Identical,
+                SyncRunConfig::until_complete(1_000_000),
+                SeedTree::new(seed),
+            )
+            .expect("valid protocol");
+            out.link_coverage()
+                .iter()
+                .filter_map(|(_, t)| *t)
+                .sum::<u64>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

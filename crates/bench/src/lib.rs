@@ -1,0 +1,79 @@
+//! Shared workloads for the Criterion benchmark suite.
+//!
+//! Each bench target `bench_e<k>` corresponds to experiment E\<k\> of
+//! DESIGN.md §5: it first regenerates the experiment's (quick) table —
+//! so `cargo bench` reproduces every reported series — and then measures
+//! the wall-clock cost of the experiment's core simulation at
+//! representative sweep points.
+
+use mmhew_discovery::{
+    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm,
+    SyncParams,
+};
+use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_harness::registry;
+use mmhew_harness::Effort;
+use mmhew_topology::Network;
+use mmhew_util::SeedTree;
+
+/// Seed used by all benchmarks.
+pub const BENCH_SEED: u64 = 20_260_706;
+
+/// Prints the quick table of experiment `id` once (regenerating the
+/// series the bench target corresponds to).
+pub fn print_experiment(id: &str) {
+    let f = registry::by_id(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    f(Effort::Quick, BENCH_SEED).print();
+    println!();
+}
+
+/// One complete synchronous discovery run; returns the completion slot so
+/// the optimizer cannot elide the run.
+pub fn sync_run(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: &StartSchedule,
+    budget: u64,
+    seed: u64,
+) -> u64 {
+    run_sync_discovery(
+        network,
+        algorithm,
+        starts.clone(),
+        SyncRunConfig::until_complete(budget),
+        SeedTree::new(seed),
+    )
+    .expect("valid protocol")
+    .completion_slot()
+    .expect("run completed within budget")
+}
+
+/// One complete asynchronous discovery run; returns the completion time in
+/// nanoseconds.
+pub fn async_run(
+    network: &Network,
+    delta_est: u64,
+    config: &AsyncRunConfig,
+    seed: u64,
+) -> u64 {
+    run_async_discovery(
+        network,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est).expect("positive")),
+        config.clone(),
+        SeedTree::new(seed),
+    )
+    .expect("valid protocol")
+    .completion_time()
+    .expect("run completed within budget")
+    .as_nanos()
+}
+
+/// The staged algorithm with a given estimate (shorthand).
+pub fn staged(delta_est: u64) -> SyncAlgorithm {
+    SyncAlgorithm::Staged(SyncParams::new(delta_est).expect("positive"))
+}
+
+/// The uniform algorithm with a given estimate (shorthand).
+pub fn uniform(delta_est: u64) -> SyncAlgorithm {
+    SyncAlgorithm::Uniform(SyncParams::new(delta_est).expect("positive"))
+}

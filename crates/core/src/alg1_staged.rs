@@ -1,0 +1,213 @@
+//! Algorithm 1: synchronous discovery with identical start times and a
+//! known upper bound on the maximum node degree.
+//!
+//! Execution is divided into *stages* of `⌈log₂ Δ_est⌉` slots. In slot `i`
+//! of a stage (1-based), a node picks a channel uniformly from `A(u)` and
+//! transmits with probability `min(1/2, |A(u)|/2^i)`, listening otherwise.
+//! Sweeping the probability geometrically guarantees that, whatever the
+//! true degree `Δ(u,c)`, some slot of every stage has a transmission
+//! probability within a factor 2 of the optimal `1/Δ(u,c)` (Eq. 2).
+//!
+//! Theorem 1: completes within
+//! `O((max(S,Δ)/ρ)·log Δ_est·log(N/ε))` slots w.p. ≥ 1−ε.
+
+use crate::params::{tx_probability, ProtocolError, SyncParams};
+use mmhew_engine::{NeighborTable, SyncProtocol};
+use mmhew_radio::{Beacon, SlotAction};
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_util::Xoshiro256StarStar;
+use rand::Rng;
+
+/// Per-node state of Algorithm 1.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::{StagedDiscovery, SyncParams};
+///
+/// let proto = StagedDiscovery::new(
+///     [0u16, 1, 2].into_iter().collect(),
+///     SyncParams::new(8)?,
+/// )?;
+/// # let _ = proto;
+/// # Ok::<(), mmhew_discovery::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StagedDiscovery {
+    available: ChannelSet,
+    params: SyncParams,
+    table: NeighborTable,
+}
+
+impl StagedDiscovery {
+    /// Creates the protocol for a node with available channel set
+    /// `available`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyChannelSet`] if `available` is empty.
+    pub fn new(available: ChannelSet, params: SyncParams) -> Result<Self, ProtocolError> {
+        if available.is_empty() {
+            return Err(ProtocolError::EmptyChannelSet);
+        }
+        Ok(Self {
+            available,
+            params,
+            table: NeighborTable::new(),
+        })
+    }
+
+    /// The transmission probability used in slot `i` (1-based) of a stage.
+    pub fn slot_probability(&self, i: u64) -> f64 {
+        tx_probability(&self.available, (2.0f64).powi(i as i32))
+    }
+
+    /// The stage length `⌈log₂ Δ_est⌉` (≥ 1).
+    pub fn stage_len(&self) -> u64 {
+        self.params.stage_len()
+    }
+}
+
+impl SyncProtocol for StagedDiscovery {
+    fn on_slot(&mut self, active_slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
+        // Slot index within the current stage, 1-based (Algorithm 1 line 2).
+        let i = active_slot % self.stage_len() + 1;
+        let channel = self
+            .available
+            .choose_uniform(rng)
+            .expect("validated non-empty");
+        let p = self.slot_probability(i);
+        if rng.gen_bool(p) {
+            SlotAction::Transmit { channel }
+        } else {
+            SlotAction::Listen { channel }
+        }
+    }
+
+    fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
+        self.table.record(
+            beacon.sender(),
+            beacon.available().intersection(&self.available),
+        );
+    }
+
+    fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_util::SeedTree;
+
+    fn proto(channels: u16, delta_est: u64) -> StagedDiscovery {
+        StagedDiscovery::new(
+            ChannelSet::full(channels),
+            SyncParams::new(delta_est).expect("valid"),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn empty_set_rejected() {
+        assert_eq!(
+            StagedDiscovery::new(ChannelSet::new(), SyncParams::new(4).expect("valid"))
+                .err(),
+            Some(ProtocolError::EmptyChannelSet)
+        );
+    }
+
+    #[test]
+    fn slot_probabilities_sweep_geometrically() {
+        // |A| = 4, Δ_est = 64 -> stage of 6 slots.
+        let p = proto(4, 64);
+        assert_eq!(p.stage_len(), 6);
+        assert_eq!(p.slot_probability(1), 0.5); // min(1/2, 4/2)
+        assert_eq!(p.slot_probability(2), 0.5); // min(1/2, 4/4)
+        assert_eq!(p.slot_probability(3), 0.5); // min(1/2, 4/8)
+        assert_eq!(p.slot_probability(4), 0.25); // 4/16
+        assert_eq!(p.slot_probability(5), 0.125); // 4/32
+        assert_eq!(p.slot_probability(6), 0.0625); // 4/64
+    }
+
+    #[test]
+    fn actions_never_quiet_and_channel_in_set() {
+        let mut p = proto(3, 8);
+        let mut rng = SeedTree::new(1).rng();
+        for slot in 0..200 {
+            let a = p.on_slot(slot, &mut rng);
+            let c = a.channel().expect("never quiet");
+            assert!(c.index() < 3);
+        }
+    }
+
+    #[test]
+    fn empirical_tx_rate_matches_slot_probability() {
+        // Stage length 4 (Δ_est = 16), |A| = 2:
+        // probabilities: slot1 1/2, slot2 1/2, slot3 1/4, slot4 1/8.
+        let mut p = proto(2, 16);
+        let mut rng = SeedTree::new(2).rng();
+        let trials = 40_000u64;
+        let mut tx = [0u32; 4];
+        for k in 0..trials {
+            if p.on_slot(k, &mut rng).is_transmit() {
+                tx[(k % 4) as usize] += 1;
+            }
+        }
+        let per = trials as f64 / 4.0;
+        for (i, want) in [(0usize, 0.5), (1, 0.5), (2, 0.25), (3, 0.125)] {
+            let got = tx[i] as f64 / per;
+            assert!(
+                (got - want).abs() < 0.03,
+                "slot {} rate {got}, want {want}",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn channel_choice_is_uniform() {
+        let mut p = proto(4, 4);
+        let mut rng = SeedTree::new(3).rng();
+        let mut counts = [0u32; 4];
+        for k in 0..40_000 {
+            let c = p.on_slot(k, &mut rng).channel().expect("never quiet");
+            counts[c.index() as usize] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / 40_000.0;
+            assert!((f - 0.25).abs() < 0.02, "channel frequency {f}");
+        }
+    }
+
+    #[test]
+    fn beacon_recording_intersects_with_own_set() {
+        let mut p = StagedDiscovery::new(
+            [0u16, 1].into_iter().collect(),
+            SyncParams::new(4).expect("valid"),
+        )
+        .expect("valid");
+        let beacon = Beacon::new(
+            mmhew_topology::NodeId::new(9),
+            [1u16, 2].into_iter().collect(),
+        );
+        p.on_beacon(&beacon, ChannelId::new(1));
+        assert_eq!(
+            p.table().get(mmhew_topology::NodeId::new(9)),
+            Some(&[1u16].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn delta_est_one_still_transmits() {
+        // Degenerate estimate: stage of one slot, p = min(1/2, |A|/2).
+        let mut p = proto(1, 1);
+        let mut rng = SeedTree::new(4).rng();
+        let tx = (0..10_000)
+            .filter(|&k| p.on_slot(k, &mut rng).is_transmit())
+            .count();
+        let rate = tx as f64 / 10_000.0;
+        assert!((rate - 0.5).abs() < 0.03, "rate {rate}");
+    }
+}

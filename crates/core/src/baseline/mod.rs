@@ -1,0 +1,9 @@
+//! Baseline protocols the paper compares against (implicitly or
+//! explicitly): the single-channel birthday primitive and the
+//! per-universal-channel strawman of §I.
+
+pub mod birthday;
+pub mod per_channel;
+
+pub use birthday::BirthdayProtocol;
+pub use per_channel::PerChannelBirthday;

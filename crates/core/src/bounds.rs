@@ -1,0 +1,302 @@
+//! Closed-form running-time bounds from the paper's theorems.
+//!
+//! Each experiment in the harness prints the theorem's prediction next to
+//! the measured completion time, so the *shape* of the dependence (on `N`,
+//! `S`, `Δ`, `Δ_est`, `ρ`, `ε`, `δ`) can be checked directly.
+
+use crate::params::tx_probability;
+use mmhew_topology::{Link, Network};
+use serde::{Deserialize, Serialize};
+
+/// The paper's complexity parameters for one concrete network plus the
+/// algorithm inputs `Δ_est` and `ε`.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::Bounds;
+/// use mmhew_topology::NetworkBuilder;
+/// use mmhew_util::SeedTree;
+///
+/// let net = NetworkBuilder::complete(8).universe(4).build(SeedTree::new(0))?;
+/// let b = Bounds::from_network(&net, 8, 0.01);
+/// assert!(b.theorem1_slots() > 0.0);
+/// assert!(b.theorem3_slots() > 0.0);
+/// assert!(b.theorem9_frames() > b.theorem3_slots() / 3.0);
+/// # Ok::<(), mmhew_topology::BuildError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bounds {
+    /// Number of nodes `N`.
+    pub n: usize,
+    /// Largest available channel set size `S`.
+    pub s: usize,
+    /// Maximum per-channel degree `Δ`.
+    pub delta: usize,
+    /// Minimum link span-ratio `ρ`.
+    pub rho: f64,
+    /// The degree estimate `Δ_est` handed to the algorithms.
+    pub delta_est: u64,
+    /// Target failure probability `ε`.
+    pub epsilon: f64,
+}
+
+impl Bounds {
+    /// Extracts parameters from a network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn from_network(network: &Network, delta_est: u64, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "failure probability must be in (0,1)"
+        );
+        Self {
+            n: network.node_count(),
+            s: network.s_max(),
+            delta: network.max_degree(),
+            rho: network.rho(),
+            delta_est,
+            epsilon,
+        }
+    }
+
+    /// `ln(N²/ε)` — the common success-amplification factor.
+    pub fn ln_n2_over_eps(&self) -> f64 {
+        ((self.n as f64).powi(2) / self.epsilon).ln().max(1.0)
+    }
+
+    /// Stages required by Algorithm 1's analysis:
+    /// `M = (16·max(S, Δ)/ρ) · ln(N²/ε)` (Eq. 7 context).
+    pub fn theorem1_stages(&self) -> f64 {
+        16.0 * (self.s.max(self.delta).max(1) as f64) / self.rho * self.ln_n2_over_eps()
+    }
+
+    /// Theorem 1 slot bound: stages × `⌈log₂ Δ_est⌉` slots per stage.
+    pub fn theorem1_slots(&self) -> f64 {
+        self.theorem1_stages() * crate::params::ceil_log2(self.delta_est).max(1) as f64
+    }
+
+    /// Theorem 2: Algorithm 2 needs `Δ + M` stages with growing lengths;
+    /// the exact slot count is `Σ_{d=2}^{Δ+M+1} ⌈log₂ d⌉`, which is
+    /// `O(M log M)`.
+    pub fn theorem2_slots(&self) -> f64 {
+        let stages = (self.delta as f64 + self.theorem1_stages()).ceil() as u64;
+        (2..=stages + 1)
+            .map(|d| crate::params::ceil_log2(d).max(1) as f64)
+            .sum()
+    }
+
+    /// Theorem 3 slot bound for Algorithm 3 (variable start times):
+    /// `(8·max(2S, Δ_est)/ρ) · ln(N²/ε)` slots after `T_s`.
+    ///
+    /// (Per-slot coverage probability is at least
+    /// `ρ / (8·max(2S, Δ_est))` from Eqs. 9, 4 and 5.)
+    pub fn theorem3_slots(&self) -> f64 {
+        let denom = (2 * self.s).max(self.delta_est as usize).max(1) as f64;
+        8.0 * denom / self.rho * self.ln_n2_over_eps()
+    }
+
+    /// Theorem 9 frame bound for Algorithm 4: every node must execute
+    /// `(48·max(2S, 3Δ_est)/ρ) · ln(N²/ε)` full frames after `T_s`.
+    pub fn theorem9_frames(&self) -> f64 {
+        let denom = (2 * self.s).max(3 * self.delta_est as usize).max(1) as f64;
+        48.0 * denom / self.rho * self.ln_n2_over_eps()
+    }
+
+    /// Theorem 10 real-time bound: `(frames + 1) · L/(1−δ)` nanoseconds,
+    /// where `frames` is [`Bounds::theorem9_frames`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta_drift ≥ 1`.
+    pub fn theorem10_realtime_ns(&self, frame_len_ns: u64, delta_drift: f64) -> f64 {
+        assert!((0.0..1.0).contains(&delta_drift), "drift must be in [0,1)");
+        (self.theorem9_frames() + 1.0) * frame_len_ns as f64 / (1.0 - delta_drift)
+    }
+}
+
+/// The *exact* per-slot probability that Algorithm 3 covers `link` —
+/// the quantity Theorem 3's analysis lower-bounds by `ρ/(8·max(2S,Δ_est))`.
+///
+/// Per slot, coverage on channel `c` requires (the mutually independent
+/// events of §III-A1): the transmitter picks `c` and transmits, the
+/// receiver picks `c` and listens, and every other neighbor of the
+/// receiver on `c` stays silent on `c`. Summed over the link's span
+/// (disjoint events — the receiver tunes one channel):
+///
+/// `P = Σ_{c ∈ span} (p_v/|A(v)|) · ((1−p_u)/|A(u)|) · Π_w (1 − p_w/|A(w)|)`
+///
+/// with `p_x = min(1/2, |A(x)|/Δ_est)`. The expected first-coverage slot
+/// is `(1−P)/P` (geometric); experiment E19 validates the simulator
+/// against this formula link by link.
+pub fn alg3_link_coverage_probability(
+    network: &Network,
+    link: Link,
+    delta_est: u64,
+) -> f64 {
+    let p_tx = |node: mmhew_topology::NodeId| {
+        tx_probability(network.available(node), delta_est as f64)
+    };
+    let v = link.from;
+    let u = link.to;
+    let a_v = network.available(v).len() as f64;
+    let a_u = network.available(u).len() as f64;
+    let mut total = 0.0;
+    for c in network.span(v, u).iter() {
+        let transmit = p_tx(v) / a_v;
+        let listen = (1.0 - p_tx(u)) / a_u;
+        let mut clear = 1.0;
+        for &w in network.neighbors_on(u, c) {
+            if w != v {
+                clear *= 1.0 - p_tx(w) / network.available(w).len() as f64;
+            }
+        }
+        total += transmit * listen * clear;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(n: usize, s: usize, delta: usize, rho: f64, dest: u64, eps: f64) -> Bounds {
+        Bounds {
+            n,
+            s,
+            delta,
+            rho,
+            delta_est: dest,
+            epsilon: eps,
+        }
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let a = bounds(8, 4, 3, 1.0, 4, 0.01);
+        let b = bounds(64, 4, 3, 1.0, 4, 0.01);
+        assert!(b.theorem1_slots() > a.theorem1_slots());
+        // Logarithmic: 8x nodes should much less than double the bound.
+        assert!(b.theorem1_slots() < 2.0 * a.theorem1_slots());
+    }
+
+    #[test]
+    fn inverse_in_rho() {
+        let a = bounds(16, 4, 3, 1.0, 4, 0.01);
+        let b = bounds(16, 4, 3, 0.25, 4, 0.01);
+        assert!((b.theorem1_slots() / a.theorem1_slots() - 4.0).abs() < 1e-9);
+        assert!((b.theorem3_slots() / a.theorem3_slots() - 4.0).abs() < 1e-9);
+        assert!((b.theorem9_frames() / a.theorem9_frames() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem1_log_in_delta_est() {
+        let a = bounds(16, 4, 3, 1.0, 4, 0.01);
+        let b = bounds(16, 4, 3, 1.0, 256, 0.01);
+        // log2(256)/log2(4) = 8/2 = 4.
+        assert!((b.theorem1_slots() / a.theorem1_slots() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn theorem3_linear_in_delta_est_once_dominant() {
+        let a = bounds(16, 4, 3, 1.0, 16, 0.01);
+        let b = bounds(16, 4, 3, 1.0, 64, 0.01);
+        assert!((b.theorem3_slots() / a.theorem3_slots() - 4.0).abs() < 1e-9);
+        // Below 2S, Δ_est does not matter.
+        let c = bounds(16, 40, 3, 1.0, 2, 0.01);
+        let d = bounds(16, 40, 3, 1.0, 50, 0.01);
+        assert_eq!(c.theorem3_slots(), d.theorem3_slots());
+    }
+
+    #[test]
+    fn theorem2_superlinear_in_stage_count() {
+        let a = bounds(16, 4, 3, 1.0, 4, 0.01);
+        // Slot count exceeds stage count (each late stage has >1 slot).
+        assert!(a.theorem2_slots() > a.theorem1_stages());
+    }
+
+    #[test]
+    fn theorem10_diverges_with_drift() {
+        let b = bounds(8, 4, 2, 1.0, 2, 0.1);
+        let ideal = b.theorem10_realtime_ns(3_000, 0.0);
+        let drifted = b.theorem10_realtime_ns(3_000, 1.0 / 7.0);
+        assert!(drifted > ideal);
+        assert!((drifted / ideal - 7.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "failure probability")]
+    fn invalid_epsilon_panics() {
+        let net = mmhew_topology::NetworkBuilder::line(2)
+            .universe(1)
+            .build(mmhew_util::SeedTree::new(0))
+            .expect("build");
+        let _ = Bounds::from_network(&net, 1, 0.0);
+    }
+
+    #[test]
+    fn exact_coverage_probability_two_nodes() {
+        // Two nodes, one shared channel, Δ_est = 2: p = min(1/2, 1/2) = 1/2
+        // for |A| = 1. P = (1/2)·(1/2) = 1/4 per slot.
+        let net = mmhew_topology::NetworkBuilder::line(2)
+            .universe(1)
+            .build(mmhew_util::SeedTree::new(0))
+            .expect("build");
+        let link = net.links()[0];
+        let p = alg3_link_coverage_probability(&net, link, 2);
+        assert!((p - 0.25).abs() < 1e-12, "got {p}");
+    }
+
+    #[test]
+    fn exact_coverage_probability_with_interferer() {
+        // Line 0-1-2 on one channel, Δ_est = 2, |A| = 1 ⇒ p = 1/2 each.
+        // Link (0→1): tx 1/2 · listen 1/2 · node 2 silent 1/2 = 1/8.
+        let net = mmhew_topology::NetworkBuilder::line(3)
+            .universe(1)
+            .build(mmhew_util::SeedTree::new(0))
+            .expect("build");
+        let link = Link {
+            from: mmhew_topology::NodeId::new(0),
+            to: mmhew_topology::NodeId::new(1),
+        };
+        let p = alg3_link_coverage_probability(&net, link, 2);
+        assert!((p - 0.125).abs() < 1e-12, "got {p}");
+        // The edge link (1→0) has no interferer: 1/4.
+        let edge = Link {
+            from: mmhew_topology::NodeId::new(1),
+            to: mmhew_topology::NodeId::new(0),
+        };
+        let pe = alg3_link_coverage_probability(&net, edge, 2);
+        assert!((pe - 0.25).abs() < 1e-12, "got {pe}");
+    }
+
+    #[test]
+    fn exact_coverage_probability_respects_theorem3_lower_bound() {
+        let net = mmhew_topology::NetworkBuilder::complete(5)
+            .universe(6)
+            .availability(mmhew_spectrum::AvailabilityModel::UniformSubset { size: 3 })
+            .build(mmhew_util::SeedTree::new(3))
+            .expect("build");
+        let delta_est = net.max_degree().max(1) as u64;
+        let s = net.s_max();
+        let lower = net.rho() / (8.0 * ((2 * s).max(delta_est as usize)) as f64);
+        for &link in net.links() {
+            let p = alg3_link_coverage_probability(&net, link, delta_est);
+            assert!(
+                p >= lower - 1e-12,
+                "exact {p} below the analysis bound {lower} for {link}"
+            );
+            assert!(p <= 1.0);
+        }
+    }
+
+    #[test]
+    fn epsilon_dependence_is_logarithmic() {
+        let a = bounds(16, 4, 3, 1.0, 4, 0.1);
+        let b = bounds(16, 4, 3, 1.0, 4, 0.001);
+        assert!(b.theorem1_slots() > a.theorem1_slots());
+        assert!(b.theorem1_slots() < 3.0 * a.theorem1_slots());
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's contribution: randomized neighbor-discovery algorithms for
+//! multi-hop multi-channel heterogeneous wireless (M²HeW) networks.
+//!
+//! Reproduces *"Randomized Distributed Algorithms for Neighbor Discovery in
+//! Multi-Hop Multi-Channel Heterogeneous Wireless Networks"* (Mittal, Zeng,
+//! Venkatesan, Chandrasekaran — ICDCS 2011):
+//!
+//! | Paper | Here | Setting |
+//! |-------|------|---------|
+//! | Algorithm 1 | [`StagedDiscovery`] | synchronous, identical starts, known `Δ_est` |
+//! | Algorithm 2 | [`AdaptiveDiscovery`] | synchronous, identical starts, no degree knowledge |
+//! | Algorithm 3 | [`UniformDiscovery`] | synchronous, variable starts, known `Δ_est` |
+//! | Algorithm 4 | [`AsyncFrameDiscovery`] | asynchronous, drifting clocks (`δ ≤ 1/7`), known `Δ_est` |
+//! | §I strawman | [`baseline::PerChannelBirthday`] | per-universal-channel birthday instances |
+//!
+//! [`Bounds`] provides the closed-form running-time bounds of Theorems 1–3
+//! and 9–10 so experiments can print prediction next to measurement, and
+//! [`run_sync_discovery`]/[`run_async_discovery`] wire everything to the
+//! simulation engines in one call.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_discovery::{run_sync_discovery, Bounds, SyncAlgorithm, SyncParams};
+//! use mmhew_engine::{StartSchedule, SyncRunConfig};
+//! use mmhew_spectrum::AvailabilityModel;
+//! use mmhew_topology::NetworkBuilder;
+//! use mmhew_util::SeedTree;
+//!
+//! let net = NetworkBuilder::grid(3, 3)
+//!     .universe(12)
+//!     .availability(AvailabilityModel::UniformSubset { size: 6 })
+//!     .build(SeedTree::new(42))?;
+//! let delta_est = net.max_degree().max(1) as u64;
+//! let outcome = run_sync_discovery(
+//!     &net,
+//!     SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
+//!     StartSchedule::Identical,
+//!     SyncRunConfig::until_complete(1_000_000),
+//!     SeedTree::new(7),
+//! )?;
+//! assert!(outcome.completed());
+//! let bound = Bounds::from_network(&net, delta_est, 0.01).theorem1_slots();
+//! assert!((outcome.slots_to_complete().unwrap() as f64) < bound);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod alg1_staged;
+pub mod alg2_adaptive;
+pub mod alg3_uniform;
+pub mod alg4_async;
+pub mod baseline;
+pub mod bounds;
+pub mod params;
+pub mod runner;
+pub mod termination;
+pub mod two_hop;
+
+pub use alg1_staged::StagedDiscovery;
+pub use alg2_adaptive::{AdaptiveDiscovery, GrowthStrategy};
+pub use alg3_uniform::UniformDiscovery;
+pub use alg4_async::AsyncFrameDiscovery;
+pub use bounds::{alg3_link_coverage_probability, Bounds};
+pub use params::{AsyncParams, ProtocolError, SyncParams};
+pub use runner::{
+    run_async_discovery, run_async_discovery_terminating, run_sync_discovery,
+    run_sync_discovery_terminating, tables_are_sound,
+    tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
+};
+pub use termination::{QuiescentAsyncTermination, QuiescentTermination};
+pub use two_hop::{two_hop_views, TwoHopView};

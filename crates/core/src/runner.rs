@@ -1,0 +1,493 @@
+//! One-call runners wiring algorithms, networks and engines together.
+
+use crate::alg1_staged::StagedDiscovery;
+use crate::alg2_adaptive::{AdaptiveDiscovery, GrowthStrategy};
+use crate::alg3_uniform::UniformDiscovery;
+use crate::alg4_async::AsyncFrameDiscovery;
+use crate::baseline::PerChannelBirthday;
+use crate::params::{AsyncParams, ProtocolError, SyncParams};
+use crate::termination::{QuiescentAsyncTermination, QuiescentTermination};
+use mmhew_engine::{
+    AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, NeighborTable, StartSchedule,
+    SyncEngine, SyncOutcome, SyncProtocol, SyncRunConfig,
+};
+use mmhew_topology::{Network, NodeId};
+use mmhew_util::SeedTree;
+use serde::{Deserialize, Serialize};
+
+/// Which synchronous algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SyncAlgorithm {
+    /// Algorithm 1 — staged probability sweep; identical starts, known
+    /// `Δ_est`.
+    Staged(SyncParams),
+    /// Algorithm 2 — sequentially growing degree estimate; identical
+    /// starts, no knowledge.
+    Adaptive,
+    /// Algorithm 3 — constant probability; tolerates variable starts,
+    /// known `Δ_est`.
+    Uniform(SyncParams),
+    /// Ablation: Algorithm 2 with the geometric-doubling estimate growth
+    /// the paper rejects, dwelling a fixed number of stages per estimate.
+    AdaptiveDoubling {
+        /// Stages per estimate before doubling.
+        dwell: u64,
+    },
+    /// The §I strawman baseline: per-universal-channel birthday instances,
+    /// time-multiplexed round-robin over the universe.
+    PerChannelBirthday {
+        /// Per-active-slot transmission probability.
+        tx_probability: f64,
+    },
+}
+
+/// Which asynchronous algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AsyncAlgorithm {
+    /// Algorithm 4 — frame-based discovery under drifting clocks.
+    FrameBased(AsyncParams),
+}
+
+/// Builds per-node protocol instances and runs the slot-synchronous engine.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty
+/// (the paper assumes every participating node has at least one channel).
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::{run_sync_discovery, SyncAlgorithm, SyncParams};
+/// use mmhew_engine::{StartSchedule, SyncRunConfig};
+/// use mmhew_topology::NetworkBuilder;
+/// use mmhew_util::SeedTree;
+///
+/// let net = NetworkBuilder::complete(4).universe(4).build(SeedTree::new(0))?;
+/// let outcome = run_sync_discovery(
+///     &net,
+///     SyncAlgorithm::Staged(SyncParams::new(4)?),
+///     StartSchedule::Identical,
+///     SyncRunConfig::until_complete(100_000),
+///     SeedTree::new(1),
+/// )?;
+/// assert!(outcome.completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_sync_discovery(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    config: SyncRunConfig,
+    seed: SeedTree,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(SyncEngine::new(network, protocols, start_slots, seed.branch("engine")).run(config))
+}
+
+/// Like [`run_sync_discovery`], but wraps every node in a
+/// [`QuiescentTermination`] detector with the given threshold, so nodes
+/// decide *locally* when to stop. Pair with
+/// [`SyncRunConfig::until_all_terminated`] for a deployment-faithful run.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for empty availability sets or a zero
+/// threshold.
+pub fn run_sync_discovery_terminating(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    quiet_slots: u64,
+    starts: StartSchedule,
+    config: SyncRunConfig,
+    seed: SeedTree,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?
+        .into_iter()
+        .map(|inner| {
+            QuiescentTermination::new(inner, quiet_slots)
+                .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(SyncEngine::new(network, protocols, start_slots, seed.branch("engine")).run(config))
+}
+
+fn build_sync_protocols(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
+    let n = network.node_count();
+    let mut protocols: Vec<Box<dyn SyncProtocol>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let available = network.available(NodeId::new(i as u32)).clone();
+        let protocol: Box<dyn SyncProtocol> = match algorithm {
+            SyncAlgorithm::Staged(params) => Box::new(StagedDiscovery::new(available, params)?),
+            SyncAlgorithm::Adaptive => Box::new(AdaptiveDiscovery::new(available)?),
+            SyncAlgorithm::AdaptiveDoubling { dwell } => Box::new(
+                AdaptiveDiscovery::with_strategy(available, GrowthStrategy::Double { dwell })?,
+            ),
+            SyncAlgorithm::Uniform(params) => {
+                Box::new(UniformDiscovery::new(available, params)?)
+            }
+            SyncAlgorithm::PerChannelBirthday { tx_probability } => Box::new(
+                PerChannelBirthday::new(network.universe_size(), tx_probability, available)?,
+            ),
+        };
+        protocols.push(protocol);
+    }
+    Ok(protocols)
+}
+
+/// Builds per-node protocol instances and runs the asynchronous engine.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_async_discovery(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let n = network.node_count();
+    let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let available = network.available(NodeId::new(i as u32)).clone();
+        let protocol: Box<dyn AsyncProtocol> = match algorithm {
+            AsyncAlgorithm::FrameBased(params) => {
+                Box::new(AsyncFrameDiscovery::new(available, params)?)
+            }
+        };
+        protocols.push(protocol);
+    }
+    Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
+}
+
+/// Like [`run_async_discovery`], but wraps every node in a
+/// [`QuiescentAsyncTermination`] detector: nodes stop transmitting and
+/// listening for good after `quiet_frames` frames without a new neighbor,
+/// and the run ends when every node has gone silent (or the frame budget
+/// is exhausted).
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] for empty availability sets or a zero
+/// threshold.
+pub fn run_async_discovery_terminating(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    quiet_frames: u64,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let n = network.node_count();
+    let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let available = network.available(NodeId::new(i as u32)).clone();
+        let inner: Box<dyn AsyncProtocol> = match algorithm {
+            AsyncAlgorithm::FrameBased(params) => {
+                Box::new(AsyncFrameDiscovery::new(available, params)?)
+            }
+        };
+        protocols.push(Box::new(QuiescentAsyncTermination::new(inner, quiet_frames)?));
+    }
+    Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
+}
+
+/// True if every node's table equals the network's ground truth exactly
+/// (all true neighbors present with the correct common channel sets, no
+/// false entries).
+pub fn tables_match_ground_truth(network: &Network, tables: &[NeighborTable]) -> bool {
+    tables.len() == network.node_count()
+        && tables.iter().enumerate().all(|(i, table)| {
+            table.to_sorted_vec() == network.expected_discovery(NodeId::new(i as u32))
+        })
+}
+
+/// True if no node's table contains a false discovery: every recorded
+/// neighbor is a true neighbor and the recorded common set never exceeds
+/// the true intersection. Holds for any partial run of a correct protocol.
+pub fn tables_are_sound(network: &Network, tables: &[NeighborTable]) -> bool {
+    tables.iter().enumerate().all(|(i, table)| {
+        let u = NodeId::new(i as u32);
+        let expected = network.expected_discovery(u);
+        table.iter().all(|(v, recorded)| {
+            expected
+                .iter()
+                .find(|(ev, _)| *ev == v)
+                .is_some_and(|(_, truth)| recorded.is_subset(truth))
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_engine::{AsyncStartSchedule, ClockConfig};
+    use mmhew_spectrum::{AvailabilityModel, ChannelSet};
+    use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+    use mmhew_topology::NetworkBuilder;
+
+    fn small_net() -> Network {
+        NetworkBuilder::complete(4)
+            .universe(4)
+            .build(SeedTree::new(0))
+            .expect("build")
+    }
+
+    fn hetero_net() -> Network {
+        NetworkBuilder::grid(3, 3)
+            .universe(10)
+            .availability(AvailabilityModel::UniformSubset { size: 5 })
+            .build(SeedTree::new(11))
+            .expect("build")
+    }
+
+    #[test]
+    fn staged_completes_and_matches_ground_truth() {
+        let net = small_net();
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(4).expect("valid")),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(200_000),
+            SeedTree::new(1),
+        )
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn adaptive_completes_without_knowledge() {
+        let net = small_net();
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Adaptive,
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(200_000),
+            SeedTree::new(2),
+        )
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn uniform_completes_with_staggered_starts() {
+        let net = hetero_net();
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(net.max_degree().max(1) as u64).expect("valid")),
+            StartSchedule::Staggered { window: 500 },
+            SyncRunConfig::until_complete(500_000),
+            SeedTree::new(3),
+        )
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+        assert!(out.latest_start() > 0);
+    }
+
+    #[test]
+    fn baseline_completes_on_identical_starts() {
+        let net = small_net();
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(200_000),
+            SeedTree::new(4),
+        )
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn async_completes_under_paper_drift() {
+        let net = hetero_net();
+        let config = AsyncRunConfig::until_complete(500_000)
+            .with_frame_len(LocalDuration::from_nanos(3_000))
+            .with_clocks(ClockConfig {
+                drift: DriftModel::RandomPiecewise {
+                    bound: DriftBound::PAPER,
+                    segment: RealDuration::from_micros(50),
+                },
+                offset_window: LocalDuration::from_micros(30),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_micros(20),
+            });
+        let out = run_async_discovery(
+            &net,
+            AsyncAlgorithm::FrameBased(
+                AsyncParams::new(net.max_degree().max(1) as u64).expect("valid"),
+            ),
+            config,
+            SeedTree::new(5),
+        )
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let net = small_net();
+        let run = |seed: u64| {
+            run_sync_discovery(
+                &net,
+                SyncAlgorithm::Staged(SyncParams::new(4).expect("valid")),
+                StartSchedule::Identical,
+                SyncRunConfig::until_complete(100_000),
+                SeedTree::new(seed),
+            )
+            .expect("run")
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a.completion_slot(), b.completion_slot());
+        assert_eq!(a.link_coverage(), b.link_coverage());
+        let c = run(8);
+        assert_ne!(a.completion_slot(), c.completion_slot());
+    }
+
+    #[test]
+    fn empty_availability_is_an_error() {
+        let net = NetworkBuilder::line(2)
+            .universe(2)
+            .availability(AvailabilityModel::Explicit(vec![
+                ChannelSet::full(2),
+                ChannelSet::new(),
+            ]))
+            .build(SeedTree::new(0))
+            .expect("build");
+        let err = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Adaptive,
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(10),
+            SeedTree::new(0),
+        )
+        .expect_err("empty set");
+        assert_eq!(err, ProtocolError::EmptyChannelSet);
+    }
+
+    #[test]
+    fn soundness_holds_mid_run() {
+        let net = hetero_net();
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(8).expect("valid")),
+            StartSchedule::Identical,
+            SyncRunConfig::fixed(50), // far too short to complete reliably
+            SeedTree::new(9),
+        )
+        .expect("run");
+        assert!(tables_are_sound(&net, out.tables()));
+    }
+
+    #[test]
+    fn adaptive_doubling_completes() {
+        let net = small_net();
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::AdaptiveDoubling { dwell: 4 },
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(500_000),
+            SeedTree::new(21),
+        )
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn terminating_run_stops_locally_and_finds_everyone() {
+        let net = small_net();
+        let delta = net.max_degree().max(1) as u64;
+        // A generous quiescence threshold: all links found, then everyone
+        // shuts down on their own.
+        let out = run_sync_discovery_terminating(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+            2_000,
+            StartSchedule::Identical,
+            SyncRunConfig::until_all_terminated(200_000),
+            SeedTree::new(22),
+        )
+        .expect("run");
+        assert!(out.all_terminated(), "nodes must decide to stop");
+        assert!(out.terminated_slot().is_some());
+        assert!(out.completed(), "generous threshold finds all links");
+        assert!(tables_match_ground_truth(&net, out.tables()));
+        // Termination necessarily happens after completion.
+        assert!(out.terminated_slot().expect("terminated")
+            >= out.completion_slot().expect("completed"));
+    }
+
+    #[test]
+    fn tiny_quiescence_threshold_terminates_early_and_may_miss_links() {
+        let net = NetworkBuilder::grid(3, 3)
+            .universe(8)
+            .availability(AvailabilityModel::UniformSubset { size: 4 })
+            .build(SeedTree::new(30))
+            .expect("build");
+        let delta = net.max_degree().max(1) as u64;
+        let out = run_sync_discovery_terminating(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+            2, // absurdly impatient
+            StartSchedule::Identical,
+            SyncRunConfig::until_all_terminated(200_000),
+            SeedTree::new(23),
+        )
+        .expect("run");
+        assert!(out.all_terminated());
+        assert!(
+            out.terminated_slot().expect("terminated") < 200,
+            "impatient nodes stop almost immediately"
+        );
+        // Results stay sound even when incomplete.
+        assert!(tables_are_sound(&net, out.tables()));
+    }
+
+    #[test]
+    fn async_terminating_run_goes_silent_after_discovery() {
+        let net = small_net();
+        let delta = net.max_degree().max(1) as u64;
+        let mut config = AsyncRunConfig::until_complete(100_000);
+        config.stop_when_complete = false; // nodes decide on their own
+        let out = run_async_discovery_terminating(
+            &net,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+            2_000,
+            config,
+            SeedTree::new(31),
+        )
+        .expect("run");
+        assert!(out.completed(), "generous threshold finds all links");
+        assert!(tables_match_ground_truth(&net, out.tables()));
+        // The run ended because nodes stopped, not because the budget ran
+        // out: every node executed far fewer frames than the budget.
+        assert!(
+            out.frames_executed().iter().all(|&f| f < 100_000),
+            "nodes should have silenced themselves: {:?}",
+            out.frames_executed()
+        );
+    }
+
+    #[test]
+    fn ground_truth_mismatch_detected() {
+        let net = small_net();
+        let mut tables: Vec<NeighborTable> =
+            (0..4).map(|_| NeighborTable::new()).collect();
+        assert!(!tables_match_ground_truth(&net, &tables));
+        // A false discovery is unsound.
+        tables[0].record(NodeId::new(1), ChannelSet::full(16));
+        assert!(!tables_are_sound(&net, &tables));
+    }
+}

@@ -1,0 +1,318 @@
+//! Quiescence-based termination detection.
+//!
+//! The paper's algorithms run forever ("while true") and the analysis
+//! reasons about when discovery *has* completed — a node never learns that
+//! it has. The companion line of work (\[22\], "lightweight termination
+//! detection") addresses exactly this gap. This module provides the
+//! simplest practical detector: a node stops once it has gone
+//! `quiet_slots` consecutive slots without discovering anyone new.
+//!
+//! The detector trades energy for completeness: too small a threshold
+//! stops before the slow links are covered; a threshold of a few multiples
+//! of the expected per-link coverage time makes misses exponentially rare
+//! (experiment E18 quantifies the trade-off).
+
+use crate::params::ProtocolError;
+use mmhew_engine::{AsyncProtocol, NeighborTable, SyncProtocol};
+use mmhew_radio::{Beacon, FrameAction, SlotAction};
+use mmhew_spectrum::ChannelId;
+use mmhew_util::Xoshiro256StarStar;
+
+/// Wraps any synchronous protocol with a quiescence detector: after
+/// `quiet_slots` consecutive active slots without a *new* neighbor, the
+/// node shuts its transceiver off for good.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::{QuiescentTermination, UniformDiscovery, SyncParams};
+///
+/// let inner = UniformDiscovery::new([0u16].into_iter().collect(), SyncParams::new(2)?)?;
+/// let wrapped = QuiescentTermination::new(Box::new(inner), 500)?;
+/// assert!(!wrapped.is_terminated_now());
+/// # Ok::<(), mmhew_discovery::ProtocolError>(())
+/// ```
+pub struct QuiescentTermination {
+    inner: Box<dyn SyncProtocol>,
+    quiet_slots: u64,
+    slots_since_new: u64,
+    neighbors_seen: usize,
+    terminated: bool,
+}
+
+impl QuiescentTermination {
+    /// Wraps `inner` with a quiescence threshold of `quiet_slots`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ZeroDegreeEstimate`] if `quiet_slots` is
+    /// zero (the node would quit before its first slot).
+    pub fn new(
+        inner: Box<dyn SyncProtocol>,
+        quiet_slots: u64,
+    ) -> Result<Self, ProtocolError> {
+        if quiet_slots == 0 {
+            return Err(ProtocolError::ZeroDegreeEstimate);
+        }
+        Ok(Self {
+            inner,
+            quiet_slots,
+            slots_since_new: 0,
+            neighbors_seen: 0,
+            terminated: false,
+        })
+    }
+
+    /// The quiescence threshold.
+    pub fn quiet_slots(&self) -> u64 {
+        self.quiet_slots
+    }
+
+    /// Current detector verdict (same as the trait method, named to avoid
+    /// requiring the trait in scope).
+    pub fn is_terminated_now(&self) -> bool {
+        self.terminated
+    }
+}
+
+impl SyncProtocol for QuiescentTermination {
+    fn on_slot(&mut self, active_slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
+        if self.terminated {
+            return SlotAction::Quiet;
+        }
+        if self.slots_since_new >= self.quiet_slots {
+            self.terminated = true;
+            return SlotAction::Quiet;
+        }
+        self.slots_since_new += 1;
+        self.inner.on_slot(active_slot, rng)
+    }
+
+    fn on_beacon(&mut self, beacon: &Beacon, channel: ChannelId) {
+        self.inner.on_beacon(beacon, channel);
+        let now = self.inner.table().len();
+        if now > self.neighbors_seen {
+            self.neighbors_seen = now;
+            self.slots_since_new = 0;
+        }
+    }
+
+    fn table(&self) -> &NeighborTable {
+        self.inner.table()
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+/// The asynchronous counterpart of [`QuiescentTermination`]: after
+/// `quiet_frames` consecutive frames without a new neighbor, the node
+/// stops for good (the engine then schedules no further frames for it).
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::{AsyncFrameDiscovery, AsyncParams, QuiescentAsyncTermination};
+///
+/// let inner = AsyncFrameDiscovery::new([0u16].into_iter().collect(), AsyncParams::new(2)?)?;
+/// let wrapped = QuiescentAsyncTermination::new(Box::new(inner), 200)?;
+/// assert!(!wrapped.is_terminated_now());
+/// # Ok::<(), mmhew_discovery::ProtocolError>(())
+/// ```
+pub struct QuiescentAsyncTermination {
+    inner: Box<dyn AsyncProtocol>,
+    quiet_frames: u64,
+    frames_since_new: u64,
+    neighbors_seen: usize,
+    terminated: bool,
+}
+
+impl QuiescentAsyncTermination {
+    /// Wraps `inner` with a quiescence threshold of `quiet_frames`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ZeroDegreeEstimate`] if `quiet_frames` is
+    /// zero.
+    pub fn new(
+        inner: Box<dyn AsyncProtocol>,
+        quiet_frames: u64,
+    ) -> Result<Self, ProtocolError> {
+        if quiet_frames == 0 {
+            return Err(ProtocolError::ZeroDegreeEstimate);
+        }
+        Ok(Self {
+            inner,
+            quiet_frames,
+            frames_since_new: 0,
+            neighbors_seen: 0,
+            terminated: false,
+        })
+    }
+
+    /// Current detector verdict.
+    pub fn is_terminated_now(&self) -> bool {
+        self.terminated
+    }
+}
+
+impl AsyncProtocol for QuiescentAsyncTermination {
+    fn on_frame(&mut self, frame: u64, rng: &mut Xoshiro256StarStar) -> FrameAction {
+        if self.frames_since_new >= self.quiet_frames {
+            self.terminated = true;
+        }
+        self.frames_since_new += 1;
+        self.inner.on_frame(frame, rng)
+    }
+
+    fn on_beacon(&mut self, beacon: &Beacon, channel: ChannelId) {
+        self.inner.on_beacon(beacon, channel);
+        let now = self.inner.table().len();
+        if now > self.neighbors_seen {
+            self.neighbors_seen = now;
+            self.frames_since_new = 0;
+        }
+    }
+
+    fn table(&self) -> &NeighborTable {
+        self.inner.table()
+    }
+
+    fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg3_uniform::UniformDiscovery;
+    use crate::params::SyncParams;
+    use mmhew_spectrum::ChannelSet;
+    use mmhew_topology::NodeId;
+    use mmhew_util::SeedTree;
+
+    fn wrapped(quiet: u64) -> QuiescentTermination {
+        let inner = UniformDiscovery::new(
+            ChannelSet::full(2),
+            SyncParams::new(2).expect("positive"),
+        )
+        .expect("valid");
+        QuiescentTermination::new(Box::new(inner), quiet).expect("valid threshold")
+    }
+
+    #[test]
+    fn zero_threshold_rejected() {
+        let inner = UniformDiscovery::new(
+            ChannelSet::full(1),
+            SyncParams::new(1).expect("positive"),
+        )
+        .expect("valid");
+        assert!(QuiescentTermination::new(Box::new(inner), 0).is_err());
+    }
+
+    #[test]
+    fn terminates_after_quiet_period() {
+        let mut p = wrapped(10);
+        let mut rng = SeedTree::new(0).rng();
+        for slot in 0..10 {
+            assert!(!p.is_terminated(), "slot {slot}");
+            let a = p.on_slot(slot, &mut rng);
+            assert_ne!(a, SlotAction::Quiet, "still active");
+        }
+        // Threshold reached: the next call flips to terminated and quiet.
+        assert_eq!(p.on_slot(10, &mut rng), SlotAction::Quiet);
+        assert!(p.is_terminated());
+        assert_eq!(p.on_slot(11, &mut rng), SlotAction::Quiet);
+    }
+
+    #[test]
+    fn discovery_resets_the_quiet_counter() {
+        let mut p = wrapped(5);
+        let mut rng = SeedTree::new(1).rng();
+        for slot in 0..4 {
+            let _ = p.on_slot(slot, &mut rng);
+        }
+        // A new neighbor arrives just before the threshold.
+        p.on_beacon(
+            &Beacon::new(NodeId::new(9), ChannelSet::full(2)),
+            ChannelId::new(0),
+        );
+        for slot in 4..9 {
+            let a = p.on_slot(slot, &mut rng);
+            assert_ne!(a, SlotAction::Quiet, "reset should keep it alive at slot {slot}");
+        }
+        assert_eq!(p.on_slot(9, &mut rng), SlotAction::Quiet);
+        assert!(p.is_terminated());
+    }
+
+    #[test]
+    fn rediscovery_of_known_neighbor_does_not_reset() {
+        let mut p = wrapped(5);
+        let mut rng = SeedTree::new(2).rng();
+        let beacon = Beacon::new(NodeId::new(9), ChannelSet::full(2));
+        p.on_beacon(&beacon, ChannelId::new(0));
+        for slot in 0..3 {
+            let _ = p.on_slot(slot, &mut rng);
+        }
+        // Same neighbor again: counter must NOT reset.
+        p.on_beacon(&beacon, ChannelId::new(0));
+        let _ = p.on_slot(3, &mut rng);
+        let _ = p.on_slot(4, &mut rng);
+        assert_eq!(p.on_slot(5, &mut rng), SlotAction::Quiet);
+        assert!(p.is_terminated());
+    }
+
+    #[test]
+    fn async_wrapper_terminates_and_resets() {
+        use crate::alg4_async::AsyncFrameDiscovery;
+        use crate::params::AsyncParams;
+        let inner = AsyncFrameDiscovery::new(
+            ChannelSet::full(2),
+            AsyncParams::new(2).expect("positive"),
+        )
+        .expect("valid");
+        let mut p = QuiescentAsyncTermination::new(Box::new(inner), 4).expect("valid");
+        let mut rng = SeedTree::new(3).rng();
+        for f in 0..4 {
+            let _ = p.on_frame(f, &mut rng);
+            assert!(!p.is_terminated(), "frame {f}");
+        }
+        // New neighbor resets the counter.
+        p.on_beacon(
+            &Beacon::new(NodeId::new(7), ChannelSet::full(2)),
+            ChannelId::new(0),
+        );
+        for f in 4..8 {
+            let _ = p.on_frame(f, &mut rng);
+            assert!(!p.is_terminated(), "frame {f} after reset");
+        }
+        let _ = p.on_frame(8, &mut rng);
+        assert!(p.is_terminated());
+        assert!(p.table().contains(NodeId::new(7)));
+    }
+
+    #[test]
+    fn async_zero_threshold_rejected() {
+        use crate::alg4_async::AsyncFrameDiscovery;
+        use crate::params::AsyncParams;
+        let inner = AsyncFrameDiscovery::new(
+            ChannelSet::full(1),
+            AsyncParams::new(1).expect("positive"),
+        )
+        .expect("valid");
+        assert!(QuiescentAsyncTermination::new(Box::new(inner), 0).is_err());
+    }
+
+    #[test]
+    fn table_passthrough() {
+        let mut p = wrapped(5);
+        p.on_beacon(
+            &Beacon::new(NodeId::new(3), ChannelSet::full(2)),
+            ChannelId::new(1),
+        );
+        assert_eq!(p.table().len(), 1);
+        assert!(p.table().contains(NodeId::new(3)));
+    }
+}

@@ -1,0 +1,181 @@
+//! Two-hop neighborhood computation.
+//!
+//! The paper's introduction notes that many downstream algorithms
+//! "implicitly assume that all nodes know their one-hop and sometimes even
+//! two-hop neighbors". One-hop knowledge is the discovery output; two-hop
+//! knowledge follows from one extra round in which every node shares its
+//! neighbor table with its discovered neighbors (over the common channels
+//! discovery just established). This module computes the result of that
+//! exchange from the per-node tables.
+
+use mmhew_engine::NeighborTable;
+use mmhew_topology::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The two-hop view a node obtains after the table-exchange round.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TwoHopView {
+    /// Strict two-hop neighbors: reachable through some one-hop neighbor,
+    /// not one-hop neighbors themselves, and not the node itself.
+    pub two_hop: BTreeSet<NodeId>,
+    /// For each two-hop neighbor, the one-hop relays through which it was
+    /// learned (useful for routing/clustering decisions).
+    pub relays: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+/// Computes every node's two-hop view from the discovery tables.
+///
+/// `tables[i]` is node `i`'s neighbor table. The exchange is asymmetric
+/// exactly like discovery: node `u` learns the table of `v` iff `u`
+/// discovered `v` (i.e. `u` can hear `v`), so on asymmetric graphs the
+/// two-hop view follows the directed reachability `w → v → u`.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::two_hop::two_hop_views;
+/// use mmhew_engine::NeighborTable;
+/// use mmhew_topology::NodeId;
+///
+/// // Line 0 - 1 - 2: after exchange, 0 learns about 2 through 1.
+/// let mut t0 = NeighborTable::new();
+/// t0.record(NodeId::new(1), [0u16].into_iter().collect());
+/// let mut t1 = NeighborTable::new();
+/// t1.record(NodeId::new(0), [0u16].into_iter().collect());
+/// t1.record(NodeId::new(2), [0u16].into_iter().collect());
+/// let mut t2 = NeighborTable::new();
+/// t2.record(NodeId::new(1), [0u16].into_iter().collect());
+///
+/// let views = two_hop_views(&[t0, t1, t2]);
+/// assert!(views[0].two_hop.contains(&NodeId::new(2)));
+/// assert!(views[1].two_hop.is_empty());
+/// ```
+pub fn two_hop_views(tables: &[NeighborTable]) -> Vec<TwoHopView> {
+    tables
+        .iter()
+        .enumerate()
+        .map(|(i, table)| {
+            let me = NodeId::new(i as u32);
+            let one_hop: BTreeSet<NodeId> = table.iter().map(|(v, _)| v).collect();
+            let mut view = TwoHopView::default();
+            for &relay in &one_hop {
+                for (w, _) in tables[relay.as_usize()].iter() {
+                    if w != me && !one_hop.contains(&w) {
+                        view.two_hop.insert(w);
+                        view.relays.entry(w).or_default().insert(relay);
+                    }
+                }
+            }
+            view
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run_sync_discovery, SyncAlgorithm};
+    use crate::params::SyncParams;
+    use mmhew_engine::{StartSchedule, SyncRunConfig};
+    use mmhew_spectrum::ChannelSet;
+    use mmhew_topology::NetworkBuilder;
+    use mmhew_util::SeedTree;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn table_of(neighbors: &[u32]) -> NeighborTable {
+        let mut t = NeighborTable::new();
+        for &v in neighbors {
+            t.record(n(v), ChannelSet::full(1));
+        }
+        t
+    }
+
+    #[test]
+    fn line_of_five() {
+        let tables = vec![
+            table_of(&[1]),
+            table_of(&[0, 2]),
+            table_of(&[1, 3]),
+            table_of(&[2, 4]),
+            table_of(&[3]),
+        ];
+        let views = two_hop_views(&tables);
+        assert_eq!(views[0].two_hop, [n(2)].into_iter().collect());
+        assert_eq!(views[2].two_hop, [n(0), n(4)].into_iter().collect());
+        assert_eq!(views[2].relays[&n(0)], [n(1)].into_iter().collect());
+        assert_eq!(views[2].relays[&n(4)], [n(3)].into_iter().collect());
+    }
+
+    #[test]
+    fn triangle_has_no_strict_two_hop() {
+        let tables = vec![table_of(&[1, 2]), table_of(&[0, 2]), table_of(&[0, 1])];
+        let views = two_hop_views(&tables);
+        assert!(views.iter().all(|v| v.two_hop.is_empty()));
+    }
+
+    #[test]
+    fn multiple_relays_recorded() {
+        // Diamond: 0-1, 0-2, 1-3, 2-3. Node 0 reaches 3 via both 1 and 2.
+        let tables = vec![
+            table_of(&[1, 2]),
+            table_of(&[0, 3]),
+            table_of(&[0, 3]),
+            table_of(&[1, 2]),
+        ];
+        let views = two_hop_views(&tables);
+        assert_eq!(views[0].two_hop, [n(3)].into_iter().collect());
+        assert_eq!(views[0].relays[&n(3)], [n(1), n(2)].into_iter().collect());
+    }
+
+    #[test]
+    fn asymmetric_exchange_follows_hearing_direction() {
+        // 0 hears 1 (t0 contains 1), but 1 does not hear 0. 1 hears 2.
+        let tables = vec![table_of(&[1]), table_of(&[2]), table_of(&[])];
+        let views = two_hop_views(&tables);
+        // 0 learned 1's table, so 0 knows about 2.
+        assert_eq!(views[0].two_hop, [n(2)].into_iter().collect());
+        // 1 learned only 2's (empty) table.
+        assert!(views[1].two_hop.is_empty());
+        assert!(views[2].two_hop.is_empty());
+    }
+
+    #[test]
+    fn matches_graph_distance_after_real_discovery() {
+        let seed = SeedTree::new(77);
+        let net = NetworkBuilder::grid(4, 4)
+            .universe(4)
+            .build(seed.branch("net"))
+            .expect("build");
+        let delta = net.max_degree().max(1) as u64;
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(1_000_000),
+            seed.branch("run"),
+        )
+        .expect("run");
+        assert!(out.completed());
+        let views = two_hop_views(out.tables());
+        // Ground truth: BFS distance exactly 2 in the grid.
+        for u in net.topology().nodes() {
+            let one: BTreeSet<NodeId> =
+                net.topology().in_neighbors(u).iter().copied().collect();
+            let mut expected = BTreeSet::new();
+            for &v in &one {
+                for &w in net.topology().in_neighbors(v) {
+                    if w != u && !one.contains(&w) {
+                        expected.insert(w);
+                    }
+                }
+            }
+            assert_eq!(
+                views[u.as_usize()].two_hop, expected,
+                "two-hop mismatch at {u}"
+            );
+        }
+    }
+}

@@ -1,0 +1,657 @@
+//! The event-driven continuous-time engine (Algorithm 4).
+//!
+//! Each node owns a drifting clock and divides its *local* time into
+//! frames; the engine projects frame and slot boundaries onto real time,
+//! maintains a priority queue of frame-start/frame-end events, and resolves
+//! receptions with the continuous-time medium of
+//! [`mmhew_radio::continuous`].
+//!
+//! Causality: a node's action for frame `f` is requested at the real
+//! instant frame `f` begins, by which time every reception that completed
+//! earlier has been delivered (frame-end events sort before frame-start
+//! events at equal timestamps). Every burst that can influence a listening
+//! window has been registered before the window's end event fires, because
+//! its originating frame starts before the window ends.
+
+use crate::config::{AsyncRunConfig, BurstPlan};
+use crate::energy::{ActionCounts, EnergyModel};
+use crate::observer::CoverageTracker;
+use crate::protocol::AsyncProtocol;
+use crate::table::NeighborTable;
+use mmhew_radio::{clear_receptions, Beacon, FrameAction, ListenWindow, Transmission};
+use mmhew_time::{DriftedClock, FrameSchedule, RealTime, SLOTS_PER_FRAME};
+use mmhew_topology::{Link, Network, NodeId};
+use mmhew_util::{SeedTree, Xoshiro256StarStar};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncOutcome {
+    completed: bool,
+    completion_time: Option<RealTime>,
+    latest_start: RealTime,
+    frames_executed: Vec<u64>,
+    min_full_frames_at_completion: Option<u64>,
+    link_coverage: Vec<(Link, Option<RealTime>)>,
+    tables: Vec<NeighborTable>,
+    deliveries: u64,
+    impairment_losses: u64,
+    action_counts: Vec<ActionCounts>,
+}
+
+impl AsyncOutcome {
+    /// True if every link was covered within the frame budget.
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Real time at which the last link was first covered.
+    pub fn completion_time(&self) -> Option<RealTime> {
+        self.completion_time
+    }
+
+    /// The latest protocol start time `T_s`.
+    pub fn latest_start(&self) -> RealTime {
+        self.latest_start
+    }
+
+    /// Frames fully executed per node.
+    pub fn frames_executed(&self) -> &[u64] {
+        &self.frames_executed
+    }
+
+    /// The minimum, over nodes, of full frames executed between `T_s` and
+    /// completion — the measured analogue of the `M` frames Theorem 9
+    /// requires of *every* node. `None` if incomplete.
+    pub fn min_full_frames_at_completion(&self) -> Option<u64> {
+        self.min_full_frames_at_completion
+    }
+
+    /// First-coverage real time per link.
+    pub fn link_coverage(&self) -> &[(Link, Option<RealTime>)] {
+        &self.link_coverage
+    }
+
+    /// Final neighbor table of node `u`.
+    pub fn table(&self, u: NodeId) -> &NeighborTable {
+        &self.tables[u.as_usize()]
+    }
+
+    /// Final neighbor tables, indexed by node.
+    pub fn tables(&self) -> &[NeighborTable] {
+        &self.tables
+    }
+
+    /// Total clear deliveries.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Clear receptions dropped by channel impairments.
+    pub fn impairment_losses(&self) -> u64 {
+        self.impairment_losses
+    }
+
+    /// Per-node frame action counts (transmit/listen frames), for energy
+    /// accounting.
+    pub fn action_counts(&self) -> &[ActionCounts] {
+        &self.action_counts
+    }
+
+    /// Total energy spent across the network under `model` (per-frame
+    /// costs).
+    pub fn total_energy(&self, model: &EnergyModel) -> f64 {
+        model.total_cost(&self.action_counts)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum EventKind {
+    /// Resolve a finished frame (receptions delivered here). Sorts before
+    /// `FrameStart` at the same instant.
+    FrameEnd,
+    /// Ask the protocol for its next frame action.
+    FrameStart,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time: RealTime,
+    kind: EventKind,
+    node: u32,
+    frame: u64,
+}
+
+struct NodeState {
+    clock: DriftedClock,
+    schedule: FrameSchedule,
+    pending_listen: Option<ListenWindow>,
+    frames_executed: u64,
+}
+
+/// The asynchronous engine.
+///
+/// Constructed via [`AsyncEngine::new`] from an [`AsyncRunConfig`] (clocks
+/// and start times are materialized from the seed) and consumed by
+/// [`AsyncEngine::run`].
+pub struct AsyncEngine<'n> {
+    network: &'n Network,
+    protocols: Vec<Box<dyn AsyncProtocol>>,
+    nodes: Vec<NodeState>,
+    starts: Vec<RealTime>,
+    node_rngs: Vec<Xoshiro256StarStar>,
+    medium_rng: Xoshiro256StarStar,
+    tracker: CoverageTracker<RealTime>,
+    queue: BinaryHeap<Reverse<Event>>,
+    bursts: Vec<Vec<Transmission>>,
+    deliveries: u64,
+    impairment_losses: u64,
+    action_counts: Vec<ActionCounts>,
+    config: AsyncRunConfig,
+}
+
+impl<'n> AsyncEngine<'n> {
+    /// Creates an engine, materializing clocks and start times from
+    /// `config` and `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocols` length differs from the node count, or the
+    /// frame length is not divisible by [`SLOTS_PER_FRAME`].
+    pub fn new(
+        network: &'n Network,
+        protocols: Vec<Box<dyn AsyncProtocol>>,
+        config: AsyncRunConfig,
+        seed: SeedTree,
+    ) -> Self {
+        let n = network.node_count();
+        let clocks = config.clocks.materialize(n, seed.branch("clocks"));
+        let starts = config.starts.materialize(n, seed.branch("starts"));
+        Self::with_clocks_and_starts(network, protocols, config, clocks, starts, seed)
+    }
+
+    /// Creates an engine with explicitly provided clocks and start times
+    /// (the `clocks`/`starts` fields of `config` are ignored).
+    ///
+    /// # Panics
+    ///
+    /// Panics on any per-node vector length mismatch, or a frame length not
+    /// divisible by [`SLOTS_PER_FRAME`].
+    pub fn with_clocks_and_starts(
+        network: &'n Network,
+        protocols: Vec<Box<dyn AsyncProtocol>>,
+        config: AsyncRunConfig,
+        clocks: Vec<DriftedClock>,
+        starts: Vec<RealTime>,
+        seed: SeedTree,
+    ) -> Self {
+        let n = network.node_count();
+        assert_eq!(protocols.len(), n, "one protocol per node required");
+        assert_eq!(clocks.len(), n, "one clock per node required");
+        assert_eq!(starts.len(), n, "one start time per node required");
+        let mut queue = BinaryHeap::new();
+        let mut nodes = Vec::with_capacity(n);
+        for (i, mut clock) in clocks.into_iter().enumerate() {
+            let start_local = clock.local_at(starts[i]);
+            let schedule = FrameSchedule::new(start_local, config.frame_len);
+            let first = schedule.frame_interval(0, &mut clock);
+            if config.max_frames > 0 {
+                queue.push(Reverse(Event {
+                    time: first.start(),
+                    kind: EventKind::FrameStart,
+                    node: i as u32,
+                    frame: 0,
+                }));
+            }
+            nodes.push(NodeState {
+                clock,
+                schedule,
+                pending_listen: None,
+                frames_executed: 0,
+            });
+        }
+        let node_rngs = (0..n)
+            .map(|i| seed.branch("node").index(i as u64).rng())
+            .collect();
+        Self {
+            network,
+            protocols,
+            nodes,
+            starts,
+            node_rngs,
+            medium_rng: seed.branch("medium").rng(),
+            tracker: CoverageTracker::new(network),
+            queue,
+            bursts: vec![Vec::new(); network.universe_size() as usize],
+            deliveries: 0,
+            impairment_losses: 0,
+            action_counts: vec![ActionCounts::default(); n],
+            config,
+        }
+    }
+
+    /// Runs to completion or budget exhaustion.
+    pub fn run(mut self) -> AsyncOutcome {
+        while let Some(Reverse(event)) = self.queue.pop() {
+            match event.kind {
+                EventKind::FrameStart => self.on_frame_start(event),
+                EventKind::FrameEnd => {
+                    self.on_frame_end(event);
+                    if self.config.stop_when_complete && self.tracker.is_complete() {
+                        break;
+                    }
+                }
+            }
+        }
+        self.finish()
+    }
+
+    fn on_frame_start(&mut self, event: Event) {
+        let i = event.node as usize;
+        let f = event.frame;
+        if self.protocols[i].is_terminated() {
+            // The node shut itself down: schedule nothing further; its
+            // radio stays off for the rest of the run.
+            return;
+        }
+        let state = &mut self.nodes[i];
+        let interval = state.schedule.frame_interval(f, &mut state.clock);
+        let action = self.protocols[i].on_frame(f, &mut self.node_rngs[i]);
+        debug_assert!(
+            self.network
+                .available(NodeId::new(event.node))
+                .contains(action.channel()),
+            "protocol chose a channel outside its available set"
+        );
+        match action {
+            FrameAction::Transmit { channel } => {
+                self.action_counts[i].transmit += 1;
+                let mut push = |interval| {
+                    self.bursts[channel.index() as usize].push(Transmission {
+                        from: NodeId::new(event.node),
+                        channel,
+                        interval,
+                    });
+                };
+                match self.config.burst_plan {
+                    BurstPlan::EverySlot => {
+                        for slot in 0..SLOTS_PER_FRAME {
+                            push(state.schedule.slot_interval(f, slot, &mut state.clock));
+                        }
+                    }
+                    BurstPlan::SingleSlot { slot } => {
+                        let slot = slot.min(SLOTS_PER_FRAME - 1);
+                        push(state.schedule.slot_interval(f, slot, &mut state.clock));
+                    }
+                    BurstPlan::WholeFrame => push(interval),
+                }
+            }
+            FrameAction::Listen { channel } => {
+                self.action_counts[i].listen += 1;
+                state.pending_listen = Some(ListenWindow {
+                    listener: NodeId::new(event.node),
+                    channel,
+                    interval,
+                });
+            }
+        }
+        self.queue.push(Reverse(Event {
+            time: interval.end(),
+            kind: EventKind::FrameEnd,
+            node: event.node,
+            frame: f,
+        }));
+        if f + 1 < self.config.max_frames {
+            self.queue.push(Reverse(Event {
+                time: interval.end(),
+                kind: EventKind::FrameStart,
+                node: event.node,
+                frame: f + 1,
+            }));
+        }
+    }
+
+    fn on_frame_end(&mut self, event: Event) {
+        let i = event.node as usize;
+        self.nodes[i].frames_executed = event.frame + 1;
+        if let Some(window) = self.nodes[i].pending_listen.take() {
+            let channel_bursts = &self.bursts[window.channel.index() as usize];
+            let receptions = clear_receptions(self.network, &window, channel_bursts);
+            for r in receptions {
+                if self.config.impairments.delivers(&mut self.medium_rng) {
+                    let beacon =
+                        Beacon::new(r.from, self.network.available(r.from).clone());
+                    self.protocols[i].on_beacon(&beacon, window.channel);
+                    self.tracker.record(
+                        Link {
+                            from: r.from,
+                            to: NodeId::new(event.node),
+                        },
+                        r.burst.end(),
+                    );
+                    self.deliveries += 1;
+                } else {
+                    self.impairment_losses += 1;
+                }
+            }
+        }
+        self.prune_bursts(event.time);
+    }
+
+    /// Drops bursts too old to affect any unresolved listening window.
+    /// Windows are one frame long; with drift < 1/2, a frame's real length
+    /// is below `2L`, so bursts ending more than `2L` before now are dead.
+    fn prune_bursts(&mut self, now: RealTime) {
+        const PRUNE_ABOVE: usize = 1024;
+        let horizon = self.config.frame_len.as_nanos().saturating_mul(2);
+        let cutoff = RealTime::from_nanos(now.as_nanos().saturating_sub(horizon));
+        for channel in &mut self.bursts {
+            if channel.len() > PRUNE_ABOVE {
+                channel.retain(|b| b.interval.end() > cutoff);
+            }
+        }
+    }
+
+    fn finish(mut self) -> AsyncOutcome {
+        let latest_start = self.starts.iter().copied().max().unwrap_or(RealTime::ZERO);
+        let completion_time = self.tracker.completion_time();
+        let min_full_frames = completion_time.map(|tc| {
+            (0..self.nodes.len())
+                .map(|i| {
+                    let state = &mut self.nodes[i];
+                    let k0 = state.schedule.first_full_frame_after(latest_start, &mut state.clock);
+                    let local_tc = state.clock.local_at(tc);
+                    let sched_start = state.schedule.start_local();
+                    if local_tc <= sched_start {
+                        return 0;
+                    }
+                    let elapsed = local_tc.as_nanos() - sched_start.as_nanos();
+                    let last_full_end = elapsed / state.schedule.frame_len().as_nanos();
+                    last_full_end.saturating_sub(k0)
+                })
+                .min()
+                .unwrap_or(0)
+        });
+        AsyncOutcome {
+            completed: self.tracker.is_complete(),
+            completion_time,
+            latest_start,
+            frames_executed: self.nodes.iter().map(|s| s.frames_executed).collect(),
+            min_full_frames_at_completion: min_full_frames,
+            link_coverage: self.tracker.per_link().collect(),
+            tables: self.protocols.iter().map(|p| p.table().clone()).collect(),
+            deliveries: self.deliveries,
+            impairment_losses: self.impairment_losses,
+            action_counts: self.action_counts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AsyncStartSchedule, ClockConfig};
+    use mmhew_spectrum::{ChannelId, ChannelSet};
+    use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+    use mmhew_topology::NetworkBuilder;
+
+    /// Transmits on even frames, listens on odd frames (or the reverse), on
+    /// a fixed channel.
+    struct FrameAlternator {
+        even_tx: bool,
+        channel: ChannelId,
+        own: ChannelSet,
+        table: NeighborTable,
+    }
+
+    impl FrameAlternator {
+        fn boxed(even_tx: bool, own: ChannelSet) -> Box<dyn AsyncProtocol> {
+            Box::new(Self {
+                even_tx,
+                channel: ChannelId::new(0),
+                own,
+                table: NeighborTable::new(),
+            })
+        }
+    }
+
+    impl AsyncProtocol for FrameAlternator {
+        fn on_frame(&mut self, frame: u64, _rng: &mut Xoshiro256StarStar) -> FrameAction {
+            if frame.is_multiple_of(2) == self.even_tx {
+                FrameAction::Transmit { channel: self.channel }
+            } else {
+                FrameAction::Listen { channel: self.channel }
+            }
+        }
+
+        fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
+            self.table
+                .record(beacon.sender(), beacon.available().intersection(&self.own));
+        }
+
+        fn table(&self) -> &NeighborTable {
+            &self.table
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn run_two_nodes(config: AsyncRunConfig, seed: u64) -> AsyncOutcome {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(false, ChannelSet::full(1)),
+            ],
+            config,
+            SeedTree::new(seed),
+        );
+        engine.run()
+    }
+
+    #[test]
+    fn ideal_clocks_identical_starts_complete_in_two_frames() {
+        let out = run_two_nodes(AsyncRunConfig::until_complete(100), 1);
+        assert!(out.completed());
+        // Frame 0: node 0 transmits, node 1 listens -> (0,1) covered by the
+        // first burst; frame 1 reverses.
+        let tc = out.completion_time().expect("complete");
+        assert!(tc.as_nanos() <= 2 * 3_000, "completed at {tc}");
+        assert_eq!(
+            out.table(n(1)).to_sorted_vec(),
+            vec![(n(0), ChannelSet::full(1))]
+        );
+        assert_eq!(out.table(n(0)).to_sorted_vec(), vec![(n(1), ChannelSet::full(1))]);
+        assert!(out.deliveries() >= 2);
+    }
+
+    #[test]
+    fn budget_exhaustion_incomplete() {
+        // Both nodes transmit on even frames and listen on odd: with ideal
+        // clocks and identical starts they are always in the same mode, so
+        // nothing is ever heard.
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+            ],
+            AsyncRunConfig::until_complete(50),
+            SeedTree::new(1),
+        );
+        let out = engine.run();
+        assert!(!out.completed());
+        assert_eq!(out.completion_time(), None);
+        assert_eq!(out.frames_executed(), &[50, 50]);
+        assert_eq!(out.min_full_frames_at_completion(), None);
+    }
+
+    #[test]
+    fn misaligned_same_mode_nodes_hear_each_other() {
+        // Same always-conflicting protocols as above, but node 1 starts
+        // half a frame later: its listening frames now straddle node 0's
+        // transmitting frames, and slots within them are heard.
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let config = AsyncRunConfig::until_complete(100).with_starts(
+            AsyncStartSchedule::Explicit(vec![
+                RealTime::ZERO,
+                RealTime::from_nanos(1_500),
+            ]),
+        );
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+            ],
+            config,
+            SeedTree::new(1),
+        );
+        let out = engine.run();
+        assert!(out.completed(), "offset starts must break the symmetry");
+    }
+
+    #[test]
+    fn drifted_clocks_still_complete() {
+        let config = AsyncRunConfig::until_complete(2_000).with_clocks(ClockConfig {
+            drift: DriftModel::RandomPiecewise {
+                bound: DriftBound::PAPER,
+                segment: RealDuration::from_nanos(7_000),
+            },
+            offset_window: LocalDuration::from_nanos(9_000),
+        });
+        let out = run_two_nodes(config, 3);
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn min_full_frames_counts_from_latest_start() {
+        let config = AsyncRunConfig::until_complete(1_000).with_starts(
+            AsyncStartSchedule::Explicit(vec![
+                RealTime::ZERO,
+                RealTime::from_nanos(30_000), // 10 frames late
+            ]),
+        );
+        let out = run_two_nodes(config, 2);
+        assert!(out.completed());
+        assert_eq!(out.latest_start(), RealTime::from_nanos(30_000));
+        let m = out.min_full_frames_at_completion().expect("complete");
+        // Completion must occur within a few frames of the late start.
+        assert!(m <= 4, "took {m} frames after T_s");
+        let tc = out.completion_time().expect("complete");
+        assert!(tc > out.latest_start(), "cannot complete before T_s");
+    }
+
+    #[test]
+    fn determinism() {
+        let config = AsyncRunConfig::until_complete(500).with_clocks(ClockConfig {
+            drift: DriftModel::RandomPiecewise {
+                bound: DriftBound::PAPER,
+                segment: RealDuration::from_nanos(5_000),
+            },
+            offset_window: LocalDuration::from_nanos(4_000),
+        });
+        let a = run_two_nodes(config.clone(), 9);
+        let b = run_two_nodes(config, 9);
+        assert_eq!(a.completion_time(), b.completion_time());
+        assert_eq!(a.link_coverage(), b.link_coverage());
+        assert_eq!(a.deliveries(), b.deliveries());
+    }
+
+    #[test]
+    fn burst_pruning_does_not_lose_live_receptions() {
+        // Node 0 alternates tx/listen from time 0, accumulating thousands
+        // of bursts (well past the pruning threshold) before node 1 starts
+        // 3000 frames later. If pruning ever dropped live bursts,
+        // completion right after the late start would fail.
+        let config = AsyncRunConfig::until_complete(10_000).with_starts(
+            AsyncStartSchedule::Explicit(vec![
+                RealTime::ZERO,
+                RealTime::from_nanos(3_000 * 3_000),
+            ]),
+        );
+        let out = run_two_nodes(config, 4);
+        assert!(out.completed());
+        let m = out.min_full_frames_at_completion().expect("complete");
+        assert!(m <= 4, "should complete within a few frames of T_s, took {m}");
+    }
+
+    #[test]
+    fn action_counts_cover_all_frames() {
+        let out = run_two_nodes(AsyncRunConfig::until_complete(50).with_starts(
+            AsyncStartSchedule::Explicit(vec![RealTime::ZERO, RealTime::ZERO]),
+        ), 1);
+        for c in out.action_counts() {
+            assert_eq!(c.transmit + c.listen, out.frames_executed()[0].min(c.total()));
+            assert!(c.total() > 0);
+        }
+        assert!(out.total_energy(&crate::energy::EnergyModel::default()) > 0.0);
+    }
+
+    #[test]
+    fn whole_frame_beacon_fails_on_misaligned_equal_clocks() {
+        // Ideal clocks, equal frame lengths, node 1 offset by half a
+        // frame: a beacon spanning node 0's whole frame can never lie
+        // inside any single frame of node 1, so the WholeFrame ablation
+        // must never discover anything — demonstrating why Algorithm 4
+        // subdivides frames into repeated slot bursts.
+        let starts = AsyncStartSchedule::Explicit(vec![
+            RealTime::ZERO,
+            RealTime::from_nanos(1_500),
+        ]);
+        let base = AsyncRunConfig::until_complete(300).with_starts(starts);
+
+        let whole = run_two_nodes(
+            base.clone().with_burst_plan(BurstPlan::WholeFrame),
+            3,
+        );
+        assert!(!whole.completed(), "whole-frame beacon should never fit");
+        assert_eq!(whole.deliveries(), 0);
+
+        let repeated = run_two_nodes(base.with_burst_plan(BurstPlan::EverySlot), 3);
+        assert!(repeated.completed(), "the paper's design succeeds");
+    }
+
+    #[test]
+    fn single_slot_burst_still_completes_but_with_fewer_opportunities() {
+        // A one-third-frame offset puts the middle slot of each
+        // transmitter inside the other's listening window in both
+        // directions (offset 1000 of a 3000ns frame: slot 1 spans
+        // [1000,2000) ⊆ [1000,4000) one way and [5000,6000) ⊆ [3000,6000)
+        // the other).
+        let starts = AsyncStartSchedule::Explicit(vec![
+            RealTime::ZERO,
+            RealTime::from_nanos(1_000),
+        ]);
+        let out = run_two_nodes(
+            AsyncRunConfig::until_complete(5_000)
+                .with_starts(starts)
+                .with_burst_plan(BurstPlan::SingleSlot { slot: 1 }),
+            5,
+        );
+        assert!(out.completed());
+    }
+
+    #[test]
+    fn zero_max_frames_is_a_noop() {
+        let mut cfg = AsyncRunConfig::until_complete(0);
+        cfg.stop_when_complete = false;
+        let out = run_two_nodes(cfg, 1);
+        assert!(!out.completed());
+        assert_eq!(out.frames_executed(), &[0, 0]);
+    }
+}

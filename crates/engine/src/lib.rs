@@ -1,0 +1,37 @@
+//! Simulation engines for M²HeW neighbor discovery.
+//!
+//! Two engines execute [`SyncProtocol`]/[`AsyncProtocol`] state machines
+//! over a [`mmhew_topology::Network`]:
+//!
+//! * [`SyncEngine`] — globally synchronized slots with the paper's
+//!   collision model; supports per-node start slots (Algorithm 3's
+//!   variable start times);
+//! * [`AsyncEngine`] — event-driven continuous time; per-node drifting
+//!   clocks, local frames split into three slots, interval-based reception
+//!   (Algorithm 4).
+//!
+//! Both engines track per-link first-coverage times with a
+//! [`CoverageTracker`] and return rich outcomes ([`SyncOutcome`],
+//! [`AsyncOutcome`]) the experiment harness consumes.
+//!
+//! The engines enforce the distributed-computing boundary: a protocol only
+//! ever sees its own slot/frame counter, its own RNG stream, and the
+//! beacons it hears.
+
+pub mod async_engine;
+pub mod config;
+pub mod energy;
+pub mod observer;
+pub mod protocol;
+pub mod sync;
+pub mod table;
+
+pub use async_engine::{AsyncEngine, AsyncOutcome};
+pub use config::{
+    AsyncRunConfig, AsyncStartSchedule, BurstPlan, ClockConfig, StartSchedule, SyncRunConfig,
+};
+pub use energy::{ActionCounts, EnergyModel};
+pub use observer::CoverageTracker;
+pub use protocol::{AsyncProtocol, SyncProtocol};
+pub use sync::{SyncEngine, SyncOutcome};
+pub use table::NeighborTable;

@@ -1,0 +1,160 @@
+//! Link-coverage tracking.
+//!
+//! The analysis reasons about links being *covered* (a clear reception of
+//! the transmitter's beacon by the receiver). The tracker records the first
+//! coverage time of every directed link of a network and detects global
+//! completion — the quantity every theorem bounds.
+
+use mmhew_topology::{Link, Network};
+use std::collections::BTreeMap;
+
+/// Records the first coverage time of each link of a network.
+///
+/// Generic over the time type: slot indices (`u64`) for the synchronous
+/// engines, real nanoseconds for the asynchronous engine.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_engine::CoverageTracker;
+/// use mmhew_topology::{Link, NetworkBuilder, NodeId};
+/// use mmhew_util::SeedTree;
+///
+/// let net = NetworkBuilder::line(2).universe(2).build(SeedTree::new(0))?;
+/// let mut tracker: CoverageTracker<u64> = CoverageTracker::new(&net);
+/// assert!(!tracker.is_complete());
+/// tracker.record(Link { from: NodeId::new(0), to: NodeId::new(1) }, 7);
+/// tracker.record(Link { from: NodeId::new(1), to: NodeId::new(0) }, 9);
+/// assert!(tracker.is_complete());
+/// assert_eq!(tracker.completion_time(), Some(9));
+/// # Ok::<(), mmhew_topology::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoverageTracker<T> {
+    first_coverage: BTreeMap<Link, Option<T>>,
+    covered: usize,
+}
+
+impl<T: Copy + Ord> CoverageTracker<T> {
+    /// Creates a tracker expecting every link of `network`.
+    pub fn new(network: &Network) -> Self {
+        Self {
+            first_coverage: network.links().iter().map(|&l| (l, None)).collect(),
+            covered: 0,
+        }
+    }
+
+    /// Records a coverage event. Only the first time per link is kept.
+    /// Coverage of links the network does not contain is ignored (can
+    /// happen only if callers construct deliveries by hand).
+    pub fn record(&mut self, link: Link, time: T) {
+        if let Some(slot @ None) = self.first_coverage.get_mut(&link) {
+            *slot = Some(time);
+            self.covered += 1;
+        }
+    }
+
+    /// Number of links covered so far.
+    pub fn covered(&self) -> usize {
+        self.covered
+    }
+
+    /// Total links expected.
+    pub fn expected(&self) -> usize {
+        self.first_coverage.len()
+    }
+
+    /// True when every link has been covered.
+    pub fn is_complete(&self) -> bool {
+        self.covered == self.first_coverage.len()
+    }
+
+    /// The time the last link was first covered, if complete.
+    pub fn completion_time(&self) -> Option<T> {
+        if !self.is_complete() || self.first_coverage.is_empty() {
+            return None;
+        }
+        self.first_coverage.values().map(|t| t.expect("complete")).max()
+    }
+
+    /// First-coverage time per link (`None` for still-uncovered links).
+    pub fn per_link(&self) -> impl Iterator<Item = (Link, Option<T>)> + '_ {
+        self.first_coverage.iter().map(|(&l, &t)| (l, t))
+    }
+
+    /// Links not yet covered.
+    pub fn uncovered(&self) -> Vec<Link> {
+        self.first_coverage
+            .iter()
+            .filter(|(_, t)| t.is_none())
+            .map(|(&l, _)| l)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_topology::{NetworkBuilder, NodeId};
+    use mmhew_util::SeedTree;
+
+    fn link(a: u32, b: u32) -> Link {
+        Link {
+            from: NodeId::new(a),
+            to: NodeId::new(b),
+        }
+    }
+
+    fn line3() -> Network {
+        NetworkBuilder::line(3)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build")
+    }
+
+    #[test]
+    fn counts_and_completion() {
+        let net = line3();
+        let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
+        assert_eq!(t.expected(), 4);
+        t.record(link(0, 1), 3);
+        t.record(link(1, 0), 5);
+        t.record(link(1, 2), 2);
+        assert_eq!(t.covered(), 3);
+        assert!(!t.is_complete());
+        assert_eq!(t.completion_time(), None);
+        assert_eq!(t.uncovered(), vec![link(2, 1)]);
+        t.record(link(2, 1), 9);
+        assert!(t.is_complete());
+        assert_eq!(t.completion_time(), Some(9));
+    }
+
+    #[test]
+    fn first_coverage_wins() {
+        let net = line3();
+        let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
+        t.record(link(0, 1), 10);
+        t.record(link(0, 1), 2);
+        let times: std::collections::BTreeMap<Link, Option<u64>> = t.per_link().collect();
+        assert_eq!(times[&link(0, 1)], Some(10));
+    }
+
+    #[test]
+    fn unknown_link_ignored() {
+        let net = line3();
+        let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
+        t.record(link(0, 2), 1); // not neighbors
+        assert_eq!(t.covered(), 0);
+    }
+
+    #[test]
+    fn empty_network_is_trivially_complete_with_no_time() {
+        let net = NetworkBuilder::line(1)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let t: CoverageTracker<u64> = CoverageTracker::new(&net);
+        assert!(t.is_complete());
+        assert_eq!(t.completion_time(), None);
+    }
+}

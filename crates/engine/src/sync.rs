@@ -1,0 +1,619 @@
+//! The slot-synchronous simulation engine (Algorithms 1–3).
+//!
+//! Execution is divided into globally synchronized slots (paper §II). In
+//! each slot the engine asks every *active* node for an action (nodes
+//! before their start slot are quiet), resolves the medium with the
+//! paper's collision rules, delivers clear beacons, and tracks link
+//! coverage.
+
+use crate::config::SyncRunConfig;
+use crate::energy::{ActionCounts, EnergyModel};
+use crate::observer::CoverageTracker;
+use crate::protocol::SyncProtocol;
+use crate::table::NeighborTable;
+use mmhew_radio::{resolve_slot, Beacon, SlotAction, SlotOutcome};
+use mmhew_topology::{Link, Network, NodeId};
+use mmhew_util::{SeedTree, Xoshiro256StarStar};
+
+/// Result of a synchronous run.
+#[derive(Debug, Clone)]
+pub struct SyncOutcome {
+    /// True if every link was covered within the slot budget.
+    completed: bool,
+    /// Slot in which the last link was first covered (absolute slot index).
+    completion_slot: Option<u64>,
+    /// Total slots executed.
+    slots_executed: u64,
+    /// The latest start slot `T_s` (0 for identical starts).
+    latest_start: u64,
+    /// First-coverage slot per link (`None` = never covered).
+    link_coverage: Vec<(Link, Option<u64>)>,
+    /// Final neighbor table of every node.
+    tables: Vec<NeighborTable>,
+    /// Total clear deliveries.
+    deliveries: u64,
+    /// Total collisions observed (diagnostics).
+    collisions: u64,
+    /// Clear receptions lost to impairments.
+    impairment_losses: u64,
+    /// Per-node transceiver action counts (energy accounting).
+    action_counts: Vec<ActionCounts>,
+    /// True if every protocol reported local termination.
+    all_terminated: bool,
+    /// First slot (exclusive upper edge) at which all nodes had
+    /// terminated, if they did.
+    terminated_slot: Option<u64>,
+}
+
+impl SyncOutcome {
+    /// True if every link was covered within the slot budget.
+    pub fn completed(&self) -> bool {
+        self.completed
+    }
+
+    /// Absolute slot in which discovery completed.
+    pub fn completion_slot(&self) -> Option<u64> {
+        self.completion_slot
+    }
+
+    /// Slots from the latest start `T_s` to completion — the quantity
+    /// Theorems 1–3 bound. `None` if incomplete.
+    pub fn slots_to_complete(&self) -> Option<u64> {
+        self.completion_slot
+            .map(|s| s.saturating_sub(self.latest_start) + 1)
+    }
+
+    /// Total slots executed (equals the budget for incomplete runs).
+    pub fn slots_executed(&self) -> u64 {
+        self.slots_executed
+    }
+
+    /// The latest start slot `T_s`.
+    pub fn latest_start(&self) -> u64 {
+        self.latest_start
+    }
+
+    /// First-coverage slot per link.
+    pub fn link_coverage(&self) -> &[(Link, Option<u64>)] {
+        &self.link_coverage
+    }
+
+    /// Final neighbor table of node `u`.
+    pub fn table(&self, u: NodeId) -> &NeighborTable {
+        &self.tables[u.as_usize()]
+    }
+
+    /// Final neighbor tables, indexed by node.
+    pub fn tables(&self) -> &[NeighborTable] {
+        &self.tables
+    }
+
+    /// Total clear deliveries across the run.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Total collisions across the run (nodes themselves cannot see these).
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Clear receptions dropped by channel impairments.
+    pub fn impairment_losses(&self) -> u64 {
+        self.impairment_losses
+    }
+
+    /// Per-node transceiver action counts, for energy accounting.
+    pub fn action_counts(&self) -> &[ActionCounts] {
+        &self.action_counts
+    }
+
+    /// Total energy spent across the network under `model`.
+    pub fn total_energy(&self, model: &EnergyModel) -> f64 {
+        model.total_cost(&self.action_counts)
+    }
+
+    /// True if every protocol reported local termination.
+    pub fn all_terminated(&self) -> bool {
+        self.all_terminated
+    }
+
+    /// The slot count executed when the last node terminated.
+    pub fn terminated_slot(&self) -> Option<u64> {
+        self.terminated_slot
+    }
+}
+
+/// The slot-synchronous engine.
+///
+/// # Examples
+///
+/// Run a trivial two-node protocol to completion (a real algorithm from
+/// `mmhew-discovery` would normally be used):
+///
+/// ```
+/// use mmhew_engine::{SyncEngine, SyncProtocol, SyncRunConfig, NeighborTable};
+/// use mmhew_radio::{Beacon, SlotAction};
+/// use mmhew_spectrum::ChannelId;
+/// use mmhew_topology::NetworkBuilder;
+/// use mmhew_util::{SeedTree, Xoshiro256StarStar};
+///
+/// struct Alternator { even_tx: bool, table: NeighborTable }
+/// impl SyncProtocol for Alternator {
+///     fn on_slot(&mut self, slot: u64, _rng: &mut Xoshiro256StarStar) -> SlotAction {
+///         let c = ChannelId::new(0);
+///         if slot.is_multiple_of(2) == self.even_tx {
+///             SlotAction::Transmit { channel: c }
+///         } else {
+///             SlotAction::Listen { channel: c }
+///         }
+///     }
+///     fn on_beacon(&mut self, b: &Beacon, _c: ChannelId) {
+///         self.table.record(b.sender(), b.available().clone());
+///     }
+///     fn table(&self) -> &NeighborTable { &self.table }
+/// }
+///
+/// let net = NetworkBuilder::line(2).universe(1).build(SeedTree::new(0))?;
+/// let engine = SyncEngine::new(
+///     &net,
+///     vec![
+///         Box::new(Alternator { even_tx: true, table: NeighborTable::new() }),
+///         Box::new(Alternator { even_tx: false, table: NeighborTable::new() }),
+///     ],
+///     vec![0, 0],
+///     SeedTree::new(1),
+/// );
+/// let outcome = engine.run(SyncRunConfig::until_complete(10));
+/// assert!(outcome.completed());
+/// assert_eq!(outcome.completion_slot(), Some(1));
+/// # Ok::<(), mmhew_topology::BuildError>(())
+/// ```
+pub struct SyncEngine<'n> {
+    network: &'n Network,
+    protocols: Vec<Box<dyn SyncProtocol>>,
+    start_slots: Vec<u64>,
+    node_rngs: Vec<Xoshiro256StarStar>,
+    medium_rng: Xoshiro256StarStar,
+    tracker: CoverageTracker<u64>,
+    slot: u64,
+    deliveries: u64,
+    collisions: u64,
+    impairment_losses: u64,
+    action_counts: Vec<ActionCounts>,
+}
+
+impl<'n> SyncEngine<'n> {
+    /// Creates an engine over `network` with one protocol instance and one
+    /// start slot per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protocols` or `start_slots` length differs from the node
+    /// count.
+    pub fn new(
+        network: &'n Network,
+        protocols: Vec<Box<dyn SyncProtocol>>,
+        start_slots: Vec<u64>,
+        seed: SeedTree,
+    ) -> Self {
+        let n = network.node_count();
+        assert_eq!(protocols.len(), n, "one protocol per node required");
+        assert_eq!(start_slots.len(), n, "one start slot per node required");
+        let node_rngs = (0..n)
+            .map(|i| seed.branch("node").index(i as u64).rng())
+            .collect();
+        Self {
+            network,
+            protocols,
+            start_slots,
+            node_rngs,
+            medium_rng: seed.branch("medium").rng(),
+            tracker: CoverageTracker::new(network),
+            slot: 0,
+            deliveries: 0,
+            collisions: 0,
+            impairment_losses: 0,
+            action_counts: vec![ActionCounts::default(); n],
+        }
+    }
+
+    /// The current absolute slot index (slots executed so far).
+    pub fn current_slot(&self) -> u64 {
+        self.slot
+    }
+
+    /// The link-coverage tracker (inspection between steps).
+    pub fn tracker(&self) -> &CoverageTracker<u64> {
+        &self.tracker
+    }
+
+    /// Executes one slot and returns what happened on the medium.
+    pub fn step(&mut self, config: &SyncRunConfig) -> SlotOutcome {
+        self.step_traced(config).1
+    }
+
+    /// Executes one slot, returning every node's action alongside the
+    /// medium outcome — the raw material for timeline visualizations and
+    /// debugging.
+    pub fn step_traced(&mut self, config: &SyncRunConfig) -> (Vec<SlotAction>, SlotOutcome) {
+        let actions: Vec<SlotAction> = (0..self.network.node_count())
+            .map(|i| {
+                if self.slot < self.start_slots[i] {
+                    SlotAction::Quiet
+                } else {
+                    self.protocols[i]
+                        .on_slot(self.slot - self.start_slots[i], &mut self.node_rngs[i])
+                }
+            })
+            .collect();
+        for (i, action) in actions.iter().enumerate() {
+            match action {
+                SlotAction::Transmit { .. } => self.action_counts[i].transmit += 1,
+                SlotAction::Listen { .. } => self.action_counts[i].listen += 1,
+                SlotAction::Quiet => self.action_counts[i].quiet += 1,
+            }
+        }
+        let outcome = resolve_slot(
+            self.network,
+            &actions,
+            &config.impairments,
+            &mut self.medium_rng,
+        );
+        for d in &outcome.deliveries {
+            let beacon = Beacon::new(d.from, self.network.available(d.from).clone());
+            self.protocols[d.to.as_usize()].on_beacon(&beacon, d.channel);
+            self.tracker.record(
+                Link {
+                    from: d.from,
+                    to: d.to,
+                },
+                self.slot,
+            );
+        }
+        self.deliveries += outcome.deliveries.len() as u64;
+        self.collisions += outcome.collisions.len() as u64;
+        self.impairment_losses += outcome.impairment_losses as u64;
+        self.slot += 1;
+        (actions, outcome)
+    }
+
+    /// Runs until completion or the slot budget, consuming the engine.
+    pub fn run(mut self, config: SyncRunConfig) -> SyncOutcome {
+        let mut terminated_slot = None;
+        while self.slot < config.max_slots {
+            self.step(&config);
+            if terminated_slot.is_none() && self.protocols.iter().all(|p| p.is_terminated()) {
+                terminated_slot = Some(self.slot);
+                if config.stop_when_all_terminated {
+                    break;
+                }
+            }
+            if config.stop_when_complete && self.tracker.is_complete() {
+                break;
+            }
+        }
+        let latest_start = self.start_slots.iter().copied().max().unwrap_or(0);
+        SyncOutcome {
+            completed: self.tracker.is_complete(),
+            completion_slot: self.tracker.completion_time(),
+            slots_executed: self.slot,
+            latest_start,
+            link_coverage: self.tracker.per_link().collect(),
+            tables: self
+                .protocols
+                .iter()
+                .map(|p| p.table().clone())
+                .collect(),
+            deliveries: self.deliveries,
+            collisions: self.collisions,
+            impairment_losses: self.impairment_losses,
+            action_counts: self.action_counts,
+            all_terminated: terminated_slot.is_some(),
+            terminated_slot,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_radio::Impairments;
+    use mmhew_spectrum::{ChannelId, ChannelSet};
+    use mmhew_topology::NetworkBuilder;
+
+    /// Transmits on even (or odd) active slots on a fixed channel.
+    struct Alternator {
+        even_tx: bool,
+        channel: ChannelId,
+        own: ChannelSet,
+        table: NeighborTable,
+    }
+
+    impl Alternator {
+        fn boxed(even_tx: bool, channel: u16, own: ChannelSet) -> Box<dyn SyncProtocol> {
+            Box::new(Self {
+                even_tx,
+                channel: ChannelId::new(channel),
+                own,
+                table: NeighborTable::new(),
+            })
+        }
+    }
+
+    impl SyncProtocol for Alternator {
+        fn on_slot(&mut self, slot: u64, _rng: &mut Xoshiro256StarStar) -> SlotAction {
+            if slot.is_multiple_of(2) == self.even_tx {
+                SlotAction::Transmit { channel: self.channel }
+            } else {
+                SlotAction::Listen { channel: self.channel }
+            }
+        }
+
+        fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
+            self.table
+                .record(beacon.sender(), beacon.available().intersection(&self.own));
+        }
+
+        fn table(&self) -> &NeighborTable {
+            &self.table
+        }
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn two_nodes_complete_in_two_slots() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        );
+        let out = engine.run(SyncRunConfig::until_complete(100));
+        assert!(out.completed());
+        // Slot 0: node 0 tx, node 1 rx -> link (0,1). Slot 1: reverse.
+        assert_eq!(out.completion_slot(), Some(1));
+        assert_eq!(out.slots_to_complete(), Some(2));
+        assert_eq!(out.deliveries(), 2);
+        assert_eq!(out.collisions(), 0);
+        // Tables contain the right common sets.
+        assert_eq!(
+            out.table(n(0)).to_sorted_vec(),
+            vec![(n(1), ChannelSet::full(1))]
+        );
+        assert_eq!(
+            out.table(n(1)).to_sorted_vec(),
+            vec![(n(0), ChannelSet::full(1))]
+        );
+    }
+
+    #[test]
+    fn start_slots_delay_participation() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // Node 1 starts at slot 10; before that, node 0's transmissions go
+        // unheard.
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 10],
+            SeedTree::new(1),
+        );
+        let out = engine.run(SyncRunConfig::until_complete(100));
+        assert!(out.completed());
+        // Node 1's active slot 0 is absolute slot 10 (listening); node 0 is
+        // transmitting at absolute slot 10 (even): link (0,1) covered at 10.
+        let cov: std::collections::BTreeMap<Link, Option<u64>> =
+            out.link_coverage().iter().copied().collect();
+        assert_eq!(cov[&Link { from: n(0), to: n(1) }], Some(10));
+        assert_eq!(cov[&Link { from: n(1), to: n(0) }], Some(11));
+        assert_eq!(out.latest_start(), 10);
+        assert_eq!(out.slots_to_complete(), Some(2));
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_incomplete() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // Both transmit on even slots, both listen on odd: nobody ever
+        // hears anything.
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        );
+        let out = engine.run(SyncRunConfig::until_complete(50));
+        assert!(!out.completed());
+        assert_eq!(out.completion_slot(), None);
+        assert_eq!(out.slots_to_complete(), None);
+        assert_eq!(out.slots_executed(), 50);
+        assert!(out.link_coverage().iter().all(|(_, t)| t.is_none()));
+    }
+
+    #[test]
+    fn fixed_budget_runs_past_completion() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        );
+        let out = engine.run(SyncRunConfig::fixed(20));
+        assert!(out.completed());
+        assert_eq!(out.slots_executed(), 20);
+        assert!(out.deliveries() > 2, "keeps delivering after completion");
+    }
+
+    #[test]
+    fn collisions_are_counted() {
+        // Star: both leaves transmit every even slot; hub listens.
+        let net = NetworkBuilder::star(3)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(false, 0, ChannelSet::full(1)), // hub listens even
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0, 0],
+            SeedTree::new(1),
+        );
+        let out = engine.run(SyncRunConfig::fixed(2));
+        assert!(out.collisions() >= 1);
+        // The hub never hears the simultaneous leaves.
+        assert!(out.table(n(0)).is_empty());
+    }
+
+    #[test]
+    fn impairments_slow_discovery() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(2),
+        );
+        let out = engine.run(
+            SyncRunConfig::until_complete(10_000)
+                .with_impairments(Impairments::with_delivery_probability(0.05)),
+        );
+        assert!(out.completed());
+        assert!(
+            out.completion_slot().expect("complete") > 1,
+            "lossy channel should not complete in the minimum 2 slots"
+        );
+        assert!(out.impairment_losses() > 0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let net = NetworkBuilder::ring(5)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mk = |seed: u64| {
+            let engine = SyncEngine::new(
+                &net,
+                (0..5)
+                    .map(|i| Alternator::boxed(i % 2 == 0, 0, ChannelSet::full(2)))
+                    .collect(),
+                vec![0; 5],
+                SeedTree::new(seed),
+            );
+            engine.run(SyncRunConfig::fixed(100))
+        };
+        let a = mk(7);
+        let b = mk(7);
+        assert_eq!(a.deliveries(), b.deliveries());
+        assert_eq!(a.collisions(), b.collisions());
+        assert_eq!(a.link_coverage(), b.link_coverage());
+    }
+
+    #[test]
+    fn step_traced_exposes_actions() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mut engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        );
+        let config = SyncRunConfig::fixed(10);
+        let (actions, outcome) = engine.step_traced(&config);
+        assert_eq!(actions.len(), 2);
+        assert!(actions[0].is_transmit());
+        assert!(actions[1].is_listen());
+        assert_eq!(outcome.deliveries.len(), 1);
+        assert_eq!(engine.current_slot(), 1);
+    }
+
+    #[test]
+    fn action_counts_account_every_slot() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 6],
+            SeedTree::new(1),
+        );
+        let out = engine.run(SyncRunConfig::fixed(20));
+        let counts = out.action_counts();
+        // Every node accounts for all 20 slots.
+        assert!(counts.iter().all(|c| c.total() == 20));
+        // Node 1 was quiet for its 6 pre-start slots.
+        assert_eq!(counts[1].quiet, 6);
+        assert_eq!(counts[0].quiet, 0);
+        // The alternator splits active time evenly.
+        assert_eq!(counts[0].transmit, 10);
+        assert_eq!(counts[0].listen, 10);
+        assert_eq!(counts[1].transmit + counts[1].listen, 14);
+        // Energy is positive and dominated by active slots.
+        let energy = out.total_energy(&crate::energy::EnergyModel::default());
+        assert!(energy > 0.0);
+        let all_quiet = crate::energy::EnergyModel::default().cost(&ActionCounts {
+            transmit: 0,
+            listen: 0,
+            quiet: 20,
+        }) * 2.0;
+        assert!(energy > all_quiet);
+    }
+
+    #[test]
+    #[should_panic(expected = "one protocol per node")]
+    fn wrong_protocol_count_panics() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let _ = SyncEngine::new(&net, vec![], vec![0, 0], SeedTree::new(0));
+    }
+}

@@ -1,0 +1,133 @@
+//! The neighbor table a node accumulates during discovery.
+
+use mmhew_spectrum::ChannelSet;
+use mmhew_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A node's discovery output: each neighbor heard so far together with the
+/// common channel set `A(v) ∩ A(u)` computed from its beacon (the
+/// `⟨v, A ∩ A(u)⟩` entries of Algorithms 1/3/4).
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_engine::NeighborTable;
+/// use mmhew_topology::NodeId;
+///
+/// let mut t = NeighborTable::new();
+/// let first = t.record(NodeId::new(2), [0u16, 3].into_iter().collect());
+/// assert!(first);
+/// // Hearing the same neighbor again is idempotent.
+/// let again = t.record(NodeId::new(2), [0u16, 3].into_iter().collect());
+/// assert!(!again);
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NeighborTable {
+    entries: BTreeMap<NodeId, ChannelSet>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a discovered neighbor with its common channel set. Returns
+    /// true if this neighbor was new. Re-discoveries union the channel
+    /// sets (they are equal in the base model, but the diverse-propagation
+    /// extension can deliver subsets).
+    pub fn record(&mut self, neighbor: NodeId, common: ChannelSet) -> bool {
+        match self.entries.get_mut(&neighbor) {
+            Some(existing) => {
+                *existing = existing.union(&common);
+                false
+            }
+            None => {
+                self.entries.insert(neighbor, common);
+                true
+            }
+        }
+    }
+
+    /// The common channel set recorded for a neighbor, if discovered.
+    pub fn get(&self, neighbor: NodeId) -> Option<&ChannelSet> {
+        self.entries.get(&neighbor)
+    }
+
+    /// True if `neighbor` has been discovered.
+    pub fn contains(&self, neighbor: NodeId) -> bool {
+        self.entries.contains_key(&neighbor)
+    }
+
+    /// Number of discovered neighbors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing has been discovered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(neighbor, common channels)` in neighbor order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &ChannelSet)> {
+        self.entries.iter().map(|(&v, s)| (v, s))
+    }
+
+    /// The table as a sorted vector (convenient for comparison against
+    /// [`mmhew_topology::Network::expected_discovery`]).
+    pub fn to_sorted_vec(&self) -> Vec<(NodeId, ChannelSet)> {
+        self.entries.iter().map(|(&v, s)| (v, s.clone())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(xs: &[u16]) -> ChannelSet {
+        xs.iter().copied().collect()
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn record_and_query() {
+        let mut t = NeighborTable::new();
+        assert!(t.is_empty());
+        assert!(t.record(n(1), cs(&[0])));
+        assert!(t.record(n(2), cs(&[1, 2])));
+        assert_eq!(t.len(), 2);
+        assert!(t.contains(n(1)));
+        assert!(!t.contains(n(3)));
+        assert_eq!(t.get(n(2)), Some(&cs(&[1, 2])));
+        assert_eq!(t.get(n(3)), None);
+    }
+
+    #[test]
+    fn rediscovery_unions() {
+        let mut t = NeighborTable::new();
+        t.record(n(1), cs(&[0]));
+        assert!(!t.record(n(1), cs(&[1])));
+        assert_eq!(t.get(n(1)), Some(&cs(&[0, 1])));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn sorted_output() {
+        let mut t = NeighborTable::new();
+        t.record(n(5), cs(&[0]));
+        t.record(n(1), cs(&[1]));
+        t.record(n(3), cs(&[2]));
+        let v = t.to_sorted_vec();
+        assert_eq!(
+            v.iter().map(|(id, _)| id.index()).collect::<Vec<_>>(),
+            vec![1, 3, 5]
+        );
+        assert_eq!(t.iter().count(), 3);
+    }
+}

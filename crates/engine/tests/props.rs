@@ -1,0 +1,223 @@
+//! Property-based tests of the engines with arbitrary (random-behaviour)
+//! protocols: accounting and causality invariants must hold for *any*
+//! protocol, not just the paper's algorithms.
+
+use mmhew_engine::{
+    AsyncEngine, AsyncProtocol, AsyncRunConfig, AsyncStartSchedule, ClockConfig,
+    NeighborTable, StartSchedule, SyncEngine, SyncProtocol, SyncRunConfig,
+};
+use mmhew_radio::{Beacon, FrameAction, SlotAction};
+use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
+use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+use mmhew_topology::{NetworkBuilder, NodeId};
+use mmhew_util::{SeedTree, Xoshiro256StarStar};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A protocol that acts uniformly at random each slot/frame — the most
+/// chaotic legal behaviour.
+struct Chaotic {
+    available: ChannelSet,
+    table: NeighborTable,
+}
+
+impl Chaotic {
+    fn boxed_sync(available: ChannelSet) -> Box<dyn SyncProtocol> {
+        Box::new(Self {
+            available,
+            table: NeighborTable::new(),
+        })
+    }
+
+    fn boxed_async(available: ChannelSet) -> Box<dyn AsyncProtocol> {
+        Box::new(Self {
+            available,
+            table: NeighborTable::new(),
+        })
+    }
+
+    fn pick(&self, rng: &mut Xoshiro256StarStar) -> ChannelId {
+        self.available.choose_uniform(rng).expect("non-empty")
+    }
+}
+
+impl SyncProtocol for Chaotic {
+    fn on_slot(&mut self, _slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
+        let channel = self.pick(rng);
+        match rng.gen_range(0..3) {
+            0 => SlotAction::Transmit { channel },
+            1 => SlotAction::Listen { channel },
+            _ => SlotAction::Quiet,
+        }
+    }
+
+    fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
+        self.table
+            .record(beacon.sender(), beacon.available().intersection(&self.available));
+    }
+
+    fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+}
+
+impl AsyncProtocol for Chaotic {
+    fn on_frame(&mut self, _frame: u64, rng: &mut Xoshiro256StarStar) -> FrameAction {
+        let channel = self.pick(rng);
+        if rng.gen_bool(0.5) {
+            FrameAction::Transmit { channel }
+        } else {
+            FrameAction::Listen { channel }
+        }
+    }
+
+    fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
+        self.table
+            .record(beacon.sender(), beacon.available().intersection(&self.available));
+    }
+
+    fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Synchronous accounting: every node accounts every slot; deliveries
+    /// never exceed listen slots; coverage times lie inside the run.
+    #[test]
+    fn sync_accounting_invariants(
+        n in 2usize..10,
+        universe in 1u16..5,
+        p in 0.3f64..1.0,
+        budget in 1u64..400,
+        window in 0u64..50,
+        seed in 0u64..u64::MAX,
+    ) {
+        let net = NetworkBuilder::erdos_renyi(n, p)
+            .universe(universe)
+            .build(SeedTree::new(seed))
+            .expect("valid");
+        let protocols = (0..n)
+            .map(|_| Chaotic::boxed_sync(ChannelSet::full(universe)))
+            .collect();
+        let starts = StartSchedule::Staggered { window }
+            .materialize(n, SeedTree::new(seed ^ 1));
+        let engine = SyncEngine::new(&net, protocols, starts.clone(), SeedTree::new(seed ^ 2));
+        let out = engine.run(SyncRunConfig::fixed(budget));
+
+        prop_assert_eq!(out.slots_executed(), budget);
+        let mut total_listen = 0;
+        for (i, c) in out.action_counts().iter().enumerate() {
+            prop_assert_eq!(c.total(), budget, "node {} accounts all slots", i);
+            // Pre-start slots are quiet.
+            prop_assert!(c.quiet >= starts[i].min(budget));
+            total_listen += c.listen;
+        }
+        prop_assert!(out.deliveries() <= total_listen);
+        for (_, t) in out.link_coverage() {
+            if let Some(t) = t {
+                prop_assert!(*t < budget);
+            }
+        }
+        // Tables only contain true neighbors with subset channel sets.
+        for (i, table) in out.tables().iter().enumerate() {
+            let u = NodeId::new(i as u32);
+            for (v, common) in table.iter() {
+                prop_assert!(net.topology().in_neighbors(u).contains(&v));
+                let truth = net.available(v).intersection(net.available(u));
+                prop_assert!(common.is_subset(&truth));
+            }
+        }
+    }
+
+    /// Asynchronous accounting: frame budgets respected; coverage at or
+    /// before completion time; energy counts cover executed frames.
+    #[test]
+    fn async_accounting_invariants(
+        n in 2usize..8,
+        universe in 1u16..4,
+        max_frames in 1u64..200,
+        seed in 0u64..u64::MAX,
+    ) {
+        let net = NetworkBuilder::complete(n)
+            .universe(universe)
+            .availability(AvailabilityModel::Full)
+            .build(SeedTree::new(seed))
+            .expect("valid");
+        let protocols = (0..n)
+            .map(|_| Chaotic::boxed_async(ChannelSet::full(universe)))
+            .collect();
+        let config = AsyncRunConfig::until_complete(max_frames)
+            .with_frame_len(LocalDuration::from_nanos(3_000))
+            .with_clocks(ClockConfig {
+                drift: DriftModel::RandomPiecewise {
+                    bound: DriftBound::PAPER,
+                    segment: RealDuration::from_nanos(4_500),
+                },
+                offset_window: LocalDuration::from_nanos(9_000),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_nanos(6_000),
+            });
+        let engine = AsyncEngine::new(&net, protocols, config, SeedTree::new(seed ^ 3));
+        let out = engine.run();
+
+        for (i, &frames) in out.frames_executed().iter().enumerate() {
+            prop_assert!(frames <= max_frames, "node {i} overran its budget");
+            let c = out.action_counts()[i];
+            // Actions are counted at frame *start*; stopping on completion
+            // can leave at most one started-but-unfinished frame.
+            let active = c.transmit + c.listen;
+            prop_assert!(
+                active == frames || active == frames + 1,
+                "node {i}: {active} active frames vs {frames} executed"
+            );
+        }
+        if let Some(tc) = out.completion_time() {
+            for (_, t) in out.link_coverage() {
+                if let Some(t) = t {
+                    prop_assert!(*t <= tc);
+                }
+            }
+            prop_assert!(out.completed());
+        }
+        // Soundness of tables.
+        for (i, table) in out.tables().iter().enumerate() {
+            let u = NodeId::new(i as u32);
+            for (v, common) in table.iter() {
+                prop_assert!(net.topology().in_neighbors(u).contains(&v));
+                let truth = net.available(v).intersection(net.available(u));
+                prop_assert!(common.is_subset(&truth));
+            }
+        }
+    }
+
+    /// Engine determinism with chaotic protocols: identical seeds replay
+    /// identical traces.
+    #[test]
+    fn engines_replay_exactly(
+        n in 2usize..8,
+        budget in 1u64..200,
+        seed in 0u64..u64::MAX,
+    ) {
+        let net = NetworkBuilder::ring(n.max(3))
+            .universe(2)
+            .build(SeedTree::new(seed))
+            .expect("valid");
+        let run = || {
+            let protocols = (0..n.max(3))
+                .map(|_| Chaotic::boxed_sync(ChannelSet::full(2)))
+                .collect();
+            SyncEngine::new(&net, protocols, vec![0; n.max(3)], SeedTree::new(seed ^ 9))
+                .run(SyncRunConfig::fixed(budget))
+        };
+        let a = run();
+        let b = run();
+        prop_assert_eq!(a.deliveries(), b.deliveries());
+        prop_assert_eq!(a.collisions(), b.collisions());
+        prop_assert_eq!(a.link_coverage(), b.link_coverage());
+        prop_assert_eq!(a.action_counts(), b.action_counts());
+    }
+}

@@ -1,0 +1,43 @@
+//! Runs the entire experiment suite in order, printing every report.
+//! Flags: --full (bigger sweeps), `--seed <n>`, --markdown (emit markdown
+//! sections instead of text, for pasting into EXPERIMENTS.md),
+//! `--csv-dir <dir>` (additionally write every table as `<dir>/<id>.csv`).
+use mmhew_harness::registry;
+use mmhew_harness::Effort;
+
+fn main() {
+    let effort = Effort::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_706);
+    let markdown = args.iter().any(|a| a == "--markdown");
+    let csv_dir = args
+        .iter()
+        .position(|a| a == "--csv-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    if let Some(dir) = &csv_dir {
+        std::fs::create_dir_all(dir).expect("failed to create csv dir");
+    }
+    let start = std::time::Instant::now();
+    for (id, f) in registry::all() {
+        let t0 = std::time::Instant::now();
+        let report = f(effort, seed);
+        if markdown {
+            print!("{}", report.render_markdown());
+        } else {
+            report.print();
+        }
+        if let Some(dir) = &csv_dir {
+            let path = dir.join(format!("{}.csv", id.to_lowercase().replace('-', "_")));
+            report.write_csv(&path).expect("failed to write CSV");
+        }
+        eprintln!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        println!();
+    }
+    eprintln!("suite finished in {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,205 @@
+//! General-purpose simulation driver: build a network from flags, run a
+//! discovery algorithm, print parameters, theorem bounds and results.
+//!
+//! ```text
+//! cargo run --release -p mmhew-harness --bin simulate -- \
+//!     --topology grid --width 4 --height 4 \
+//!     --universe 12 --availability subset --set-size 6 \
+//!     --algorithm alg1 --reps 5 --seed 7
+//!
+//! cargo run --release -p mmhew-harness --bin simulate -- \
+//!     --topology disk --nodes 30 --side 12 --radius 4 \
+//!     --algorithm alg4 --drift-den 7 --reps 3
+//! ```
+//!
+//! Flags (defaults in parentheses):
+//! `--topology line|ring|grid|star|complete|disk|er (grid)`,
+//! `--nodes (16)`, `--width/--height (4)`, `--side (10)`, `--radius (3)`,
+//! `--edge-prob (0.3)`, `--universe (8)`,
+//! `--availability full|subset|overlap|spatial (subset)`, `--set-size (4)`,
+//! `--shared (2)`, `--private (2)`, `--primaries (5)`, `--pu-radius (4)`,
+//! `--pu-channels (3)`,
+//! `--algorithm alg1|alg2|alg3|alg4|baseline (alg1)`, `--delta-est (Δ)`,
+//! `--epsilon (0.01)`, `--start-window (0)`, `--frame-len (3000)`,
+//! `--drift-den (0 = ideal; 7 means δ=1/7)`, `--reps (5)`, `--seed (1)`,
+//! `--budget (4000000)`.
+
+use mmhew_discovery::{
+    run_async_discovery, run_sync_discovery, tables_match_ground_truth, AsyncAlgorithm,
+    AsyncParams, Bounds, SyncAlgorithm, SyncParams,
+};
+use mmhew_engine::{
+    AsyncRunConfig, AsyncStartSchedule, ClockConfig, StartSchedule, SyncRunConfig,
+};
+use mmhew_harness::cli::Args;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+use mmhew_topology::{Network, NetworkBuilder};
+use mmhew_util::{SeedTree, Summary};
+
+fn build_network(args: &Args, seed: SeedTree) -> Result<Network, Box<dyn std::error::Error>> {
+    let nodes: usize = args.get_or("nodes", 16)?;
+    let builder = match args.one_of(
+        "topology",
+        &["grid", "line", "ring", "star", "complete", "disk", "er"],
+    )? {
+        "line" => NetworkBuilder::line(nodes),
+        "ring" => NetworkBuilder::ring(nodes),
+        "grid" => NetworkBuilder::grid(args.get_or("width", 4)?, args.get_or("height", 4)?),
+        "star" => NetworkBuilder::star(nodes),
+        "complete" => NetworkBuilder::complete(nodes),
+        "disk" => NetworkBuilder::unit_disk(
+            nodes,
+            args.get_or("side", 10.0)?,
+            args.get_or("radius", 3.0)?,
+        ),
+        "er" => NetworkBuilder::erdos_renyi(nodes, args.get_or("edge-prob", 0.3)?),
+        _ => unreachable!("one_of validated"),
+    };
+    let universe: u16 = args.get_or("universe", 8)?;
+    let availability = match args.one_of(
+        "availability",
+        &["subset", "full", "overlap", "spatial"],
+    )? {
+        "full" => AvailabilityModel::Full,
+        "subset" => AvailabilityModel::UniformSubset {
+            size: args.get_or("set-size", 4)?,
+        },
+        "overlap" => AvailabilityModel::PairwiseOverlap {
+            shared: args.get_or("shared", 2)?,
+            private: args.get_or("private", 2)?,
+        },
+        "spatial" => AvailabilityModel::SpatialPrimaryUsers {
+            primaries: args.get_or("primaries", 5)?,
+            radius: args.get_or("pu-radius", 4.0)?,
+            channels_per_primary: args.get_or("pu-channels", 3)?,
+        },
+        _ => unreachable!("one_of validated"),
+    };
+    Ok(builder
+        .universe(universe)
+        .availability(availability)
+        .build(seed)?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse()?;
+    let seed = SeedTree::new(args.get_or("seed", 1)?);
+    let net = build_network(&args, seed.branch("net"))?;
+    let delta = net.max_degree().max(1) as u64;
+    let delta_est: u64 = args.get_or("delta-est", delta)?;
+    let epsilon: f64 = args.get_or("epsilon", 0.01)?;
+    let reps: u64 = args.get_or("reps", 5)?;
+    let budget: u64 = args.get_or("budget", 4_000_000)?;
+    let bounds = Bounds::from_network(&net, delta_est, epsilon);
+
+    println!(
+        "network: N={} |U|={} links={}  S={} Δ={} ρ={:.3}  diameter={}",
+        net.node_count(),
+        net.universe_size(),
+        net.links().len(),
+        net.s_max(),
+        net.max_degree(),
+        net.rho(),
+        net.topology()
+            .diameter()
+            .map_or("∞ (disconnected)".to_string(), |d| d.to_string()),
+    );
+
+    let algorithm = args.one_of("algorithm", &["alg1", "alg2", "alg3", "alg4", "baseline"])?;
+    let mut completions: Vec<f64> = Vec::new();
+    let mut ok = true;
+
+    if algorithm == "alg4" {
+        println!(
+            "algorithm: Algorithm 4 (async), Δ_est={delta_est}; Thm9 bound = {:.0} frames",
+            bounds.theorem9_frames()
+        );
+        let drift_den: u64 = args.get_or("drift-den", 0)?;
+        let frame_len: u64 = args.get_or("frame-len", 3_000)?;
+        let drift = if drift_den == 0 {
+            DriftModel::Ideal
+        } else {
+            DriftModel::RandomPiecewise {
+                bound: DriftBound::new(1, drift_den),
+                segment: RealDuration::from_nanos(frame_len * 5),
+            }
+        };
+        let config = AsyncRunConfig::until_complete(budget)
+            .with_frame_len(LocalDuration::from_nanos(frame_len))
+            .with_clocks(ClockConfig {
+                drift,
+                offset_window: LocalDuration::from_nanos(frame_len * 10),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_nanos(args.get_or("start-window", 0)?),
+            });
+        for rep in 0..reps {
+            let out = run_async_discovery(
+                &net,
+                AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
+                config.clone(),
+                seed.branch("run").index(rep),
+            )?;
+            match out.min_full_frames_at_completion() {
+                Some(frames) => {
+                    println!("  rep {rep}: completed in {frames} frames after T_s");
+                    completions.push(frames as f64);
+                    ok &= tables_match_ground_truth(&net, out.tables());
+                }
+                None => {
+                    println!("  rep {rep}: DID NOT COMPLETE within {budget} frames");
+                    ok = false;
+                }
+            }
+        }
+    } else {
+        let alg = match algorithm {
+            "alg1" => SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
+            "alg2" => SyncAlgorithm::Adaptive,
+            "alg3" => SyncAlgorithm::Uniform(SyncParams::new(delta_est)?),
+            "baseline" => SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            _ => unreachable!("one_of validated"),
+        };
+        println!(
+            "algorithm: {algorithm}, Δ_est={delta_est}; Thm1 bound = {:.0} slots, Thm3 bound = {:.0} slots",
+            bounds.theorem1_slots(),
+            bounds.theorem3_slots()
+        );
+        let window: u64 = args.get_or("start-window", 0)?;
+        let starts = if window == 0 {
+            StartSchedule::Identical
+        } else {
+            StartSchedule::Staggered { window }
+        };
+        for rep in 0..reps {
+            let out = run_sync_discovery(
+                &net,
+                alg,
+                starts.clone(),
+                SyncRunConfig::until_complete(budget),
+                seed.branch("run").index(rep),
+            )?;
+            match out.slots_to_complete() {
+                Some(slots) => {
+                    println!("  rep {rep}: completed in {slots} slots after T_s");
+                    completions.push(slots as f64);
+                    ok &= tables_match_ground_truth(&net, out.tables());
+                }
+                None => {
+                    println!("  rep {rep}: DID NOT COMPLETE within {budget} slots");
+                    ok = false;
+                }
+            }
+        }
+    }
+
+    if !completions.is_empty() {
+        println!("summary: {}", Summary::from_samples(&completions));
+    }
+    println!(
+        "ground truth: {}",
+        if ok { "all completed runs exact ✓" } else { "MISMATCH OR INCOMPLETE ✗" }
+    );
+    Ok(())
+}

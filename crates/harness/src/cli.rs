@@ -1,0 +1,220 @@
+//! Minimal command-line flag parsing for the harness binaries.
+//!
+//! Deliberately tiny (no external dependency): `--key value` pairs and
+//! boolean `--flag`s, with typed accessors and helpful errors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+
+/// Parsed `--key value` / `--flag` arguments.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_harness::cli::Args;
+///
+/// let args = Args::parse_from(["--nodes", "16", "--verbose"].iter().map(|s| s.to_string()))?;
+/// assert_eq!(args.get_or("nodes", 4usize)?, 16);
+/// assert!(args.flag("verbose"));
+/// assert_eq!(args.get_or("missing", 7u64)?, 7);
+/// # Ok::<(), mmhew_harness::cli::CliError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Argument parsing/lookup errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// An argument did not start with `--`.
+    NotAFlag(String),
+    /// A value failed to parse as the requested type.
+    BadValue {
+        /// The flag name.
+        key: String,
+        /// The raw value.
+        value: String,
+    },
+    /// An enum-like flag had an unknown variant.
+    UnknownVariant {
+        /// The flag name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// Allowed values.
+        allowed: &'static [&'static str],
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::NotAFlag(a) => write!(f, "expected --flag, got {a:?}"),
+            CliError::BadValue { key, value } => {
+                write!(f, "--{key}: cannot parse {value:?}")
+            }
+            CliError::UnknownVariant { key, value, allowed } => {
+                write!(f, "--{key}: unknown value {value:?} (allowed: {allowed:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl Args {
+    /// Parses from the process arguments (skipping the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::NotAFlag`] for positional arguments.
+    pub fn parse() -> Result<Self, CliError> {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator.
+    ///
+    /// A token starting with `--` followed by a token not starting with
+    /// `--` is a key/value pair; a `--token` followed by another flag (or
+    /// nothing) is a boolean flag.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::NotAFlag`] for positional arguments.
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Result<Self, CliError> {
+        let tokens: Vec<String> = args.into_iter().collect();
+        let mut out = Args::default();
+        let mut i = 0;
+        while i < tokens.len() {
+            let tok = &tokens[i];
+            let Some(key) = tok.strip_prefix("--") else {
+                return Err(CliError::NotAFlag(tok.clone()));
+            };
+            match tokens.get(i + 1) {
+                Some(v) if !v.starts_with("--") => {
+                    out.values.insert(key.to_string(), v.clone());
+                    i += 2;
+                }
+                _ => {
+                    out.flags.push(key.to_string());
+                    i += 1;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// True if the boolean flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// The raw value of a key, if present.
+    pub fn raw(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// Typed value with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparseable.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::BadValue {
+                key: name.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// An enum-like value restricted to `allowed` (returns the matched
+    /// allowed entry), defaulting to the first entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::UnknownVariant`] for anything else.
+    pub fn one_of(
+        &self,
+        name: &str,
+        allowed: &'static [&'static str],
+    ) -> Result<&'static str, CliError> {
+        match self.values.get(name) {
+            None => Ok(allowed[0]),
+            Some(v) => allowed
+                .iter()
+                .find(|a| a.eq_ignore_ascii_case(v))
+                .copied()
+                .ok_or_else(|| CliError::UnknownVariant {
+                    key: name.to_string(),
+                    value: v.clone(),
+                    allowed,
+                }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Args {
+        Args::parse_from(args.iter().map(|s| s.to_string())).expect("parse")
+    }
+
+    #[test]
+    fn key_values_and_flags() {
+        let a = parse(&["--n", "12", "--fast", "--eps", "0.5"]);
+        assert_eq!(a.get_or("n", 0usize).expect("n"), 12);
+        assert_eq!(a.get_or("eps", 0.0f64).expect("eps"), 0.5);
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+        assert_eq!(a.raw("n"), Some("12"));
+        assert_eq!(a.raw("zzz"), None);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.get_or("n", 42usize).expect("default"), 42);
+        assert_eq!(a.one_of("algo", &["alg1", "alg2"]).expect("default"), "alg1");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        let a = parse(&["--n", "abc", "--algo", "bogus"]);
+        assert!(matches!(
+            a.get_or("n", 0usize),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            a.one_of("algo", &["alg1"]),
+            Err(CliError::UnknownVariant { .. })
+        ));
+        assert!(matches!(
+            Args::parse_from(["oops".to_string()]),
+            Err(CliError::NotAFlag(_))
+        ));
+    }
+
+    #[test]
+    fn trailing_flag_and_case_insensitive_variant() {
+        let a = parse(&["--algo", "ALG2", "--verbose"]);
+        assert_eq!(a.one_of("algo", &["alg1", "alg2"]).expect("match"), "alg2");
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CliError::UnknownVariant {
+            key: "x".into(),
+            value: "y".into(),
+            allowed: &["a"],
+        };
+        assert!(e.to_string().contains("unknown value"));
+    }
+}

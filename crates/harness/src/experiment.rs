@@ -1,0 +1,189 @@
+//! Experiment reports: structured output of one reproduction experiment.
+
+use crate::table::Table;
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// How much compute an experiment run may spend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Effort {
+    /// Few repetitions, small networks — seconds per experiment; used by
+    /// CI and the default harness binaries.
+    Quick,
+    /// More repetitions and larger sweeps — for the recorded
+    /// EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl Effort {
+    /// Picks `quick` or `full` depending on the effort level.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            Effort::Quick => quick,
+            Effort::Full => full,
+        }
+    }
+
+    /// Parses `--quick`/`--full` style command-line arguments (defaults to
+    /// quick).
+    pub fn from_args() -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            Effort::Full
+        } else {
+            Effort::Quick
+        }
+    }
+}
+
+/// The result of one experiment: identification, the data table, and
+/// interpretation notes (what shape the paper predicts and what was seen).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (e.g. "E1").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// Which paper result it validates.
+    pub validates: String,
+    /// The data.
+    pub table: Table,
+    /// Free-form observations appended below the table.
+    pub notes: Vec<String>,
+    /// Rendered figures (title, pre-rendered body) appended after the
+    /// notes.
+    pub figures: Vec<(String, String)>,
+}
+
+impl ExperimentReport {
+    /// Creates a report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        validates: impl Into<String>,
+        table: Table,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            validates: validates.into(),
+            table,
+            notes: Vec::new(),
+            figures: Vec::new(),
+        }
+    }
+
+    /// Appends an observation note.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Appends a pre-rendered figure (e.g. an [`crate::AsciiPlot`]).
+    pub fn figure(&mut self, title: impl Into<String>, body: impl Into<String>) {
+        self.figures.push((title.into(), body.into()));
+    }
+
+    /// Renders the full report as plain text.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("=== {}: {} ===\n", self.id, self.title));
+        out.push_str(&format!("validates: {}\n\n", self.validates));
+        out.push_str(&self.table.render_text());
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        for (title, body) in &self.figures {
+            out.push_str(&format!("\n[{title}]\n{body}"));
+        }
+        out
+    }
+
+    /// Renders as a markdown section (for EXPERIMENTS.md).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}: {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Validates: {}*\n\n", self.validates));
+        out.push_str(&self.table.render_markdown());
+        out.push('\n');
+        for note in &self.notes {
+            out.push_str(&format!("- {note}\n"));
+        }
+        for (title, body) in &self.figures {
+            out.push_str(&format!("\n**{title}**\n\n```text\n{body}```\n"));
+        }
+        out
+    }
+
+    /// Prints the text rendering to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render_text());
+    }
+
+    /// Writes the table as CSV to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.table.render_csv().as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExperimentReport {
+        let mut t = Table::new(vec!["x".into(), "y".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let mut r = ExperimentReport::new("E1", "scaling in N", "Theorem 1", t);
+        r.note("log-shaped as predicted");
+        r
+    }
+
+    #[test]
+    fn text_rendering_contains_everything() {
+        let text = report().render_text();
+        assert!(text.contains("E1"));
+        assert!(text.contains("Theorem 1"));
+        assert!(text.contains("note: log-shaped"));
+    }
+
+    #[test]
+    fn markdown_rendering() {
+        let md = report().render_markdown();
+        assert!(md.starts_with("### E1"));
+        assert!(md.contains("| x | y |"));
+        assert!(md.contains("- log-shaped"));
+    }
+
+    #[test]
+    fn csv_round_trip_via_tempfile() {
+        let dir = std::env::temp_dir().join("mmhew-test-csv");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("e1.csv");
+        report().write_csv(&path).expect("write");
+        let content = std::fs::read_to_string(&path).expect("read");
+        assert!(content.starts_with("x,y"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn figures_are_rendered_in_both_formats() {
+        let mut r = report();
+        r.figure("shape", "*  *\n  *\n");
+        let text = r.render_text();
+        assert!(text.contains("[shape]"));
+        assert!(text.contains("*  *"));
+        let md = r.render_markdown();
+        assert!(md.contains("**shape**"));
+        assert!(md.contains("```text"));
+    }
+
+    #[test]
+    fn effort_pick() {
+        assert_eq!(Effort::Quick.pick(1, 2), 1);
+        assert_eq!(Effort::Full.pick(1, 2), 2);
+    }
+}

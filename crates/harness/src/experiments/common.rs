@@ -1,0 +1,198 @@
+//! Shared measurement helpers for the experiment suite.
+
+use crate::sweep::parallel_reps;
+use mmhew_discovery::{
+    run_async_discovery, run_sync_discovery, AsyncAlgorithm, SyncAlgorithm,
+};
+use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_topology::Network;
+use mmhew_util::{SeedTree, Summary};
+
+/// Aggregated completion statistics of repeated synchronous runs.
+#[derive(Debug, Clone)]
+pub struct SyncMeasurement {
+    /// Slots from `T_s` to completion, one entry per *completed* rep.
+    pub slots: Vec<f64>,
+    /// Repetitions that did not complete within the budget.
+    pub failures: u64,
+    /// Total repetitions.
+    pub reps: u64,
+}
+
+impl SyncMeasurement {
+    /// Summary over the completed repetitions.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.slots)
+    }
+
+    /// Fraction of repetitions that failed to complete.
+    pub fn failure_rate(&self) -> f64 {
+        if self.reps == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.reps as f64
+        }
+    }
+}
+
+/// Runs `reps` seeded repetitions of a synchronous discovery and collects
+/// completion times (slots after the latest start).
+pub fn measure_sync(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: &StartSchedule,
+    config: SyncRunConfig,
+    reps: u64,
+    seed: SeedTree,
+) -> SyncMeasurement {
+    let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
+        run_sync_discovery(network, algorithm, starts.clone(), config, rep_seed)
+            .expect("protocol construction failed")
+            .slots_to_complete()
+    });
+    let slots: Vec<f64> = outcomes.iter().flatten().map(|&s| s as f64).collect();
+    let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+    SyncMeasurement {
+        slots,
+        failures,
+        reps,
+    }
+}
+
+/// Aggregated completion statistics of repeated asynchronous runs.
+#[derive(Debug, Clone)]
+pub struct AsyncMeasurement {
+    /// `min_full_frames_at_completion` per completed rep.
+    pub frames: Vec<f64>,
+    /// Real nanoseconds from `T_s` to completion per completed rep.
+    pub realtime_ns: Vec<f64>,
+    /// Repetitions that did not complete within the budget.
+    pub failures: u64,
+    /// Total repetitions.
+    pub reps: u64,
+}
+
+impl AsyncMeasurement {
+    /// Summary of the frame counts.
+    pub fn frames_summary(&self) -> Summary {
+        Summary::from_samples(&self.frames)
+    }
+
+    /// Summary of the real-time durations.
+    pub fn realtime_summary(&self) -> Summary {
+        Summary::from_samples(&self.realtime_ns)
+    }
+
+    /// Fraction of repetitions that failed to complete.
+    pub fn failure_rate(&self) -> f64 {
+        if self.reps == 0 {
+            0.0
+        } else {
+            self.failures as f64 / self.reps as f64
+        }
+    }
+}
+
+/// Runs `reps` seeded repetitions of an asynchronous discovery.
+pub fn measure_async(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    config: &AsyncRunConfig,
+    reps: u64,
+    seed: SeedTree,
+) -> AsyncMeasurement {
+    let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
+        let out = run_async_discovery(network, algorithm, config.clone(), rep_seed)
+            .expect("protocol construction failed");
+        out.min_full_frames_at_completion().map(|frames| {
+            let wall = out
+                .completion_time()
+                .expect("complete")
+                .saturating_duration_since(out.latest_start());
+            (frames as f64, wall.as_nanos() as f64)
+        })
+    });
+    let mut frames = Vec::new();
+    let mut realtime_ns = Vec::new();
+    let mut failures = 0;
+    for o in outcomes {
+        match o {
+            Some((f, w)) => {
+                frames.push(f);
+                realtime_ns.push(w);
+            }
+            None => failures += 1,
+        }
+    }
+    AsyncMeasurement {
+        frames,
+        realtime_ns,
+        failures,
+        reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_discovery::SyncParams;
+    use mmhew_topology::NetworkBuilder;
+
+    #[test]
+    fn measure_sync_completes_small_network() {
+        let net = NetworkBuilder::complete(3)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let m = measure_sync(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(2).expect("valid")),
+            &StartSchedule::Identical,
+            SyncRunConfig::until_complete(100_000),
+            6,
+            SeedTree::new(1),
+        );
+        assert_eq!(m.reps, 6);
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.slots.len(), 6);
+        assert!(m.summary().mean > 0.0);
+        assert_eq!(m.failure_rate(), 0.0);
+    }
+
+    #[test]
+    fn measure_sync_counts_failures_under_tiny_budget() {
+        let net = NetworkBuilder::complete(4)
+            .universe(4)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let m = measure_sync(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(4).expect("valid")),
+            &StartSchedule::Identical,
+            SyncRunConfig::until_complete(2), // absurdly small
+            5,
+            SeedTree::new(2),
+        );
+        assert!(m.failures > 0);
+        assert!(m.failure_rate() > 0.0);
+    }
+
+    #[test]
+    fn measure_async_small_network() {
+        let net = NetworkBuilder::line(3)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let m = measure_async(
+            &net,
+            AsyncAlgorithm::FrameBased(mmhew_discovery::AsyncParams::new(2).expect("valid")),
+            &AsyncRunConfig::until_complete(100_000),
+            4,
+            SeedTree::new(3),
+        );
+        assert_eq!(m.failures, 0);
+        assert_eq!(m.frames.len(), 4);
+        assert!(m.frames_summary().mean > 0.0);
+        assert!(m.realtime_summary().mean > 0.0);
+    }
+}

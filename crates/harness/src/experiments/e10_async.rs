@@ -1,0 +1,139 @@
+//! E10 — Theorems 9 & 10: the asynchronous algorithm under clock drift.
+//!
+//! Algorithm 4 runs on a heterogeneous grid with random clock offsets,
+//! staggered real-time starts, and random piecewise drift of magnitude
+//! `δ`. Swept over `δ` up to the paper's limit `1/7`, the measured
+//! frames-to-completion (the min over nodes of full frames after `T_s`)
+//! should sit far below Theorem 9's frame bound, vary only mildly with
+//! `δ`, and the measured real time should respect Theorem 10's
+//! `(M+1)·L/(1−δ)` conversion.
+
+use crate::experiment::{Effort, ExperimentReport};
+use crate::experiments::common::measure_async;
+use crate::table::{fmt_f64, Table};
+use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Bounds};
+use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, ClockConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+
+const EPSILON: f64 = 0.01;
+const FRAME_LEN: u64 = 3_000;
+
+/// Runs the experiment.
+pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
+    let seed = SeedTree::new(master_seed).branch("e10");
+    let reps = effort.pick(8, 30);
+    // δ as exact rationals: 0, 1/100, 1/20, 1/10, 1/7.
+    let deltas: &[(u64, u64, &str)] = &[
+        (0, 1, "0"),
+        (1, 100, "1/100"),
+        (1, 20, "1/20"),
+        (1, 10, "1/10"),
+        (1, 7, "1/7 (limit)"),
+    ];
+
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(6)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(seed.branch("net"))
+        .expect("grid with subsets is valid");
+    let delta_est = net.max_degree().max(1) as u64;
+    let bounds = Bounds::from_network(&net, delta_est, EPSILON);
+    let frame_budget = (bounds.theorem9_frames().ceil() as u64 * 2).max(50_000);
+
+    let mut table = Table::new(
+        [
+            "δ",
+            "mean frames after Tₛ",
+            "ci95",
+            "Thm9 frame bound",
+            "mean real time (µs)",
+            "Thm10 bound (µs)",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut means = Vec::new();
+    for (i, &(num, den, label)) in deltas.iter().enumerate() {
+        let drift = if num == 0 {
+            DriftModel::Ideal
+        } else {
+            DriftModel::RandomPiecewise {
+                bound: DriftBound::new(num, den),
+                segment: RealDuration::from_nanos(FRAME_LEN * 5),
+            }
+        };
+        let config = AsyncRunConfig::until_complete(frame_budget)
+            .with_frame_len(LocalDuration::from_nanos(FRAME_LEN))
+            .with_clocks(ClockConfig {
+                drift,
+                offset_window: LocalDuration::from_nanos(FRAME_LEN * 10),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_nanos(FRAME_LEN * 10),
+            });
+        let m = measure_async(
+            &net,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est).expect("positive")),
+            &config,
+            reps,
+            seed.branch("run").index(i as u64),
+        );
+        assert_eq!(m.failures, 0, "async run failed to complete within budget");
+        let frames = m.frames_summary();
+        means.push(frames.mean);
+        let delta_f = num as f64 / den as f64;
+        table.push_row(vec![
+            label.into(),
+            fmt_f64(frames.mean),
+            fmt_f64(frames.ci95_halfwidth()),
+            fmt_f64(bounds.theorem9_frames()),
+            fmt_f64(m.realtime_summary().mean / 1_000.0),
+            fmt_f64(bounds.theorem10_realtime_ns(FRAME_LEN, delta_f) / 1_000.0),
+        ]);
+    }
+
+    let mut report = ExperimentReport::new(
+        "E10",
+        "Algorithm 4 frames-to-completion vs clock drift magnitude",
+        "Theorem 9 (frame bound) and Theorem 10 (real-time bound)",
+        table,
+    );
+    let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        / means.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+    report.note(format!(
+        "frames-to-completion varies only {spread:.2}x from δ=0 to δ=1/7 — \
+         the algorithm is drift-insensitive within Assumption 1, as the analysis promises"
+    ));
+    report.note(format!(
+        "grid 3x3, S={}, Δ={}, ρ={:.2}, L={FRAME_LEN}ns, ε={EPSILON}, reps={reps}, \
+         random offsets and staggered starts",
+        net.s_max(),
+        net.max_degree(),
+        net.rho()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_drift_levels_complete_below_bound() {
+        let r = run(Effort::Quick, 10);
+        assert_eq!(r.table.len(), 5);
+        for row in r.table.rows() {
+            let mean: f64 = row[1].parse().expect("mean frames");
+            let bound: f64 = row[3].parse().expect("bound");
+            assert!(mean > 0.0);
+            assert!(
+                mean < bound,
+                "δ={} measured {mean} frames exceeds bound {bound}",
+                row[0]
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! E15 — energy-to-completion ablation.
+//!
+//! Discovery latency is only half the deployment story: nodes pay for
+//! every active slot. This experiment measures total network energy to
+//! completion under a standard radio cost model (tx > rx ≫ idle) for
+//! Algorithms 1/2/3 and the strawman baseline, plus Algorithm 3's
+//! energy as its degree estimate loosens — where a looser estimate
+//! *lowers* the duty cycle (p = |A|/Δ_est shrinks) but lengthens the run,
+//! exposing a latency/energy trade-off the paper's analysis does not
+//! capture.
+
+use crate::experiment::{Effort, ExperimentReport};
+use crate::sweep::parallel_reps;
+use crate::table::{fmt_f64, Table};
+use mmhew_discovery::{run_sync_discovery, SyncAlgorithm, SyncParams};
+use mmhew_util::Histogram;
+use mmhew_engine::{EnergyModel, StartSchedule, SyncRunConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::{Network, NetworkBuilder};
+use mmhew_util::{SeedTree, Summary};
+
+fn measure_energy(
+    net: &Network,
+    alg: SyncAlgorithm,
+    reps: u64,
+    seed: SeedTree,
+) -> (Summary, Summary, Vec<f64>) {
+    let model = EnergyModel::default();
+    let results = parallel_reps(reps, seed, |_rep, s| {
+        let out = run_sync_discovery(
+            net,
+            alg,
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(3_000_000),
+            s,
+        )
+        .expect("valid protocols");
+        let per_node: Vec<f64> = out.action_counts().iter().map(|c| model.cost(c)).collect();
+        (
+            out.slots_to_complete().expect("completed") as f64,
+            out.total_energy(&model),
+            per_node,
+        )
+    });
+    let slots: Vec<f64> = results.iter().map(|(s, _, _)| *s).collect();
+    let energy: Vec<f64> = results.iter().map(|(_, e, _)| *e).collect();
+    let per_node: Vec<f64> = results.iter().flat_map(|(_, _, p)| p.iter().copied()).collect();
+    (
+        Summary::from_samples(&slots),
+        Summary::from_samples(&energy),
+        per_node,
+    )
+}
+
+/// Runs the experiment.
+pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
+    let seed = SeedTree::new(master_seed).branch("e15");
+    let reps = effort.pick(10, 40);
+
+    let net = NetworkBuilder::grid(4, 4)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("net"))
+        .expect("grid is valid");
+    let delta = net.max_degree().max(1) as u64;
+
+    let mut table = Table::new(
+        ["algorithm", "mean slots", "mean energy", "energy/slot/node"]
+            .map(String::from)
+            .to_vec(),
+    );
+    let n = net.node_count() as f64;
+    let algorithms: Vec<(String, SyncAlgorithm)> = vec![
+        (
+            "Alg1 (Δ_est=Δ)".into(),
+            SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
+        ),
+        ("Alg2 (adaptive)".into(), SyncAlgorithm::Adaptive),
+        (
+            "Alg3 (Δ_est=Δ)".into(),
+            SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+        ),
+        (
+            format!("Alg3 (Δ_est=8Δ={})", 8 * delta),
+            SyncAlgorithm::Uniform(SyncParams::new(8 * delta).expect("positive")),
+        ),
+        (
+            format!("Alg3 (Δ_est=32Δ={})", 32 * delta),
+            SyncAlgorithm::Uniform(SyncParams::new(32 * delta).expect("positive")),
+        ),
+        (
+            "strawman baseline".into(),
+            SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+        ),
+    ];
+    let mut alg3_per_node: Vec<f64> = Vec::new();
+    for (i, (name, alg)) in algorithms.iter().enumerate() {
+        let (slots, energy, per_node) =
+            measure_energy(&net, *alg, reps, seed.branch("run").index(i as u64));
+        if i == 2 {
+            alg3_per_node = per_node;
+        }
+        table.push_row(vec![
+            name.clone(),
+            fmt_f64(slots.mean),
+            fmt_f64(energy.mean),
+            fmt_f64(energy.mean / slots.mean.max(1.0) / n),
+        ]);
+    }
+
+    let mut report = ExperimentReport::new(
+        "E15",
+        "total network energy to discovery completion (tx=1.0, rx=0.7, idle=0.01 per slot)",
+        "deployment-cost ablation: latency and energy rank algorithms differently",
+        table,
+    );
+    report.note(
+        "loosening Alg3's estimate cuts the per-slot duty cycle (cheaper slots) but \
+         lengthens the run — energy grows more slowly than latency",
+    );
+    report.note(
+        "the baseline's idle round-robin slots are cheap individually but it holds every \
+         node active for a |U|-times longer schedule",
+    );
+    report.note(format!(
+        "grid 4x4, S={}, Δ={delta}, reps={reps}",
+        net.s_max()
+    ));
+    if !alg3_per_node.is_empty() {
+        let hi = alg3_per_node.iter().cloned().fold(f64::NEG_INFINITY, f64::max) * 1.01;
+        let mut hist = Histogram::new(0.0, hi.max(1.0), 12);
+        for &e in &alg3_per_node {
+            hist.record(e);
+        }
+        report.figure(
+            "per-node energy distribution, Alg3 (Δ_est=Δ)",
+            hist.render_ascii(40),
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_report_shape() {
+        let r = run(Effort::Quick, 15);
+        assert_eq!(r.table.len(), 6);
+        for row in r.table.rows() {
+            let slots: f64 = row[1].parse().expect("slots");
+            let energy: f64 = row[2].parse().expect("energy");
+            assert!(slots > 0.0 && energy > 0.0, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn loose_estimate_raises_latency_more_than_energy() {
+        let r = run(Effort::Quick, 152);
+        let tight = &r.table.rows()[2]; // Alg3 Δ_est=Δ
+        let loose = &r.table.rows()[4]; // Alg3 Δ_est=32Δ
+        let slots_ratio: f64 = loose[1].parse::<f64>().expect("slots")
+            / tight[1].parse::<f64>().expect("slots");
+        let energy_ratio: f64 = loose[2].parse::<f64>().expect("energy")
+            / tight[2].parse::<f64>().expect("energy");
+        assert!(slots_ratio > 2.0, "loose estimate should be much slower");
+        assert!(
+            energy_ratio < slots_ratio,
+            "energy must grow more slowly than latency ({energy_ratio:.2} vs {slots_ratio:.2})"
+        );
+    }
+}

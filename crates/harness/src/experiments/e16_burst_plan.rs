@@ -1,0 +1,135 @@
+//! E16 — why Algorithm 4 repeats its beacon in every slot.
+//!
+//! The frame/slot structure is the paper's central asynchronous design
+//! choice: a transmitting node repeats the beacon in each of the three
+//! slots so that *any* aligned listener frame contains a complete copy.
+//! This ablation replaces the plan with (a) a single slot per frame and
+//! (b) one beacon spanning the whole frame, under misaligned ideal clocks
+//! and under drifting clocks. The whole-frame variant collapses (an
+//! equal-length misaligned window can never contain it); the single-slot
+//! variant survives but pays in coverage opportunities.
+
+use crate::experiment::{Effort, ExperimentReport};
+use crate::experiments::common::measure_async;
+use crate::table::{fmt_f64, Table};
+use mmhew_discovery::{AsyncAlgorithm, AsyncParams};
+use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, BurstPlan, ClockConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+
+const FRAME_LEN: u64 = 3_000;
+
+/// Runs the experiment.
+pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
+    let seed = SeedTree::new(master_seed).branch("e16");
+    let reps = effort.pick(8, 30);
+    let budget = effort.pick(30_000, 120_000);
+
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(6)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(seed.branch("net"))
+        .expect("grid is valid");
+    let delta = net.max_degree().max(1) as u64;
+
+    let plans: &[(&str, BurstPlan)] = &[
+        ("every slot (paper)", BurstPlan::EverySlot),
+        ("single slot", BurstPlan::SingleSlot { slot: 1 }),
+        ("whole frame", BurstPlan::WholeFrame),
+    ];
+    let clock_settings: &[(&str, ClockConfig)] = &[
+        (
+            "ideal, misaligned",
+            ClockConfig {
+                drift: DriftModel::Ideal,
+                offset_window: LocalDuration::from_nanos(FRAME_LEN * 10),
+            },
+        ),
+        (
+            "drift ≤1/7",
+            ClockConfig {
+                drift: DriftModel::RandomPiecewise {
+                    bound: DriftBound::PAPER,
+                    segment: RealDuration::from_nanos(FRAME_LEN * 5),
+                },
+                offset_window: LocalDuration::from_nanos(FRAME_LEN * 10),
+            },
+        ),
+    ];
+
+    let mut table = Table::new(
+        ["clocks", "burst plan", "completed", "mean frames after Tₛ"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for (ci, (clock_name, clocks)) in clock_settings.iter().enumerate() {
+        for (pi, (plan_name, plan)) in plans.iter().enumerate() {
+            let config = AsyncRunConfig::until_complete(budget)
+                .with_frame_len(LocalDuration::from_nanos(FRAME_LEN))
+                .with_clocks(clocks.clone())
+                .with_starts(AsyncStartSchedule::Staggered {
+                    window: RealDuration::from_nanos(FRAME_LEN * 10),
+                })
+                .with_burst_plan(*plan);
+            let m = measure_async(
+                &net,
+                AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+                &config,
+                reps,
+                seed.branch("run").index(ci as u64).index(pi as u64),
+            );
+            let completed = reps - m.failures;
+            table.push_row(vec![
+                (*clock_name).into(),
+                (*plan_name).into(),
+                format!("{completed}/{reps}"),
+                if m.frames.is_empty() {
+                    "—".into()
+                } else {
+                    fmt_f64(m.frames_summary().mean)
+                },
+            ]);
+        }
+    }
+
+    let mut report = ExperimentReport::new(
+        "E16",
+        "ablating Algorithm 4's repeat-in-every-slot beacon layout",
+        "the frame/slot structure behind Lemmas 5 and 7",
+        table,
+    );
+    report.note(
+        "under ideal clocks relative frame phases are frozen forever: a whole-frame beacon \
+         never fits a misaligned equal-length window, and a single fixed slot either fits a \
+         given link's phase or never does — only the repeat-in-every-slot plan covers every \
+         phase (Lemma 7's guarantee)",
+    );
+    report.note(
+        "drift rescues the ablated plans by slowly sweeping the phases, but at a heavy \
+         cost (whole-frame relies entirely on rare drift-induced nestings)",
+    );
+    report.note(format!("grid 3x3, L={FRAME_LEN}ns, frame budget={budget}, reps={reps}"));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_always_completes_whole_frame_stalls() {
+        let r = run(Effort::Quick, 16);
+        assert_eq!(r.table.len(), 6);
+        // Row 0: ideal clocks, paper plan — all complete.
+        let every_ideal = &r.table.rows()[0];
+        assert!(every_ideal[2].starts_with(&format!("{}", 8)));
+        // Row 2: ideal clocks, whole frame — nothing completes.
+        let whole_ideal = &r.table.rows()[2];
+        assert!(
+            whole_ideal[2].starts_with("0/"),
+            "whole-frame beacon should stall on misaligned ideal clocks: {whole_ideal:?}"
+        );
+    }
+}

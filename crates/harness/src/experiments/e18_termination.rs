@@ -1,0 +1,120 @@
+//! E18 — termination-detection trade-off.
+//!
+//! The paper's algorithms never stop; in a deployment each node must
+//! decide locally when discovery is "done" (cf. the companion work \[22\] on
+//! lightweight termination detection). The quiescence detector stops a
+//! node after `q` slots without a new neighbor. Sweeping `q` exposes the
+//! trade-off: small thresholds quit before slow links are covered (missed
+//! links), large thresholds waste energy idling after completion. The
+//! miss rate should fall roughly geometrically in `q`.
+
+use crate::experiment::{Effort, ExperimentReport};
+use crate::sweep::parallel_reps;
+use crate::table::{fmt_f64, Table};
+use mmhew_discovery::{run_sync_discovery_terminating, SyncAlgorithm, SyncParams};
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::{SeedTree, Summary};
+
+/// Runs the experiment.
+pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
+    let seed = SeedTree::new(master_seed).branch("e18");
+    let reps = effort.pick(12, 60);
+    let thresholds: &[u64] = &[25, 100, 400, 1_600, 6_400];
+
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("net"))
+        .expect("grid is valid");
+    let delta = net.max_degree().max(1) as u64;
+    let total_links = net.links().len() as f64;
+
+    let mut table = Table::new(
+        [
+            "quiet threshold q",
+            "all links found",
+            "mean missed links",
+            "mean stop slot",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    let mut miss_rates = Vec::new();
+    for (i, &q) in thresholds.iter().enumerate() {
+        let results = parallel_reps(reps, seed.branch("run").index(i as u64), |_rep, s| {
+            let out = run_sync_discovery_terminating(
+                &net,
+                SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+                q,
+                StartSchedule::Identical,
+                SyncRunConfig::until_all_terminated(3_000_000),
+                s,
+            )
+            .expect("valid protocols");
+            let missed = out
+                .link_coverage()
+                .iter()
+                .filter(|(_, t)| t.is_none())
+                .count() as f64;
+            let stop = out
+                .terminated_slot()
+                .expect("quiescence always fires eventually") as f64;
+            (missed, stop)
+        });
+        let missed: Vec<f64> = results.iter().map(|(m, _)| *m).collect();
+        let stops: Vec<f64> = results.iter().map(|(_, s)| *s).collect();
+        let complete_runs = missed.iter().filter(|&&m| m == 0.0).count();
+        miss_rates.push(1.0 - complete_runs as f64 / reps as f64);
+        table.push_row(vec![
+            q.to_string(),
+            format!("{complete_runs}/{reps}"),
+            fmt_f64(Summary::from_samples(&missed).mean),
+            fmt_f64(Summary::from_samples(&stops).mean),
+        ]);
+    }
+
+    let mut report = ExperimentReport::new(
+        "E18",
+        "quiescence-based local termination: miss rate vs stop time",
+        "practical termination for the paper's run-forever algorithms (cf. companion work [22])",
+        table,
+    );
+    report.note(format!(
+        "miss rate falls from {:.0}% to {:.0}% across the threshold sweep while the stop \
+         slot grows ~linearly in q — pick q a few multiples of the expected per-link \
+         coverage time",
+        miss_rates.first().copied().unwrap_or(0.0) * 100.0,
+        miss_rates.last().copied().unwrap_or(0.0) * 100.0,
+    ));
+    report.note(format!(
+        "grid 3x3, {total_links} links, Algorithm 3 with Δ_est=Δ={delta}, reps={reps}"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generous_thresholds_find_everything() {
+        let r = run(Effort::Quick, 18);
+        assert_eq!(r.table.len(), 5);
+        // The most generous threshold misses nothing.
+        let last = r.table.rows().last().expect("rows");
+        let missed: f64 = last[2].parse().expect("missed");
+        assert_eq!(missed, 0.0, "q=6400 should find every link: {last:?}");
+        // Stop slot grows monotonically with the threshold.
+        let stops: Vec<f64> = r
+            .table
+            .rows()
+            .iter()
+            .map(|row| row[3].parse().expect("stop"))
+            .collect();
+        for pair in stops.windows(2) {
+            assert!(pair[0] <= pair[1] * 1.05, "stop slots should grow: {stops:?}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Experiment harness reproducing the paper's analytical results by
+//! simulation.
+//!
+//! The ICDCS 2011 paper is analysis-only — its "evaluation" is Theorems
+//! 1–3 and 9–10 plus Lemmas 4–8. This crate turns each into a measurable
+//! experiment (see `DESIGN.md` §5 for the full index) and provides:
+//!
+//! * [`experiments`] — E1–E14 and F-CDF, each returning a structured
+//!   [`ExperimentReport`];
+//! * [`registry`] — id → experiment lookup plus the shared binary `main`
+//!   body ([`registry::run_binary`]);
+//! * [`Table`]/[`ExperimentReport`] — aligned-text, markdown and CSV
+//!   rendering;
+//! * [`parallel_reps`] — order-preserving, seed-deterministic parallel
+//!   repetition.
+//!
+//! Run everything: `cargo run -p mmhew-harness --release --bin run_all`
+//! (add `--full` for the EXPERIMENTS.md-sized sweeps).
+
+pub mod cli;
+pub mod experiment;
+pub mod experiments;
+pub mod plot;
+pub mod registry;
+pub mod sweep;
+pub mod table;
+
+pub use experiment::{Effort, ExperimentReport};
+pub use plot::AsciiPlot;
+pub use sweep::parallel_reps;
+pub use table::{fmt_f64, Table};

@@ -1,0 +1,224 @@
+//! Terminal line plots for experiment figures.
+//!
+//! The paper's results are scaling *curves*; a table shows the numbers but
+//! a plot shows the shape. This renderer draws multiple series on a shared
+//! character grid with optional log axes — enough to eyeball "is this
+//! logarithmic/linear/inverse" straight from `run_all` output.
+
+/// A multi-series scatter/line plot rendered to text.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_harness::plot::AsciiPlot;
+///
+/// let mut p = AsciiPlot::new(40, 10);
+/// p.add_series("measured", vec![(1.0, 2.0), (2.0, 4.0), (3.0, 6.0)]);
+/// let out = p.render();
+/// assert!(out.contains("measured"));
+/// assert!(out.lines().count() >= 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiPlot {
+    width: usize,
+    height: usize,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_x: bool,
+    log_y: bool,
+}
+
+const MARKS: &[char] = &['*', 'o', '+', 'x', '#', '@'];
+
+impl AsciiPlot {
+    /// Creates a plot grid of `width × height` characters (axes and labels
+    /// are added around it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 2 && height >= 2, "plot too small");
+        Self {
+            width,
+            height,
+            series: Vec::new(),
+            log_x: false,
+            log_y: false,
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points.
+    pub fn add_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push((label.into(), points));
+    }
+
+    /// Uses a log₁₀ x-axis (points with `x ≤ 0` are dropped).
+    pub fn log_x(mut self) -> Self {
+        self.log_x = true;
+        self
+    }
+
+    /// Uses a log₁₀ y-axis (points with `y ≤ 0` are dropped).
+    pub fn log_y(mut self) -> Self {
+        self.log_y = true;
+        self
+    }
+
+    /// Renders the plot. Returns a short message if there is nothing to
+    /// draw.
+    pub fn render(&self) -> String {
+        let tx = |x: f64| if self.log_x { x.log10() } else { x };
+        let ty = |y: f64| if self.log_y { y.log10() } else { y };
+        let points: Vec<(usize, f64, f64)> = self
+            .series
+            .iter()
+            .enumerate()
+            .flat_map(|(si, (_, pts))| {
+                pts.iter()
+                    .filter(|(x, y)| {
+                        (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0)
+                    })
+                    .map(move |&(x, y)| (si, tx(x), ty(y)))
+            })
+            .collect();
+        if points.is_empty() {
+            return "(no data to plot)\n".to_string();
+        }
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &(_, x, y) in &points {
+            min_x = min_x.min(x);
+            max_x = max_x.max(x);
+            min_y = min_y.min(y);
+            max_y = max_y.max(y);
+        }
+        if (max_x - min_x).abs() < 1e-12 {
+            max_x = min_x + 1.0;
+        }
+        if (max_y - min_y).abs() < 1e-12 {
+            max_y = min_y + 1.0;
+        }
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        for &(si, x, y) in &points {
+            let cx = ((x - min_x) / (max_x - min_x) * (self.width - 1) as f64).round() as usize;
+            let cy = ((y - min_y) / (max_y - min_y) * (self.height - 1) as f64).round() as usize;
+            let row = self.height - 1 - cy;
+            let mark = MARKS[si % MARKS.len()];
+            // Later series win ties; that's fine for eyeballing.
+            grid[row][cx] = mark;
+        }
+
+        let unt = |v: f64, log: bool| if log { 10f64.powf(v) } else { v };
+        let mut out = String::new();
+        let y_hi = format!("{:.3e}", unt(max_y, self.log_y));
+        let y_lo = format!("{:.3e}", unt(min_y, self.log_y));
+        let label_w = y_hi.len().max(y_lo.len());
+        for (r, row) in grid.iter().enumerate() {
+            let label = if r == 0 {
+                format!("{y_hi:>label_w$}")
+            } else if r == self.height - 1 {
+                format!("{y_lo:>label_w$}")
+            } else {
+                " ".repeat(label_w)
+            };
+            out.push_str(&format!(
+                "{label} |{}|\n",
+                row.iter().collect::<String>()
+            ));
+        }
+        out.push_str(&format!(
+            "{} {}{}\n",
+            " ".repeat(label_w),
+            "-".repeat(self.width + 2),
+            if self.log_x || self.log_y {
+                format!(
+                    "  (log {})",
+                    match (self.log_x, self.log_y) {
+                        (true, true) => "x,y",
+                        (true, false) => "x",
+                        _ => "y",
+                    }
+                )
+            } else {
+                String::new()
+            }
+        ));
+        out.push_str(&format!(
+            "{} x: {:.3e} .. {:.3e}\n",
+            " ".repeat(label_w),
+            unt(min_x, self.log_x),
+            unt(max_x, self.log_x)
+        ));
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!(
+                "{} {} {}\n",
+                " ".repeat(label_w),
+                MARKS[si % MARKS.len()],
+                label
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_series_markers_and_labels() {
+        let mut p = AsciiPlot::new(30, 8);
+        p.add_series("a", vec![(0.0, 0.0), (1.0, 1.0)]);
+        p.add_series("b", vec![(0.0, 1.0), (1.0, 0.0)]);
+        let out = p.render();
+        assert!(out.contains('*'));
+        assert!(out.contains('o'));
+        assert!(out.contains("* a"));
+        assert!(out.contains("o b"));
+    }
+
+    #[test]
+    fn empty_plot_is_graceful() {
+        let p = AsciiPlot::new(10, 4);
+        assert_eq!(p.render(), "(no data to plot)\n");
+        let mut q = AsciiPlot::new(10, 4).log_y();
+        q.add_series("neg", vec![(1.0, -5.0)]);
+        assert_eq!(q.render(), "(no data to plot)\n");
+    }
+
+    #[test]
+    fn monotone_series_occupies_diagonal() {
+        let mut p = AsciiPlot::new(10, 10);
+        p.add_series("diag", (0..10).map(|i| (i as f64, i as f64)).collect());
+        let out = p.render();
+        let rows: Vec<&str> = out.lines().take(10).collect();
+        // Top row holds the largest y (rightmost column), bottom the
+        // smallest (leftmost).
+        assert!(rows[0].trim_end().ends_with("*|") || rows[0].contains('*'));
+        assert!(rows[9].contains('*'));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let mut p = AsciiPlot::new(12, 4);
+        p.add_series("flat", vec![(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]);
+        let out = p.render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    fn log_axes_drop_nonpositive_and_label() {
+        let mut p = AsciiPlot::new(20, 6).log_x().log_y();
+        p.add_series("pow", vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0), (0.0, 1.0)]);
+        let out = p.render();
+        assert!(out.contains("(log x,y)"));
+        assert!(out.contains("1.000e4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_plot_panics() {
+        let _ = AsciiPlot::new(1, 1);
+    }
+}

@@ -1,0 +1,94 @@
+//! Registry mapping experiment ids to their run functions.
+
+use crate::experiment::{Effort, ExperimentReport};
+use crate::experiments;
+
+/// Signature of every experiment entry point.
+pub type ExperimentFn = fn(Effort, u64) -> ExperimentReport;
+
+/// All experiments in presentation order.
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("E1", experiments::e1_n_scaling::run as ExperimentFn),
+        ("E2", experiments::e2_dest_scaling::run),
+        ("E3", experiments::e3_s_delta::run),
+        ("E4", experiments::e4_adaptive::run),
+        ("E5", experiments::e5_uniform::run),
+        ("E6", experiments::e6_variable_start::run),
+        ("E7", experiments::e7_rho::run),
+        ("E8", experiments::e8_epsilon::run),
+        ("E9", experiments::e9_frame_lemmas::run),
+        ("E10", experiments::e10_async::run),
+        ("E11", experiments::e11_baseline::run),
+        ("E12", experiments::e12_asymmetric::run),
+        ("E13", experiments::e13_unreliable::run),
+        ("E14", experiments::e14_propagation::run),
+        ("E15", experiments::e15_energy::run),
+        ("E16", experiments::e16_burst_plan::run),
+        ("E17", experiments::e17_growth::run),
+        ("E18", experiments::e18_termination::run),
+        ("E19", experiments::e19_exact_probability::run),
+        ("F-CDF", experiments::f_cdf::run),
+    ]
+}
+
+/// Looks up one experiment by id (case-insensitive).
+pub fn by_id(id: &str) -> Option<ExperimentFn> {
+    all()
+        .into_iter()
+        .find(|(eid, _)| eid.eq_ignore_ascii_case(id))
+        .map(|(_, f)| f)
+}
+
+/// Standard main body for the per-experiment binaries: parses
+/// `--full`/`--seed <n>`/`--csv <path>` from the command line, runs the
+/// experiment and prints the report.
+///
+/// # Panics
+///
+/// Panics if `id` is unknown or CSV writing fails.
+pub fn run_binary(id: &str) {
+    let f = by_id(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
+    let effort = Effort::from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_260_706);
+    let report = f(effort, seed);
+    report.print();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--csv")
+        .and_then(|i| args.get(i + 1))
+    {
+        report
+            .write_csv(std::path::Path::new(path))
+            .expect("failed to write CSV");
+        println!("csv written to {path}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_unique() {
+        let entries = all();
+        assert_eq!(entries.len(), 20);
+        let ids: std::collections::HashSet<&str> =
+            entries.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(by_id("e1").is_some());
+        assert!(by_id("E10").is_some());
+        assert!(by_id("f-cdf").is_some());
+        assert!(by_id("E99").is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! Parallel repetition of seeded simulation runs.
+
+use mmhew_util::SeedTree;
+
+/// Runs `reps` independent repetitions of `f` (each handed its own
+/// [`SeedTree`] derived from `seed` and the repetition index) across
+/// `crossbeam` scoped threads, preserving result order.
+///
+/// Results are identical to the sequential `(0..reps).map(...)` — thread
+/// scheduling cannot change them because every repetition's randomness is
+/// derived from its index, not from execution order.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_harness::parallel_reps;
+/// use mmhew_util::SeedTree;
+///
+/// let squares = parallel_reps(8, SeedTree::new(1), |rep, _seed| rep * rep);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn parallel_reps<T, F>(reps: u64, seed: SeedTree, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, SeedTree) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(reps.max(1) as usize);
+    if threads <= 1 || reps <= 1 {
+        return (0..reps).map(|rep| f(rep, seed.index(rep))).collect();
+    }
+    let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
+    let chunk = reps.div_ceil(threads as u64) as usize;
+    crossbeam::thread::scope(|scope| {
+        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                    let rep = (t * chunk + k) as u64;
+                    *slot = Some(f(rep, seed.index(rep)));
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("all repetitions filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_count() {
+        let out = parallel_reps(37, SeedTree::new(0), |rep, _| rep * 2);
+        assert_eq!(out.len(), 37);
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 * 2));
+    }
+
+    #[test]
+    fn matches_sequential_with_seed_dependence() {
+        let f = |rep: u64, seed: SeedTree| seed.branch("x").index(rep).seed();
+        let par = parallel_reps(16, SeedTree::new(9), f);
+        let seq: Vec<u64> = (0..16).map(|rep| f(rep, SeedTree::new(9).index(rep))).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn zero_and_one_reps() {
+        assert!(parallel_reps(0, SeedTree::new(0), |r, _| r).is_empty());
+        assert_eq!(parallel_reps(1, SeedTree::new(0), |r, _| r + 5), vec![5]);
+    }
+
+    #[test]
+    fn seeds_differ_per_rep() {
+        let seeds = parallel_reps(10, SeedTree::new(3), |_, seed| seed.seed());
+        let distinct: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(distinct.len(), 10);
+    }
+}

@@ -1,0 +1,290 @@
+//! Continuous-time reception resolution for the asynchronous engine.
+//!
+//! In the asynchronous system nothing is synchronized: a listening node `u`
+//! hears a clear message from `v` iff some complete burst (one slot's
+//! transmission) of `v` on `u`'s listening channel lies entirely within
+//! `u`'s listening window and no other neighbor's transmission on that
+//! channel overlaps the burst.
+//!
+//! This is the *physical* reception condition. The paper's frame-level
+//! coverage condition (§IV: aligned pair + no interferer in any overlapping
+//! frame) is strictly stronger, so simulated discovery can only be as fast
+//! or faster than the analysis predicts — the right direction for
+//! validating upper bounds.
+
+use mmhew_spectrum::ChannelId;
+use mmhew_time::RealInterval;
+use mmhew_topology::{Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// One transmission burst: a node occupying a channel for a real-time
+/// interval (one slot of a transmitting frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Transmission {
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Channel occupied.
+    pub channel: ChannelId,
+    /// Real-time extent of the burst.
+    pub interval: RealInterval,
+}
+
+/// A listening window: a node listening on one channel for a real-time
+/// interval (one full frame in Algorithm 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ListenWindow {
+    /// Listening node.
+    pub listener: NodeId,
+    /// Channel tuned.
+    pub channel: ChannelId,
+    /// Real-time extent of the window.
+    pub interval: RealInterval,
+}
+
+/// A clear reception resolved from a listening window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClearReception {
+    /// The transmitter heard.
+    pub from: NodeId,
+    /// The burst that was received (earliest clear burst of this sender).
+    pub burst: RealInterval,
+}
+
+/// Resolves which senders the listener hears clearly during `window`.
+///
+/// `transmissions` are candidate bursts (the engine passes every burst that
+/// could possibly matter; bursts on other channels, from non-neighbors, or
+/// outside the window are ignored here). At most one reception per sender
+/// is reported (the earliest clear burst).
+pub fn clear_receptions(
+    network: &Network,
+    window: &ListenWindow,
+    transmissions: &[Transmission],
+) -> Vec<ClearReception> {
+    let neighbors = network.neighbors_on(window.listener, window.channel);
+    // Bursts from neighbors on the listening channel, i.e. both candidate
+    // signals and potential interferers.
+    let relevant: Vec<&Transmission> = transmissions
+        .iter()
+        .filter(|t| t.channel == window.channel && neighbors.contains(&t.from))
+        .collect();
+
+    let mut received: Vec<ClearReception> = Vec::new();
+    for burst in &relevant {
+        if !window.interval.contains_interval(&burst.interval) {
+            continue;
+        }
+        let interfered = relevant.iter().any(|other| {
+            other.from != burst.from && other.interval.overlaps(&burst.interval)
+        });
+        if interfered {
+            continue;
+        }
+        match received.iter_mut().find(|r| r.from == burst.from) {
+            Some(existing) => {
+                if burst.interval.start() < existing.burst.start() {
+                    existing.burst = burst.interval;
+                }
+            }
+            None => received.push(ClearReception {
+                from: burst.from,
+                burst: burst.interval,
+            }),
+        }
+    }
+    received.sort_by_key(|r| (r.burst.start(), r.from));
+    received
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_spectrum::ChannelSet;
+    use mmhew_time::RealTime;
+    use mmhew_topology::{generators, Propagation};
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ch(i: u16) -> ChannelId {
+        ChannelId::new(i)
+    }
+
+    fn ri(a: u64, b: u64) -> RealInterval {
+        RealInterval::new(RealTime::from_nanos(a), RealTime::from_nanos(b))
+    }
+
+    /// Line 0-1-2 with 2 channels, fully shared.
+    fn net3() -> Network {
+        Network::new(
+            generators::line(3),
+            2,
+            (0..3).map(|_| ChannelSet::full(2)).collect(),
+            Propagation::Uniform,
+        )
+        .expect("valid network")
+    }
+
+    fn window(listener: u32, c: u16, a: u64, b: u64) -> ListenWindow {
+        ListenWindow {
+            listener: n(listener),
+            channel: ch(c),
+            interval: ri(a, b),
+        }
+    }
+
+    fn tx(from: u32, c: u16, a: u64, b: u64) -> Transmission {
+        Transmission {
+            from: n(from),
+            channel: ch(c),
+            interval: ri(a, b),
+        }
+    }
+
+    #[test]
+    fn contained_burst_is_received() {
+        let net = net3();
+        let got = clear_receptions(&net, &window(1, 0, 0, 300), &[tx(0, 0, 50, 150)]);
+        assert_eq!(got, vec![ClearReception { from: n(0), burst: ri(50, 150) }]);
+    }
+
+    #[test]
+    fn partial_burst_is_not_received() {
+        let net = net3();
+        // Burst sticks out of the window on either side.
+        assert!(clear_receptions(&net, &window(1, 0, 100, 300), &[tx(0, 0, 50, 150)]).is_empty());
+        assert!(clear_receptions(&net, &window(1, 0, 0, 120), &[tx(0, 0, 50, 150)]).is_empty());
+        // Burst exactly equal to the window is contained.
+        assert_eq!(
+            clear_receptions(&net, &window(1, 0, 50, 150), &[tx(0, 0, 50, 150)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn overlapping_interferer_destroys_burst() {
+        let net = net3();
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 600),
+            &[tx(0, 0, 100, 200), tx(2, 0, 150, 250)],
+        );
+        assert!(got.is_empty(), "overlapping bursts of 0 and 2 collide at 1");
+    }
+
+    #[test]
+    fn non_overlapping_bursts_both_received() {
+        let net = net3();
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 600),
+            &[tx(0, 0, 100, 200), tx(2, 0, 300, 400)],
+        );
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].from, n(0));
+        assert_eq!(got[1].from, n(2));
+    }
+
+    #[test]
+    fn touching_bursts_do_not_interfere() {
+        // Half-open semantics: [100,200) and [200,300) don't overlap.
+        let net = net3();
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 600),
+            &[tx(0, 0, 100, 200), tx(2, 0, 200, 300)],
+        );
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn interferer_outside_window_still_interferes() {
+        // 2's burst is NOT contained in the window but overlaps 0's burst.
+        let net = net3();
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 100, 400),
+            &[tx(0, 0, 150, 250), tx(2, 0, 240, 500)],
+        );
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn other_channel_ignored_entirely() {
+        let net = net3();
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 600),
+            &[tx(0, 1, 100, 200), tx(2, 0, 100, 200)],
+        );
+        // 0's burst is on channel 1 (ignored); 2's burst on channel 0 is
+        // clear.
+        assert_eq!(got, vec![ClearReception { from: n(2), burst: ri(100, 200) }]);
+    }
+
+    #[test]
+    fn non_neighbor_is_invisible() {
+        // Line 0-1-2-3: 3 is not a neighbor of 1.
+        let net = Network::new(
+            generators::line(4),
+            1,
+            (0..4).map(|_| ChannelSet::full(1)).collect(),
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 600),
+            &[tx(0, 0, 100, 200), tx(3, 0, 150, 250)],
+        );
+        // 3's burst would overlap but 3 is out of range of 1.
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, n(0));
+    }
+
+    #[test]
+    fn multiple_bursts_same_sender_dedupe_to_earliest() {
+        let net = net3();
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 900),
+            &[tx(0, 0, 400, 500), tx(0, 0, 100, 200), tx(0, 0, 700, 800)],
+        );
+        assert_eq!(got, vec![ClearReception { from: n(0), burst: ri(100, 200) }]);
+    }
+
+    #[test]
+    fn same_sender_bursts_do_not_self_interfere() {
+        let net = net3();
+        // Adjacent bursts of the same sender (frame slots) must not be
+        // treated as interference.
+        let got = clear_receptions(
+            &net,
+            &window(1, 0, 0, 900),
+            &[tx(0, 0, 100, 200), tx(0, 0, 200, 300), tx(0, 0, 300, 400)],
+        );
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn span_restriction_applies() {
+        // Node 1 only shares channel 1 with node 0.
+        let net = Network::new(
+            generators::line(2),
+            2,
+            vec![
+                [0u16, 1].into_iter().collect(),
+                [1u16].into_iter().collect(),
+            ],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        // Even though 0 transmits on channel 0 within the window, 1 cannot
+        // hear it there (channel 0 ∉ A(1), hence not in span).
+        let got = clear_receptions(&net, &window(1, 0, 0, 300), &[tx(0, 0, 50, 150)]);
+        assert!(got.is_empty());
+        let got1 = clear_receptions(&net, &window(1, 1, 0, 300), &[tx(0, 1, 50, 150)]);
+        assert_eq!(got1.len(), 1);
+    }
+}

@@ -1,0 +1,112 @@
+//! Channel impairments: the unreliable-channel extension.
+//!
+//! The paper's base model has perfectly reliable channels — a unique
+//! neighboring transmitter is always heard. Its conclusion claims the
+//! algorithms extend to unreliable channels; this module models that as an
+//! independent per-reception delivery probability (experiment E13).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Stochastic impairments applied to otherwise-clear receptions.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_radio::Impairments;
+/// use mmhew_util::SeedTree;
+///
+/// let perfect = Impairments::reliable();
+/// let mut rng = SeedTree::new(0).rng();
+/// assert!(perfect.delivers(&mut rng));
+///
+/// let lossy = Impairments::with_delivery_probability(0.0);
+/// assert!(!lossy.delivers(&mut rng));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Impairments {
+    delivery_probability: f64,
+}
+
+impl Impairments {
+    /// Perfectly reliable channels (the paper's base model).
+    pub fn reliable() -> Self {
+        Self {
+            delivery_probability: 1.0,
+        }
+    }
+
+    /// Each clear reception is delivered independently with probability
+    /// `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    pub fn with_delivery_probability(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "probability out of range");
+        Self {
+            delivery_probability: q,
+        }
+    }
+
+    /// The per-reception delivery probability.
+    pub fn delivery_probability(&self) -> f64 {
+        self.delivery_probability
+    }
+
+    /// True if the channels are perfectly reliable (fast path: no RNG draw
+    /// needed).
+    pub fn is_reliable(&self) -> bool {
+        self.delivery_probability >= 1.0
+    }
+
+    /// Samples whether one clear reception is actually delivered.
+    pub fn delivers<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        self.is_reliable() || rng.gen_bool(self.delivery_probability)
+    }
+}
+
+impl Default for Impairments {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_util::SeedTree;
+
+    #[test]
+    fn reliable_always_delivers() {
+        let imp = Impairments::reliable();
+        let mut rng = SeedTree::new(1).rng();
+        assert!(imp.is_reliable());
+        assert!((0..100).all(|_| imp.delivers(&mut rng)));
+        assert_eq!(Impairments::default(), imp);
+    }
+
+    #[test]
+    fn zero_never_delivers() {
+        let imp = Impairments::with_delivery_probability(0.0);
+        let mut rng = SeedTree::new(1).rng();
+        assert!((0..100).all(|_| !imp.delivers(&mut rng)));
+    }
+
+    #[test]
+    fn intermediate_probability_is_calibrated() {
+        let imp = Impairments::with_delivery_probability(0.3);
+        let mut rng = SeedTree::new(2).rng();
+        let n = 50_000;
+        let delivered = (0..n).filter(|_| imp.delivers(&mut rng)).count();
+        let p = delivered as f64 / n as f64;
+        assert!((p - 0.3).abs() < 0.02, "observed {p}");
+        assert!(!imp.is_reliable());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn invalid_probability_panics() {
+        let _ = Impairments::with_delivery_probability(1.5);
+    }
+}

@@ -1,0 +1,51 @@
+//! Radio medium models for M²HeW neighbor discovery.
+//!
+//! Implements the paper's communication model (§II): half-duplex
+//! single-channel transceivers, no collision detection, interference only
+//! between neighbors, and beacons carrying the sender's available channel
+//! set. Two resolution disciplines are provided:
+//!
+//! * [`slotted`] — slot-synchronous resolution for Algorithms 1–3: a
+//!   listener hears a clear beacon iff exactly one neighbor transmits on
+//!   its channel in the slot;
+//! * [`continuous`] — continuous-time resolution for Algorithm 4: a burst
+//!   is received iff it lies inside the listening window and no neighbor's
+//!   burst overlaps it.
+//!
+//! [`Impairments`] adds the unreliable-channel extension (per-reception
+//! delivery probability).
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_radio::{resolve_slot, Impairments, SlotAction};
+//! use mmhew_spectrum::{AvailabilityModel, ChannelId};
+//! use mmhew_topology::NetworkBuilder;
+//! use mmhew_util::SeedTree;
+//!
+//! let net = NetworkBuilder::line(2).universe(1).build(SeedTree::new(0))?;
+//! let mut rng = SeedTree::new(1).rng();
+//! let out = resolve_slot(
+//!     &net,
+//!     &[
+//!         SlotAction::Transmit { channel: ChannelId::new(0) },
+//!         SlotAction::Listen { channel: ChannelId::new(0) },
+//!     ],
+//!     &Impairments::reliable(),
+//!     &mut rng,
+//! );
+//! assert_eq!(out.deliveries.len(), 1);
+//! # Ok::<(), mmhew_topology::BuildError>(())
+//! ```
+
+pub mod continuous;
+pub mod impairments;
+pub mod message;
+pub mod mode;
+pub mod slotted;
+
+pub use continuous::{clear_receptions, ClearReception, ListenWindow, Transmission};
+pub use impairments::Impairments;
+pub use message::{Beacon, DecodeError};
+pub use mode::{FrameAction, SlotAction};
+pub use slotted::{resolve_slot, Collision, Delivery, SlotOutcome};

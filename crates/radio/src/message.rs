@@ -1,0 +1,158 @@
+//! Beacon messages and their wire encoding.
+//!
+//! Every algorithm in the paper transmits the same thing: a message
+//! containing the sender's available channel set `A(u)` (Algorithm 1 line
+//! 8, Algorithm 3 line 7, Algorithm 4 line 7). The receiver intersects it
+//! with its own set to record `⟨v, A ∩ A(u)⟩`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_topology::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The discovery beacon: sender identity plus its available channel set.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_radio::Beacon;
+/// use mmhew_topology::NodeId;
+///
+/// let b = Beacon::new(NodeId::new(3), [1u16, 4].into_iter().collect());
+/// let wire = b.encode();
+/// let back = Beacon::decode(&wire)?;
+/// assert_eq!(b, back);
+/// # Ok::<(), mmhew_radio::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Beacon {
+    sender: NodeId,
+    available: ChannelSet,
+}
+
+impl Beacon {
+    /// Creates a beacon advertising `available` as `sender`'s channel set.
+    pub fn new(sender: NodeId, available: ChannelSet) -> Self {
+        Self { sender, available }
+    }
+
+    /// The transmitting node.
+    pub fn sender(&self) -> NodeId {
+        self.sender
+    }
+
+    /// The advertised available channel set `A(v)`.
+    pub fn available(&self) -> &ChannelSet {
+        &self.available
+    }
+
+    /// Serializes to the wire format:
+    /// `sender:u32 | channel_count:u16 | channel:u16 ...` (little endian).
+    pub fn encode(&self) -> Bytes {
+        let channels: Vec<ChannelId> = self.available.iter().collect();
+        let mut buf = BytesMut::with_capacity(6 + channels.len() * 2);
+        buf.put_u32_le(self.sender.index());
+        buf.put_u16_le(channels.len() as u16);
+        for c in channels {
+            buf.put_u16_le(c.index());
+        }
+        buf.freeze()
+    }
+
+    /// Parses the wire format produced by [`Beacon::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the buffer is truncated or has trailing
+    /// garbage.
+    pub fn decode(mut bytes: &[u8]) -> Result<Self, DecodeError> {
+        if bytes.remaining() < 6 {
+            return Err(DecodeError::Truncated);
+        }
+        let sender = NodeId::new(bytes.get_u32_le());
+        let count = bytes.get_u16_le() as usize;
+        if bytes.remaining() < count * 2 {
+            return Err(DecodeError::Truncated);
+        }
+        let mut available = ChannelSet::new();
+        for _ in 0..count {
+            available.insert(ChannelId::new(bytes.get_u16_le()));
+        }
+        if bytes.has_remaining() {
+            return Err(DecodeError::TrailingBytes(bytes.remaining()));
+        }
+        Ok(Self { sender, available })
+    }
+}
+
+impl fmt::Display for Beacon {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "beacon⟨{}, {}⟩", self.sender, self.available)
+    }
+}
+
+/// Failure parsing a beacon from the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header or channel list requires.
+    Truncated,
+    /// Bytes left over after the channel list.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "beacon truncated"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after beacon"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(xs: &[u16]) -> ChannelSet {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn round_trip_various_sets() {
+        for set in [cs(&[]), cs(&[0]), cs(&[1, 63, 64, 200]), ChannelSet::full(32)] {
+            let b = Beacon::new(NodeId::new(77), set);
+            assert_eq!(Beacon::decode(&b.encode()).expect("round trip"), b);
+        }
+    }
+
+    #[test]
+    fn wire_layout_is_stable() {
+        let b = Beacon::new(NodeId::new(0x0102_0304), cs(&[5]));
+        let wire = b.encode();
+        assert_eq!(&wire[..], &[0x04, 0x03, 0x02, 0x01, 0x01, 0x00, 0x05, 0x00]);
+    }
+
+    #[test]
+    fn truncated_and_trailing() {
+        let b = Beacon::new(NodeId::new(1), cs(&[2, 3]));
+        let wire = b.encode();
+        assert_eq!(Beacon::decode(&wire[..3]), Err(DecodeError::Truncated));
+        assert_eq!(Beacon::decode(&wire[..7]), Err(DecodeError::Truncated));
+        let mut extended = wire.to_vec();
+        extended.push(0);
+        assert_eq!(
+            Beacon::decode(&extended),
+            Err(DecodeError::TrailingBytes(1))
+        );
+        assert_eq!(Beacon::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn display() {
+        let b = Beacon::new(NodeId::new(2), cs(&[0, 1]));
+        assert_eq!(b.to_string(), "beacon⟨n2, {0,1}⟩");
+    }
+}

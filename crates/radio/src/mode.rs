@@ -1,0 +1,129 @@
+//! Transceiver actions.
+//!
+//! A transceiver is half-duplex and single-channel at any instant (paper
+//! §II): in a slot (or frame) a node either transmits on one channel,
+//! listens on one channel, or is quiet.
+
+use mmhew_spectrum::ChannelId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node's action for one synchronous time slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlotAction {
+    /// Tune to `channel` and transmit the node's beacon.
+    Transmit {
+        /// Channel to transmit on.
+        channel: ChannelId,
+    },
+    /// Tune to `channel` and listen.
+    Listen {
+        /// Channel to listen on.
+        channel: ChannelId,
+    },
+    /// Transceiver off (e.g. the node has not started discovery yet).
+    Quiet,
+}
+
+impl SlotAction {
+    /// The channel this action occupies, if any.
+    pub fn channel(&self) -> Option<ChannelId> {
+        match self {
+            SlotAction::Transmit { channel } | SlotAction::Listen { channel } => Some(*channel),
+            SlotAction::Quiet => None,
+        }
+    }
+
+    /// True if the node is transmitting.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, SlotAction::Transmit { .. })
+    }
+
+    /// True if the node is listening.
+    pub fn is_listen(&self) -> bool {
+        matches!(self, SlotAction::Listen { .. })
+    }
+}
+
+impl fmt::Display for SlotAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotAction::Transmit { channel } => write!(f, "tx@{channel}"),
+            SlotAction::Listen { channel } => write!(f, "rx@{channel}"),
+            SlotAction::Quiet => write!(f, "quiet"),
+        }
+    }
+}
+
+/// A node's action for one asynchronous frame (Algorithm 4): the choice is
+/// made once per frame; a transmitting node repeats its beacon in each of
+/// the frame's three slots, a listening node listens for the whole frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FrameAction {
+    /// Transmit the beacon during each slot of the frame on `channel`.
+    Transmit {
+        /// Channel to transmit on.
+        channel: ChannelId,
+    },
+    /// Listen on `channel` for the entire frame.
+    Listen {
+        /// Channel to listen on.
+        channel: ChannelId,
+    },
+}
+
+impl FrameAction {
+    /// The channel this action occupies.
+    pub fn channel(&self) -> ChannelId {
+        match self {
+            FrameAction::Transmit { channel } | FrameAction::Listen { channel } => *channel,
+        }
+    }
+
+    /// True if the node is transmitting this frame.
+    pub fn is_transmit(&self) -> bool {
+        matches!(self, FrameAction::Transmit { .. })
+    }
+}
+
+impl fmt::Display for FrameAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameAction::Transmit { channel } => write!(f, "TX-frame@{channel}"),
+            FrameAction::Listen { channel } => write!(f, "RX-frame@{channel}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_action_accessors() {
+        let c = ChannelId::new(4);
+        assert_eq!(SlotAction::Transmit { channel: c }.channel(), Some(c));
+        assert_eq!(SlotAction::Listen { channel: c }.channel(), Some(c));
+        assert_eq!(SlotAction::Quiet.channel(), None);
+        assert!(SlotAction::Transmit { channel: c }.is_transmit());
+        assert!(!SlotAction::Transmit { channel: c }.is_listen());
+        assert!(SlotAction::Listen { channel: c }.is_listen());
+        assert!(!SlotAction::Quiet.is_transmit());
+    }
+
+    #[test]
+    fn frame_action_accessors() {
+        let c = ChannelId::new(2);
+        assert_eq!(FrameAction::Transmit { channel: c }.channel(), c);
+        assert!(FrameAction::Transmit { channel: c }.is_transmit());
+        assert!(!FrameAction::Listen { channel: c }.is_transmit());
+    }
+
+    #[test]
+    fn displays() {
+        let c = ChannelId::new(1);
+        assert_eq!(SlotAction::Transmit { channel: c }.to_string(), "tx@ch1");
+        assert_eq!(SlotAction::Quiet.to_string(), "quiet");
+        assert_eq!(FrameAction::Listen { channel: c }.to_string(), "RX-frame@ch1");
+    }
+}

@@ -1,0 +1,330 @@
+//! Slot-synchronous medium resolution.
+//!
+//! Implements the paper's collision model for the synchronous algorithms
+//! (§II): in a slot, a listener `u` on channel `c` hears a clear message
+//! from `v` iff `v` is the *unique* neighbor of `u` transmitting on `c`.
+//! Two or more transmitting neighbors collide and `u` hears only noise;
+//! nodes cannot distinguish collision noise from background noise (no
+//! collision detection). Transmissions from non-neighbors neither deliver
+//! nor interfere.
+
+use crate::impairments::Impairments;
+use crate::mode::SlotAction;
+use mmhew_spectrum::ChannelId;
+use mmhew_topology::{Network, NodeId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One clear reception: `to` heard `from`'s beacon on `channel`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Delivery {
+    /// Receiving node.
+    pub to: NodeId,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Channel the beacon was heard on.
+    pub channel: ChannelId,
+}
+
+/// A collision observed at a listener (diagnostics only — the listener
+/// itself learns nothing, per the no-collision-detection assumption).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Collision {
+    /// Listening node that heard noise.
+    pub at: NodeId,
+    /// Channel on which the collision happened.
+    pub channel: ChannelId,
+    /// Number of simultaneously transmitting neighbors (≥ 2).
+    pub transmitters: usize,
+}
+
+/// Everything that happened on the medium in one slot.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SlotOutcome {
+    /// Clear receptions.
+    pub deliveries: Vec<Delivery>,
+    /// Collisions (for statistics; invisible to nodes).
+    pub collisions: Vec<Collision>,
+    /// Clear receptions lost to channel impairments (statistics).
+    pub impairment_losses: usize,
+}
+
+/// Resolves one synchronous slot.
+///
+/// `actions[i]` is node `i`'s action. Returns all clear receptions and
+/// collision diagnostics.
+///
+/// # Panics
+///
+/// Panics if `actions.len()` differs from the network's node count.
+pub fn resolve_slot<R: Rng + ?Sized>(
+    network: &Network,
+    actions: &[SlotAction],
+    impairments: &Impairments,
+    rng: &mut R,
+) -> SlotOutcome {
+    assert_eq!(
+        actions.len(),
+        network.node_count(),
+        "one action per node required"
+    );
+    let mut outcome = SlotOutcome::default();
+    for (i, action) in actions.iter().enumerate() {
+        let u = NodeId::new(i as u32);
+        let SlotAction::Listen { channel } = action else {
+            continue;
+        };
+        let transmitting: Vec<NodeId> = network
+            .neighbors_on(u, *channel)
+            .iter()
+            .copied()
+            .filter(|v| {
+                matches!(
+                    actions[v.as_usize()],
+                    SlotAction::Transmit { channel: tc } if tc == *channel
+                )
+            })
+            .collect();
+        match transmitting.len() {
+            0 => {}
+            1 => {
+                if impairments.delivers(rng) {
+                    outcome.deliveries.push(Delivery {
+                        to: u,
+                        from: transmitting[0],
+                        channel: *channel,
+                    });
+                } else {
+                    outcome.impairment_losses += 1;
+                }
+            }
+            k => outcome.collisions.push(Collision {
+                at: u,
+                channel: *channel,
+                transmitters: k,
+            }),
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_spectrum::{ChannelSet, ChannelId};
+    use mmhew_topology::{generators, Propagation};
+    use mmhew_util::SeedTree;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn ch(i: u16) -> ChannelId {
+        ChannelId::new(i)
+    }
+
+    fn homogeneous(topo: mmhew_topology::Topology, universe: u16) -> Network {
+        let n = topo.node_count();
+        Network::new(
+            topo,
+            universe,
+            (0..n).map(|_| ChannelSet::full(universe)).collect(),
+            Propagation::Uniform,
+        )
+        .expect("valid network")
+    }
+
+    fn resolve(network: &Network, actions: &[SlotAction]) -> SlotOutcome {
+        let mut rng = SeedTree::new(0).rng();
+        resolve_slot(network, actions, &Impairments::reliable(), &mut rng)
+    }
+
+    #[test]
+    fn unique_transmitter_is_heard() {
+        let net = homogeneous(generators::line(2), 2);
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+            ],
+        );
+        assert_eq!(
+            out.deliveries,
+            vec![Delivery { to: n(1), from: n(0), channel: ch(0) }]
+        );
+        assert!(out.collisions.is_empty());
+    }
+
+    #[test]
+    fn two_neighbors_collide() {
+        // Line 0-1-2: both ends transmit, middle listens.
+        let net = homogeneous(generators::line(3), 2);
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+                SlotAction::Transmit { channel: ch(0) },
+            ],
+        );
+        assert!(out.deliveries.is_empty());
+        assert_eq!(
+            out.collisions,
+            vec![Collision { at: n(1), channel: ch(0), transmitters: 2 }]
+        );
+    }
+
+    #[test]
+    fn different_channels_do_not_interfere() {
+        let net = homogeneous(generators::line(3), 2);
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+                SlotAction::Transmit { channel: ch(1) },
+            ],
+        );
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0].from, n(0));
+    }
+
+    #[test]
+    fn listener_on_other_channel_hears_nothing() {
+        let net = homogeneous(generators::line(2), 2);
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(1) },
+            ],
+        );
+        assert!(out.deliveries.is_empty());
+        assert!(out.collisions.is_empty());
+    }
+
+    #[test]
+    fn non_neighbor_neither_delivers_nor_interferes() {
+        // Line 0-1-2-3: node 3 is not a neighbor of 1.
+        let net = homogeneous(generators::line(4), 1);
+        // 0 and 3 transmit; 1 listens. 3's signal does not reach 1, so 0 is
+        // heard clearly.
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+                SlotAction::Quiet,
+                SlotAction::Transmit { channel: ch(0) },
+            ],
+        );
+        assert_eq!(out.deliveries.len(), 1);
+        assert_eq!(out.deliveries[0], Delivery { to: n(1), from: n(0), channel: ch(0) });
+    }
+
+    #[test]
+    fn transmitter_hears_nothing_half_duplex() {
+        let net = homogeneous(generators::line(2), 1);
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Transmit { channel: ch(0) },
+            ],
+        );
+        assert!(out.deliveries.is_empty(), "both transmitting, nobody listens");
+    }
+
+    #[test]
+    fn quiet_nodes_do_nothing() {
+        let net = homogeneous(generators::line(2), 1);
+        let out = resolve(&net, &[SlotAction::Quiet, SlotAction::Quiet]);
+        assert_eq!(out, SlotOutcome::default());
+    }
+
+    #[test]
+    fn heterogeneous_spans_block_reception() {
+        // Node 1 cannot hear node 0 on a channel outside their span.
+        let net = Network::new(
+            generators::line(2),
+            3,
+            vec![
+                [0u16, 1].into_iter().collect(),
+                [1u16, 2].into_iter().collect(),
+            ],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        // Channel 1 is in the span: heard.
+        let heard = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(1) },
+                SlotAction::Listen { channel: ch(1) },
+            ],
+        );
+        assert_eq!(heard.deliveries.len(), 1);
+        // Channel 0 is available to 0 but not to 1: a listener would not
+        // even tune there, but even if it did (model guard), no delivery.
+        let not_heard = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+            ],
+        );
+        assert!(not_heard.deliveries.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_deliveries_on_distinct_channels() {
+        // Complete graph of 4: 0→tx ch0, 1→rx ch0, 2→tx ch1, 3→rx ch1.
+        let net = homogeneous(generators::complete(4), 2);
+        let out = resolve(
+            &net,
+            &[
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+                SlotAction::Transmit { channel: ch(1) },
+                SlotAction::Listen { channel: ch(1) },
+            ],
+        );
+        let mut pairs: Vec<(NodeId, NodeId)> =
+            out.deliveries.iter().map(|d| (d.from, d.to)).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(n(0), n(1)), (n(2), n(3))]);
+    }
+
+    #[test]
+    fn impairments_drop_deliveries() {
+        let net = homogeneous(generators::line(2), 1);
+        let mut rng = SeedTree::new(5).rng();
+        let mut delivered = 0;
+        let mut lost = 0;
+        for _ in 0..2_000 {
+            let out = resolve_slot(
+                &net,
+                &[
+                    SlotAction::Transmit { channel: ch(0) },
+                    SlotAction::Listen { channel: ch(0) },
+                ],
+                &Impairments::with_delivery_probability(0.25),
+                &mut rng,
+            );
+            delivered += out.deliveries.len();
+            lost += out.impairment_losses;
+        }
+        assert_eq!(delivered + lost, 2_000);
+        let p = delivered as f64 / 2_000.0;
+        assert!((p - 0.25).abs() < 0.05, "delivery rate {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per node")]
+    fn wrong_action_count_panics() {
+        let net = homogeneous(generators::line(2), 1);
+        let mut rng = SeedTree::new(0).rng();
+        let _ = resolve_slot(&net, &[SlotAction::Quiet], &Impairments::reliable(), &mut rng);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-based tests of medium resolution against brute-force models.
+
+use mmhew_radio::{
+    clear_receptions, resolve_slot, Beacon, Impairments, ListenWindow, SlotAction,
+    Transmission,
+};
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_time::{RealInterval, RealTime};
+use mmhew_topology::{generators, Network, NodeId, Propagation};
+use mmhew_util::SeedTree;
+use proptest::prelude::*;
+
+/// Strategy: a random homogeneous ER network plus random slot actions.
+fn slot_case() -> impl Strategy<Value = (usize, u16, f64, u64, Vec<(u8, u16)>)> {
+    (3usize..10, 1u16..5, 0.2f64..1.0, 0u64..u64::MAX).prop_flat_map(
+        |(n, universe, p, seed)| {
+            let actions = prop::collection::vec((0u8..3, 0u16..universe), n..=n);
+            (
+                Just(n),
+                Just(universe),
+                Just(p),
+                Just(seed),
+                actions,
+            )
+        },
+    )
+}
+
+fn build_network(n: usize, universe: u16, p: f64, seed: u64) -> Network {
+    let topo = generators::erdos_renyi(n, p, SeedTree::new(seed));
+    Network::new(
+        topo,
+        universe,
+        (0..n).map(|_| ChannelSet::full(universe)).collect(),
+        Propagation::Uniform,
+    )
+    .expect("valid network")
+}
+
+fn to_actions(raw: &[(u8, u16)]) -> Vec<SlotAction> {
+    raw.iter()
+        .map(|&(kind, c)| match kind {
+            0 => SlotAction::Transmit {
+                channel: ChannelId::new(c),
+            },
+            1 => SlotAction::Listen {
+                channel: ChannelId::new(c),
+            },
+            _ => SlotAction::Quiet,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Slot resolution agrees with the brute-force definition: listener u
+    /// hears v iff v is the unique transmitting neighbor of u on u's
+    /// channel.
+    #[test]
+    fn slot_resolution_matches_bruteforce((n, universe, p, seed, raw) in slot_case()) {
+        let net = build_network(n, universe, p, seed);
+        let actions = to_actions(&raw);
+        let mut rng = SeedTree::new(seed ^ 0xFF).rng();
+        let out = resolve_slot(&net, &actions, &Impairments::reliable(), &mut rng);
+
+        for i in 0..n {
+            let u = NodeId::new(i as u32);
+            let heard: Vec<NodeId> = out
+                .deliveries
+                .iter()
+                .filter(|d| d.to == u)
+                .map(|d| d.from)
+                .collect();
+            match actions[i] {
+                SlotAction::Listen { channel } => {
+                    let txs: Vec<NodeId> = net
+                        .neighbors_on(u, channel)
+                        .iter()
+                        .copied()
+                        .filter(|v| {
+                            matches!(actions[v.as_usize()], SlotAction::Transmit { channel: c } if c == channel)
+                        })
+                        .collect();
+                    if txs.len() == 1 {
+                        prop_assert_eq!(&heard, &txs);
+                    } else {
+                        prop_assert!(heard.is_empty(), "collision or silence must deliver nothing");
+                        if txs.len() >= 2 {
+                            prop_assert!(out.collisions.iter().any(|c| c.at == u));
+                        }
+                    }
+                }
+                _ => prop_assert!(heard.is_empty(), "non-listeners hear nothing"),
+            }
+        }
+        // Global sanity: at most one delivery per listener.
+        for i in 0..n {
+            let u = NodeId::new(i as u32);
+            prop_assert!(out.deliveries.iter().filter(|d| d.to == u).count() <= 1);
+        }
+    }
+
+    /// Continuous reception matches the brute-force interval definition.
+    #[test]
+    fn continuous_resolution_matches_bruteforce(
+        seed in 0u64..u64::MAX,
+        window_start in 0u64..5_000,
+        window_len in 500u64..4_000,
+        bursts in prop::collection::vec(
+            (0u32..4, 0u16..2, 0u64..8_000, 100u64..1_500),
+            0..12,
+        ),
+    ) {
+        // Complete graph of 5 on 2 channels: node 4 listens, 0..4 transmit.
+        let net = build_network(5, 2, 1.0, seed);
+        let listener = NodeId::new(4);
+        let channel = ChannelId::new(0);
+        let window = ListenWindow {
+            listener,
+            channel,
+            interval: RealInterval::new(
+                RealTime::from_nanos(window_start),
+                RealTime::from_nanos(window_start + window_len),
+            ),
+        };
+        let txs: Vec<Transmission> = bursts
+            .iter()
+            .map(|&(from, c, start, len)| Transmission {
+                from: NodeId::new(from),
+                channel: ChannelId::new(c),
+                interval: RealInterval::new(
+                    RealTime::from_nanos(start),
+                    RealTime::from_nanos(start + len),
+                ),
+            })
+            .collect();
+        let got = clear_receptions(&net, &window, &txs);
+
+        // Brute force: sender v is received iff some burst of v on the
+        // channel is contained in the window and overlapped by no burst of
+        // a different sender on the channel.
+        for v in 0..4u32 {
+            let v = NodeId::new(v);
+            let expected = txs.iter().any(|b| {
+                b.from == v
+                    && b.channel == channel
+                    && window.interval.contains_interval(&b.interval)
+                    && !txs.iter().any(|o| {
+                        o.from != v && o.channel == channel && o.interval.overlaps(&b.interval)
+                    })
+            });
+            prop_assert_eq!(
+                got.iter().any(|r| r.from == v),
+                expected,
+                "sender {} mismatch", v
+            );
+        }
+        // At most one reception per sender; bursts reported are contained.
+        for r in &got {
+            prop_assert!(window.interval.contains_interval(&r.burst));
+            prop_assert_eq!(got.iter().filter(|x| x.from == r.from).count(), 1);
+        }
+    }
+
+    /// Beacon wire format round-trips for arbitrary channel sets.
+    #[test]
+    fn beacon_round_trip(
+        sender in 0u32..1_000_000,
+        channels in prop::collection::btree_set(0u16..500, 0..64),
+    ) {
+        let set: ChannelSet = channels.iter().copied().collect();
+        let beacon = Beacon::new(NodeId::new(sender), set);
+        let decoded = Beacon::decode(&beacon.encode()).expect("round trip");
+        prop_assert_eq!(decoded, beacon);
+    }
+
+    /// Truncating a valid encoding at any point must fail to decode, never
+    /// panic or succeed.
+    #[test]
+    fn beacon_truncation_always_errors(
+        sender in 0u32..1_000,
+        channels in prop::collection::btree_set(0u16..100, 1..20),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let set: ChannelSet = channels.iter().copied().collect();
+        let wire = Beacon::new(NodeId::new(sender), set).encode();
+        let cut = ((wire.len() as f64 * cut_fraction) as usize).min(wire.len() - 1);
+        prop_assert!(Beacon::decode(&wire[..cut]).is_err());
+    }
+}

@@ -1,0 +1,554 @@
+//! Generators of heterogeneous per-node available channel sets.
+//!
+//! The heterogeneity of an M²HeW network is entirely captured by the family
+//! `{A(u)}` of available channel sets. These models span the spectrum the
+//! paper discusses: the fully homogeneous case (`ρ = 1`, the assumption
+//! "made frequently in the literature"), uniformly random subsets, an
+//! exact-`ρ` adversarial construction, and the spatial primary-user model
+//! that motivates cognitive radio.
+
+use crate::channel::ChannelId;
+use crate::channel_set::ChannelSet;
+use crate::primary_user::{PrimaryUser, SpectrumMap};
+use mmhew_util::SeedTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How per-node available channel sets are generated.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AvailabilityModel {
+    /// Every node gets the whole universe (homogeneous network, `ρ = 1`).
+    Full,
+    /// Every node gets an independent uniformly random subset of the given
+    /// size.
+    UniformSubset {
+        /// Channels per node.
+        size: u16,
+    },
+    /// Exact span-ratio control: every node gets the `shared` channels
+    /// `{0..shared}` plus `private` channels exclusive to it, so every link
+    /// has span exactly the shared block and span-ratio
+    /// `ρ = shared / (shared + private)`.
+    PairwiseOverlap {
+        /// Channels common to all nodes.
+        shared: u16,
+        /// Channels exclusive to each node.
+        private: u16,
+    },
+    /// Cognitive-radio spatial model: primary users are dropped uniformly
+    /// over the deployment area and their channels are carved out of the
+    /// availability of every node inside their footprint.
+    SpatialPrimaryUsers {
+        /// Number of primary users.
+        primaries: usize,
+        /// Footprint radius of each primary user (same units as node
+        /// positions).
+        radius: f64,
+        /// Channels occupied by each primary user.
+        channels_per_primary: u16,
+    },
+    /// Spatially clustered availability: `clusters` cluster centers are
+    /// dropped over the deployment area, each with its own base channel
+    /// set of the given size; every node adopts the base set of its
+    /// nearest center. Models metro-scale spectrum regions (all nodes in
+    /// one neighborhood see the same primary users).
+    Clustered {
+        /// Number of spectrum regions.
+        clusters: usize,
+        /// Channels per region's base set.
+        size: u16,
+    },
+    /// Fixed, explicitly provided sets (tests and hand-built scenarios).
+    Explicit(Vec<ChannelSet>),
+}
+
+/// Failure to generate availability sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AvailabilityError {
+    /// A requested per-node subset exceeds the universe size.
+    SubsetTooLarge {
+        /// Requested subset size.
+        requested: u16,
+        /// Universe size.
+        universe: u16,
+    },
+    /// The universe cannot hold the shared block plus all private blocks.
+    UniverseTooSmall {
+        /// Channels the construction needs.
+        needed: usize,
+        /// Universe size.
+        universe: u16,
+    },
+    /// An `Explicit` model was given a different number of sets than there
+    /// are nodes.
+    WrongNodeCount {
+        /// Sets provided.
+        provided: usize,
+        /// Nodes required.
+        required: usize,
+    },
+    /// An `Explicit` model references a channel outside the universe.
+    ChannelOutOfUniverse {
+        /// Offending channel.
+        channel: ChannelId,
+        /// Universe size.
+        universe: u16,
+    },
+}
+
+impl fmt::Display for AvailabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AvailabilityError::SubsetTooLarge { requested, universe } => write!(
+                f,
+                "requested subset of {requested} channels from a universe of {universe}"
+            ),
+            AvailabilityError::UniverseTooSmall { needed, universe } => write!(
+                f,
+                "construction needs {needed} channels but universe has {universe}"
+            ),
+            AvailabilityError::WrongNodeCount { provided, required } => write!(
+                f,
+                "explicit model provides {provided} sets for {required} nodes"
+            ),
+            AvailabilityError::ChannelOutOfUniverse { channel, universe } => write!(
+                f,
+                "explicit set contains {channel} outside universe of size {universe}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AvailabilityError {}
+
+impl AvailabilityModel {
+    /// Generates one available channel set per node.
+    ///
+    /// `positions` are the node coordinates produced by the topology
+    /// generator (used only by the spatial model, but always supplied so
+    /// callers need not special-case).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AvailabilityError`] when the model parameters are
+    /// inconsistent with the universe size or node count.
+    pub fn assign(
+        &self,
+        universe: u16,
+        positions: &[(f64, f64)],
+        seed: SeedTree,
+    ) -> Result<Vec<ChannelSet>, AvailabilityError> {
+        let n = positions.len();
+        match self {
+            AvailabilityModel::Full => Ok((0..n).map(|_| ChannelSet::full(universe)).collect()),
+
+            AvailabilityModel::UniformSubset { size } => {
+                if *size > universe {
+                    return Err(AvailabilityError::SubsetTooLarge {
+                        requested: *size,
+                        universe,
+                    });
+                }
+                Ok((0..n)
+                    .map(|i| {
+                        let mut rng = seed.branch("uniform-subset").index(i as u64).rng();
+                        random_subset(universe, *size, &mut rng)
+                    })
+                    .collect())
+            }
+
+            AvailabilityModel::PairwiseOverlap { shared, private } => {
+                let needed = *shared as usize + n * *private as usize;
+                if needed > universe as usize {
+                    return Err(AvailabilityError::UniverseTooSmall { needed, universe });
+                }
+                Ok((0..n)
+                    .map(|i| {
+                        let mut set = ChannelSet::new();
+                        for c in 0..*shared {
+                            set.insert(ChannelId::new(c));
+                        }
+                        let base = *shared as usize + i * *private as usize;
+                        for k in 0..*private as usize {
+                            set.insert(ChannelId::new((base + k) as u16));
+                        }
+                        set
+                    })
+                    .collect())
+            }
+
+            AvailabilityModel::SpatialPrimaryUsers {
+                primaries,
+                radius,
+                channels_per_primary,
+            } => {
+                if *channels_per_primary > universe {
+                    return Err(AvailabilityError::SubsetTooLarge {
+                        requested: *channels_per_primary,
+                        universe,
+                    });
+                }
+                let map = spatial_map(
+                    universe,
+                    positions,
+                    *primaries,
+                    *radius,
+                    *channels_per_primary,
+                    seed,
+                );
+                Ok(positions
+                    .iter()
+                    .map(|&(x, y)| map.available_at(x, y))
+                    .collect())
+            }
+
+            AvailabilityModel::Clustered { clusters, size } => {
+                if *size > universe {
+                    return Err(AvailabilityError::SubsetTooLarge {
+                        requested: *size,
+                        universe,
+                    });
+                }
+                if *clusters == 0 {
+                    return Err(AvailabilityError::UniverseTooSmall {
+                        needed: 1,
+                        universe: 0,
+                    });
+                }
+                // Cluster centers uniform over the node bounding box; each
+                // gets an independent random base set.
+                let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+                let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+                for &(x, y) in positions {
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                }
+                if positions.is_empty() {
+                    return Ok(Vec::new());
+                }
+                let centers: Vec<((f64, f64), ChannelSet)> = (0..*clusters)
+                    .map(|k| {
+                        let mut rng = seed.branch("cluster").index(k as u64).rng();
+                        let cx = if max_x > min_x { rng.gen_range(min_x..=max_x) } else { min_x };
+                        let cy = if max_y > min_y { rng.gen_range(min_y..=max_y) } else { min_y };
+                        ((cx, cy), random_subset(universe, *size, &mut rng))
+                    })
+                    .collect();
+                Ok(positions
+                    .iter()
+                    .map(|&(x, y)| {
+                        centers
+                            .iter()
+                            .min_by(|(a, _), (b, _)| {
+                                let da = (a.0 - x).powi(2) + (a.1 - y).powi(2);
+                                let db = (b.0 - x).powi(2) + (b.1 - y).powi(2);
+                                da.partial_cmp(&db).expect("finite distances")
+                            })
+                            .map(|(_, set)| set.clone())
+                            .expect("at least one cluster")
+                    })
+                    .collect())
+            }
+
+            AvailabilityModel::Explicit(sets) => {
+                if sets.len() != n {
+                    return Err(AvailabilityError::WrongNodeCount {
+                        provided: sets.len(),
+                        required: n,
+                    });
+                }
+                for set in sets {
+                    if let Some(c) = set.max_channel() {
+                        if c.index() >= universe {
+                            return Err(AvailabilityError::ChannelOutOfUniverse {
+                                channel: c,
+                                universe,
+                            });
+                        }
+                    }
+                }
+                Ok(sets.clone())
+            }
+        }
+    }
+
+    /// The exact span-ratio this model guarantees, if it guarantees one.
+    pub fn exact_rho(&self) -> Option<f64> {
+        match self {
+            AvailabilityModel::Full => Some(1.0),
+            AvailabilityModel::PairwiseOverlap { shared, private } => {
+                Some(*shared as f64 / (*shared + *private) as f64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Builds the spectrum map for the spatial model: primary users uniform
+/// over the node bounding box inflated by their radius.
+fn spatial_map(
+    universe: u16,
+    positions: &[(f64, f64)],
+    primaries: usize,
+    radius: f64,
+    channels_per_primary: u16,
+    seed: SeedTree,
+) -> SpectrumMap {
+    let (mut min_x, mut min_y) = (f64::INFINITY, f64::INFINITY);
+    let (mut max_x, mut max_y) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in positions {
+        min_x = min_x.min(x);
+        min_y = min_y.min(y);
+        max_x = max_x.max(x);
+        max_y = max_y.max(y);
+    }
+    if positions.is_empty() {
+        min_x = 0.0;
+        min_y = 0.0;
+        max_x = 1.0;
+        max_y = 1.0;
+    }
+    let users = (0..primaries)
+        .map(|i| {
+            let mut rng = seed.branch("primary").index(i as u64).rng();
+            let x = rng.gen_range(min_x - radius..=max_x + radius);
+            let y = rng.gen_range(min_y - radius..=max_y + radius);
+            let channels = random_subset(universe, channels_per_primary, &mut rng);
+            PrimaryUser::new(x, y, radius, channels)
+        })
+        .collect();
+    SpectrumMap::new(universe, users)
+}
+
+/// A uniformly random `size`-subset of `{0..universe}` via partial
+/// Fisher–Yates.
+fn random_subset<R: Rng + ?Sized>(universe: u16, size: u16, rng: &mut R) -> ChannelSet {
+    debug_assert!(size <= universe);
+    let mut pool: Vec<u16> = (0..universe).collect();
+    let mut set = ChannelSet::new();
+    for i in 0..size as usize {
+        let j = rng.gen_range(i..pool.len());
+        pool.swap(i, j);
+        set.insert(ChannelId::new(pool[i]));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_positions(n: usize) -> Vec<(f64, f64)> {
+        (0..n).map(|i| (i as f64, 0.0)).collect()
+    }
+
+    #[test]
+    fn full_model() {
+        let sets = AvailabilityModel::Full
+            .assign(6, &grid_positions(4), SeedTree::new(0))
+            .expect("full model");
+        assert_eq!(sets.len(), 4);
+        for s in &sets {
+            assert_eq!(s.len(), 6);
+        }
+    }
+
+    #[test]
+    fn uniform_subset_sizes_and_determinism() {
+        let model = AvailabilityModel::UniformSubset { size: 5 };
+        let a = model
+            .assign(20, &grid_positions(10), SeedTree::new(3))
+            .expect("subset model");
+        let b = model
+            .assign(20, &grid_positions(10), SeedTree::new(3))
+            .expect("subset model");
+        assert_eq!(a, b, "same seed, same sets");
+        for s in &a {
+            assert_eq!(s.len(), 5);
+            assert!(s.max_channel().expect("non-empty").index() < 20);
+        }
+        let c = model
+            .assign(20, &grid_positions(10), SeedTree::new(4))
+            .expect("subset model");
+        assert_ne!(a, c, "different seed, different sets");
+    }
+
+    #[test]
+    fn uniform_subset_rejects_oversize() {
+        let err = AvailabilityModel::UniformSubset { size: 21 }
+            .assign(20, &grid_positions(2), SeedTree::new(0))
+            .expect_err("oversize subset");
+        assert_eq!(
+            err,
+            AvailabilityError::SubsetTooLarge {
+                requested: 21,
+                universe: 20
+            }
+        );
+    }
+
+    #[test]
+    fn uniform_subset_full_size_is_whole_universe() {
+        let sets = AvailabilityModel::UniformSubset { size: 8 }
+            .assign(8, &grid_positions(3), SeedTree::new(1))
+            .expect("full-size subset");
+        for s in &sets {
+            assert_eq!(s, &ChannelSet::full(8));
+        }
+    }
+
+    #[test]
+    fn pairwise_overlap_exact_rho() {
+        let model = AvailabilityModel::PairwiseOverlap {
+            shared: 2,
+            private: 3,
+        };
+        let sets = model
+            .assign(2 + 4 * 3, &grid_positions(4), SeedTree::new(0))
+            .expect("overlap model");
+        assert!((model.exact_rho().expect("exact") - 0.4).abs() < 1e-12);
+        for (i, a) in sets.iter().enumerate() {
+            assert_eq!(a.len(), 5);
+            for (j, b) in sets.iter().enumerate() {
+                if i != j {
+                    let span = a.intersection(b);
+                    assert_eq!(span.len(), 2, "span of ({i},{j})");
+                    assert_eq!(span, [0u16, 1].into_iter().collect());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_overlap_universe_check() {
+        let err = AvailabilityModel::PairwiseOverlap {
+            shared: 1,
+            private: 2,
+        }
+        .assign(6, &grid_positions(3), SeedTree::new(0))
+        .expect_err("universe too small");
+        assert_eq!(
+            err,
+            AvailabilityError::UniverseTooSmall {
+                needed: 7,
+                universe: 6
+            }
+        );
+    }
+
+    #[test]
+    fn spatial_model_blocks_near_primaries() {
+        // One column of nodes; enough primaries that some node loses
+        // channels but distant nodes keep everything.
+        let positions: Vec<(f64, f64)> = (0..20).map(|i| (i as f64 * 10.0, 0.0)).collect();
+        let model = AvailabilityModel::SpatialPrimaryUsers {
+            primaries: 10,
+            radius: 8.0,
+            channels_per_primary: 3,
+        };
+        let sets = model
+            .assign(12, &positions, SeedTree::new(5))
+            .expect("spatial model");
+        assert_eq!(sets.len(), 20);
+        let sizes: Vec<usize> = sets.iter().map(|s| s.len()).collect();
+        assert!(sizes.iter().any(|&s| s < 12), "someone must be blocked");
+        assert!(sizes.iter().all(|&s| s <= 12));
+        // Deterministic.
+        let again = model.assign(12, &positions, SeedTree::new(5)).expect("spatial");
+        assert_eq!(sets, again);
+    }
+
+    #[test]
+    fn explicit_model_validates() {
+        let sets = vec![
+            [0u16, 1].into_iter().collect::<ChannelSet>(),
+            [1u16, 2].into_iter().collect(),
+        ];
+        let model = AvailabilityModel::Explicit(sets.clone());
+        assert_eq!(
+            model
+                .assign(3, &grid_positions(2), SeedTree::new(0))
+                .expect("explicit"),
+            sets
+        );
+        assert!(matches!(
+            model.assign(3, &grid_positions(3), SeedTree::new(0)),
+            Err(AvailabilityError::WrongNodeCount { .. })
+        ));
+        assert!(matches!(
+            model.assign(2, &grid_positions(2), SeedTree::new(0)),
+            Err(AvailabilityError::ChannelOutOfUniverse { .. })
+        ));
+    }
+
+    #[test]
+    fn clustered_model_assigns_nearest_region() {
+        // Two far-apart groups of nodes: each group must share one base
+        // set internally.
+        let mut positions: Vec<(f64, f64)> = (0..5).map(|i| (i as f64 * 0.1, 0.0)).collect();
+        positions.extend((0..5).map(|i| (100.0 + i as f64 * 0.1, 0.0)));
+        let model = AvailabilityModel::Clustered { clusters: 2, size: 4 };
+        let sets = model
+            .assign(12, &positions, SeedTree::new(9))
+            .expect("clustered model");
+        assert_eq!(sets.len(), 10);
+        for s in &sets {
+            assert_eq!(s.len(), 4);
+        }
+        // With well-separated groups and 2 clusters, at most 2 distinct
+        // sets exist and each contiguous group is uniform.
+        let distinct: std::collections::HashSet<_> = sets.iter().collect();
+        assert!(distinct.len() <= 2);
+        assert!(sets[..5].iter().all(|s| s == &sets[0]));
+        assert!(sets[5..].iter().all(|s| s == &sets[5]));
+        // Deterministic.
+        assert_eq!(sets, model.assign(12, &positions, SeedTree::new(9)).expect("again"));
+    }
+
+    #[test]
+    fn clustered_model_validates() {
+        let positions = vec![(0.0, 0.0)];
+        assert!(matches!(
+            AvailabilityModel::Clustered { clusters: 1, size: 9 }
+                .assign(4, &positions, SeedTree::new(0)),
+            Err(AvailabilityError::SubsetTooLarge { .. })
+        ));
+        assert!(AvailabilityModel::Clustered { clusters: 0, size: 2 }
+            .assign(4, &positions, SeedTree::new(0))
+            .is_err());
+        // Single node, single cluster works.
+        let sets = AvailabilityModel::Clustered { clusters: 1, size: 2 }
+            .assign(4, &positions, SeedTree::new(1))
+            .expect("valid");
+        assert_eq!(sets[0].len(), 2);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = AvailabilityError::UniverseTooSmall {
+            needed: 9,
+            universe: 4,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("4"));
+    }
+
+    #[test]
+    fn random_subset_is_uniformish() {
+        let mut rng = SeedTree::new(8).rng();
+        let mut counts = vec![0u32; 10];
+        for _ in 0..10_000 {
+            for c in random_subset(10, 3, &mut rng).iter() {
+                counts[c.index() as usize] += 1;
+            }
+        }
+        // Each channel appears with probability 3/10.
+        for &c in &counts {
+            let p = c as f64 / 10_000.0;
+            assert!((p - 0.3).abs() < 0.03, "inclusion frequency {p}");
+        }
+    }
+}

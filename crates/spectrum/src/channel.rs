@@ -1,0 +1,62 @@
+//! Channel identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one wireless channel (frequency) in the universal channel
+/// set.
+///
+/// Channels are dense small integers `0..universe_size`, which lets
+/// [`crate::ChannelSet`] use a flat bitset representation.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_spectrum::ChannelId;
+///
+/// let c = ChannelId::new(3);
+/// assert_eq!(c.index(), 3);
+/// assert_eq!(c.to_string(), "ch3");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ChannelId(u16);
+
+impl ChannelId {
+    /// Creates a channel id.
+    pub const fn new(index: u16) -> Self {
+        Self(index)
+    }
+
+    /// The dense index of this channel.
+    pub const fn index(self) -> u16 {
+        self.0
+    }
+}
+
+impl From<u16> for ChannelId {
+    fn from(index: u16) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_and_ordering() {
+        let a = ChannelId::new(1);
+        let b = ChannelId::from(2u16);
+        assert!(a < b);
+        assert_eq!(b.index(), 2);
+        assert_eq!(format!("{a}"), "ch1");
+    }
+}

@@ -1,0 +1,334 @@
+//! Bitset of channels: the available channel set `A(u)` of the paper.
+
+use crate::channel::ChannelId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of channels, stored as a bitset over dense [`ChannelId`] indices.
+///
+/// This is the `A(u)` of the paper — the set of channels a node perceives
+/// as available — and also link spans `span(u, v) = A(u) ∩ A(v)`. The
+/// algorithms only ever need membership, intersection, uniform random
+/// choice, and cardinality, all of which are O(words) here.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_spectrum::{ChannelId, ChannelSet};
+///
+/// let a: ChannelSet = [0u16, 2, 4].into_iter().collect();
+/// let b: ChannelSet = [2u16, 3, 4].into_iter().collect();
+/// let common = a.intersection(&b);
+/// assert_eq!(common.len(), 2);
+/// assert!(common.contains(ChannelId::new(2)));
+/// assert!(!common.contains(ChannelId::new(0)));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChannelSet {
+    words: Vec<u64>,
+}
+
+impl ChannelSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the set `{0, 1, ..., n−1}` (a full universe of size `n`).
+    pub fn full(n: u16) -> Self {
+        let mut set = Self::new();
+        for i in 0..n {
+            set.insert(ChannelId::new(i));
+        }
+        set
+    }
+
+    /// Inserts a channel; returns true if it was newly added.
+    pub fn insert(&mut self, c: ChannelId) -> bool {
+        let (word, bit) = Self::locate(c);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let had = self.words[word] & (1 << bit) != 0;
+        self.words[word] |= 1 << bit;
+        !had
+    }
+
+    /// Removes a channel; returns true if it was present.
+    pub fn remove(&mut self, c: ChannelId) -> bool {
+        let (word, bit) = Self::locate(c);
+        if word >= self.words.len() {
+            return false;
+        }
+        let had = self.words[word] & (1 << bit) != 0;
+        self.words[word] &= !(1 << bit);
+        self.normalize();
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, c: ChannelId) -> bool {
+        let (word, bit) = Self::locate(c);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of channels in the set (the `|A(u)|` of the paper).
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no channels.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The intersection `self ∩ other` (link spans).
+    pub fn intersection(&self, other: &ChannelSet) -> ChannelSet {
+        let n = self.words.len().min(other.words.len());
+        let words = (0..n).map(|i| self.words[i] & other.words[i]).collect();
+        let mut out = ChannelSet { words };
+        out.normalize();
+        out
+    }
+
+    /// Size of the intersection without allocating.
+    pub fn intersection_len(&self, other: &ChannelSet) -> usize {
+        let n = self.words.len().min(other.words.len());
+        (0..n)
+            .map(|i| (self.words[i] & other.words[i]).count_ones() as usize)
+            .sum()
+    }
+
+    /// The union `self ∪ other`.
+    pub fn union(&self, other: &ChannelSet) -> ChannelSet {
+        let n = self.words.len().max(other.words.len());
+        let words = (0..n)
+            .map(|i| {
+                self.words.get(i).copied().unwrap_or(0) | other.words.get(i).copied().unwrap_or(0)
+            })
+            .collect();
+        ChannelSet { words }
+    }
+
+    /// True if every channel of `self` is in `other`.
+    pub fn is_subset(&self, other: &ChannelSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            w & !other.words.get(i).copied().unwrap_or(0) == 0
+        })
+    }
+
+    /// True if the sets share no channel.
+    pub fn is_disjoint(&self, other: &ChannelSet) -> bool {
+        self.intersection_len(other) == 0
+    }
+
+    /// Iterates over the channels in increasing index order.
+    pub fn iter(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let bit = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ChannelId::new((wi as u32 * 64 + bit) as u16))
+                }
+            })
+        })
+    }
+
+    /// A channel selected uniformly at random from the set — line 3 of
+    /// every algorithm in the paper ("channel selected uniformly at random
+    /// from `A(u)`").
+    ///
+    /// Returns `None` if the set is empty.
+    pub fn choose_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<ChannelId> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let k = rng.gen_range(0..n);
+        self.iter().nth(k)
+    }
+
+    /// The channel with the largest index, if any.
+    pub fn max_channel(&self) -> Option<ChannelId> {
+        self.iter().last()
+    }
+
+    fn locate(c: ChannelId) -> (usize, u32) {
+        ((c.index() / 64) as usize, (c.index() % 64) as u32)
+    }
+
+    /// Drops trailing zero words so that structural equality coincides with
+    /// set equality.
+    fn normalize(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl FromIterator<ChannelId> for ChannelSet {
+    fn from_iter<I: IntoIterator<Item = ChannelId>>(iter: I) -> Self {
+        let mut set = ChannelSet::new();
+        for c in iter {
+            set.insert(c);
+        }
+        set
+    }
+}
+
+impl FromIterator<u16> for ChannelSet {
+    fn from_iter<I: IntoIterator<Item = u16>>(iter: I) -> Self {
+        iter.into_iter().map(ChannelId::new).collect()
+    }
+}
+
+impl Extend<ChannelId> for ChannelSet {
+    fn extend<I: IntoIterator<Item = ChannelId>>(&mut self, iter: I) {
+        for c in iter {
+            self.insert(c);
+        }
+    }
+}
+
+impl fmt::Display for ChannelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.index())?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_util::SeedTree;
+    use std::collections::BTreeSet;
+
+    fn set(xs: &[u16]) -> ChannelSet {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = ChannelSet::new();
+        assert!(s.insert(ChannelId::new(5)));
+        assert!(!s.insert(ChannelId::new(5)), "double insert");
+        assert!(s.contains(ChannelId::new(5)));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(ChannelId::new(5)));
+        assert!(!s.remove(ChannelId::new(5)));
+        assert!(s.is_empty());
+        assert!(!s.remove(ChannelId::new(1000)), "remove beyond capacity");
+    }
+
+    #[test]
+    fn works_across_word_boundaries() {
+        let s = set(&[0, 63, 64, 127, 128, 200]);
+        assert_eq!(s.len(), 6);
+        for c in [0u16, 63, 64, 127, 128, 200] {
+            assert!(s.contains(ChannelId::new(c)), "missing {c}");
+        }
+        assert!(!s.contains(ChannelId::new(65)));
+        let collected: Vec<u16> = s.iter().map(|c| c.index()).collect();
+        assert_eq!(collected, vec![0, 63, 64, 127, 128, 200]);
+    }
+
+    #[test]
+    fn full_universe() {
+        let s = ChannelSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(ChannelId::new(69)));
+        assert!(!s.contains(ChannelId::new(70)));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[1, 2, 3, 70]);
+        let b = set(&[2, 3, 4]);
+        assert_eq!(a.intersection(&b), set(&[2, 3]));
+        assert_eq!(a.intersection_len(&b), 2);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4, 70]));
+        assert!(set(&[2, 3]).is_subset(&a));
+        assert!(!a.is_subset(&b));
+        assert!(a.is_subset(&a));
+        assert!(set(&[9]).is_disjoint(&a));
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn subset_with_shorter_words() {
+        let small = set(&[1]);
+        let large = set(&[1, 200]);
+        assert!(small.is_subset(&large));
+        assert!(!large.is_subset(&small));
+        assert!(set(&[200]).intersection(&small).is_empty());
+    }
+
+    #[test]
+    fn choose_uniform_covers_all_members() {
+        let s = set(&[3, 64, 99]);
+        let mut rng = SeedTree::new(1).rng();
+        let mut seen = BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.choose_uniform(&mut rng).expect("non-empty").index());
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![3, 64, 99]);
+        assert_eq!(ChannelSet::new().choose_uniform(&mut rng), None);
+    }
+
+    #[test]
+    fn choose_uniform_is_roughly_uniform() {
+        let s = set(&[0, 1, 2, 3]);
+        let mut rng = SeedTree::new(2).rng();
+        let mut counts = [0u32; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[s.choose_uniform(&mut rng).expect("non-empty").index() as usize] += 1;
+        }
+        for &c in &counts {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.25).abs() < 0.02, "frequency {p} too far from 0.25");
+        }
+    }
+
+    #[test]
+    fn display_and_from_iter_of_ids() {
+        let s: ChannelSet = [ChannelId::new(2), ChannelId::new(0)].into_iter().collect();
+        assert_eq!(s.to_string(), "{0,2}");
+        assert_eq!(ChannelSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn extend_accumulates() {
+        let mut s = set(&[1]);
+        s.extend([ChannelId::new(2), ChannelId::new(3)]);
+        assert_eq!(s, set(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn max_channel() {
+        assert_eq!(set(&[5, 130, 7]).max_channel(), Some(ChannelId::new(130)));
+        assert_eq!(ChannelSet::new().max_channel(), None);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zero_words() {
+        // Structural equality must coincide with set equality even after
+        // operations that could leave empty high words behind.
+        let mut a = set(&[1, 200]);
+        a.remove(ChannelId::new(200));
+        assert_eq!(a, set(&[1]));
+        let inter = set(&[1, 200]).intersection(&set(&[1, 300]));
+        assert_eq!(inter, set(&[1]));
+    }
+}

@@ -1,0 +1,36 @@
+//! Spectrum model for M²HeW networks: channels, channel sets, and
+//! heterogeneous availability generation.
+//!
+//! A multi-hop multi-channel heterogeneous wireless (M²HeW) network — e.g.
+//! a cognitive-radio network — is characterized by each node `u` perceiving
+//! its own *available channel set* `A(u)` (paper §II). This crate provides:
+//!
+//! * [`ChannelId`] / [`ChannelSet`] — dense channel identifiers and the
+//!   bitset algebra (`∩`, `∪`, uniform random choice) the algorithms use;
+//! * [`AvailabilityModel`] — generators of `{A(u)}` families, from fully
+//!   homogeneous to exact-`ρ` adversarial to the spatial
+//!   [`PrimaryUser`]/[`SpectrumMap`] cognitive-radio model.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_spectrum::{AvailabilityModel, ChannelSet};
+//! use mmhew_util::SeedTree;
+//!
+//! let positions = vec![(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)];
+//! let sets = AvailabilityModel::UniformSubset { size: 4 }
+//!     .assign(10, &positions, SeedTree::new(1))?;
+//! assert_eq!(sets.len(), 3);
+//! assert!(sets.iter().all(|s: &ChannelSet| s.len() == 4));
+//! # Ok::<(), mmhew_spectrum::AvailabilityError>(())
+//! ```
+
+pub mod availability;
+pub mod channel;
+pub mod channel_set;
+pub mod primary_user;
+
+pub use availability::{AvailabilityError, AvailabilityModel};
+pub use channel::ChannelId;
+pub use channel_set::ChannelSet;
+pub use primary_user::{PrimaryUser, SpectrumMap};

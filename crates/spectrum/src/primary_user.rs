@@ -1,0 +1,194 @@
+//! Spatial primary-user model for cognitive-radio spectrum availability.
+//!
+//! In a CR network, licensed *primary users* occupy channels within a
+//! geographic footprint; *secondary* (CR) nodes inside the footprint must
+//! not use those channels. Placing primary users in the plane and carving
+//! their channels out of nearby nodes' availability reproduces the "spatial
+//! variations in frequency usage" that make M²HeW networks heterogeneous
+//! (paper §I–II).
+
+use crate::channel_set::ChannelSet;
+use serde::{Deserialize, Serialize};
+
+/// A licensed transmitter occupying some channels inside a disk footprint.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_spectrum::{ChannelSet, PrimaryUser};
+///
+/// let pu = PrimaryUser::new(0.5, 0.5, 0.2, [0u16, 1].into_iter().collect());
+/// assert!(pu.blocks_at(0.5, 0.6));
+/// assert!(!pu.blocks_at(0.9, 0.9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrimaryUser {
+    x: f64,
+    y: f64,
+    radius: f64,
+    channels: ChannelSet,
+}
+
+impl PrimaryUser {
+    /// Creates a primary user at `(x, y)` with the given footprint radius,
+    /// occupying `channels`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is negative or not finite.
+    pub fn new(x: f64, y: f64, radius: f64, channels: ChannelSet) -> Self {
+        assert!(radius.is_finite() && radius >= 0.0, "invalid radius");
+        Self {
+            x,
+            y,
+            radius,
+            channels,
+        }
+    }
+
+    /// The channels this primary user occupies.
+    pub fn channels(&self) -> &ChannelSet {
+        &self.channels
+    }
+
+    /// Footprint center.
+    pub fn position(&self) -> (f64, f64) {
+        (self.x, self.y)
+    }
+
+    /// Footprint radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// True if a node at `(x, y)` lies inside this primary user's
+    /// footprint (boundary inclusive).
+    pub fn blocks_at(&self, x: f64, y: f64) -> bool {
+        let dx = x - self.x;
+        let dy = y - self.y;
+        dx * dx + dy * dy <= self.radius * self.radius
+    }
+}
+
+/// A static map of spectrum occupancy: the universal channel set minus, at
+/// each point, the channels of every primary user whose footprint covers
+/// the point.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_spectrum::{ChannelSet, PrimaryUser, SpectrumMap};
+///
+/// let map = SpectrumMap::new(
+///     4,
+///     vec![PrimaryUser::new(0.0, 0.0, 1.0, [0u16].into_iter().collect())],
+/// );
+/// // Inside the footprint channel 0 is gone.
+/// assert_eq!(map.available_at(0.5, 0.5), [1u16, 2, 3].into_iter().collect());
+/// // Far away everything is available.
+/// assert_eq!(map.available_at(5.0, 5.0).len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumMap {
+    universe_size: u16,
+    primaries: Vec<PrimaryUser>,
+}
+
+impl SpectrumMap {
+    /// Creates a map over a universe of `universe_size` channels.
+    pub fn new(universe_size: u16, primaries: Vec<PrimaryUser>) -> Self {
+        Self {
+            universe_size,
+            primaries,
+        }
+    }
+
+    /// Size of the universal channel set.
+    pub fn universe_size(&self) -> u16 {
+        self.universe_size
+    }
+
+    /// The primary users on this map.
+    pub fn primaries(&self) -> &[PrimaryUser] {
+        &self.primaries
+    }
+
+    /// The channel set perceived available by a CR node at `(x, y)`.
+    pub fn available_at(&self, x: f64, y: f64) -> ChannelSet {
+        let mut set = ChannelSet::full(self.universe_size);
+        for pu in &self.primaries {
+            if pu.blocks_at(x, y) {
+                for c in pu.channels().iter() {
+                    set.remove(c);
+                }
+            }
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelId;
+
+    fn cs(xs: &[u16]) -> ChannelSet {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn footprint_boundary_inclusive() {
+        let pu = PrimaryUser::new(0.0, 0.0, 1.0, cs(&[0]));
+        assert!(pu.blocks_at(1.0, 0.0));
+        assert!(pu.blocks_at(0.0, -1.0));
+        assert!(!pu.blocks_at(1.0001, 0.0));
+    }
+
+    #[test]
+    fn overlapping_footprints_accumulate() {
+        let map = SpectrumMap::new(
+            5,
+            vec![
+                PrimaryUser::new(0.0, 0.0, 1.0, cs(&[0, 1])),
+                PrimaryUser::new(0.5, 0.0, 1.0, cs(&[1, 2])),
+            ],
+        );
+        // Point covered by both loses 0, 1 and 2.
+        assert_eq!(map.available_at(0.25, 0.0), cs(&[3, 4]));
+        // Point covered only by the second.
+        assert_eq!(map.available_at(1.4, 0.0), cs(&[0, 3, 4]));
+    }
+
+    #[test]
+    fn node_inside_every_footprint_may_lose_everything() {
+        let map = SpectrumMap::new(
+            2,
+            vec![PrimaryUser::new(0.0, 0.0, 10.0, cs(&[0, 1]))],
+        );
+        assert!(map.available_at(1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn zero_radius_blocks_only_its_center() {
+        let pu = PrimaryUser::new(2.0, 2.0, 0.0, cs(&[0]));
+        assert!(pu.blocks_at(2.0, 2.0));
+        assert!(!pu.blocks_at(2.0, 2.0001));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid radius")]
+    fn negative_radius_panics() {
+        let _ = PrimaryUser::new(0.0, 0.0, -1.0, ChannelSet::new());
+    }
+
+    #[test]
+    fn accessors() {
+        let pu = PrimaryUser::new(1.0, 2.0, 3.0, cs(&[7]));
+        assert_eq!(pu.position(), (1.0, 2.0));
+        assert_eq!(pu.radius(), 3.0);
+        assert!(pu.channels().contains(ChannelId::new(7)));
+        let map = SpectrumMap::new(9, vec![pu]);
+        assert_eq!(map.universe_size(), 9);
+        assert_eq!(map.primaries().len(), 1);
+    }
+}

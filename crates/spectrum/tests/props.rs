@@ -1,0 +1,128 @@
+//! Property-based tests: `ChannelSet` against a `BTreeSet` reference
+//! model, and availability-model invariants.
+
+use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
+use mmhew_util::SeedTree;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn from_model(model: &BTreeSet<u16>) -> ChannelSet {
+    model.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn insert_remove_contains_matches_model(
+        ops in prop::collection::vec((0u16..300, prop::bool::ANY), 0..120)
+    ) {
+        let mut set = ChannelSet::new();
+        let mut model: BTreeSet<u16> = BTreeSet::new();
+        for (c, insert) in ops {
+            if insert {
+                prop_assert_eq!(set.insert(ChannelId::new(c)), model.insert(c));
+            } else {
+                prop_assert_eq!(set.remove(ChannelId::new(c)), model.remove(&c));
+            }
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert_eq!(set.is_empty(), model.is_empty());
+        }
+        let collected: Vec<u16> = set.iter().map(|c| c.index()).collect();
+        let expected: Vec<u16> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected, "iteration order and content");
+    }
+
+    #[test]
+    fn set_algebra_matches_model(
+        a in prop::collection::btree_set(0u16..200, 0..60),
+        b in prop::collection::btree_set(0u16..200, 0..60),
+    ) {
+        let sa = from_model(&a);
+        let sb = from_model(&b);
+        let inter: BTreeSet<u16> = a.intersection(&b).copied().collect();
+        let union: BTreeSet<u16> = a.union(&b).copied().collect();
+        prop_assert_eq!(sa.intersection(&sb), from_model(&inter));
+        prop_assert_eq!(sa.union(&sb), from_model(&union));
+        prop_assert_eq!(sa.intersection_len(&sb), inter.len());
+        prop_assert_eq!(sa.is_subset(&sb), a.is_subset(&b));
+        prop_assert_eq!(sa.is_disjoint(&sb), a.is_disjoint(&b));
+        // Algebraic identities.
+        prop_assert_eq!(sa.intersection(&sb), sb.intersection(&sa));
+        prop_assert!(sa.intersection(&sb).is_subset(&sa));
+        prop_assert!(sa.is_subset(&sa.union(&sb)));
+    }
+
+    #[test]
+    fn choose_uniform_always_returns_member(
+        model in prop::collection::btree_set(0u16..200, 1..50),
+        seed in 0u64..u64::MAX,
+    ) {
+        let set = from_model(&model);
+        let mut rng = SeedTree::new(seed).rng();
+        for _ in 0..20 {
+            let c = set.choose_uniform(&mut rng).expect("non-empty");
+            prop_assert!(model.contains(&c.index()));
+        }
+    }
+
+    #[test]
+    fn full_set_has_exact_membership(n in 0u16..300) {
+        let set = ChannelSet::full(n);
+        prop_assert_eq!(set.len(), n as usize);
+        if n > 0 {
+            prop_assert!(set.contains(ChannelId::new(n - 1)));
+        }
+        prop_assert!(!set.contains(ChannelId::new(n)));
+    }
+
+    #[test]
+    fn uniform_subset_model_invariants(
+        n in 1usize..20,
+        universe in 1u16..40,
+        size in 1u16..40,
+        seed in 0u64..u64::MAX,
+    ) {
+        let positions: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let model = AvailabilityModel::UniformSubset { size };
+        let result = model.assign(universe, &positions, SeedTree::new(seed));
+        if size > universe {
+            prop_assert!(result.is_err());
+        } else {
+            let sets = result.expect("valid parameters");
+            prop_assert_eq!(sets.len(), n);
+            for s in &sets {
+                prop_assert_eq!(s.len(), size as usize);
+                if let Some(max) = s.max_channel() {
+                    prop_assert!(max.index() < universe);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_overlap_delivers_exact_rho(
+        n in 2usize..8,
+        shared in 1u16..5,
+        private in 0u16..5,
+        seed in 0u64..u64::MAX,
+    ) {
+        let universe = shared + n as u16 * private;
+        let positions: Vec<(f64, f64)> = (0..n).map(|i| (i as f64, 0.0)).collect();
+        let model = AvailabilityModel::PairwiseOverlap { shared, private };
+        let sets = model
+            .assign(universe, &positions, SeedTree::new(seed))
+            .expect("fits the universe");
+        let rho = model.exact_rho().expect("exact");
+        for (i, a) in sets.iter().enumerate() {
+            prop_assert_eq!(a.len(), (shared + private) as usize);
+            for (j, b) in sets.iter().enumerate() {
+                if i == j { continue; }
+                let span = a.intersection(b);
+                prop_assert_eq!(span.len(), shared as usize);
+                let measured = span.len() as f64 / b.len() as f64;
+                prop_assert!((measured - rho).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! The admissible frame-pair sequences of §IV (Definitions 3–4, Lemma 8).
+//!
+//! The asynchronous analysis needs coverage attempts that behave like
+//! independent trials. An *admissible sequence* for a link `(v, u)` is a
+//! sequence of frame-pairs `⟨f, g⟩` (one frame of `v`, one of `u`) that
+//! (1) belong to the right nodes, (2) strictly advance in time, (3) are
+//! each *aligned* (Definition 1), and (4) have pairwise-disjoint
+//! `overlapAll` neighborhoods so the random choices involved are
+//! independent. Lemma 8 proves any window containing `M` full frames of
+//! both nodes yields an admissible sequence of length ≥ `M/6`.
+//!
+//! This module implements the proof's two-step construction — greedy
+//! aligned-pair selection via Lemma 7 (`γ`), then keeping every third
+//! pair (`σ`) — and a checker for the four admissibility conditions, so
+//! both can be validated empirically (experiment E9).
+
+use crate::clock::DriftedClock;
+use crate::duration::RealTime;
+use crate::frame::{find_aligned_pair_after, overlapping_frames, FrameSchedule};
+
+/// One aligned frame-pair: frame `of_v` of the transmitter and frame
+/// `of_u` of the receiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FramePair {
+    /// Frame index at node `v` (the transmitter of the link).
+    pub of_v: u64,
+    /// Frame index at node `u` (the receiver).
+    pub of_u: u64,
+}
+
+/// Constructs an admissible sequence for the link `(v, u)` starting at
+/// `t_s`, following the proof of Lemma 8: repeatedly apply Lemma 7 to the
+/// earlier end-time of the previous pair to build the dense sequence `γ`,
+/// then keep every third pair.
+///
+/// `max_frames` bounds the construction (the window of Lemma 8); the
+/// returned sequence uses only frames with index below `max_frames` at
+/// both nodes.
+pub fn admissible_sequence(
+    t_s: RealTime,
+    v_sched: &FrameSchedule,
+    v_clock: &mut DriftedClock,
+    u_sched: &FrameSchedule,
+    u_clock: &mut DriftedClock,
+    max_frames: u64,
+) -> Vec<FramePair> {
+    let mut gamma: Vec<FramePair> = Vec::new();
+    let mut t = t_s;
+    while let Some((fv, fu)) =
+        find_aligned_pair_after(t, v_sched, v_clock, u_sched, u_clock, 2)
+    {
+        if fv >= max_frames || fu >= max_frames {
+            break;
+        }
+        // T_k = the earlier of the end times of the two selected frames.
+        let v_end = v_sched.frame_interval(fv, v_clock).end();
+        let u_end = u_sched.frame_interval(fu, u_clock).end();
+        t = v_end.min(u_end);
+        gamma.push(FramePair { of_v: fv, of_u: fu });
+    }
+    // σ: every third pair of γ, starting with the first.
+    gamma.into_iter().step_by(3).collect()
+}
+
+/// Verifies the four conditions of Definition 4 for a candidate sequence,
+/// returning the first violated condition number (1–4) or `None` if the
+/// sequence is admissible. Condition 1 (node ownership) is structural
+/// here — pairs are built from the two schedules — so only 2–4 can fail.
+pub fn check_admissible(
+    pairs: &[FramePair],
+    v_sched: &FrameSchedule,
+    v_clock: &mut DriftedClock,
+    u_sched: &FrameSchedule,
+    u_clock: &mut DriftedClock,
+) -> Option<u8> {
+    // Condition 2: strict precedence of start times in both coordinates.
+    for w in pairs.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        let va = v_sched.frame_interval(a.of_v, v_clock).start();
+        let vb = v_sched.frame_interval(b.of_v, v_clock).start();
+        let ua = u_sched.frame_interval(a.of_u, u_clock).start();
+        let ub = u_sched.frame_interval(b.of_u, u_clock).start();
+        if va >= vb || ua >= ub {
+            return Some(2);
+        }
+    }
+    // Condition 3: every pair aligned.
+    for p in pairs {
+        let slots = [
+            v_sched.slot_interval(p.of_v, 0, v_clock),
+            v_sched.slot_interval(p.of_v, 1, v_clock),
+            v_sched.slot_interval(p.of_v, 2, v_clock),
+        ];
+        let g = u_sched.frame_interval(p.of_u, u_clock);
+        if !crate::frame::is_aligned(&slots, &g) {
+            return Some(3);
+        }
+    }
+    // Condition 4: disjoint overlapAll neighborhoods of consecutive
+    // receiver frames. overlapAll(g) here means: frames of either node
+    // overlapping g (only the two nodes of the link participate in this
+    // structural check; interferers are handled probabilistically in
+    // Lemma 5's event C).
+    for w in pairs.windows(2) {
+        let ga = u_sched.frame_interval(w[0].of_u, u_clock);
+        let gb = u_sched.frame_interval(w[1].of_u, u_clock);
+        let horizon = w[1].of_u.max(w[1].of_v) + 8;
+        let va = overlapping_frames(&ga, v_sched, v_clock, horizon);
+        let vb = overlapping_frames(&gb, v_sched, v_clock, horizon);
+        if va.iter().any(|f| vb.contains(f)) {
+            return Some(4);
+        }
+        let ua = overlapping_frames(&ga, u_sched, u_clock, horizon);
+        let ub = overlapping_frames(&gb, u_sched, u_clock, horizon);
+        if ua.iter().any(|f| ub.contains(f)) {
+            return Some(4);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::{DriftBound, DriftModel};
+    use crate::duration::{LocalDuration, LocalTime, RealDuration};
+    use crate::rate::Rate;
+    use mmhew_util::SeedTree;
+
+    const L: u64 = 3_000;
+
+    fn setup(
+        model_v: DriftModel,
+        model_u: DriftModel,
+        offset_u: u64,
+        seed: u64,
+    ) -> (FrameSchedule, DriftedClock, FrameSchedule, DriftedClock) {
+        let cv = DriftedClock::new(model_v, LocalTime::ZERO, SeedTree::new(seed));
+        let cu = DriftedClock::new(
+            model_u,
+            LocalTime::from_nanos(offset_u),
+            SeedTree::new(seed ^ 1),
+        );
+        let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(L));
+        let su = FrameSchedule::new(
+            LocalTime::from_nanos(offset_u),
+            LocalDuration::from_nanos(L),
+        );
+        (sv, cv, su, cu)
+    }
+
+    #[test]
+    fn ideal_clocks_yield_admissible_sequence_of_lemma8_length() {
+        let (sv, mut cv, su, mut cu) =
+            setup(DriftModel::Ideal, DriftModel::Ideal, 1_234, 7);
+        let m = 60;
+        let seq = admissible_sequence(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, m);
+        assert!(
+            seq.len() as u64 >= m / 6,
+            "Lemma 8 promises ≥ M/6 = {} pairs, got {}",
+            m / 6,
+            seq.len()
+        );
+        assert_eq!(
+            check_admissible(&seq, &sv, &mut cv, &su, &mut cu),
+            None,
+            "construction must satisfy Definition 4"
+        );
+    }
+
+    #[test]
+    fn opposed_extreme_drift_still_admissible() {
+        let (sv, mut cv, su, mut cu) = setup(
+            DriftModel::Constant(Rate::new(8, 7)),
+            DriftModel::Constant(Rate::new(6, 7)),
+            2_750,
+            13,
+        );
+        let m = 90;
+        let seq = admissible_sequence(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, m);
+        assert!(seq.len() as u64 >= m / 6, "got {}", seq.len());
+        assert_eq!(check_admissible(&seq, &sv, &mut cv, &su, &mut cu), None);
+    }
+
+    #[test]
+    fn random_drift_admissible_many_offsets() {
+        for (i, offset) in [0u64, 777, 1_499, 2_999, 4_242].iter().enumerate() {
+            let model = DriftModel::RandomPiecewise {
+                bound: DriftBound::PAPER,
+                segment: RealDuration::from_nanos(L / 2),
+            };
+            let (sv, mut cv, su, mut cu) = setup(model.clone(), model, *offset, i as u64);
+            let m = 48;
+            let seq = admissible_sequence(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, m);
+            assert!(
+                seq.len() as u64 >= m / 6,
+                "offset {offset}: got {}",
+                seq.len()
+            );
+            assert_eq!(
+                check_admissible(&seq, &sv, &mut cv, &su, &mut cu),
+                None,
+                "offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn checker_rejects_unordered_sequences() {
+        let (sv, mut cv, su, mut cu) = setup(DriftModel::Ideal, DriftModel::Ideal, 0, 0);
+        // Reversed order violates condition 2.
+        let reversed = vec![
+            FramePair { of_v: 9, of_u: 9 },
+            FramePair { of_v: 3, of_u: 3 },
+        ];
+        assert_eq!(
+            check_admissible(&reversed, &sv, &mut cv, &su, &mut cu),
+            Some(2)
+        );
+    }
+
+    #[test]
+    fn checker_rejects_overlapping_neighborhoods() {
+        // u's schedule phase-shifted by 500ns (ideal clocks, zero clock
+        // offsets): u's frame k overlaps v's frames k and k+1, so
+        // consecutive receiver frames share a v-frame — condition 4 fails
+        // for adjacent pairs (which is exactly why Lemma 8 keeps only
+        // every third pair).
+        let mut cv = DriftedClock::ideal(LocalTime::ZERO);
+        let mut cu = DriftedClock::ideal(LocalTime::ZERO);
+        let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(L));
+        let su = FrameSchedule::new(
+            LocalTime::from_nanos(500),
+            LocalDuration::from_nanos(L),
+        );
+        let adjacent = vec![
+            FramePair { of_v: 0, of_u: 0 },
+            FramePair { of_v: 1, of_u: 1 },
+        ];
+        assert_eq!(
+            check_admissible(&adjacent, &sv, &mut cv, &su, &mut cu),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn sequence_respects_max_frames() {
+        let (sv, mut cv, su, mut cu) = setup(DriftModel::Ideal, DriftModel::Ideal, 500, 3);
+        let seq = admissible_sequence(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, 12);
+        assert!(!seq.is_empty());
+        for p in &seq {
+            assert!(p.of_v < 12 && p.of_u < 12);
+        }
+    }
+
+    #[test]
+    fn starts_after_ts() {
+        let (sv, mut cv, su, mut cu) = setup(DriftModel::Ideal, DriftModel::Ideal, 0, 0);
+        let ts = RealTime::from_nanos(10 * L);
+        let seq = admissible_sequence(ts, &sv, &mut cv, &su, &mut cu, 60);
+        assert!(!seq.is_empty());
+        for p in &seq {
+            let start = sv.frame_interval(p.of_v, &mut cv).start();
+            assert!(start >= ts, "pair frame starts before T_s");
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Drifting clocks: lazy piecewise-linear maps between real and local time.
+
+use crate::drift::{DriftBound, DriftModel};
+use crate::duration::{LocalTime, RealTime};
+use crate::rate::Rate;
+use mmhew_util::SeedTree;
+
+/// One constant-rate span of a clock's real→local mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Segment {
+    /// Real time at which this segment begins.
+    real_start: u64,
+    /// Local reading at `real_start`.
+    local_start: u64,
+    /// Rate over this segment.
+    rate: Rate,
+    /// Real-time length of the segment.
+    real_len: u64,
+}
+
+impl Segment {
+    /// Local reading at the end of the segment.
+    fn local_end(&self) -> u64 {
+        self.local_start + self.rate.local_elapsed(self.real_len)
+    }
+
+    fn real_end(&self) -> u64 {
+        self.real_start + self.real_len
+    }
+}
+
+/// A node's clock: a monotone map from real time to local time with bounded
+/// drift rate, per the paper's system model (Eq. 1).
+///
+/// The map is piecewise linear with exact rational slopes, generated lazily
+/// from a [`DriftModel`] as the simulation advances; evaluation uses 128-bit
+/// integer arithmetic, so two runs with the same seed order events
+/// identically on every platform.
+///
+/// Clocks of different nodes may have arbitrary offsets (the `offset`
+/// argument is the local reading at real time zero) and drift rates that
+/// change over time in magnitude and sign — exactly the adversary admitted
+/// by Assumption 1.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_time::{DriftedClock, DriftModel, LocalTime, Rate, RealTime};
+/// use mmhew_util::SeedTree;
+///
+/// // A clock running fast at the paper's drift limit 1/7.
+/// let mut clock = DriftedClock::new(
+///     DriftModel::Constant(Rate::new(8, 7)),
+///     LocalTime::from_nanos(1_000),
+///     SeedTree::new(0),
+/// );
+/// assert_eq!(clock.local_at(RealTime::ZERO), LocalTime::from_nanos(1_000));
+/// assert_eq!(
+///     clock.local_at(RealTime::from_nanos(7_000)),
+///     LocalTime::from_nanos(9_000),
+/// );
+/// // Inverse: earliest real instant at which the clock reads ≥ 9_000.
+/// assert_eq!(
+///     clock.real_when_local_reaches(LocalTime::from_nanos(9_000)),
+///     RealTime::from_nanos(7_000),
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct DriftedClock {
+    model: DriftModel,
+    seed: SeedTree,
+    segments: Vec<Segment>,
+}
+
+impl DriftedClock {
+    /// Creates a clock that reads `offset` at real time zero and follows
+    /// `model` thereafter. `seed` drives any randomness in the model.
+    pub fn new(model: DriftModel, offset: LocalTime, seed: SeedTree) -> Self {
+        let first = Segment {
+            real_start: 0,
+            local_start: offset.as_nanos(),
+            rate: model.segment_rate(0, seed),
+            real_len: model.segment_len().as_nanos(),
+        };
+        Self {
+            model,
+            seed,
+            segments: vec![first],
+        }
+    }
+
+    /// Convenience constructor for an ideal (drift-free) clock.
+    pub fn ideal(offset: LocalTime) -> Self {
+        Self::new(DriftModel::Ideal, offset, SeedTree::new(0))
+    }
+
+    /// The drift model driving this clock.
+    pub fn model(&self) -> &DriftModel {
+        &self.model
+    }
+
+    /// Local reading at real time zero.
+    pub fn offset(&self) -> LocalTime {
+        LocalTime::from_nanos(self.segments[0].local_start)
+    }
+
+    /// The clock's reading at real time `real`.
+    pub fn local_at(&mut self, real: RealTime) -> LocalTime {
+        let r = real.as_nanos();
+        self.extend_to_real(r);
+        let seg = self.segment_for_real(r);
+        LocalTime::from_nanos(seg.local_start + seg.rate.local_elapsed(r - seg.real_start))
+    }
+
+    /// The earliest real instant at which the clock reads at least `local`.
+    ///
+    /// Local readings before the clock's initial offset map to
+    /// [`RealTime::ZERO`].
+    pub fn real_when_local_reaches(&mut self, local: LocalTime) -> RealTime {
+        let l = local.as_nanos();
+        if l <= self.segments[0].local_start {
+            return RealTime::ZERO;
+        }
+        self.extend_to_local(l);
+        // Find the first segment whose local_end reaches l.
+        let idx = self
+            .segments
+            .partition_point(|seg| seg.local_end() < l)
+            .min(self.segments.len() - 1);
+        let seg = &self.segments[idx];
+        debug_assert!(seg.local_start < l || idx == 0);
+        let within = seg.rate.real_elapsed_to_reach(l - seg.local_start);
+        RealTime::from_nanos(seg.real_start + within.min(seg.real_len))
+    }
+
+    /// True if every rate generated so far respects `bound` — used by the
+    /// engine to validate model configuration against Assumption 1.
+    pub fn rates_within(&self, bound: DriftBound) -> bool {
+        self.segments.iter().all(|s| bound.admits(s.rate))
+    }
+
+    /// Number of constant-rate segments materialized so far (diagnostics).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    fn extend_to_real(&mut self, real_ns: u64) {
+        while self.last().real_end() <= real_ns {
+            self.push_segment();
+        }
+    }
+
+    fn extend_to_local(&mut self, local_ns: u64) {
+        while self.last().local_end() < local_ns {
+            self.push_segment();
+        }
+    }
+
+    fn last(&self) -> &Segment {
+        self.segments.last().expect("at least one segment")
+    }
+
+    fn push_segment(&mut self) {
+        let prev = *self.last();
+        let index = self.segments.len() as u64;
+        let rate = self.model.segment_rate(index, self.seed);
+        self.segments.push(Segment {
+            real_start: prev.real_end(),
+            local_start: prev.local_end(),
+            rate,
+            real_len: self.model.segment_len().as_nanos(),
+        });
+    }
+
+    fn segment_for_real(&self, real_ns: u64) -> &Segment {
+        let idx = self
+            .segments
+            .partition_point(|seg| seg.real_end() <= real_ns)
+            .min(self.segments.len() - 1);
+        &self.segments[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::duration::RealDuration;
+
+    fn lt(ns: u64) -> LocalTime {
+        LocalTime::from_nanos(ns)
+    }
+
+    fn rt(ns: u64) -> RealTime {
+        RealTime::from_nanos(ns)
+    }
+
+    #[test]
+    fn ideal_clock_is_identity_plus_offset() {
+        let mut c = DriftedClock::ideal(lt(500));
+        assert_eq!(c.local_at(rt(0)), lt(500));
+        assert_eq!(c.local_at(rt(123)), lt(623));
+        assert_eq!(c.real_when_local_reaches(lt(623)), rt(123));
+        assert_eq!(c.real_when_local_reaches(lt(500)), rt(0));
+        assert_eq!(c.real_when_local_reaches(lt(10)), rt(0), "before offset");
+    }
+
+    #[test]
+    fn slow_clock() {
+        let mut c = DriftedClock::new(DriftModel::Constant(Rate::new(6, 7)), lt(0), SeedTree::new(0));
+        assert_eq!(c.local_at(rt(7_000)), lt(6_000));
+        assert_eq!(c.real_when_local_reaches(lt(6_000)), rt(7_000));
+    }
+
+    #[test]
+    fn alternating_clock_crosses_segments() {
+        let period = RealDuration::from_nanos(700);
+        let model = DriftModel::Alternating {
+            first: Rate::new(8, 7),
+            second: Rate::new(6, 7),
+            period,
+        };
+        let mut c = DriftedClock::new(model, lt(0), SeedTree::new(0));
+        // Segment 0: 700 real ns at 8/7 -> 800 local ns.
+        assert_eq!(c.local_at(rt(700)), lt(800));
+        // Segment 1: next 700 real ns at 6/7 -> +600 local ns.
+        assert_eq!(c.local_at(rt(1_400)), lt(1_400));
+        // Inverse across the boundary.
+        assert_eq!(c.real_when_local_reaches(lt(800)), rt(700));
+        assert_eq!(c.real_when_local_reaches(lt(1_400)), rt(1_400));
+        // Mid-segment inverse.
+        assert_eq!(c.real_when_local_reaches(lt(1_100)), rt(1_050));
+        assert!(c.segment_count() >= 2);
+    }
+
+    #[test]
+    fn monotone_over_random_model() {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_nanos(1_000),
+        };
+        let mut c = DriftedClock::new(model, lt(42), SeedTree::new(9));
+        let mut prev = c.local_at(rt(0));
+        for step in 1..5_000u64 {
+            let now = c.local_at(rt(step * 37));
+            assert!(now >= prev, "clock went backwards at step {step}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn drift_bound_holds_over_long_spans() {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_nanos(10_000),
+        };
+        let mut c = DriftedClock::new(model, lt(0), SeedTree::new(4));
+        let horizon = 2_000_000u64;
+        let l0 = c.local_at(rt(0)).as_nanos();
+        let l1 = c.local_at(rt(horizon)).as_nanos();
+        let elapsed = l1 - l0;
+        // (1-δ)Δt ≤ ΔC ≤ (1+δ)Δt with δ=1/7, allowing floor slack per segment.
+        let segments = c.segment_count() as u64;
+        let lo = horizon * 6 / 7 - segments;
+        let hi = horizon * 8 / 7 + segments;
+        assert!(
+            (lo..=hi).contains(&elapsed),
+            "elapsed {elapsed} outside [{lo}, {hi}]"
+        );
+        assert!(c.rates_within(DriftBound::PAPER));
+    }
+
+    #[test]
+    fn inverse_is_least_preimage_across_random_segments() {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_nanos(997),
+        };
+        let mut c = DriftedClock::new(model, lt(10), SeedTree::new(13));
+        for target in (11..40_000u64).step_by(509) {
+            let r = c.real_when_local_reaches(lt(target));
+            assert!(
+                c.local_at(r) >= lt(target),
+                "local_at({r:?}) < {target}"
+            );
+            if r.as_nanos() > 0 {
+                let before = c.local_at(rt(r.as_nanos() - 1));
+                assert!(
+                    before < lt(target),
+                    "real {r:?} not minimal for local {target}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rates_within_detects_violation() {
+        let c = DriftedClock::new(
+            DriftModel::Constant(Rate::new(6, 5)), // drift 1/5 > 1/7
+            lt(0),
+            SeedTree::new(0),
+        );
+        assert!(!c.rates_within(DriftBound::PAPER));
+        assert!(c.rates_within(DriftBound::new(1, 5)));
+    }
+
+    #[test]
+    fn clone_preserves_behaviour() {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_nanos(500),
+        };
+        let mut a = DriftedClock::new(model, lt(0), SeedTree::new(21));
+        let mut b = a.clone();
+        for step in 0..100u64 {
+            assert_eq!(a.local_at(rt(step * 333)), b.local_at(rt(step * 333)));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Drift-rate bounds and drift behaviour models.
+
+use crate::rate::Rate;
+use crate::RealDuration;
+use mmhew_util::SeedTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An exact rational bound `num/den` on the magnitude of the drift rate,
+/// the `δ` of the paper's Assumption 1.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_time::{DriftBound, Rate};
+///
+/// let delta = DriftBound::PAPER; // 1/7
+/// assert!(delta.admits(Rate::new(8, 7)));
+/// assert!(!delta.admits(Rate::new(6, 5)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DriftBound {
+    num: u64,
+    den: u64,
+}
+
+impl DriftBound {
+    /// The paper's Assumption 1 bound, `δ = 1/7`.
+    pub const PAPER: Self = Self { num: 1, den: 7 };
+
+    /// A zero bound (only ideal clocks admitted).
+    pub const ZERO: Self = Self { num: 0, den: 1 };
+
+    /// Creates the bound `num/den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or the bound is ≥ 1 (a drift of −1 stops the
+    /// clock entirely).
+    pub fn new(num: u64, den: u64) -> Self {
+        assert!(den > 0, "bound denominator must be positive");
+        assert!(num < den, "drift bound must be < 1");
+        Self { num, den }
+    }
+
+    /// Numerator.
+    pub fn num(&self) -> u64 {
+        self.num
+    }
+
+    /// Denominator.
+    pub fn den(&self) -> u64 {
+        self.den
+    }
+
+    /// Bound value as a float (reporting only).
+    pub fn as_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// True if the rate's drift magnitude is within this bound (exact).
+    pub fn admits(&self, rate: Rate) -> bool {
+        rate.drift_within(self.num, self.den)
+    }
+
+    /// The fastest rate admitted, `1 + δ`.
+    pub fn fastest(&self) -> Rate {
+        Rate::new(self.den + self.num, self.den)
+    }
+
+    /// The slowest rate admitted, `1 − δ`.
+    pub fn slowest(&self) -> Rate {
+        Rate::new(self.den - self.num, self.den)
+    }
+}
+
+impl fmt::Display for DriftBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ≤{}/{}", self.num, self.den)
+    }
+}
+
+/// How a node's clock rate evolves over real time.
+///
+/// All variants produce rates whose drift magnitude stays within a stated
+/// [`DriftBound`]; the asynchronous engine verifies this at construction.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum DriftModel {
+    /// A perfect clock (`dC/dt = 1` forever).
+    #[default]
+    Ideal,
+    /// A constant, possibly non-unit rate.
+    Constant(Rate),
+    /// Deterministic alternation between two rates every `period`, which
+    /// exercises drift whose *sign* changes over time.
+    Alternating {
+        /// Rate used on even segments.
+        first: Rate,
+        /// Rate used on odd segments.
+        second: Rate,
+        /// Real-time length of each segment.
+        period: RealDuration,
+    },
+    /// A new rate uniformly sampled from `[1 − δ, 1 + δ]` every `segment`
+    /// of real time — the adversarial "drift rate may change over time both
+    /// in magnitude and sign" behaviour the paper admits.
+    RandomPiecewise {
+        /// Bound `δ` on the sampled drift magnitude.
+        bound: DriftBound,
+        /// Real-time length of each constant-rate segment.
+        segment: RealDuration,
+    },
+}
+
+impl DriftModel {
+    /// The tightest bound this model promises to respect.
+    pub fn bound(&self) -> DriftBound {
+        match self {
+            DriftModel::Ideal => DriftBound::ZERO,
+            DriftModel::Constant(rate) => rate_bound(*rate),
+            DriftModel::Alternating { first, second, .. } => {
+                let a = rate_bound(*first);
+                let b = rate_bound(*second);
+                if a.as_f64() >= b.as_f64() {
+                    a
+                } else {
+                    b
+                }
+            }
+            DriftModel::RandomPiecewise { bound, .. } => *bound,
+        }
+    }
+
+    /// Real-time length of the `index`-th constant-rate segment.
+    pub(crate) fn segment_len(&self) -> RealDuration {
+        match self {
+            DriftModel::Ideal | DriftModel::Constant(_) => {
+                // One effectively-infinite segment.
+                RealDuration::from_nanos(u64::MAX / 2)
+            }
+            DriftModel::Alternating { period, .. } => *period,
+            DriftModel::RandomPiecewise { segment, .. } => *segment,
+        }
+    }
+
+    /// The rate of the `index`-th segment, drawing randomness from `seed`
+    /// (deterministic: segment `i` always gets the same rate for the same
+    /// seed).
+    pub(crate) fn segment_rate(&self, index: u64, seed: SeedTree) -> Rate {
+        match self {
+            DriftModel::Ideal => Rate::ONE,
+            DriftModel::Constant(rate) => *rate,
+            DriftModel::Alternating { first, second, .. } => {
+                if index.is_multiple_of(2) {
+                    *first
+                } else {
+                    *second
+                }
+            }
+            DriftModel::RandomPiecewise { bound, .. } => {
+                // Resolution: 1000 steps per unit of the bound numerator.
+                const RES: u64 = 1000;
+                let den = bound.den * RES;
+                let spread = (bound.num * RES) as i64;
+                let mut rng = seed.branch("drift-seg").index(index).rng();
+                let offset: i64 = rng.gen_range(-spread..=spread);
+                Rate::new((den as i64 + offset) as u64, den)
+            }
+        }
+    }
+}
+
+/// The smallest `DriftBound` admitting `rate` (with the rate's own
+/// denominator).
+fn rate_bound(rate: Rate) -> DriftBound {
+    let diff = rate.num().abs_diff(rate.den());
+    if diff == 0 {
+        DriftBound::ZERO
+    } else {
+        DriftBound::new(diff, rate.den())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_bound_limits() {
+        let d = DriftBound::PAPER;
+        assert_eq!(d.fastest(), Rate::new(8, 7));
+        assert_eq!(d.slowest(), Rate::new(6, 7));
+        assert!(d.admits(Rate::ONE));
+        assert!(d.admits(Rate::new(8, 7)));
+        assert!(d.admits(Rate::new(6, 7)));
+        assert!(!d.admits(Rate::new(9, 7)));
+    }
+
+    #[test]
+    fn zero_bound_admits_only_ideal() {
+        assert!(DriftBound::ZERO.admits(Rate::ONE));
+        assert!(DriftBound::ZERO.admits(Rate::new(5, 5)));
+        assert!(!DriftBound::ZERO.admits(Rate::new(1_000_001, 1_000_000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be < 1")]
+    fn bound_of_one_rejected() {
+        let _ = DriftBound::new(7, 7);
+    }
+
+    #[test]
+    fn model_bounds() {
+        assert_eq!(DriftModel::Ideal.bound(), DriftBound::ZERO);
+        let c = DriftModel::Constant(Rate::new(8, 7));
+        assert!(c.bound().admits(Rate::new(8, 7)));
+        let alt = DriftModel::Alternating {
+            first: Rate::new(8, 7),
+            second: Rate::new(6, 7),
+            period: RealDuration::from_millis(1),
+        };
+        assert!(alt.bound().admits(Rate::new(8, 7)));
+        assert!(alt.bound().admits(Rate::new(6, 7)));
+    }
+
+    #[test]
+    fn alternating_rates_by_parity() {
+        let alt = DriftModel::Alternating {
+            first: Rate::new(8, 7),
+            second: Rate::new(6, 7),
+            period: RealDuration::from_millis(1),
+        };
+        let seed = SeedTree::new(0);
+        assert_eq!(alt.segment_rate(0, seed), Rate::new(8, 7));
+        assert_eq!(alt.segment_rate(1, seed), Rate::new(6, 7));
+        assert_eq!(alt.segment_rate(2, seed), Rate::new(8, 7));
+    }
+
+    #[test]
+    fn random_piecewise_respects_bound_and_is_deterministic() {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_millis(5),
+        };
+        let seed = SeedTree::new(77);
+        for i in 0..200 {
+            let r = model.segment_rate(i, seed);
+            assert!(
+                DriftBound::PAPER.admits(r),
+                "segment {i} rate {r} exceeds bound"
+            );
+            assert_eq!(r, model.segment_rate(i, seed), "must be deterministic");
+        }
+        // Rates actually vary.
+        let distinct: std::collections::HashSet<_> =
+            (0..50).map(|i| model.segment_rate(i, seed)).collect();
+        assert!(distinct.len() > 10);
+    }
+
+    #[test]
+    fn random_piecewise_different_seeds_differ() {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_millis(5),
+        };
+        let a: Vec<Rate> = (0..20)
+            .map(|i| model.segment_rate(i, SeedTree::new(1)))
+            .collect();
+        let b: Vec<Rate> = (0..20)
+            .map(|i| model.segment_rate(i, SeedTree::new(2)))
+            .collect();
+        assert_ne!(a, b);
+    }
+}

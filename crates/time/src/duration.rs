@@ -1,0 +1,392 @@
+//! Integer nanosecond time points and durations.
+//!
+//! Two distinct timelines exist in an asynchronous M²HeW simulation:
+//!
+//! * **real time** — the global timeline of the simulated world, which no
+//!   node can observe directly;
+//! * **local time** — what a node's (possibly drifting) clock reads.
+//!
+//! Mixing the two is a classic source of simulator bugs, so each gets its
+//! own newtype family. All values are unsigned 64-bit nanosecond counts;
+//! 2^64 ns ≈ 584 years of simulated time, far beyond any experiment here.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+macro_rules! time_point {
+    ($(#[$doc:meta])* $point:ident, $duration:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $point(u64);
+
+        impl $point {
+            /// The origin of this timeline.
+            pub const ZERO: Self = Self(0);
+            /// The largest representable instant.
+            pub const MAX: Self = Self(u64::MAX);
+
+            /// Creates a time point `ns` nanoseconds after the origin.
+            pub const fn from_nanos(ns: u64) -> Self {
+                Self(ns)
+            }
+
+            /// Nanoseconds since the origin.
+            pub const fn as_nanos(self) -> u64 {
+                self.0
+            }
+
+            /// Duration since an earlier instant.
+            ///
+            /// # Panics
+            ///
+            /// Panics in debug builds if `earlier` is later than `self`.
+            pub fn duration_since(self, earlier: Self) -> $duration {
+                debug_assert!(earlier.0 <= self.0, "duration_since of later instant");
+                $duration(self.0 - earlier.0)
+            }
+
+            /// Duration since an earlier instant, or zero if `earlier` is
+            /// actually later.
+            pub fn saturating_duration_since(self, earlier: Self) -> $duration {
+                $duration(self.0.saturating_sub(earlier.0))
+            }
+
+            /// Checked addition of a duration.
+            pub fn checked_add(self, d: $duration) -> Option<Self> {
+                self.0.checked_add(d.0).map(Self)
+            }
+        }
+
+        impl Add<$duration> for $point {
+            type Output = $point;
+            fn add(self, rhs: $duration) -> $point {
+                $point(self.0.checked_add(rhs.0).expect("time overflow"))
+            }
+        }
+
+        impl AddAssign<$duration> for $point {
+            fn add_assign(&mut self, rhs: $duration) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub<$duration> for $point {
+            type Output = $point;
+            fn sub(self, rhs: $duration) -> $point {
+                $point(self.0.checked_sub(rhs.0).expect("time underflow"))
+            }
+        }
+
+        impl Sub<$point> for $point {
+            type Output = $duration;
+            fn sub(self, rhs: $point) -> $duration {
+                self.duration_since(rhs)
+            }
+        }
+
+        impl fmt::Display for $point {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}ns", self.0)
+            }
+        }
+
+        #[doc = concat!("A span on the same timeline as [`", stringify!($point), "`].")]
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $duration(u64);
+
+        impl $duration {
+            /// The zero-length span.
+            pub const ZERO: Self = Self(0);
+
+            /// Creates a duration of `ns` nanoseconds.
+            pub const fn from_nanos(ns: u64) -> Self {
+                Self(ns)
+            }
+
+            /// Creates a duration of `us` microseconds.
+            pub const fn from_micros(us: u64) -> Self {
+                Self(us * 1_000)
+            }
+
+            /// Creates a duration of `ms` milliseconds.
+            pub const fn from_millis(ms: u64) -> Self {
+                Self(ms * 1_000_000)
+            }
+
+            /// Creates a duration of `s` seconds.
+            pub const fn from_secs(s: u64) -> Self {
+                Self(s * 1_000_000_000)
+            }
+
+            /// Nanosecond count.
+            pub const fn as_nanos(self) -> u64 {
+                self.0
+            }
+
+            /// Seconds as a float, for reporting only.
+            pub fn as_secs_f64(self) -> f64 {
+                self.0 as f64 / 1e9
+            }
+
+            /// `self / divisor`, flooring.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `divisor` is zero.
+            pub const fn div_floor(self, divisor: u64) -> Self {
+                Self(self.0 / divisor)
+            }
+
+            /// True if the span is zero.
+            pub const fn is_zero(self) -> bool {
+                self.0 == 0
+            }
+        }
+
+        impl Add for $duration {
+            type Output = $duration;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0.checked_add(rhs.0).expect("duration overflow"))
+            }
+        }
+
+        impl AddAssign for $duration {
+            fn add_assign(&mut self, rhs: Self) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl Sub for $duration {
+            type Output = $duration;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0.checked_sub(rhs.0).expect("duration underflow"))
+            }
+        }
+
+        impl SubAssign for $duration {
+            fn sub_assign(&mut self, rhs: Self) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl Mul<u64> for $duration {
+            type Output = $duration;
+            fn mul(self, rhs: u64) -> Self {
+                Self(self.0.checked_mul(rhs).expect("duration overflow"))
+            }
+        }
+
+        impl fmt::Display for $duration {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if self.0 >= 1_000_000_000 && self.0 % 1_000_000 == 0 {
+                    write!(f, "{:.3}s", self.as_secs_f64())
+                } else {
+                    write!(f, "{}ns", self.0)
+                }
+            }
+        }
+    };
+}
+
+time_point!(
+    /// An instant on the global (simulated-world) timeline.
+    RealTime,
+    RealDuration
+);
+
+time_point!(
+    /// An instant as read on one node's local clock.
+    LocalTime,
+    LocalDuration
+);
+
+/// A half-open interval `[start, end)` of real time.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_time::{RealInterval, RealTime};
+///
+/// let a = RealInterval::new(RealTime::from_nanos(0), RealTime::from_nanos(10));
+/// let b = RealInterval::new(RealTime::from_nanos(5), RealTime::from_nanos(15));
+/// assert!(a.overlaps(&b));
+/// assert!(!a.contains_interval(&b));
+/// assert!(a.contains_interval(&RealInterval::new(
+///     RealTime::from_nanos(2),
+///     RealTime::from_nanos(9),
+/// )));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RealInterval {
+    start: RealTime,
+    end: RealTime,
+}
+
+impl RealInterval {
+    /// Creates the interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end < start`.
+    pub fn new(start: RealTime, end: RealTime) -> Self {
+        assert!(start <= end, "interval end before start");
+        Self { start, end }
+    }
+
+    /// Interval start (inclusive).
+    pub fn start(&self) -> RealTime {
+        self.start
+    }
+
+    /// Interval end (exclusive).
+    pub fn end(&self) -> RealTime {
+        self.end
+    }
+
+    /// Length of the interval.
+    pub fn len(&self) -> RealDuration {
+        self.end.duration_since(self.start)
+    }
+
+    /// True for the degenerate empty interval.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if the instant lies inside `[start, end)`.
+    pub fn contains(&self, t: RealTime) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// True if the two intervals share any time (half-open semantics:
+    /// touching endpoints do not overlap, and empty intervals overlap
+    /// nothing).
+    pub fn overlaps(&self, other: &RealInterval) -> bool {
+        self.start.max(other.start) < self.end.min(other.end)
+    }
+
+    /// True if `other` lies entirely within `self` (closure inclusive:
+    /// `other` may share either endpoint).
+    pub fn contains_interval(&self, other: &RealInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// The overlap of two intervals, if non-empty.
+    pub fn intersection(&self, other: &RealInterval) -> Option<RealInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        if start < end {
+            Some(RealInterval { start, end })
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for RealInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ri(a: u64, b: u64) -> RealInterval {
+        RealInterval::new(RealTime::from_nanos(a), RealTime::from_nanos(b))
+    }
+
+    #[test]
+    fn point_and_duration_arithmetic() {
+        let t = RealTime::from_nanos(100);
+        let d = RealDuration::from_nanos(40);
+        assert_eq!((t + d).as_nanos(), 140);
+        assert_eq!((t - d).as_nanos(), 60);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(d + d, RealDuration::from_nanos(80));
+        assert_eq!(d * 3, RealDuration::from_nanos(120));
+    }
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(RealDuration::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(RealDuration::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(LocalDuration::from_micros(5).as_nanos(), 5_000);
+    }
+
+    #[test]
+    fn saturating_duration() {
+        let a = RealTime::from_nanos(5);
+        let b = RealTime::from_nanos(9);
+        assert_eq!(a.saturating_duration_since(b), RealDuration::ZERO);
+        assert_eq!(b.saturating_duration_since(a).as_nanos(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn add_overflow_panics() {
+        let _ = RealTime::MAX + RealDuration::from_nanos(1);
+    }
+
+    #[test]
+    fn local_and_real_are_distinct_types() {
+        // This is a compile-time property; just exercise both.
+        let l = LocalTime::from_nanos(1) + LocalDuration::from_nanos(2);
+        let r = RealTime::from_nanos(1) + RealDuration::from_nanos(2);
+        assert_eq!(l.as_nanos(), r.as_nanos());
+    }
+
+    #[test]
+    fn interval_overlap_half_open() {
+        assert!(ri(0, 10).overlaps(&ri(9, 20)));
+        assert!(!ri(0, 10).overlaps(&ri(10, 20)), "touching is not overlap");
+        assert!(!ri(10, 20).overlaps(&ri(0, 10)));
+        assert!(ri(0, 10).overlaps(&ri(0, 1)));
+    }
+
+    #[test]
+    fn interval_containment() {
+        assert!(ri(0, 10).contains_interval(&ri(0, 10)));
+        assert!(ri(0, 10).contains_interval(&ri(3, 7)));
+        assert!(!ri(0, 10).contains_interval(&ri(3, 11)));
+        assert!(ri(0, 10).contains(RealTime::from_nanos(0)));
+        assert!(!ri(0, 10).contains(RealTime::from_nanos(10)));
+    }
+
+    #[test]
+    fn interval_intersection() {
+        assert_eq!(ri(0, 10).intersection(&ri(5, 15)), Some(ri(5, 10)));
+        assert_eq!(ri(0, 10).intersection(&ri(10, 15)), None);
+        assert_eq!(ri(0, 10).intersection(&ri(2, 3)), Some(ri(2, 3)));
+    }
+
+    #[test]
+    fn empty_interval() {
+        let e = ri(5, 5);
+        assert!(e.is_empty());
+        assert!(!e.overlaps(&ri(0, 10)));
+        assert_eq!(e.len(), RealDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "end before start")]
+    fn inverted_interval_panics() {
+        let _ = ri(10, 5);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(RealDuration::from_secs(1).to_string(), "1.000s");
+        assert_eq!(RealDuration::from_nanos(17).to_string(), "17ns");
+        assert_eq!(RealTime::from_nanos(8).to_string(), "8ns");
+        assert_eq!(ri(1, 2).to_string(), "[1ns, 2ns)");
+    }
+}

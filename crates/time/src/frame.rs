@@ -1,0 +1,395 @@
+//! Frames and slots of the asynchronous algorithm (paper §IV), plus the
+//! structural predicates used by Lemmas 4 and 7.
+//!
+//! Each node divides its *local* time into frames of length `L`, and each
+//! frame into [`SLOTS_PER_FRAME`] = 3 equal slots. Projected onto real time
+//! through the node's drifting clock, frames of different nodes have
+//! different (and varying) lengths; the paper's lemmas constrain how badly
+//! they can misalign when the drift rate is bounded by 1/7.
+
+use crate::clock::DriftedClock;
+use crate::duration::{LocalDuration, LocalTime, RealInterval, RealTime};
+use serde::{Deserialize, Serialize};
+
+/// Number of slots per frame in Algorithm 4 (fixed by the paper).
+pub const SLOTS_PER_FRAME: u64 = 3;
+
+/// A node's local frame timetable: frame `i` spans local time
+/// `[start + i·L, start + (i+1)·L)`.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_time::{DriftedClock, FrameSchedule, LocalDuration, LocalTime};
+///
+/// let sched = FrameSchedule::new(
+///     LocalTime::from_nanos(100),
+///     LocalDuration::from_nanos(300),
+/// );
+/// assert_eq!(sched.frame_start_local(2), LocalTime::from_nanos(700));
+/// assert_eq!(sched.slot_start_local(0, 1), LocalTime::from_nanos(200));
+///
+/// // Project frame 0 onto real time through an ideal clock with offset 0.
+/// let mut clock = DriftedClock::ideal(LocalTime::ZERO);
+/// let f0 = sched.frame_interval(0, &mut clock);
+/// assert_eq!(f0.start().as_nanos(), 100);
+/// assert_eq!(f0.end().as_nanos(), 400);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FrameSchedule {
+    start_local: LocalTime,
+    frame_len: LocalDuration,
+}
+
+impl FrameSchedule {
+    /// Creates a schedule whose frame 0 starts at local time `start_local`
+    /// with frames of local length `frame_len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame_len` is zero or not divisible by
+    /// [`SLOTS_PER_FRAME`], which would make slots unequal.
+    pub fn new(start_local: LocalTime, frame_len: LocalDuration) -> Self {
+        assert!(!frame_len.is_zero(), "frame length must be positive");
+        assert_eq!(
+            frame_len.as_nanos() % SLOTS_PER_FRAME,
+            0,
+            "frame length must be divisible by {SLOTS_PER_FRAME}"
+        );
+        Self {
+            start_local,
+            frame_len,
+        }
+    }
+
+    /// Local frame length `L`.
+    pub fn frame_len(&self) -> LocalDuration {
+        self.frame_len
+    }
+
+    /// Local slot length `L/3`.
+    pub fn slot_len(&self) -> LocalDuration {
+        self.frame_len.div_floor(SLOTS_PER_FRAME)
+    }
+
+    /// Local start of frame 0.
+    pub fn start_local(&self) -> LocalTime {
+        self.start_local
+    }
+
+    /// Local start of frame `i`.
+    pub fn frame_start_local(&self, i: u64) -> LocalTime {
+        self.start_local + self.frame_len * i
+    }
+
+    /// Local start of slot `slot` of frame `frame`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot >= SLOTS_PER_FRAME`.
+    pub fn slot_start_local(&self, frame: u64, slot: u64) -> LocalTime {
+        assert!(slot < SLOTS_PER_FRAME, "slot index out of range");
+        self.frame_start_local(frame) + self.slot_len() * slot
+    }
+
+    /// Real-time interval of frame `i`, projected through `clock`.
+    pub fn frame_interval(&self, i: u64, clock: &mut DriftedClock) -> RealInterval {
+        let start = clock.real_when_local_reaches(self.frame_start_local(i));
+        let end = clock.real_when_local_reaches(self.frame_start_local(i + 1));
+        RealInterval::new(start, end)
+    }
+
+    /// Real-time interval of slot `slot` of frame `frame`.
+    pub fn slot_interval(
+        &self,
+        frame: u64,
+        slot: u64,
+        clock: &mut DriftedClock,
+    ) -> RealInterval {
+        assert!(slot < SLOTS_PER_FRAME, "slot index out of range");
+        let start = clock.real_when_local_reaches(self.slot_start_local(frame, slot));
+        let end = if slot + 1 == SLOTS_PER_FRAME {
+            clock.real_when_local_reaches(self.frame_start_local(frame + 1))
+        } else {
+            clock.real_when_local_reaches(self.slot_start_local(frame, slot + 1))
+        };
+        RealInterval::new(start, end)
+    }
+
+    /// Index of the first *full* frame starting at or after real time `t`
+    /// (the `f₁` of Lemma 7).
+    pub fn first_full_frame_after(&self, t: RealTime, clock: &mut DriftedClock) -> u64 {
+        let local = clock.local_at(t);
+        if local <= self.start_local {
+            return 0;
+        }
+        let elapsed = local.as_nanos() - self.start_local.as_nanos();
+        // Frame k starts at start + k*L; we need the least k with
+        // start + k*L >= local, i.e. k = ceil(elapsed / L). But a frame
+        // starting exactly at `local` counts as full.
+        elapsed.div_ceil(self.frame_len.as_nanos())
+    }
+}
+
+/// The paper's *aligned pair* predicate (Definition 1): `⟨f, g⟩` is aligned
+/// if at least one slot of `f` lies completely within `g` (in real time).
+///
+/// `f_slots` are the three real-time slot intervals of frame `f`; `g` is the
+/// real-time interval of frame `g`.
+pub fn is_aligned(f_slots: &[RealInterval; 3], g: &RealInterval) -> bool {
+    f_slots.iter().any(|s| g.contains_interval(s))
+}
+
+/// Computes `overlap(f, ·)` of Definition 2: the indices of frames in
+/// `other`'s schedule that overlap the real-time interval `f`. `search_hint`
+/// bounds the scan (frames beyond the hint that cannot overlap are skipped
+/// automatically).
+pub fn overlapping_frames(
+    f: &RealInterval,
+    other: &FrameSchedule,
+    clock: &mut DriftedClock,
+    max_frame: u64,
+) -> Vec<u64> {
+    let mut out = Vec::new();
+    for i in 0..=max_frame {
+        let g = other.frame_interval(i, clock);
+        if g.start() >= f.end() {
+            break;
+        }
+        if g.overlaps(f) {
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// Searches for an aligned pair among the first `depth` full frames of `v`
+/// and of `u` after real time `t` (Lemma 7 proves `depth = 2` suffices when
+/// δ ≤ 1/7). Returns `(frame_of_v, frame_of_u)` if found.
+pub fn find_aligned_pair_after(
+    t: RealTime,
+    v_sched: &FrameSchedule,
+    v_clock: &mut DriftedClock,
+    u_sched: &FrameSchedule,
+    u_clock: &mut DriftedClock,
+    depth: u64,
+) -> Option<(u64, u64)> {
+    let v0 = v_sched.first_full_frame_after(t, v_clock);
+    let u0 = u_sched.first_full_frame_after(t, u_clock);
+    for dv in 0..depth {
+        let fv = v0 + dv;
+        let slots = [
+            v_sched.slot_interval(fv, 0, v_clock),
+            v_sched.slot_interval(fv, 1, v_clock),
+            v_sched.slot_interval(fv, 2, v_clock),
+        ];
+        for du in 0..depth {
+            let gu = u_sched.frame_interval(u0 + du, u_clock);
+            if is_aligned(&slots, &gu) {
+                return Some((fv, u0 + du));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::DriftModel;
+    use crate::rate::Rate;
+    use mmhew_util::SeedTree;
+
+    fn ideal(offset: u64) -> DriftedClock {
+        DriftedClock::ideal(LocalTime::from_nanos(offset))
+    }
+
+    fn sched(start: u64, len: u64) -> FrameSchedule {
+        FrameSchedule::new(LocalTime::from_nanos(start), LocalDuration::from_nanos(len))
+    }
+
+    #[test]
+    fn frame_and_slot_boundaries() {
+        let s = sched(0, 900);
+        assert_eq!(s.slot_len().as_nanos(), 300);
+        assert_eq!(s.frame_start_local(3).as_nanos(), 2_700);
+        assert_eq!(s.slot_start_local(1, 2).as_nanos(), 1_500);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_frame_len_panics() {
+        let _ = sched(0, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot index")]
+    fn slot_out_of_range_panics() {
+        let _ = sched(0, 900).slot_start_local(0, 3);
+    }
+
+    #[test]
+    fn projection_through_drifting_clock() {
+        // Fast clock 8/7: local frame of 800 ns takes 700 real ns.
+        let mut clock = DriftedClock::new(
+            DriftModel::Constant(Rate::new(8, 7)),
+            LocalTime::ZERO,
+            SeedTree::new(0),
+        );
+        let s = sched(0, 840);
+        let f0 = s.frame_interval(0, &mut clock);
+        assert_eq!(f0.start().as_nanos(), 0);
+        assert_eq!(f0.end().as_nanos(), 735); // 840 * 7/8
+        let slot1 = s.slot_interval(0, 1, &mut clock);
+        assert_eq!(slot1.start().as_nanos(), 245);
+        assert_eq!(slot1.end().as_nanos(), 490);
+    }
+
+    #[test]
+    fn slots_tile_the_frame() {
+        let mut clock = DriftedClock::new(
+            DriftModel::RandomPiecewise {
+                bound: crate::drift::DriftBound::PAPER,
+                segment: crate::duration::RealDuration::from_nanos(777),
+            },
+            LocalTime::from_nanos(55),
+            SeedTree::new(3),
+        );
+        let s = sched(100, 3_000);
+        for frame in 0..20 {
+            let f = s.frame_interval(frame, &mut clock);
+            let s0 = s.slot_interval(frame, 0, &mut clock);
+            let s1 = s.slot_interval(frame, 1, &mut clock);
+            let s2 = s.slot_interval(frame, 2, &mut clock);
+            assert_eq!(s0.start(), f.start());
+            assert_eq!(s0.end(), s1.start());
+            assert_eq!(s1.end(), s2.start());
+            assert_eq!(s2.end(), f.end());
+        }
+    }
+
+    #[test]
+    fn first_full_frame_after_boundaries() {
+        let mut clock = ideal(0);
+        let s = sched(100, 300);
+        // Before the schedule starts: frame 0 is the first full frame.
+        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(0), &mut clock), 0);
+        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(100), &mut clock), 0);
+        // Inside frame 0: frame 1 is the next full frame.
+        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(101), &mut clock), 1);
+        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(400), &mut clock), 1);
+        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(401), &mut clock), 2);
+    }
+
+    #[test]
+    fn alignment_predicate() {
+        let mut cv = ideal(0);
+        let mut cu = ideal(0);
+        let sv = sched(0, 300);
+        // Identical schedules: frame 0 of v aligns with frame 0 of u.
+        let slots = [
+            sv.slot_interval(0, 0, &mut cv),
+            sv.slot_interval(0, 1, &mut cv),
+            sv.slot_interval(0, 2, &mut cv),
+        ];
+        let g = sched(0, 300).frame_interval(0, &mut cu);
+        assert!(is_aligned(&slots, &g));
+        // A frame far away does not align.
+        let far = sched(0, 300).frame_interval(5, &mut cu);
+        assert!(!is_aligned(&slots, &far));
+    }
+
+    #[test]
+    fn misaligned_by_half_slot_still_aligns() {
+        // u's frames shifted by half a slot: middle slot of v still fits.
+        let mut cv = ideal(0);
+        let mut cu = ideal(0);
+        let sv = sched(0, 300);
+        let su = sched(50, 300);
+        let slots = [
+            sv.slot_interval(1, 0, &mut cv),
+            sv.slot_interval(1, 1, &mut cv),
+            sv.slot_interval(1, 2, &mut cv),
+        ];
+        // v frame 1: [300,600); u frame 0: [50,350), frame 1: [350,650).
+        // Slot [400,500) of v fits inside u's frame 1.
+        let g1 = su.frame_interval(1, &mut cu);
+        assert!(is_aligned(&slots, &g1));
+    }
+
+    #[test]
+    fn lemma4_overlap_at_most_three_ideal() {
+        let mut cf = ideal(0);
+        let mut cg = ideal(0);
+        let sf = sched(37, 300);
+        let sg = sched(190, 300);
+        for i in 0..30 {
+            let f = sf.frame_interval(i, &mut cf);
+            let ov = overlapping_frames(&f, &sg, &mut cg, 200);
+            assert!(
+                (1..=3).contains(&ov.len()),
+                "frame {i} overlaps {} frames",
+                ov.len()
+            );
+        }
+    }
+
+    #[test]
+    fn lemma7_aligned_pair_within_two_frames_max_drift() {
+        // v fast at +1/7, u slow at -1/7, adversarial offsets.
+        for (ov, ou) in [(0u64, 0u64), (123, 456), (999, 1), (250, 875)] {
+            let mut cv = DriftedClock::new(
+                DriftModel::Constant(Rate::new(8, 7)),
+                LocalTime::from_nanos(ov),
+                SeedTree::new(0),
+            );
+            let mut cu = DriftedClock::new(
+                DriftModel::Constant(Rate::new(6, 7)),
+                LocalTime::from_nanos(ou),
+                SeedTree::new(1),
+            );
+            let sv = FrameSchedule::new(LocalTime::from_nanos(ov), LocalDuration::from_nanos(2_100));
+            let su = FrameSchedule::new(LocalTime::from_nanos(ou), LocalDuration::from_nanos(2_100));
+            for t in [0u64, 500, 1_000, 5_000, 20_000] {
+                let found = find_aligned_pair_after(
+                    RealTime::from_nanos(t),
+                    &sv,
+                    &mut cv,
+                    &su,
+                    &mut cu,
+                    2,
+                );
+                assert!(found.is_some(), "no aligned pair after t={t} (ov={ov}, ou={ou})");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_can_fail_beyond_the_drift_bound() {
+        // With drift far above 1/7 (here ±1/2), alignment within depth 2 can
+        // fail for some configurations — demonstrating the assumption is
+        // load-bearing. A slow transmitter's slots (real length 2L/3) cannot
+        // fit inside a fast receiver's frames (real length 2L/3) unless
+        // perfectly aligned. We only require that *some* configuration fails.
+        let mut any_failure = false;
+        for ou in (0..2_100).step_by(50) {
+            let mut cv = DriftedClock::new(
+                DriftModel::Constant(Rate::new(1, 2)),
+                LocalTime::ZERO,
+                SeedTree::new(0),
+            );
+            let mut cu = DriftedClock::new(
+                DriftModel::Constant(Rate::new(3, 2)),
+                LocalTime::ZERO,
+                SeedTree::new(1),
+            );
+            let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(2_100));
+            let su = FrameSchedule::new(LocalTime::from_nanos(ou), LocalDuration::from_nanos(2_100));
+            if find_aligned_pair_after(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, 2).is_none() {
+                any_failure = true;
+                break;
+            }
+        }
+        assert!(any_failure, "expected some misalignment at drift 1/2");
+    }
+}

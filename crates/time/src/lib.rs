@@ -1,0 +1,56 @@
+//! Simulated time for the `mmhew` workspace: real/local timelines, exact
+//! rational clock rates, bounded-drift clocks, and the frame/slot structure
+//! of the paper's asynchronous algorithm.
+//!
+//! # Model
+//!
+//! The paper's asynchronous system (§II) equips every node with a clock
+//! whose drift rate is bounded: `(1−δ)Δt ≤ C(t+Δt) − C(t) ≤ (1+δ)Δt`
+//! (Eq. 1), with `δ ≤ 1/7` (Assumption 1). Offsets between clocks are
+//! arbitrary; the drift rate of one clock may change over time in both
+//! magnitude and sign.
+//!
+//! This crate realizes that model with *exact integer arithmetic*:
+//!
+//! * [`RealTime`]/[`LocalTime`] are distinct `u64`-nanosecond newtypes, so
+//!   the type system prevents mixing timelines;
+//! * [`Rate`] is an exact rational `num/den`, and [`DriftedClock`] is a lazy
+//!   piecewise-linear monotone map built from a [`DriftModel`];
+//! * [`FrameSchedule`] produces the frames and 3-slot subdivisions of
+//!   Algorithm 4, projected onto real time through a clock;
+//! * [`is_aligned`], [`overlapping_frames`] and [`find_aligned_pair_after`]
+//!   are the structural predicates of Definitions 1–2 and Lemmas 4/7,
+//!   reused by both the engine and the E9 experiment.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_time::*;
+//! use mmhew_util::SeedTree;
+//!
+//! // A clock drifting randomly within the paper's bound.
+//! let model = DriftModel::RandomPiecewise {
+//!     bound: DriftBound::PAPER,
+//!     segment: RealDuration::from_millis(1),
+//! };
+//! let mut clock = DriftedClock::new(model, LocalTime::ZERO, SeedTree::new(7));
+//! let schedule = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_micros(300));
+//! let f0 = schedule.frame_interval(0, &mut clock);
+//! assert!(f0.len().as_nanos() > 0);
+//! ```
+
+pub mod admissible;
+pub mod clock;
+pub mod drift;
+pub mod duration;
+pub mod frame;
+pub mod rate;
+
+pub use admissible::{admissible_sequence, check_admissible, FramePair};
+pub use clock::DriftedClock;
+pub use drift::{DriftBound, DriftModel};
+pub use duration::{LocalDuration, LocalTime, RealDuration, RealInterval, RealTime};
+pub use frame::{
+    find_aligned_pair_after, is_aligned, overlapping_frames, FrameSchedule, SLOTS_PER_FRAME,
+};
+pub use rate::Rate;

@@ -1,0 +1,180 @@
+//! Property-based tests of the clock and frame substrate: the invariants
+//! every proof in §IV leans on.
+
+use mmhew_time::{
+    DriftBound, DriftModel, DriftedClock, FrameSchedule, LocalDuration, LocalTime, Rate,
+    RealDuration, RealTime, SLOTS_PER_FRAME,
+};
+use mmhew_util::SeedTree;
+use proptest::prelude::*;
+
+/// Strategy: an admissible drift model within a random bound ≤ 1/7.
+fn drift_strategy() -> impl Strategy<Value = DriftModel> {
+    prop_oneof![
+        Just(DriftModel::Ideal),
+        // Constant drift of magnitude k/(7k) = 1/7 scaled down: (7k±1)/(7k).
+        (1u64..=100).prop_map(|k| DriftModel::Constant(Rate::new(7 * k + 1, 7 * k))),
+        (1u64..=100).prop_map(|k| DriftModel::Constant(Rate::new(7 * k - 1, 7 * k))),
+        Just(DriftModel::Constant(Rate::new(8, 7))),
+        Just(DriftModel::Constant(Rate::new(6, 7))),
+        (100u64..20_000).prop_map(|seg| DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_nanos(seg),
+        }),
+        (100u64..10_000).prop_map(|p| DriftModel::Alternating {
+            first: Rate::new(8, 7),
+            second: Rate::new(6, 7),
+            period: RealDuration::from_nanos(p),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Clocks are monotone non-decreasing in real time.
+    #[test]
+    fn clock_monotone(
+        model in drift_strategy(),
+        offset in 0u64..100_000,
+        seed in 0u64..u64::MAX,
+        times in prop::collection::vec(0u64..5_000_000, 2..40),
+    ) {
+        let mut clock = DriftedClock::new(model, LocalTime::from_nanos(offset), SeedTree::new(seed));
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        let mut prev = clock.local_at(RealTime::ZERO);
+        for t in sorted {
+            let now = clock.local_at(RealTime::from_nanos(t));
+            prop_assert!(now >= prev, "clock went backwards at {t}");
+            prev = now;
+        }
+    }
+
+    /// Eq. 1 of the paper: (1−δ)Δt ≤ ΔC ≤ (1+δ)Δt, up to per-segment
+    /// floor slack.
+    #[test]
+    fn drift_bound_eq1(
+        model in drift_strategy(),
+        seed in 0u64..u64::MAX,
+        span in 10_000u64..3_000_000,
+    ) {
+        let mut clock = DriftedClock::new(model, LocalTime::ZERO, SeedTree::new(seed));
+        let l0 = clock.local_at(RealTime::ZERO).as_nanos();
+        let l1 = clock.local_at(RealTime::from_nanos(span)).as_nanos();
+        let elapsed = l1 - l0;
+        let slack = clock.segment_count() as u64 + 1;
+        prop_assert!(elapsed + slack >= span * 6 / 7, "too slow: {elapsed} over {span}");
+        prop_assert!(elapsed <= span * 8 / 7 + slack, "too fast: {elapsed} over {span}");
+        prop_assert!(clock.rates_within(DriftBound::PAPER));
+    }
+
+    /// `real_when_local_reaches` is the least real preimage.
+    #[test]
+    fn inverse_least_preimage(
+        model in drift_strategy(),
+        offset in 0u64..10_000,
+        seed in 0u64..u64::MAX,
+        targets in prop::collection::vec(0u64..2_000_000, 1..20),
+    ) {
+        let mut clock = DriftedClock::new(model, LocalTime::from_nanos(offset), SeedTree::new(seed));
+        for t in targets {
+            let local = LocalTime::from_nanos(offset + t);
+            let real = clock.real_when_local_reaches(local);
+            prop_assert!(clock.local_at(real) >= local);
+            if real.as_nanos() > 0 {
+                prop_assert!(
+                    clock.local_at(RealTime::from_nanos(real.as_nanos() - 1)) < local,
+                    "preimage not minimal"
+                );
+            }
+        }
+    }
+
+    /// Frames tile real time exactly: slot intervals are contiguous and
+    /// partition their frame, frames are contiguous.
+    #[test]
+    fn frames_tile(
+        model in drift_strategy(),
+        offset in 0u64..50_000,
+        seed in 0u64..u64::MAX,
+        frame_len in (1u64..2_000).prop_map(|k| k * 3),
+        frames in 1u64..40,
+    ) {
+        let mut clock = DriftedClock::new(model, LocalTime::from_nanos(offset), SeedTree::new(seed));
+        let sched = FrameSchedule::new(
+            LocalTime::from_nanos(offset),
+            LocalDuration::from_nanos(frame_len),
+        );
+        let mut prev_end: Option<RealTime> = None;
+        for f in 0..frames {
+            let frame = sched.frame_interval(f, &mut clock);
+            if let Some(end) = prev_end {
+                prop_assert_eq!(frame.start(), end, "frames must be contiguous");
+            }
+            let mut cursor = frame.start();
+            for s in 0..SLOTS_PER_FRAME {
+                let slot = sched.slot_interval(f, s, &mut clock);
+                prop_assert_eq!(slot.start(), cursor, "slots must be contiguous");
+                cursor = slot.end();
+            }
+            prop_assert_eq!(cursor, frame.end(), "slots must cover the frame");
+            prev_end = Some(frame.end());
+        }
+    }
+
+    /// Lemma 4 as a property: within the paper's drift bound, no frame
+    /// overlaps more than three frames of another node.
+    #[test]
+    fn lemma4_overlap_at_most_three(
+        model_v in drift_strategy(),
+        model_u in drift_strategy(),
+        offset_v in 0u64..9_000,
+        offset_u in 0u64..9_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let frame_len = LocalDuration::from_nanos(3_000);
+        let mut cv = DriftedClock::new(model_v, LocalTime::from_nanos(offset_v), SeedTree::new(seed));
+        let mut cu = DriftedClock::new(model_u, LocalTime::from_nanos(offset_u), SeedTree::new(seed ^ 1));
+        let sv = FrameSchedule::new(LocalTime::from_nanos(offset_v), frame_len);
+        let su = FrameSchedule::new(LocalTime::from_nanos(offset_u), frame_len);
+        for f in 0..8 {
+            let frame = sv.frame_interval(f, &mut cv);
+            let overlaps = mmhew_time::overlapping_frames(&frame, &su, &mut cu, 100);
+            prop_assert!(overlaps.len() <= 3, "frame {f} overlaps {}", overlaps.len());
+        }
+    }
+
+    /// Lemma 7 as a property: an aligned pair exists among the first two
+    /// full frames of each node after any instant.
+    #[test]
+    fn lemma7_alignment_within_two_frames(
+        model_v in drift_strategy(),
+        model_u in drift_strategy(),
+        offset_v in 0u64..9_000,
+        offset_u in 0u64..9_000,
+        t in 0u64..100_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let frame_len = LocalDuration::from_nanos(3_000);
+        let mut cv = DriftedClock::new(model_v, LocalTime::from_nanos(offset_v), SeedTree::new(seed));
+        let mut cu = DriftedClock::new(model_u, LocalTime::from_nanos(offset_u), SeedTree::new(seed ^ 2));
+        let sv = FrameSchedule::new(LocalTime::from_nanos(offset_v), frame_len);
+        let su = FrameSchedule::new(LocalTime::from_nanos(offset_u), frame_len);
+        let found = mmhew_time::find_aligned_pair_after(
+            RealTime::from_nanos(t), &sv, &mut cv, &su, &mut cu, 2,
+        );
+        prop_assert!(found.is_some(), "no aligned pair after t={t}");
+    }
+
+    /// Rate arithmetic: local_elapsed is monotone and exact at multiples
+    /// of the denominator.
+    #[test]
+    fn rate_arithmetic(num in 1u64..1000, den in 1u64..1000, k in 0u64..10_000) {
+        let rate = Rate::new(num, den);
+        prop_assert_eq!(rate.local_elapsed(k * den), k * num);
+        prop_assert!(rate.local_elapsed(k) <= rate.local_elapsed(k + 1));
+        let inv = rate.real_elapsed_to_reach(k);
+        prop_assert!(rate.local_elapsed(inv) >= k);
+    }
+}

@@ -1,0 +1,307 @@
+//! Fluent construction of complete networks.
+
+use crate::generators;
+use crate::graph::Topology;
+use crate::network::{Network, NetworkError, Propagation};
+use mmhew_spectrum::{AvailabilityError, AvailabilityModel};
+use mmhew_util::SeedTree;
+use std::fmt;
+
+/// Which topology the builder will generate.
+#[derive(Debug, Clone, PartialEq)]
+enum TopoSpec {
+    Line(usize),
+    Ring(usize),
+    Grid(usize, usize),
+    Star(usize),
+    Complete(usize),
+    UnitDisk { n: usize, side: f64, radius: f64 },
+    ErdosRenyi { n: usize, p: f64 },
+    AsymmetricDisk { n: usize, side: f64, r_min: f64, r_max: f64 },
+    Explicit(Topology),
+}
+
+/// Errors from [`NetworkBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// Availability generation failed.
+    Availability(AvailabilityError),
+    /// Network assembly/validation failed.
+    Network(NetworkError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Availability(e) => write!(f, "availability: {e}"),
+            BuildError::Network(e) => write!(f, "network: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BuildError::Availability(e) => Some(e),
+            BuildError::Network(e) => Some(e),
+        }
+    }
+}
+
+impl From<AvailabilityError> for BuildError {
+    fn from(e: AvailabilityError) -> Self {
+        BuildError::Availability(e)
+    }
+}
+
+impl From<NetworkError> for BuildError {
+    fn from(e: NetworkError) -> Self {
+        BuildError::Network(e)
+    }
+}
+
+/// Builder assembling a topology, a channel universe, an availability
+/// model and a propagation model into a validated [`Network`].
+///
+/// Defaults: universe of 16 channels, [`AvailabilityModel::Full`],
+/// [`Propagation::Uniform`].
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_topology::NetworkBuilder;
+/// use mmhew_spectrum::AvailabilityModel;
+/// use mmhew_util::SeedTree;
+///
+/// let net = NetworkBuilder::unit_disk(30, 10.0, 3.0)
+///     .universe(12)
+///     .availability(AvailabilityModel::UniformSubset { size: 6 })
+///     .build(SeedTree::new(42))?;
+/// assert_eq!(net.node_count(), 30);
+/// assert!(net.s_max() <= 6);
+/// # Ok::<(), mmhew_topology::BuildError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkBuilder {
+    spec: TopoSpec,
+    universe: u16,
+    availability: AvailabilityModel,
+    propagation: Propagation,
+}
+
+impl NetworkBuilder {
+    fn with_spec(spec: TopoSpec) -> Self {
+        Self {
+            spec,
+            universe: 16,
+            availability: AvailabilityModel::Full,
+            propagation: Propagation::Uniform,
+        }
+    }
+
+    /// A path of `n` nodes.
+    pub fn line(n: usize) -> Self {
+        Self::with_spec(TopoSpec::Line(n))
+    }
+
+    /// A cycle of `n ≥ 3` nodes.
+    pub fn ring(n: usize) -> Self {
+        Self::with_spec(TopoSpec::Ring(n))
+    }
+
+    /// A `w × h` grid with 4-neighborhood.
+    pub fn grid(w: usize, h: usize) -> Self {
+        Self::with_spec(TopoSpec::Grid(w, h))
+    }
+
+    /// A star with hub node 0.
+    pub fn star(n: usize) -> Self {
+        Self::with_spec(TopoSpec::Star(n))
+    }
+
+    /// The complete graph (single-hop network).
+    pub fn complete(n: usize) -> Self {
+        Self::with_spec(TopoSpec::Complete(n))
+    }
+
+    /// A random geometric graph in a `side × side` square with link radius
+    /// `radius`.
+    pub fn unit_disk(n: usize, side: f64, radius: f64) -> Self {
+        Self::with_spec(TopoSpec::UnitDisk { n, side, radius })
+    }
+
+    /// An Erdős–Rényi graph `G(n, p)`.
+    pub fn erdos_renyi(n: usize, p: f64) -> Self {
+        Self::with_spec(TopoSpec::ErdosRenyi { n, p })
+    }
+
+    /// An asymmetric geometric graph with per-node transmit ranges drawn
+    /// from `[r_min, r_max]`.
+    pub fn asymmetric_disk(n: usize, side: f64, r_min: f64, r_max: f64) -> Self {
+        Self::with_spec(TopoSpec::AsymmetricDisk { n, side, r_min, r_max })
+    }
+
+    /// Uses an explicitly constructed topology.
+    pub fn from_topology(topology: Topology) -> Self {
+        Self::with_spec(TopoSpec::Explicit(topology))
+    }
+
+    /// Sets the universal channel set size.
+    pub fn universe(mut self, channels: u16) -> Self {
+        self.universe = channels;
+        self
+    }
+
+    /// Sets the availability model.
+    pub fn availability(mut self, model: AvailabilityModel) -> Self {
+        self.availability = model;
+        self
+    }
+
+    /// Sets the propagation model.
+    pub fn propagation(mut self, propagation: Propagation) -> Self {
+        self.propagation = propagation;
+        self
+    }
+
+    /// Generates the topology, assigns availability, and validates the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] if availability generation or network
+    /// validation fails.
+    pub fn build(&self, seed: SeedTree) -> Result<Network, BuildError> {
+        let topology = match &self.spec {
+            TopoSpec::Line(n) => generators::line(*n),
+            TopoSpec::Ring(n) => generators::ring(*n),
+            TopoSpec::Grid(w, h) => generators::grid(*w, *h),
+            TopoSpec::Star(n) => generators::star(*n),
+            TopoSpec::Complete(n) => generators::complete(*n),
+            TopoSpec::UnitDisk { n, side, radius } => {
+                generators::unit_disk(*n, *side, *radius, seed.branch("topology"))
+            }
+            TopoSpec::ErdosRenyi { n, p } => {
+                generators::erdos_renyi(*n, *p, seed.branch("topology"))
+            }
+            TopoSpec::AsymmetricDisk { n, side, r_min, r_max } => {
+                generators::asymmetric_disk(*n, *side, *r_min, *r_max, seed.branch("topology"))
+            }
+            TopoSpec::Explicit(t) => t.clone(),
+        };
+        let availability = self.availability.assign(
+            self.universe,
+            topology.positions(),
+            seed.branch("availability"),
+        )?;
+        Ok(Network::new(
+            topology,
+            self.universe,
+            availability,
+            self.propagation.clone(),
+        )?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_spectrum::ChannelSet;
+
+    #[test]
+    fn defaults_build_homogeneous_network() {
+        let net = NetworkBuilder::ring(5).build(SeedTree::new(0)).expect("build");
+        assert_eq!(net.node_count(), 5);
+        assert_eq!(net.universe_size(), 16);
+        assert_eq!(net.s_max(), 16);
+        assert_eq!(net.rho(), 1.0);
+        assert_eq!(net.max_degree(), 2);
+    }
+
+    #[test]
+    fn builder_is_deterministic() {
+        let b = NetworkBuilder::unit_disk(25, 8.0, 3.0)
+            .universe(10)
+            .availability(AvailabilityModel::UniformSubset { size: 4 });
+        let a = b.build(SeedTree::new(9)).expect("build");
+        let c = b.build(SeedTree::new(9)).expect("build");
+        assert_eq!(a, c);
+        let d = b.build(SeedTree::new(10)).expect("build");
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn availability_error_propagates() {
+        let err = NetworkBuilder::line(3)
+            .universe(4)
+            .availability(AvailabilityModel::UniformSubset { size: 9 })
+            .build(SeedTree::new(0))
+            .expect_err("oversize subset");
+        assert!(matches!(err, BuildError::Availability(_)));
+        assert!(err.to_string().contains("availability"));
+    }
+
+    #[test]
+    fn network_error_propagates() {
+        let err = NetworkBuilder::line(2)
+            .universe(0)
+            .build(SeedTree::new(0))
+            .expect_err("empty universe");
+        assert!(matches!(
+            err,
+            BuildError::Network(NetworkError::EmptyUniverse)
+        ));
+    }
+
+    #[test]
+    fn explicit_topology_and_sets() {
+        let mut topo = Topology::new(2);
+        topo.add_bidirectional(crate::NodeId::new(0), crate::NodeId::new(1));
+        let sets = vec![
+            [0u16].into_iter().collect::<ChannelSet>(),
+            [0u16].into_iter().collect(),
+        ];
+        let net = NetworkBuilder::from_topology(topo)
+            .universe(1)
+            .availability(AvailabilityModel::Explicit(sets))
+            .build(SeedTree::new(0))
+            .expect("build");
+        assert_eq!(net.links().len(), 2);
+        assert_eq!(net.rho(), 1.0);
+    }
+
+    #[test]
+    fn pairwise_overlap_controls_rho() {
+        for (shared, private, want) in [(1u16, 4u16, 0.2f64), (2, 2, 0.5), (3, 0, 1.0)] {
+            let n = 4;
+            let net = NetworkBuilder::complete(n)
+                .universe(shared + n as u16 * private)
+                .availability(AvailabilityModel::PairwiseOverlap { shared, private })
+                .build(SeedTree::new(1))
+                .expect("build");
+            assert!(
+                (net.rho() - want).abs() < 1e-12,
+                "shared={shared} private={private}: rho={} want={want}",
+                net.rho()
+            );
+        }
+    }
+
+    #[test]
+    fn all_generator_specs_build() {
+        let seed = SeedTree::new(3);
+        for b in [
+            NetworkBuilder::line(4),
+            NetworkBuilder::ring(4),
+            NetworkBuilder::grid(2, 3),
+            NetworkBuilder::star(4),
+            NetworkBuilder::complete(4),
+            NetworkBuilder::unit_disk(10, 5.0, 2.0),
+            NetworkBuilder::erdos_renyi(10, 0.4),
+            NetworkBuilder::asymmetric_disk(10, 5.0, 1.0, 3.0),
+        ] {
+            let net = b.build(seed).expect("build");
+            assert!(net.node_count() >= 4);
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! Standard topology generators.
+//!
+//! All generators produce symmetric graphs except [`asymmetric_disk`],
+//! which models nodes with unequal transmit powers (the asymmetric-graph
+//! extension mentioned in the paper's conclusions).
+
+use crate::graph::Topology;
+use crate::node::NodeId;
+use mmhew_util::SeedTree;
+use rand::Rng;
+
+/// A path of `n` nodes: `0 — 1 — ... — n−1`.
+pub fn line(n: usize) -> Topology {
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.add_bidirectional(NodeId::new((i - 1) as u32), NodeId::new(i as u32));
+        t.set_position(NodeId::new(i as u32), (i as f64, 0.0));
+    }
+    if n > 0 {
+        t.set_position(NodeId::new(0), (0.0, 0.0));
+    }
+    t
+}
+
+/// A cycle of `n ≥ 3` nodes.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least 3 nodes");
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        t.add_bidirectional(NodeId::new(i as u32), NodeId::new(((i + 1) % n) as u32));
+    }
+    t
+}
+
+/// A `w × h` grid with 4-neighborhood, positions at integer coordinates.
+///
+/// # Panics
+///
+/// Panics if either dimension is zero.
+pub fn grid(w: usize, h: usize) -> Topology {
+    assert!(w > 0 && h > 0, "grid dimensions must be positive");
+    let mut t = Topology::new(w * h);
+    let id = |x: usize, y: usize| NodeId::new((y * w + x) as u32);
+    for y in 0..h {
+        for x in 0..w {
+            t.set_position(id(x, y), (x as f64, y as f64));
+            if x + 1 < w {
+                t.add_bidirectional(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                t.add_bidirectional(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    t
+}
+
+/// A star: node 0 is the hub, nodes `1..n` its leaves.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2, "a star needs a hub and at least one leaf");
+    let mut t = Topology::new(n);
+    for i in 1..n {
+        t.add_bidirectional(NodeId::new(0), NodeId::new(i as u32));
+    }
+    t.set_position(NodeId::new(0), (0.0, 0.0));
+    t
+}
+
+/// The complete graph on `n` nodes (single-hop network).
+pub fn complete(n: usize) -> Topology {
+    let mut t = Topology::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            t.add_bidirectional(NodeId::new(i as u32), NodeId::new(j as u32));
+        }
+    }
+    t
+}
+
+/// A random geometric (unit-disk) graph: `n` nodes uniform in a
+/// `side × side` square, edges between nodes within `radius`.
+pub fn unit_disk(n: usize, side: f64, radius: f64, seed: SeedTree) -> Topology {
+    assert!(side > 0.0 && radius >= 0.0, "invalid geometry");
+    let mut t = Topology::new(n);
+    let mut rng = seed.branch("unit-disk").rng();
+    for i in 0..n {
+        let pos = (rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+        t.set_position(NodeId::new(i as u32), pos);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (u, v) = (NodeId::new(i as u32), NodeId::new(j as u32));
+            if t.distance(u, v) <= radius {
+                t.add_bidirectional(u, v);
+            }
+        }
+    }
+    t
+}
+
+/// An Erdős–Rényi graph `G(n, p)` (each undirected pair connected
+/// independently with probability `p`).
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: SeedTree) -> Topology {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut t = Topology::new(n);
+    let mut rng = seed.branch("erdos-renyi").rng();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                t.add_bidirectional(NodeId::new(i as u32), NodeId::new(j as u32));
+            }
+        }
+    }
+    t
+}
+
+/// An *asymmetric* random geometric graph: each node draws its own
+/// transmit range uniformly from `[r_min, r_max]`; `v` hears `u` iff
+/// `dist(u, v) ≤ range(u)`. With `r_min < r_max` some links are one-way.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid (`side ≤ 0` or `r_min > r_max`).
+pub fn asymmetric_disk(
+    n: usize,
+    side: f64,
+    r_min: f64,
+    r_max: f64,
+    seed: SeedTree,
+) -> Topology {
+    assert!(side > 0.0, "invalid geometry");
+    assert!(0.0 <= r_min && r_min <= r_max, "invalid range interval");
+    let mut t = Topology::new(n);
+    let mut rng = seed.branch("asym-disk").rng();
+    let mut ranges = Vec::with_capacity(n);
+    for i in 0..n {
+        let pos = (rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+        t.set_position(NodeId::new(i as u32), pos);
+        ranges.push(if r_min == r_max {
+            r_min
+        } else {
+            rng.gen_range(r_min..=r_max)
+        });
+    }
+    for (i, &range) in ranges.iter().enumerate() {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            let (u, v) = (NodeId::new(i as u32), NodeId::new(j as u32));
+            if t.distance(u, v) <= range {
+                t.add_edge(u, v);
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn line_shape() {
+        let t = line(4);
+        assert_eq!(t.edge_count(), 6); // 3 undirected edges
+        assert!(t.contains_edge(n(0), n(1)));
+        assert!(t.contains_edge(n(2), n(3)));
+        assert!(!t.contains_edge(n(0), n(2)));
+        assert!(t.is_connected());
+        assert!(t.is_symmetric());
+        assert_eq!(line(1).edge_count(), 0);
+        assert_eq!(line(0).node_count(), 0);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(5);
+        assert_eq!(t.edge_count(), 10);
+        assert!(t.contains_edge(n(4), n(0)));
+        assert!(t.is_connected());
+        for u in t.nodes() {
+            assert_eq!(t.in_neighbors(u).len(), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn tiny_ring_panics() {
+        let _ = ring(2);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let t = grid(3, 2);
+        assert_eq!(t.node_count(), 6);
+        // Undirected edges: 2 rows * 2 horiz + 3 cols * 1 vert = 7.
+        assert_eq!(t.edge_count(), 14);
+        assert!(t.is_connected());
+        // Corner has degree 2, middle-edge 3.
+        assert_eq!(t.in_neighbors(n(0)).len(), 2);
+        assert_eq!(t.in_neighbors(n(1)).len(), 3);
+        assert_eq!(t.position(n(4)), (1.0, 1.0));
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(6);
+        assert_eq!(t.in_neighbors(n(0)).len(), 5);
+        for i in 1..6 {
+            assert_eq!(t.in_neighbors(n(i)).len(), 1);
+        }
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn complete_shape() {
+        let t = complete(5);
+        assert_eq!(t.edge_count(), 20);
+        for u in t.nodes() {
+            assert_eq!(t.in_neighbors(u).len(), 4);
+        }
+    }
+
+    #[test]
+    fn unit_disk_radius_zero_and_huge() {
+        let seed = SeedTree::new(5);
+        let empty = unit_disk(10, 1.0, 0.0, seed);
+        assert_eq!(empty.edge_count(), 0);
+        let full = unit_disk(10, 1.0, 10.0, seed);
+        assert_eq!(full.edge_count(), 90);
+        assert!(full.is_symmetric());
+    }
+
+    #[test]
+    fn unit_disk_edges_match_distances() {
+        let t = unit_disk(30, 10.0, 3.0, SeedTree::new(6));
+        for u in t.nodes() {
+            for v in t.nodes() {
+                if u == v {
+                    continue;
+                }
+                assert_eq!(
+                    t.contains_edge(u, v),
+                    t.distance(u, v) <= 3.0,
+                    "edge ({u},{v}) inconsistent with distance"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unit_disk_deterministic() {
+        let a = unit_disk(20, 5.0, 2.0, SeedTree::new(7));
+        let b = unit_disk(20, 5.0, 2.0, SeedTree::new(7));
+        assert_eq!(a, b);
+        let c = unit_disk(20, 5.0, 2.0, SeedTree::new(8));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn erdos_renyi_extremes() {
+        assert_eq!(erdos_renyi(10, 0.0, SeedTree::new(1)).edge_count(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, SeedTree::new(1)).edge_count(), 90);
+    }
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let t = erdos_renyi(60, 0.3, SeedTree::new(2));
+        let pairs = 60.0 * 59.0 / 2.0;
+        let density = (t.edge_count() as f64 / 2.0) / pairs;
+        assert!((density - 0.3).abs() < 0.06, "density {density}");
+    }
+
+    #[test]
+    fn asymmetric_disk_has_oneway_links() {
+        let t = asymmetric_disk(40, 10.0, 1.0, 5.0, SeedTree::new(3));
+        assert!(!t.is_symmetric(), "expected some one-way links");
+        // Every edge still respects the transmitter's range ordering:
+        // v hears u => dist <= r_max.
+        for (u, v) in t.edges() {
+            assert!(t.distance(u, v) <= 5.0);
+        }
+    }
+
+    #[test]
+    fn asymmetric_disk_equal_ranges_is_symmetric() {
+        let t = asymmetric_disk(20, 5.0, 2.0, 2.0, SeedTree::new(4));
+        assert!(t.is_symmetric());
+    }
+}

@@ -1,0 +1,305 @@
+//! The communication graph of an M²HeW network.
+//!
+//! Edges are *directed*: `u → v` means "`v` can hear `u`" (any message `u`
+//! transmits reaches `v` if no collision occurs at `v`). The paper assumes a
+//! symmetric graph for exposition but notes the algorithms extend to
+//! asymmetric graphs; we keep direction explicit so the asymmetric
+//! extension (experiment E12) is first-class.
+
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// A directed communication graph with per-node planar positions.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_topology::{NodeId, Topology};
+///
+/// let mut t = Topology::new(3);
+/// t.add_bidirectional(NodeId::new(0), NodeId::new(1));
+/// t.add_edge(NodeId::new(1), NodeId::new(2)); // 2 hears 1, not vice versa
+/// assert!(t.contains_edge(NodeId::new(0), NodeId::new(1)));
+/// assert!(t.contains_edge(NodeId::new(1), NodeId::new(2)));
+/// assert!(!t.contains_edge(NodeId::new(2), NodeId::new(1)));
+/// assert!(!t.is_symmetric());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// `out[u]` = nodes that hear `u`.
+    out: Vec<Vec<NodeId>>,
+    /// `in_[u]` = nodes `u` hears.
+    in_: Vec<Vec<NodeId>>,
+    positions: Vec<(f64, f64)>,
+}
+
+impl Topology {
+    /// Creates an edgeless graph of `n` nodes positioned on a unit circle
+    /// (generators overwrite positions as appropriate).
+    pub fn new(n: usize) -> Self {
+        let positions = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / n.max(1) as f64;
+                (theta.cos(), theta.sin())
+            })
+            .collect();
+        Self {
+            out: vec![Vec::new(); n],
+            in_: vec![Vec::new(); n],
+            positions,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.out.iter().map(Vec::len).sum()
+    }
+
+    /// Adds the directed edge `u → v` (`v` hears `u`). Duplicate edges and
+    /// self-loops are ignored.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        assert!(u.as_usize() < self.node_count(), "source out of range");
+        assert!(v.as_usize() < self.node_count(), "target out of range");
+        if u == v || self.contains_edge(u, v) {
+            return;
+        }
+        self.out[u.as_usize()].push(v);
+        self.in_[v.as_usize()].push(u);
+    }
+
+    /// Adds edges in both directions.
+    pub fn add_bidirectional(&mut self, u: NodeId, v: NodeId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// True if `v` hears `u`.
+    pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.out[u.as_usize()].contains(&v)
+    }
+
+    /// Nodes that hear `u`.
+    pub fn out_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.out[u.as_usize()]
+    }
+
+    /// Nodes `u` hears (its potential discoveries and interferers).
+    pub fn in_neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.in_[u.as_usize()]
+    }
+
+    /// True if every edge has its reverse.
+    pub fn is_symmetric(&self) -> bool {
+        self.out.iter().enumerate().all(|(u, vs)| {
+            vs.iter()
+                .all(|&v| self.contains_edge(v, NodeId::new(u as u32)))
+        })
+    }
+
+    /// Planar position of a node (used by spatial availability models).
+    pub fn position(&self, u: NodeId) -> (f64, f64) {
+        self.positions[u.as_usize()]
+    }
+
+    /// All node positions, indexed by node.
+    pub fn positions(&self) -> &[(f64, f64)] {
+        &self.positions
+    }
+
+    /// Overwrites a node's position.
+    pub fn set_position(&mut self, u: NodeId, pos: (f64, f64)) {
+        self.positions[u.as_usize()] = pos;
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.node_count() as u32).map(NodeId::new)
+    }
+
+    /// Iterator over all directed edges `(u, v)` with `v` hearing `u`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.out.iter().enumerate().flat_map(|(u, vs)| {
+            vs.iter().map(move |&v| (NodeId::new(u as u32), v))
+        })
+    }
+
+    /// Euclidean distance between two nodes' positions.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> f64 {
+        let (ux, uy) = self.position(u);
+        let (vx, vy) = self.position(v);
+        ((ux - vx).powi(2) + (uy - vy).powi(2)).sqrt()
+    }
+
+    /// Mean in-degree (equals mean out-degree).
+    pub fn average_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.edge_count() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Hop diameter of the undirected support: the longest shortest path
+    /// between any two nodes, or `None` if the graph is disconnected (or
+    /// empty).
+    pub fn diameter(&self) -> Option<usize> {
+        let n = self.node_count();
+        if n == 0 {
+            return None;
+        }
+        let mut worst = 0usize;
+        for source in 0..n {
+            // BFS over the undirected support.
+            let mut dist = vec![usize::MAX; n];
+            dist[source] = 0;
+            let mut queue = std::collections::VecDeque::from([source]);
+            while let Some(u) = queue.pop_front() {
+                let uid = NodeId::new(u as u32);
+                for &v in self.out_neighbors(uid).iter().chain(self.in_neighbors(uid)) {
+                    if dist[v.as_usize()] == usize::MAX {
+                        dist[v.as_usize()] = dist[u] + 1;
+                        queue.push_back(v.as_usize());
+                    }
+                }
+            }
+            let far = dist.iter().copied().max().expect("non-empty");
+            if far == usize::MAX {
+                return None; // disconnected
+            }
+            worst = worst.max(far);
+        }
+        Some(worst)
+    }
+
+    /// True if the *undirected support* of the graph is connected (each
+    /// node can reach each other ignoring edge direction). The empty graph
+    /// and single-node graph count as connected.
+    pub fn is_connected(&self) -> bool {
+        let n = self.node_count();
+        if n <= 1 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut visited = 1;
+        while let Some(u) = stack.pop() {
+            let uid = NodeId::new(u as u32);
+            for &v in self.out_neighbors(uid).iter().chain(self.in_neighbors(uid)) {
+                if !seen[v.as_usize()] {
+                    seen[v.as_usize()] = true;
+                    visited += 1;
+                    stack.push(v.as_usize());
+                }
+            }
+        }
+        visited == n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = Topology::new(4);
+        assert_eq!(t.node_count(), 4);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.is_symmetric());
+        assert!(!t.is_connected());
+        assert!(Topology::new(1).is_connected());
+        assert!(Topology::new(0).is_connected());
+    }
+
+    #[test]
+    fn directed_edges() {
+        let mut t = Topology::new(3);
+        t.add_edge(n(0), n(1));
+        assert_eq!(t.out_neighbors(n(0)), &[n(1)]);
+        assert_eq!(t.in_neighbors(n(1)), &[n(0)]);
+        assert!(t.in_neighbors(n(0)).is_empty());
+        assert!(!t.is_symmetric());
+        t.add_edge(n(1), n(0));
+        assert!(t.is_symmetric());
+    }
+
+    #[test]
+    fn duplicates_and_self_loops_ignored() {
+        let mut t = Topology::new(2);
+        t.add_edge(n(0), n(1));
+        t.add_edge(n(0), n(1));
+        t.add_edge(n(0), n(0));
+        assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut t = Topology::new(2);
+        t.add_edge(n(0), n(5));
+    }
+
+    #[test]
+    fn edges_iterator() {
+        let mut t = Topology::new(3);
+        t.add_bidirectional(n(0), n(1));
+        t.add_edge(n(2), n(0));
+        let mut edges: Vec<_> = t.edges().collect();
+        edges.sort();
+        assert_eq!(edges, vec![(n(0), n(1)), (n(1), n(0)), (n(2), n(0))]);
+    }
+
+    #[test]
+    fn connectivity_ignores_direction() {
+        let mut t = Topology::new(3);
+        t.add_edge(n(0), n(1));
+        t.add_edge(n(2), n(1));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn diameter_and_average_degree() {
+        let mut line = Topology::new(4);
+        for i in 1..4 {
+            line.add_bidirectional(n(i - 1), n(i));
+        }
+        assert_eq!(line.diameter(), Some(3));
+        assert!((line.average_degree() - 1.5).abs() < 1e-12);
+
+        let mut pair = Topology::new(3);
+        pair.add_bidirectional(n(0), n(1));
+        assert_eq!(pair.diameter(), None, "disconnected");
+
+        let single = Topology::new(1);
+        assert_eq!(single.diameter(), Some(0));
+        assert_eq!(Topology::new(0).diameter(), None);
+    }
+
+    #[test]
+    fn diameter_uses_undirected_support() {
+        let mut t = Topology::new(3);
+        t.add_edge(n(0), n(1));
+        t.add_edge(n(2), n(1));
+        // Directed: 0→1←2; undirected support is a path of length 2.
+        assert_eq!(t.diameter(), Some(2));
+    }
+
+    #[test]
+    fn positions_and_distance() {
+        let mut t = Topology::new(2);
+        t.set_position(n(0), (0.0, 0.0));
+        t.set_position(n(1), (3.0, 4.0));
+        assert_eq!(t.distance(n(0), n(1)), 5.0);
+        assert_eq!(t.positions().len(), 2);
+    }
+}

@@ -1,0 +1,38 @@
+//! Communication graphs and complete M²HeW network construction.
+//!
+//! This crate turns a topology (who can hear whom) and a spectrum
+//! availability model (which channels each node perceives) into a validated
+//! [`Network`] — the ground truth a discovery simulation runs against. It
+//! also computes the paper's complexity parameters:
+//!
+//! * `S` — size of the largest available channel set ([`Network::s_max`]);
+//! * `Δ` — maximum per-channel node degree ([`Network::max_degree`]);
+//! * `ρ` — minimum link span-ratio ([`Network::rho`]), the paper's measure
+//!   of heterogeneity (running time of every algorithm is ∝ 1/ρ).
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_topology::NetworkBuilder;
+//! use mmhew_spectrum::AvailabilityModel;
+//! use mmhew_util::SeedTree;
+//!
+//! let net = NetworkBuilder::grid(4, 4)
+//!     .universe(8)
+//!     .availability(AvailabilityModel::UniformSubset { size: 4 })
+//!     .build(SeedTree::new(7))?;
+//! assert_eq!(net.node_count(), 16);
+//! println!("S={} Δ={} ρ={:.2}", net.s_max(), net.max_degree(), net.rho());
+//! # Ok::<(), mmhew_topology::BuildError>(())
+//! ```
+
+pub mod builder;
+pub mod generators;
+pub mod graph;
+pub mod network;
+pub mod node;
+
+pub use builder::{BuildError, NetworkBuilder};
+pub use graph::Topology;
+pub use network::{Link, Network, NetworkError, Propagation};
+pub use node::NodeId;

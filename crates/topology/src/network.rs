@@ -1,0 +1,508 @@
+//! The complete M²HeW network: communication graph ⊗ channel availability.
+//!
+//! A [`Network`] is the ground truth a simulation runs against: who can
+//! hear whom on which channel, and therefore exactly which `(neighbor,
+//! common channels)` pairs a correct neighbor-discovery run must output.
+//! It also computes the paper's complexity parameters `S`, `Δ` and `ρ`.
+
+use crate::graph::Topology;
+use crate::node::NodeId;
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Per-channel propagation behaviour.
+///
+/// The paper's base model assumes all channels propagate identically, so a
+/// link operating on one common channel operates on all of them
+/// (`Uniform`). The diverse-propagation extension (conclusion item (c),
+/// experiment E14) gives each channel its own maximum range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Propagation {
+    /// All channels have identical propagation: `span(u,v) = A(u) ∩ A(v)`.
+    Uniform,
+    /// Channel `c` only carries a link whose endpoints are within
+    /// `ranges[c]` of each other (higher frequencies die sooner).
+    PerChannelRange {
+        /// Max link distance per channel, indexed by channel.
+        ranges: Vec<f64>,
+    },
+}
+
+impl Propagation {
+    fn admits(&self, distance: f64, c: ChannelId) -> bool {
+        match self {
+            Propagation::Uniform => true,
+            Propagation::PerChannelRange { ranges } => {
+                distance <= ranges[c.index() as usize]
+            }
+        }
+    }
+}
+
+/// Errors constructing a [`Network`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetworkError {
+    /// The universe has no channels.
+    EmptyUniverse,
+    /// One availability set per node is required.
+    AvailabilityCount {
+        /// Sets provided.
+        provided: usize,
+        /// Nodes in the topology.
+        nodes: usize,
+    },
+    /// An availability set references a channel outside the universe.
+    ChannelOutOfUniverse {
+        /// Offending node.
+        node: NodeId,
+        /// Offending channel.
+        channel: ChannelId,
+    },
+    /// Per-channel propagation needs one range per universe channel.
+    PropagationCount {
+        /// Ranges provided.
+        provided: usize,
+        /// Universe size.
+        universe: u16,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::EmptyUniverse => write!(f, "universe has no channels"),
+            NetworkError::AvailabilityCount { provided, nodes } => {
+                write!(f, "{provided} availability sets for {nodes} nodes")
+            }
+            NetworkError::ChannelOutOfUniverse { node, channel } => {
+                write!(f, "node {node} lists {channel} outside the universe")
+            }
+            NetworkError::PropagationCount { provided, universe } => {
+                write!(f, "{provided} propagation ranges for {universe} channels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// A directed discovery obligation: receiver `to` must learn about
+/// transmitter `from` (the paper's link `(from, to)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Link {
+    /// Transmitting endpoint.
+    pub from: NodeId,
+    /// Receiving endpoint (the node that must make the discovery).
+    pub to: NodeId,
+}
+
+impl fmt::Display for Link {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}→{})", self.from, self.to)
+    }
+}
+
+/// An M²HeW network: topology, universe, per-node availability, and
+/// propagation — plus precomputed per-channel adjacency and the paper's
+/// parameters.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_topology::{generators, Network, Propagation};
+/// use mmhew_spectrum::ChannelSet;
+///
+/// // Two nodes sharing channel 1 only.
+/// let topo = generators::line(2);
+/// let avail = vec![
+///     [0u16, 1].into_iter().collect::<ChannelSet>(),
+///     [1u16, 2].into_iter().collect(),
+/// ];
+/// let net = Network::new(topo, 3, avail, Propagation::Uniform)?;
+/// assert_eq!(net.s_max(), 2);
+/// assert_eq!(net.max_degree(), 1);
+/// assert!((net.rho() - 0.5).abs() < 1e-12);
+/// assert_eq!(net.links().len(), 2);
+/// # Ok::<(), mmhew_topology::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Network {
+    topology: Topology,
+    universe: u16,
+    availability: Vec<ChannelSet>,
+    propagation: Propagation,
+    /// `neighbors_on[u][c]` = in-neighbors `v` of `u` with `c ∈ span(v,u)`.
+    neighbors_on: Vec<Vec<Vec<NodeId>>>,
+    links: Vec<Link>,
+}
+
+impl Network {
+    /// Assembles and validates a network.
+    ///
+    /// # Errors
+    ///
+    /// See [`NetworkError`] for each validation failure.
+    pub fn new(
+        topology: Topology,
+        universe: u16,
+        availability: Vec<ChannelSet>,
+        propagation: Propagation,
+    ) -> Result<Self, NetworkError> {
+        if universe == 0 {
+            return Err(NetworkError::EmptyUniverse);
+        }
+        let n = topology.node_count();
+        if availability.len() != n {
+            return Err(NetworkError::AvailabilityCount {
+                provided: availability.len(),
+                nodes: n,
+            });
+        }
+        for (i, set) in availability.iter().enumerate() {
+            if let Some(c) = set.max_channel() {
+                if c.index() >= universe {
+                    return Err(NetworkError::ChannelOutOfUniverse {
+                        node: NodeId::new(i as u32),
+                        channel: c,
+                    });
+                }
+            }
+        }
+        if let Propagation::PerChannelRange { ranges } = &propagation {
+            if ranges.len() != universe as usize {
+                return Err(NetworkError::PropagationCount {
+                    provided: ranges.len(),
+                    universe,
+                });
+            }
+        }
+
+        // Precompute per-channel in-neighbor lists and the link inventory.
+        let mut neighbors_on = vec![vec![Vec::new(); universe as usize]; n];
+        let mut links = Vec::new();
+        for u in topology.nodes() {
+            for &v in topology.in_neighbors(u) {
+                let mut any = false;
+                for c in availability[v.as_usize()]
+                    .intersection(&availability[u.as_usize()])
+                    .iter()
+                {
+                    if propagation.admits(topology.distance(v, u), c) {
+                        neighbors_on[u.as_usize()][c.index() as usize].push(v);
+                        any = true;
+                    }
+                }
+                if any {
+                    links.push(Link { from: v, to: u });
+                }
+            }
+        }
+        links.sort();
+
+        Ok(Self {
+            topology,
+            universe,
+            availability,
+            propagation,
+            neighbors_on,
+            links,
+        })
+    }
+
+    /// The underlying communication graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Number of nodes (`N`).
+    pub fn node_count(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// Size of the universal channel set.
+    pub fn universe_size(&self) -> u16 {
+        self.universe
+    }
+
+    /// The available channel set `A(u)`.
+    pub fn available(&self, u: NodeId) -> &ChannelSet {
+        &self.availability[u.as_usize()]
+    }
+
+    /// The propagation model.
+    pub fn propagation(&self) -> &Propagation {
+        &self.propagation
+    }
+
+    /// In-neighbors of `u` on channel `c`: the nodes whose transmissions on
+    /// `c` reach (and can collide at) `u`.
+    pub fn neighbors_on(&self, u: NodeId, c: ChannelId) -> &[NodeId] {
+        &self.neighbors_on[u.as_usize()][c.index() as usize]
+    }
+
+    /// The span of the directed link `from → to`: channels on which `to`
+    /// can hear `from`.
+    pub fn span(&self, from: NodeId, to: NodeId) -> ChannelSet {
+        self.neighbors_on[to.as_usize()]
+            .iter()
+            .enumerate()
+            .filter(|(_, vs)| vs.contains(&from))
+            .map(|(c, _)| ChannelId::new(c as u16))
+            .collect()
+    }
+
+    /// All discovery obligations: directed links with non-empty span,
+    /// sorted.
+    pub fn links(&self) -> &[Link] {
+        &self.links
+    }
+
+    /// The degree `Δ(u, c)` — number of neighbors of `u` on channel `c`.
+    pub fn degree_on(&self, u: NodeId, c: ChannelId) -> usize {
+        self.neighbors_on(u, c).len()
+    }
+
+    /// `S`: size of the largest available channel set.
+    pub fn s_max(&self) -> usize {
+        self.availability.iter().map(ChannelSet::len).max().unwrap_or(0)
+    }
+
+    /// `Δ`: maximum degree of any node on any channel.
+    pub fn max_degree(&self) -> usize {
+        self.neighbors_on
+            .iter()
+            .flat_map(|per_chan| per_chan.iter().map(Vec::len))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// `ρ`: minimum span-ratio over all links — `|span(v,u)| / |A(u)|`,
+    /// minimized over directed links `(v, u)`. Returns 1.0 for a network
+    /// with no links (vacuous minimum, and the best case for the bounds).
+    pub fn rho(&self) -> f64 {
+        self.links
+            .iter()
+            .map(|l| {
+                let span = self.span(l.from, l.to).len() as f64;
+                let a = self.available(l.to).len() as f64;
+                span / a
+            })
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
+    }
+
+    /// Ground truth for node `u`: every `(neighbor, common channel set)`
+    /// pair a correct discovery run must report. The common set is
+    /// `A(v) ∩ A(u)` — what `u` computes from `v`'s beacon — even when
+    /// diverse propagation makes the usable span smaller.
+    pub fn expected_discovery(&self, u: NodeId) -> Vec<(NodeId, ChannelSet)> {
+        let mut out: Vec<(NodeId, ChannelSet)> = self
+            .links
+            .iter()
+            .filter(|l| l.to == u)
+            .map(|l| {
+                (
+                    l.from,
+                    self.available(l.from).intersection(self.available(u)),
+                )
+            })
+            .collect();
+        out.sort_by_key(|(v, _)| *v);
+        out
+    }
+
+    /// Nodes with no discovery obligations toward them (no in-links).
+    pub fn isolated_receivers(&self) -> Vec<NodeId> {
+        let mut has_in = vec![false; self.node_count()];
+        for l in &self.links {
+            has_in[l.to.as_usize()] = true;
+        }
+        has_in
+            .iter()
+            .enumerate()
+            .filter(|(_, &h)| !h)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn cs(xs: &[u16]) -> ChannelSet {
+        xs.iter().copied().collect()
+    }
+
+    fn two_node_net(a0: &[u16], a1: &[u16], universe: u16) -> Network {
+        Network::new(
+            generators::line(2),
+            universe,
+            vec![cs(a0), cs(a1)],
+            Propagation::Uniform,
+        )
+        .expect("valid network")
+    }
+
+    #[test]
+    fn basic_parameters() {
+        let net = two_node_net(&[0, 1, 2], &[1, 2], 4);
+        assert_eq!(net.s_max(), 3);
+        assert_eq!(net.max_degree(), 1);
+        assert_eq!(net.span(n(0), n(1)), cs(&[1, 2]));
+        // rho = min(|span|/|A(receiver)|) = min(2/2, 2/3) = 2/3.
+        assert!((net.rho() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(net.links().len(), 2);
+    }
+
+    #[test]
+    fn disjoint_availability_removes_link() {
+        let net = two_node_net(&[0, 1], &[2, 3], 4);
+        assert!(net.links().is_empty());
+        assert_eq!(net.rho(), 1.0, "vacuous minimum");
+        assert_eq!(net.max_degree(), 0);
+        assert_eq!(net.isolated_receivers(), vec![n(0), n(1)]);
+    }
+
+    #[test]
+    fn degree_counts_per_channel() {
+        // Star with hub 0; leaves 1,2 share channel 0 with hub, leaf 3 only
+        // channel 1.
+        let net = Network::new(
+            generators::star(4),
+            2,
+            vec![cs(&[0, 1]), cs(&[0]), cs(&[0]), cs(&[1])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        assert_eq!(net.degree_on(n(0), ChannelId::new(0)), 2);
+        assert_eq!(net.degree_on(n(0), ChannelId::new(1)), 1);
+        assert_eq!(net.max_degree(), 2);
+        assert_eq!(net.neighbors_on(n(0), ChannelId::new(0)), &[n(1), n(2)]);
+    }
+
+    #[test]
+    fn expected_discovery_ground_truth() {
+        let net = Network::new(
+            generators::line(3),
+            4,
+            vec![cs(&[0, 1]), cs(&[1, 2]), cs(&[2, 3])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        assert_eq!(
+            net.expected_discovery(n(1)),
+            vec![(n(0), cs(&[1])), (n(2), cs(&[2]))]
+        );
+        assert_eq!(net.expected_discovery(n(0)), vec![(n(1), cs(&[1]))]);
+        // Non-adjacent nodes never appear even with common channels.
+        assert!(net
+            .expected_discovery(n(0))
+            .iter()
+            .all(|(v, _)| *v != n(2)));
+    }
+
+    #[test]
+    fn asymmetric_links() {
+        let mut topo = Topology::new(2);
+        topo.add_edge(n(0), n(1)); // only 1 hears 0
+        let net = Network::new(
+            topo,
+            2,
+            vec![cs(&[0]), cs(&[0])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        assert_eq!(net.links(), &[Link { from: n(0), to: n(1) }]);
+        assert!(net.expected_discovery(n(0)).is_empty());
+        assert_eq!(net.expected_discovery(n(1)).len(), 1);
+    }
+
+    #[test]
+    fn per_channel_propagation_prunes_spans() {
+        // Nodes 3.0 apart; channel 0 reaches 5.0, channel 1 only 2.0.
+        let mut topo = Topology::new(2);
+        topo.set_position(n(0), (0.0, 0.0));
+        topo.set_position(n(1), (3.0, 0.0));
+        topo.add_bidirectional(n(0), n(1));
+        let net = Network::new(
+            topo,
+            2,
+            vec![cs(&[0, 1]), cs(&[0, 1])],
+            Propagation::PerChannelRange {
+                ranges: vec![5.0, 2.0],
+            },
+        )
+        .expect("valid network");
+        assert_eq!(net.span(n(0), n(1)), cs(&[0]));
+        // rho uses the pruned span: 1/2.
+        assert!((net.rho() - 0.5).abs() < 1e-12);
+        // But the reported common set is the full intersection.
+        assert_eq!(net.expected_discovery(n(1)), vec![(n(0), cs(&[0, 1]))]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            Network::new(generators::line(2), 0, vec![], Propagation::Uniform),
+            Err(NetworkError::EmptyUniverse)
+        );
+        assert!(matches!(
+            Network::new(
+                generators::line(2),
+                2,
+                vec![cs(&[0])],
+                Propagation::Uniform
+            ),
+            Err(NetworkError::AvailabilityCount { provided: 1, nodes: 2 })
+        ));
+        assert!(matches!(
+            Network::new(
+                generators::line(2),
+                2,
+                vec![cs(&[0]), cs(&[5])],
+                Propagation::Uniform
+            ),
+            Err(NetworkError::ChannelOutOfUniverse { .. })
+        ));
+        assert!(matches!(
+            Network::new(
+                generators::line(2),
+                2,
+                vec![cs(&[0]), cs(&[1])],
+                Propagation::PerChannelRange { ranges: vec![1.0] }
+            ),
+            Err(NetworkError::PropagationCount { .. })
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = NetworkError::ChannelOutOfUniverse {
+            node: n(3),
+            channel: ChannelId::new(9),
+        };
+        assert!(e.to_string().contains("n3"));
+        assert!(e.to_string().contains("ch9"));
+    }
+
+    #[test]
+    fn link_display_and_order() {
+        let l = Link { from: n(2), to: n(5) };
+        assert_eq!(l.to_string(), "(n2→n5)");
+        let net = two_node_net(&[0], &[0], 1);
+        assert_eq!(
+            net.links(),
+            &[
+                Link { from: n(0), to: n(1) },
+                Link { from: n(1), to: n(0) }
+            ]
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one radio node. Nodes are dense small integers
+/// `0..node_count`, assigned by the topology generator.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_topology::NodeId;
+///
+/// let u = NodeId::new(4);
+/// assert_eq!(u.index(), 4);
+/// assert_eq!(u.to_string(), "n4");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id.
+    pub const fn new(index: u32) -> Self {
+        Self(index)
+    }
+
+    /// Dense index of this node.
+    pub const fn index(self) -> u32 {
+        self.0
+    }
+
+    /// Index as `usize`, for slice addressing.
+    pub const fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(index: u32) -> Self {
+        Self(index)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let u = NodeId::from(3u32);
+        assert_eq!(u.index(), 3);
+        assert_eq!(u.as_usize(), 3);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(u.to_string(), "n3");
+    }
+}

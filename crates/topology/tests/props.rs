@@ -1,0 +1,142 @@
+//! Property-based tests of graph generators and network metrics.
+
+use mmhew_spectrum::{AvailabilityModel, ChannelId};
+use mmhew_topology::{generators, NetworkBuilder, NodeId};
+use mmhew_util::SeedTree;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unit-disk graphs: the edge set is exactly the distance predicate,
+    /// symmetric, and monotone in the radius.
+    #[test]
+    fn unit_disk_edges_are_distance_threshold(
+        n in 2usize..25,
+        side in 1.0f64..20.0,
+        radius in 0.0f64..10.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let t = generators::unit_disk(n, side, radius, SeedTree::new(seed));
+        prop_assert!(t.is_symmetric());
+        for u in t.nodes() {
+            for v in t.nodes() {
+                if u == v { continue; }
+                prop_assert_eq!(
+                    t.contains_edge(u, v),
+                    t.distance(u, v) <= radius,
+                    "edge ({},{})", u, v
+                );
+            }
+        }
+        // Monotone: a larger radius never removes edges.
+        let bigger = generators::unit_disk(n, side, radius + 1.0, SeedTree::new(seed));
+        for (u, v) in t.edges() {
+            prop_assert!(bigger.contains_edge(u, v));
+        }
+    }
+
+    /// Structured generators have their textbook degree sequences.
+    #[test]
+    fn structured_degrees(n in 3usize..30, w in 1usize..8, h in 1usize..8) {
+        let ring = generators::ring(n);
+        prop_assert!(ring.nodes().all(|u| ring.in_neighbors(u).len() == 2));
+        prop_assert_eq!(ring.edge_count(), 2 * n);
+
+        let line = generators::line(n);
+        prop_assert_eq!(line.edge_count(), 2 * (n - 1));
+        prop_assert!(line.is_connected());
+
+        let star = generators::star(n);
+        prop_assert_eq!(star.in_neighbors(NodeId::new(0)).len(), n - 1);
+
+        let complete = generators::complete(n);
+        prop_assert_eq!(complete.edge_count(), n * (n - 1));
+
+        let grid = generators::grid(w, h);
+        prop_assert_eq!(grid.node_count(), w * h);
+        prop_assert!(grid.is_connected());
+        let expected_undirected = h * w.saturating_sub(1) + w * h.saturating_sub(1);
+        prop_assert_eq!(grid.edge_count(), 2 * expected_undirected);
+    }
+
+    /// Asymmetric disks: every edge respects the transmitter's range; the
+    /// reverse edge exists iff the receiver's range also suffices.
+    #[test]
+    fn asymmetric_disk_respects_ranges(
+        n in 2usize..20,
+        r_min in 0.5f64..2.0,
+        spread in 0.0f64..4.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let t = generators::asymmetric_disk(n, 10.0, r_min, r_min + spread, SeedTree::new(seed));
+        for (u, v) in t.edges() {
+            prop_assert!(t.distance(u, v) <= r_min + spread + 1e-9);
+        }
+        if spread == 0.0 {
+            prop_assert!(t.is_symmetric());
+        }
+    }
+
+    /// Network metrics: ρ bounds, span-ratio definition, S, Δ consistency
+    /// under random heterogeneous availability.
+    #[test]
+    fn network_metric_definitions(
+        n in 2usize..15,
+        universe in 1u16..12,
+        size in 1u16..12,
+        p in 0.1f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let size = size.min(universe);
+        let net = NetworkBuilder::erdos_renyi(n, p)
+            .universe(universe)
+            .availability(AvailabilityModel::UniformSubset { size })
+            .build(SeedTree::new(seed))
+            .expect("valid");
+        prop_assert_eq!(net.s_max(), size as usize);
+        // Definition check: ρ = min over links of |span|/|A(receiver)|.
+        let mut min_ratio = f64::INFINITY;
+        for link in net.links() {
+            let ratio = net.span(link.from, link.to).len() as f64
+                / net.available(link.to).len() as f64;
+            min_ratio = min_ratio.min(ratio);
+        }
+        if net.links().is_empty() {
+            prop_assert_eq!(net.rho(), 1.0);
+        } else {
+            prop_assert!((net.rho() - min_ratio.min(1.0)).abs() < 1e-12);
+            prop_assert!(net.rho() >= 1.0 / size as f64 - 1e-12);
+        }
+        // Δ consistency with per-channel adjacency.
+        let mut max_deg = 0;
+        for u in net.topology().nodes() {
+            for c in 0..universe {
+                max_deg = max_deg.max(net.degree_on(u, ChannelId::new(c)));
+            }
+        }
+        prop_assert_eq!(net.max_degree(), max_deg);
+        // Expected discovery is symmetric for symmetric graphs + uniform
+        // propagation: v in expected(u) iff u in expected(v).
+        for u in net.topology().nodes() {
+            for (v, _) in net.expected_discovery(u) {
+                prop_assert!(
+                    net.expected_discovery(v).iter().any(|(w, _)| *w == u),
+                    "asymmetric ground truth on a symmetric graph"
+                );
+            }
+        }
+    }
+
+    /// Builder determinism: same seed, same network; availability and
+    /// topology seeds are independent branches.
+    #[test]
+    fn builder_determinism(n in 2usize..12, seed in 0u64..u64::MAX) {
+        let builder = NetworkBuilder::unit_disk(n, 8.0, 3.0)
+            .universe(6)
+            .availability(AvailabilityModel::UniformSubset { size: 3 });
+        let a = builder.build(SeedTree::new(seed)).expect("valid");
+        let b = builder.build(SeedTree::new(seed)).expect("valid");
+        prop_assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,185 @@
+//! Fixed-bin histograms for completion-time distributions.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with equal-width bins plus underflow and
+/// overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_util::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// h.record(0.5);
+/// h.record(9.9);
+/// h.record(-1.0); // underflow
+/// h.record(10.0); // overflow (hi is exclusive)
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.underflow(), 1);
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.bin_count(0), 1);
+/// assert_eq!(h.bin_count(4), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `lo >= hi` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite(), "bounds must be finite");
+        assert!(lo < hi, "lo must be < hi");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// Number of bins.
+    pub fn bin_len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `[start, end)` range of bin `i`.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Iterator over `(bin_midpoint, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, &c)| {
+            let (a, b) = self.bin_range(i);
+            ((a + b) / 2.0, c)
+        })
+    }
+
+    /// Renders a compact ASCII bar chart (one line per bin) for logs.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{a:10.1}, {b:10.1}) |{bar:<width$}| {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_bins() {
+        let mut h = Histogram::new(0.0, 100.0, 10);
+        for x in [0.0, 5.0, 15.0, 95.0, 99.999] {
+            h.record(x);
+        }
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(9), 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn boundary_values() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0); // inclusive lo -> bin 0
+        h.record(10.0); // exclusive hi -> overflow
+        h.record(9.999_999); // last bin
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_count(9), 1);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_domain() {
+        let h = Histogram::new(-5.0, 5.0, 4);
+        let (a0, b0) = h.bin_range(0);
+        let (a3, b3) = h.bin_range(3);
+        assert_eq!(a0, -5.0);
+        assert_eq!(b3, 5.0);
+        assert!((b0 - (-2.5)).abs() < 1e-12);
+        assert!((a3 - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must be < hi")]
+    fn inverted_bounds_panic() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+
+    #[test]
+    fn ascii_render_has_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record(1.0);
+        let s = h.render_ascii(20);
+        assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn iter_midpoints() {
+        let h = Histogram::new(0.0, 4.0, 2);
+        let mids: Vec<f64> = h.iter().map(|(m, _)| m).collect();
+        assert_eq!(mids, vec![1.0, 3.0]);
+    }
+}

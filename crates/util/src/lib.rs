@@ -1,0 +1,40 @@
+//! Deterministic randomness and statistics utilities shared across the
+//! `mmhew` workspace.
+//!
+//! Every simulation in this repository must be a *pure function of a 64-bit
+//! master seed*: re-running an experiment with the same seed produces the
+//! same trace on every platform. The standard-library hasher and
+//! `rand::rngs::StdRng` do not promise cross-version stability, so this crate
+//! provides:
+//!
+//! * [`rng::SplitMix64`] and [`rng::Xoshiro256StarStar`] — small, fast,
+//!   well-understood generators with fixed, documented algorithms;
+//! * [`seeding::SeedTree`] — a labelled seed-derivation tree so that each
+//!   (experiment, repetition, node, purpose) tuple gets an independent
+//!   stream, and changing one parameter does not correlate runs;
+//! * [`stats`] — Welford accumulators, summaries, quantiles, confidence
+//!   intervals and empirical CDFs used by the experiment harness;
+//! * [`histogram`] — linear and logarithmic histograms for completion-time
+//!   distributions.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_util::seeding::SeedTree;
+//! use rand::Rng;
+//!
+//! let tree = SeedTree::new(0xC0FFEE);
+//! let mut node_rng = tree.branch("node").index(7).rng();
+//! let p: f64 = node_rng.gen_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&p));
+//! ```
+
+pub mod histogram;
+pub mod rng;
+pub mod seeding;
+pub mod stats;
+
+pub use histogram::Histogram;
+pub use rng::{SplitMix64, Xoshiro256StarStar};
+pub use seeding::SeedTree;
+pub use stats::{ecdf, mean_confidence_interval, quantile, Summary, Welford};

@@ -1,0 +1,107 @@
+//! Property-based tests of the statistics and seeding utilities.
+
+use mmhew_util::{ecdf, quantile, SeedTree, Summary, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Welford matches the two-pass formulas on arbitrary data.
+    #[test]
+    fn welford_matches_two_pass(xs in prop::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((w.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        if xs.len() >= 2 {
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+            prop_assert!((w.sample_variance() - var).abs() < 1e-4 * (1.0 + var));
+        }
+        prop_assert_eq!(w.count(), xs.len() as u64);
+    }
+
+    /// Merging arbitrary splits equals sequential accumulation.
+    #[test]
+    fn welford_merge_any_split(
+        xs in prop::collection::vec(-1e5f64..1e5, 2..120),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+        let mut whole = Welford::new();
+        for &x in &xs { whole.push(x); }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..split] { left.push(x); }
+        for &x in &xs[split..] { right.push(x); }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (left.sample_variance() - whole.sample_variance()).abs()
+                < 1e-4 * (1.0 + whole.sample_variance())
+        );
+    }
+
+    /// Quantiles are monotone in q, bounded by min/max, and exact at the
+    /// endpoints.
+    #[test]
+    fn quantile_properties(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..100),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let a = quantile(&xs, lo);
+        let b = quantile(&xs, hi);
+        prop_assert!(a <= b + 1e-9);
+        let min = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(quantile(&xs, 0.0), min);
+        prop_assert_eq!(quantile(&xs, 1.0), max);
+        prop_assert!(a >= min - 1e-9 && b <= max + 1e-9);
+    }
+
+    /// Summary fields are internally consistent.
+    #[test]
+    fn summary_consistency(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let s = Summary::from_samples(&xs);
+        prop_assert_eq!(s.n, xs.len());
+        prop_assert!(s.min <= s.p25 + 1e-9);
+        prop_assert!(s.p25 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.p75 + 1e-9);
+        prop_assert!(s.p75 <= s.p95 + 1e-9);
+        prop_assert!(s.p95 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean + 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert!(s.stddev >= 0.0);
+    }
+
+    /// The ECDF is a valid distribution function over the sample.
+    #[test]
+    fn ecdf_properties(xs in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+        let cdf = ecdf(&xs);
+        prop_assert_eq!(cdf.len(), xs.len());
+        prop_assert!((cdf.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        for pair in cdf.windows(2) {
+            prop_assert!(pair[0].0 <= pair[1].0);
+            prop_assert!(pair[0].1 < pair[1].1);
+        }
+    }
+
+    /// Seed trees: path-determinism and (statistical) path-independence.
+    #[test]
+    fn seed_tree_paths(master in 0u64..u64::MAX, a in 0u64..1000, b in 0u64..1000) {
+        let t = SeedTree::new(master);
+        prop_assert_eq!(t.branch("x").index(a).seed(), t.branch("x").index(a).seed());
+        if a != b {
+            prop_assert_ne!(t.branch("x").index(a).seed(), t.branch("x").index(b).seed());
+        }
+        prop_assert_ne!(t.branch("x").seed(), t.branch("y").seed());
+        // Order of derivation never matters (pure function of path).
+        let p1 = t.branch("p").index(a).branch("q").seed();
+        let _side_effect = t.branch("zzz").index(b);
+        let p2 = t.branch("p").index(a).branch("q").seed();
+        prop_assert_eq!(p1, p2);
+    }
+}

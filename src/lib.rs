@@ -1,0 +1,73 @@
+//! # mmhew — neighbor discovery in multi-hop multi-channel heterogeneous wireless networks
+//!
+//! Umbrella crate re-exporting the full `mmhew` workspace: a reproduction of
+//! *"Randomized Distributed Algorithms for Neighbor Discovery in Multi-Hop
+//! Multi-Channel Heterogeneous Wireless Networks"* (Mittal, Zeng, Venkatesan,
+//! Chandrasekaran — ICDCS 2011).
+//!
+//! The paper's contribution — four randomized neighbor-discovery algorithms
+//! for M²HeW (e.g. cognitive-radio) networks — lives in [`discovery`].
+//! Everything the algorithms need to run is built here as well: drifting
+//! clocks ([`time`]), spectrum/availability models ([`spectrum`]),
+//! communication graphs ([`topology`]), the radio collision model
+//! ([`radio`]), slotted and continuous-time simulation engines ([`engine`]),
+//! and an experiment harness ([`harness`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mmhew::prelude::*;
+//!
+//! // A 3x3 grid of nodes, 12-channel universe, each node perceives a
+//! // random subset of 6 channels available (heterogeneous network).
+//! let seed = SeedTree::new(42);
+//! let network = NetworkBuilder::grid(3, 3)
+//!     .universe(12)
+//!     .availability(AvailabilityModel::UniformSubset { size: 6 })
+//!     .build(seed.branch("net"))?;
+//!
+//! // Run Algorithm 1 (synchronous, identical starts, known degree bound).
+//! let delta_est = network.max_degree().max(1) as u64;
+//! let outcome = run_sync_discovery(
+//!     &network,
+//!     SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
+//!     StartSchedule::Identical,
+//!     SyncRunConfig::until_complete(1_000_000),
+//!     seed.branch("run"),
+//! )?;
+//! assert!(outcome.completed());
+//! assert!(tables_match_ground_truth(&network, outcome.tables()));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use mmhew_discovery as discovery;
+pub use mmhew_engine as engine;
+pub use mmhew_harness as harness;
+pub use mmhew_radio as radio;
+pub use mmhew_spectrum as spectrum;
+pub use mmhew_time as time;
+pub use mmhew_topology as topology;
+pub use mmhew_util as util;
+
+/// The most commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use mmhew_discovery::{
+        run_async_discovery, run_sync_discovery, tables_are_sound, tables_match_ground_truth,
+        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, Bounds,
+        ProtocolError, StagedDiscovery, SyncAlgorithm, SyncParams, UniformDiscovery,
+    };
+    pub use mmhew_engine::{
+        AsyncOutcome, AsyncRunConfig, AsyncStartSchedule, ClockConfig, NeighborTable,
+        StartSchedule, SyncOutcome, SyncRunConfig,
+    };
+    pub use mmhew_radio::Impairments;
+    pub use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
+    pub use mmhew_time::{
+        DriftBound, DriftModel, DriftedClock, LocalDuration, LocalTime, Rate, RealDuration,
+        RealTime,
+    };
+    pub use mmhew_topology::{
+        Link, Network, NetworkBuilder, NodeId, Propagation, Topology,
+    };
+    pub use mmhew_util::{SeedTree, Summary};
+}

@@ -1,0 +1,158 @@
+//! The theorems' bounds must hold empirically: measured completion never
+//! exceeds the predicted slot/frame budgets (at the stated failure
+//! probability), across heterogeneous networks.
+
+use mmhew::prelude::*;
+
+const EPSILON: f64 = 0.05;
+
+fn test_networks(seed: SeedTree) -> Vec<(String, Network)> {
+    vec![
+        (
+            "ring12/full".into(),
+            NetworkBuilder::ring(12)
+                .universe(4)
+                .build(seed.branch("a"))
+                .expect("valid"),
+        ),
+        (
+            "grid3x3/subset".into(),
+            NetworkBuilder::grid(3, 3)
+                .universe(8)
+                .availability(AvailabilityModel::UniformSubset { size: 4 })
+                .build(seed.branch("b"))
+                .expect("valid"),
+        ),
+        (
+            "complete6/overlap".into(),
+            NetworkBuilder::complete(6)
+                .universe(2 + 6 * 2)
+                .availability(AvailabilityModel::PairwiseOverlap {
+                    shared: 2,
+                    private: 2,
+                })
+                .build(seed.branch("c"))
+                .expect("valid"),
+        ),
+    ]
+}
+
+#[test]
+fn theorem1_bound_holds() {
+    let seed = SeedTree::new(0x71);
+    for (name, net) in test_networks(seed.branch("nets")) {
+        let delta = net.max_degree().max(1) as u64;
+        let bound = Bounds::from_network(&net, delta, EPSILON).theorem1_slots();
+        for rep in 0..5u64 {
+            let out = run_sync_discovery(
+                &net,
+                SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
+                StartSchedule::Identical,
+                SyncRunConfig::until_complete(bound.ceil() as u64),
+                seed.branch("run").branch(&name).index(rep),
+            )
+            .expect("non-empty availability");
+            assert!(
+                out.completed(),
+                "{name} rep {rep}: did not finish within the Theorem 1 budget {bound:.0}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem3_bound_holds_with_staggered_starts() {
+    let seed = SeedTree::new(0x73);
+    for (name, net) in test_networks(seed.branch("nets")) {
+        let delta = net.max_degree().max(1) as u64;
+        let bound = Bounds::from_network(&net, delta, EPSILON).theorem3_slots();
+        let window = 2_000u64;
+        for rep in 0..5u64 {
+            let out = run_sync_discovery(
+                &net,
+                SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+                StartSchedule::Staggered { window },
+                SyncRunConfig::until_complete(window + bound.ceil() as u64),
+                seed.branch("run").branch(&name).index(rep),
+            )
+            .expect("non-empty availability");
+            assert!(
+                out.completed(),
+                "{name} rep {rep}: did not finish within T_s + Theorem 3 budget {bound:.0}"
+            );
+            assert!(
+                (out.slots_to_complete().expect("complete") as f64) <= bound,
+                "{name} rep {rep}: {} slots after T_s exceeds the bound {bound:.0}",
+                out.slots_to_complete().expect("complete")
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem9_frame_bound_holds_at_max_drift() {
+    let seed = SeedTree::new(0x79);
+    for (name, net) in test_networks(seed.branch("nets")) {
+        let delta = net.max_degree().max(1) as u64;
+        let bound = Bounds::from_network(&net, delta, EPSILON).theorem9_frames();
+        let config = AsyncRunConfig::until_complete(bound.ceil() as u64 * 2)
+            .with_clocks(ClockConfig {
+                drift: DriftModel::RandomPiecewise {
+                    bound: DriftBound::PAPER,
+                    segment: RealDuration::from_micros(15),
+                },
+                offset_window: LocalDuration::from_micros(30),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_micros(30),
+            });
+        for rep in 0..3u64 {
+            let out = run_async_discovery(
+                &net,
+                AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+                config.clone(),
+                seed.branch("run").branch(&name).index(rep),
+            )
+            .expect("non-empty availability");
+            let frames = out
+                .min_full_frames_at_completion()
+                .unwrap_or_else(|| panic!("{name} rep {rep}: async run incomplete"));
+            assert!(
+                (frames as f64) <= bound,
+                "{name} rep {rep}: {frames} frames exceeds Theorem 9 bound {bound:.0}"
+            );
+        }
+    }
+}
+
+#[test]
+fn empirical_failure_rate_below_epsilon() {
+    // Sharper statistical check on one network: at the ε=0.2 budget, at
+    // most ~20% of 30 runs may fail; observing more than 40% would be a
+    // >99%-confidence violation.
+    let seed = SeedTree::new(0x7F);
+    let net = NetworkBuilder::ring(10)
+        .universe(4)
+        .build(seed.branch("net"))
+        .expect("valid");
+    let eps = 0.2;
+    let budget = Bounds::from_network(&net, 4, eps).theorem1_slots().ceil() as u64;
+    let reps = 30u64;
+    let failures = (0..reps)
+        .filter(|&rep| {
+            !run_sync_discovery(
+                &net,
+                SyncAlgorithm::Staged(SyncParams::new(4).expect("positive")),
+                StartSchedule::Identical,
+                SyncRunConfig::until_complete(budget),
+                seed.branch("run").index(rep),
+            )
+            .expect("non-empty availability")
+            .completed()
+        })
+        .count();
+    assert!(
+        (failures as f64 / reps as f64) <= 2.0 * eps,
+        "{failures}/{reps} failures at ε={eps} budget"
+    );
+}

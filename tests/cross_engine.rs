@@ -1,0 +1,124 @@
+//! Cross-engine consistency: the asynchronous engine with ideal clocks,
+//! zero offsets and identical starts degenerates into a frame-granular
+//! slotted process, so its statistics must agree with a synchronous run of
+//! the equivalent protocol.
+
+use mmhew::prelude::*;
+
+/// With ideal clocks and identical starts, every node's frames coincide
+/// exactly; a frame behaves like one synchronous "slot" in which a node
+/// transmits with probability `p = min(1/2, |A|/(3Δ_est))`. Running
+/// Algorithm 3 with a degree estimate chosen so its per-slot probability
+/// matches (`Δ'_est = 3Δ_est`) must produce statistically indistinguishable
+/// completion counts.
+#[test]
+fn async_ideal_equals_sync_with_matched_probability() {
+    let seed = SeedTree::new(0xCE);
+    let net = NetworkBuilder::ring(10)
+        .universe(4)
+        .build(seed.branch("net"))
+        .expect("build");
+    let delta_est = 4u64;
+    let reps = 30u64;
+
+    let mut async_frames = Vec::new();
+    let mut sync_slots = Vec::new();
+    for rep in 0..reps {
+        let a = run_async_discovery(
+            &net,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est).expect("positive")),
+            AsyncRunConfig::until_complete(500_000),
+            seed.branch("async").index(rep),
+        )
+        .expect("run");
+        async_frames.push(a.min_full_frames_at_completion().expect("completed") as f64);
+
+        let s = run_sync_discovery(
+            &net,
+            // Matched probability: min(1/2, |A|/(3Δ_est)).
+            SyncAlgorithm::Uniform(SyncParams::new(3 * delta_est).expect("positive")),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(500_000),
+            seed.branch("sync").index(rep),
+        )
+        .expect("run");
+        sync_slots.push(s.slots_to_complete().expect("completed") as f64);
+    }
+
+    let async_mean = Summary::from_samples(&async_frames).mean;
+    let sync_mean = Summary::from_samples(&sync_slots).mean;
+    let ratio = async_mean / sync_mean;
+    assert!(
+        (0.6..1.7).contains(&ratio),
+        "aligned async frames ({async_mean:.1}) should match matched-probability sync \
+         slots ({sync_mean:.1}); ratio {ratio:.2}"
+    );
+}
+
+/// The aligned degenerate case must also produce identical *coverage
+/// semantics*: per-frame, a unique transmitting neighbor on the listener's
+/// channel is always heard (no partial-overlap effects exist when frames
+/// coincide).
+#[test]
+fn async_ideal_aligned_deliveries_match_slotted_rules() {
+    let seed = SeedTree::new(0xCF);
+    let net = NetworkBuilder::complete(4)
+        .universe(2)
+        .build(seed.branch("net"))
+        .expect("build");
+    let out = run_async_discovery(
+        &net,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(3).expect("positive")),
+        AsyncRunConfig::until_complete(200_000),
+        seed.branch("run"),
+    )
+    .expect("run");
+    assert!(out.completed());
+    assert!(tables_match_ground_truth(&net, out.tables()));
+    // Every recorded coverage time must fall on a frame boundary multiple
+    // (bursts end at slot boundaries; with ideal clocks these are exact
+    // multiples of L/3 = 1000ns).
+    for (_, t) in out.link_coverage() {
+        let t = t.expect("complete").as_nanos();
+        assert_eq!(t % 1_000, 0, "coverage time {t} not on a slot boundary");
+    }
+}
+
+/// Drift must not change *what* is discoverable — only when. The same
+/// network driven at δ=0 and δ=1/7 reaches the same ground truth.
+#[test]
+fn drift_changes_timing_not_results() {
+    let seed = SeedTree::new(0xD0);
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(6)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(seed.branch("net"))
+        .expect("build");
+    let delta_est = net.max_degree().max(1) as u64;
+    for (tag, drift) in [
+        ("ideal", DriftModel::Ideal),
+        (
+            "limit",
+            DriftModel::RandomPiecewise {
+                bound: DriftBound::PAPER,
+                segment: RealDuration::from_micros(10),
+            },
+        ),
+    ] {
+        let out = run_async_discovery(
+            &net,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est).expect("positive")),
+            AsyncRunConfig::until_complete(500_000).with_clocks(ClockConfig {
+                drift,
+                offset_window: LocalDuration::from_micros(10),
+            }),
+            seed.branch(tag),
+        )
+        .expect("run");
+        assert!(out.completed(), "{tag} did not complete");
+        assert!(
+            tables_match_ground_truth(&net, out.tables()),
+            "{tag} produced different discoveries"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end correctness: every algorithm × every topology family ×
+//! every availability model completes and reproduces the ground truth
+//! exactly.
+
+use mmhew::prelude::*;
+
+fn networks(seed: SeedTree) -> Vec<(String, Network)> {
+    let mut nets = Vec::new();
+    let builders: Vec<(&str, NetworkBuilder)> = vec![
+        ("line6", NetworkBuilder::line(6)),
+        ("ring8", NetworkBuilder::ring(8)),
+        ("grid3x3", NetworkBuilder::grid(3, 3)),
+        ("star7", NetworkBuilder::star(7)),
+        ("complete5", NetworkBuilder::complete(5)),
+        ("disk15", NetworkBuilder::unit_disk(15, 8.0, 3.5)),
+        ("er12", NetworkBuilder::erdos_renyi(12, 0.4)),
+    ];
+    let avail_models: Vec<(&str, AvailabilityModel)> = vec![
+        ("full", AvailabilityModel::Full),
+        ("subset", AvailabilityModel::UniformSubset { size: 4 }),
+        (
+            "overlap",
+            AvailabilityModel::PairwiseOverlap {
+                shared: 2,
+                private: 2,
+            },
+        ),
+    ];
+    for (bname, builder) in &builders {
+        for (aname, model) in &avail_models {
+            let universe = match model {
+                AvailabilityModel::PairwiseOverlap { shared, private } => {
+                    *shared + 15 * *private
+                }
+                _ => 8,
+            };
+            let net = builder
+                .clone()
+                .universe(universe)
+                .availability(model.clone())
+                .build(seed.branch(bname).branch(aname))
+                .expect("valid configuration");
+            nets.push((format!("{bname}/{aname}"), net));
+        }
+    }
+    nets
+}
+
+#[test]
+fn all_sync_algorithms_reach_exact_ground_truth() {
+    let seed = SeedTree::new(0xE2E);
+    for (name, net) in networks(seed.branch("nets")) {
+        let delta = net.max_degree().max(1) as u64;
+        let algorithms: Vec<(&str, SyncAlgorithm)> = vec![
+            (
+                "alg1",
+                SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
+            ),
+            ("alg2", SyncAlgorithm::Adaptive),
+            (
+                "alg3",
+                SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+            ),
+        ];
+        for (alg_name, alg) in algorithms {
+            let out = run_sync_discovery(
+                &net,
+                alg,
+                StartSchedule::Identical,
+                SyncRunConfig::until_complete(3_000_000),
+                seed.branch("run").branch(&name).branch(alg_name),
+            )
+            .expect("non-empty availability");
+            assert!(out.completed(), "{name}/{alg_name} did not complete");
+            assert!(
+                tables_match_ground_truth(&net, out.tables()),
+                "{name}/{alg_name} tables diverge from ground truth"
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_reaches_exact_ground_truth() {
+    let seed = SeedTree::new(0xBA5E);
+    let net = NetworkBuilder::complete(5)
+        .universe(12)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("net"))
+        .expect("valid configuration");
+    let out = run_sync_discovery(
+        &net,
+        SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(3_000_000),
+        seed.branch("run"),
+    )
+    .expect("non-empty availability");
+    assert!(out.completed());
+    assert!(tables_match_ground_truth(&net, out.tables()));
+}
+
+#[test]
+fn async_algorithm_reaches_exact_ground_truth_on_all_families() {
+    let seed = SeedTree::new(0xA57C);
+    for (name, net) in networks(seed.branch("nets")) {
+        let delta = net.max_degree().max(1) as u64;
+        let config = AsyncRunConfig::until_complete(2_000_000)
+            .with_clocks(ClockConfig {
+                drift: DriftModel::RandomPiecewise {
+                    bound: DriftBound::PAPER,
+                    segment: RealDuration::from_micros(20),
+                },
+                offset_window: LocalDuration::from_micros(10),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_micros(15),
+            });
+        let out = run_async_discovery(
+            &net,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+            config,
+            seed.branch("run").branch(&name),
+        )
+        .expect("non-empty availability");
+        assert!(out.completed(), "{name} async did not complete");
+        assert!(
+            tables_match_ground_truth(&net, out.tables()),
+            "{name} async tables diverge from ground truth"
+        );
+    }
+}
+
+#[test]
+fn variable_starts_still_reach_ground_truth() {
+    let seed = SeedTree::new(0x57A6);
+    let net = NetworkBuilder::grid(3, 4)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("net"))
+        .expect("valid configuration");
+    let delta = net.max_degree().max(1) as u64;
+    for window in [10u64, 1_000, 50_000] {
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+            StartSchedule::Staggered { window },
+            SyncRunConfig::until_complete(window + 3_000_000),
+            seed.branch("run").index(window),
+        )
+        .expect("non-empty availability");
+        assert!(out.completed(), "window {window} did not complete");
+        assert!(tables_match_ground_truth(&net, out.tables()));
+        assert!(out.completion_slot().expect("complete") >= out.latest_start());
+    }
+}
+
+#[test]
+fn isolated_node_discovers_nothing_and_blocks_nobody() {
+    // Two cliques joined by nothing; plus a node with a disjoint channel
+    // set inside one clique (link-isolated even though graph-adjacent).
+    let seed = SeedTree::new(0x150);
+    let mut topo = Topology::new(5);
+    for (a, b) in [(0u32, 1u32), (1, 2), (0, 2), (3, 4)] {
+        topo.add_bidirectional(NodeId::new(a), NodeId::new(b));
+    }
+    let sets = vec![
+        [0u16, 1].into_iter().collect::<ChannelSet>(),
+        [0u16, 1].into_iter().collect(),
+        [4u16, 5].into_iter().collect(), // adjacent to 0,1 but no common channel
+        [2u16, 3].into_iter().collect(),
+        [2u16, 3].into_iter().collect(),
+    ];
+    let net = NetworkBuilder::from_topology(topo)
+        .universe(6)
+        .availability(AvailabilityModel::Explicit(sets))
+        .build(seed.branch("net"))
+        .expect("valid configuration");
+    // Node 2 has no links at all.
+    assert!(net
+        .links()
+        .iter()
+        .all(|l| l.from != NodeId::new(2) && l.to != NodeId::new(2)));
+    let out = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Adaptive,
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(1_000_000),
+        seed.branch("run"),
+    )
+    .expect("non-empty availability");
+    assert!(out.completed(), "isolated node must not block completion");
+    assert!(out.table(NodeId::new(2)).is_empty());
+    assert!(tables_match_ground_truth(&net, out.tables()));
+}

@@ -1,0 +1,196 @@
+//! Adversarial and degraded configurations: the system must degrade
+//! predictably, never silently corrupt results.
+
+use mmhew::prelude::*;
+
+#[test]
+fn empty_availability_is_rejected_not_ignored() {
+    let seed = SeedTree::new(1);
+    let net = NetworkBuilder::line(3)
+        .universe(2)
+        .availability(AvailabilityModel::Explicit(vec![
+            ChannelSet::full(2),
+            ChannelSet::new(),
+            ChannelSet::full(2),
+        ]))
+        .build(seed.branch("net"))
+        .expect("network itself is valid");
+    for alg in [
+        SyncAlgorithm::Adaptive,
+        SyncAlgorithm::Staged(SyncParams::new(2).expect("positive")),
+    ] {
+        let err = run_sync_discovery(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(100),
+            seed.branch("run"),
+        )
+        .expect_err("node without channels cannot participate");
+        assert_eq!(err, ProtocolError::EmptyChannelSet);
+    }
+    let err = run_async_discovery(
+        &net,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(2).expect("positive")),
+        AsyncRunConfig::until_complete(100),
+        seed.branch("async"),
+    )
+    .expect_err("async likewise rejects empty sets");
+    assert_eq!(err, ProtocolError::EmptyChannelSet);
+}
+
+#[test]
+fn totally_dead_channels_never_complete_but_stay_sound() {
+    let seed = SeedTree::new(2);
+    let net = NetworkBuilder::ring(6)
+        .universe(3)
+        .build(seed.branch("net"))
+        .expect("valid");
+    let out = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Uniform(SyncParams::new(2).expect("positive")),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(5_000)
+            .with_impairments(Impairments::with_delivery_probability(0.0)),
+        seed.branch("run"),
+    )
+    .expect("valid protocols");
+    assert!(!out.completed(), "nothing can be delivered at q=0");
+    assert_eq!(out.deliveries(), 0);
+    assert!(out.tables().iter().all(NeighborTable::is_empty));
+    assert!(out.impairment_losses() > 0, "losses must be accounted");
+}
+
+#[test]
+fn single_common_channel_bottleneck_completes() {
+    // The entire network funnels through channel 0: worst-case contention,
+    // ρ = 1/|A| for nodes with private channels.
+    let seed = SeedTree::new(3);
+    let sets: Vec<ChannelSet> = (0..8u16)
+        .map(|i| [0u16, i + 1, i + 9].into_iter().collect())
+        .collect();
+    let net = NetworkBuilder::complete(8)
+        .universe(17)
+        .availability(AvailabilityModel::Explicit(sets))
+        .build(seed.branch("net"))
+        .expect("valid");
+    assert!((net.rho() - 1.0 / 3.0).abs() < 1e-12);
+    let delta = net.max_degree().max(1) as u64;
+    let out = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(5_000_000),
+        seed.branch("run"),
+    )
+    .expect("valid protocols");
+    assert!(out.completed());
+    assert!(tables_match_ground_truth(&net, out.tables()));
+}
+
+#[test]
+fn rho_at_absolute_minimum_still_completes() {
+    // ρ = 1/S: a single shared channel among S-channel sets.
+    let seed = SeedTree::new(4);
+    let net = NetworkBuilder::complete(4)
+        .universe(1 + 4 * 3)
+        .availability(AvailabilityModel::PairwiseOverlap {
+            shared: 1,
+            private: 3,
+        })
+        .build(seed.branch("net"))
+        .expect("valid");
+    assert!((net.rho() - 0.25).abs() < 1e-12);
+    assert_eq!(net.s_max(), 4);
+    let out = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Adaptive,
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(5_000_000),
+        seed.branch("run"),
+    )
+    .expect("valid protocols");
+    assert!(out.completed());
+    assert!(tables_match_ground_truth(&net, out.tables()));
+}
+
+#[test]
+fn heavy_loss_slows_but_does_not_corrupt() {
+    let seed = SeedTree::new(5);
+    let net = NetworkBuilder::ring(6)
+        .universe(2)
+        .build(seed.branch("net"))
+        .expect("valid");
+    let clean = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Uniform(SyncParams::new(2).expect("positive")),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(5_000_000),
+        seed.branch("clean"),
+    )
+    .expect("valid protocols");
+    let lossy = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Uniform(SyncParams::new(2).expect("positive")),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(5_000_000)
+            .with_impairments(Impairments::with_delivery_probability(0.1)),
+        seed.branch("lossy"),
+    )
+    .expect("valid protocols");
+    assert!(clean.completed() && lossy.completed());
+    assert!(
+        lossy.completion_slot().expect("complete")
+            > clean.completion_slot().expect("complete"),
+        "loss must slow discovery"
+    );
+    assert!(tables_match_ground_truth(&net, lossy.tables()));
+}
+
+#[test]
+fn drift_beyond_assumption_still_sound_even_if_slower() {
+    // δ = 1/3 exceeds Assumption 1: Theorem 9's bound is void, but the
+    // simulation itself must stay sound (no phantom discoveries), and on
+    // this tiny network discovery still eventually happens.
+    let seed = SeedTree::new(6);
+    let net = NetworkBuilder::line(3)
+        .universe(2)
+        .build(seed.branch("net"))
+        .expect("valid");
+    let config = AsyncRunConfig::until_complete(500_000).with_clocks(ClockConfig {
+        drift: DriftModel::RandomPiecewise {
+            bound: DriftBound::new(1, 3),
+            segment: RealDuration::from_micros(10),
+        },
+        offset_window: LocalDuration::from_micros(10),
+    });
+    let out = run_async_discovery(
+        &net,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(2).expect("positive")),
+        config,
+        seed.branch("run"),
+    )
+    .expect("valid protocols");
+    assert!(tables_are_sound(&net, out.tables()));
+    assert!(out.completed(), "tiny network should still complete");
+}
+
+#[test]
+fn zero_budget_runs_are_clean_noops() {
+    let seed = SeedTree::new(7);
+    let net = NetworkBuilder::line(2)
+        .universe(1)
+        .build(seed.branch("net"))
+        .expect("valid");
+    let out = run_sync_discovery(
+        &net,
+        SyncAlgorithm::Adaptive,
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(0),
+        seed.branch("run"),
+    )
+    .expect("valid protocols");
+    assert!(!out.completed());
+    assert_eq!(out.slots_executed(), 0);
+    assert_eq!(out.deliveries(), 0);
+}

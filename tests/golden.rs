@@ -1,0 +1,90 @@
+//! Golden-trace regression tests: the determinism contract, pinned.
+//!
+//! Every simulation is specified to be a pure function of its master seed
+//! — across platforms, thread counts and releases. These tests pin exact
+//! outcomes for fixed seeds so that any accidental change to RNG
+//! consumption order, medium resolution, or event scheduling is caught
+//! immediately rather than silently shifting every experiment.
+//!
+//! If a change *intentionally* alters the trace (e.g. an algorithm fix
+//! that draws randomness differently), update the constants here and note
+//! it in the changelog — that is a reproducibility-breaking release.
+
+use mmhew::prelude::*;
+
+fn golden_net(seed: SeedTree) -> Network {
+    NetworkBuilder::grid(3, 3)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("net"))
+        .expect("build")
+}
+
+#[test]
+fn golden_network_parameters() {
+    let net = golden_net(SeedTree::new(0x601D));
+    assert_eq!(net.s_max(), 4);
+    assert_eq!(net.max_degree(), 3);
+    assert!((net.rho() - 0.25).abs() < 1e-12);
+    assert_eq!(net.links().len(), 22);
+}
+
+#[test]
+fn golden_sync_traces() {
+    let seed = SeedTree::new(0x601D);
+    let net = golden_net(seed);
+    let cases: [(&str, SyncAlgorithm, u64, u64, u64); 3] = [
+        (
+            "alg1",
+            SyncAlgorithm::Staged(SyncParams::new(4).expect("positive")),
+            150,
+            78,
+            5,
+        ),
+        ("alg2", SyncAlgorithm::Adaptive, 470, 181, 8),
+        (
+            "alg3",
+            SyncAlgorithm::Uniform(SyncParams::new(4).expect("positive")),
+            154,
+            83,
+            4,
+        ),
+    ];
+    for (name, alg, completion, deliveries, collisions) in cases {
+        let out = run_sync_discovery(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(1_000_000),
+            seed.branch(name),
+        )
+        .expect("run");
+        assert_eq!(
+            out.completion_slot(),
+            Some(completion),
+            "{name}: completion slot drifted"
+        );
+        assert_eq!(out.deliveries(), deliveries, "{name}: delivery count drifted");
+        assert_eq!(out.collisions(), collisions, "{name}: collision count drifted");
+    }
+}
+
+#[test]
+fn golden_async_trace() {
+    let seed = SeedTree::new(0x601D);
+    let net = golden_net(seed);
+    let out = run_async_discovery(
+        &net,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(4).expect("positive")),
+        AsyncRunConfig::until_complete(1_000_000),
+        seed.branch("alg4"),
+    )
+    .expect("run");
+    assert_eq!(
+        out.completion_time(),
+        Some(RealTime::from_nanos(616_000)),
+        "async completion time drifted"
+    );
+    assert_eq!(out.min_full_frames_at_completion(), Some(205));
+    assert_eq!(out.deliveries(), 100);
+}

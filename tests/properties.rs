@@ -1,0 +1,151 @@
+//! Cross-crate property-based tests: random networks and random
+//! configurations must uphold the model invariants end-to-end.
+
+use mmhew::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a random connected-ish heterogeneous network description.
+fn network_strategy() -> impl Strategy<Value = (Network, u64)> {
+    (
+        3usize..12,         // nodes
+        2u16..10,           // universe
+        1u16..6,            // subset size (clamped to universe)
+        0.2f64..1.0,        // ER edge probability
+        0u64..u64::MAX,     // seed
+    )
+        .prop_map(|(n, universe, size, p, seed)| {
+            let size = size.min(universe);
+            let net = NetworkBuilder::erdos_renyi(n, p)
+                .universe(universe)
+                .availability(AvailabilityModel::UniformSubset { size })
+                .build(SeedTree::new(seed))
+                .expect("always valid");
+            (net, seed)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The paper's parameter constraints hold for every generated network:
+    /// ρ ∈ [1/S, 1] when links exist, Δ ≤ N−1, spans ⊆ intersections.
+    #[test]
+    fn network_invariants((net, _seed) in network_strategy()) {
+        let s = net.s_max();
+        prop_assert!(s >= 1);
+        prop_assert!(net.max_degree() < net.node_count());
+        if !net.links().is_empty() {
+            prop_assert!(net.rho() <= 1.0 + 1e-12);
+            prop_assert!(net.rho() >= 1.0 / s as f64 - 1e-12);
+        }
+        for link in net.links() {
+            let span = net.span(link.from, link.to);
+            prop_assert!(!span.is_empty(), "links must have non-empty span");
+            let inter = net.available(link.from).intersection(net.available(link.to));
+            prop_assert!(span.is_subset(&inter));
+            // Symmetric ER graph: reverse link must exist too.
+            let reverse = Link {
+                from: link.to,
+                to: link.from,
+            };
+            prop_assert!(net.links().contains(&reverse));
+        }
+        // Per-channel degree is consistent with neighbor lists.
+        for i in 0..net.node_count() {
+            let u = NodeId::new(i as u32);
+            for c in 0..net.universe_size() {
+                let c = ChannelId::new(c);
+                prop_assert_eq!(net.degree_on(u, c), net.neighbors_on(u, c).len());
+                for &v in net.neighbors_on(u, c) {
+                    prop_assert!(net.available(v).contains(c));
+                    prop_assert!(net.available(u).contains(c));
+                }
+            }
+        }
+    }
+
+    /// Any partial synchronous run is sound (no phantom neighbors, no
+    /// inflated channel sets), and completed runs match ground truth.
+    #[test]
+    fn sync_runs_always_sound((net, seed) in network_strategy(), budget in 1u64..3_000) {
+        let delta = net.max_degree().max(1) as u64;
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(budget),
+            SeedTree::new(seed ^ 0xABCD),
+        ).expect("non-empty availability");
+        prop_assert!(tables_are_sound(&net, out.tables()));
+        if out.completed() {
+            prop_assert!(tables_match_ground_truth(&net, out.tables()));
+            // A network with no links completes vacuously with no
+            // completion slot.
+            if let Some(slot) = out.completion_slot() {
+                prop_assert!(slot < budget);
+            } else {
+                prop_assert!(net.links().is_empty());
+            }
+        }
+        // Coverage times are within the executed window.
+        for (_, t) in out.link_coverage() {
+            if let Some(t) = t {
+                prop_assert!(*t < out.slots_executed());
+            }
+        }
+    }
+
+    /// Any partial asynchronous run is likewise sound, under arbitrary
+    /// admissible drift and offsets.
+    #[test]
+    fn async_runs_always_sound(
+        (net, seed) in network_strategy(),
+        frames in 1u64..400,
+        offset_us in 0u64..50,
+    ) {
+        let delta = net.max_degree().max(1) as u64;
+        let config = AsyncRunConfig::until_complete(frames)
+            .with_clocks(ClockConfig {
+                drift: DriftModel::RandomPiecewise {
+                    bound: DriftBound::PAPER,
+                    segment: RealDuration::from_micros(7),
+                },
+                offset_window: LocalDuration::from_micros(offset_us),
+            })
+            .with_starts(AsyncStartSchedule::Staggered {
+                window: RealDuration::from_micros(offset_us),
+            });
+        let out = run_async_discovery(
+            &net,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+            config,
+            SeedTree::new(seed ^ 0x1234),
+        ).expect("non-empty availability");
+        prop_assert!(tables_are_sound(&net, out.tables()));
+        if out.completed() {
+            prop_assert!(tables_match_ground_truth(&net, out.tables()));
+        }
+    }
+
+    /// A recorded discovery implies a real link whose span is non-empty,
+    /// and the recorded set is exactly A(v) ∩ A(u) under uniform
+    /// propagation.
+    #[test]
+    fn recorded_sets_are_exact_intersections((net, seed) in network_strategy()) {
+        let delta = net.max_degree().max(1) as u64;
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(5_000),
+            SeedTree::new(seed ^ 0x77),
+        ).expect("non-empty availability");
+        for (i, table) in out.tables().iter().enumerate() {
+            let u = NodeId::new(i as u32);
+            for (v, recorded) in table.iter() {
+                let expected = net.available(v).intersection(net.available(u));
+                prop_assert_eq!(recorded, &expected);
+            }
+        }
+    }
+}
