@@ -25,7 +25,13 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sync_run(&net, SyncAlgorithm::Adaptive, &StartSchedule::Identical, 2_000_000, seed)
+            sync_run(
+                &net,
+                SyncAlgorithm::Adaptive,
+                &StartSchedule::Identical,
+                2_000_000,
+                seed,
+            )
         })
     });
     g.bench_function("e17_adaptive_doubling_dwell4", |b| {
@@ -45,9 +51,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             net.links()
                 .iter()
-                .map(|&l| {
-                    mmhew_discovery::alg3_link_coverage_probability(&net, l, delta)
-                })
+                .map(|&l| mmhew_discovery::alg3_link_coverage_probability(&net, l, delta))
                 .sum::<f64>()
         })
     });

@@ -22,7 +22,13 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sync_run(&net, uniform(delta), &StartSchedule::Identical, 2_000_000, seed)
+            sync_run(
+                &net,
+                uniform(delta),
+                &StartSchedule::Identical,
+                2_000_000,
+                seed,
+            )
         })
     });
     g.bench_function("strawman_U64", |b| {
@@ -31,7 +37,9 @@ fn bench(c: &mut Criterion) {
             seed += 1;
             sync_run(
                 &net,
-                SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+                SyncAlgorithm::PerChannelBirthday {
+                    tx_probability: 0.5,
+                },
                 &StartSchedule::Identical,
                 2_000_000,
                 seed,

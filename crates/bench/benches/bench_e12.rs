@@ -19,7 +19,13 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sync_run(&net, uniform(delta), &StartSchedule::Identical, 4_000_000, seed)
+            sync_run(
+                &net,
+                uniform(delta),
+                &StartSchedule::Identical,
+                4_000_000,
+                seed,
+            )
         })
     });
 }

@@ -18,7 +18,13 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                sync_run(&net, staged(dest), &StartSchedule::Identical, 1_000_000, seed)
+                sync_run(
+                    &net,
+                    staged(dest),
+                    &StartSchedule::Identical,
+                    1_000_000,
+                    seed,
+                )
             })
         });
     }

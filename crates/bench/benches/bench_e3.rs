@@ -28,7 +28,13 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sync_run(&dense, staged(8), &StartSchedule::Identical, 1_000_000, seed)
+            sync_run(
+                &dense,
+                staged(8),
+                &StartSchedule::Identical,
+                1_000_000,
+                seed,
+            )
         })
     });
     g.finish();

@@ -19,14 +19,26 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sync_run(&net, staged(delta), &StartSchedule::Identical, 1_000_000, seed)
+            sync_run(
+                &net,
+                staged(delta),
+                &StartSchedule::Identical,
+                1_000_000,
+                seed,
+            )
         })
     });
     g.bench_function("grid4x4_alg2_adaptive", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            sync_run(&net, SyncAlgorithm::Adaptive, &StartSchedule::Identical, 1_000_000, seed)
+            sync_run(
+                &net,
+                SyncAlgorithm::Adaptive,
+                &StartSchedule::Identical,
+                1_000_000,
+                seed,
+            )
         })
     });
     g.finish();

@@ -18,14 +18,26 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                sync_run(&net, staged(dest), &StartSchedule::Identical, 1_000_000, seed)
+                sync_run(
+                    &net,
+                    staged(dest),
+                    &StartSchedule::Identical,
+                    1_000_000,
+                    seed,
+                )
             })
         });
         g.bench_function(format!("alg3_dest{dest}"), |b| {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                sync_run(&net, uniform(dest), &StartSchedule::Identical, 1_000_000, seed)
+                sync_run(
+                    &net,
+                    uniform(dest),
+                    &StartSchedule::Identical,
+                    1_000_000,
+                    seed,
+                )
             })
         });
     }

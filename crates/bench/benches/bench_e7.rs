@@ -21,7 +21,13 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                sync_run(&net, staged(delta), &StartSchedule::Identical, 2_000_000, seed)
+                sync_run(
+                    &net,
+                    staged(delta),
+                    &StartSchedule::Identical,
+                    2_000_000,
+                    seed,
+                )
             })
         });
     }

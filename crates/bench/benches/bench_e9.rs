@@ -22,8 +22,11 @@ fn bench(c: &mut Criterion) {
             for t in 0..100u64 {
                 let seed = SeedTree::new(BENCH_SEED ^ round).index(t);
                 let mut cv = DriftedClock::new(model.clone(), LocalTime::ZERO, seed.branch("v"));
-                let mut cu =
-                    DriftedClock::new(model.clone(), LocalTime::from_nanos(t * 37), seed.branch("u"));
+                let mut cu = DriftedClock::new(
+                    model.clone(),
+                    LocalTime::from_nanos(t * 37),
+                    seed.branch("u"),
+                );
                 let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(3_000));
                 let su = FrameSchedule::new(
                     LocalTime::from_nanos(t * 37),

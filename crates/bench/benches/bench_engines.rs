@@ -2,11 +2,12 @@
 //! set algebra, drifting-clock queries, and async event processing.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::BENCH_SEED;
+use mmhew_discovery::{run_sync_discovery, run_sync_discovery_observed, SyncAlgorithm, SyncParams};
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_obs::NullSink;
 use mmhew_radio::{resolve_slot, Impairments, SlotAction};
 use mmhew_spectrum::{ChannelId, ChannelSet};
-use mmhew_time::{
-    DriftBound, DriftModel, DriftedClock, LocalTime, RealDuration, RealTime,
-};
+use mmhew_time::{DriftBound, DriftModel, DriftedClock, LocalTime, RealDuration, RealTime};
 use mmhew_topology::NetworkBuilder;
 use mmhew_util::SeedTree;
 use rand::Rng;
@@ -45,6 +46,50 @@ fn bench(c: &mut Criterion) {
         b.iter(|| a.choose_uniform(&mut choose_rng))
     });
 
+    // NullSink overhead guard: the two benches below run the identical
+    // Algorithm 1 simulation with and without a disabled sink attached.
+    // A disabled sink must cost one branch per slot (the engine skips all
+    // event assembly when `enabled()` is false), so the pair is expected
+    // to stay within noise of each other; treat a delta above ~2% on
+    // `sync_engine_null_sink` vs `sync_engine_uninstrumented` as a
+    // regression in the instrumentation path and re-run
+    // `cargo bench -p mmhew-bench --bench bench_engines` to confirm.
+    let guard_net = NetworkBuilder::complete(12)
+        .universe(6)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("complete network");
+    let guard_delta = guard_net.max_degree().max(1) as u64;
+    let guard_alg = SyncAlgorithm::Staged(SyncParams::new(guard_delta).expect("positive"));
+    let guard_config = SyncRunConfig::fixed(2_000);
+    c.bench_function("sync_engine_uninstrumented", |b| {
+        b.iter(|| {
+            run_sync_discovery(
+                &guard_net,
+                guard_alg,
+                StartSchedule::Identical,
+                guard_config,
+                SeedTree::new(BENCH_SEED),
+            )
+            .expect("valid protocols")
+            .deliveries()
+        })
+    });
+    c.bench_function("sync_engine_null_sink", |b| {
+        b.iter(|| {
+            let mut sink = NullSink;
+            run_sync_discovery_observed(
+                &guard_net,
+                guard_alg,
+                StartSchedule::Identical,
+                guard_config,
+                SeedTree::new(BENCH_SEED),
+                &mut sink,
+            )
+            .expect("valid protocols")
+            .deliveries()
+        })
+    });
+
     // Clock queries across random drift segments.
     let model = DriftModel::RandomPiecewise {
         bound: DriftBound::PAPER,
@@ -54,8 +99,7 @@ fn bench(c: &mut Criterion) {
         let mut round = 0u64;
         b.iter(|| {
             round += 1;
-            let mut clock =
-                DriftedClock::new(model.clone(), LocalTime::ZERO, SeedTree::new(round));
+            let mut clock = DriftedClock::new(model.clone(), LocalTime::ZERO, SeedTree::new(round));
             let mut acc = 0u64;
             for i in 0..1_000u64 {
                 acc ^= clock.local_at(RealTime::from_nanos(i * 997)).as_nanos();

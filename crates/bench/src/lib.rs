@@ -7,8 +7,7 @@
 //! representative sweep points.
 
 use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm,
-    SyncParams,
+    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm, SyncParams,
 };
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
 use mmhew_harness::registry;
@@ -50,12 +49,7 @@ pub fn sync_run(
 
 /// One complete asynchronous discovery run; returns the completion time in
 /// nanoseconds.
-pub fn async_run(
-    network: &Network,
-    delta_est: u64,
-    config: &AsyncRunConfig,
-    seed: u64,
-) -> u64 {
+pub fn async_run(network: &Network, delta_est: u64, config: &AsyncRunConfig, seed: u64) -> u64 {
     run_async_discovery(
         network,
         AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est).expect("positive")),

@@ -13,6 +13,7 @@
 
 use crate::params::{tx_probability, ProtocolError, SyncParams};
 use mmhew_engine::{NeighborTable, SyncProtocol};
+use mmhew_obs::ProtocolPhase;
 use mmhew_radio::{Beacon, SlotAction};
 use mmhew_spectrum::{ChannelId, ChannelSet};
 use mmhew_util::Xoshiro256StarStar;
@@ -37,6 +38,7 @@ pub struct StagedDiscovery {
     available: ChannelSet,
     params: SyncParams,
     table: NeighborTable,
+    stage: u64,
 }
 
 impl StagedDiscovery {
@@ -54,6 +56,7 @@ impl StagedDiscovery {
             available,
             params,
             table: NeighborTable::new(),
+            stage: 0,
         })
     }
 
@@ -71,6 +74,7 @@ impl StagedDiscovery {
 impl SyncProtocol for StagedDiscovery {
     fn on_slot(&mut self, active_slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
         // Slot index within the current stage, 1-based (Algorithm 1 line 2).
+        self.stage = active_slot / self.stage_len();
         let i = active_slot % self.stage_len() + 1;
         let channel = self
             .available
@@ -94,6 +98,10 @@ impl SyncProtocol for StagedDiscovery {
     fn table(&self) -> &NeighborTable {
         &self.table
     }
+
+    fn phase(&self) -> Option<ProtocolPhase> {
+        Some(ProtocolPhase::Stage(self.stage))
+    }
 }
 
 #[cfg(test)]
@@ -112,8 +120,7 @@ mod tests {
     #[test]
     fn empty_set_rejected() {
         assert_eq!(
-            StagedDiscovery::new(ChannelSet::new(), SyncParams::new(4).expect("valid"))
-                .err(),
+            StagedDiscovery::new(ChannelSet::new(), SyncParams::new(4).expect("valid")).err(),
             Some(ProtocolError::EmptyChannelSet)
         );
     }
@@ -197,6 +204,19 @@ mod tests {
             p.table().get(mmhew_topology::NodeId::new(9)),
             Some(&[1u16].into_iter().collect())
         );
+    }
+
+    #[test]
+    fn phase_reports_current_stage() {
+        let mut p = proto(4, 64); // stage length 6
+        assert_eq!(p.phase(), Some(ProtocolPhase::Stage(0)));
+        let mut rng = SeedTree::new(5).rng();
+        for slot in 0..6 {
+            let _ = p.on_slot(slot, &mut rng);
+        }
+        assert_eq!(p.phase(), Some(ProtocolPhase::Stage(0)));
+        let _ = p.on_slot(6, &mut rng);
+        assert_eq!(p.phase(), Some(ProtocolPhase::Stage(1)));
     }
 
     #[test]

@@ -14,6 +14,7 @@
 
 use crate::params::{ceil_log2, tx_probability, ProtocolError};
 use mmhew_engine::{NeighborTable, SyncProtocol};
+use mmhew_obs::ProtocolPhase;
 use mmhew_radio::{Beacon, SlotAction};
 use mmhew_spectrum::{ChannelId, ChannelSet};
 use mmhew_util::Xoshiro256StarStar;
@@ -156,6 +157,10 @@ impl SyncProtocol for AdaptiveDiscovery {
 
     fn table(&self) -> &NeighborTable {
         &self.table
+    }
+
+    fn phase(&self) -> Option<ProtocolPhase> {
+        Some(ProtocolPhase::Estimate(self.estimate))
     }
 }
 
@@ -303,12 +308,19 @@ mod tests {
     }
 
     #[test]
+    fn phase_tracks_estimate() {
+        let mut p = proto(2);
+        assert_eq!(p.phase(), Some(ProtocolPhase::Estimate(2)));
+        let mut rng = SeedTree::new(7).rng();
+        // d=2 has a one-slot stage: one slot advances the estimate to 3.
+        let _ = p.on_slot(0, &mut rng);
+        assert_eq!(p.phase(), Some(ProtocolPhase::Estimate(3)));
+    }
+
+    #[test]
     fn beacon_recording() {
         let mut p = proto(2);
-        let beacon = Beacon::new(
-            mmhew_topology::NodeId::new(4),
-            ChannelSet::full(8),
-        );
+        let beacon = Beacon::new(mmhew_topology::NodeId::new(4), ChannelSet::full(8));
         p.on_beacon(&beacon, ChannelId::new(0));
         assert_eq!(
             p.table().get(mmhew_topology::NodeId::new(4)),

@@ -126,7 +126,9 @@ mod tests {
         // Empirical rate in the first half vs second half of a long run
         // must match (no stage structure).
         let half = 40_000u64;
-        let tx1 = (0..half).filter(|&k| p.on_slot(k, &mut rng).is_transmit()).count();
+        let tx1 = (0..half)
+            .filter(|&k| p.on_slot(k, &mut rng).is_transmit())
+            .count();
         let tx2 = (half..2 * half)
             .filter(|&k| p.on_slot(k, &mut rng).is_transmit())
             .count();
@@ -142,8 +144,11 @@ mod tests {
         let mut rng = SeedTree::new(1).rng();
         let mut counts = [0u32; 5];
         for k in 0..50_000 {
-            counts[p.on_slot(k, &mut rng).channel().expect("never quiet").index() as usize] +=
-                1;
+            counts[p
+                .on_slot(k, &mut rng)
+                .channel()
+                .expect("never quiet")
+                .index() as usize] += 1;
         }
         for &c in &counts {
             let f = c as f64 / 50_000.0;

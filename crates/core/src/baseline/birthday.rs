@@ -133,10 +133,7 @@ mod tests {
             BirthdayProtocol::new(ChannelId::new(2), 0.3, ChannelSet::full(4)).expect("valid");
         let mut rng = SeedTree::new(0).rng();
         for slot in 0..500 {
-            assert_eq!(
-                p.on_slot(slot, &mut rng).channel(),
-                Some(ChannelId::new(2))
-            );
+            assert_eq!(p.on_slot(slot, &mut rng).channel(), Some(ChannelId::new(2)));
         }
     }
 

@@ -127,8 +127,7 @@ mod tests {
 
     #[test]
     fn idles_outside_available_channels() {
-        let mut p = PerChannelBirthday::new(4, 0.5, [1u16].into_iter().collect())
-            .expect("valid");
+        let mut p = PerChannelBirthday::new(4, 0.5, [1u16].into_iter().collect()).expect("valid");
         let mut rng = SeedTree::new(0).rng();
         for slot in 0..40 {
             let a = p.on_slot(slot, &mut rng);

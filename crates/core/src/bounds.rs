@@ -131,14 +131,9 @@ impl Bounds {
 /// with `p_x = min(1/2, |A(x)|/Δ_est)`. The expected first-coverage slot
 /// is `(1−P)/P` (geometric); experiment E19 validates the simulator
 /// against this formula link by link.
-pub fn alg3_link_coverage_probability(
-    network: &Network,
-    link: Link,
-    delta_est: u64,
-) -> f64 {
-    let p_tx = |node: mmhew_topology::NodeId| {
-        tx_probability(network.available(node), delta_est as f64)
-    };
+pub fn alg3_link_coverage_probability(network: &Network, link: Link, delta_est: u64) -> f64 {
+    let p_tx =
+        |node: mmhew_topology::NodeId| tx_probability(network.available(node), delta_est as f64);
     let v = link.from;
     let u = link.to;
     let a_v = network.available(v).len() as f64;

@@ -63,9 +63,9 @@ pub use alg4_async::AsyncFrameDiscovery;
 pub use bounds::{alg3_link_coverage_probability, Bounds};
 pub use params::{AsyncParams, ProtocolError, SyncParams};
 pub use runner::{
-    run_async_discovery, run_async_discovery_terminating, run_sync_discovery,
-    run_sync_discovery_terminating, tables_are_sound,
-    tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
+    run_async_discovery, run_async_discovery_observed, run_async_discovery_terminating,
+    run_sync_discovery, run_sync_discovery_observed, run_sync_discovery_terminating,
+    tables_are_sound, tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
 };
 pub use termination::{QuiescentAsyncTermination, QuiescentTermination};
 pub use two_hop::{two_hop_views, TwoHopView};

@@ -11,6 +11,7 @@ use mmhew_engine::{
     AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, NeighborTable, StartSchedule,
     SyncEngine, SyncOutcome, SyncProtocol, SyncRunConfig,
 };
+use mmhew_obs::EventSink;
 use mmhew_topology::{Network, NodeId};
 use mmhew_util::SeedTree;
 use serde::{Deserialize, Serialize};
@@ -86,6 +87,30 @@ pub fn run_sync_discovery(
     Ok(SyncEngine::new(network, protocols, start_slots, seed.branch("engine")).run(config))
 }
 
+/// Like [`run_sync_discovery`], but attaches `sink` to the engine so
+/// every simulation event (slots, actions, channel resolutions,
+/// deliveries, link coverage, phase transitions) is observable.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_sync_discovery_observed(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    config: SyncRunConfig,
+    seed: SeedTree,
+    sink: &mut dyn EventSink,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_sink(sink)
+            .run(config),
+    )
+}
+
 /// Like [`run_sync_discovery`], but wraps every node in a
 /// [`QuiescentTermination`] detector with the given threshold, so nodes
 /// decide *locally* when to stop. Pair with
@@ -128,9 +153,7 @@ fn build_sync_protocols(
             SyncAlgorithm::AdaptiveDoubling { dwell } => Box::new(
                 AdaptiveDiscovery::with_strategy(available, GrowthStrategy::Double { dwell })?,
             ),
-            SyncAlgorithm::Uniform(params) => {
-                Box::new(UniformDiscovery::new(available, params)?)
-            }
+            SyncAlgorithm::Uniform(params) => Box::new(UniformDiscovery::new(available, params)?),
             SyncAlgorithm::PerChannelBirthday { tx_probability } => Box::new(
                 PerChannelBirthday::new(network.universe_size(), tx_probability, available)?,
             ),
@@ -165,6 +188,38 @@ pub fn run_async_discovery(
     Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
 }
 
+/// Like [`run_async_discovery`], but attaches `sink` to the engine so
+/// every simulation event (frame boundaries with local-clock timestamps,
+/// actions, deliveries, link coverage, phase transitions) is observable.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_async_discovery_observed(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+    sink: &mut dyn EventSink,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let n = network.node_count();
+    let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
+    for i in 0..n {
+        let available = network.available(NodeId::new(i as u32)).clone();
+        let protocol: Box<dyn AsyncProtocol> = match algorithm {
+            AsyncAlgorithm::FrameBased(params) => {
+                Box::new(AsyncFrameDiscovery::new(available, params)?)
+            }
+        };
+        protocols.push(protocol);
+    }
+    Ok(
+        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_sink(sink)
+            .run(),
+    )
+}
+
 /// Like [`run_async_discovery`], but wraps every node in a
 /// [`QuiescentAsyncTermination`] detector: nodes stop transmitting and
 /// listening for good after `quiet_frames` frames without a new neighbor,
@@ -191,7 +246,10 @@ pub fn run_async_discovery_terminating(
                 Box::new(AsyncFrameDiscovery::new(available, params)?)
             }
         };
-        protocols.push(Box::new(QuiescentAsyncTermination::new(inner, quiet_frames)?));
+        protocols.push(Box::new(QuiescentAsyncTermination::new(
+            inner,
+            quiet_frames,
+        )?));
     }
     Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
 }
@@ -296,7 +354,9 @@ mod tests {
         let net = small_net();
         let out = run_sync_discovery(
             &net,
-            SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            SyncAlgorithm::PerChannelBirthday {
+                tx_probability: 0.5,
+            },
             StartSchedule::Identical,
             SyncRunConfig::until_complete(200_000),
             SeedTree::new(4),
@@ -425,8 +485,9 @@ mod tests {
         assert!(out.completed(), "generous threshold finds all links");
         assert!(tables_match_ground_truth(&net, out.tables()));
         // Termination necessarily happens after completion.
-        assert!(out.terminated_slot().expect("terminated")
-            >= out.completion_slot().expect("completed"));
+        assert!(
+            out.terminated_slot().expect("terminated") >= out.completion_slot().expect("completed")
+        );
     }
 
     #[test]
@@ -481,10 +542,40 @@ mod tests {
     }
 
     #[test]
+    fn observed_run_matches_unobserved_run() {
+        // Attaching a sink must not perturb the simulation: same seed,
+        // same outcome, and the sink's view reconciles with the outcome.
+        let net = small_net();
+        let alg = SyncAlgorithm::Staged(SyncParams::new(4).expect("valid"));
+        let config = SyncRunConfig::until_complete(100_000);
+        let plain = run_sync_discovery(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        let mut sink = mmhew_obs::MetricsSink::new();
+        let observed = run_sync_discovery_observed(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            config,
+            SeedTree::new(7),
+            &mut sink,
+        )
+        .expect("run");
+        assert_eq!(plain.completion_slot(), observed.completion_slot());
+        assert_eq!(plain.link_coverage(), observed.link_coverage());
+        assert_eq!(sink.deliveries(), observed.deliveries());
+        assert_eq!(sink.slots(), observed.slots_executed());
+    }
+
+    #[test]
     fn ground_truth_mismatch_detected() {
         let net = small_net();
-        let mut tables: Vec<NeighborTable> =
-            (0..4).map(|_| NeighborTable::new()).collect();
+        let mut tables: Vec<NeighborTable> = (0..4).map(|_| NeighborTable::new()).collect();
         assert!(!tables_match_ground_truth(&net, &tables));
         // A false discovery is unsound.
         tables[0].record(NodeId::new(1), ChannelSet::full(16));

@@ -14,6 +14,7 @@
 
 use crate::params::ProtocolError;
 use mmhew_engine::{AsyncProtocol, NeighborTable, SyncProtocol};
+use mmhew_obs::ProtocolPhase;
 use mmhew_radio::{Beacon, FrameAction, SlotAction};
 use mmhew_spectrum::ChannelId;
 use mmhew_util::Xoshiro256StarStar;
@@ -47,10 +48,7 @@ impl QuiescentTermination {
     ///
     /// Returns [`ProtocolError::ZeroDegreeEstimate`] if `quiet_slots` is
     /// zero (the node would quit before its first slot).
-    pub fn new(
-        inner: Box<dyn SyncProtocol>,
-        quiet_slots: u64,
-    ) -> Result<Self, ProtocolError> {
+    pub fn new(inner: Box<dyn SyncProtocol>, quiet_slots: u64) -> Result<Self, ProtocolError> {
         if quiet_slots == 0 {
             return Err(ProtocolError::ZeroDegreeEstimate);
         }
@@ -104,6 +102,14 @@ impl SyncProtocol for QuiescentTermination {
     fn is_terminated(&self) -> bool {
         self.terminated
     }
+
+    fn phase(&self) -> Option<ProtocolPhase> {
+        if self.terminated {
+            Some(ProtocolPhase::Terminated)
+        } else {
+            self.inner.phase()
+        }
+    }
 }
 
 /// The asynchronous counterpart of [`QuiescentTermination`]: after
@@ -135,10 +141,7 @@ impl QuiescentAsyncTermination {
     ///
     /// Returns [`ProtocolError::ZeroDegreeEstimate`] if `quiet_frames` is
     /// zero.
-    pub fn new(
-        inner: Box<dyn AsyncProtocol>,
-        quiet_frames: u64,
-    ) -> Result<Self, ProtocolError> {
+    pub fn new(inner: Box<dyn AsyncProtocol>, quiet_frames: u64) -> Result<Self, ProtocolError> {
         if quiet_frames == 0 {
             return Err(ProtocolError::ZeroDegreeEstimate);
         }
@@ -182,6 +185,14 @@ impl AsyncProtocol for QuiescentAsyncTermination {
     fn is_terminated(&self) -> bool {
         self.terminated
     }
+
+    fn phase(&self) -> Option<ProtocolPhase> {
+        if self.terminated {
+            Some(ProtocolPhase::Terminated)
+        } else {
+            self.inner.phase()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -194,21 +205,17 @@ mod tests {
     use mmhew_util::SeedTree;
 
     fn wrapped(quiet: u64) -> QuiescentTermination {
-        let inner = UniformDiscovery::new(
-            ChannelSet::full(2),
-            SyncParams::new(2).expect("positive"),
-        )
-        .expect("valid");
+        let inner =
+            UniformDiscovery::new(ChannelSet::full(2), SyncParams::new(2).expect("positive"))
+                .expect("valid");
         QuiescentTermination::new(Box::new(inner), quiet).expect("valid threshold")
     }
 
     #[test]
     fn zero_threshold_rejected() {
-        let inner = UniformDiscovery::new(
-            ChannelSet::full(1),
-            SyncParams::new(1).expect("positive"),
-        )
-        .expect("valid");
+        let inner =
+            UniformDiscovery::new(ChannelSet::full(1), SyncParams::new(1).expect("positive"))
+                .expect("valid");
         assert!(QuiescentTermination::new(Box::new(inner), 0).is_err());
     }
 
@@ -241,7 +248,11 @@ mod tests {
         );
         for slot in 4..9 {
             let a = p.on_slot(slot, &mut rng);
-            assert_ne!(a, SlotAction::Quiet, "reset should keep it alive at slot {slot}");
+            assert_ne!(
+                a,
+                SlotAction::Quiet,
+                "reset should keep it alive at slot {slot}"
+            );
         }
         assert_eq!(p.on_slot(9, &mut rng), SlotAction::Quiet);
         assert!(p.is_terminated());
@@ -268,11 +279,9 @@ mod tests {
     fn async_wrapper_terminates_and_resets() {
         use crate::alg4_async::AsyncFrameDiscovery;
         use crate::params::AsyncParams;
-        let inner = AsyncFrameDiscovery::new(
-            ChannelSet::full(2),
-            AsyncParams::new(2).expect("positive"),
-        )
-        .expect("valid");
+        let inner =
+            AsyncFrameDiscovery::new(ChannelSet::full(2), AsyncParams::new(2).expect("positive"))
+                .expect("valid");
         let mut p = QuiescentAsyncTermination::new(Box::new(inner), 4).expect("valid");
         let mut rng = SeedTree::new(3).rng();
         for f in 0..4 {
@@ -297,12 +306,24 @@ mod tests {
     fn async_zero_threshold_rejected() {
         use crate::alg4_async::AsyncFrameDiscovery;
         use crate::params::AsyncParams;
-        let inner = AsyncFrameDiscovery::new(
-            ChannelSet::full(1),
-            AsyncParams::new(1).expect("positive"),
-        )
-        .expect("valid");
+        let inner =
+            AsyncFrameDiscovery::new(ChannelSet::full(1), AsyncParams::new(1).expect("positive"))
+                .expect("valid");
         assert!(QuiescentAsyncTermination::new(Box::new(inner), 0).is_err());
+    }
+
+    #[test]
+    fn phase_switches_to_terminated() {
+        let mut p = wrapped(2);
+        // UniformDiscovery has no phase of its own, so the wrapper reports
+        // None until the detector trips.
+        assert_eq!(p.phase(), None);
+        let mut rng = SeedTree::new(4).rng();
+        for slot in 0..3 {
+            let _ = p.on_slot(slot, &mut rng);
+        }
+        assert!(p.is_terminated());
+        assert_eq!(p.phase(), Some(ProtocolPhase::Terminated));
     }
 
     #[test]

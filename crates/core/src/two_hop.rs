@@ -74,8 +74,8 @@ pub fn two_hop_views(tables: &[NeighborTable]) -> Vec<TwoHopView> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{run_sync_discovery, SyncAlgorithm};
     use crate::params::SyncParams;
+    use crate::runner::{run_sync_discovery, SyncAlgorithm};
     use mmhew_engine::{StartSchedule, SyncRunConfig};
     use mmhew_spectrum::ChannelSet;
     use mmhew_topology::NetworkBuilder;
@@ -162,8 +162,7 @@ mod tests {
         let views = two_hop_views(out.tables());
         // Ground truth: BFS distance exactly 2 in the grid.
         for u in net.topology().nodes() {
-            let one: BTreeSet<NodeId> =
-                net.topology().in_neighbors(u).iter().copied().collect();
+            let one: BTreeSet<NodeId> = net.topology().in_neighbors(u).iter().copied().collect();
             let mut expected = BTreeSet::new();
             for &v in &one {
                 for &w in net.topology().in_neighbors(v) {
@@ -173,7 +172,8 @@ mod tests {
                 }
             }
             assert_eq!(
-                views[u.as_usize()].two_hop, expected,
+                views[u.as_usize()].two_hop,
+                expected,
                 "two-hop mismatch at {u}"
             );
         }

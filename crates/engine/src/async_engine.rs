@@ -18,15 +18,17 @@ use crate::energy::{ActionCounts, EnergyModel};
 use crate::observer::CoverageTracker;
 use crate::protocol::AsyncProtocol;
 use crate::table::NeighborTable;
-use mmhew_radio::{clear_receptions, Beacon, FrameAction, ListenWindow, Transmission};
+use mmhew_obs::{EventSink, ProtocolPhase, SimEvent, Stamp};
+use mmhew_radio::{clear_receptions, Beacon, FrameAction, ListenWindow, SlotAction, Transmission};
 use mmhew_time::{DriftedClock, FrameSchedule, RealTime, SLOTS_PER_FRAME};
 use mmhew_topology::{Link, Network, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
+use serde::Serialize;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Result of an asynchronous run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct AsyncOutcome {
     completed: bool,
     completion_time: Option<RealTime>,
@@ -149,6 +151,8 @@ pub struct AsyncEngine<'n> {
     impairment_losses: u64,
     action_counts: Vec<ActionCounts>,
     config: AsyncRunConfig,
+    sink: Option<&'n mut dyn EventSink>,
+    phases: Vec<Option<ProtocolPhase>>,
 }
 
 impl<'n> AsyncEngine<'n> {
@@ -228,7 +232,18 @@ impl<'n> AsyncEngine<'n> {
             impairment_losses: 0,
             action_counts: vec![ActionCounts::default(); n],
             config,
+            sink: None,
+            phases: vec![None; n],
         }
+    }
+
+    /// Attaches an [`EventSink`] that receives every simulation event.
+    ///
+    /// Without a sink (or with a disabled one such as
+    /// [`mmhew_obs::NullSink`]) the engine skips event assembly entirely.
+    pub fn with_sink(mut self, sink: &'n mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Runs to completion or budget exhaustion.
@@ -264,6 +279,27 @@ impl<'n> AsyncEngine<'n> {
                 .contains(action.channel()),
             "protocol chose a channel outside its available set"
         );
+        let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
+        if observing {
+            let local = state.schedule.frame_start_local(f);
+            let node = NodeId::new(event.node);
+            let slot_action = match action {
+                FrameAction::Transmit { channel } => SlotAction::Transmit { channel },
+                FrameAction::Listen { channel } => SlotAction::Listen { channel },
+            };
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            sink.on_event(&SimEvent::FrameStart {
+                node,
+                frame: f,
+                real: interval.start(),
+                local,
+            });
+            sink.on_event(&SimEvent::Action {
+                at: Stamp::Real(interval.start()),
+                node,
+                action: slot_action,
+            });
+        }
         match action {
             FrameAction::Transmit { channel } => {
                 self.action_counts[i].transmit += 1;
@@ -310,20 +346,33 @@ impl<'n> AsyncEngine<'n> {
                 frame: f + 1,
             }));
         }
+        if observing {
+            self.poll_phase(i, Stamp::Real(interval.start()));
+        }
     }
 
     fn on_frame_end(&mut self, event: Event) {
         let i = event.node as usize;
         self.nodes[i].frames_executed = event.frame + 1;
+        let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
+        if observing {
+            let local = self.nodes[i].schedule.frame_start_local(event.frame + 1);
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            sink.on_event(&SimEvent::FrameEnd {
+                node: NodeId::new(event.node),
+                frame: event.frame,
+                real: event.time,
+                local,
+            });
+        }
         if let Some(window) = self.nodes[i].pending_listen.take() {
             let channel_bursts = &self.bursts[window.channel.index() as usize];
             let receptions = clear_receptions(self.network, &window, channel_bursts);
             for r in receptions {
                 if self.config.impairments.delivers(&mut self.medium_rng) {
-                    let beacon =
-                        Beacon::new(r.from, self.network.available(r.from).clone());
+                    let beacon = Beacon::new(r.from, self.network.available(r.from).clone());
                     self.protocols[i].on_beacon(&beacon, window.channel);
-                    self.tracker.record(
+                    let newly_covered = self.tracker.record(
                         Link {
                             from: r.from,
                             to: NodeId::new(event.node),
@@ -331,12 +380,60 @@ impl<'n> AsyncEngine<'n> {
                         r.burst.end(),
                     );
                     self.deliveries += 1;
+                    if observing {
+                        let at = Stamp::Real(r.burst.end());
+                        let covered = self.tracker.covered() as u64;
+                        let expected = self.tracker.expected() as u64;
+                        let sink = self.sink.as_deref_mut().expect("sink checked above");
+                        sink.on_event(&SimEvent::Delivery {
+                            at,
+                            from: r.from,
+                            to: NodeId::new(event.node),
+                            channel: window.channel,
+                        });
+                        if newly_covered {
+                            sink.on_event(&SimEvent::LinkCovered {
+                                at,
+                                from: r.from,
+                                to: NodeId::new(event.node),
+                                covered,
+                                expected,
+                            });
+                        }
+                    }
                 } else {
                     self.impairment_losses += 1;
+                    if observing {
+                        let sink = self.sink.as_deref_mut().expect("sink checked above");
+                        sink.on_event(&SimEvent::ImpairmentLoss {
+                            at: Stamp::Real(event.time),
+                            count: 1,
+                        });
+                    }
                 }
             }
         }
+        if observing {
+            self.poll_phase(i, Stamp::Real(event.time));
+        }
         self.prune_bursts(event.time);
+    }
+
+    /// Emits a [`SimEvent::Phase`] if node `i`'s protocol changed phase.
+    fn poll_phase(&mut self, i: usize, at: Stamp) {
+        let phase = self.protocols[i].phase();
+        if phase != self.phases[i] {
+            self.phases[i] = phase;
+            if let Some(p) = phase {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.on_event(&SimEvent::Phase {
+                        at,
+                        node: NodeId::new(i as u32),
+                        phase: p,
+                    });
+                }
+            }
+        }
     }
 
     /// Drops bursts too old to affect any unresolved listening window.
@@ -360,7 +457,9 @@ impl<'n> AsyncEngine<'n> {
             (0..self.nodes.len())
                 .map(|i| {
                     let state = &mut self.nodes[i];
-                    let k0 = state.schedule.first_full_frame_after(latest_start, &mut state.clock);
+                    let k0 = state
+                        .schedule
+                        .first_full_frame_after(latest_start, &mut state.clock);
                     let local_tc = state.clock.local_at(tc);
                     let sched_start = state.schedule.start_local();
                     if local_tc <= sched_start {
@@ -419,9 +518,13 @@ mod tests {
     impl AsyncProtocol for FrameAlternator {
         fn on_frame(&mut self, frame: u64, _rng: &mut Xoshiro256StarStar) -> FrameAction {
             if frame.is_multiple_of(2) == self.even_tx {
-                FrameAction::Transmit { channel: self.channel }
+                FrameAction::Transmit {
+                    channel: self.channel,
+                }
             } else {
-                FrameAction::Listen { channel: self.channel }
+                FrameAction::Listen {
+                    channel: self.channel,
+                }
             }
         }
 
@@ -468,7 +571,10 @@ mod tests {
             out.table(n(1)).to_sorted_vec(),
             vec![(n(0), ChannelSet::full(1))]
         );
-        assert_eq!(out.table(n(0)).to_sorted_vec(), vec![(n(1), ChannelSet::full(1))]);
+        assert_eq!(
+            out.table(n(0)).to_sorted_vec(),
+            vec![(n(1), ChannelSet::full(1))]
+        );
         assert!(out.deliveries() >= 2);
     }
 
@@ -506,12 +612,11 @@ mod tests {
             .universe(1)
             .build(SeedTree::new(0))
             .expect("build");
-        let config = AsyncRunConfig::until_complete(100).with_starts(
-            AsyncStartSchedule::Explicit(vec![
+        let config =
+            AsyncRunConfig::until_complete(100).with_starts(AsyncStartSchedule::Explicit(vec![
                 RealTime::ZERO,
                 RealTime::from_nanos(1_500),
-            ]),
-        );
+            ]));
         let engine = AsyncEngine::new(
             &net,
             vec![
@@ -540,12 +645,11 @@ mod tests {
 
     #[test]
     fn min_full_frames_counts_from_latest_start() {
-        let config = AsyncRunConfig::until_complete(1_000).with_starts(
-            AsyncStartSchedule::Explicit(vec![
+        let config =
+            AsyncRunConfig::until_complete(1_000).with_starts(AsyncStartSchedule::Explicit(vec![
                 RealTime::ZERO,
                 RealTime::from_nanos(30_000), // 10 frames late
-            ]),
-        );
+            ]));
         let out = run_two_nodes(config, 2);
         assert!(out.completed());
         assert_eq!(out.latest_start(), RealTime::from_nanos(30_000));
@@ -578,25 +682,34 @@ mod tests {
         // of bursts (well past the pruning threshold) before node 1 starts
         // 3000 frames later. If pruning ever dropped live bursts,
         // completion right after the late start would fail.
-        let config = AsyncRunConfig::until_complete(10_000).with_starts(
-            AsyncStartSchedule::Explicit(vec![
+        let config =
+            AsyncRunConfig::until_complete(10_000).with_starts(AsyncStartSchedule::Explicit(vec![
                 RealTime::ZERO,
                 RealTime::from_nanos(3_000 * 3_000),
-            ]),
-        );
+            ]));
         let out = run_two_nodes(config, 4);
         assert!(out.completed());
         let m = out.min_full_frames_at_completion().expect("complete");
-        assert!(m <= 4, "should complete within a few frames of T_s, took {m}");
+        assert!(
+            m <= 4,
+            "should complete within a few frames of T_s, took {m}"
+        );
     }
 
     #[test]
     fn action_counts_cover_all_frames() {
-        let out = run_two_nodes(AsyncRunConfig::until_complete(50).with_starts(
-            AsyncStartSchedule::Explicit(vec![RealTime::ZERO, RealTime::ZERO]),
-        ), 1);
+        let out = run_two_nodes(
+            AsyncRunConfig::until_complete(50).with_starts(AsyncStartSchedule::Explicit(vec![
+                RealTime::ZERO,
+                RealTime::ZERO,
+            ])),
+            1,
+        );
         for c in out.action_counts() {
-            assert_eq!(c.transmit + c.listen, out.frames_executed()[0].min(c.total()));
+            assert_eq!(
+                c.transmit + c.listen,
+                out.frames_executed()[0].min(c.total())
+            );
             assert!(c.total() > 0);
         }
         assert!(out.total_energy(&crate::energy::EnergyModel::default()) > 0.0);
@@ -609,16 +722,11 @@ mod tests {
         // inside any single frame of node 1, so the WholeFrame ablation
         // must never discover anything — demonstrating why Algorithm 4
         // subdivides frames into repeated slot bursts.
-        let starts = AsyncStartSchedule::Explicit(vec![
-            RealTime::ZERO,
-            RealTime::from_nanos(1_500),
-        ]);
+        let starts =
+            AsyncStartSchedule::Explicit(vec![RealTime::ZERO, RealTime::from_nanos(1_500)]);
         let base = AsyncRunConfig::until_complete(300).with_starts(starts);
 
-        let whole = run_two_nodes(
-            base.clone().with_burst_plan(BurstPlan::WholeFrame),
-            3,
-        );
+        let whole = run_two_nodes(base.clone().with_burst_plan(BurstPlan::WholeFrame), 3);
         assert!(!whole.completed(), "whole-frame beacon should never fit");
         assert_eq!(whole.deliveries(), 0);
 
@@ -633,10 +741,8 @@ mod tests {
         // directions (offset 1000 of a 3000ns frame: slot 1 spans
         // [1000,2000) ⊆ [1000,4000) one way and [5000,6000) ⊆ [3000,6000)
         // the other).
-        let starts = AsyncStartSchedule::Explicit(vec![
-            RealTime::ZERO,
-            RealTime::from_nanos(1_000),
-        ]);
+        let starts =
+            AsyncStartSchedule::Explicit(vec![RealTime::ZERO, RealTime::from_nanos(1_000)]);
         let out = run_two_nodes(
             AsyncRunConfig::until_complete(5_000)
                 .with_starts(starts)

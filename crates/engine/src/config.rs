@@ -2,9 +2,7 @@
 //! conditions.
 
 use mmhew_radio::Impairments;
-use mmhew_time::{
-    DriftModel, DriftedClock, LocalDuration, LocalTime, RealDuration, RealTime,
-};
+use mmhew_time::{DriftModel, DriftedClock, LocalDuration, LocalTime, RealDuration, RealTime};
 use mmhew_util::SeedTree;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -292,7 +290,10 @@ mod tests {
         assert_eq!(a, b);
         assert!(a.iter().all(|&s| s <= 100));
         assert!(a.iter().any(|&s| s > 0), "some node should start late");
-        assert_eq!(StartSchedule::latest(&a), *a.iter().max().expect("nonempty"));
+        assert_eq!(
+            StartSchedule::latest(&a),
+            *a.iter().max().expect("nonempty")
+        );
     }
 
     #[test]
@@ -333,7 +334,11 @@ mod tests {
         let offsets: Vec<u64> = clocks.iter().map(|c| c.offset().as_nanos()).collect();
         assert!(offsets.iter().all(|&o| o <= 500));
         assert!(
-            offsets.iter().collect::<std::collections::HashSet<_>>().len() > 1,
+            offsets
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len()
+                > 1,
             "offsets should vary"
         );
         for c in &clocks {
@@ -357,7 +362,8 @@ mod tests {
         let s = SyncRunConfig::until_complete(100);
         assert!(s.stop_when_complete);
         assert_eq!(s.max_slots, 100);
-        let f = SyncRunConfig::fixed(50).with_impairments(Impairments::with_delivery_probability(0.5));
+        let f =
+            SyncRunConfig::fixed(50).with_impairments(Impairments::with_delivery_probability(0.5));
         assert!(!f.stop_when_complete);
         assert_eq!(f.impairments.delivery_probability(), 0.5);
 

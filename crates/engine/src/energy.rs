@@ -143,8 +143,16 @@ mod tests {
             quiet_cost: 0.0,
         };
         let counts = vec![
-            ActionCounts { transmit: 1, listen: 1, quiet: 5 },
-            ActionCounts { transmit: 0, listen: 3, quiet: 0 },
+            ActionCounts {
+                transmit: 1,
+                listen: 1,
+                quiet: 5,
+            },
+            ActionCounts {
+                transmit: 0,
+                listen: 3,
+                quiet: 0,
+            },
         ];
         assert!((m.total_cost(&counts) - 6.0).abs() < 1e-12);
     }

@@ -17,6 +17,13 @@
 //! The engines enforce the distributed-computing boundary: a protocol only
 //! ever sees its own slot/frame counter, its own RNG stream, and the
 //! beacons it hears.
+//!
+//! Both engines accept a pluggable [`mmhew_obs::EventSink`] (via
+//! `with_sink`) and emit the shared [`mmhew_obs::SimEvent`] vocabulary —
+//! slot/frame boundaries, per-node actions, per-channel medium
+//! resolutions, deliveries, link coverage, and protocol phase
+//! transitions. Without a sink the instrumentation costs one branch per
+//! slot.
 
 pub mod async_engine;
 pub mod config;

@@ -44,13 +44,17 @@ impl<T: Copy + Ord> CoverageTracker<T> {
         }
     }
 
-    /// Records a coverage event. Only the first time per link is kept.
-    /// Coverage of links the network does not contain is ignored (can
-    /// happen only if callers construct deliveries by hand).
-    pub fn record(&mut self, link: Link, time: T) {
+    /// Records a coverage event and returns `true` if `link` was covered
+    /// for the first time. Only the first time per link is kept. Coverage
+    /// of links the network does not contain is ignored (can happen only
+    /// if callers construct deliveries by hand).
+    pub fn record(&mut self, link: Link, time: T) -> bool {
         if let Some(slot @ None) = self.first_coverage.get_mut(&link) {
             *slot = Some(time);
             self.covered += 1;
+            true
+        } else {
+            false
         }
     }
 
@@ -74,7 +78,10 @@ impl<T: Copy + Ord> CoverageTracker<T> {
         if !self.is_complete() || self.first_coverage.is_empty() {
             return None;
         }
-        self.first_coverage.values().map(|t| t.expect("complete")).max()
+        self.first_coverage
+            .values()
+            .map(|t| t.expect("complete"))
+            .max()
     }
 
     /// First-coverage time per link (`None` for still-uncovered links).
@@ -133,8 +140,8 @@ mod tests {
     fn first_coverage_wins() {
         let net = line3();
         let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
-        t.record(link(0, 1), 10);
-        t.record(link(0, 1), 2);
+        assert!(t.record(link(0, 1), 10));
+        assert!(!t.record(link(0, 1), 2));
         let times: std::collections::BTreeMap<Link, Option<u64>> = t.per_link().collect();
         assert_eq!(times[&link(0, 1)], Some(10));
     }
@@ -143,7 +150,7 @@ mod tests {
     fn unknown_link_ignored() {
         let net = line3();
         let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
-        t.record(link(0, 2), 1); // not neighbors
+        assert!(!t.record(link(0, 2), 1)); // not neighbors
         assert_eq!(t.covered(), 0);
     }
 

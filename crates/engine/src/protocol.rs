@@ -6,6 +6,7 @@
 //! these traits is a genuinely distributed algorithm.
 
 use crate::table::NeighborTable;
+use mmhew_obs::ProtocolPhase;
 use mmhew_radio::{Beacon, FrameAction, SlotAction};
 use mmhew_spectrum::ChannelId;
 use mmhew_util::Xoshiro256StarStar;
@@ -30,6 +31,14 @@ pub trait SyncProtocol {
     fn is_terminated(&self) -> bool {
         false
     }
+
+    /// The protocol's current internal phase, if it has a notion of one
+    /// (Algorithm 1 reports its stage, Algorithm 2 its estimate,
+    /// termination wrappers their vote). Observing engines emit a
+    /// [`mmhew_obs::SimEvent::Phase`] whenever this changes.
+    fn phase(&self) -> Option<ProtocolPhase> {
+        None
+    }
 }
 
 /// A node's behaviour under the asynchronous engine (Algorithm 4).
@@ -49,5 +58,11 @@ pub trait AsyncProtocol {
     /// ends once every node has terminated (or the budget is exhausted).
     fn is_terminated(&self) -> bool {
         false
+    }
+
+    /// The protocol's current internal phase, if it has a notion of one.
+    /// See [`SyncProtocol::phase`].
+    fn phase(&self) -> Option<ProtocolPhase> {
+        None
     }
 }

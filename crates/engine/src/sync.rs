@@ -11,12 +11,15 @@ use crate::energy::{ActionCounts, EnergyModel};
 use crate::observer::CoverageTracker;
 use crate::protocol::SyncProtocol;
 use crate::table::NeighborTable;
+use mmhew_obs::{EventSink, MediumResolution, ProtocolPhase, SimEvent, Stamp};
 use mmhew_radio::{resolve_slot, Beacon, SlotAction, SlotOutcome};
+use mmhew_spectrum::ChannelId;
 use mmhew_topology::{Link, Network, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
+use serde::Serialize;
 
 /// Result of a synchronous run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize)]
 pub struct SyncOutcome {
     /// True if every link was covered within the slot budget.
     completed: bool,
@@ -181,6 +184,8 @@ pub struct SyncEngine<'n> {
     collisions: u64,
     impairment_losses: u64,
     action_counts: Vec<ActionCounts>,
+    sink: Option<&'n mut dyn EventSink>,
+    phases: Vec<Option<ProtocolPhase>>,
 }
 
 impl<'n> SyncEngine<'n> {
@@ -215,7 +220,18 @@ impl<'n> SyncEngine<'n> {
             collisions: 0,
             impairment_losses: 0,
             action_counts: vec![ActionCounts::default(); n],
+            sink: None,
+            phases: vec![None; n],
         }
+    }
+
+    /// Attaches an [`EventSink`] that receives every simulation event.
+    ///
+    /// Without a sink (or with a disabled one such as
+    /// [`mmhew_obs::NullSink`]) the engine skips event assembly entirely.
+    pub fn with_sink(mut self, sink: &'n mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The current absolute slot index (slots executed so far).
@@ -254,28 +270,138 @@ impl<'n> SyncEngine<'n> {
                 SlotAction::Quiet => self.action_counts[i].quiet += 1,
             }
         }
+        let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
+        if observing {
+            let at = Stamp::Slot(self.slot);
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            sink.on_event(&SimEvent::SlotStart { slot: self.slot });
+            for (i, action) in actions.iter().enumerate() {
+                sink.on_event(&SimEvent::Action {
+                    at,
+                    node: NodeId::new(i as u32),
+                    action: *action,
+                });
+            }
+        }
         let outcome = resolve_slot(
             self.network,
             &actions,
             &config.impairments,
             &mut self.medium_rng,
         );
+        if observing {
+            self.emit_channel_resolutions(&actions, &outcome);
+        }
         for d in &outcome.deliveries {
             let beacon = Beacon::new(d.from, self.network.available(d.from).clone());
             self.protocols[d.to.as_usize()].on_beacon(&beacon, d.channel);
-            self.tracker.record(
+            let newly_covered = self.tracker.record(
                 Link {
                     from: d.from,
                     to: d.to,
                 },
                 self.slot,
             );
+            if observing {
+                let at = Stamp::Slot(self.slot);
+                let covered = self.tracker.covered() as u64;
+                let expected = self.tracker.expected() as u64;
+                let sink = self.sink.as_deref_mut().expect("sink checked above");
+                sink.on_event(&SimEvent::Delivery {
+                    at,
+                    from: d.from,
+                    to: d.to,
+                    channel: d.channel,
+                });
+                if newly_covered {
+                    sink.on_event(&SimEvent::LinkCovered {
+                        at,
+                        from: d.from,
+                        to: d.to,
+                        covered,
+                        expected,
+                    });
+                }
+            }
+        }
+        if observing {
+            if outcome.impairment_losses > 0 {
+                let sink = self.sink.as_deref_mut().expect("sink checked above");
+                sink.on_event(&SimEvent::ImpairmentLoss {
+                    at: Stamp::Slot(self.slot),
+                    count: outcome.impairment_losses as u64,
+                });
+            }
+            for i in 0..self.protocols.len() {
+                self.poll_phase(i, Stamp::Slot(self.slot));
+            }
         }
         self.deliveries += outcome.deliveries.len() as u64;
         self.collisions += outcome.collisions.len() as u64;
         self.impairment_losses += outcome.impairment_losses as u64;
         self.slot += 1;
         (actions, outcome)
+    }
+
+    /// Emits one [`SimEvent::Channel`] per channel touched this slot,
+    /// classifying the network-wide medium resolution.
+    fn emit_channel_resolutions(&mut self, actions: &[SlotAction], outcome: &SlotOutcome) {
+        let universe = self.network.universe_size() as usize;
+        let mut tx_count = vec![0u32; universe];
+        let mut tx_node = vec![NodeId::new(0); universe];
+        let mut listeners = vec![0u32; universe];
+        for (i, action) in actions.iter().enumerate() {
+            match *action {
+                SlotAction::Transmit { channel } => {
+                    let c = channel.index() as usize;
+                    tx_count[c] += 1;
+                    tx_node[c] = NodeId::new(i as u32);
+                }
+                SlotAction::Listen { channel } => listeners[channel.index() as usize] += 1,
+                SlotAction::Quiet => {}
+            }
+        }
+        let mut rx_count = vec![0u32; universe];
+        for d in &outcome.deliveries {
+            rx_count[d.channel.index() as usize] += 1;
+        }
+        let at = Stamp::Slot(self.slot);
+        let sink = self.sink.as_deref_mut().expect("checked by caller");
+        for c in 0..universe {
+            let resolution = match tx_count[c] {
+                0 if listeners[c] == 0 => continue,
+                0 => MediumResolution::Silence {
+                    listeners: listeners[c],
+                },
+                1 => MediumResolution::Clear {
+                    tx: tx_node[c],
+                    rx_count: rx_count[c],
+                },
+                contenders => MediumResolution::Collision { contenders },
+            };
+            sink.on_event(&SimEvent::Channel {
+                at,
+                channel: ChannelId::new(c as u16),
+                resolution,
+            });
+        }
+    }
+
+    /// Emits a [`SimEvent::Phase`] if node `i`'s protocol changed phase.
+    fn poll_phase(&mut self, i: usize, at: Stamp) {
+        let phase = self.protocols[i].phase();
+        if phase != self.phases[i] {
+            self.phases[i] = phase;
+            if let Some(p) = phase {
+                if let Some(sink) = self.sink.as_deref_mut() {
+                    sink.on_event(&SimEvent::Phase {
+                        at,
+                        node: NodeId::new(i as u32),
+                        phase: p,
+                    });
+                }
+            }
+        }
     }
 
     /// Runs until completion or the slot budget, consuming the engine.
@@ -300,11 +426,7 @@ impl<'n> SyncEngine<'n> {
             slots_executed: self.slot,
             latest_start,
             link_coverage: self.tracker.per_link().collect(),
-            tables: self
-                .protocols
-                .iter()
-                .map(|p| p.table().clone())
-                .collect(),
+            tables: self.protocols.iter().map(|p| p.table().clone()).collect(),
             deliveries: self.deliveries,
             collisions: self.collisions,
             impairment_losses: self.impairment_losses,
@@ -344,9 +466,13 @@ mod tests {
     impl SyncProtocol for Alternator {
         fn on_slot(&mut self, slot: u64, _rng: &mut Xoshiro256StarStar) -> SlotAction {
             if slot.is_multiple_of(2) == self.even_tx {
-                SlotAction::Transmit { channel: self.channel }
+                SlotAction::Transmit {
+                    channel: self.channel,
+                }
             } else {
-                SlotAction::Listen { channel: self.channel }
+                SlotAction::Listen {
+                    channel: self.channel,
+                }
             }
         }
 
@@ -420,8 +546,20 @@ mod tests {
         // transmitting at absolute slot 10 (even): link (0,1) covered at 10.
         let cov: std::collections::BTreeMap<Link, Option<u64>> =
             out.link_coverage().iter().copied().collect();
-        assert_eq!(cov[&Link { from: n(0), to: n(1) }], Some(10));
-        assert_eq!(cov[&Link { from: n(1), to: n(0) }], Some(11));
+        assert_eq!(
+            cov[&Link {
+                from: n(0),
+                to: n(1)
+            }],
+            Some(10)
+        );
+        assert_eq!(
+            cov[&Link {
+                from: n(1),
+                to: n(0)
+            }],
+            Some(11)
+        );
         assert_eq!(out.latest_start(), 10);
         assert_eq!(out.slots_to_complete(), Some(2));
     }

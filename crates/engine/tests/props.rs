@@ -3,8 +3,8 @@
 //! protocol, not just the paper's algorithms.
 
 use mmhew_engine::{
-    AsyncEngine, AsyncProtocol, AsyncRunConfig, AsyncStartSchedule, ClockConfig,
-    NeighborTable, StartSchedule, SyncEngine, SyncProtocol, SyncRunConfig,
+    AsyncEngine, AsyncProtocol, AsyncRunConfig, AsyncStartSchedule, ClockConfig, NeighborTable,
+    StartSchedule, SyncEngine, SyncProtocol, SyncRunConfig,
 };
 use mmhew_radio::{Beacon, FrameAction, SlotAction};
 use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
@@ -52,8 +52,10 @@ impl SyncProtocol for Chaotic {
     }
 
     fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
-        self.table
-            .record(beacon.sender(), beacon.available().intersection(&self.available));
+        self.table.record(
+            beacon.sender(),
+            beacon.available().intersection(&self.available),
+        );
     }
 
     fn table(&self) -> &NeighborTable {
@@ -72,8 +74,10 @@ impl AsyncProtocol for Chaotic {
     }
 
     fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
-        self.table
-            .record(beacon.sender(), beacon.available().intersection(&self.available));
+        self.table.record(
+            beacon.sender(),
+            beacon.available().intersection(&self.available),
+        );
     }
 
     fn table(&self) -> &NeighborTable {

@@ -3,7 +3,7 @@
 //! sections instead of text, for pasting into EXPERIMENTS.md),
 //! `--csv-dir <dir>` (additionally write every table as `<dir>/<id>.csv`).
 use mmhew_harness::registry;
-use mmhew_harness::Effort;
+use mmhew_harness::{reps_completed, Effort};
 
 fn main() {
     let effort = Effort::from_args();
@@ -24,8 +24,11 @@ fn main() {
         std::fs::create_dir_all(dir).expect("failed to create csv dir");
     }
     let start = std::time::Instant::now();
-    for (id, f) in registry::all() {
+    let experiments = registry::all();
+    let total = experiments.len();
+    for (k, (id, f)) in experiments.into_iter().enumerate() {
         let t0 = std::time::Instant::now();
+        let reps0 = reps_completed();
         let report = f(effort, seed);
         if markdown {
             print!("{}", report.render_markdown());
@@ -36,8 +39,18 @@ fn main() {
             let path = dir.join(format!("{}.csv", id.to_lowercase().replace('-', "_")));
             report.write_csv(&path).expect("failed to write CSV");
         }
-        eprintln!("[{id} done in {:.1}s]", t0.elapsed().as_secs_f64());
+        let wall = t0.elapsed().as_secs_f64();
+        let reps = reps_completed() - reps0;
+        eprintln!(
+            "[{}/{total} {id} done in {wall:.1}s: {reps} reps, {:.1} reps/s]",
+            k + 1,
+            if wall > 0.0 { reps as f64 / wall } else { 0.0 }
+        );
         println!();
     }
-    eprintln!("suite finished in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "suite finished in {:.1}s ({} reps total)",
+        start.elapsed().as_secs_f64(),
+        reps_completed()
+    );
 }

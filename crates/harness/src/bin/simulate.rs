@@ -23,15 +23,23 @@
 //! `--epsilon (0.01)`, `--start-window (0)`, `--frame-len (3000)`,
 //! `--drift-den (0 = ideal; 7 means δ=1/7)`, `--reps (5)`, `--seed (1)`,
 //! `--budget (4000000)`.
+//!
+//! Observability flags:
+//! `--trace <path>` writes repetition 0 as a JSONL event trace
+//! (deterministic for a fixed seed), `--metrics` prints per-node and
+//! per-channel counters aggregated over all repetitions, and `--timeline`
+//! draws the first `--timeline-slots (120)` slots of repetition 0 as an
+//! ASCII slot×node grid (slotted algorithms only). Attaching sinks does
+//! not change the simulation: same seed, same outcome.
 
 use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, tables_match_ground_truth, AsyncAlgorithm,
-    AsyncParams, Bounds, SyncAlgorithm, SyncParams,
+    run_async_discovery, run_async_discovery_observed, run_sync_discovery,
+    run_sync_discovery_observed, tables_match_ground_truth, AsyncAlgorithm, AsyncParams, Bounds,
+    SyncAlgorithm, SyncParams,
 };
-use mmhew_engine::{
-    AsyncRunConfig, AsyncStartSchedule, ClockConfig, StartSchedule, SyncRunConfig,
-};
+use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, ClockConfig, StartSchedule, SyncRunConfig};
 use mmhew_harness::cli::Args;
+use mmhew_obs::{EventSink, FanoutSink, JsonlTraceSink, MetricsSink, TimelineSink};
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
 use mmhew_topology::{Network, NetworkBuilder};
@@ -57,25 +65,23 @@ fn build_network(args: &Args, seed: SeedTree) -> Result<Network, Box<dyn std::er
         _ => unreachable!("one_of validated"),
     };
     let universe: u16 = args.get_or("universe", 8)?;
-    let availability = match args.one_of(
-        "availability",
-        &["subset", "full", "overlap", "spatial"],
-    )? {
-        "full" => AvailabilityModel::Full,
-        "subset" => AvailabilityModel::UniformSubset {
-            size: args.get_or("set-size", 4)?,
-        },
-        "overlap" => AvailabilityModel::PairwiseOverlap {
-            shared: args.get_or("shared", 2)?,
-            private: args.get_or("private", 2)?,
-        },
-        "spatial" => AvailabilityModel::SpatialPrimaryUsers {
-            primaries: args.get_or("primaries", 5)?,
-            radius: args.get_or("pu-radius", 4.0)?,
-            channels_per_primary: args.get_or("pu-channels", 3)?,
-        },
-        _ => unreachable!("one_of validated"),
-    };
+    let availability =
+        match args.one_of("availability", &["subset", "full", "overlap", "spatial"])? {
+            "full" => AvailabilityModel::Full,
+            "subset" => AvailabilityModel::UniformSubset {
+                size: args.get_or("set-size", 4)?,
+            },
+            "overlap" => AvailabilityModel::PairwiseOverlap {
+                shared: args.get_or("shared", 2)?,
+                private: args.get_or("private", 2)?,
+            },
+            "spatial" => AvailabilityModel::SpatialPrimaryUsers {
+                primaries: args.get_or("primaries", 5)?,
+                radius: args.get_or("pu-radius", 4.0)?,
+                channels_per_primary: args.get_or("pu-channels", 3)?,
+            },
+            _ => unreachable!("one_of validated"),
+        };
     Ok(builder
         .universe(universe)
         .availability(availability)
@@ -110,6 +116,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut completions: Vec<f64> = Vec::new();
     let mut ok = true;
 
+    let metrics_on = args.flag("metrics");
+    let timeline_on = args.flag("timeline");
+    let trace_path = args.raw("trace").map(str::to_string);
+    let timeline_slots: usize = args.get_or("timeline-slots", 120)?;
+    let mut metrics = metrics_on.then(MetricsSink::new);
+    let mut timeline = timeline_on.then(|| TimelineSink::new(timeline_slots));
+    let mut trace = match &trace_path {
+        Some(p) => Some(JsonlTraceSink::create(p)?),
+        None => None,
+    };
+    let observing = metrics_on || timeline_on || trace_path.is_some();
+
     if algorithm == "alg4" {
         println!(
             "algorithm: Algorithm 4 (async), Δ_est={delta_est}; Thm9 bound = {:.0} frames",
@@ -135,12 +153,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 window: RealDuration::from_nanos(args.get_or("start-window", 0)?),
             });
         for rep in 0..reps {
-            let out = run_async_discovery(
-                &net,
-                AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
-                config.clone(),
-                seed.branch("run").index(rep),
-            )?;
+            let alg = AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?);
+            let rep_seed = seed.branch("run").index(rep);
+            let out = if observing {
+                let mut sinks: Vec<&mut dyn EventSink> = Vec::new();
+                if let Some(m) = metrics.as_mut() {
+                    sinks.push(m);
+                }
+                if rep == 0 {
+                    if let Some(t) = trace.as_mut() {
+                        sinks.push(t);
+                    }
+                }
+                let mut fan = FanoutSink::new(sinks);
+                run_async_discovery_observed(&net, alg, config.clone(), rep_seed, &mut fan)?
+            } else {
+                run_async_discovery(&net, alg, config.clone(), rep_seed)?
+            };
             match out.min_full_frames_at_completion() {
                 Some(frames) => {
                     println!("  rep {rep}: completed in {frames} frames after T_s");
@@ -158,7 +187,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "alg1" => SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
             "alg2" => SyncAlgorithm::Adaptive,
             "alg3" => SyncAlgorithm::Uniform(SyncParams::new(delta_est)?),
-            "baseline" => SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            "baseline" => SyncAlgorithm::PerChannelBirthday {
+                tx_probability: 0.5,
+            },
             _ => unreachable!("one_of validated"),
         };
         println!(
@@ -173,13 +204,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             StartSchedule::Staggered { window }
         };
         for rep in 0..reps {
-            let out = run_sync_discovery(
-                &net,
-                alg,
-                starts.clone(),
-                SyncRunConfig::until_complete(budget),
-                seed.branch("run").index(rep),
-            )?;
+            let rep_seed = seed.branch("run").index(rep);
+            let config = SyncRunConfig::until_complete(budget);
+            let out = if observing {
+                let mut sinks: Vec<&mut dyn EventSink> = Vec::new();
+                if let Some(m) = metrics.as_mut() {
+                    sinks.push(m);
+                }
+                if rep == 0 {
+                    if let Some(t) = trace.as_mut() {
+                        sinks.push(t);
+                    }
+                    if let Some(t) = timeline.as_mut() {
+                        sinks.push(t);
+                    }
+                }
+                let mut fan = FanoutSink::new(sinks);
+                run_sync_discovery_observed(&net, alg, starts.clone(), config, rep_seed, &mut fan)?
+            } else {
+                run_sync_discovery(&net, alg, starts.clone(), config, rep_seed)?
+            };
             match out.slots_to_complete() {
                 Some(slots) => {
                     println!("  rep {rep}: completed in {slots} slots after T_s");
@@ -199,7 +243,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!(
         "ground truth: {}",
-        if ok { "all completed runs exact ✓" } else { "MISMATCH OR INCOMPLETE ✗" }
+        if ok {
+            "all completed runs exact ✓"
+        } else {
+            "MISMATCH OR INCOMPLETE ✗"
+        }
     );
+    if let Some(m) = &metrics {
+        print!("{}", m.render_summary());
+    }
+    if let Some(t) = &timeline {
+        if algorithm == "alg4" {
+            println!("(timeline: slotted algorithms only — nothing drawn for alg4)");
+        } else {
+            println!("timeline of rep 0 (first {timeline_slots} slots):");
+            print!("{}", t.render());
+        }
+    }
+    if let Some(t) = trace {
+        let events = t.events();
+        t.finish()?;
+        println!(
+            "trace: {events} events written to {}",
+            trace_path.as_deref().unwrap_or_default()
+        );
+    }
     Ok(())
 }

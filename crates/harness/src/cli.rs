@@ -56,7 +56,11 @@ impl fmt::Display for CliError {
             CliError::BadValue { key, value } => {
                 write!(f, "--{key}: cannot parse {value:?}")
             }
-            CliError::UnknownVariant { key, value, allowed } => {
+            CliError::UnknownVariant {
+                key,
+                value,
+                allowed,
+            } => {
                 write!(f, "--{key}: unknown value {value:?} (allowed: {allowed:?})")
             }
         }
@@ -181,7 +185,10 @@ mod tests {
     fn defaults_apply() {
         let a = parse(&[]);
         assert_eq!(a.get_or("n", 42usize).expect("default"), 42);
-        assert_eq!(a.one_of("algo", &["alg1", "alg2"]).expect("default"), "alg1");
+        assert_eq!(
+            a.one_of("algo", &["alg1", "alg2"]).expect("default"),
+            "alg1"
+        );
     }
 
     #[test]

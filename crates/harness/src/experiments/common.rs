@@ -1,9 +1,7 @@
 //! Shared measurement helpers for the experiment suite.
 
 use crate::sweep::parallel_reps;
-use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, AsyncAlgorithm, SyncAlgorithm,
-};
+use mmhew_discovery::{run_async_discovery, run_sync_discovery, AsyncAlgorithm, SyncAlgorithm};
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
 use mmhew_topology::Network;
 use mmhew_util::{SeedTree, Summary};

@@ -102,7 +102,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         table,
     );
     let spread = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / means.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / means
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     report.note(format!(
         "frames-to-completion varies only {spread:.2}x from δ=0 to δ=1/7 — \
          the algorithm is drift-insensitive within Assumption 1, as the analysis promises"

@@ -26,9 +26,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let universes: &[u16] = effort.pick(&[8, 16, 32, 64], &[8, 16, 32, 64, 128]);
 
     let mut table = Table::new(
-        ["|U|", "Alg3 slots", "baseline slots", "baseline/Alg3", "baseline/|U|"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "|U|",
+            "Alg3 slots",
+            "baseline slots",
+            "baseline/Alg3",
+            "baseline/|U|",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut ratios = Vec::new();
     for &u in universes {
@@ -49,7 +55,9 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         );
         let baseline = measure_sync(
             &net,
-            SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            SyncAlgorithm::PerChannelBirthday {
+                tx_probability: 0.5,
+            },
             &StartSchedule::Identical,
             SyncRunConfig::until_complete(500_000),
             reps,

@@ -10,9 +10,7 @@
 use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{
-    run_sync_discovery, tables_match_ground_truth, SyncAlgorithm, SyncParams,
-};
+use mmhew_discovery::{run_sync_discovery, tables_match_ground_truth, SyncAlgorithm, SyncParams};
 use mmhew_engine::{StartSchedule, SyncRunConfig};
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::NetworkBuilder;
@@ -30,9 +28,16 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     ];
 
     let mut table = Table::new(
-        ["graph", "links", "one-way links", "mean slots", "ci95", "ground truth"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "graph",
+            "links",
+            "one-way links",
+            "mean slots",
+            "ci95",
+            "ground truth",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (i, &(r_min, r_max, label)) in configs.iter().enumerate() {
         let net = NetworkBuilder::asymmetric_disk(18, 8.0, r_min, r_max)
@@ -44,10 +49,12 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         let one_way = net
             .links()
             .iter()
-            .filter(|l| !net.links().contains(&mmhew_topology::Link {
-                from: l.to,
-                to: l.from,
-            }))
+            .filter(|l| {
+                !net.links().contains(&mmhew_topology::Link {
+                    from: l.to,
+                    to: l.from,
+                })
+            })
             .count();
         let results = parallel_reps(reps, seed.branch("run").index(i as u64), |_rep, s| {
             let out = run_sync_discovery(
@@ -75,7 +82,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             one_way.to_string(),
             fmt_f64(s.mean),
             fmt_f64(s.ci95_halfwidth()),
-            if all_truthful { "exact".into() } else { "MISMATCH".to_string() },
+            if all_truthful {
+                "exact".into()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
 
@@ -106,6 +117,9 @@ mod tests {
         }
         // The strongly asymmetric graph must actually contain one-way links.
         let one_way: u64 = r.table.rows()[2][2].parse().expect("count");
-        assert!(one_way > 0, "expected one-way links in the asymmetric graph");
+        assert!(
+            one_way > 0,
+            "expected one-way links in the asymmetric graph"
+        );
     }
 }

@@ -30,9 +30,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let delta = net.max_degree().max(1) as u64;
 
     let mut table = Table::new(
-        ["delivery prob q", "mean slots", "ci95", "mean × q", "failures"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "delivery prob q",
+            "mean slots",
+            "ci95",
+            "mean × q",
+            "failures",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut normalized = Vec::new();
     for (i, &q) in qs.iter().enumerate() {
@@ -63,7 +69,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         table,
     );
     let spread = normalized.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / normalized.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / normalized
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     report.note(format!(
         "mean×q max/min = {spread:.2}; flat confirms the expected 1/q slowdown"
     ));

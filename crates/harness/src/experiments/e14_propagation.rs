@@ -10,9 +10,7 @@
 use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{
-    run_sync_discovery, tables_are_sound, SyncAlgorithm, SyncParams,
-};
+use mmhew_discovery::{run_sync_discovery, tables_are_sound, SyncAlgorithm, SyncParams};
 use mmhew_engine::{StartSchedule, SyncRunConfig};
 use mmhew_topology::{NetworkBuilder, Propagation};
 use mmhew_util::{SeedTree, Summary};
@@ -38,9 +36,16 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     ];
 
     let mut table = Table::new(
-        ["propagation", "links", "ρ", "mean slots", "ci95", "sound tables"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "propagation",
+            "links",
+            "ρ",
+            "mean slots",
+            "ci95",
+            "sound tables",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (i, (label, prop)) in configs.iter().enumerate() {
         // Same node placement every time (same seed): only propagation
@@ -77,7 +82,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             fmt_f64(net.rho()),
             fmt_f64(s.mean),
             fmt_f64(s.ci95_halfwidth()),
-            if sound { "yes".into() } else { "NO".to_string() },
+            if sound {
+                "yes".into()
+            } else {
+                "NO".to_string()
+            },
         ]);
     }
 

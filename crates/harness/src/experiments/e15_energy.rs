@@ -13,10 +13,10 @@ use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
 use mmhew_discovery::{run_sync_discovery, SyncAlgorithm, SyncParams};
-use mmhew_util::Histogram;
 use mmhew_engine::{EnergyModel, StartSchedule, SyncRunConfig};
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::{Network, NetworkBuilder};
+use mmhew_util::Histogram;
 use mmhew_util::{SeedTree, Summary};
 
 fn measure_energy(
@@ -44,7 +44,10 @@ fn measure_energy(
     });
     let slots: Vec<f64> = results.iter().map(|(s, _, _)| *s).collect();
     let energy: Vec<f64> = results.iter().map(|(_, e, _)| *e).collect();
-    let per_node: Vec<f64> = results.iter().flat_map(|(_, _, p)| p.iter().copied()).collect();
+    let per_node: Vec<f64> = results
+        .iter()
+        .flat_map(|(_, _, p)| p.iter().copied())
+        .collect();
     (
         Summary::from_samples(&slots),
         Summary::from_samples(&energy),
@@ -90,7 +93,9 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         ),
         (
             "strawman baseline".into(),
-            SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            SyncAlgorithm::PerChannelBirthday {
+                tx_probability: 0.5,
+            },
         ),
     ];
     let mut alg3_per_node: Vec<f64> = Vec::new();
@@ -127,7 +132,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         net.s_max()
     ));
     if !alg3_per_node.is_empty() {
-        let hi = alg3_per_node.iter().cloned().fold(f64::NEG_INFINITY, f64::max) * 1.01;
+        let hi = alg3_per_node
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            * 1.01;
         let mut hist = Histogram::new(0.0, hi.max(1.0), 12);
         for &e in &alg3_per_node {
             hist.record(e);
@@ -160,10 +169,10 @@ mod tests {
         let r = run(Effort::Quick, 152);
         let tight = &r.table.rows()[2]; // Alg3 Δ_est=Δ
         let loose = &r.table.rows()[4]; // Alg3 Δ_est=32Δ
-        let slots_ratio: f64 = loose[1].parse::<f64>().expect("slots")
-            / tight[1].parse::<f64>().expect("slots");
-        let energy_ratio: f64 = loose[2].parse::<f64>().expect("energy")
-            / tight[2].parse::<f64>().expect("energy");
+        let slots_ratio: f64 =
+            loose[1].parse::<f64>().expect("slots") / tight[1].parse::<f64>().expect("slots");
+        let energy_ratio: f64 =
+            loose[2].parse::<f64>().expect("energy") / tight[2].parse::<f64>().expect("energy");
         assert!(slots_ratio > 2.0, "loose estimate should be much slower");
         assert!(
             energy_ratio < slots_ratio,

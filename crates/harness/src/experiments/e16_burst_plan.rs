@@ -110,7 +110,9 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         "drift rescues the ablated plans by slowly sweeping the phases, but at a heavy \
          cost (whole-frame relies entirely on rare drift-induced nestings)",
     );
-    report.note(format!("grid 3x3, L={FRAME_LEN}ns, frame budget={budget}, reps={reps}"));
+    report.note(format!(
+        "grid 3x3, L={FRAME_LEN}ns, frame budget={budget}, reps={reps}"
+    ));
     report
 }
 

@@ -48,9 +48,18 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     ];
     let strategies: Vec<(&str, SyncAlgorithm)> = vec![
         ("+1 (paper)", SyncAlgorithm::Adaptive),
-        ("double, dwell 1", SyncAlgorithm::AdaptiveDoubling { dwell: 1 }),
-        ("double, dwell 4", SyncAlgorithm::AdaptiveDoubling { dwell: 4 }),
-        ("double, dwell 16", SyncAlgorithm::AdaptiveDoubling { dwell: 16 }),
+        (
+            "double, dwell 1",
+            SyncAlgorithm::AdaptiveDoubling { dwell: 1 },
+        ),
+        (
+            "double, dwell 4",
+            SyncAlgorithm::AdaptiveDoubling { dwell: 4 },
+        ),
+        (
+            "double, dwell 16",
+            SyncAlgorithm::AdaptiveDoubling { dwell: 16 },
+        ),
     ];
 
     let mut table = Table::new(

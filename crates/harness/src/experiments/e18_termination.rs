@@ -114,7 +114,10 @@ mod tests {
             .map(|row| row[3].parse().expect("stop"))
             .collect();
         for pair in stops.windows(2) {
-            assert!(pair[0] <= pair[1] * 1.05, "stop slots should grow: {stops:?}");
+            assert!(
+                pair[0] <= pair[1] * 1.05,
+                "stop slots should grow: {stops:?}"
+            );
         }
     }
 }

@@ -34,21 +34,20 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let delta_est = net.max_degree().max(1) as u64;
 
     // Measure per-link mean first-coverage slots.
-    let per_rep: Vec<Vec<(Link, u64)>> =
-        parallel_reps(reps, seed.branch("run"), |_rep, s| {
-            let out = run_sync_discovery(
-                &net,
-                SyncAlgorithm::Uniform(SyncParams::new(delta_est).expect("positive")),
-                StartSchedule::Identical,
-                SyncRunConfig::until_complete(5_000_000),
-                s,
-            )
-            .expect("valid protocols");
-            out.link_coverage()
-                .iter()
-                .map(|(l, t)| (*l, t.expect("completed run covers every link")))
-                .collect()
-        });
+    let per_rep: Vec<Vec<(Link, u64)>> = parallel_reps(reps, seed.branch("run"), |_rep, s| {
+        let out = run_sync_discovery(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(delta_est).expect("positive")),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(5_000_000),
+            s,
+        )
+        .expect("valid protocols");
+        out.link_coverage()
+            .iter()
+            .map(|(l, t)| (*l, t.expect("completed run covers every link")))
+            .collect()
+    });
     let mut sums: BTreeMap<Link, f64> = BTreeMap::new();
     for rep in &per_rep {
         for &(l, t) in rep {
@@ -71,9 +70,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
 
     // Show the extremes and the middle of the probability range.
     let mut table = Table::new(
-        ["link", "exact P (per slot)", "predicted mean slot", "measured mean slot", "ratio"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "link",
+            "exact P (per slot)",
+            "predicted mean slot",
+            "measured mean slot",
+            "ratio",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let picks = [0, rows.len() / 2, rows.len() - 1];
     for &i in &picks {

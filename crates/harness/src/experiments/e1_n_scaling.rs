@@ -26,9 +26,16 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let sizes: &[usize] = effort.pick(&[8, 16, 32, 64], &[8, 16, 32, 64, 128, 256]);
 
     let mut table = Table::new(
-        ["N", "mean slots", "ci95", "p95", "bound (Thm 1)", "mean/ln(N²/ε)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "N",
+            "mean slots",
+            "ci95",
+            "p95",
+            "bound (Thm 1)",
+            "mean/ln(N²/ε)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut normalized = Vec::new();
     let mut measured_curve = Vec::new();
@@ -69,12 +76,18 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         table,
     );
     let spread = normalized.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / normalized.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / normalized
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     report.note(format!(
         "normalized column max/min = {:.2}; ≲2 indicates the predicted logarithmic shape",
         spread
     ));
-    report.note(format!("ε={EPSILON}, Δ_est={DELTA_EST}, universe={UNIVERSE}, reps={reps}"));
+    report.note(format!(
+        "ε={EPSILON}, Δ_est={DELTA_EST}, universe={UNIVERSE}, reps={reps}"
+    ));
     let mut plot = AsciiPlot::new(56, 12).log_x().log_y();
     plot.add_series("measured mean", measured_curve);
     plot.add_series("Theorem 1 bound", bound_curve);

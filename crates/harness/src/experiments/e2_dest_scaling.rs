@@ -31,9 +31,16 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         .expect("ring networks are always valid");
 
     let mut table = Table::new(
-        ["Δ_est", "stage len", "mean slots", "ci95", "bound (Thm 1)", "mean/stage len"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Δ_est",
+            "stage len",
+            "mean slots",
+            "ci95",
+            "bound (Thm 1)",
+            "mean/stage len",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut normalized = Vec::new();
     for &dest in estimates {
@@ -67,7 +74,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         table,
     );
     let spread = normalized.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / normalized.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / normalized
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     report.note(format!(
         "mean/stage-length max/min = {spread:.2}; flat ⇒ cost of a loose bound is exactly the stage-length factor"
     ));
@@ -96,6 +107,9 @@ mod tests {
         let last: f64 = r.table.rows()[3][2].parse().expect("mean");
         assert!(last > first, "looser estimate should cost something");
         // Δ_est grew 64x; slots must grow far less than that.
-        assert!(last < first * 16.0, "grew {first} -> {last}: not logarithmic");
+        assert!(
+            last < first * 16.0,
+            "grew {first} -> {last}: not logarithmic"
+        );
     }
 }

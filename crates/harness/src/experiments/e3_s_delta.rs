@@ -18,12 +18,7 @@ use mmhew_util::SeedTree;
 
 const EPSILON: f64 = 0.01;
 
-fn measure(
-    net: &Network,
-    delta_est: u64,
-    reps: u64,
-    seed: SeedTree,
-) -> (f64, f64, f64) {
+fn measure(net: &Network, delta_est: u64, reps: u64, seed: SeedTree) -> (f64, f64, f64) {
     let bounds = Bounds::from_network(net, delta_est, EPSILON);
     let m = measure_sync(
         net,
@@ -45,9 +40,17 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let delta_values: &[usize] = effort.pick(&[3, 5, 9, 17], &[3, 5, 9, 17, 33]);
 
     let mut table = Table::new(
-        ["sweep", "S", "Δ", "mean slots", "ci95", "bound", "mean/max(S,Δ)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "sweep",
+            "S",
+            "Δ",
+            "mean slots",
+            "ci95",
+            "bound",
+            "mean/max(S,Δ)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
 
     // Sweep 1: S grows, Δ = 2 fixed (ring of 16).
@@ -119,13 +122,15 @@ mod tests {
     #[test]
     fn s_sweep_grows_roughly_linearly() {
         let r = run(Effort::Quick, 17);
-        let rows: Vec<&Vec<String>> =
-            r.table.rows().iter().filter(|row| row[0] == "S↑").collect();
+        let rows: Vec<&Vec<String>> = r.table.rows().iter().filter(|row| row[0] == "S↑").collect();
         let first: f64 = rows[0][3].parse().expect("mean");
         let last: f64 = rows[3][3].parse().expect("mean");
         // S grew 8x: expect meaningful growth (at least 3x) but not wildly
         // superlinear (at most 20x).
         assert!(last > first * 3.0, "S-sweep too flat: {first} -> {last}");
-        assert!(last < first * 20.0, "S-sweep superlinear: {first} -> {last}");
+        assert!(
+            last < first * 20.0,
+            "S-sweep superlinear: {first} -> {last}"
+        );
     }
 }

@@ -54,9 +54,16 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     ];
 
     let mut table = Table::new(
-        ["network", "Δ", "Alg1 slots (exact Δ)", "Alg2 slots (no knowledge)", "overhead", "Thm2 bound"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "network",
+            "Δ",
+            "Alg1 slots (exact Δ)",
+            "Alg2 slots (no knowledge)",
+            "overhead",
+            "Thm2 bound",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
 
     for (name, net) in &nets {

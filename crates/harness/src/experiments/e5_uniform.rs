@@ -34,16 +34,23 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         .expect("ring networks are always valid");
 
     let mut table = Table::new(
-        ["Δ_est", "Alg1 slots", "Alg3 slots", "Alg3/Alg1", "Thm1 bound", "Thm3 bound"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "Δ_est",
+            "Alg1 slots",
+            "Alg3 slots",
+            "Alg3/Alg1",
+            "Thm1 bound",
+            "Thm3 bound",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut ratios = Vec::new();
     for &dest in estimates {
         let params = SyncParams::new(dest).expect("positive");
         let bounds = Bounds::from_network(&net, dest, EPSILON);
-        let budget = ((bounds.theorem1_slots() + bounds.theorem3_slots()).ceil() as u64 * 4)
-            .max(10_000);
+        let budget =
+            ((bounds.theorem1_slots() + bounds.theorem3_slots()).ceil() as u64 * 4).max(10_000);
         let staged = measure_sync(
             &net,
             SyncAlgorithm::Staged(params),
@@ -85,7 +92,9 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         ratios.first().copied().unwrap_or(0.0),
         ratios.last().copied().unwrap_or(0.0),
     ));
-    report.note(format!("ring N={N}, S={UNIVERSE}, ε={EPSILON}, reps={reps}"));
+    report.note(format!(
+        "ring N={N}, S={UNIVERSE}, ε={EPSILON}, reps={reps}"
+    ));
     report
 }
 

@@ -34,9 +34,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let budget_tail = (bounds.theorem3_slots().ceil() as u64 * 6).max(20_000);
 
     let mut table = Table::new(
-        ["start window W", "Alg3 slots after Tₛ", "ci95", "Alg1 slots after Tₛ", "Thm3 bound"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "start window W",
+            "Alg3 slots after Tₛ",
+            "ci95",
+            "Alg1 slots after Tₛ",
+            "Thm3 bound",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut alg3_means = Vec::new();
     for &w in windows {
@@ -79,7 +85,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         table,
     );
     let spread = alg3_means.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / alg3_means.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / alg3_means
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     report.note(format!(
         "Alg3 column max/min = {spread:.2} across a {}x change in start spread — flat as predicted",
         windows.last().copied().unwrap_or(1).max(1)

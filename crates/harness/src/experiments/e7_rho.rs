@@ -26,9 +26,17 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let points: &[(u16, u16)] = &[(4, 0), (3, 1), (2, 2), (1, 3)];
 
     let mut table = Table::new(
-        ["ρ", "S", "Δ", "mean slots", "ci95", "mean × ρ", "Thm1 bound"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "ρ",
+            "S",
+            "Δ",
+            "mean slots",
+            "ci95",
+            "mean × ρ",
+            "Thm1 bound",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut normalized = Vec::new();
     for &(shared, private) in points {
@@ -68,7 +76,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         table,
     );
     let spread = normalized.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
-        / normalized.iter().cloned().fold(f64::INFINITY, f64::min).max(1e-9);
+        / normalized
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            .max(1e-9);
     report.note(format!(
         "mean×ρ max/min = {spread:.2}; flat confirms the inverse dependence \
          (the paper: 'the more heterogeneous the network is, the larger is the running time')"

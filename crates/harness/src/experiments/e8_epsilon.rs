@@ -31,9 +31,14 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         .expect("ring networks are always valid");
 
     let mut table = Table::new(
-        ["ε", "budget = Thm1 bound", "empirical failure rate", "mean slots (completed)"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "ε",
+            "budget = Thm1 bound",
+            "empirical failure rate",
+            "mean slots (completed)",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     let mut ok = true;
     for (k, &eps) in epsilons.iter().enumerate() {
@@ -71,7 +76,9 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     } else {
         "WARNING: an empirical failure rate exceeded ε".to_string()
     });
-    report.note(format!("ring N={N}, S={UNIVERSE}, Δ_est={DELTA_EST}, reps={reps}"));
+    report.note(format!(
+        "ring N={N}, S={UNIVERSE}, Δ_est={DELTA_EST}, reps={reps}"
+    ));
     report
 }
 

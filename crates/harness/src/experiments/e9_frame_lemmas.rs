@@ -12,9 +12,9 @@ use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::Table;
 use mmhew_time::{
-    admissible_sequence, check_admissible, find_aligned_pair_after, overlapping_frames,
-    DriftBound, DriftModel, DriftedClock, FrameSchedule, LocalDuration, LocalTime, Rate,
-    RealDuration, RealTime,
+    admissible_sequence, check_admissible, find_aligned_pair_after, overlapping_frames, DriftBound,
+    DriftModel, DriftedClock, FrameSchedule, LocalDuration, LocalTime, Rate, RealDuration,
+    RealTime,
 };
 use mmhew_util::SeedTree;
 use rand::Rng;
@@ -47,9 +47,7 @@ fn trial(seed: SeedTree, drift_v: &DriftModel, drift_u: &DriftModel) -> (bool, b
     let mut lemma7_violated = false;
     for _ in 0..6 {
         let t = RealTime::from_nanos(rng.gen_range(0..20 * FRAME_LEN));
-        if find_aligned_pair_after(t, &sched_v, &mut clock_v, &sched_u, &mut clock_u, 2)
-            .is_none()
-        {
+        if find_aligned_pair_after(t, &sched_v, &mut clock_v, &sched_u, &mut clock_u, 2).is_none() {
             lemma7_violated = true;
             break;
         }
@@ -75,9 +73,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let trials = effort.pick(300, 3_000);
 
     let mut table = Table::new(
-        ["drift model", "δ", "trials", "Lemma 4 violations", "Lemma 7 violations"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "drift model",
+            "δ",
+            "trials",
+            "Lemma 4 violations",
+            "Lemma 7 violations",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
 
     // Within Assumption 1: several behaviours (including the worst
@@ -153,30 +157,23 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     // of length ≥ M/6 under random admissible clocks.
     let lemma8_trials = trials / 3;
     let window_frames = 60u64;
-    let lemma8_failures: u64 = parallel_reps(
-        lemma8_trials,
-        seed.branch("lemma8"),
-        |_rep, s| {
-            let model = DriftModel::RandomPiecewise {
-                bound: DriftBound::PAPER,
-                segment: RealDuration::from_nanos(FRAME_LEN / 2),
-            };
-            let mut rng = s.branch("cfg").rng();
-            let off_v = LocalTime::from_nanos(rng.gen_range(0..2 * FRAME_LEN));
-            let off_u = LocalTime::from_nanos(rng.gen_range(0..2 * FRAME_LEN));
-            let mut cv = DriftedClock::new(model.clone(), off_v, s.branch("v"));
-            let mut cu = DriftedClock::new(model, off_u, s.branch("u"));
-            let sv = FrameSchedule::new(off_v, LocalDuration::from_nanos(FRAME_LEN));
-            let su = FrameSchedule::new(off_u, LocalDuration::from_nanos(FRAME_LEN));
-            let seq = admissible_sequence(
-                RealTime::ZERO, &sv, &mut cv, &su, &mut cu, window_frames,
-            );
-            let long_enough = seq.len() as u64 >= window_frames / 6;
-            let valid =
-                check_admissible(&seq, &sv, &mut cv, &su, &mut cu).is_none();
-            u64::from(!(long_enough && valid))
-        },
-    )
+    let lemma8_failures: u64 = parallel_reps(lemma8_trials, seed.branch("lemma8"), |_rep, s| {
+        let model = DriftModel::RandomPiecewise {
+            bound: DriftBound::PAPER,
+            segment: RealDuration::from_nanos(FRAME_LEN / 2),
+        };
+        let mut rng = s.branch("cfg").rng();
+        let off_v = LocalTime::from_nanos(rng.gen_range(0..2 * FRAME_LEN));
+        let off_u = LocalTime::from_nanos(rng.gen_range(0..2 * FRAME_LEN));
+        let mut cv = DriftedClock::new(model.clone(), off_v, s.branch("v"));
+        let mut cu = DriftedClock::new(model, off_u, s.branch("u"));
+        let sv = FrameSchedule::new(off_v, LocalDuration::from_nanos(FRAME_LEN));
+        let su = FrameSchedule::new(off_u, LocalDuration::from_nanos(FRAME_LEN));
+        let seq = admissible_sequence(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, window_frames);
+        let long_enough = seq.len() as u64 >= window_frames / 6;
+        let valid = check_admissible(&seq, &sv, &mut cv, &su, &mut cu).is_none();
+        u64::from(!(long_enough && valid))
+    })
     .into_iter()
     .sum();
     table.push_row(vec![

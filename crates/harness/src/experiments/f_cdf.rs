@@ -11,8 +11,7 @@ use crate::plot::AsciiPlot;
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
 use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm,
-    SyncParams,
+    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm, SyncParams,
 };
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
 use mmhew_time::LocalDuration;
@@ -79,9 +78,18 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     .collect();
 
     let mut table = Table::new(
-        ["algorithm (unit)", "p10", "p25", "p50", "p75", "p90", "p99", "max"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "algorithm (unit)",
+            "p10",
+            "p25",
+            "p50",
+            "p75",
+            "p90",
+            "p99",
+            "max",
+        ]
+        .map(String::from)
+        .to_vec(),
     );
     for (name, data) in [
         ("Alg 1 (slots)", &staged),
@@ -117,10 +125,7 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         let cdf = mmhew_util::ecdf(data);
         // Thin the curve for plotting.
         let step = (cdf.len() / 80).max(1);
-        plot.add_series(
-            name,
-            cdf.into_iter().step_by(step).collect(),
-        );
+        plot.add_series(name, cdf.into_iter().step_by(step).collect());
     }
     report.figure("empirical CDF of per-link coverage time", plot.render());
     report
@@ -140,7 +145,10 @@ mod tests {
                 .map(|c| c.parse().expect("numeric"))
                 .collect();
             for pair in vals.windows(2) {
-                assert!(pair[0] <= pair[1] + 1e-9, "deciles must be monotone: {row:?}");
+                assert!(
+                    pair[0] <= pair[1] + 1e-9,
+                    "deciles must be monotone: {row:?}"
+                );
             }
             // Long tail: max well above median.
             assert!(vals[6] > vals[2] * 1.5, "expected a tail in {row:?}");

@@ -1,15 +1,6 @@
 //! The reproduction experiment suite (see DESIGN.md §5 for the index).
 
 pub mod common;
-pub mod e1_n_scaling;
-pub mod e2_dest_scaling;
-pub mod e3_s_delta;
-pub mod e4_adaptive;
-pub mod e5_uniform;
-pub mod e6_variable_start;
-pub mod e7_rho;
-pub mod e8_epsilon;
-pub mod e9_frame_lemmas;
 pub mod e10_async;
 pub mod e11_baseline;
 pub mod e12_asymmetric;
@@ -20,4 +11,14 @@ pub mod e16_burst_plan;
 pub mod e17_growth;
 pub mod e18_termination;
 pub mod e19_exact_probability;
+pub mod e1_n_scaling;
+pub mod e20_contention;
+pub mod e2_dest_scaling;
+pub mod e3_s_delta;
+pub mod e4_adaptive;
+pub mod e5_uniform;
+pub mod e6_variable_start;
+pub mod e7_rho;
+pub mod e8_epsilon;
+pub mod e9_frame_lemmas;
 pub mod f_cdf;

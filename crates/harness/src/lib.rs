@@ -27,5 +27,5 @@ pub mod table;
 
 pub use experiment::{Effort, ExperimentReport};
 pub use plot::AsciiPlot;
-pub use sweep::parallel_reps;
+pub use sweep::{parallel_reps, reps_completed};
 pub use table::{fmt_f64, Table};

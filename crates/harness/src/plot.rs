@@ -75,9 +75,7 @@ impl AsciiPlot {
             .enumerate()
             .flat_map(|(si, (_, pts))| {
                 pts.iter()
-                    .filter(|(x, y)| {
-                        (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0)
-                    })
+                    .filter(|(x, y)| (!self.log_x || *x > 0.0) && (!self.log_y || *y > 0.0))
                     .map(move |&(x, y)| (si, tx(x), ty(y)))
             })
             .collect();
@@ -122,10 +120,7 @@ impl AsciiPlot {
             } else {
                 " ".repeat(label_w)
             };
-            out.push_str(&format!(
-                "{label} |{}|\n",
-                row.iter().collect::<String>()
-            ));
+            out.push_str(&format!("{label} |{}|\n", row.iter().collect::<String>()));
         }
         out.push_str(&format!(
             "{} {}{}\n",
@@ -210,7 +205,10 @@ mod tests {
     #[test]
     fn log_axes_drop_nonpositive_and_label() {
         let mut p = AsciiPlot::new(20, 6).log_x().log_y();
-        p.add_series("pow", vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0), (0.0, 1.0)]);
+        p.add_series(
+            "pow",
+            vec![(1.0, 1.0), (10.0, 100.0), (100.0, 10000.0), (0.0, 1.0)],
+        );
         let out = p.render();
         assert!(out.contains("(log x,y)"));
         assert!(out.contains("1.000e4"));

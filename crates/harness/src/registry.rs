@@ -28,6 +28,7 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E17", experiments::e17_growth::run),
         ("E18", experiments::e18_termination::run),
         ("E19", experiments::e19_exact_probability::run),
+        ("E20", experiments::e20_contention::run),
         ("F-CDF", experiments::f_cdf::run),
     ]
 }
@@ -78,10 +79,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let entries = all();
-        assert_eq!(entries.len(), 20);
-        let ids: std::collections::HashSet<&str> =
-            entries.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(entries.len(), 21);
+        let ids: std::collections::HashSet<&str> = entries.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]

@@ -1,6 +1,18 @@
 //! Parallel repetition of seeded simulation runs.
 
 use mmhew_util::SeedTree;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of repetitions finished by [`parallel_reps`] since
+/// startup. Monotone; read it before and after a batch to compute a
+/// throughput (`run_all` uses the delta for its per-experiment progress
+/// lines).
+static REPS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+
+/// Total repetitions completed by [`parallel_reps`] since process start.
+pub fn reps_completed() -> u64 {
+    REPS_COMPLETED.load(Ordering::Relaxed)
+}
 
 /// Runs `reps` independent repetitions of `f` (each handed its own
 /// [`SeedTree`] derived from `seed` and the repetition index) across
@@ -29,7 +41,13 @@ where
         .unwrap_or(1)
         .min(reps.max(1) as usize);
     if threads <= 1 || reps <= 1 {
-        return (0..reps).map(|rep| f(rep, seed.index(rep))).collect();
+        return (0..reps)
+            .map(|rep| {
+                let out = f(rep, seed.index(rep));
+                REPS_COMPLETED.fetch_add(1, Ordering::Relaxed);
+                out
+            })
+            .collect();
     }
     let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
     let chunk = reps.div_ceil(threads as u64) as usize;
@@ -40,6 +58,7 @@ where
                 for (k, slot) in slot_chunk.iter_mut().enumerate() {
                     let rep = (t * chunk + k) as u64;
                     *slot = Some(f(rep, seed.index(rep)));
+                    REPS_COMPLETED.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
@@ -66,7 +85,9 @@ mod tests {
     fn matches_sequential_with_seed_dependence() {
         let f = |rep: u64, seed: SeedTree| seed.branch("x").index(rep).seed();
         let par = parallel_reps(16, SeedTree::new(9), f);
-        let seq: Vec<u64> = (0..16).map(|rep| f(rep, SeedTree::new(9).index(rep))).collect();
+        let seq: Vec<u64> = (0..16)
+            .map(|rep| f(rep, SeedTree::new(9).index(rep)))
+            .collect();
         assert_eq!(par, seq);
     }
 
@@ -74,6 +95,15 @@ mod tests {
     fn zero_and_one_reps() {
         assert!(parallel_reps(0, SeedTree::new(0), |r, _| r).is_empty());
         assert_eq!(parallel_reps(1, SeedTree::new(0), |r, _| r + 5), vec![5]);
+    }
+
+    #[test]
+    fn completion_counter_is_monotone() {
+        let before = reps_completed();
+        let _ = parallel_reps(12, SeedTree::new(4), |r, _| r);
+        // Other tests in the process may also advance the counter, so only
+        // assert the lower bound from this batch.
+        assert!(reps_completed() >= before + 12);
     }
 
     #[test]

@@ -20,9 +20,20 @@ fn simulate_sync_happy_path() {
     let (stdout, stderr, ok) = run(
         env!("CARGO_BIN_EXE_simulate"),
         &[
-            "--topology", "ring", "--nodes", "8", "--universe", "4",
-            "--availability", "full", "--algorithm", "alg3", "--reps", "2",
-            "--seed", "5",
+            "--topology",
+            "ring",
+            "--nodes",
+            "8",
+            "--universe",
+            "4",
+            "--availability",
+            "full",
+            "--algorithm",
+            "alg3",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
         ],
     );
     assert!(ok, "simulate failed: {stderr}");
@@ -36,9 +47,20 @@ fn simulate_async_happy_path() {
     let (stdout, _, ok) = run(
         env!("CARGO_BIN_EXE_simulate"),
         &[
-            "--topology", "line", "--nodes", "4", "--universe", "2",
-            "--availability", "full", "--algorithm", "alg4", "--drift-den", "7",
-            "--reps", "1",
+            "--topology",
+            "line",
+            "--nodes",
+            "4",
+            "--universe",
+            "2",
+            "--availability",
+            "full",
+            "--algorithm",
+            "alg4",
+            "--drift-den",
+            "7",
+            "--reps",
+            "1",
         ],
     );
     assert!(ok);
@@ -48,10 +70,7 @@ fn simulate_async_happy_path() {
 
 #[test]
 fn simulate_rejects_bad_flags() {
-    let (_, stderr, ok) = run(
-        env!("CARGO_BIN_EXE_simulate"),
-        &["--algorithm", "bogus"],
-    );
+    let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_simulate"), &["--algorithm", "bogus"]);
     assert!(!ok, "bogus algorithm must fail");
     assert!(stderr.contains("UnknownVariant"), "{stderr}");
 }

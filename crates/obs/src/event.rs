@@ -1,0 +1,306 @@
+//! The typed simulation event vocabulary shared by both engines.
+//!
+//! Every observable thing that happens inside [`SyncEngine`] or
+//! [`AsyncEngine`] is described by one [`SimEvent`] variant. The slotted
+//! engine stamps events with [`Stamp::Slot`]; the continuous-time engine
+//! stamps them with [`Stamp::Real`] and additionally reports each node's
+//! *local* clock reading at frame boundaries — the quantity the async
+//! analysis (Lemmas 4–6) actually reasons about.
+//!
+//! [`SyncEngine`]: https://docs.rs/mmhew-engine
+//! [`AsyncEngine`]: https://docs.rs/mmhew-engine
+
+use mmhew_radio::SlotAction;
+use mmhew_spectrum::ChannelId;
+use mmhew_time::{LocalTime, RealTime};
+use mmhew_topology::NodeId;
+use serde::Serialize;
+
+/// When an event happened: a global slot index (slotted engine) or a real
+/// timestamp (continuous-time engine).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Stamp {
+    /// Global slot index in the synchronized-slot engine.
+    Slot(u64),
+    /// Real (global) time in the event-driven engine.
+    Real(RealTime),
+}
+
+/// How one channel resolved in one slot, network-wide.
+///
+/// `Clear` means exactly one transmitter occupied the channel (its beacon
+/// reaches every listening neighbor); `Collision` means two or more
+/// transmitters contended; `Silence` means someone listened but nobody
+/// transmitted — a wasted listen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum MediumResolution {
+    /// A single transmitter; `rx_count` neighbors received it cleanly.
+    Clear { tx: NodeId, rx_count: u32 },
+    /// `contenders` simultaneous transmitters destroyed each other.
+    Collision { contenders: u32 },
+    /// `listeners` nodes listened but nobody transmitted.
+    Silence { listeners: u32 },
+}
+
+impl MediumResolution {
+    /// Number of simultaneous transmitters on the channel.
+    pub fn contenders(&self) -> u32 {
+        match *self {
+            MediumResolution::Clear { .. } => 1,
+            MediumResolution::Collision { contenders } => contenders,
+            MediumResolution::Silence { .. } => 0,
+        }
+    }
+}
+
+/// A protocol-internal phase, reported via `SyncProtocol::phase` /
+/// `AsyncProtocol::phase` and emitted as a [`SimEvent::Phase`] whenever it
+/// changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ProtocolPhase {
+    /// Algorithm 1 stage index (each stage is one pass over slot
+    /// probabilities `1/2, 1/4, ..., 1/2^⌈lg Δ⌉`).
+    Stage(u64),
+    /// Algorithm 2's current neighbor-count estimate.
+    Estimate(u64),
+    /// The node's termination detector has voted to stop.
+    Terminated,
+}
+
+/// One observable simulation event.
+///
+/// Both engines emit the same vocabulary; engine-specific variants are
+/// `SlotStart` (slotted only) and `FrameStart`/`FrameEnd` (async only).
+/// Everything else — actions, per-channel medium resolution, deliveries,
+/// link coverage, phase transitions — is shared.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[serde(rename_all = "snake_case")]
+pub enum SimEvent {
+    /// A globally synchronized slot is about to execute.
+    SlotStart { slot: u64 },
+    /// A node's frame begins (async engine). `local` is the node's own
+    /// drifting-clock reading at the boundary; `real` is global time.
+    FrameStart {
+        node: NodeId,
+        frame: u64,
+        real: RealTime,
+        local: LocalTime,
+    },
+    /// A node's frame ends and its pending listen window resolves.
+    FrameEnd {
+        node: NodeId,
+        frame: u64,
+        real: RealTime,
+        local: LocalTime,
+    },
+    /// The action a node chose this slot/frame.
+    Action {
+        at: Stamp,
+        node: NodeId,
+        action: SlotAction,
+    },
+    /// Network-wide resolution of one channel in one slot.
+    Channel {
+        at: Stamp,
+        channel: ChannelId,
+        resolution: MediumResolution,
+    },
+    /// A beacon was delivered cleanly from `from` to `to`.
+    Delivery {
+        at: Stamp,
+        from: NodeId,
+        to: NodeId,
+        channel: ChannelId,
+    },
+    /// `count` would-be receptions were destroyed by channel impairments.
+    ImpairmentLoss { at: Stamp, count: u64 },
+    /// The directed link `from → to` was covered for the first time;
+    /// `covered`/`expected` is the tracker's running progress.
+    LinkCovered {
+        at: Stamp,
+        from: NodeId,
+        to: NodeId,
+        covered: u64,
+        expected: u64,
+    },
+    /// A node's protocol moved to a new phase.
+    Phase {
+        at: Stamp,
+        node: NodeId,
+        phase: ProtocolPhase,
+    },
+}
+
+impl SimEvent {
+    /// The snake_case tag this event serializes under — the event
+    /// vocabulary name.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::SlotStart { .. } => "slot_start",
+            SimEvent::FrameStart { .. } => "frame_start",
+            SimEvent::FrameEnd { .. } => "frame_end",
+            SimEvent::Action { .. } => "action",
+            SimEvent::Channel { .. } => "channel",
+            SimEvent::Delivery { .. } => "delivery",
+            SimEvent::ImpairmentLoss { .. } => "impairment_loss",
+            SimEvent::LinkCovered { .. } => "link_covered",
+            SimEvent::Phase { .. } => "phase",
+        }
+    }
+}
+
+/// A consumer of simulation events.
+///
+/// Engines call [`EventSink::on_event`] for every event, but only when
+/// [`EventSink::enabled`] returns `true` — a disabled sink (the
+/// [`NullSink`]) lets the engine skip event *construction* entirely, so
+/// the instrumented hot loop costs one branch per slot.
+pub trait EventSink {
+    /// Consume one event.
+    fn on_event(&mut self, event: &SimEvent);
+
+    /// Whether the engine should bother assembling events at all.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost default sink: reports itself disabled so engines skip
+/// all event assembly. Guarded by the `sync_engine_null_sink` bench in
+/// `crates/bench`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline]
+    fn on_event(&mut self, _event: &SimEvent) {}
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Broadcasts each event to several sinks (e.g. a trace file *and* live
+/// metrics in the same run).
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// Wraps `sinks`; disabled members are skipped per event.
+    pub fn new(sinks: Vec<&'a mut dyn EventSink>) -> Self {
+        Self { sinks }
+    }
+}
+
+impl EventSink for FanoutSink<'_> {
+    fn on_event(&mut self, event: &SimEvent) {
+        for sink in &mut self.sinks {
+            if sink.enabled() {
+                sink.on_event(event);
+            }
+        }
+    }
+
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+}
+
+/// A sink that stores every event — handy in tests.
+#[derive(Debug, Default)]
+pub struct CollectSink {
+    /// Events in arrival order.
+    pub events: Vec<SimEvent>,
+}
+
+impl CollectSink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Distinct event kinds seen, in first-arrival order.
+    pub fn kinds(&self) -> Vec<&'static str> {
+        let mut seen = Vec::new();
+        for e in &self.events {
+            let k = e.kind();
+            if !seen.contains(&k) {
+                seen.push(k);
+            }
+        }
+        seen
+    }
+}
+
+impl EventSink for CollectSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.events.push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_is_disabled() {
+        let mut sink = NullSink;
+        assert!(!sink.enabled());
+        sink.on_event(&SimEvent::SlotStart { slot: 0 });
+    }
+
+    #[test]
+    fn collect_sink_records_and_dedups_kinds() {
+        let mut sink = CollectSink::new();
+        assert!(sink.enabled());
+        sink.on_event(&SimEvent::SlotStart { slot: 0 });
+        sink.on_event(&SimEvent::SlotStart { slot: 1 });
+        sink.on_event(&SimEvent::Phase {
+            at: Stamp::Slot(1),
+            node: NodeId::new(0),
+            phase: ProtocolPhase::Stage(2),
+        });
+        assert_eq!(sink.events.len(), 3);
+        assert_eq!(sink.kinds(), vec!["slot_start", "phase"]);
+    }
+
+    #[test]
+    fn fanout_forwards_to_enabled_members_only() {
+        let mut a = CollectSink::new();
+        let mut b = NullSink;
+        let mut fan = FanoutSink::new(vec![&mut a, &mut b]);
+        assert!(fan.enabled());
+        fan.on_event(&SimEvent::SlotStart { slot: 7 });
+        drop(fan);
+        assert_eq!(a.events.len(), 1);
+    }
+
+    #[test]
+    fn fanout_of_disabled_sinks_is_disabled() {
+        let mut a = NullSink;
+        let fan = FanoutSink::new(vec![&mut a]);
+        assert!(!fan.enabled());
+    }
+
+    #[test]
+    fn contenders_by_resolution() {
+        assert_eq!(
+            MediumResolution::Clear {
+                tx: NodeId::new(3),
+                rx_count: 2
+            }
+            .contenders(),
+            1
+        );
+        assert_eq!(
+            MediumResolution::Collision { contenders: 4 }.contenders(),
+            4
+        );
+        assert_eq!(MediumResolution::Silence { listeners: 1 }.contenders(), 0);
+    }
+}

@@ -1,0 +1,706 @@
+//! A minimal JSON serializer for [`serde::Serialize`] types.
+//!
+//! The workspace deliberately keeps its third-party surface small and does
+//! not depend on `serde_json`; this module implements the subset of JSON
+//! serialization the observability layer needs — structs, enums (all four
+//! variant flavours), sequences, maps (scalar keys are stringified, as JSON
+//! requires), options, and primitives. Output is deterministic: the same
+//! value always serializes to the same bytes, which is what makes
+//! same-seed JSONL traces byte-comparable.
+
+use std::fmt::{self, Display, Write as _};
+
+use serde::ser::{self, Serialize};
+
+/// Serialization error (message-only; this serializer itself is
+/// infallible except for unsupported map keys and user `custom` errors).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Serializes `value` to a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_json(value, &mut out)?;
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON appended to `out`.
+///
+/// On error `out` may contain a partial prefix; callers that reuse a
+/// buffer should clear it on failure.
+pub fn write_json<T: ?Sized + Serialize>(value: &T, out: &mut String) -> Result<(), Error> {
+    value.serialize(&mut JsonSerializer { out })
+}
+
+struct JsonSerializer<'b> {
+    out: &'b mut String,
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+impl<'a, 'b> ser::Serializer for &'a mut JsonSerializer<'b> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.serialize_i64(v as i64)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.serialize_u64(v as u64)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        let _ = write!(self.out, "{v}");
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        push_f64(self.out, v as f64);
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        push_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        let mut buf = [0u8; 4];
+        push_escaped(self.out, v.encode_utf8(&mut buf));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        push_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), Error> {
+        self.out.push('[');
+        for (i, b) in v.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{b}");
+        }
+        self.out.push(']');
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        self.serialize_unit()
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        push_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push(':');
+        value.serialize(&mut *self)?;
+        self.out.push('}');
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('[');
+        Ok(Compound::new(self, "]"))
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a, 'b>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        len: usize,
+    ) -> Result<Compound<'a, 'b>, Error> {
+        self.serialize_seq(Some(len))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push_str(":[");
+        Ok(Compound::new(self, "]}"))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        Ok(Compound::new(self, "}"))
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        Ok(Compound::new(self, "}"))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'b>, Error> {
+        self.out.push('{');
+        push_escaped(self.out, variant);
+        self.out.push_str(":{");
+        Ok(Compound::new(self, "}}"))
+    }
+}
+
+/// In-progress sequence / map / struct; `close` is appended at `end()`.
+pub struct Compound<'a, 'b> {
+    ser: &'a mut JsonSerializer<'b>,
+    first: bool,
+    close: &'static str,
+}
+
+impl<'a, 'b> Compound<'a, 'b> {
+    fn new(ser: &'a mut JsonSerializer<'b>, close: &'static str) -> Self {
+        Self {
+            ser,
+            first: true,
+            close,
+        }
+    }
+
+    fn comma(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.ser.out.push(',');
+        }
+    }
+
+    fn finish(self) {
+        self.ser.out.push_str(self.close);
+    }
+}
+
+impl ser::SerializeSeq for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.comma();
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        ser::SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeSeq::end(self)
+    }
+}
+
+impl ser::SerializeMap for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> Result<(), Error> {
+        self.comma();
+        key.serialize(&mut KeySerializer {
+            out: &mut *self.ser.out,
+        })
+    }
+
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.comma();
+        push_escaped(self.ser.out, key);
+        self.ser.out.push(':');
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish();
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        ser::SerializeStruct::serialize_field(self, key, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        ser::SerializeStruct::end(self)
+    }
+}
+
+/// Serializes a map key: JSON keys must be strings, so scalars are
+/// rendered inside quotes (`3` → `"3"`). Newtype wrappers (e.g. `NodeId`)
+/// unwrap to their inner scalar. Anything structural is an error.
+struct KeySerializer<'b> {
+    out: &'b mut String,
+}
+
+impl KeySerializer<'_> {
+    fn quoted<T: Display>(&mut self, v: T) -> Result<(), Error> {
+        let _ = write!(self.out, "\"{v}\"");
+        Ok(())
+    }
+
+    fn unsupported(kind: &str) -> Error {
+        Error(format!("cannot use {kind} as a JSON map key"))
+    }
+}
+
+impl ser::Serializer for &mut KeySerializer<'_> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = ser::Impossible<(), Error>;
+    type SerializeTuple = ser::Impossible<(), Error>;
+    type SerializeTupleStruct = ser::Impossible<(), Error>;
+    type SerializeTupleVariant = ser::Impossible<(), Error>;
+    type SerializeMap = ser::Impossible<(), Error>;
+    type SerializeStruct = ser::Impossible<(), Error>;
+    type SerializeStructVariant = ser::Impossible<(), Error>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        self.quoted(v)
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), Error> {
+        let mut buf = [0u8; 4];
+        push_escaped(self.out, v.encode_utf8(&mut buf));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        push_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
+        Err(KeySerializer::unsupported("bytes"))
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        Err(KeySerializer::unsupported("None"))
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, _value: &T) -> Result<(), Error> {
+        Err(KeySerializer::unsupported("Some"))
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        Err(KeySerializer::unsupported("unit"))
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+        Err(KeySerializer::unsupported("unit struct"))
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        push_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _value: &T,
+    ) -> Result<(), Error> {
+        Err(KeySerializer::unsupported("newtype variant"))
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
+        Err(KeySerializer::unsupported("sequence"))
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Self::SerializeTuple, Error> {
+        Err(KeySerializer::unsupported("tuple"))
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleStruct, Error> {
+        Err(KeySerializer::unsupported("tuple struct"))
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeTupleVariant, Error> {
+        Err(KeySerializer::unsupported("tuple variant"))
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
+        Err(KeySerializer::unsupported("map"))
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStruct, Error> {
+        Err(KeySerializer::unsupported("struct"))
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Self::SerializeStructVariant, Error> {
+        Err(KeySerializer::unsupported("struct variant"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::BTreeMap;
+
+    use serde::Serialize;
+
+    use super::to_string;
+
+    #[derive(Serialize)]
+    struct Point {
+        x: i32,
+        y: i32,
+    }
+
+    #[derive(Serialize, PartialEq, Eq, PartialOrd, Ord)]
+    struct Wrapper(u64);
+
+    #[derive(Serialize)]
+    #[serde(rename_all = "snake_case")]
+    enum Shape {
+        UnitKind,
+        NewtypeKind(u32),
+        TupleKind(u32, bool),
+        StructKind { a: u8 },
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&-5i32).unwrap(), "-5");
+        assert_eq!(to_string(&7u64).unwrap(), "7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string("a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(to_string(&'x').unwrap(), "\"x\"");
+    }
+
+    #[test]
+    fn options_and_unit() {
+        assert_eq!(to_string(&Option::<u32>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(3u32)).unwrap(), "3");
+        assert_eq!(to_string(&()).unwrap(), "null");
+    }
+
+    #[test]
+    fn structs_and_newtypes() {
+        assert_eq!(
+            to_string(&Point { x: 1, y: -2 }).unwrap(),
+            "{\"x\":1,\"y\":-2}"
+        );
+        assert_eq!(to_string(&Wrapper(9)).unwrap(), "9");
+    }
+
+    #[test]
+    fn sequences() {
+        assert_eq!(to_string(&vec![1u32, 2, 3]).unwrap(), "[1,2,3]");
+        assert_eq!(to_string(&(1u8, "a")).unwrap(), "[1,\"a\"]");
+        let empty: Vec<u32> = Vec::new();
+        assert_eq!(to_string(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn all_enum_variant_flavours() {
+        assert_eq!(to_string(&Shape::UnitKind).unwrap(), "\"unit_kind\"");
+        assert_eq!(
+            to_string(&Shape::NewtypeKind(4)).unwrap(),
+            "{\"newtype_kind\":4}"
+        );
+        assert_eq!(
+            to_string(&Shape::TupleKind(4, true)).unwrap(),
+            "{\"tuple_kind\":[4,true]}"
+        );
+        assert_eq!(
+            to_string(&Shape::StructKind { a: 1 }).unwrap(),
+            "{\"struct_kind\":{\"a\":1}}"
+        );
+    }
+
+    #[test]
+    fn maps_stringify_scalar_keys() {
+        let mut m = BTreeMap::new();
+        m.insert(2u32, "b");
+        m.insert(10u32, "a");
+        assert_eq!(to_string(&m).unwrap(), "{\"2\":\"b\",\"10\":\"a\"}");
+
+        let mut s = BTreeMap::new();
+        s.insert("k", vec![1u8]);
+        assert_eq!(to_string(&s).unwrap(), "{\"k\":[1]}");
+    }
+
+    #[test]
+    fn newtype_map_keys_unwrap() {
+        let mut m = BTreeMap::new();
+        m.insert(Wrapper(3), true);
+        assert_eq!(to_string(&m).unwrap(), "{\"3\":true}");
+    }
+
+    #[test]
+    fn nested() {
+        #[derive(Serialize)]
+        struct Outer {
+            items: Vec<Point>,
+            tag: Option<Shape>,
+        }
+        let v = Outer {
+            items: vec![Point { x: 0, y: 1 }],
+            tag: Some(Shape::UnitKind),
+        };
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"items\":[{\"x\":0,\"y\":1}],\"tag\":\"unit_kind\"}"
+        );
+    }
+}

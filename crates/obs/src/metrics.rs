@@ -1,0 +1,555 @@
+//! In-memory aggregation of simulation events into per-node and
+//! per-channel counters, contention histograms, and summary rates.
+
+use mmhew_radio::SlotAction;
+use mmhew_util::Histogram;
+use serde::Serialize;
+
+use crate::event::{EventSink, MediumResolution, SimEvent, Stamp};
+
+/// Largest contender count the contention histogram resolves exactly;
+/// larger counts land in the overflow bucket.
+const CONTENTION_BINS: usize = 16;
+
+/// Per-node activity totals, mirroring the engine's `ActionCounts`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct NodeActivity {
+    /// Slots/frames spent transmitting.
+    pub transmit: u64,
+    /// Slots/frames spent listening.
+    pub listen: u64,
+    /// Slots spent quiet (radio off).
+    pub quiet: u64,
+}
+
+impl NodeActivity {
+    /// Total observed slots/frames for this node.
+    pub fn total(&self) -> u64 {
+        self.transmit + self.listen + self.quiet
+    }
+
+    /// Fraction of observed slots with the radio on (transmit or listen).
+    pub fn busy_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.transmit + self.listen) as f64 / total as f64
+        }
+    }
+}
+
+/// Per-channel medium statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct ChannelActivity {
+    /// Slots where exactly one node transmitted on this channel.
+    pub clear: u64,
+    /// Slots where two or more nodes transmitted (all lost).
+    pub collision: u64,
+    /// Slots where someone listened but nobody transmitted.
+    pub silence: u64,
+    /// Clean beacon deliveries on this channel.
+    pub deliveries: u64,
+    /// Sum of contender counts over active (clear or collision) slots.
+    pub contenders_sum: u64,
+    /// Distribution of simultaneous transmitters over active slots.
+    pub contention: Histogram,
+}
+
+impl Default for ChannelActivity {
+    fn default() -> Self {
+        Self {
+            clear: 0,
+            collision: 0,
+            silence: 0,
+            deliveries: 0,
+            contenders_sum: 0,
+            contention: Histogram::new(0.0, CONTENTION_BINS as f64, CONTENTION_BINS),
+        }
+    }
+}
+
+impl ChannelActivity {
+    /// Active slots: some transmitter occupied the channel.
+    pub fn active(&self) -> u64 {
+        self.clear + self.collision
+    }
+
+    /// Fraction of active slots that collided.
+    pub fn collision_rate(&self) -> f64 {
+        let active = self.active();
+        if active == 0 {
+            0.0
+        } else {
+            self.collision as f64 / active as f64
+        }
+    }
+
+    /// Mean simultaneous transmitters over active slots.
+    pub fn mean_contenders(&self) -> f64 {
+        let active = self.active();
+        if active == 0 {
+            0.0
+        } else {
+            self.contenders_sum as f64 / active as f64
+        }
+    }
+
+    fn merge(&mut self, other: &ChannelActivity) {
+        self.clear += other.clear;
+        self.collision += other.collision;
+        self.silence += other.silence;
+        self.deliveries += other.deliveries;
+        self.contenders_sum += other.contenders_sum;
+        self.contention.merge(&other.contention);
+    }
+}
+
+/// An [`EventSink`] that aggregates events into per-node / per-channel
+/// counters plus whole-run summaries.
+///
+/// Optionally records a *collision time series* per channel (collisions
+/// per fixed-width slot window) for contention-over-time diagnostics such
+/// as the `e20_contention` harness binary. Sinks from independent
+/// repetitions combine with [`MetricsSink::merge`].
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct MetricsSink {
+    slots: u64,
+    frames: u64,
+    deliveries: u64,
+    impairment_losses: u64,
+    links_covered: u64,
+    links_expected: u64,
+    phase_transitions: u64,
+    nodes: Vec<NodeActivity>,
+    channels: Vec<ChannelActivity>,
+    /// Slot-window width for the collision series; 0 disables it.
+    series_window: u64,
+    /// `collision_series[channel][window]` = collisions in that window.
+    collision_series: Vec<Vec<u64>>,
+    current_slot: u64,
+}
+
+impl MetricsSink {
+    /// A sink with summaries only (no time series).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink that additionally buckets collisions per channel into
+    /// windows of `window_slots` slots (slotted engine only).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_slots == 0`.
+    pub fn with_collision_series(window_slots: u64) -> Self {
+        assert!(window_slots > 0, "window must be at least one slot");
+        Self {
+            series_window: window_slots,
+            ..Self::default()
+        }
+    }
+
+    fn node_mut(&mut self, i: usize) -> &mut NodeActivity {
+        if self.nodes.len() <= i {
+            self.nodes.resize(i + 1, NodeActivity::default());
+        }
+        &mut self.nodes[i]
+    }
+
+    fn channel_mut(&mut self, c: usize) -> &mut ChannelActivity {
+        if self.channels.len() <= c {
+            self.channels.resize(c + 1, ChannelActivity::default());
+        }
+        if self.series_window > 0 && self.collision_series.len() <= c {
+            self.collision_series.resize(c + 1, Vec::new());
+        }
+        &mut self.channels[c]
+    }
+
+    /// Slots observed (slotted engine).
+    pub fn slots(&self) -> u64 {
+        self.slots
+    }
+
+    /// Frames observed (async engine, summed over nodes).
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Clean beacon deliveries observed.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// Receptions destroyed by impairments.
+    pub fn impairment_losses(&self) -> u64 {
+        self.impairment_losses
+    }
+
+    /// Links first-covered so far (and the tracker's expected total).
+    pub fn link_progress(&self) -> (u64, u64) {
+        (self.links_covered, self.links_expected)
+    }
+
+    /// Protocol phase transitions observed.
+    pub fn phase_transitions(&self) -> u64 {
+        self.phase_transitions
+    }
+
+    /// Per-node activity (indexed by node id; absent nodes are default).
+    pub fn nodes(&self) -> &[NodeActivity] {
+        &self.nodes
+    }
+
+    /// Activity for node `i` (default if never observed).
+    pub fn node(&self, i: usize) -> NodeActivity {
+        self.nodes.get(i).copied().unwrap_or_default()
+    }
+
+    /// Per-channel activity (indexed by channel id).
+    pub fn channels(&self) -> &[ChannelActivity] {
+        &self.channels
+    }
+
+    /// Fraction of observed node-slots with the radio on, over all nodes.
+    pub fn busy_fraction(&self) -> f64 {
+        let total: u64 = self.nodes.iter().map(NodeActivity::total).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let busy: u64 = self.nodes.iter().map(|n| n.transmit + n.listen).sum();
+        busy as f64 / total as f64
+    }
+
+    /// Fraction of active channel-slots that collided, over all channels.
+    pub fn collision_rate(&self) -> f64 {
+        let active: u64 = self.channels.iter().map(ChannelActivity::active).sum();
+        if active == 0 {
+            return 0.0;
+        }
+        let collisions: u64 = self.channels.iter().map(|c| c.collision).sum();
+        collisions as f64 / active as f64
+    }
+
+    /// Per-channel collision counts per window (empty unless constructed
+    /// via [`MetricsSink::with_collision_series`]).
+    pub fn collision_series(&self) -> &[Vec<u64>] {
+        &self.collision_series
+    }
+
+    /// Window width (slots) of the collision series; 0 when disabled.
+    pub fn series_window(&self) -> u64 {
+        self.series_window
+    }
+
+    /// Adds every count from `other` (an independent repetition) into
+    /// `self`. Time series are merged window-by-window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sinks use different series windows.
+    pub fn merge(&mut self, other: &MetricsSink) {
+        assert_eq!(
+            self.series_window, other.series_window,
+            "cannot merge metrics with different series windows"
+        );
+        self.slots += other.slots;
+        self.frames += other.frames;
+        self.deliveries += other.deliveries;
+        self.impairment_losses += other.impairment_losses;
+        self.links_covered += other.links_covered;
+        self.links_expected = self.links_expected.max(other.links_expected);
+        self.phase_transitions += other.phase_transitions;
+        for (i, n) in other.nodes.iter().enumerate() {
+            let mine = self.node_mut(i);
+            mine.transmit += n.transmit;
+            mine.listen += n.listen;
+            mine.quiet += n.quiet;
+        }
+        for (c, ch) in other.channels.iter().enumerate() {
+            self.channel_mut(c).merge(ch);
+        }
+        for (c, series) in other.collision_series.iter().enumerate() {
+            if self.collision_series.len() <= c {
+                self.collision_series.resize(c + 1, Vec::new());
+            }
+            let mine = &mut self.collision_series[c];
+            if mine.len() < series.len() {
+                mine.resize(series.len(), 0);
+            }
+            for (w, n) in series.iter().enumerate() {
+                mine[w] += n;
+            }
+        }
+    }
+
+    /// Renders a human-readable multi-line summary (for `simulate
+    /// --metrics`).
+    pub fn render_summary(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "metrics: {} slots, {} frames, {} deliveries, {} impairment losses, \
+             {} phase transitions",
+            self.slots,
+            self.frames,
+            self.deliveries,
+            self.impairment_losses,
+            self.phase_transitions
+        );
+        let _ = writeln!(
+            out,
+            "busy fraction {:.3}, overall collision rate {:.3}, links covered {}/{}",
+            self.busy_fraction(),
+            self.collision_rate(),
+            self.links_covered,
+            self.links_expected
+        );
+        let _ = writeln!(
+            out,
+            "  {:>8} {:>8} {:>10} {:>8} {:>10} {:>10} {:>10}",
+            "channel", "clear", "collision", "silence", "deliver", "coll rate", "contenders"
+        );
+        for (c, ch) in self.channels.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>8} {:>8} {:>10} {:>8} {:>10} {:>10.3} {:>10.2}",
+                format!("ch{c}"),
+                ch.clear,
+                ch.collision,
+                ch.silence,
+                ch.deliveries,
+                ch.collision_rate(),
+                ch.mean_contenders()
+            );
+        }
+        let _ = writeln!(
+            out,
+            "  {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "node", "tx", "listen", "quiet", "busy"
+        );
+        for (i, n) in self.nodes.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {:>8} {:>8} {:>8} {:>8} {:>8.3}",
+                format!("n{i}"),
+                n.transmit,
+                n.listen,
+                n.quiet,
+                n.busy_fraction()
+            );
+        }
+        out
+    }
+}
+
+impl EventSink for MetricsSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        match *event {
+            SimEvent::SlotStart { slot } => {
+                self.slots += 1;
+                self.current_slot = slot;
+            }
+            SimEvent::FrameStart { .. } => {}
+            SimEvent::FrameEnd { .. } => {
+                self.frames += 1;
+            }
+            SimEvent::Action { node, action, .. } => {
+                let n = self.node_mut(node.as_usize());
+                match action {
+                    SlotAction::Transmit { .. } => n.transmit += 1,
+                    SlotAction::Listen { .. } => n.listen += 1,
+                    SlotAction::Quiet => n.quiet += 1,
+                }
+            }
+            SimEvent::Channel {
+                at,
+                channel,
+                resolution,
+            } => {
+                let window = self.series_window;
+                let ch = self.channel_mut(channel.index() as usize);
+                match resolution {
+                    MediumResolution::Clear { .. } => {
+                        ch.clear += 1;
+                        ch.contenders_sum += 1;
+                        ch.contention.record(1.0);
+                    }
+                    MediumResolution::Collision { contenders } => {
+                        ch.collision += 1;
+                        ch.contenders_sum += contenders as u64;
+                        ch.contention.record(contenders as f64);
+                        if window > 0 {
+                            if let Stamp::Slot(slot) = at {
+                                let w = (slot / window) as usize;
+                                let series = &mut self.collision_series[channel.index() as usize];
+                                if series.len() <= w {
+                                    series.resize(w + 1, 0);
+                                }
+                                series[w] += 1;
+                            }
+                        }
+                    }
+                    MediumResolution::Silence { .. } => ch.silence += 1,
+                }
+            }
+            SimEvent::Delivery { channel, .. } => {
+                self.deliveries += 1;
+                self.channel_mut(channel.index() as usize).deliveries += 1;
+            }
+            SimEvent::ImpairmentLoss { count, .. } => {
+                self.impairment_losses += count;
+            }
+            SimEvent::LinkCovered {
+                covered, expected, ..
+            } => {
+                self.links_covered = self.links_covered.max(covered);
+                self.links_expected = self.links_expected.max(expected);
+            }
+            SimEvent::Phase { .. } => {
+                self.phase_transitions += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mmhew_spectrum::ChannelId;
+    use mmhew_topology::NodeId;
+
+    use super::*;
+    use crate::event::ProtocolPhase;
+
+    fn slot_events() -> Vec<SimEvent> {
+        let at = Stamp::Slot(0);
+        vec![
+            SimEvent::SlotStart { slot: 0 },
+            SimEvent::Action {
+                at,
+                node: NodeId::new(0),
+                action: SlotAction::Transmit {
+                    channel: ChannelId::new(0),
+                },
+            },
+            SimEvent::Action {
+                at,
+                node: NodeId::new(1),
+                action: SlotAction::Listen {
+                    channel: ChannelId::new(0),
+                },
+            },
+            SimEvent::Action {
+                at,
+                node: NodeId::new(2),
+                action: SlotAction::Quiet,
+            },
+            SimEvent::Channel {
+                at,
+                channel: ChannelId::new(0),
+                resolution: MediumResolution::Clear {
+                    tx: NodeId::new(0),
+                    rx_count: 1,
+                },
+            },
+            SimEvent::Delivery {
+                at,
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                channel: ChannelId::new(0),
+            },
+            SimEvent::LinkCovered {
+                at,
+                from: NodeId::new(0),
+                to: NodeId::new(1),
+                covered: 1,
+                expected: 6,
+            },
+            SimEvent::Phase {
+                at,
+                node: NodeId::new(0),
+                phase: ProtocolPhase::Stage(1),
+            },
+        ]
+    }
+
+    #[test]
+    fn aggregates_basic_counters() {
+        let mut m = MetricsSink::new();
+        for e in slot_events() {
+            m.on_event(&e);
+        }
+        assert_eq!(m.slots(), 1);
+        assert_eq!(m.deliveries(), 1);
+        assert_eq!(m.phase_transitions(), 1);
+        assert_eq!(m.link_progress(), (1, 6));
+        assert_eq!(m.node(0).transmit, 1);
+        assert_eq!(m.node(1).listen, 1);
+        assert_eq!(m.node(2).quiet, 1);
+        let ch = &m.channels()[0];
+        assert_eq!(ch.clear, 1);
+        assert_eq!(ch.deliveries, 1);
+        assert_eq!(ch.mean_contenders(), 1.0);
+        assert!((m.busy_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.collision_rate(), 0.0);
+    }
+
+    #[test]
+    fn collision_series_buckets_by_window() {
+        let mut m = MetricsSink::with_collision_series(10);
+        for slot in [0u64, 3, 25] {
+            m.on_event(&SimEvent::Channel {
+                at: Stamp::Slot(slot),
+                channel: ChannelId::new(1),
+                resolution: MediumResolution::Collision { contenders: 2 },
+            });
+        }
+        assert_eq!(m.collision_series()[1], vec![2, 0, 1]);
+        assert_eq!(m.channels()[1].collision, 3);
+        assert_eq!(m.channels()[1].collision_rate(), 1.0);
+        assert_eq!(m.channels()[1].mean_contenders(), 2.0);
+    }
+
+    #[test]
+    fn merge_adds_reps() {
+        let mut a = MetricsSink::new();
+        let mut b = MetricsSink::new();
+        for e in slot_events() {
+            a.on_event(&e);
+            b.on_event(&e);
+        }
+        a.merge(&b);
+        assert_eq!(a.slots(), 2);
+        assert_eq!(a.deliveries(), 2);
+        assert_eq!(a.node(0).transmit, 2);
+        assert_eq!(a.channels()[0].clear, 2);
+        assert_eq!(a.link_progress(), (1, 6));
+        let summary = a.render_summary();
+        assert!(summary.contains("ch0"));
+        assert!(summary.contains("n0"));
+    }
+
+    #[test]
+    fn merge_keeps_series_alignment() {
+        let mut a = MetricsSink::with_collision_series(5);
+        let mut b = MetricsSink::with_collision_series(5);
+        b.on_event(&SimEvent::Channel {
+            at: Stamp::Slot(7),
+            channel: ChannelId::new(0),
+            resolution: MediumResolution::Collision { contenders: 3 },
+        });
+        a.merge(&b);
+        assert_eq!(a.collision_series()[0], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different series windows")]
+    fn merge_rejects_window_mismatch() {
+        let mut a = MetricsSink::with_collision_series(5);
+        let b = MetricsSink::with_collision_series(10);
+        a.merge(&b);
+    }
+}

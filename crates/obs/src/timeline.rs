@@ -1,0 +1,205 @@
+//! ASCII slot×node timeline renderer (the `examples/timeline.rs` view,
+//! rebuilt as an [`EventSink`]).
+
+use mmhew_radio::SlotAction;
+use mmhew_spectrum::ChannelId;
+
+use crate::event::{EventSink, SimEvent, Stamp};
+
+/// Renders the first `max_slots` slots of a slotted run as one row per
+/// node and one column per slot.
+///
+/// Uppercase letters are transmissions (`A` = channel 0, `B` = channel 1,
+/// …), lowercase letters are listens, `.` is quiet, and `!` marks a
+/// listen slot in which the node received a clear beacon.
+#[derive(Debug, Clone)]
+pub struct TimelineSink {
+    max_slots: usize,
+    rows: Vec<Vec<u8>>,
+    slots_seen: u64,
+    deliveries: u64,
+}
+
+fn channel_letter(c: ChannelId) -> u8 {
+    b'a' + (c.index() % 26) as u8
+}
+
+impl TimelineSink {
+    /// Records at most `max_slots` columns (events beyond that are still
+    /// counted in the delivery total but not drawn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_slots == 0`.
+    pub fn new(max_slots: usize) -> Self {
+        assert!(max_slots > 0, "timeline needs at least one slot");
+        Self {
+            max_slots,
+            rows: Vec::new(),
+            slots_seen: 0,
+            deliveries: 0,
+        }
+    }
+
+    /// Slots observed so far (including ones beyond the drawing window).
+    pub fn slots_seen(&self) -> u64 {
+        self.slots_seen
+    }
+
+    /// Clean deliveries observed so far.
+    pub fn deliveries(&self) -> u64 {
+        self.deliveries
+    }
+
+    /// One string of symbols per node (row index = node id).
+    pub fn rows(&self) -> Vec<String> {
+        self.rows
+            .iter()
+            .map(|r| String::from_utf8_lossy(r).into_owned())
+            .collect()
+    }
+
+    /// The column ruler: a digit every ten slots, `·` elsewhere.
+    pub fn ruler(&self) -> String {
+        let width = (self.slots_seen as usize).min(self.max_slots);
+        (0..width)
+            .map(|i| {
+                if i % 10 == 0 {
+                    char::from_digit(((i / 10) % 10) as u32, 10).expect("digit")
+                } else {
+                    '·'
+                }
+            })
+            .collect()
+    }
+
+    /// Full rendering: ruler, per-node rows, and a legend.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+
+        let mut out = String::new();
+        let _ = writeln!(out, "slot      {}", self.ruler());
+        for (i, row) in self.rows().iter().enumerate() {
+            let _ = writeln!(out, "node {i:<3}  {row}");
+        }
+        let _ = writeln!(
+            out,
+            "\nlegend: UPPERCASE = transmit on channel, lowercase = listen, \
+             ! = clear beacon received, . = quiet"
+        );
+        out
+    }
+
+    fn row_mut(&mut self, node: usize) -> &mut Vec<u8> {
+        if self.rows.len() <= node {
+            self.rows.resize(node + 1, Vec::new());
+        }
+        &mut self.rows[node]
+    }
+
+    fn set_symbol(&mut self, node: usize, slot: usize, symbol: u8) {
+        if slot >= self.max_slots {
+            return;
+        }
+        let row = self.row_mut(node);
+        if row.len() <= slot {
+            row.resize(slot + 1, b'.');
+        }
+        row[slot] = symbol;
+    }
+}
+
+impl EventSink for TimelineSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        match *event {
+            SimEvent::SlotStart { slot } => {
+                self.slots_seen = self.slots_seen.max(slot + 1);
+            }
+            SimEvent::Action {
+                at: Stamp::Slot(slot),
+                node,
+                action,
+            } => {
+                let symbol = match action {
+                    SlotAction::Transmit { channel } => {
+                        channel_letter(channel).to_ascii_uppercase()
+                    }
+                    SlotAction::Listen { channel } => channel_letter(channel),
+                    SlotAction::Quiet => b'.',
+                };
+                self.set_symbol(node.as_usize(), slot as usize, symbol);
+            }
+            SimEvent::Delivery {
+                at: Stamp::Slot(slot),
+                to,
+                ..
+            } => {
+                self.deliveries += 1;
+                self.set_symbol(to.as_usize(), slot as usize, b'!');
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mmhew_topology::NodeId;
+
+    use super::*;
+
+    #[test]
+    fn draws_actions_and_marks_receptions() {
+        let mut t = TimelineSink::new(4);
+        let at = Stamp::Slot(0);
+        t.on_event(&SimEvent::SlotStart { slot: 0 });
+        t.on_event(&SimEvent::Action {
+            at,
+            node: NodeId::new(0),
+            action: SlotAction::Transmit {
+                channel: ChannelId::new(1),
+            },
+        });
+        t.on_event(&SimEvent::Action {
+            at,
+            node: NodeId::new(1),
+            action: SlotAction::Listen {
+                channel: ChannelId::new(1),
+            },
+        });
+        t.on_event(&SimEvent::Delivery {
+            at,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+            channel: ChannelId::new(1),
+        });
+        t.on_event(&SimEvent::SlotStart { slot: 1 });
+        t.on_event(&SimEvent::Action {
+            at: Stamp::Slot(1),
+            node: NodeId::new(0),
+            action: SlotAction::Quiet,
+        });
+        let rows = t.rows();
+        assert_eq!(rows[0], "B.");
+        assert_eq!(rows[1], "!");
+        assert_eq!(t.deliveries(), 1);
+        assert_eq!(t.slots_seen(), 2);
+        let render = t.render();
+        assert!(render.contains("node 0"));
+        assert!(render.contains("legend"));
+    }
+
+    #[test]
+    fn ignores_slots_beyond_window() {
+        let mut t = TimelineSink::new(2);
+        t.on_event(&SimEvent::SlotStart { slot: 5 });
+        t.on_event(&SimEvent::Action {
+            at: Stamp::Slot(5),
+            node: NodeId::new(0),
+            action: SlotAction::Quiet,
+        });
+        assert_eq!(t.slots_seen(), 6);
+        assert!(t.rows().is_empty());
+        assert_eq!(t.ruler().len(), 2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Buffered JSONL (one JSON object per line) trace writer.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::event::{EventSink, SimEvent};
+use crate::json;
+
+/// An [`EventSink`] that appends each event as one JSON line to a buffered
+/// writer.
+///
+/// I/O errors are captured rather than panicking the simulation: the sink
+/// stops writing after the first failure and reports it from
+/// [`JsonlTraceSink::finish`]. With a fixed master seed the byte output is
+/// deterministic — two same-seed runs produce identical files.
+pub struct JsonlTraceSink<W: Write> {
+    out: BufWriter<W>,
+    line: String,
+    events: u64,
+    error: Option<io::Error>,
+}
+
+impl JsonlTraceSink<File> {
+    /// Creates (truncating) a trace file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        Ok(Self::new(File::create(path)?))
+    }
+}
+
+impl<W: Write> JsonlTraceSink<W> {
+    /// Wraps any writer (e.g. `Vec<u8>` in tests).
+    pub fn new(writer: W) -> Self {
+        Self {
+            out: BufWriter::new(writer),
+            line: String::new(),
+            events: 0,
+            error: None,
+        }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Flushes and returns the underlying writer, or the first I/O error
+    /// encountered while tracing.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.out.flush()?;
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write> EventSink for JsonlTraceSink<W> {
+    fn on_event(&mut self, event: &SimEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        self.line.clear();
+        if let Err(e) = json::write_json(event, &mut self.line) {
+            self.error = Some(io::Error::new(io::ErrorKind::InvalidData, e.to_string()));
+            return;
+        }
+        self.line.push('\n');
+        if let Err(e) = self.out.write_all(self.line.as_bytes()) {
+            self.error = Some(e);
+        } else {
+            self.events += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use mmhew_topology::NodeId;
+
+    use super::*;
+    use crate::event::{ProtocolPhase, Stamp};
+
+    #[test]
+    fn writes_one_json_object_per_line() {
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        sink.on_event(&SimEvent::SlotStart { slot: 3 });
+        sink.on_event(&SimEvent::Phase {
+            at: Stamp::Slot(3),
+            node: NodeId::new(1),
+            phase: ProtocolPhase::Estimate(4),
+        });
+        assert_eq!(sink.events(), 2);
+        let bytes = sink.finish().expect("no io error");
+        let text = String::from_utf8(bytes).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "{\"slot_start\":{\"slot\":3}}");
+        assert_eq!(
+            lines[1],
+            "{\"phase\":{\"at\":{\"slot\":3},\"node\":1,\"phase\":{\"estimate\":4}}}"
+        );
+    }
+
+    #[test]
+    fn identical_event_streams_are_byte_identical() {
+        let render = |events: &[SimEvent]| {
+            let mut sink = JsonlTraceSink::new(Vec::new());
+            for e in events {
+                sink.on_event(e);
+            }
+            sink.finish().expect("no io error")
+        };
+        let events = vec![
+            SimEvent::SlotStart { slot: 0 },
+            SimEvent::SlotStart { slot: 1 },
+        ];
+        assert_eq!(render(&events), render(&events));
+    }
+}

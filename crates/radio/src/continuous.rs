@@ -74,9 +74,9 @@ pub fn clear_receptions(
         if !window.interval.contains_interval(&burst.interval) {
             continue;
         }
-        let interfered = relevant.iter().any(|other| {
-            other.from != burst.from && other.interval.overlaps(&burst.interval)
-        });
+        let interfered = relevant
+            .iter()
+            .any(|other| other.from != burst.from && other.interval.overlaps(&burst.interval));
         if interfered {
             continue;
         }
@@ -146,7 +146,13 @@ mod tests {
     fn contained_burst_is_received() {
         let net = net3();
         let got = clear_receptions(&net, &window(1, 0, 0, 300), &[tx(0, 0, 50, 150)]);
-        assert_eq!(got, vec![ClearReception { from: n(0), burst: ri(50, 150) }]);
+        assert_eq!(
+            got,
+            vec![ClearReception {
+                from: n(0),
+                burst: ri(50, 150)
+            }]
+        );
     }
 
     #[test]
@@ -220,7 +226,13 @@ mod tests {
         );
         // 0's burst is on channel 1 (ignored); 2's burst on channel 0 is
         // clear.
-        assert_eq!(got, vec![ClearReception { from: n(2), burst: ri(100, 200) }]);
+        assert_eq!(
+            got,
+            vec![ClearReception {
+                from: n(2),
+                burst: ri(100, 200)
+            }]
+        );
     }
 
     #[test]
@@ -251,7 +263,13 @@ mod tests {
             &window(1, 0, 0, 900),
             &[tx(0, 0, 400, 500), tx(0, 0, 100, 200), tx(0, 0, 700, 800)],
         );
-        assert_eq!(got, vec![ClearReception { from: n(0), burst: ri(100, 200) }]);
+        assert_eq!(
+            got,
+            vec![ClearReception {
+                from: n(0),
+                burst: ri(100, 200)
+            }]
+        );
     }
 
     #[test]

@@ -122,7 +122,12 @@ mod tests {
 
     #[test]
     fn round_trip_various_sets() {
-        for set in [cs(&[]), cs(&[0]), cs(&[1, 63, 64, 200]), ChannelSet::full(32)] {
+        for set in [
+            cs(&[]),
+            cs(&[0]),
+            cs(&[1, 63, 64, 200]),
+            ChannelSet::full(32),
+        ] {
             let b = Beacon::new(NodeId::new(77), set);
             assert_eq!(Beacon::decode(&b.encode()).expect("round trip"), b);
         }

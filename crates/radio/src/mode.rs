@@ -124,6 +124,9 @@ mod tests {
         let c = ChannelId::new(1);
         assert_eq!(SlotAction::Transmit { channel: c }.to_string(), "tx@ch1");
         assert_eq!(SlotAction::Quiet.to_string(), "quiet");
-        assert_eq!(FrameAction::Listen { channel: c }.to_string(), "RX-frame@ch1");
+        assert_eq!(
+            FrameAction::Listen { channel: c }.to_string(),
+            "RX-frame@ch1"
+        );
     }
 }

@@ -111,7 +111,7 @@ pub fn resolve_slot<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmhew_spectrum::{ChannelSet, ChannelId};
+    use mmhew_spectrum::{ChannelId, ChannelSet};
     use mmhew_topology::{generators, Propagation};
     use mmhew_util::SeedTree;
 
@@ -151,7 +151,11 @@ mod tests {
         );
         assert_eq!(
             out.deliveries,
-            vec![Delivery { to: n(1), from: n(0), channel: ch(0) }]
+            vec![Delivery {
+                to: n(1),
+                from: n(0),
+                channel: ch(0)
+            }]
         );
         assert!(out.collisions.is_empty());
     }
@@ -171,7 +175,11 @@ mod tests {
         assert!(out.deliveries.is_empty());
         assert_eq!(
             out.collisions,
-            vec![Collision { at: n(1), channel: ch(0), transmitters: 2 }]
+            vec![Collision {
+                at: n(1),
+                channel: ch(0),
+                transmitters: 2
+            }]
         );
     }
 
@@ -220,7 +228,14 @@ mod tests {
             ],
         );
         assert_eq!(out.deliveries.len(), 1);
-        assert_eq!(out.deliveries[0], Delivery { to: n(1), from: n(0), channel: ch(0) });
+        assert_eq!(
+            out.deliveries[0],
+            Delivery {
+                to: n(1),
+                from: n(0),
+                channel: ch(0)
+            }
+        );
     }
 
     #[test]
@@ -233,7 +248,10 @@ mod tests {
                 SlotAction::Transmit { channel: ch(0) },
             ],
         );
-        assert!(out.deliveries.is_empty(), "both transmitting, nobody listens");
+        assert!(
+            out.deliveries.is_empty(),
+            "both transmitting, nobody listens"
+        );
     }
 
     #[test]
@@ -325,6 +343,11 @@ mod tests {
     fn wrong_action_count_panics() {
         let net = homogeneous(generators::line(2), 1);
         let mut rng = SeedTree::new(0).rng();
-        let _ = resolve_slot(&net, &[SlotAction::Quiet], &Impairments::reliable(), &mut rng);
+        let _ = resolve_slot(
+            &net,
+            &[SlotAction::Quiet],
+            &Impairments::reliable(),
+            &mut rng,
+        );
     }
 }

@@ -1,8 +1,7 @@
 //! Property-based tests of medium resolution against brute-force models.
 
 use mmhew_radio::{
-    clear_receptions, resolve_slot, Beacon, Impairments, ListenWindow, SlotAction,
-    Transmission,
+    clear_receptions, resolve_slot, Beacon, Impairments, ListenWindow, SlotAction, Transmission,
 };
 use mmhew_spectrum::{ChannelId, ChannelSet};
 use mmhew_time::{RealInterval, RealTime};
@@ -12,18 +11,10 @@ use proptest::prelude::*;
 
 /// Strategy: a random homogeneous ER network plus random slot actions.
 fn slot_case() -> impl Strategy<Value = (usize, u16, f64, u64, Vec<(u8, u16)>)> {
-    (3usize..10, 1u16..5, 0.2f64..1.0, 0u64..u64::MAX).prop_flat_map(
-        |(n, universe, p, seed)| {
-            let actions = prop::collection::vec((0u8..3, 0u16..universe), n..=n);
-            (
-                Just(n),
-                Just(universe),
-                Just(p),
-                Just(seed),
-                actions,
-            )
-        },
-    )
+    (3usize..10, 1u16..5, 0.2f64..1.0, 0u64..u64::MAX).prop_flat_map(|(n, universe, p, seed)| {
+        let actions = prop::collection::vec((0u8..3, 0u16..universe), n..=n);
+        (Just(n), Just(universe), Just(p), Just(seed), actions)
+    })
 }
 
 fn build_network(n: usize, universe: u16, p: f64, seed: u64) -> Network {

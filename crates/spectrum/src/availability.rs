@@ -100,7 +100,10 @@ pub enum AvailabilityError {
 impl fmt::Display for AvailabilityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AvailabilityError::SubsetTooLarge { requested, universe } => write!(
+            AvailabilityError::SubsetTooLarge {
+                requested,
+                universe,
+            } => write!(
                 f,
                 "requested subset of {requested} channels from a universe of {universe}"
             ),
@@ -232,8 +235,16 @@ impl AvailabilityModel {
                 let centers: Vec<((f64, f64), ChannelSet)> = (0..*clusters)
                     .map(|k| {
                         let mut rng = seed.branch("cluster").index(k as u64).rng();
-                        let cx = if max_x > min_x { rng.gen_range(min_x..=max_x) } else { min_x };
-                        let cy = if max_y > min_y { rng.gen_range(min_y..=max_y) } else { min_y };
+                        let cx = if max_x > min_x {
+                            rng.gen_range(min_x..=max_x)
+                        } else {
+                            min_x
+                        };
+                        let cy = if max_y > min_y {
+                            rng.gen_range(min_y..=max_y)
+                        } else {
+                            min_y
+                        };
                         ((cx, cy), random_subset(universe, *size, &mut rng))
                     })
                     .collect();
@@ -457,7 +468,9 @@ mod tests {
         assert!(sizes.iter().any(|&s| s < 12), "someone must be blocked");
         assert!(sizes.iter().all(|&s| s <= 12));
         // Deterministic.
-        let again = model.assign(12, &positions, SeedTree::new(5)).expect("spatial");
+        let again = model
+            .assign(12, &positions, SeedTree::new(5))
+            .expect("spatial");
         assert_eq!(sets, again);
     }
 
@@ -490,7 +503,10 @@ mod tests {
         // set internally.
         let mut positions: Vec<(f64, f64)> = (0..5).map(|i| (i as f64 * 0.1, 0.0)).collect();
         positions.extend((0..5).map(|i| (100.0 + i as f64 * 0.1, 0.0)));
-        let model = AvailabilityModel::Clustered { clusters: 2, size: 4 };
+        let model = AvailabilityModel::Clustered {
+            clusters: 2,
+            size: 4,
+        };
         let sets = model
             .assign(12, &positions, SeedTree::new(9))
             .expect("clustered model");
@@ -505,24 +521,38 @@ mod tests {
         assert!(sets[..5].iter().all(|s| s == &sets[0]));
         assert!(sets[5..].iter().all(|s| s == &sets[5]));
         // Deterministic.
-        assert_eq!(sets, model.assign(12, &positions, SeedTree::new(9)).expect("again"));
+        assert_eq!(
+            sets,
+            model
+                .assign(12, &positions, SeedTree::new(9))
+                .expect("again")
+        );
     }
 
     #[test]
     fn clustered_model_validates() {
         let positions = vec![(0.0, 0.0)];
         assert!(matches!(
-            AvailabilityModel::Clustered { clusters: 1, size: 9 }
-                .assign(4, &positions, SeedTree::new(0)),
+            AvailabilityModel::Clustered {
+                clusters: 1,
+                size: 9
+            }
+            .assign(4, &positions, SeedTree::new(0)),
             Err(AvailabilityError::SubsetTooLarge { .. })
         ));
-        assert!(AvailabilityModel::Clustered { clusters: 0, size: 2 }
-            .assign(4, &positions, SeedTree::new(0))
-            .is_err());
+        assert!(AvailabilityModel::Clustered {
+            clusters: 0,
+            size: 2
+        }
+        .assign(4, &positions, SeedTree::new(0))
+        .is_err());
         // Single node, single cluster works.
-        let sets = AvailabilityModel::Clustered { clusters: 1, size: 2 }
-            .assign(4, &positions, SeedTree::new(1))
-            .expect("valid");
+        let sets = AvailabilityModel::Clustered {
+            clusters: 1,
+            size: 2,
+        }
+        .assign(4, &positions, SeedTree::new(1))
+        .expect("valid");
         assert_eq!(sets[0].len(), 2);
     }
 

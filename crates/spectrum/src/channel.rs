@@ -18,9 +18,7 @@ use std::fmt;
 /// assert_eq!(c.index(), 3);
 /// assert_eq!(c.to_string(), "ch3");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ChannelId(u16);
 
 impl ChannelId {

@@ -113,9 +113,10 @@ impl ChannelSet {
 
     /// True if every channel of `self` is in `other`.
     pub fn is_subset(&self, other: &ChannelSet) -> bool {
-        self.words.iter().enumerate().all(|(i, &w)| {
-            w & !other.words.get(i).copied().unwrap_or(0) == 0
-        })
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
     }
 
     /// True if the sets share no channel.

@@ -161,10 +161,7 @@ mod tests {
 
     #[test]
     fn node_inside_every_footprint_may_lose_everything() {
-        let map = SpectrumMap::new(
-            2,
-            vec![PrimaryUser::new(0.0, 0.0, 10.0, cs(&[0, 1]))],
-        );
+        let map = SpectrumMap::new(2, vec![PrimaryUser::new(0.0, 0.0, 10.0, cs(&[0, 1]))]);
         assert!(map.available_at(1.0, 1.0).is_empty());
     }
 

@@ -46,9 +46,7 @@ pub fn admissible_sequence(
 ) -> Vec<FramePair> {
     let mut gamma: Vec<FramePair> = Vec::new();
     let mut t = t_s;
-    while let Some((fv, fu)) =
-        find_aligned_pair_after(t, v_sched, v_clock, u_sched, u_clock, 2)
-    {
+    while let Some((fv, fu)) = find_aligned_pair_after(t, v_sched, v_clock, u_sched, u_clock, 2) {
         if fv >= max_frames || fu >= max_frames {
             break;
         }
@@ -151,8 +149,7 @@ mod tests {
 
     #[test]
     fn ideal_clocks_yield_admissible_sequence_of_lemma8_length() {
-        let (sv, mut cv, su, mut cu) =
-            setup(DriftModel::Ideal, DriftModel::Ideal, 1_234, 7);
+        let (sv, mut cv, su, mut cu) = setup(DriftModel::Ideal, DriftModel::Ideal, 1_234, 7);
         let m = 60;
         let seq = admissible_sequence(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, m);
         assert!(
@@ -229,10 +226,7 @@ mod tests {
         let mut cv = DriftedClock::ideal(LocalTime::ZERO);
         let mut cu = DriftedClock::ideal(LocalTime::ZERO);
         let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(L));
-        let su = FrameSchedule::new(
-            LocalTime::from_nanos(500),
-            LocalDuration::from_nanos(L),
-        );
+        let su = FrameSchedule::new(LocalTime::from_nanos(500), LocalDuration::from_nanos(L));
         let adjacent = vec![
             FramePair { of_v: 0, of_u: 0 },
             FramePair { of_v: 1, of_u: 1 },

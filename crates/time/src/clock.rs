@@ -206,7 +206,11 @@ mod tests {
 
     #[test]
     fn slow_clock() {
-        let mut c = DriftedClock::new(DriftModel::Constant(Rate::new(6, 7)), lt(0), SeedTree::new(0));
+        let mut c = DriftedClock::new(
+            DriftModel::Constant(Rate::new(6, 7)),
+            lt(0),
+            SeedTree::new(0),
+        );
         assert_eq!(c.local_at(rt(7_000)), lt(6_000));
         assert_eq!(c.real_when_local_reaches(lt(6_000)), rt(7_000));
     }
@@ -278,10 +282,7 @@ mod tests {
         let mut c = DriftedClock::new(model, lt(10), SeedTree::new(13));
         for target in (11..40_000u64).step_by(509) {
             let r = c.real_when_local_reaches(lt(target));
-            assert!(
-                c.local_at(r) >= lt(target),
-                "local_at({r:?}) < {target}"
-            );
+            assert!(c.local_at(r) >= lt(target), "local_at({r:?}) < {target}");
             if r.as_nanos() > 0 {
                 let before = c.local_at(rt(r.as_nanos() - 1));
                 assert!(

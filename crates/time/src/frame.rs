@@ -100,12 +100,7 @@ impl FrameSchedule {
     }
 
     /// Real-time interval of slot `slot` of frame `frame`.
-    pub fn slot_interval(
-        &self,
-        frame: u64,
-        slot: u64,
-        clock: &mut DriftedClock,
-    ) -> RealInterval {
+    pub fn slot_interval(&self, frame: u64, slot: u64, clock: &mut DriftedClock) -> RealInterval {
         assert!(slot < SLOTS_PER_FRAME, "slot index out of range");
         let start = clock.real_when_local_reaches(self.slot_start_local(frame, slot));
         let end = if slot + 1 == SLOTS_PER_FRAME {
@@ -273,12 +268,27 @@ mod tests {
         let mut clock = ideal(0);
         let s = sched(100, 300);
         // Before the schedule starts: frame 0 is the first full frame.
-        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(0), &mut clock), 0);
-        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(100), &mut clock), 0);
+        assert_eq!(
+            s.first_full_frame_after(RealTime::from_nanos(0), &mut clock),
+            0
+        );
+        assert_eq!(
+            s.first_full_frame_after(RealTime::from_nanos(100), &mut clock),
+            0
+        );
         // Inside frame 0: frame 1 is the next full frame.
-        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(101), &mut clock), 1);
-        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(400), &mut clock), 1);
-        assert_eq!(s.first_full_frame_after(RealTime::from_nanos(401), &mut clock), 2);
+        assert_eq!(
+            s.first_full_frame_after(RealTime::from_nanos(101), &mut clock),
+            1
+        );
+        assert_eq!(
+            s.first_full_frame_after(RealTime::from_nanos(400), &mut clock),
+            1
+        );
+        assert_eq!(
+            s.first_full_frame_after(RealTime::from_nanos(401), &mut clock),
+            2
+        );
     }
 
     #[test]
@@ -348,18 +358,17 @@ mod tests {
                 LocalTime::from_nanos(ou),
                 SeedTree::new(1),
             );
-            let sv = FrameSchedule::new(LocalTime::from_nanos(ov), LocalDuration::from_nanos(2_100));
-            let su = FrameSchedule::new(LocalTime::from_nanos(ou), LocalDuration::from_nanos(2_100));
+            let sv =
+                FrameSchedule::new(LocalTime::from_nanos(ov), LocalDuration::from_nanos(2_100));
+            let su =
+                FrameSchedule::new(LocalTime::from_nanos(ou), LocalDuration::from_nanos(2_100));
             for t in [0u64, 500, 1_000, 5_000, 20_000] {
-                let found = find_aligned_pair_after(
-                    RealTime::from_nanos(t),
-                    &sv,
-                    &mut cv,
-                    &su,
-                    &mut cu,
-                    2,
+                let found =
+                    find_aligned_pair_after(RealTime::from_nanos(t), &sv, &mut cv, &su, &mut cu, 2);
+                assert!(
+                    found.is_some(),
+                    "no aligned pair after t={t} (ov={ov}, ou={ou})"
                 );
-                assert!(found.is_some(), "no aligned pair after t={t} (ov={ov}, ou={ou})");
             }
         }
     }
@@ -384,7 +393,8 @@ mod tests {
                 SeedTree::new(1),
             );
             let sv = FrameSchedule::new(LocalTime::ZERO, LocalDuration::from_nanos(2_100));
-            let su = FrameSchedule::new(LocalTime::from_nanos(ou), LocalDuration::from_nanos(2_100));
+            let su =
+                FrameSchedule::new(LocalTime::from_nanos(ou), LocalDuration::from_nanos(2_100));
             if find_aligned_pair_after(RealTime::ZERO, &sv, &mut cv, &su, &mut cu, 2).is_none() {
                 any_failure = true;
                 break;

@@ -15,9 +15,21 @@ enum TopoSpec {
     Grid(usize, usize),
     Star(usize),
     Complete(usize),
-    UnitDisk { n: usize, side: f64, radius: f64 },
-    ErdosRenyi { n: usize, p: f64 },
-    AsymmetricDisk { n: usize, side: f64, r_min: f64, r_max: f64 },
+    UnitDisk {
+        n: usize,
+        side: f64,
+        radius: f64,
+    },
+    ErdosRenyi {
+        n: usize,
+        p: f64,
+    },
+    AsymmetricDisk {
+        n: usize,
+        side: f64,
+        r_min: f64,
+        r_max: f64,
+    },
     Explicit(Topology),
 }
 
@@ -138,7 +150,12 @@ impl NetworkBuilder {
     /// An asymmetric geometric graph with per-node transmit ranges drawn
     /// from `[r_min, r_max]`.
     pub fn asymmetric_disk(n: usize, side: f64, r_min: f64, r_max: f64) -> Self {
-        Self::with_spec(TopoSpec::AsymmetricDisk { n, side, r_min, r_max })
+        Self::with_spec(TopoSpec::AsymmetricDisk {
+            n,
+            side,
+            r_min,
+            r_max,
+        })
     }
 
     /// Uses an explicitly constructed topology.
@@ -184,9 +201,12 @@ impl NetworkBuilder {
             TopoSpec::ErdosRenyi { n, p } => {
                 generators::erdos_renyi(*n, *p, seed.branch("topology"))
             }
-            TopoSpec::AsymmetricDisk { n, side, r_min, r_max } => {
-                generators::asymmetric_disk(*n, *side, *r_min, *r_max, seed.branch("topology"))
-            }
+            TopoSpec::AsymmetricDisk {
+                n,
+                side,
+                r_min,
+                r_max,
+            } => generators::asymmetric_disk(*n, *side, *r_min, *r_max, seed.branch("topology")),
             TopoSpec::Explicit(t) => t.clone(),
         };
         let availability = self.availability.assign(
@@ -210,7 +230,9 @@ mod tests {
 
     #[test]
     fn defaults_build_homogeneous_network() {
-        let net = NetworkBuilder::ring(5).build(SeedTree::new(0)).expect("build");
+        let net = NetworkBuilder::ring(5)
+            .build(SeedTree::new(0))
+            .expect("build");
         assert_eq!(net.node_count(), 5);
         assert_eq!(net.universe_size(), 16);
         assert_eq!(net.s_max(), 16);

@@ -133,13 +133,7 @@ pub fn erdos_renyi(n: usize, p: f64, seed: SeedTree) -> Topology {
 /// # Panics
 ///
 /// Panics if the geometry is invalid (`side ≤ 0` or `r_min > r_max`).
-pub fn asymmetric_disk(
-    n: usize,
-    side: f64,
-    r_min: f64,
-    r_max: f64,
-    seed: SeedTree,
-) -> Topology {
+pub fn asymmetric_disk(n: usize, side: f64, r_min: f64, r_max: f64, seed: SeedTree) -> Topology {
     assert!(side > 0.0, "invalid geometry");
     assert!(0.0 <= r_min && r_min <= r_max, "invalid range interval");
     let mut t = Topology::new(n);

@@ -123,9 +123,10 @@ impl Topology {
 
     /// Iterator over all directed edges `(u, v)` with `v` hearing `u`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.out.iter().enumerate().flat_map(|(u, vs)| {
-            vs.iter().map(move |&v| (NodeId::new(u as u32), v))
-        })
+        self.out
+            .iter()
+            .enumerate()
+            .flat_map(|(u, vs)| vs.iter().map(move |&v| (NodeId::new(u as u32), v)))
     }
 
     /// Euclidean distance between two nodes' positions.

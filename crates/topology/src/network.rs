@@ -33,9 +33,7 @@ impl Propagation {
     fn admits(&self, distance: f64, c: ChannelId) -> bool {
         match self {
             Propagation::Uniform => true,
-            Propagation::PerChannelRange { ranges } => {
-                distance <= ranges[c.index() as usize]
-            }
+            Propagation::PerChannelRange { ranges } => distance <= ranges[c.index() as usize],
         }
     }
 }
@@ -265,7 +263,11 @@ impl Network {
 
     /// `S`: size of the largest available channel set.
     pub fn s_max(&self) -> usize {
-        self.availability.iter().map(ChannelSet::len).max().unwrap_or(0)
+        self.availability
+            .iter()
+            .map(ChannelSet::len)
+            .max()
+            .unwrap_or(0)
     }
 
     /// `Δ`: maximum degree of any node on any channel.
@@ -402,24 +404,22 @@ mod tests {
         );
         assert_eq!(net.expected_discovery(n(0)), vec![(n(1), cs(&[1]))]);
         // Non-adjacent nodes never appear even with common channels.
-        assert!(net
-            .expected_discovery(n(0))
-            .iter()
-            .all(|(v, _)| *v != n(2)));
+        assert!(net.expected_discovery(n(0)).iter().all(|(v, _)| *v != n(2)));
     }
 
     #[test]
     fn asymmetric_links() {
         let mut topo = Topology::new(2);
         topo.add_edge(n(0), n(1)); // only 1 hears 0
-        let net = Network::new(
-            topo,
-            2,
-            vec![cs(&[0]), cs(&[0])],
-            Propagation::Uniform,
-        )
-        .expect("valid network");
-        assert_eq!(net.links(), &[Link { from: n(0), to: n(1) }]);
+        let net = Network::new(topo, 2, vec![cs(&[0]), cs(&[0])], Propagation::Uniform)
+            .expect("valid network");
+        assert_eq!(
+            net.links(),
+            &[Link {
+                from: n(0),
+                to: n(1)
+            }]
+        );
         assert!(net.expected_discovery(n(0)).is_empty());
         assert_eq!(net.expected_discovery(n(1)).len(), 1);
     }
@@ -454,13 +454,11 @@ mod tests {
             Err(NetworkError::EmptyUniverse)
         );
         assert!(matches!(
-            Network::new(
-                generators::line(2),
-                2,
-                vec![cs(&[0])],
-                Propagation::Uniform
-            ),
-            Err(NetworkError::AvailabilityCount { provided: 1, nodes: 2 })
+            Network::new(generators::line(2), 2, vec![cs(&[0])], Propagation::Uniform),
+            Err(NetworkError::AvailabilityCount {
+                provided: 1,
+                nodes: 2
+            })
         ));
         assert!(matches!(
             Network::new(
@@ -494,14 +492,23 @@ mod tests {
 
     #[test]
     fn link_display_and_order() {
-        let l = Link { from: n(2), to: n(5) };
+        let l = Link {
+            from: n(2),
+            to: n(5),
+        };
         assert_eq!(l.to_string(), "(n2→n5)");
         let net = two_node_net(&[0], &[0], 1);
         assert_eq!(
             net.links(),
             &[
-                Link { from: n(0), to: n(1) },
-                Link { from: n(1), to: n(0) }
+                Link {
+                    from: n(0),
+                    to: n(1)
+                },
+                Link {
+                    from: n(1),
+                    to: n(0)
+                }
             ]
         );
     }

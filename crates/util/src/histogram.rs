@@ -87,6 +87,26 @@ impl Histogram {
         (self.lo + width * i as f64, self.lo + width * (i + 1) as f64)
     }
 
+    /// Adds every count from `other` into `self`.
+    ///
+    /// Used to combine per-repetition histograms into one aggregate (e.g.
+    /// merging `MetricsSink` contention histograms across runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bounds or bin counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "cannot merge histograms with different binning"
+        );
+        for (b, o) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// Observations below `lo`.
     pub fn underflow(&self) -> u64 {
         self.underflow
@@ -174,6 +194,31 @@ mod tests {
         h.record(1.0);
         let s = h.render_ascii(20);
         assert_eq!(s.lines().count(), 4);
+    }
+
+    #[test]
+    fn merge_adds_counts_and_flows() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        a.record(1.0);
+        a.record(-1.0);
+        b.record(1.5);
+        b.record(11.0);
+        b.record(9.0);
+        a.merge(&b);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.bin_count(4), 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.total(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "different binning")]
+    fn merge_rejects_mismatched_binning() {
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let b = Histogram::new(0.0, 10.0, 4);
+        a.merge(&b);
     }
 
     #[test]

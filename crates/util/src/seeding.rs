@@ -83,8 +83,16 @@ mod tests {
 
     #[test]
     fn deterministic_paths() {
-        let a = SeedTree::new(1).branch("net").index(3).branch("node").index(9);
-        let b = SeedTree::new(1).branch("net").index(3).branch("node").index(9);
+        let a = SeedTree::new(1)
+            .branch("net")
+            .index(3)
+            .branch("node")
+            .index(9);
+        let b = SeedTree::new(1)
+            .branch("net")
+            .index(3)
+            .branch("node")
+            .index(9);
         assert_eq!(a.seed(), b.seed());
     }
 
@@ -98,7 +106,10 @@ mod tests {
         let root = SeedTree::new(7);
         assert_ne!(root.branch("a").seed(), root.branch("b").seed());
         // Prefix-freedom: "ab" under root differs from "a" then "b".
-        assert_ne!(root.branch("ab").seed(), root.branch("a").branch("b").seed());
+        assert_ne!(
+            root.branch("ab").seed(),
+            root.branch("a").branch("b").seed()
+        );
     }
 
     #[test]

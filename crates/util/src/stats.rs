@@ -269,8 +269,7 @@ mod tests {
             w.push(x);
         }
         let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
-        let var: f64 =
-            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
         assert!((w.mean() - mean).abs() < 1e-12);
         assert!((w.sample_variance() - var).abs() < 1e-12);
         assert_eq!(w.min(), 2.0);

@@ -49,7 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let ours = mean(SyncAlgorithm::Uniform(SyncParams::new(delta_est)?), "ours")?;
         let strawman = mean(
-            SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+            SyncAlgorithm::PerChannelBirthday {
+                tx_probability: 0.5,
+            },
             "strawman",
         )?;
         println!(

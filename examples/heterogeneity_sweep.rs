@@ -17,7 +17,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let reps = 12u64;
 
     println!("complete graph of {nodes}, |A(u)|=4, Algorithm 1, {reps} reps per point\n");
-    println!("{:>6} {:>12} {:>12} {:>12}", "ρ", "mean slots", "slots × ρ", "Thm1 bound");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "ρ", "mean slots", "slots × ρ", "Thm1 bound"
+    );
 
     let mut baseline = None;
     for (shared, private) in [(4u16, 0u16), (3, 1), (2, 2), (1, 3)] {

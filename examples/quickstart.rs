@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .availability(AvailabilityModel::UniformSubset { size: 6 })
         .build(seed.branch("net"))?;
 
-    println!("network: N={} nodes, |U|={} channels", network.node_count(), network.universe_size());
+    println!(
+        "network: N={} nodes, |U|={} channels",
+        network.node_count(),
+        network.universe_size()
+    );
     println!(
         "paper parameters: S={}, Δ={}, ρ={:.2}, links to discover={}",
         network.s_max(),
@@ -59,6 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Every node's table must equal the ground truth exactly.
     assert!(tables_match_ground_truth(&network, outcome.tables()));
-    println!("\nall {} nodes match the ground truth ✓", network.node_count());
+    println!(
+        "\nall {} nodes match the ground truth ✓",
+        network.node_count()
+    );
     Ok(())
 }

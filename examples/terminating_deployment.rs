@@ -11,9 +11,9 @@
 //! cargo run --release --example terminating_deployment
 //! ```
 
-use mmhew::prelude::*;
 use mmhew::discovery::run_sync_discovery_terminating;
 use mmhew::engine::EnergyModel;
+use mmhew::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = SeedTree::new(88);

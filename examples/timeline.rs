@@ -7,6 +7,9 @@
 //! listens, `.` is quiet; `!` flags a slot in which the node received a
 //! clear beacon.
 //!
+//! The drawing itself is `mmhew_obs::TimelineSink` — the same renderer
+//! `simulate --timeline` uses — attached to the engine as an event sink.
+//!
 //! ```text
 //! cargo run --release --example timeline
 //! ```
@@ -14,7 +17,6 @@
 use mmhew::discovery::{StagedDiscovery, SyncParams};
 use mmhew::engine::{SyncEngine, SyncProtocol, SyncRunConfig};
 use mmhew::prelude::*;
-use mmhew::radio::SlotAction;
 
 const SLOTS_TO_SHOW: usize = 72;
 
@@ -44,40 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ) as Box<dyn SyncProtocol>
         })
         .collect();
-    let mut engine = SyncEngine::new(
+    let mut sink = TimelineSink::new(SLOTS_TO_SHOW);
+    let engine = SyncEngine::new(
         &network,
         protocols,
         vec![0; network.node_count()],
         seed.branch("run"),
-    );
+    )
+    .with_sink(&mut sink);
+    let outcome = engine.run(SyncRunConfig::fixed(SLOTS_TO_SHOW as u64));
 
-    // Record the timeline.
-    let config = SyncRunConfig::fixed(SLOTS_TO_SHOW as u64);
-    let mut rows = vec![String::new(); network.node_count()];
-    let mut total_deliveries = 0;
-    for _ in 0..SLOTS_TO_SHOW {
-        let (actions, outcome) = engine.step_traced(&config);
-        for (i, action) in actions.iter().enumerate() {
-            let received = outcome.deliveries.iter().any(|d| d.to.index() as usize == i);
-            let ch = |c: ChannelId| (b'a' + (c.index() % 26) as u8) as char;
-            let symbol = match action {
-                SlotAction::Transmit { channel } => ch(*channel).to_ascii_uppercase(),
-                SlotAction::Listen { channel } => {
-                    if received {
-                        '!'
-                    } else {
-                        ch(*channel)
-                    }
-                }
-                SlotAction::Quiet => '.',
-            };
-            rows[i].push(symbol);
-        }
-        total_deliveries += outcome.deliveries.len();
-    }
-
-    println!("slot      {}", ruler(SLOTS_TO_SHOW));
-    for (i, row) in rows.iter().enumerate() {
+    println!("slot      {}", sink.ruler());
+    for (i, row) in sink.rows().iter().enumerate() {
         let u = NodeId::new(i as u32);
         println!("node {i:<3}  {row}   A = {}", network.available(u));
     }
@@ -85,23 +65,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nlegend: UPPERCASE = transmit on channel, lowercase = listen, ! = clear beacon \
          received, . = quiet"
     );
+    let covered = outcome
+        .link_coverage()
+        .iter()
+        .filter(|(_, t)| t.is_some())
+        .count();
     println!(
         "{} clear deliveries in {SLOTS_TO_SHOW} slots; {}/{} links covered so far",
-        total_deliveries,
-        engine.tracker().covered(),
-        engine.tracker().expected()
+        sink.deliveries(),
+        covered,
+        outcome.link_coverage().len()
     );
     Ok(())
-}
-
-fn ruler(width: usize) -> String {
-    (0..width)
-        .map(|i| {
-            if i % 10 == 0 {
-                char::from_digit(((i / 10) % 10) as u32, 10).expect("digit")
-            } else {
-                '·'
-            }
-        })
-        .collect()
 }

@@ -43,6 +43,7 @@
 pub use mmhew_discovery as discovery;
 pub use mmhew_engine as engine;
 pub use mmhew_harness as harness;
+pub use mmhew_obs as obs;
 pub use mmhew_radio as radio;
 pub use mmhew_spectrum as spectrum;
 pub use mmhew_time as time;
@@ -52,13 +53,17 @@ pub use mmhew_util as util;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use mmhew_discovery::{
-        run_async_discovery, run_sync_discovery, tables_are_sound, tables_match_ground_truth,
-        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, Bounds,
-        ProtocolError, StagedDiscovery, SyncAlgorithm, SyncParams, UniformDiscovery,
+        run_async_discovery, run_async_discovery_observed, run_sync_discovery,
+        run_sync_discovery_observed, tables_are_sound, tables_match_ground_truth,
+        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, Bounds, ProtocolError,
+        StagedDiscovery, SyncAlgorithm, SyncParams, UniformDiscovery,
     };
     pub use mmhew_engine::{
         AsyncOutcome, AsyncRunConfig, AsyncStartSchedule, ClockConfig, NeighborTable,
         StartSchedule, SyncOutcome, SyncRunConfig,
+    };
+    pub use mmhew_obs::{
+        EventSink, FanoutSink, JsonlTraceSink, MetricsSink, NullSink, SimEvent, TimelineSink,
     };
     pub use mmhew_radio::Impairments;
     pub use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
@@ -66,8 +71,6 @@ pub mod prelude {
         DriftBound, DriftModel, DriftedClock, LocalDuration, LocalTime, Rate, RealDuration,
         RealTime,
     };
-    pub use mmhew_topology::{
-        Link, Network, NetworkBuilder, NodeId, Propagation, Topology,
-    };
+    pub use mmhew_topology::{Link, Network, NetworkBuilder, NodeId, Propagation, Topology};
     pub use mmhew_util::{SeedTree, Summary};
 }

@@ -29,9 +29,7 @@ fn networks(seed: SeedTree) -> Vec<(String, Network)> {
     for (bname, builder) in &builders {
         for (aname, model) in &avail_models {
             let universe = match model {
-                AvailabilityModel::PairwiseOverlap { shared, private } => {
-                    *shared + 15 * *private
-                }
+                AvailabilityModel::PairwiseOverlap { shared, private } => *shared + 15 * *private,
                 _ => 8,
             };
             let net = builder
@@ -90,7 +88,9 @@ fn baseline_reaches_exact_ground_truth() {
         .expect("valid configuration");
     let out = run_sync_discovery(
         &net,
-        SyncAlgorithm::PerChannelBirthday { tx_probability: 0.5 },
+        SyncAlgorithm::PerChannelBirthday {
+            tx_probability: 0.5,
+        },
         StartSchedule::Identical,
         SyncRunConfig::until_complete(3_000_000),
         seed.branch("run"),

@@ -140,8 +140,7 @@ fn heavy_loss_slows_but_does_not_corrupt() {
     .expect("valid protocols");
     assert!(clean.completed() && lossy.completed());
     assert!(
-        lossy.completion_slot().expect("complete")
-            > clean.completion_slot().expect("complete"),
+        lossy.completion_slot().expect("complete") > clean.completion_slot().expect("complete"),
         "loss must slow discovery"
     );
     assert!(tables_match_ground_truth(&net, lossy.tables()));

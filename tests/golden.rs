@@ -64,8 +64,16 @@ fn golden_sync_traces() {
             Some(completion),
             "{name}: completion slot drifted"
         );
-        assert_eq!(out.deliveries(), deliveries, "{name}: delivery count drifted");
-        assert_eq!(out.collisions(), collisions, "{name}: collision count drifted");
+        assert_eq!(
+            out.deliveries(),
+            deliveries,
+            "{name}: delivery count drifted"
+        );
+        assert_eq!(
+            out.collisions(),
+            collisions,
+            "{name}: collision count drifted"
+        );
     }
 }
 

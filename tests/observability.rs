@@ -1,0 +1,193 @@
+//! Observability guarantees: traces are deterministic, metrics reconcile
+//! exactly with engine outcomes, and both engines speak the shared event
+//! vocabulary.
+
+use mmhew::obs::CollectSink;
+use mmhew::prelude::*;
+
+fn net(seed: &SeedTree) -> Network {
+    NetworkBuilder::complete(5)
+        .universe(4)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(seed.branch("net"))
+        .expect("build")
+}
+
+fn sync_alg(network: &Network) -> SyncAlgorithm {
+    let delta = network.max_degree().max(1) as u64;
+    SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive"))
+}
+
+fn trace_bytes(seed: u64) -> Vec<u8> {
+    let tree = SeedTree::new(seed);
+    let network = net(&tree);
+    let mut sink = JsonlTraceSink::new(Vec::new());
+    run_sync_discovery_observed(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(50_000),
+        tree.branch("run"),
+        &mut sink,
+    )
+    .expect("run");
+    assert!(sink.events() > 0, "trace captured no events");
+    sink.finish().expect("no io error")
+}
+
+#[test]
+fn same_seed_traces_are_byte_identical() {
+    let a = trace_bytes(0xAB);
+    let b = trace_bytes(0xAB);
+    assert_eq!(a, b, "same seed must reproduce the trace byte-for-byte");
+    let c = trace_bytes(0xAC);
+    assert_ne!(a, c, "different seeds should diverge");
+    // Every line is one JSON object keyed by a known event kind.
+    let text = String::from_utf8(a).expect("utf8");
+    for line in text.lines() {
+        assert!(line.starts_with("{\"") && line.ends_with('}'), "{line}");
+    }
+}
+
+#[test]
+fn metrics_reconcile_with_sync_action_counts() {
+    let tree = SeedTree::new(0xB0);
+    let network = net(&tree);
+    let mut metrics = MetricsSink::new();
+    let out = run_sync_discovery_observed(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Staggered { window: 16 },
+        SyncRunConfig::until_complete(50_000),
+        tree.branch("run"),
+        &mut metrics,
+    )
+    .expect("run");
+    assert!(out.completed());
+    assert_eq!(metrics.slots(), out.slots_executed());
+    assert_eq!(metrics.deliveries(), out.deliveries());
+    for (i, counts) in out.action_counts().iter().enumerate() {
+        let node = metrics.node(i);
+        assert_eq!(node.transmit, counts.transmit, "node {i} transmit");
+        assert_eq!(node.listen, counts.listen, "node {i} listen");
+        assert_eq!(node.quiet, counts.quiet, "node {i} quiet");
+    }
+    // `links()` enumerates directed links — exactly what the tracker and
+    // the LinkCovered events count.
+    let expected_links = network.links().len() as u64;
+    assert_eq!(metrics.link_progress(), (expected_links, expected_links));
+}
+
+#[test]
+fn metrics_reconcile_with_async_action_counts() {
+    let tree = SeedTree::new(0xB1);
+    let network = net(&tree);
+    let delta = network.max_degree().max(1) as u64;
+    let mut metrics = MetricsSink::new();
+    let out = run_async_discovery_observed(
+        &network,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+        AsyncRunConfig::until_complete(200_000),
+        tree.branch("run"),
+        &mut metrics,
+    )
+    .expect("run");
+    assert!(out.completed());
+    assert_eq!(metrics.deliveries(), out.deliveries());
+    for (i, counts) in out.action_counts().iter().enumerate() {
+        let node = metrics.node(i);
+        assert_eq!(node.transmit, counts.transmit, "node {i} transmit");
+        assert_eq!(node.listen, counts.listen, "node {i} listen");
+    }
+}
+
+#[test]
+fn engines_share_event_vocabulary_at_zero_drift() {
+    let tree = SeedTree::new(0xB2);
+    let network = net(&tree);
+    let delta = network.max_degree().max(1) as u64;
+
+    let mut sync_sink = CollectSink::new();
+    run_sync_discovery_observed(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(50_000),
+        tree.branch("sync"),
+        &mut sync_sink,
+    )
+    .expect("run");
+    let sync_kinds = sync_sink.kinds();
+    for kind in [
+        "slot_start",
+        "action",
+        "channel",
+        "delivery",
+        "link_covered",
+        "phase",
+    ] {
+        assert!(
+            sync_kinds.contains(&kind),
+            "sync missing {kind}: {sync_kinds:?}"
+        );
+    }
+
+    let mut async_sink = CollectSink::new();
+    run_async_discovery_observed(
+        &network,
+        AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+        AsyncRunConfig::until_complete(200_000),
+        tree.branch("async"),
+        &mut async_sink,
+    )
+    .expect("run");
+    let async_kinds = async_sink.kinds();
+    for kind in [
+        "frame_start",
+        "frame_end",
+        "action",
+        "delivery",
+        "link_covered",
+    ] {
+        assert!(
+            async_kinds.contains(&kind),
+            "async missing {kind}: {async_kinds:?}"
+        );
+    }
+
+    // The engine-agnostic core of the vocabulary appears in both streams.
+    for kind in ["action", "delivery", "link_covered"] {
+        assert!(
+            sync_kinds.contains(&kind) && async_kinds.contains(&kind),
+            "{kind}"
+        );
+    }
+}
+
+#[test]
+fn attaching_a_sink_does_not_change_the_simulation() {
+    let tree = SeedTree::new(0xB3);
+    let network = net(&tree);
+    let plain = run_sync_discovery(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(50_000),
+        tree.branch("run"),
+    )
+    .expect("run");
+    let mut sink = CollectSink::new();
+    let observed = run_sync_discovery_observed(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Identical,
+        SyncRunConfig::until_complete(50_000),
+        tree.branch("run"),
+        &mut sink,
+    )
+    .expect("run");
+    assert_eq!(plain.completion_slot(), observed.completion_slot());
+    assert_eq!(plain.deliveries(), observed.deliveries());
+    assert_eq!(plain.collisions(), observed.collisions());
+    assert_eq!(plain.action_counts(), observed.action_counts());
+}

@@ -7,11 +7,11 @@ use proptest::prelude::*;
 /// Strategy: a random connected-ish heterogeneous network description.
 fn network_strategy() -> impl Strategy<Value = (Network, u64)> {
     (
-        3usize..12,         // nodes
-        2u16..10,           // universe
-        1u16..6,            // subset size (clamped to universe)
-        0.2f64..1.0,        // ER edge probability
-        0u64..u64::MAX,     // seed
+        3usize..12,     // nodes
+        2u16..10,       // universe
+        1u16..6,        // subset size (clamped to universe)
+        0.2f64..1.0,    // ER edge probability
+        0u64..u64::MAX, // seed
     )
         .prop_map(|(n, universe, size, p, seed)| {
             let size = size.min(universe);
