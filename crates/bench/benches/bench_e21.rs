@@ -1,0 +1,80 @@
+//! E21 bench: re-discovery of a node joining a running network.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
+use mmhew_discovery::run_sync_discovery_dynamic;
+use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_topology::{NetworkBuilder, NetworkEvent, NodeId};
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+const JOIN_SLOT: u64 = 400;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E21");
+    let mut g = c.benchmark_group("e21_join_rediscovery");
+    for d in [2usize, 4, 8] {
+        let n = d + 1;
+        let net = NetworkBuilder::complete(n)
+            .universe(4)
+            .build(SeedTree::new(BENCH_SEED))
+            .expect("complete network");
+        let joiner = NodeId::new(d as u32);
+        let mut events = vec![TimedEvent::new(0, NetworkEvent::NodeLeave { node: joiner })];
+        events.push(TimedEvent::new(
+            JOIN_SLOT,
+            NetworkEvent::NodeJoin {
+                node: joiner,
+                position: net.topology().position(joiner),
+                available: net.available(joiner).clone(),
+            },
+        ));
+        for i in 0..d as u32 {
+            let other = NodeId::new(i);
+            events.push(TimedEvent::new(
+                JOIN_SLOT,
+                NetworkEvent::EdgeAdd {
+                    from: joiner,
+                    to: other,
+                },
+            ));
+            events.push(TimedEvent::new(
+                JOIN_SLOT,
+                NetworkEvent::EdgeAdd {
+                    from: other,
+                    to: joiner,
+                },
+            ));
+        }
+        let schedule = DynamicsSchedule::new(events);
+        let starts: Vec<u64> = (0..n).map(|i| if i == d { JOIN_SLOT } else { 0 }).collect();
+        g.bench_function(format!("d{d}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync_discovery_dynamic(
+                    &net,
+                    uniform(d as u64),
+                    StartSchedule::Explicit(starts.clone()),
+                    schedule.clone(),
+                    SyncRunConfig::until_complete(4_000_000),
+                    SeedTree::new(seed),
+                )
+                .expect("valid protocol")
+                .completion_slot()
+                .expect("completed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

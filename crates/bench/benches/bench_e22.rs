@@ -1,0 +1,67 @@
+//! E22 bench: continuous discovery under Poisson churn.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
+use mmhew_discovery::{build_continuous_protocols, staleness, ContinuousConfig};
+use mmhew_dynamics::{poisson_churn, ChurnConfig, DynamicsSchedule};
+use mmhew_engine::{SyncEngine, SyncRunConfig};
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+const HORIZON: u64 = 2_000;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E22");
+    let mut g = c.benchmark_group("e22_churn_staleness");
+    let net = NetworkBuilder::grid(3, 3)
+        .universe(4)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("grid network");
+    let delta = net.max_degree().max(1) as u64;
+    let continuous = ContinuousConfig::new(16, 400).expect("positive periods");
+    for rate in [0.001f64, 0.02] {
+        g.bench_function(format!("rate{rate}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let tree = SeedTree::new(seed);
+                let schedule = DynamicsSchedule::new(poisson_churn(
+                    &net,
+                    HORIZON,
+                    &ChurnConfig {
+                        rate,
+                        mean_downtime: 600.0,
+                    },
+                    tree.branch("churn"),
+                ));
+                let protocols = build_continuous_protocols(&net, uniform(delta), continuous)
+                    .expect("valid protocol");
+                let config = SyncRunConfig::fixed(HORIZON);
+                let mut engine = SyncEngine::new(
+                    &net,
+                    protocols,
+                    vec![0; net.node_count()],
+                    tree.branch("engine"),
+                )
+                .with_dynamics(schedule);
+                for _ in 0..HORIZON {
+                    engine.step(&config);
+                }
+                staleness(engine.network(), &engine.tables_snapshot()).total()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E23 bench: link re-establishment after a primary-user outage.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
+use mmhew_discovery::run_sync_discovery_dynamic;
+use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
+use mmhew_topology::{NetworkBuilder, NetworkEvent, NodeId};
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+const T1: u64 = 200;
+const T2: u64 = 300;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E23");
+    let mut g = c.benchmark_group("e23_spectrum_churn");
+    for s in [2u16, 8] {
+        let sets = vec![ChannelSet::full(s), [0u16].into_iter().collect()];
+        let net = NetworkBuilder::line(2)
+            .universe(s)
+            .availability(AvailabilityModel::Explicit(sets))
+            .build(SeedTree::new(BENCH_SEED))
+            .expect("two-node network");
+        let schedule = DynamicsSchedule::new(vec![
+            TimedEvent::new(
+                T1,
+                NetworkEvent::ChannelLost {
+                    node: NodeId::new(1),
+                    channel: ChannelId::new(0),
+                },
+            ),
+            TimedEvent::new(
+                T2,
+                NetworkEvent::ChannelGained {
+                    node: NodeId::new(1),
+                    channel: ChannelId::new(0),
+                },
+            ),
+        ]);
+        g.bench_function(format!("s{s}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                run_sync_discovery_dynamic(
+                    &net,
+                    uniform(1),
+                    StartSchedule::Identical,
+                    schedule.clone(),
+                    SyncRunConfig::until_complete(4_000_000),
+                    SeedTree::new(seed),
+                )
+                .expect("valid protocol")
+                .completion_slot()
+                .expect("completed")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,385 @@
+//! Continuous neighbor discovery for dynamic networks.
+//!
+//! The paper's algorithms target a *static* network: run long enough,
+//! tables converge to the ground truth, done. Under churn, mobility, or
+//! primary-user spectrum dynamics the ground truth keeps moving, so a node
+//! must (a) keep announcing itself after initial discovery so late joiners
+//! hear it, and (b) age out neighbors it has stopped hearing from.
+//!
+//! [`ContinuousDiscovery`] wraps any inner [`SyncProtocol`] with exactly
+//! those two behaviours: it delegates to the inner algorithm until the
+//! inner algorithm terminates (or forever, for the paper's non-terminating
+//! algorithms the wrapper's steady state never activates), then settles
+//! into a sparse re-announce pattern — transmit with probability
+//! `1/reannounce_period`, otherwise listen — while evicting table entries
+//! older than `stale_timeout` slots. Experiment E22 measures the resulting
+//! staleness of the discovered sets as a function of churn rate.
+
+use crate::params::ProtocolError;
+use crate::runner::{build_sync_protocols, SyncAlgorithm};
+use mmhew_engine::{NeighborTable, SyncProtocol};
+use mmhew_obs::ProtocolPhase;
+use mmhew_radio::{Beacon, SlotAction};
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_topology::{Network, NodeId};
+use mmhew_util::Xoshiro256StarStar;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Parameters of [`ContinuousDiscovery`].
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::ContinuousConfig;
+///
+/// let cfg = ContinuousConfig::new(64, 4_096)?;
+/// assert_eq!(cfg.reannounce_period(), 64);
+/// assert_eq!(cfg.stale_timeout(), 4_096);
+/// # Ok::<(), mmhew_discovery::ProtocolError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ContinuousConfig {
+    reannounce_period: u64,
+    stale_timeout: u64,
+}
+
+impl ContinuousConfig {
+    /// Creates a configuration: in steady state a node transmits with
+    /// probability `1/reannounce_period` per slot, and evicts neighbors
+    /// not heard for more than `stale_timeout` slots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::ZeroContinuousParameter`] if either period
+    /// is zero. A `stale_timeout` below the re-announce period would evict
+    /// faster than neighbors can re-announce, but that is a measurable
+    /// (bad) operating point, not a constructor error.
+    pub fn new(reannounce_period: u64, stale_timeout: u64) -> Result<Self, ProtocolError> {
+        if reannounce_period == 0 || stale_timeout == 0 {
+            return Err(ProtocolError::ZeroContinuousParameter);
+        }
+        Ok(Self {
+            reannounce_period,
+            stale_timeout,
+        })
+    }
+
+    /// Mean slots between steady-state re-announcements.
+    pub fn reannounce_period(&self) -> u64 {
+        self.reannounce_period
+    }
+
+    /// Slots without hearing a neighbor after which it is evicted.
+    pub fn stale_timeout(&self) -> u64 {
+        self.stale_timeout
+    }
+}
+
+/// Wraps a discovery algorithm with periodic re-announcing and
+/// stale-neighbor eviction; never terminates.
+///
+/// The wrapper keeps its *own* neighbor table: a beacon overwrites the
+/// neighbor's common channel set (fresh spectrum knowledge supersedes
+/// stale), and entries not refreshed within the timeout are dropped. The
+/// inner algorithm's table keeps accumulating unaffected — it is the
+/// wrapper's table that tracks the living network.
+pub struct ContinuousDiscovery {
+    inner: Box<dyn SyncProtocol>,
+    available: ChannelSet,
+    config: ContinuousConfig,
+    reannounce_probability: f64,
+    table: NeighborTable,
+    last_heard: BTreeMap<NodeId, u64>,
+    slot: u64,
+}
+
+impl ContinuousDiscovery {
+    /// Wraps `inner` for a node whose available channel set is
+    /// `available`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError::EmptyChannelSet`] if `available` is empty.
+    pub fn new(
+        inner: Box<dyn SyncProtocol>,
+        available: ChannelSet,
+        config: ContinuousConfig,
+    ) -> Result<Self, ProtocolError> {
+        if available.is_empty() {
+            return Err(ProtocolError::EmptyChannelSet);
+        }
+        Ok(Self {
+            inner,
+            available,
+            config,
+            reannounce_probability: 1.0 / config.reannounce_period as f64,
+            table: NeighborTable::new(),
+            last_heard: BTreeMap::new(),
+            slot: 0,
+        })
+    }
+
+    /// The wrapper's configuration.
+    pub fn config(&self) -> &ContinuousConfig {
+        &self.config
+    }
+
+    /// Slot of the most recent beacon from `neighbor`, if still tabled.
+    pub fn last_heard(&self, neighbor: NodeId) -> Option<u64> {
+        self.last_heard.get(&neighbor).copied()
+    }
+
+    fn evict_stale(&mut self, now: u64) {
+        let timeout = self.config.stale_timeout;
+        let stale: Vec<NodeId> = self
+            .last_heard
+            .iter()
+            .filter(|(_, &heard)| now.saturating_sub(heard) > timeout)
+            .map(|(&v, _)| v)
+            .collect();
+        for v in stale {
+            self.last_heard.remove(&v);
+            self.table.remove(v);
+        }
+    }
+}
+
+impl SyncProtocol for ContinuousDiscovery {
+    fn on_slot(&mut self, active_slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
+        self.slot = active_slot;
+        self.evict_stale(active_slot);
+        if !self.inner.is_terminated() {
+            return self.inner.on_slot(active_slot, rng);
+        }
+        // Steady state: sparse re-announce, otherwise keep listening so
+        // joining neighbors' announcements are heard.
+        let channel = self
+            .available
+            .choose_uniform(rng)
+            .expect("validated non-empty");
+        if rng.gen_bool(self.reannounce_probability) {
+            SlotAction::Transmit { channel }
+        } else {
+            SlotAction::Listen { channel }
+        }
+    }
+
+    fn on_beacon(&mut self, beacon: &Beacon, channel: ChannelId) {
+        self.inner.on_beacon(beacon, channel);
+        self.table.replace(
+            beacon.sender(),
+            beacon.available().intersection(&self.available),
+        );
+        self.last_heard.insert(beacon.sender(), self.slot);
+    }
+
+    fn table(&self) -> &NeighborTable {
+        &self.table
+    }
+
+    /// Continuous discovery never stops.
+    fn is_terminated(&self) -> bool {
+        false
+    }
+
+    fn phase(&self) -> Option<ProtocolPhase> {
+        self.inner.phase()
+    }
+}
+
+/// Builds one [`ContinuousDiscovery`]-wrapped protocol per node, with
+/// `algorithm` as the inner discovery phase. Pair with
+/// [`mmhew_engine::SyncEngine::with_dynamics`] (or
+/// [`crate::run_continuous_discovery`]) for a churn study.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn build_continuous_protocols(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    config: ContinuousConfig,
+) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
+    build_sync_protocols(network, algorithm)?
+        .into_iter()
+        .enumerate()
+        .map(|(i, inner)| {
+            let available = network.available(NodeId::new(i as u32)).clone();
+            ContinuousDiscovery::new(inner, available, config)
+                .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
+        })
+        .collect()
+}
+
+/// How far a set of neighbor tables has drifted from a (possibly mutated)
+/// network's ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StalenessReport {
+    /// True directed links whose receiver has no table entry for the
+    /// transmitter (not yet discovered, or wrongly evicted).
+    pub missing: usize,
+    /// Table entries naming a node that is *not* currently a neighbor
+    /// (departed, moved away, or lost its last common channel).
+    pub ghosts: usize,
+}
+
+impl StalenessReport {
+    /// Total staleness (missing + ghosts).
+    pub fn total(&self) -> usize {
+        self.missing + self.ghosts
+    }
+}
+
+/// Compares per-node tables against `network`'s current ground truth.
+/// Channel-set mismatches on correctly-known neighbors are not counted —
+/// E22 tracks *membership* staleness.
+pub fn staleness(network: &Network, tables: &[NeighborTable]) -> StalenessReport {
+    let mut report = StalenessReport::default();
+    for (i, table) in tables.iter().enumerate() {
+        let u = NodeId::new(i as u32);
+        let expected = network.expected_discovery(u);
+        report.missing += expected.iter().filter(|(v, _)| !table.contains(*v)).count();
+        report.ghosts += table
+            .iter()
+            .filter(|(v, _)| !expected.iter().any(|(ev, _)| ev == v))
+            .count();
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg3_uniform::UniformDiscovery;
+    use crate::params::SyncParams;
+    use crate::termination::QuiescentTermination;
+    use mmhew_topology::NetworkBuilder;
+    use mmhew_util::SeedTree;
+
+    fn wrapped(reannounce: u64, timeout: u64) -> ContinuousDiscovery {
+        let own = ChannelSet::full(2);
+        let inner =
+            UniformDiscovery::new(own.clone(), SyncParams::new(2).expect("valid")).expect("valid");
+        // A hair-trigger quiescence detector so the steady state is
+        // reachable quickly in tests.
+        let inner = QuiescentTermination::new(Box::new(inner), 2).expect("valid");
+        ContinuousDiscovery::new(
+            Box::new(inner),
+            own,
+            ContinuousConfig::new(reannounce, timeout).expect("valid"),
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert_eq!(
+            ContinuousConfig::new(0, 10),
+            Err(ProtocolError::ZeroContinuousParameter)
+        );
+        assert_eq!(
+            ContinuousConfig::new(10, 0),
+            Err(ProtocolError::ZeroContinuousParameter)
+        );
+        assert!(ContinuousConfig::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn never_terminates_and_keeps_announcing() {
+        let mut p = wrapped(4, 1_000_000);
+        let mut rng = SeedTree::new(3).rng();
+        let mut transmitted_after_termination = 0u32;
+        for slot in 0..2_000 {
+            let action = p.on_slot(slot, &mut rng);
+            if slot > 100 && action.is_transmit() {
+                transmitted_after_termination += 1;
+            }
+            assert!(!p.is_terminated());
+        }
+        // The inner wrapper went quiet at slot 2; from then on the steady
+        // state re-announces at rate 1/4.
+        let rate = f64::from(transmitted_after_termination) / 1_900.0;
+        assert!((rate - 0.25).abs() < 0.05, "re-announce rate {rate}");
+    }
+
+    #[test]
+    fn stale_neighbors_are_evicted_and_rediscovery_restores() {
+        let mut p = wrapped(2, 10);
+        let mut rng = SeedTree::new(4).rng();
+        let beacon = Beacon::new(NodeId::new(7), ChannelSet::full(2));
+        p.on_slot(0, &mut rng);
+        p.on_beacon(&beacon, ChannelId::new(0));
+        assert!(p.table().contains(NodeId::new(7)));
+        assert_eq!(p.last_heard(NodeId::new(7)), Some(0));
+        // Within the timeout the entry survives...
+        p.on_slot(10, &mut rng);
+        assert!(p.table().contains(NodeId::new(7)));
+        // ...one slot past it, the entry is gone.
+        p.on_slot(11, &mut rng);
+        assert!(!p.table().contains(NodeId::new(7)));
+        assert_eq!(p.last_heard(NodeId::new(7)), None);
+        // Hearing the neighbor again restores it with a fresh stamp.
+        p.on_beacon(&beacon, ChannelId::new(0));
+        assert_eq!(p.last_heard(NodeId::new(7)), Some(11));
+    }
+
+    #[test]
+    fn fresh_beacon_overwrites_channel_set() {
+        let mut p = wrapped(2, 100);
+        let mut rng = SeedTree::new(5).rng();
+        p.on_slot(0, &mut rng);
+        p.on_beacon(
+            &Beacon::new(NodeId::new(1), ChannelSet::full(2)),
+            ChannelId::new(0),
+        );
+        assert_eq!(p.table().get(NodeId::new(1)), Some(&ChannelSet::full(2)));
+        // The neighbor lost channel 1 to a primary user; its next beacon
+        // carries the shrunken set, which replaces (not unions) the entry.
+        p.on_beacon(
+            &Beacon::new(NodeId::new(1), [0u16].into_iter().collect()),
+            ChannelId::new(0),
+        );
+        assert_eq!(
+            p.table().get(NodeId::new(1)),
+            Some(&[0u16].into_iter().collect())
+        );
+    }
+
+    #[test]
+    fn staleness_counts_missing_and_ghosts() {
+        let net = NetworkBuilder::line(3)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mut tables: Vec<NeighborTable> = (0..3).map(|_| NeighborTable::new()).collect();
+        // Nothing discovered: every directed link is missing.
+        let r = staleness(&net, &tables);
+        assert_eq!(r.missing, 4);
+        assert_eq!(r.ghosts, 0);
+        // Node 0 knows its true neighbor 1 plus a ghost (departed node 2).
+        tables[0].record(NodeId::new(1), ChannelSet::full(2));
+        tables[0].record(NodeId::new(2), ChannelSet::full(2));
+        let r = staleness(&net, &tables);
+        assert_eq!(r.missing, 3);
+        assert_eq!(r.ghosts, 1);
+        assert_eq!(r.total(), 4);
+    }
+
+    #[test]
+    fn build_continuous_protocols_wraps_every_node() {
+        let net = NetworkBuilder::complete(4)
+            .universe(4)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let protocols = build_continuous_protocols(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(4).expect("valid")),
+            ContinuousConfig::new(32, 1_000).expect("valid"),
+        )
+        .expect("build");
+        assert_eq!(protocols.len(), 4);
+        assert!(protocols.iter().all(|p| !p.is_terminated()));
+    }
+}

@@ -51,6 +51,7 @@ pub mod alg3_uniform;
 pub mod alg4_async;
 pub mod baseline;
 pub mod bounds;
+pub mod continuous;
 pub mod params;
 pub mod runner;
 pub mod termination;
@@ -61,11 +62,16 @@ pub use alg2_adaptive::{AdaptiveDiscovery, GrowthStrategy};
 pub use alg3_uniform::UniformDiscovery;
 pub use alg4_async::AsyncFrameDiscovery;
 pub use bounds::{alg3_link_coverage_probability, Bounds};
+pub use continuous::{
+    build_continuous_protocols, staleness, ContinuousConfig, ContinuousDiscovery, StalenessReport,
+};
 pub use params::{AsyncParams, ProtocolError, SyncParams};
 pub use runner::{
-    run_async_discovery, run_async_discovery_observed, run_async_discovery_terminating,
-    run_sync_discovery, run_sync_discovery_observed, run_sync_discovery_terminating,
-    tables_are_sound, tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
+    run_async_discovery, run_async_discovery_dynamic, run_async_discovery_dynamic_observed,
+    run_async_discovery_observed, run_async_discovery_terminating, run_continuous_discovery,
+    run_sync_discovery, run_sync_discovery_dynamic, run_sync_discovery_dynamic_observed,
+    run_sync_discovery_observed, run_sync_discovery_terminating, tables_are_sound,
+    tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
 };
 pub use termination::{QuiescentAsyncTermination, QuiescentTermination};
 pub use two_hop::{two_hop_views, TwoHopView};

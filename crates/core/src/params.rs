@@ -11,6 +11,9 @@ pub enum ProtocolError {
     EmptyChannelSet,
     /// The degree estimate must be at least 1.
     ZeroDegreeEstimate,
+    /// Continuous-discovery periods (re-announce, stale timeout) must be
+    /// at least 1 slot.
+    ZeroContinuousParameter,
 }
 
 impl fmt::Display for ProtocolError {
@@ -21,6 +24,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::ZeroDegreeEstimate => {
                 write!(f, "degree estimate must be at least 1")
+            }
+            ProtocolError::ZeroContinuousParameter => {
+                write!(f, "continuous-discovery periods must be at least 1 slot")
             }
         }
     }

@@ -5,8 +5,10 @@ use crate::alg2_adaptive::{AdaptiveDiscovery, GrowthStrategy};
 use crate::alg3_uniform::UniformDiscovery;
 use crate::alg4_async::AsyncFrameDiscovery;
 use crate::baseline::PerChannelBirthday;
+use crate::continuous::{build_continuous_protocols, ContinuousConfig};
 use crate::params::{AsyncParams, ProtocolError, SyncParams};
 use crate::termination::{QuiescentAsyncTermination, QuiescentTermination};
+use mmhew_dynamics::DynamicsSchedule;
 use mmhew_engine::{
     AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, NeighborTable, StartSchedule,
     SyncEngine, SyncOutcome, SyncProtocol, SyncRunConfig,
@@ -139,7 +141,7 @@ pub fn run_sync_discovery_terminating(
     Ok(SyncEngine::new(network, protocols, start_slots, seed.branch("engine")).run(config))
 }
 
-fn build_sync_protocols(
+pub(crate) fn build_sync_protocols(
     network: &Network,
     algorithm: SyncAlgorithm,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
@@ -163,6 +165,85 @@ fn build_sync_protocols(
     Ok(protocols)
 }
 
+/// Like [`run_sync_discovery`], but attaches a [`DynamicsSchedule`]
+/// (churn, mobility, spectrum dynamics; `at` interpreted as slot indices)
+/// to the engine. An empty schedule reproduces [`run_sync_discovery`]
+/// bit for bit.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_sync_discovery_dynamic(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    dynamics: DynamicsSchedule,
+    config: SyncRunConfig,
+    seed: SeedTree,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .run(config),
+    )
+}
+
+/// [`run_sync_discovery_dynamic`] with an attached [`EventSink`] — the
+/// sink additionally sees the dynamics events (`NodeJoined`, `NodeLeft`,
+/// `EdgeChanged`, `ChannelChanged`, `GroundTruthChanged`) as they are
+/// applied.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_sync_discovery_dynamic_observed(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    dynamics: DynamicsSchedule,
+    config: SyncRunConfig,
+    seed: SeedTree,
+    sink: &mut dyn EventSink,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .with_sink(sink)
+            .run(config),
+    )
+}
+
+/// Runs [`crate::ContinuousDiscovery`]-wrapped protocols under a dynamics
+/// schedule: the deployment-faithful configuration for a network that
+/// never stops changing. The run always exhausts its slot budget
+/// (continuous discovery has no completion), so pair with
+/// [`SyncRunConfig::fixed`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_continuous_discovery(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    continuous: ContinuousConfig,
+    starts: StartSchedule,
+    dynamics: DynamicsSchedule,
+    config: SyncRunConfig,
+    seed: SeedTree,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_continuous_protocols(network, algorithm, continuous)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .run(config),
+    )
+}
+
 /// Builds per-node protocol instances and runs the asynchronous engine.
 ///
 /// # Errors
@@ -174,18 +255,53 @@ pub fn run_async_discovery(
     config: AsyncRunConfig,
     seed: SeedTree,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let n = network.node_count();
-    let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let available = network.available(NodeId::new(i as u32)).clone();
-        let protocol: Box<dyn AsyncProtocol> = match algorithm {
-            AsyncAlgorithm::FrameBased(params) => {
-                Box::new(AsyncFrameDiscovery::new(available, params)?)
-            }
-        };
-        protocols.push(protocol);
-    }
+    let protocols = build_async_protocols(network, algorithm)?;
     Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
+}
+
+/// Like [`run_async_discovery`], but attaches a [`DynamicsSchedule`]
+/// (`at` interpreted as real nanoseconds, applied at frame-start
+/// boundaries). An empty schedule reproduces [`run_async_discovery`] bit
+/// for bit.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_async_discovery_dynamic(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    dynamics: DynamicsSchedule,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let protocols = build_async_protocols(network, algorithm)?;
+    Ok(
+        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .run(),
+    )
+}
+
+/// [`run_async_discovery_dynamic`] with an attached [`EventSink`].
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_async_discovery_dynamic_observed(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    dynamics: DynamicsSchedule,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+    sink: &mut dyn EventSink,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let protocols = build_async_protocols(network, algorithm)?;
+    Ok(
+        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .with_sink(sink)
+            .run(),
+    )
 }
 
 /// Like [`run_async_discovery`], but attaches `sink` to the engine so
@@ -202,6 +318,18 @@ pub fn run_async_discovery_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<AsyncOutcome, ProtocolError> {
+    let protocols = build_async_protocols(network, algorithm)?;
+    Ok(
+        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_sink(sink)
+            .run(),
+    )
+}
+
+fn build_async_protocols(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+) -> Result<Vec<Box<dyn AsyncProtocol>>, ProtocolError> {
     let n = network.node_count();
     let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
     for i in 0..n {
@@ -213,11 +341,7 @@ pub fn run_async_discovery_observed(
         };
         protocols.push(protocol);
     }
-    Ok(
-        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
-            .with_sink(sink)
-            .run(),
-    )
+    Ok(protocols)
 }
 
 /// Like [`run_async_discovery`], but wraps every node in a
@@ -237,20 +361,13 @@ pub fn run_async_discovery_terminating(
     config: AsyncRunConfig,
     seed: SeedTree,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let n = network.node_count();
-    let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
-    for i in 0..n {
-        let available = network.available(NodeId::new(i as u32)).clone();
-        let inner: Box<dyn AsyncProtocol> = match algorithm {
-            AsyncAlgorithm::FrameBased(params) => {
-                Box::new(AsyncFrameDiscovery::new(available, params)?)
-            }
-        };
-        protocols.push(Box::new(QuiescentAsyncTermination::new(
-            inner,
-            quiet_frames,
-        )?));
-    }
+    let protocols = build_async_protocols(network, algorithm)?
+        .into_iter()
+        .map(|inner| {
+            QuiescentAsyncTermination::new(inner, quiet_frames)
+                .map(|p| Box::new(p) as Box<dyn AsyncProtocol>)
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
 }
 
@@ -570,6 +687,72 @@ mod tests {
         assert_eq!(plain.link_coverage(), observed.link_coverage());
         assert_eq!(sink.deliveries(), observed.deliveries());
         assert_eq!(sink.slots(), observed.slots_executed());
+    }
+
+    #[test]
+    fn dynamic_run_with_empty_schedule_matches_static() {
+        let net = small_net();
+        let alg = SyncAlgorithm::Staged(SyncParams::new(4).expect("valid"));
+        let config = SyncRunConfig::until_complete(100_000);
+        let plain = run_sync_discovery(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        let frozen = run_sync_discovery_dynamic(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            DynamicsSchedule::empty(),
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        assert_eq!(plain.completion_slot(), frozen.completion_slot());
+        assert_eq!(plain.link_coverage(), frozen.link_coverage());
+        assert_eq!(plain.deliveries(), frozen.deliveries());
+    }
+
+    #[test]
+    fn continuous_discovery_evicts_a_departed_neighbor() {
+        use crate::continuous::{staleness, ContinuousConfig};
+        use mmhew_dynamics::TimedEvent;
+        use mmhew_topology::NetworkEvent;
+
+        let net = NetworkBuilder::complete(3)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // Node 2 departs at slot 5000; with a 1000-slot stale timeout, its
+        // ghost entries must be gone well before the 12000-slot budget.
+        let dynamics = DynamicsSchedule::new(vec![TimedEvent::new(
+            5_000,
+            NetworkEvent::NodeLeave {
+                node: NodeId::new(2),
+            },
+        )]);
+        let out = run_continuous_discovery(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(2).expect("valid")),
+            ContinuousConfig::new(16, 1_000).expect("valid"),
+            StartSchedule::Identical,
+            dynamics,
+            SyncRunConfig::fixed(12_000),
+            SeedTree::new(13),
+        )
+        .expect("run");
+        let mut shrunk = net.clone();
+        shrunk
+            .apply(&NetworkEvent::NodeLeave {
+                node: NodeId::new(2),
+            })
+            .expect("apply");
+        let report = staleness(&shrunk, out.tables());
+        assert_eq!(report.ghosts, 0, "departed neighbor still tabled");
+        assert_eq!(report.missing, 0, "survivors should know each other");
     }
 
     #[test]

@@ -1,0 +1,57 @@
+//! Deterministic network dynamics: churn, mobility, and spectrum events.
+//!
+//! The source paper analyses neighbor discovery on a *frozen* network.
+//! Its follow-up line of work (robust discovery under churn, continuous
+//! discovery in cognitive-radio networks) asks what happens when the
+//! network moves underneath the algorithm: nodes join and leave, mobility
+//! makes and breaks links, primary users occupy and vacate channels.
+//!
+//! This crate expresses that movement as data. A [`DynamicsSchedule`] is a
+//! time-ordered stream of [`TimedEvent`]s — each a
+//! [`NetworkEvent`] (defined in `mmhew-topology`, where
+//! `Network::apply` consumes it) plus a firing time. Schedules are plain
+//! values: generated once from a [`SeedTree`](mmhew_util::SeedTree), fully
+//! inspectable, serializable, and replayed identically by both engines, so
+//! a dynamic run stays a pure function of the master seed.
+//!
+//! Firing times are interpreted by the consumer: the synchronous engine
+//! reads `at` as a **slot index**, the asynchronous engine as **real-time
+//! nanoseconds**. Generators take a `horizon` in the same unit.
+//!
+//! Three seeded [`generators`] cover the canonical scenarios:
+//!
+//! * [`generators::poisson_churn`] — memoryless node departures with
+//!   exponential downtimes; a rejoining node re-announces its original
+//!   edges once both endpoints are present.
+//! * [`generators::random_waypoint`] — unit-disk mobility: nodes walk
+//!   toward random waypoints, links recomputed from positions every step.
+//! * [`generators::markov_primary_users`] — per-channel on/off Markov
+//!   primary users; occupying a channel removes it from every node that
+//!   perceives it, vacating restores the baseline.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_dynamics::{DynamicsSchedule, NetworkEvent, TimedEvent};
+//! use mmhew_topology::NodeId;
+//!
+//! let mut schedule = DynamicsSchedule::new(vec![
+//!     TimedEvent::new(40, NetworkEvent::NodeLeave { node: NodeId::new(2) }),
+//!     TimedEvent::new(10, NetworkEvent::NodeLeave { node: NodeId::new(0) }),
+//! ]);
+//! assert_eq!(schedule.next_due(5), None);
+//! assert_eq!(schedule.next_due(10).map(|e| e.at), Some(10));
+//! assert_eq!(schedule.next_due(10), None, "nothing else due yet");
+//! assert_eq!(schedule.next_due(99).map(|e| e.at), Some(40));
+//! assert!(schedule.is_exhausted());
+//! ```
+
+pub mod generators;
+pub mod schedule;
+
+pub use generators::{
+    markov_primary_users, poisson_churn, random_waypoint, ChurnConfig, MobilityConfig,
+    SpectrumChurnConfig,
+};
+pub use mmhew_topology::NetworkEvent;
+pub use schedule::{DynamicsSchedule, TimedEvent};

@@ -1,0 +1,159 @@
+//! The mutation schedule: a replayable, time-ordered event stream.
+
+use mmhew_topology::NetworkEvent;
+use serde::{Deserialize, Serialize};
+
+/// A [`NetworkEvent`] with a firing time.
+///
+/// `at` is unit-agnostic: the synchronous engine interprets it as a slot
+/// index, the asynchronous engine as real-time nanoseconds. Events with
+/// equal `at` fire in schedule order (sorting is stable).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// When the event fires (slot index or real nanoseconds).
+    pub at: u64,
+    /// What changes.
+    pub event: NetworkEvent,
+}
+
+impl TimedEvent {
+    /// Pairs an event with its firing time.
+    pub fn new(at: u64, event: NetworkEvent) -> Self {
+        Self { at, event }
+    }
+}
+
+/// A time-ordered stream of network mutations with a consumption cursor.
+///
+/// The schedule is a plain value: build it from generator output (or by
+/// hand), hand it to an engine, and every run with the same seed replays
+/// the same mutations at the same boundaries. An empty schedule is the
+/// degenerate case — attaching it must not change a run at all (the
+/// dynamics-neutrality guarantee, enforced by `tests/dynamics.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DynamicsSchedule {
+    events: Vec<TimedEvent>,
+    cursor: usize,
+}
+
+impl DynamicsSchedule {
+    /// Builds a schedule from events in any order; they are stably sorted
+    /// by firing time (ties keep their given order).
+    pub fn new(mut events: Vec<TimedEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events, cursor: 0 }
+    }
+
+    /// The schedule with no events — dynamics-neutral by construction.
+    pub fn empty() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// Concatenates several event streams (e.g. churn + spectrum) into one
+    /// schedule, interleaved by firing time.
+    pub fn merged<I: IntoIterator<Item = Vec<TimedEvent>>>(streams: I) -> Self {
+        Self::new(streams.into_iter().flatten().collect())
+    }
+
+    /// Total number of events (consumed or not).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if the schedule holds no events at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// True once every event has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.events.len()
+    }
+
+    /// Events not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Firing time of the last event, if any.
+    pub fn horizon(&self) -> Option<u64> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Firing time of the next unconsumed event, if any.
+    pub fn peek_at(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|e| e.at)
+    }
+
+    /// Pops the next event with `at <= now`, advancing the cursor. Call in
+    /// a loop at each time boundary to drain everything due.
+    pub fn next_due(&mut self, now: u64) -> Option<&TimedEvent> {
+        let event = self.events.get(self.cursor)?;
+        if event.at > now {
+            return None;
+        }
+        self.cursor += 1;
+        Some(event)
+    }
+
+    /// Rewinds the cursor so the schedule can be replayed.
+    pub fn reset(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// All events in firing order, regardless of cursor position.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_topology::NodeId;
+
+    fn leave(at: u64, node: u32) -> TimedEvent {
+        TimedEvent::new(
+            at,
+            NetworkEvent::NodeLeave {
+                node: NodeId::new(node),
+            },
+        )
+    }
+
+    #[test]
+    fn sorts_stably_and_drains_in_order() {
+        let mut s = DynamicsSchedule::new(vec![leave(7, 0), leave(3, 1), leave(7, 2), leave(3, 3)]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.horizon(), Some(7));
+        assert_eq!(s.peek_at(), Some(3));
+        // Ties preserve insertion order: (3,1) before (3,3), (7,0) before (7,2).
+        let drained: Vec<_> = std::iter::from_fn(|| s.next_due(100).cloned()).collect();
+        assert_eq!(
+            drained,
+            vec![leave(3, 1), leave(3, 3), leave(7, 0), leave(7, 2)]
+        );
+        assert!(s.is_exhausted());
+        s.reset();
+        assert_eq!(s.remaining(), 4);
+    }
+
+    #[test]
+    fn next_due_respects_now() {
+        let mut s = DynamicsSchedule::new(vec![leave(5, 0), leave(10, 1)]);
+        assert!(s.next_due(4).is_none());
+        assert_eq!(s.next_due(5).map(|e| e.at), Some(5));
+        assert!(s.next_due(9).is_none());
+        assert_eq!(s.remaining(), 1);
+    }
+
+    #[test]
+    fn empty_and_merged() {
+        assert!(DynamicsSchedule::empty().is_empty());
+        assert!(DynamicsSchedule::empty().is_exhausted());
+        assert_eq!(DynamicsSchedule::empty().horizon(), None);
+        let m = DynamicsSchedule::merged(vec![vec![leave(9, 0)], vec![leave(2, 1)]]);
+        assert_eq!(m.events()[0].at, 2);
+        assert_eq!(m.len(), 2);
+    }
+}

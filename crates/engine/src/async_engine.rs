@@ -14,16 +14,19 @@
 //! its originating frame starts before the window ends.
 
 use crate::config::{AsyncRunConfig, BurstPlan};
+use crate::dynamics::dynamics_sim_event;
 use crate::energy::{ActionCounts, EnergyModel};
 use crate::observer::CoverageTracker;
 use crate::protocol::AsyncProtocol;
 use crate::table::NeighborTable;
+use mmhew_dynamics::DynamicsSchedule;
 use mmhew_obs::{EventSink, ProtocolPhase, SimEvent, Stamp};
 use mmhew_radio::{clear_receptions, Beacon, FrameAction, ListenWindow, SlotAction, Transmission};
 use mmhew_time::{DriftedClock, FrameSchedule, RealTime, SLOTS_PER_FRAME};
-use mmhew_topology::{Link, Network, NodeId};
+use mmhew_topology::{Link, Network, NetworkEvent, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
 use serde::Serialize;
+use std::borrow::Cow;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -138,7 +141,10 @@ struct NodeState {
 /// and start times are materialized from the seed) and consumed by
 /// [`AsyncEngine::run`].
 pub struct AsyncEngine<'n> {
-    network: &'n Network,
+    /// Borrowed while static; promoted to an owned copy on the first
+    /// dynamics mutation (copy-on-write keeps static runs allocation-free).
+    network: Cow<'n, Network>,
+    dynamics: Option<DynamicsSchedule>,
     protocols: Vec<Box<dyn AsyncProtocol>>,
     nodes: Vec<NodeState>,
     starts: Vec<RealTime>,
@@ -219,7 +225,8 @@ impl<'n> AsyncEngine<'n> {
             .map(|i| seed.branch("node").index(i as u64).rng())
             .collect();
         Self {
-            network,
+            network: Cow::Borrowed(network),
+            dynamics: None,
             protocols,
             nodes,
             starts,
@@ -246,14 +253,81 @@ impl<'n> AsyncEngine<'n> {
         self
     }
 
+    /// Attaches a [`DynamicsSchedule`]: due events (interpreting `at` as
+    /// real nanoseconds) are applied at frame-start boundaries, before the
+    /// starting node's protocol is consulted. An empty schedule leaves the
+    /// run bit-identical to a run without one (dynamics neutrality).
+    pub fn with_dynamics(mut self, schedule: DynamicsSchedule) -> Self {
+        self.dynamics = Some(schedule);
+        self
+    }
+
+    /// The network as of the last applied dynamics event (the original
+    /// borrow while no event has fired).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Applies every dynamics event due at real time `now`, then resyncs
+    /// the coverage tracker to the mutated ground truth.
+    fn apply_due_dynamics(&mut self, now: RealTime) {
+        let due: Vec<NetworkEvent> = match self.dynamics.as_mut() {
+            None => return,
+            Some(schedule) => {
+                let mut due = Vec::new();
+                while let Some(timed) = schedule.next_due(now.as_nanos()) {
+                    due.push(timed.event.clone());
+                }
+                due
+            }
+        };
+        if due.is_empty() {
+            return;
+        }
+        let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
+        let at = Stamp::Real(now);
+        for event in &due {
+            self.network
+                .to_mut()
+                .apply(event)
+                .expect("dynamics event must be valid for this network");
+            if observing {
+                let sim = dynamics_sim_event(event, at);
+                let sink = self.sink.as_deref_mut().expect("sink checked above");
+                sink.on_event(&sim);
+            }
+        }
+        self.tracker.resync(&self.network);
+        if observing {
+            let covered = self.tracker.covered() as u64;
+            let expected = self.tracker.expected() as u64;
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            sink.on_event(&SimEvent::GroundTruthChanged {
+                at,
+                covered,
+                expected,
+            });
+        }
+    }
+
     /// Runs to completion or budget exhaustion.
+    ///
+    /// With a dynamics schedule attached, `stop_when_complete` only fires
+    /// once the schedule is exhausted — a transiently complete (or empty)
+    /// ground truth with mutations still pending is not the end of the
+    /// story.
     pub fn run(mut self) -> AsyncOutcome {
         while let Some(Reverse(event)) = self.queue.pop() {
             match event.kind {
                 EventKind::FrameStart => self.on_frame_start(event),
                 EventKind::FrameEnd => {
                     self.on_frame_end(event);
-                    if self.config.stop_when_complete && self.tracker.is_complete() {
+                    let dynamics_pending =
+                        self.dynamics.as_ref().is_some_and(|s| !s.is_exhausted());
+                    if self.config.stop_when_complete
+                        && self.tracker.is_complete()
+                        && !dynamics_pending
+                    {
                         break;
                     }
                 }
@@ -263,6 +337,7 @@ impl<'n> AsyncEngine<'n> {
     }
 
     fn on_frame_start(&mut self, event: Event) {
+        self.apply_due_dynamics(event.time);
         let i = event.node as usize;
         let f = event.frame;
         if self.protocols[i].is_terminated() {
@@ -273,10 +348,15 @@ impl<'n> AsyncEngine<'n> {
         let state = &mut self.nodes[i];
         let interval = state.schedule.frame_interval(f, &mut state.clock);
         let action = self.protocols[i].on_frame(f, &mut self.node_rngs[i]);
+        // Under dynamics a protocol may lag behind a spectrum mutation and
+        // transmit on a channel it just lost; the medium simply never
+        // delivers it. Statically that is a protocol bug.
         debug_assert!(
-            self.network
-                .available(NodeId::new(event.node))
-                .contains(action.channel()),
+            self.dynamics.is_some()
+                || self
+                    .network
+                    .available(NodeId::new(event.node))
+                    .contains(action.channel()),
             "protocol chose a channel outside its available set"
         );
         let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
@@ -367,7 +447,7 @@ impl<'n> AsyncEngine<'n> {
         }
         if let Some(window) = self.nodes[i].pending_listen.take() {
             let channel_bursts = &self.bursts[window.channel.index() as usize];
-            let receptions = clear_receptions(self.network, &window, channel_bursts);
+            let receptions = clear_receptions(&self.network, &window, channel_bursts);
             for r in receptions {
                 if self.config.impairments.delivers(&mut self.medium_rng) {
                     let beacon = Beacon::new(r.from, self.network.available(r.from).clone());
@@ -750,6 +830,98 @@ mod tests {
             5,
         );
         assert!(out.completed());
+    }
+
+    #[test]
+    fn dynamics_rewire_ground_truth_mid_run() {
+        use mmhew_dynamics::TimedEvent;
+        use mmhew_topology::NetworkEvent;
+
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // The link vanishes before the first frame fires and returns at
+        // t = 30µs (frame 10 with ideal clocks); completion must postdate
+        // the re-add.
+        let schedule = DynamicsSchedule::new(vec![
+            TimedEvent::new(
+                0,
+                NetworkEvent::EdgeRemove {
+                    from: n(0),
+                    to: n(1),
+                },
+            ),
+            TimedEvent::new(
+                0,
+                NetworkEvent::EdgeRemove {
+                    from: n(1),
+                    to: n(0),
+                },
+            ),
+            TimedEvent::new(
+                30_000,
+                NetworkEvent::EdgeAdd {
+                    from: n(0),
+                    to: n(1),
+                },
+            ),
+            TimedEvent::new(
+                30_000,
+                NetworkEvent::EdgeAdd {
+                    from: n(1),
+                    to: n(0),
+                },
+            ),
+        ]);
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(false, ChannelSet::full(1)),
+            ],
+            AsyncRunConfig::until_complete(100),
+            SeedTree::new(1),
+        )
+        .with_dynamics(schedule);
+        let out = engine.run();
+        assert!(out.completed());
+        let tc = out.completion_time().expect("complete");
+        assert!(
+            tc >= RealTime::from_nanos(30_000),
+            "covered a link that did not exist yet: {tc}"
+        );
+    }
+
+    #[test]
+    fn empty_dynamics_schedule_is_neutral() {
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mk = |dynamics: bool| {
+            let engine = AsyncEngine::new(
+                &net,
+                vec![
+                    FrameAlternator::boxed(true, ChannelSet::full(1)),
+                    FrameAlternator::boxed(false, ChannelSet::full(1)),
+                ],
+                AsyncRunConfig::until_complete(100),
+                SeedTree::new(9),
+            );
+            let engine = if dynamics {
+                engine.with_dynamics(DynamicsSchedule::empty())
+            } else {
+                engine
+            };
+            engine.run()
+        };
+        let plain = mk(false);
+        let frozen = mk(true);
+        assert_eq!(plain.completion_time(), frozen.completion_time());
+        assert_eq!(plain.link_coverage(), frozen.link_coverage());
+        assert_eq!(plain.deliveries(), frozen.deliveries());
+        assert_eq!(plain.action_counts(), frozen.action_counts());
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! Bridges [`mmhew_dynamics`] schedules into the engines' event streams.
+
+use mmhew_obs::{SimEvent, Stamp};
+use mmhew_topology::NetworkEvent;
+
+/// Translates an applied [`NetworkEvent`] into the observability
+/// vocabulary, stamped with the boundary it fired at.
+pub(crate) fn dynamics_sim_event(event: &NetworkEvent, at: Stamp) -> SimEvent {
+    match *event {
+        NetworkEvent::NodeJoin { node, .. } => SimEvent::NodeJoined { at, node },
+        NetworkEvent::NodeLeave { node } => SimEvent::NodeLeft { at, node },
+        NetworkEvent::EdgeAdd { from, to } => SimEvent::EdgeChanged {
+            at,
+            from,
+            to,
+            added: true,
+        },
+        NetworkEvent::EdgeRemove { from, to } => SimEvent::EdgeChanged {
+            at,
+            from,
+            to,
+            added: false,
+        },
+        NetworkEvent::ChannelGained { node, channel } => SimEvent::ChannelChanged {
+            at,
+            node,
+            channel,
+            gained: true,
+        },
+        NetworkEvent::ChannelLost { node, channel } => SimEvent::ChannelChanged {
+            at,
+            node,
+            channel,
+            gained: false,
+        },
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod async_engine;
 pub mod config;
+mod dynamics;
 pub mod energy;
 pub mod observer;
 pub mod protocol;
@@ -38,6 +39,7 @@ pub use config::{
     AsyncRunConfig, AsyncStartSchedule, BurstPlan, ClockConfig, StartSchedule, SyncRunConfig,
 };
 pub use energy::{ActionCounts, EnergyModel};
+pub use mmhew_dynamics::DynamicsSchedule;
 pub use observer::CoverageTracker;
 pub use protocol::{AsyncProtocol, SyncProtocol};
 pub use sync::{SyncEngine, SyncOutcome};

@@ -89,6 +89,24 @@ impl<T: Copy + Ord> CoverageTracker<T> {
         self.first_coverage.iter().map(|(&l, &t)| (l, t))
     }
 
+    /// Re-aligns the tracker with a mutated network's current link set
+    /// (time-varying ground truth under dynamics):
+    ///
+    /// * links present before and after keep their first-coverage stamp;
+    /// * links that vanished are dropped entirely;
+    /// * new links — including ones that vanished earlier and came back —
+    ///   start uncovered, so re-establishment after an outage is measured
+    ///   from scratch.
+    pub fn resync(&mut self, network: &Network) {
+        let old = std::mem::take(&mut self.first_coverage);
+        self.first_coverage = network
+            .links()
+            .iter()
+            .map(|&l| (l, old.get(&l).copied().flatten()))
+            .collect();
+        self.covered = self.first_coverage.values().filter(|t| t.is_some()).count();
+    }
+
     /// Links not yet covered.
     pub fn uncovered(&self) -> Vec<Link> {
         self.first_coverage
@@ -152,6 +170,32 @@ mod tests {
         let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
         assert!(!t.record(link(0, 2), 1)); // not neighbors
         assert_eq!(t.covered(), 0);
+    }
+
+    #[test]
+    fn resync_keeps_survivors_and_resets_returners() {
+        let net = line3();
+        let mut t: CoverageTracker<u64> = CoverageTracker::new(&net);
+        t.record(link(0, 1), 3);
+        t.record(link(1, 2), 4);
+        // Node 2 departs: its links vanish; link (0,1)/(1,0) survive.
+        let mut shrunk = net.clone();
+        shrunk
+            .apply(&mmhew_topology::NetworkEvent::NodeLeave {
+                node: NodeId::new(2),
+            })
+            .expect("apply");
+        t.resync(&shrunk);
+        assert_eq!(t.expected(), 2);
+        assert_eq!(t.covered(), 1, "only (0,1) still counts");
+        let times: std::collections::BTreeMap<Link, Option<u64>> = t.per_link().collect();
+        assert_eq!(times[&link(0, 1)], Some(3), "survivor keeps its stamp");
+        // Node 2 comes back: its links reappear uncovered.
+        t.resync(&net);
+        assert_eq!(t.expected(), 4);
+        assert_eq!(t.covered(), 1);
+        let times: std::collections::BTreeMap<Link, Option<u64>> = t.per_link().collect();
+        assert_eq!(times[&link(1, 2)], None, "returning link starts over");
     }
 
     #[test]

@@ -7,16 +7,19 @@
 //! coverage.
 
 use crate::config::SyncRunConfig;
+use crate::dynamics::dynamics_sim_event;
 use crate::energy::{ActionCounts, EnergyModel};
 use crate::observer::CoverageTracker;
 use crate::protocol::SyncProtocol;
 use crate::table::NeighborTable;
+use mmhew_dynamics::DynamicsSchedule;
 use mmhew_obs::{EventSink, MediumResolution, ProtocolPhase, SimEvent, Stamp};
 use mmhew_radio::{resolve_slot, Beacon, SlotAction, SlotOutcome};
 use mmhew_spectrum::ChannelId;
-use mmhew_topology::{Link, Network, NodeId};
+use mmhew_topology::{Link, Network, NetworkEvent, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
 use serde::Serialize;
+use std::borrow::Cow;
 
 /// Result of a synchronous run.
 #[derive(Debug, Clone, Serialize)]
@@ -173,7 +176,10 @@ impl SyncOutcome {
 /// # Ok::<(), mmhew_topology::BuildError>(())
 /// ```
 pub struct SyncEngine<'n> {
-    network: &'n Network,
+    /// Borrowed while static; promoted to an owned copy on the first
+    /// dynamics mutation (copy-on-write keeps static runs allocation-free).
+    network: Cow<'n, Network>,
+    dynamics: Option<DynamicsSchedule>,
     protocols: Vec<Box<dyn SyncProtocol>>,
     start_slots: Vec<u64>,
     node_rngs: Vec<Xoshiro256StarStar>,
@@ -209,7 +215,8 @@ impl<'n> SyncEngine<'n> {
             .map(|i| seed.branch("node").index(i as u64).rng())
             .collect();
         Self {
-            network,
+            network: Cow::Borrowed(network),
+            dynamics: None,
             protocols,
             start_slots,
             node_rngs,
@@ -234,6 +241,15 @@ impl<'n> SyncEngine<'n> {
         self
     }
 
+    /// Attaches a [`DynamicsSchedule`]: due events (interpreting `at` as a
+    /// slot index) are applied at the start of each slot, before any node
+    /// acts. An empty schedule leaves the run bit-identical to a run
+    /// without one (dynamics neutrality).
+    pub fn with_dynamics(mut self, schedule: DynamicsSchedule) -> Self {
+        self.dynamics = Some(schedule);
+        self
+    }
+
     /// The current absolute slot index (slots executed so far).
     pub fn current_slot(&self) -> u64 {
         self.slot
@@ -242,6 +258,60 @@ impl<'n> SyncEngine<'n> {
     /// The link-coverage tracker (inspection between steps).
     pub fn tracker(&self) -> &CoverageTracker<u64> {
         &self.tracker
+    }
+
+    /// The network as of the last applied dynamics event (the original
+    /// borrow while no event has fired).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Clones every node's current neighbor table — mid-run inspection for
+    /// continuous-discovery studies (e.g. staleness sampling in E22).
+    pub fn tables_snapshot(&self) -> Vec<NeighborTable> {
+        self.protocols.iter().map(|p| p.table().clone()).collect()
+    }
+
+    /// Applies every dynamics event due at the current slot, then resyncs
+    /// the coverage tracker to the mutated ground truth.
+    fn apply_due_dynamics(&mut self) {
+        let due: Vec<NetworkEvent> = match self.dynamics.as_mut() {
+            None => return,
+            Some(schedule) => {
+                let mut due = Vec::new();
+                while let Some(timed) = schedule.next_due(self.slot) {
+                    due.push(timed.event.clone());
+                }
+                due
+            }
+        };
+        if due.is_empty() {
+            return;
+        }
+        let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
+        let at = Stamp::Slot(self.slot);
+        for event in &due {
+            self.network
+                .to_mut()
+                .apply(event)
+                .expect("dynamics event must be valid for this network");
+            if observing {
+                let sim = dynamics_sim_event(event, at);
+                let sink = self.sink.as_deref_mut().expect("sink checked above");
+                sink.on_event(&sim);
+            }
+        }
+        self.tracker.resync(&self.network);
+        if observing {
+            let covered = self.tracker.covered() as u64;
+            let expected = self.tracker.expected() as u64;
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            sink.on_event(&SimEvent::GroundTruthChanged {
+                at,
+                covered,
+                expected,
+            });
+        }
     }
 
     /// Executes one slot and returns what happened on the medium.
@@ -253,6 +323,7 @@ impl<'n> SyncEngine<'n> {
     /// medium outcome — the raw material for timeline visualizations and
     /// debugging.
     pub fn step_traced(&mut self, config: &SyncRunConfig) -> (Vec<SlotAction>, SlotOutcome) {
+        self.apply_due_dynamics();
         let actions: Vec<SlotAction> = (0..self.network.node_count())
             .map(|i| {
                 if self.slot < self.start_slots[i] {
@@ -284,7 +355,7 @@ impl<'n> SyncEngine<'n> {
             }
         }
         let outcome = resolve_slot(
-            self.network,
+            &self.network,
             &actions,
             &config.impairments,
             &mut self.medium_rng,
@@ -405,6 +476,11 @@ impl<'n> SyncEngine<'n> {
     }
 
     /// Runs until completion or the slot budget, consuming the engine.
+    ///
+    /// With a dynamics schedule attached, `stop_when_complete` only fires
+    /// once the schedule is exhausted — a transiently complete (or empty)
+    /// ground truth with mutations still pending is not the end of the
+    /// story.
     pub fn run(mut self, config: SyncRunConfig) -> SyncOutcome {
         let mut terminated_slot = None;
         while self.slot < config.max_slots {
@@ -415,7 +491,8 @@ impl<'n> SyncEngine<'n> {
                     break;
                 }
             }
-            if config.stop_when_complete && self.tracker.is_complete() {
+            let dynamics_pending = self.dynamics.as_ref().is_some_and(|s| !s.is_exhausted());
+            if config.stop_when_complete && self.tracker.is_complete() && !dynamics_pending {
                 break;
             }
         }
@@ -743,6 +820,109 @@ mod tests {
             quiet: 20,
         }) * 2.0;
         assert!(energy > all_quiet);
+    }
+
+    #[test]
+    fn dynamics_rewire_ground_truth_mid_run() {
+        use mmhew_dynamics::TimedEvent;
+        use mmhew_topology::NetworkEvent;
+
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // The link vanishes before anyone can use it (slot 0) and returns
+        // at slot 10; the alternators then cover it from scratch.
+        let schedule = DynamicsSchedule::new(vec![
+            TimedEvent::new(
+                0,
+                NetworkEvent::EdgeRemove {
+                    from: n(0),
+                    to: n(1),
+                },
+            ),
+            TimedEvent::new(
+                0,
+                NetworkEvent::EdgeRemove {
+                    from: n(1),
+                    to: n(0),
+                },
+            ),
+            TimedEvent::new(
+                10,
+                NetworkEvent::EdgeAdd {
+                    from: n(0),
+                    to: n(1),
+                },
+            ),
+            TimedEvent::new(
+                10,
+                NetworkEvent::EdgeAdd {
+                    from: n(1),
+                    to: n(0),
+                },
+            ),
+        ]);
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        )
+        .with_dynamics(schedule);
+        let out = engine.run(SyncRunConfig::until_complete(100));
+        assert!(out.completed());
+        // Coverage stamps postdate the re-add: slot 10 (0 transmits on even
+        // slots) and slot 11.
+        let cov: std::collections::BTreeMap<Link, Option<u64>> =
+            out.link_coverage().iter().copied().collect();
+        assert_eq!(
+            cov[&Link {
+                from: n(0),
+                to: n(1)
+            }],
+            Some(10)
+        );
+        assert_eq!(
+            cov[&Link {
+                from: n(1),
+                to: n(0)
+            }],
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn empty_dynamics_schedule_is_neutral() {
+        let net = NetworkBuilder::ring(5)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mk = |dynamics: bool| {
+            let engine = SyncEngine::new(
+                &net,
+                (0..5)
+                    .map(|i| Alternator::boxed(i % 2 == 0, 0, ChannelSet::full(2)))
+                    .collect(),
+                vec![0; 5],
+                SeedTree::new(7),
+            );
+            let engine = if dynamics {
+                engine.with_dynamics(DynamicsSchedule::empty())
+            } else {
+                engine
+            };
+            engine.run(SyncRunConfig::fixed(100))
+        };
+        let plain = mk(false);
+        let frozen = mk(true);
+        assert_eq!(plain.deliveries(), frozen.deliveries());
+        assert_eq!(plain.collisions(), frozen.collisions());
+        assert_eq!(plain.link_coverage(), frozen.link_coverage());
+        assert_eq!(plain.action_counts(), frozen.action_counts());
     }
 
     #[test]

@@ -51,6 +51,19 @@ impl NeighborTable {
         }
     }
 
+    /// Overwrites a neighbor's common channel set (continuous-discovery
+    /// re-announces, where a fresh beacon supersedes stale spectrum
+    /// knowledge). Returns true if this neighbor was new.
+    pub fn replace(&mut self, neighbor: NodeId, common: ChannelSet) -> bool {
+        self.entries.insert(neighbor, common).is_none()
+    }
+
+    /// Evicts a neighbor (stale-entry timeout under churn). Returns true
+    /// if the neighbor was present.
+    pub fn remove(&mut self, neighbor: NodeId) -> bool {
+        self.entries.remove(&neighbor).is_some()
+    }
+
     /// The common channel set recorded for a neighbor, if discovered.
     pub fn get(&self, neighbor: NodeId) -> Option<&ChannelSet> {
         self.entries.get(&neighbor)
@@ -115,6 +128,17 @@ mod tests {
         assert!(!t.record(n(1), cs(&[1])));
         assert_eq!(t.get(n(1)), Some(&cs(&[0, 1])));
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut t = NeighborTable::new();
+        assert!(t.replace(n(1), cs(&[0, 1])));
+        assert!(!t.replace(n(1), cs(&[2])), "overwrite, not union");
+        assert_eq!(t.get(n(1)), Some(&cs(&[2])));
+        assert!(t.remove(n(1)));
+        assert!(!t.remove(n(1)));
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Runs the entire experiment suite in order, printing every report.
 //! Flags: --full (bigger sweeps), `--seed <n>`, --markdown (emit markdown
 //! sections instead of text, for pasting into EXPERIMENTS.md),
-//! `--csv-dir <dir>` (additionally write every table as `<dir>/<id>.csv`).
+//! `--csv-dir <dir>` (additionally write every table as `<dir>/<id>.csv`),
+//! `--jobs <n>` (worker threads for repetitions; also `MMHEW_JOBS`;
+//! results are thread-count-independent).
 use mmhew_harness::registry;
-use mmhew_harness::{reps_completed, Effort};
+use mmhew_harness::{reps_completed, set_jobs, Effort};
 
 fn main() {
     let effort = Effort::from_args();
@@ -14,6 +16,14 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse().ok())
         .unwrap_or(20_260_706);
+    if let Some(jobs) = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+    {
+        set_jobs(jobs);
+    }
     let markdown = args.iter().any(|a| a == "--markdown");
     let csv_dir = args
         .iter()

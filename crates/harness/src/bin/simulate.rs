@@ -22,7 +22,8 @@
 //! `--algorithm alg1|alg2|alg3|alg4|baseline (alg1)`, `--delta-est (Δ)`,
 //! `--epsilon (0.01)`, `--start-window (0)`, `--frame-len (3000)`,
 //! `--drift-den (0 = ideal; 7 means δ=1/7)`, `--reps (5)`, `--seed (1)`,
-//! `--budget (4000000)`.
+//! `--budget (4000000)`, `--jobs (0 = auto; worker threads for harness
+//! parallelism, also settable via MMHEW_JOBS — never changes results)`.
 //!
 //! Observability flags:
 //! `--trace <path>` writes repetition 0 as a JSONL event trace
@@ -90,6 +91,10 @@ fn build_network(args: &Args, seed: SeedTree) -> Result<Network, Box<dyn std::er
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse()?;
+    let jobs: usize = args.get_or("jobs", 0)?;
+    if jobs > 0 {
+        mmhew_harness::set_jobs(jobs);
+    }
     let seed = SeedTree::new(args.get_or("seed", 1)?);
     let net = build_network(&args, seed.branch("net"))?;
     let delta = net.max_degree().max(1) as u64;

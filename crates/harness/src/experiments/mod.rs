@@ -13,6 +13,9 @@ pub mod e18_termination;
 pub mod e19_exact_probability;
 pub mod e1_n_scaling;
 pub mod e20_contention;
+pub mod e21_join_rediscovery;
+pub mod e22_churn_staleness;
+pub mod e23_spectrum_churn;
 pub mod e2_dest_scaling;
 pub mod e3_s_delta;
 pub mod e4_adaptive;

@@ -5,7 +5,7 @@
 //! 1–3 and 9–10 plus Lemmas 4–8. This crate turns each into a measurable
 //! experiment (see `DESIGN.md` §5 for the full index) and provides:
 //!
-//! * [`experiments`] — E1–E14 and F-CDF, each returning a structured
+//! * [`experiments`] — E1–E23 and F-CDF, each returning a structured
 //!   [`ExperimentReport`];
 //! * [`registry`] — id → experiment lookup plus the shared binary `main`
 //!   body ([`registry::run_binary`]);
@@ -27,5 +27,5 @@ pub mod table;
 
 pub use experiment::{Effort, ExperimentReport};
 pub use plot::AsciiPlot;
-pub use sweep::{parallel_reps, reps_completed};
+pub use sweep::{parallel_reps, reps_completed, set_jobs};
 pub use table::{fmt_f64, Table};

@@ -29,6 +29,9 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E18", experiments::e18_termination::run),
         ("E19", experiments::e19_exact_probability::run),
         ("E20", experiments::e20_contention::run),
+        ("E21", experiments::e21_join_rediscovery::run),
+        ("E22", experiments::e22_churn_staleness::run),
+        ("E23", experiments::e23_spectrum_churn::run),
         ("F-CDF", experiments::f_cdf::run),
     ]
 }
@@ -79,9 +82,9 @@ mod tests {
     #[test]
     fn registry_is_complete_and_unique() {
         let entries = all();
-        assert_eq!(entries.len(), 21);
+        assert_eq!(entries.len(), 24);
         let ids: std::collections::HashSet<&str> = entries.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 24);
     }
 
     #[test]

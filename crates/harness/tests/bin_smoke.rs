@@ -99,5 +99,29 @@ fn run_all_csv_dir_writes_every_table() {
     // run_all's help-path behavior indirectly through the registry count
     // (the suite itself is exercised by the per-experiment unit tests).
     let n = mmhew_harness::registry::all().len();
-    assert_eq!(n, 20);
+    assert_eq!(n, 24);
+}
+
+#[test]
+fn e21_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e21_join_rediscovery"), &["--seed", "3"]);
+    assert!(ok, "e21 failed: {stderr}");
+    assert!(stdout.contains("=== E21:"), "{stdout}");
+    assert!(stdout.contains("Thm3 bound"), "{stdout}");
+}
+
+#[test]
+fn e22_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e22_churn_staleness"), &["--seed", "3"]);
+    assert!(ok, "e22 failed: {stderr}");
+    assert!(stdout.contains("=== E22:"), "{stdout}");
+    assert!(stdout.contains("mean ghosts"), "{stdout}");
+}
+
+#[test]
+fn e23_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e23_spectrum_churn"), &["--seed", "3"]);
+    assert!(ok, "e23 failed: {stderr}");
+    assert!(stdout.contains("=== E23:"), "{stdout}");
+    assert!(stdout.contains("mean re-est"), "{stdout}");
 }

@@ -132,6 +132,31 @@ pub enum SimEvent {
         node: NodeId,
         phase: ProtocolPhase,
     },
+    /// A dynamics schedule (re)activated a node (churn).
+    NodeJoined { at: Stamp, node: NodeId },
+    /// A dynamics schedule deactivated a node, dropping its edges.
+    NodeLeft { at: Stamp, node: NodeId },
+    /// A directed link appeared (`added`) or vanished (mobility/churn).
+    EdgeChanged {
+        at: Stamp,
+        from: NodeId,
+        to: NodeId,
+        added: bool,
+    },
+    /// A node gained (`gained`) or lost a channel (primary-user activity).
+    ChannelChanged {
+        at: Stamp,
+        node: NodeId,
+        channel: ChannelId,
+        gained: bool,
+    },
+    /// Dynamics changed the ground truth: the coverage tracker resynced to
+    /// `expected` current links, `covered` of which were already covered.
+    GroundTruthChanged {
+        at: Stamp,
+        covered: u64,
+        expected: u64,
+    },
 }
 
 impl SimEvent {
@@ -148,6 +173,11 @@ impl SimEvent {
             SimEvent::ImpairmentLoss { .. } => "impairment_loss",
             SimEvent::LinkCovered { .. } => "link_covered",
             SimEvent::Phase { .. } => "phase",
+            SimEvent::NodeJoined { .. } => "node_joined",
+            SimEvent::NodeLeft { .. } => "node_left",
+            SimEvent::EdgeChanged { .. } => "edge_changed",
+            SimEvent::ChannelChanged { .. } => "channel_changed",
+            SimEvent::GroundTruthChanged { .. } => "ground_truth_changed",
         }
     }
 }

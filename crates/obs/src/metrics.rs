@@ -121,6 +121,7 @@ pub struct MetricsSink {
     links_covered: u64,
     links_expected: u64,
     phase_transitions: u64,
+    dynamics_events: u64,
     nodes: Vec<NodeActivity>,
     channels: Vec<ChannelActivity>,
     /// Slot-window width for the collision series; 0 disables it.
@@ -197,6 +198,12 @@ impl MetricsSink {
         self.phase_transitions
     }
 
+    /// Network mutations observed (join/leave/edge/channel events from a
+    /// dynamics schedule).
+    pub fn dynamics_events(&self) -> u64 {
+        self.dynamics_events
+    }
+
     /// Per-node activity (indexed by node id; absent nodes are default).
     pub fn nodes(&self) -> &[NodeActivity] {
         &self.nodes
@@ -261,6 +268,7 @@ impl MetricsSink {
         self.links_covered += other.links_covered;
         self.links_expected = self.links_expected.max(other.links_expected);
         self.phase_transitions += other.phase_transitions;
+        self.dynamics_events += other.dynamics_events;
         for (i, n) in other.nodes.iter().enumerate() {
             let mine = self.node_mut(i);
             mine.transmit += n.transmit;
@@ -411,6 +419,20 @@ impl EventSink for MetricsSink {
             }
             SimEvent::Phase { .. } => {
                 self.phase_transitions += 1;
+            }
+            SimEvent::NodeJoined { .. }
+            | SimEvent::NodeLeft { .. }
+            | SimEvent::EdgeChanged { .. }
+            | SimEvent::ChannelChanged { .. } => {
+                self.dynamics_events += 1;
+            }
+            SimEvent::GroundTruthChanged {
+                covered, expected, ..
+            } => {
+                // Dynamics resynced the tracker: the ground truth may have
+                // shrunk, so overwrite rather than max-accumulate.
+                self.links_covered = covered;
+                self.links_expected = expected;
             }
         }
     }

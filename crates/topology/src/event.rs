@@ -1,0 +1,128 @@
+//! Network mutation events — the vocabulary of dynamic networks.
+//!
+//! A static [`Network`](crate::Network) is the paper's model; real
+//! cognitive-radio deployments churn: nodes arrive and depart, mobility
+//! makes and breaks links, and primary users occupy and vacate channels.
+//! [`NetworkEvent`] is the atomic unit of that change. Generators that
+//! *produce* event streams (Poisson churn, random-waypoint mobility,
+//! Markov primary users) live in the `mmhew-dynamics` crate; this enum
+//! lives here so [`Network::apply`](crate::Network::apply) can consume it
+//! without a dependency cycle.
+//!
+//! The node universe is fixed at construction: `NodeJoin`/`NodeLeave`
+//! deactivate and reactivate nodes from that universe rather than growing
+//! the index space, which keeps every per-node array (protocols, RNG
+//! streams, action counters) stable across a run.
+
+use crate::node::NodeId;
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One atomic mutation of a [`Network`](crate::Network).
+///
+/// Events carry no timestamp — scheduling (when an event fires) is the
+/// `mmhew-dynamics` crate's job; this type only says *what* changes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum NetworkEvent {
+    /// A node (re)appears at `position` with availability `available`.
+    /// Its edges are delivered separately as [`NetworkEvent::EdgeAdd`]
+    /// events by whichever generator knows the geometry.
+    NodeJoin {
+        /// The joining node (must be within the fixed node universe).
+        node: NodeId,
+        /// Where it appears (drives distance-based propagation).
+        position: (f64, f64),
+        /// Its perceived available channel set `A(u)`.
+        available: ChannelSet,
+    },
+    /// A node departs: every incident edge (both directions) is removed.
+    /// Its position and availability are retained for a later rejoin.
+    NodeLeave {
+        /// The departing node.
+        node: NodeId,
+    },
+    /// The directed edge `from → to` appears (`to` starts hearing `from`).
+    EdgeAdd {
+        /// Transmitting endpoint.
+        from: NodeId,
+        /// Receiving endpoint.
+        to: NodeId,
+    },
+    /// The directed edge `from → to` disappears.
+    EdgeRemove {
+        /// Transmitting endpoint.
+        from: NodeId,
+        /// Receiving endpoint.
+        to: NodeId,
+    },
+    /// `node` gains `channel` in its available set (a primary user
+    /// vacated it).
+    ChannelGained {
+        /// The node whose availability grows.
+        node: NodeId,
+        /// The regained channel.
+        channel: ChannelId,
+    },
+    /// `node` loses `channel` from its available set (a primary user
+    /// occupies it).
+    ChannelLost {
+        /// The node whose availability shrinks.
+        node: NodeId,
+        /// The lost channel.
+        channel: ChannelId,
+    },
+}
+
+impl NetworkEvent {
+    /// Short tag naming the event variant (stable, snake_case).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NetworkEvent::NodeJoin { .. } => "node_join",
+            NetworkEvent::NodeLeave { .. } => "node_leave",
+            NetworkEvent::EdgeAdd { .. } => "edge_add",
+            NetworkEvent::EdgeRemove { .. } => "edge_remove",
+            NetworkEvent::ChannelGained { .. } => "channel_gained",
+            NetworkEvent::ChannelLost { .. } => "channel_lost",
+        }
+    }
+}
+
+impl fmt::Display for NetworkEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkEvent::NodeJoin { node, .. } => write!(f, "join({node})"),
+            NetworkEvent::NodeLeave { node } => write!(f, "leave({node})"),
+            NetworkEvent::EdgeAdd { from, to } => write!(f, "edge+({from}→{to})"),
+            NetworkEvent::EdgeRemove { from, to } => write!(f, "edge-({from}→{to})"),
+            NetworkEvent::ChannelGained { node, channel } => {
+                write!(f, "gain({node},{channel})")
+            }
+            NetworkEvent::ChannelLost { node, channel } => {
+                write!(f, "lose({node},{channel})")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_display() {
+        let e = NetworkEvent::EdgeAdd {
+            from: NodeId::new(1),
+            to: NodeId::new(2),
+        };
+        assert_eq!(e.kind(), "edge_add");
+        assert_eq!(e.to_string(), "edge+(n1→n2)");
+        let e = NetworkEvent::ChannelLost {
+            node: NodeId::new(0),
+            channel: ChannelId::new(3),
+        };
+        assert_eq!(e.kind(), "channel_lost");
+        assert_eq!(e.to_string(), "lose(n0,ch3)");
+    }
+}

@@ -78,6 +78,35 @@ impl Topology {
         self.add_edge(v, u);
     }
 
+    /// Removes the directed edge `u → v`. Returns whether the edge existed.
+    /// Remaining neighbor order is preserved so recomputation stays
+    /// deterministic.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        assert!(u.as_usize() < self.node_count(), "source out of range");
+        assert!(v.as_usize() < self.node_count(), "target out of range");
+        if !self.contains_edge(u, v) {
+            return false;
+        }
+        self.out[u.as_usize()].retain(|&w| w != v);
+        self.in_[v.as_usize()].retain(|&w| w != u);
+        true
+    }
+
+    /// Removes every edge incident to `u` (both directions). Returns the
+    /// number of directed edges removed.
+    pub fn remove_incident(&mut self, u: NodeId) -> usize {
+        let outs: Vec<NodeId> = self.out[u.as_usize()].clone();
+        let ins: Vec<NodeId> = self.in_[u.as_usize()].clone();
+        let mut removed = 0;
+        for v in outs {
+            removed += usize::from(self.remove_edge(u, v));
+        }
+        for v in ins {
+            removed += usize::from(self.remove_edge(v, u));
+        }
+        removed
+    }
+
     /// True if `v` hears `u`.
     pub fn contains_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.out[u.as_usize()].contains(&v)
@@ -241,6 +270,21 @@ mod tests {
         t.add_edge(n(0), n(1));
         t.add_edge(n(0), n(0));
         assert_eq!(t.edge_count(), 1);
+    }
+
+    #[test]
+    fn remove_edge_and_incident() {
+        let mut t = Topology::new(4);
+        t.add_bidirectional(n(0), n(1));
+        t.add_bidirectional(n(0), n(2));
+        t.add_edge(n(3), n(0));
+        assert!(t.remove_edge(n(0), n(1)));
+        assert!(!t.remove_edge(n(0), n(1)), "already gone");
+        assert!(t.contains_edge(n(1), n(0)), "reverse untouched");
+        // 0 still touches: 1→0, 0↔2, 3→0 = 4 directed edges.
+        assert_eq!(t.remove_incident(n(0)), 4);
+        assert_eq!(t.edge_count(), 0);
+        assert!(t.in_neighbors(n(0)).is_empty() && t.out_neighbors(n(0)).is_empty());
     }
 
     #[test]

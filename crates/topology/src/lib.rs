@@ -27,12 +27,14 @@
 //! ```
 
 pub mod builder;
+pub mod event;
 pub mod generators;
 pub mod graph;
 pub mod network;
 pub mod node;
 
 pub use builder::{BuildError, NetworkBuilder};
+pub use event::NetworkEvent;
 pub use graph::Topology;
 pub use network::{Link, Network, NetworkError, Propagation};
 pub use node::NodeId;

@@ -5,6 +5,7 @@
 //! common channels)` pairs a correct neighbor-discovery run must output.
 //! It also computes the paper's complexity parameters `S`, `Δ` and `ρ`.
 
+use crate::event::NetworkEvent;
 use crate::graph::Topology;
 use crate::node::NodeId;
 use mmhew_spectrum::{ChannelId, ChannelSet};
@@ -64,6 +65,13 @@ pub enum NetworkError {
         /// Universe size.
         universe: u16,
     },
+    /// A dynamics event references a node outside the fixed node universe.
+    NodeOutOfRange {
+        /// Offending node.
+        node: NodeId,
+        /// Nodes in the network.
+        nodes: usize,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -78,6 +86,9 @@ impl fmt::Display for NetworkError {
             }
             NetworkError::PropagationCount { provided, universe } => {
                 write!(f, "{provided} propagation ranges for {universe} channels")
+            }
+            NetworkError::NodeOutOfRange { node, nodes } => {
+                write!(f, "event references {node} in a {nodes}-node network")
             }
         }
     }
@@ -206,6 +217,135 @@ impl Network {
             neighbors_on,
             links,
         })
+    }
+
+    /// Applies one [`NetworkEvent`], incrementally recomputing the
+    /// per-channel adjacency and link inventory — and therefore `S`, `Δ`
+    /// and `ρ`, which are derived from them on demand. Only the
+    /// `neighbors_on` rows whose inputs changed are rebuilt; untouched
+    /// receivers keep their lists (and their deterministic ordering)
+    /// bit-for-bit.
+    ///
+    /// The node universe is fixed: `NodeJoin` reactivates a known index
+    /// (overwriting its position and availability), it never grows the
+    /// network. Redundant events (removing an absent edge, losing a
+    /// channel not held) are no-ops, so generators need not deduplicate.
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::NodeOutOfRange`] if the event references a node
+    /// index `≥ node_count()`, [`NetworkError::ChannelOutOfUniverse`] if
+    /// it references a channel outside the universe. The network is
+    /// unmodified on error.
+    pub fn apply(&mut self, event: &NetworkEvent) -> Result<(), NetworkError> {
+        match event {
+            NetworkEvent::NodeJoin {
+                node,
+                position,
+                available,
+            } => {
+                self.check_node(*node)?;
+                if let Some(c) = available.max_channel() {
+                    if c.index() >= self.universe {
+                        return Err(NetworkError::ChannelOutOfUniverse {
+                            node: *node,
+                            channel: c,
+                        });
+                    }
+                }
+                self.topology.set_position(*node, *position);
+                self.availability[node.as_usize()] = available.clone();
+                // Position and availability both feed every link at `node`
+                // (in either direction), so refresh it and everyone who
+                // hears it.
+                let mut touched = vec![*node];
+                touched.extend_from_slice(self.topology.out_neighbors(*node));
+                self.refresh_receivers(&touched);
+            }
+            NetworkEvent::NodeLeave { node } => {
+                self.check_node(*node)?;
+                let mut touched = vec![*node];
+                touched.extend_from_slice(self.topology.out_neighbors(*node));
+                self.topology.remove_incident(*node);
+                self.refresh_receivers(&touched);
+            }
+            NetworkEvent::EdgeAdd { from, to } => {
+                self.check_node(*from)?;
+                self.check_node(*to)?;
+                self.topology.add_edge(*from, *to);
+                self.refresh_receivers(&[*to]);
+            }
+            NetworkEvent::EdgeRemove { from, to } => {
+                self.check_node(*from)?;
+                self.check_node(*to)?;
+                self.topology.remove_edge(*from, *to);
+                self.refresh_receivers(&[*to]);
+            }
+            NetworkEvent::ChannelGained { node, channel }
+            | NetworkEvent::ChannelLost { node, channel } => {
+                self.check_node(*node)?;
+                if channel.index() >= self.universe {
+                    return Err(NetworkError::ChannelOutOfUniverse {
+                        node: *node,
+                        channel: *channel,
+                    });
+                }
+                match event {
+                    NetworkEvent::ChannelGained { .. } => {
+                        self.availability[node.as_usize()].insert(*channel);
+                    }
+                    _ => {
+                        self.availability[node.as_usize()].remove(*channel);
+                    }
+                }
+                // A(node) feeds node's own row and the row of every node
+                // that hears it.
+                let mut touched = vec![*node];
+                touched.extend_from_slice(self.topology.out_neighbors(*node));
+                self.refresh_receivers(&touched);
+            }
+        }
+        Ok(())
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), NetworkError> {
+        if node.as_usize() >= self.node_count() {
+            return Err(NetworkError::NodeOutOfRange {
+                node,
+                nodes: self.node_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Rebuilds `neighbors_on[u]` for each touched receiver `u` and swaps
+    /// their entries in the sorted link inventory.
+    fn refresh_receivers(&mut self, receivers: &[NodeId]) {
+        let touched: std::collections::BTreeSet<NodeId> = receivers.iter().copied().collect();
+        for &u in &touched {
+            let mut row = vec![Vec::new(); self.universe as usize];
+            for &v in self.topology.in_neighbors(u) {
+                for c in self.availability[v.as_usize()]
+                    .intersection(&self.availability[u.as_usize()])
+                    .iter()
+                {
+                    if self.propagation.admits(self.topology.distance(v, u), c) {
+                        row[c.index() as usize].push(v);
+                    }
+                }
+            }
+            self.neighbors_on[u.as_usize()] = row;
+        }
+        self.links.retain(|l| !touched.contains(&l.to));
+        for &u in &touched {
+            let mut froms: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+            for per_chan in &self.neighbors_on[u.as_usize()] {
+                froms.extend(per_chan.iter().copied());
+            }
+            self.links
+                .extend(froms.into_iter().map(|v| Link { from: v, to: u }));
+        }
+        self.links.sort();
     }
 
     /// The underlying communication graph.
@@ -478,6 +618,153 @@ mod tests {
             ),
             Err(NetworkError::PropagationCount { .. })
         ));
+    }
+
+    /// Rebuilds a network from scratch out of the mutated state; since the
+    /// inputs are identical, every derived structure must match the
+    /// incrementally maintained one bit-for-bit.
+    fn rebuilt(net: &Network) -> Network {
+        let avail: Vec<ChannelSet> = (0..net.node_count())
+            .map(|i| net.available(n(i as u32)).clone())
+            .collect();
+        Network::new(
+            net.topology().clone(),
+            net.universe_size(),
+            avail,
+            net.propagation().clone(),
+        )
+        .expect("mutated state stays valid")
+    }
+
+    #[test]
+    fn apply_edge_events_match_scratch_rebuild() {
+        let mut net = Network::new(
+            generators::star(4),
+            3,
+            vec![cs(&[0, 1]), cs(&[0]), cs(&[0, 2]), cs(&[1])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        net.apply(&NetworkEvent::EdgeAdd {
+            from: n(1),
+            to: n(2),
+        })
+        .expect("apply");
+        net.apply(&NetworkEvent::EdgeRemove {
+            from: n(3),
+            to: n(0),
+        })
+        .expect("apply");
+        assert_eq!(net, rebuilt(&net));
+        // Removing an absent edge is a no-op, not an error.
+        let before = net.clone();
+        net.apply(&NetworkEvent::EdgeRemove {
+            from: n(3),
+            to: n(0),
+        })
+        .expect("apply");
+        assert_eq!(net, before);
+    }
+
+    #[test]
+    fn apply_channel_events_update_spans_and_params() {
+        let mut net = two_node_net(&[0, 1], &[0], 4);
+        assert_eq!(net.span(n(0), n(1)), cs(&[0]));
+        net.apply(&NetworkEvent::ChannelGained {
+            node: n(1),
+            channel: ChannelId::new(1),
+        })
+        .expect("apply");
+        assert_eq!(net.span(n(0), n(1)), cs(&[0, 1]));
+        assert_eq!(net.s_max(), 2);
+        net.apply(&NetworkEvent::ChannelLost {
+            node: n(1),
+            channel: ChannelId::new(0),
+        })
+        .expect("apply");
+        net.apply(&NetworkEvent::ChannelLost {
+            node: n(1),
+            channel: ChannelId::new(1),
+        })
+        .expect("apply");
+        // Last common channel gone: the link (in both directions) vanishes.
+        assert!(net.links().is_empty());
+        assert_eq!(net.max_degree(), 0);
+        assert_eq!(net, rebuilt(&net));
+        // Regain one: the link reappears.
+        net.apply(&NetworkEvent::ChannelGained {
+            node: n(1),
+            channel: ChannelId::new(1),
+        })
+        .expect("apply");
+        assert_eq!(net.links().len(), 2);
+        assert_eq!(net.span(n(1), n(0)), cs(&[1]));
+        assert_eq!(net, rebuilt(&net));
+    }
+
+    #[test]
+    fn apply_leave_and_rejoin() {
+        let mut net = Network::new(
+            generators::complete(3),
+            2,
+            vec![cs(&[0, 1]), cs(&[0, 1]), cs(&[0, 1])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        assert_eq!(net.links().len(), 6);
+        net.apply(&NetworkEvent::NodeLeave { node: n(2) })
+            .expect("apply");
+        assert_eq!(net.links().len(), 2, "only 0↔1 remains");
+        assert!(net.isolated_receivers().contains(&n(2)));
+        assert_eq!(net, rebuilt(&net));
+        // Rejoin with a narrower availability and restore its edges.
+        net.apply(&NetworkEvent::NodeJoin {
+            node: n(2),
+            position: net.topology().position(n(2)),
+            available: cs(&[1]),
+        })
+        .expect("apply");
+        for (a, b) in [(0, 2), (1, 2)] {
+            net.apply(&NetworkEvent::EdgeAdd {
+                from: n(a),
+                to: n(b),
+            })
+            .expect("apply");
+            net.apply(&NetworkEvent::EdgeAdd {
+                from: n(b),
+                to: n(a),
+            })
+            .expect("apply");
+        }
+        assert_eq!(net.links().len(), 6);
+        assert_eq!(net.span(n(0), n(2)), cs(&[1]));
+        assert_eq!(net, rebuilt(&net));
+    }
+
+    #[test]
+    fn apply_rejects_out_of_range() {
+        let mut net = two_node_net(&[0], &[0], 2);
+        let before = net.clone();
+        assert!(matches!(
+            net.apply(&NetworkEvent::NodeLeave { node: n(9) }),
+            Err(NetworkError::NodeOutOfRange { nodes: 2, .. })
+        ));
+        assert!(matches!(
+            net.apply(&NetworkEvent::ChannelGained {
+                node: n(0),
+                channel: ChannelId::new(7),
+            }),
+            Err(NetworkError::ChannelOutOfUniverse { .. })
+        ));
+        assert!(matches!(
+            net.apply(&NetworkEvent::NodeJoin {
+                node: n(1),
+                position: (0.0, 0.0),
+                available: cs(&[5]),
+            }),
+            Err(NetworkError::ChannelOutOfUniverse { .. })
+        ));
+        assert_eq!(net, before, "failed events leave the network untouched");
     }
 
     #[test]

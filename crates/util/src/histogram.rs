@@ -227,4 +227,33 @@ mod tests {
         let mids: Vec<f64> = h.iter().map(|(m, _)| m).collect();
         assert_eq!(mids, vec![1.0, 3.0]);
     }
+
+    proptest::proptest! {
+        /// Merging split halves equals sequential recording — the
+        /// histogram analogue of `welford_merge_any_split` — including
+        /// samples landing in the underflow and overflow counters.
+        #[test]
+        fn merge_of_split_halves_equals_sequential(
+            xs in proptest::collection::vec(-20.0f64..120.0, 1..200),
+            split_frac in 0.0f64..1.0,
+            bins in 1usize..12,
+        ) {
+            let split = ((xs.len() as f64 * split_frac) as usize).min(xs.len());
+            let mut whole = Histogram::new(0.0, 100.0, bins);
+            for &x in &xs {
+                whole.record(x);
+            }
+            let mut left = Histogram::new(0.0, 100.0, bins);
+            let mut right = Histogram::new(0.0, 100.0, bins);
+            for &x in &xs[..split] {
+                left.record(x);
+            }
+            for &x in &xs[split..] {
+                right.record(x);
+            }
+            left.merge(&right);
+            proptest::prop_assert_eq!(&left, &whole);
+            proptest::prop_assert_eq!(left.total(), xs.len() as u64);
+        }
+    }
 }

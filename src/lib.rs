@@ -41,6 +41,7 @@
 //! ```
 
 pub use mmhew_discovery as discovery;
+pub use mmhew_dynamics as dynamics;
 pub use mmhew_engine as engine;
 pub use mmhew_harness as harness;
 pub use mmhew_obs as obs;
@@ -53,10 +54,16 @@ pub use mmhew_util as util;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use mmhew_discovery::{
-        run_async_discovery, run_async_discovery_observed, run_sync_discovery,
-        run_sync_discovery_observed, tables_are_sound, tables_match_ground_truth,
-        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, Bounds, ProtocolError,
-        StagedDiscovery, SyncAlgorithm, SyncParams, UniformDiscovery,
+        run_async_discovery, run_async_discovery_dynamic, run_async_discovery_observed,
+        run_continuous_discovery, run_sync_discovery, run_sync_discovery_dynamic,
+        run_sync_discovery_observed, staleness, tables_are_sound, tables_match_ground_truth,
+        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, Bounds,
+        ContinuousConfig, ContinuousDiscovery, ProtocolError, StagedDiscovery, StalenessReport,
+        SyncAlgorithm, SyncParams, UniformDiscovery,
+    };
+    pub use mmhew_dynamics::{
+        markov_primary_users, poisson_churn, random_waypoint, ChurnConfig, DynamicsSchedule,
+        MobilityConfig, SpectrumChurnConfig, TimedEvent,
     };
     pub use mmhew_engine::{
         AsyncOutcome, AsyncRunConfig, AsyncStartSchedule, ClockConfig, NeighborTable,
@@ -71,6 +78,8 @@ pub mod prelude {
         DriftBound, DriftModel, DriftedClock, LocalDuration, LocalTime, Rate, RealDuration,
         RealTime,
     };
-    pub use mmhew_topology::{Link, Network, NetworkBuilder, NodeId, Propagation, Topology};
+    pub use mmhew_topology::{
+        Link, Network, NetworkBuilder, NetworkEvent, NodeId, Propagation, Topology,
+    };
     pub use mmhew_util::{SeedTree, Summary};
 }

@@ -165,6 +165,147 @@ fn engines_share_event_vocabulary_at_zero_drift() {
 }
 
 #[test]
+fn dynamics_events_serialize_stably() {
+    // The JSONL trace format is a contract: each dynamics variant has a
+    // fixed kind tag and a deterministic, externally-tagged JSON shape.
+    use mmhew::obs::json::to_string;
+    use mmhew::obs::Stamp;
+    let cases: Vec<(SimEvent, &str, &str)> = vec![
+        (
+            SimEvent::NodeJoined {
+                at: Stamp::Slot(7),
+                node: NodeId::new(3),
+            },
+            "node_joined",
+            r#"{"node_joined":{"at":{"slot":7},"node":3}}"#,
+        ),
+        (
+            SimEvent::NodeLeft {
+                at: Stamp::Slot(8),
+                node: NodeId::new(0),
+            },
+            "node_left",
+            r#"{"node_left":{"at":{"slot":8},"node":0}}"#,
+        ),
+        (
+            SimEvent::EdgeChanged {
+                at: Stamp::Slot(9),
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+                added: true,
+            },
+            "edge_changed",
+            r#"{"edge_changed":{"at":{"slot":9},"from":1,"to":2,"added":true}}"#,
+        ),
+        (
+            SimEvent::ChannelChanged {
+                at: Stamp::Real(RealTime::from_nanos(5_000)),
+                node: NodeId::new(4),
+                channel: ChannelId::new(2),
+                gained: false,
+            },
+            "channel_changed",
+            r#"{"channel_changed":{"at":{"real":5000},"node":4,"channel":2,"gained":false}}"#,
+        ),
+        (
+            SimEvent::GroundTruthChanged {
+                at: Stamp::Slot(10),
+                covered: 3,
+                expected: 12,
+            },
+            "ground_truth_changed",
+            r#"{"ground_truth_changed":{"at":{"slot":10},"covered":3,"expected":12}}"#,
+        ),
+    ];
+    for (event, kind, json) in cases {
+        assert_eq!(event.kind(), kind);
+        assert_eq!(to_string(&event).expect("serializes"), json);
+    }
+}
+
+fn dynamic_trace_bytes(seed: u64, dynamics: Option<DynamicsSchedule>) -> (SyncOutcome, Vec<u8>) {
+    let tree = SeedTree::new(seed);
+    let network = net(&tree);
+    let mut sink = JsonlTraceSink::new(Vec::new());
+    let out = match dynamics {
+        Some(schedule) => mmhew::discovery::run_sync_discovery_dynamic_observed(
+            &network,
+            sync_alg(&network),
+            StartSchedule::Identical,
+            schedule,
+            SyncRunConfig::until_complete(50_000),
+            tree.branch("run"),
+            &mut sink,
+        ),
+        None => run_sync_discovery_observed(
+            &network,
+            sync_alg(&network),
+            StartSchedule::Identical,
+            SyncRunConfig::until_complete(50_000),
+            tree.branch("run"),
+            &mut sink,
+        ),
+    }
+    .expect("run");
+    (out, sink.finish().expect("no io error"))
+}
+
+#[test]
+fn empty_dynamics_schedule_is_trace_neutral() {
+    // Acceptance criterion of the dynamics subsystem: a frozen (zero-event)
+    // schedule produces byte-identical outcomes AND traces to the same
+    // seed without dynamics attached.
+    let (plain, plain_trace) = dynamic_trace_bytes(0xD1, None);
+    let (frozen, frozen_trace) = dynamic_trace_bytes(0xD1, Some(DynamicsSchedule::empty()));
+    assert_eq!(plain.completion_slot(), frozen.completion_slot());
+    assert_eq!(plain.deliveries(), frozen.deliveries());
+    assert_eq!(plain.collisions(), frozen.collisions());
+    assert_eq!(plain.action_counts(), frozen.action_counts());
+    assert_eq!(
+        plain.link_coverage(),
+        frozen.link_coverage(),
+        "coverage stamps must match"
+    );
+    assert_eq!(plain_trace, frozen_trace, "traces must be byte-identical");
+}
+
+#[test]
+fn empty_dynamics_schedule_is_trace_neutral_async() {
+    let tree = SeedTree::new(0xD2);
+    let network = net(&tree);
+    let delta = network.max_degree().max(1) as u64;
+    let alg = || AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive"));
+    let config = AsyncRunConfig::until_complete(200_000);
+    let mut plain_sink = JsonlTraceSink::new(Vec::new());
+    let plain = run_async_discovery_observed(
+        &network,
+        alg(),
+        config.clone(),
+        tree.branch("run"),
+        &mut plain_sink,
+    )
+    .expect("run");
+    let mut frozen_sink = JsonlTraceSink::new(Vec::new());
+    let frozen = mmhew::discovery::run_async_discovery_dynamic_observed(
+        &network,
+        alg(),
+        DynamicsSchedule::empty(),
+        config,
+        tree.branch("run"),
+        &mut frozen_sink,
+    )
+    .expect("run");
+    assert_eq!(plain.completion_time(), frozen.completion_time());
+    assert_eq!(plain.deliveries(), frozen.deliveries());
+    assert_eq!(plain.action_counts(), frozen.action_counts());
+    assert_eq!(
+        plain_sink.finish().expect("no io error"),
+        frozen_sink.finish().expect("no io error"),
+        "async traces must be byte-identical"
+    );
+}
+
+#[test]
 fn attaching_a_sink_does_not_change_the_simulation() {
     let tree = SeedTree::new(0xB3);
     let network = net(&tree);
