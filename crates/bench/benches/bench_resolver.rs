@@ -1,0 +1,96 @@
+//! Head-to-head benchmark of the transmitter-centric [`SlotResolver`]
+//! against the listener-centric reference `resolve_slot`, across
+//! sparse (grid) and dense (complete) networks at N ∈ {16, 64, 256}.
+//!
+//! The acceptance bar for the resolver rewrite is `resolver_new` beating
+//! `resolver_reference` on the dense scenarios (where listener-side
+//! scanning degenerates to O(N²) per slot).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mmhew_bench::BENCH_SEED;
+use mmhew_radio::{resolve_slot, Impairments, SlotAction, SlotResolver};
+use mmhew_spectrum::ChannelId;
+use mmhew_topology::{Network, NetworkBuilder};
+use mmhew_util::SeedTree;
+use rand::Rng;
+use std::time::Duration;
+
+const UNIVERSE: u16 = 8;
+
+/// 30% transmitters, uniform random channels — the same action mix the
+/// engine-level benchmarks use.
+fn random_actions(n: usize, seed: u64) -> Vec<SlotAction> {
+    let mut rng = SeedTree::new(seed).rng();
+    (0..n)
+        .map(|_| {
+            let channel = ChannelId::new(rng.gen_range(0..UNIVERSE));
+            if rng.gen_bool(0.3) {
+                SlotAction::Transmit { channel }
+            } else {
+                SlotAction::Listen { channel }
+            }
+        })
+        .collect()
+}
+
+fn scenarios() -> Vec<(String, Network)> {
+    let mut out = Vec::new();
+    for n in [16usize, 64, 256] {
+        let side = (n as f64).sqrt().round() as usize;
+        assert_eq!(side * side, n, "N must be a perfect square for the grid");
+        out.push((
+            format!("sparse_grid/{n}"),
+            NetworkBuilder::grid(side, side)
+                .universe(UNIVERSE)
+                .build(SeedTree::new(BENCH_SEED))
+                .expect("grid network"),
+        ));
+        out.push((
+            format!("dense_complete/{n}"),
+            NetworkBuilder::complete(n)
+                .universe(UNIVERSE)
+                .build(SeedTree::new(BENCH_SEED))
+                .expect("complete network"),
+        ));
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resolver");
+    for (name, net) in scenarios() {
+        let actions = random_actions(net.node_count(), BENCH_SEED ^ 0x5107);
+        group.bench_with_input(
+            BenchmarkId::new("reference", &name),
+            &(&net, &actions),
+            |b, (net, actions)| {
+                let mut rng = SeedTree::new(2).rng();
+                b.iter(|| resolve_slot(net, actions, &Impairments::reliable(), &mut rng))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("new", &name),
+            &(&net, &actions),
+            |b, (net, actions)| {
+                let mut rng = SeedTree::new(2).rng();
+                let mut resolver = SlotResolver::new();
+                b.iter(|| {
+                    resolver
+                        .resolve(net, actions, &Impairments::reliable(), &mut rng)
+                        .deliveries
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Whole-engine slot-loop throughput: slots/sec of the synchronous engine
+//! on the canonical sparse and dense scenarios, with no sink attached and
+//! with a disabled [`NullSink`] (instrumentation-off overhead).
+//!
+//! This is the Criterion twin of the `perf_report` harness binary (which
+//! writes `BENCH_engines.json`); use this one for before/after comparisons
+//! of hot-loop changes with statistical confidence.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mmhew_bench::BENCH_SEED;
+use mmhew_discovery::{run_sync_discovery, run_sync_discovery_observed, SyncAlgorithm, SyncParams};
+use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_obs::NullSink;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::{Network, NetworkBuilder};
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+const SLOTS: u64 = 1_000;
+
+fn scenarios() -> Vec<(&'static str, Network)> {
+    let seed = SeedTree::new(BENCH_SEED);
+    vec![
+        (
+            "sparse_grid_8x8",
+            NetworkBuilder::grid(8, 8)
+                .universe(8)
+                .availability(AvailabilityModel::UniformSubset { size: 4 })
+                .build(seed.branch("sparse"))
+                .expect("grid network"),
+        ),
+        (
+            "dense_complete_64",
+            NetworkBuilder::complete(64)
+                .universe(8)
+                .availability(AvailabilityModel::UniformSubset { size: 4 })
+                .build(seed.branch("dense"))
+                .expect("complete network"),
+        ),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slot_loop");
+    group.throughput(Throughput::Elements(SLOTS));
+    for (name, net) in scenarios() {
+        let delta = net.max_degree().max(1) as u64;
+        let alg = SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive"));
+        let config = SyncRunConfig::fixed(SLOTS);
+        group.bench_with_input(BenchmarkId::new("no_sink", name), &net, |b, net| {
+            b.iter(|| {
+                run_sync_discovery(
+                    net,
+                    alg,
+                    StartSchedule::Identical,
+                    config,
+                    SeedTree::new(BENCH_SEED),
+                )
+                .expect("valid protocols")
+                .deliveries()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("null_sink", name), &net, |b, net| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                run_sync_discovery_observed(
+                    net,
+                    alg,
+                    StartSchedule::Identical,
+                    config,
+                    SeedTree::new(BENCH_SEED),
+                    &mut sink,
+                )
+                .expect("valid protocols")
+                .deliveries()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -21,7 +21,9 @@ use crate::protocol::AsyncProtocol;
 use crate::table::NeighborTable;
 use mmhew_dynamics::DynamicsSchedule;
 use mmhew_obs::{EventSink, ProtocolPhase, SimEvent, Stamp};
-use mmhew_radio::{clear_receptions, Beacon, FrameAction, ListenWindow, SlotAction, Transmission};
+use mmhew_radio::{
+    Beacon, ContinuousResolver, FrameAction, ListenWindow, SlotAction, Transmission,
+};
 use mmhew_time::{DriftedClock, FrameSchedule, RealTime, SLOTS_PER_FRAME};
 use mmhew_topology::{Link, Network, NetworkEvent, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
@@ -159,6 +161,12 @@ pub struct AsyncEngine<'n> {
     config: AsyncRunConfig,
     sink: Option<&'n mut dyn EventSink>,
     phases: Vec<Option<ProtocolPhase>>,
+    /// Continuous-time medium resolution with persistent scratch.
+    resolver: ContinuousResolver,
+    /// One prebuilt beacon per node, refreshed only when a dynamics event
+    /// changes that node's availability (`NodeJoin`, `ChannelGained`,
+    /// `ChannelLost`).
+    beacons: Vec<Beacon>,
 }
 
 impl<'n> AsyncEngine<'n> {
@@ -224,6 +232,12 @@ impl<'n> AsyncEngine<'n> {
         let node_rngs = (0..n)
             .map(|i| seed.branch("node").index(i as u64).rng())
             .collect();
+        let beacons = (0..n)
+            .map(|i| {
+                let u = NodeId::new(i as u32);
+                Beacon::new(u, network.available(u).clone())
+            })
+            .collect();
         Self {
             network: Cow::Borrowed(network),
             dynamics: None,
@@ -241,6 +255,8 @@ impl<'n> AsyncEngine<'n> {
             config,
             sink: None,
             phases: vec![None; n],
+            resolver: ContinuousResolver::new(),
+            beacons,
         }
     }
 
@@ -298,6 +314,20 @@ impl<'n> AsyncEngine<'n> {
             }
         }
         self.tracker.resync(&self.network);
+        // Refresh the cached beacon of every node whose availability an
+        // event may have changed (join / channel gain / channel loss);
+        // topology-only events leave beacons untouched.
+        for event in &due {
+            let node = match event {
+                NetworkEvent::NodeJoin { node, .. }
+                | NetworkEvent::ChannelGained { node, .. }
+                | NetworkEvent::ChannelLost { node, .. } => *node,
+                NetworkEvent::NodeLeave { .. }
+                | NetworkEvent::EdgeAdd { .. }
+                | NetworkEvent::EdgeRemove { .. } => continue,
+            };
+            self.beacons[node.as_usize()] = Beacon::new(node, self.network.available(node).clone());
+        }
         if observing {
             let covered = self.tracker.covered() as u64;
             let expected = self.tracker.expected() as u64;
@@ -447,11 +477,12 @@ impl<'n> AsyncEngine<'n> {
         }
         if let Some(window) = self.nodes[i].pending_listen.take() {
             let channel_bursts = &self.bursts[window.channel.index() as usize];
-            let receptions = clear_receptions(&self.network, &window, channel_bursts);
-            for r in receptions {
+            self.resolver
+                .resolve(&self.network, &window, channel_bursts);
+            for &r in self.resolver.receptions() {
                 if self.config.impairments.delivers(&mut self.medium_rng) {
-                    let beacon = Beacon::new(r.from, self.network.available(r.from).clone());
-                    self.protocols[i].on_beacon(&beacon, window.channel);
+                    let beacon = &self.beacons[r.from.as_usize()];
+                    self.protocols[i].on_beacon(beacon, window.channel);
                     let newly_covered = self.tracker.record(
                         Link {
                             from: r.from,

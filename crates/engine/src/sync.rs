@@ -14,7 +14,7 @@ use crate::protocol::SyncProtocol;
 use crate::table::NeighborTable;
 use mmhew_dynamics::DynamicsSchedule;
 use mmhew_obs::{EventSink, MediumResolution, ProtocolPhase, SimEvent, Stamp};
-use mmhew_radio::{resolve_slot, Beacon, SlotAction, SlotOutcome};
+use mmhew_radio::{Beacon, SlotAction, SlotOutcome, SlotResolver};
 use mmhew_spectrum::ChannelId;
 use mmhew_topology::{Link, Network, NetworkEvent, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
@@ -192,6 +192,105 @@ pub struct SyncEngine<'n> {
     action_counts: Vec<ActionCounts>,
     sink: Option<&'n mut dyn EventSink>,
     phases: Vec<Option<ProtocolPhase>>,
+    /// This slot's actions, reused across slots (cleared, never shrunk).
+    actions: Vec<SlotAction>,
+    /// Transmitter-centric medium resolution with persistent scratch.
+    resolver: SlotResolver,
+    /// One prebuilt beacon per node, so deliveries don't clone the sender's
+    /// `ChannelSet` each time. Entries are refreshed only when a dynamics
+    /// event changes that node's availability (`NodeJoin`,
+    /// `ChannelGained`, `ChannelLost`).
+    beacons: Vec<Beacon>,
+    /// Scratch for per-channel resolution events on observed slots.
+    chan_scratch: ChannelScratch,
+}
+
+/// Persistent scratch for [`SyncEngine`]'s per-channel resolution events:
+/// per-channel tallies plus the list of channels actually touched this
+/// slot, so an observed slot costs O(actions + touched channels) instead of
+/// O(universe) — and allocates nothing after warm-up.
+#[derive(Default)]
+struct ChannelScratch {
+    tx_count: Vec<u32>,
+    tx_node: Vec<NodeId>,
+    listeners: Vec<u32>,
+    rx_count: Vec<u32>,
+    /// Channels with at least one transmitter or listener this slot, in
+    /// first-touch order; sorted ascending before emission to match the
+    /// 0..universe scan order of the straightforward implementation.
+    touched: Vec<u16>,
+}
+
+impl ChannelScratch {
+    /// Emits one [`SimEvent::Channel`] per channel touched this slot,
+    /// classifying the network-wide medium resolution. Untouched channels
+    /// (no transmitter, no listener) are skipped without being visited.
+    fn emit(
+        &mut self,
+        universe: usize,
+        actions: &[SlotAction],
+        outcome: &SlotOutcome,
+        at: Stamp,
+        sink: &mut dyn EventSink,
+    ) {
+        if self.tx_count.len() < universe {
+            self.tx_count.resize(universe, 0);
+            self.tx_node.resize(universe, NodeId::new(0));
+            self.listeners.resize(universe, 0);
+            self.rx_count.resize(universe, 0);
+        }
+        debug_assert!(self.touched.is_empty());
+        for (i, action) in actions.iter().enumerate() {
+            match *action {
+                SlotAction::Transmit { channel } => {
+                    let c = channel.index() as usize;
+                    if self.tx_count[c] == 0 && self.listeners[c] == 0 {
+                        self.touched.push(channel.index());
+                    }
+                    self.tx_count[c] += 1;
+                    self.tx_node[c] = NodeId::new(i as u32);
+                }
+                SlotAction::Listen { channel } => {
+                    let c = channel.index() as usize;
+                    if self.tx_count[c] == 0 && self.listeners[c] == 0 {
+                        self.touched.push(channel.index());
+                    }
+                    self.listeners[c] += 1;
+                }
+                SlotAction::Quiet => {}
+            }
+        }
+        // A delivery implies a listener on that channel, so every delivery
+        // channel is already in `touched`.
+        for d in &outcome.deliveries {
+            self.rx_count[d.channel.index() as usize] += 1;
+        }
+        // Touched channels are unique, so the unstable sort is
+        // deterministic.
+        self.touched.sort_unstable();
+        for &c16 in &self.touched {
+            let c = c16 as usize;
+            let resolution = match self.tx_count[c] {
+                0 => MediumResolution::Silence {
+                    listeners: self.listeners[c],
+                },
+                1 => MediumResolution::Clear {
+                    tx: self.tx_node[c],
+                    rx_count: self.rx_count[c],
+                },
+                contenders => MediumResolution::Collision { contenders },
+            };
+            sink.on_event(&SimEvent::Channel {
+                at,
+                channel: ChannelId::new(c16),
+                resolution,
+            });
+            self.tx_count[c] = 0;
+            self.listeners[c] = 0;
+            self.rx_count[c] = 0;
+        }
+        self.touched.clear();
+    }
 }
 
 impl<'n> SyncEngine<'n> {
@@ -214,6 +313,12 @@ impl<'n> SyncEngine<'n> {
         let node_rngs = (0..n)
             .map(|i| seed.branch("node").index(i as u64).rng())
             .collect();
+        let beacons = (0..n)
+            .map(|i| {
+                let u = NodeId::new(i as u32);
+                Beacon::new(u, network.available(u).clone())
+            })
+            .collect();
         Self {
             network: Cow::Borrowed(network),
             dynamics: None,
@@ -229,6 +334,10 @@ impl<'n> SyncEngine<'n> {
             action_counts: vec![ActionCounts::default(); n],
             sink: None,
             phases: vec![None; n],
+            actions: Vec::with_capacity(n),
+            resolver: SlotResolver::new(),
+            beacons,
+            chan_scratch: ChannelScratch::default(),
         }
     }
 
@@ -302,6 +411,20 @@ impl<'n> SyncEngine<'n> {
             }
         }
         self.tracker.resync(&self.network);
+        // Refresh the cached beacon of every node whose availability an
+        // event may have changed (join / channel gain / channel loss);
+        // topology-only events leave beacons untouched.
+        for event in &due {
+            let node = match event {
+                NetworkEvent::NodeJoin { node, .. }
+                | NetworkEvent::ChannelGained { node, .. }
+                | NetworkEvent::ChannelLost { node, .. } => *node,
+                NetworkEvent::NodeLeave { .. }
+                | NetworkEvent::EdgeAdd { .. }
+                | NetworkEvent::EdgeRemove { .. } => continue,
+            };
+            self.beacons[node.as_usize()] = Beacon::new(node, self.network.available(node).clone());
+        }
         if observing {
             let covered = self.tracker.covered() as u64;
             let expected = self.tracker.expected() as u64;
@@ -314,27 +437,29 @@ impl<'n> SyncEngine<'n> {
         }
     }
 
-    /// Executes one slot and returns what happened on the medium.
-    pub fn step(&mut self, config: &SyncRunConfig) -> SlotOutcome {
+    /// Executes one slot and returns what happened on the medium. The
+    /// returned outcome borrows the engine's reused buffer; copy out
+    /// anything needed across steps.
+    pub fn step(&mut self, config: &SyncRunConfig) -> &SlotOutcome {
         self.step_traced(config).1
     }
 
     /// Executes one slot, returning every node's action alongside the
     /// medium outcome — the raw material for timeline visualizations and
-    /// debugging.
-    pub fn step_traced(&mut self, config: &SyncRunConfig) -> (Vec<SlotAction>, SlotOutcome) {
+    /// debugging. Both slices borrow buffers the engine reuses on the next
+    /// step (the steady-state slot loop allocates nothing).
+    pub fn step_traced(&mut self, config: &SyncRunConfig) -> (&[SlotAction], &SlotOutcome) {
         self.apply_due_dynamics();
-        let actions: Vec<SlotAction> = (0..self.network.node_count())
-            .map(|i| {
-                if self.slot < self.start_slots[i] {
-                    SlotAction::Quiet
-                } else {
-                    self.protocols[i]
-                        .on_slot(self.slot - self.start_slots[i], &mut self.node_rngs[i])
-                }
-            })
-            .collect();
-        for (i, action) in actions.iter().enumerate() {
+        self.actions.clear();
+        for i in 0..self.network.node_count() {
+            let action = if self.slot < self.start_slots[i] {
+                SlotAction::Quiet
+            } else {
+                self.protocols[i].on_slot(self.slot - self.start_slots[i], &mut self.node_rngs[i])
+            };
+            self.actions.push(action);
+        }
+        for (i, action) in self.actions.iter().enumerate() {
             match action {
                 SlotAction::Transmit { .. } => self.action_counts[i].transmit += 1,
                 SlotAction::Listen { .. } => self.action_counts[i].listen += 1,
@@ -344,9 +469,10 @@ impl<'n> SyncEngine<'n> {
         let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
         if observing {
             let at = Stamp::Slot(self.slot);
+            let slot = self.slot;
             let sink = self.sink.as_deref_mut().expect("sink checked above");
-            sink.on_event(&SimEvent::SlotStart { slot: self.slot });
-            for (i, action) in actions.iter().enumerate() {
+            sink.on_event(&SimEvent::SlotStart { slot });
+            for (i, action) in self.actions.iter().enumerate() {
                 sink.on_event(&SimEvent::Action {
                     at,
                     node: NodeId::new(i as u32),
@@ -354,18 +480,24 @@ impl<'n> SyncEngine<'n> {
                 });
             }
         }
-        let outcome = resolve_slot(
+        self.resolver.resolve(
             &self.network,
-            &actions,
+            &self.actions,
             &config.impairments,
             &mut self.medium_rng,
         );
         if observing {
-            self.emit_channel_resolutions(&actions, &outcome);
+            let universe = self.network.universe_size() as usize;
+            let at = Stamp::Slot(self.slot);
+            let outcome = self.resolver.last_outcome();
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            self.chan_scratch
+                .emit(universe, &self.actions, outcome, at, sink);
         }
+        let outcome = self.resolver.last_outcome();
         for d in &outcome.deliveries {
-            let beacon = Beacon::new(d.from, self.network.available(d.from).clone());
-            self.protocols[d.to.as_usize()].on_beacon(&beacon, d.channel);
+            let beacon = &self.beacons[d.from.as_usize()];
+            self.protocols[d.to.as_usize()].on_beacon(beacon, d.channel);
             let newly_covered = self.tracker.record(
                 Link {
                     from: d.from,
@@ -395,67 +527,26 @@ impl<'n> SyncEngine<'n> {
                 }
             }
         }
+        let (delivered, collided, lost) = (
+            outcome.deliveries.len() as u64,
+            outcome.collisions.len() as u64,
+            outcome.impairment_losses as u64,
+        );
         if observing {
-            if outcome.impairment_losses > 0 {
+            if lost > 0 {
+                let at = Stamp::Slot(self.slot);
                 let sink = self.sink.as_deref_mut().expect("sink checked above");
-                sink.on_event(&SimEvent::ImpairmentLoss {
-                    at: Stamp::Slot(self.slot),
-                    count: outcome.impairment_losses as u64,
-                });
+                sink.on_event(&SimEvent::ImpairmentLoss { at, count: lost });
             }
             for i in 0..self.protocols.len() {
                 self.poll_phase(i, Stamp::Slot(self.slot));
             }
         }
-        self.deliveries += outcome.deliveries.len() as u64;
-        self.collisions += outcome.collisions.len() as u64;
-        self.impairment_losses += outcome.impairment_losses as u64;
+        self.deliveries += delivered;
+        self.collisions += collided;
+        self.impairment_losses += lost;
         self.slot += 1;
-        (actions, outcome)
-    }
-
-    /// Emits one [`SimEvent::Channel`] per channel touched this slot,
-    /// classifying the network-wide medium resolution.
-    fn emit_channel_resolutions(&mut self, actions: &[SlotAction], outcome: &SlotOutcome) {
-        let universe = self.network.universe_size() as usize;
-        let mut tx_count = vec![0u32; universe];
-        let mut tx_node = vec![NodeId::new(0); universe];
-        let mut listeners = vec![0u32; universe];
-        for (i, action) in actions.iter().enumerate() {
-            match *action {
-                SlotAction::Transmit { channel } => {
-                    let c = channel.index() as usize;
-                    tx_count[c] += 1;
-                    tx_node[c] = NodeId::new(i as u32);
-                }
-                SlotAction::Listen { channel } => listeners[channel.index() as usize] += 1,
-                SlotAction::Quiet => {}
-            }
-        }
-        let mut rx_count = vec![0u32; universe];
-        for d in &outcome.deliveries {
-            rx_count[d.channel.index() as usize] += 1;
-        }
-        let at = Stamp::Slot(self.slot);
-        let sink = self.sink.as_deref_mut().expect("checked by caller");
-        for c in 0..universe {
-            let resolution = match tx_count[c] {
-                0 if listeners[c] == 0 => continue,
-                0 => MediumResolution::Silence {
-                    listeners: listeners[c],
-                },
-                1 => MediumResolution::Clear {
-                    tx: tx_node[c],
-                    rx_count: rx_count[c],
-                },
-                contenders => MediumResolution::Collision { contenders },
-            };
-            sink.on_event(&SimEvent::Channel {
-                at,
-                channel: ChannelId::new(c as u16),
-                resolution,
-            });
-        }
+        (&self.actions, self.resolver.last_outcome())
     }
 
     /// Emits a [`SimEvent::Phase`] if node `i`'s protocol changed phase.

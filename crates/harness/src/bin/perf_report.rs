@@ -1,0 +1,186 @@
+//! `perf_report` — engine throughput on the canonical sparse/dense
+//! scenarios, written as `BENCH_engines.json`.
+//!
+//! Measures wall-clock slots/sec of the synchronous engine (sparse 8×8
+//! grid and dense complete-64, both on an 8-channel universe with random
+//! 4-channel availability) plus frames/sec of the asynchronous engine on
+//! the sparse scenario. Flags:
+//!
+//! * `--smoke` — tiny budgets, for CI (verifies the harness runs; the
+//!   numbers are meaningless);
+//! * `--seed <n>` — base seed (default `0xBE5D`);
+//! * `--out <path>` — output path (default `BENCH_engines.json`).
+//!
+//! Regenerate the committed report on a quiet machine with:
+//!
+//! ```text
+//! cargo run --release -p mmhew-harness --bin perf_report
+//! ```
+
+use mmhew_discovery::{
+    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm, SyncParams,
+};
+use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_harness::cli::Args;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::{Network, NetworkBuilder};
+use mmhew_util::SeedTree;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Scenario {
+    name: &'static str,
+    engine: &'static str,
+    nodes: usize,
+    universe: u16,
+    /// Slots (sync) or frames summed over nodes (async) executed.
+    work_units: u64,
+    unit: &'static str,
+    elapsed_secs: f64,
+    throughput_per_sec: f64,
+    deliveries: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    schema: &'static str,
+    mode: &'static str,
+    seed: u64,
+    scenarios: Vec<Scenario>,
+    regenerate: &'static str,
+}
+
+fn sparse(seed: SeedTree) -> Network {
+    NetworkBuilder::grid(8, 8)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("sparse"))
+        .expect("build sparse network")
+}
+
+fn dense(seed: SeedTree) -> Network {
+    NetworkBuilder::complete(64)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("dense"))
+        .expect("build dense network")
+}
+
+fn measure_sync(name: &'static str, net: &Network, slots: u64, seed: SeedTree) -> Scenario {
+    let delta = net.max_degree().max(1) as u64;
+    let alg = SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive delta"));
+    let start = Instant::now();
+    let out = run_sync_discovery(
+        net,
+        alg,
+        StartSchedule::Identical,
+        SyncRunConfig::fixed(slots),
+        seed,
+    )
+    .expect("sync run");
+    let elapsed = start.elapsed().as_secs_f64();
+    Scenario {
+        name,
+        engine: "sync",
+        nodes: net.node_count(),
+        universe: net.universe_size(),
+        work_units: out.slots_executed(),
+        unit: "slots",
+        elapsed_secs: elapsed,
+        throughput_per_sec: out.slots_executed() as f64 / elapsed.max(f64::EPSILON),
+        deliveries: out.deliveries(),
+    }
+}
+
+fn measure_async(name: &'static str, net: &Network, frames: u64, seed: SeedTree) -> Scenario {
+    let delta = net.max_degree().max(1) as u64;
+    let alg = AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive delta"));
+    let config = AsyncRunConfig {
+        stop_when_complete: false,
+        ..AsyncRunConfig::until_complete(frames)
+    };
+    let start = Instant::now();
+    let out = run_async_discovery(net, alg, config, seed).expect("async run");
+    let elapsed = start.elapsed().as_secs_f64();
+    let total_frames: u64 = out.frames_executed().iter().sum();
+    Scenario {
+        name,
+        engine: "async",
+        nodes: net.node_count(),
+        universe: net.universe_size(),
+        work_units: total_frames,
+        unit: "frames",
+        elapsed_secs: elapsed,
+        throughput_per_sec: total_frames as f64 / elapsed.max(f64::EPSILON),
+        deliveries: out.deliveries(),
+    }
+}
+
+fn main() {
+    let args = Args::parse().unwrap_or_else(|e| {
+        eprintln!("perf_report: {e}");
+        std::process::exit(2);
+    });
+    let smoke = args.flag("smoke");
+    let seed = args.get_or("seed", 0xBE5Du64).unwrap_or_else(|e| {
+        eprintln!("perf_report: {e}");
+        std::process::exit(2);
+    });
+    let out_path = args.raw("out").unwrap_or("BENCH_engines.json").to_string();
+    let tree = SeedTree::new(seed);
+    let (sparse_slots, dense_slots, async_frames) = if smoke {
+        (200, 100, 50)
+    } else {
+        (20_000, 4_000, 5_000)
+    };
+
+    let sparse_net = sparse(tree.branch("net"));
+    let dense_net = dense(tree.branch("net"));
+    let scenarios = vec![
+        measure_sync(
+            "sparse_grid_8x8",
+            &sparse_net,
+            sparse_slots,
+            tree.branch("sync-sparse"),
+        ),
+        measure_sync(
+            "dense_complete_64",
+            &dense_net,
+            dense_slots,
+            tree.branch("sync-dense"),
+        ),
+        measure_async(
+            "sparse_grid_8x8",
+            &sparse_net,
+            async_frames,
+            tree.branch("async-sparse"),
+        ),
+    ];
+    for s in &scenarios {
+        println!(
+            "{:>18} [{}] {:>8} {}: {:.2}s -> {:.0} {}/sec ({} deliveries)",
+            s.name,
+            s.engine,
+            s.work_units,
+            s.unit,
+            s.elapsed_secs,
+            s.throughput_per_sec,
+            s.unit,
+            s.deliveries
+        );
+    }
+    let report = Report {
+        schema: "mmhew-perf-report/v1",
+        mode: if smoke { "smoke" } else { "full" },
+        seed,
+        scenarios,
+        regenerate: "cargo run --release -p mmhew-harness --bin perf_report",
+    };
+    let json = mmhew_obs::json::to_string(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").unwrap_or_else(|e| {
+        eprintln!("perf_report: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out_path}");
+}

@@ -49,9 +49,15 @@ fn effective_jobs() -> usize {
 /// [`SeedTree`] derived from `seed` and the repetition index) across
 /// `crossbeam` scoped threads, preserving result order.
 ///
+/// Repetitions are claimed from a shared atomic counter (work stealing)
+/// rather than pre-partitioned into static chunks, so heterogeneous rep
+/// durations — e.g. runs that step dynamic scenarios of very different
+/// lengths — cannot strand fast threads idle behind a slow chunk.
+///
 /// Results are identical to the sequential `(0..reps).map(...)` — thread
 /// scheduling cannot change them because every repetition's randomness is
-/// derived from its index, not from execution order.
+/// derived from its index, not from execution order, and each result is
+/// written back to its repetition's slot.
 ///
 /// # Examples
 ///
@@ -78,17 +84,30 @@ where
             .collect();
     }
     let mut results: Vec<Option<T>> = (0..reps).map(|_| None).collect();
-    let chunk = reps.div_ceil(threads as u64) as usize;
+    let next = AtomicU64::new(0);
     crossbeam::thread::scope(|scope| {
-        for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+        let (tx, rx) = crossbeam::channel::unbounded::<(u64, T)>();
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
             let f = &f;
-            scope.spawn(move |_| {
-                for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                    let rep = (t * chunk + k) as u64;
-                    *slot = Some(f(rep, seed.index(rep)));
-                    REPS_COMPLETED.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(move |_| loop {
+                let rep = next.fetch_add(1, Ordering::Relaxed);
+                if rep >= reps {
+                    break;
+                }
+                let out = f(rep, seed.index(rep));
+                REPS_COMPLETED.fetch_add(1, Ordering::Relaxed);
+                if tx.send((rep, out)).is_err() {
+                    break;
                 }
             });
+        }
+        drop(tx);
+        // Collect on this thread while workers run; the channel closes
+        // once every worker has dropped its sender.
+        for (rep, out) in rx {
+            results[rep as usize] = Some(out);
         }
     })
     .expect("worker thread panicked");
@@ -152,6 +171,21 @@ mod tests {
         let parallel = parallel_reps(23, SeedTree::new(17), f);
         set_jobs(0); // restore default for other tests
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn skewed_durations_preserve_order() {
+        // Work stealing: one pathologically slow rep must not determine
+        // which thread runs which of the others, nor where results land.
+        set_jobs(4);
+        let out = parallel_reps(9, SeedTree::new(5), |rep, _| {
+            if rep == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            rep * 3
+        });
+        set_jobs(0); // restore default for other tests
+        assert_eq!(out, (0..9).map(|r| r * 3).collect::<Vec<_>>());
     }
 
     #[test]

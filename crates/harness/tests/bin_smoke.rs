@@ -95,11 +95,56 @@ fn experiment_binary_writes_csv() {
 #[test]
 fn run_all_csv_dir_writes_every_table() {
     // Running the full quick suite here would be slow; instead verify the
-    // flag machinery on the lightest single-experiment binary and check
-    // run_all's help-path behavior indirectly through the registry count
-    // (the suite itself is exercised by the per-experiment unit tests).
-    let n = mmhew_harness::registry::all().len();
-    assert_eq!(n, 24);
+    // registry's structural invariants so the check never goes stale when
+    // an experiment is added: ids are unique and resolvable, the E-series
+    // is contiguous from E1, and the F-CDF figure experiment is present.
+    let all = mmhew_harness::registry::all();
+    let ids: Vec<&str> = all.iter().map(|(id, _)| *id).collect();
+    let unique: std::collections::BTreeSet<&str> = ids.iter().copied().collect();
+    assert_eq!(unique.len(), ids.len(), "duplicate experiment ids: {ids:?}");
+    let e_count = ids.iter().filter(|id| id.starts_with('E')).count();
+    for k in 1..=e_count {
+        let id = format!("E{k}");
+        assert!(
+            ids.iter().any(|i| *i == id),
+            "E-series not contiguous: missing {id} in {ids:?}"
+        );
+    }
+    assert!(ids.contains(&"F-CDF"), "{ids:?}");
+    assert_eq!(all.len(), e_count + 1, "unexpected non-E entries: {ids:?}");
+    for (id, _) in &all {
+        assert!(
+            mmhew_harness::registry::by_id(id).is_some(),
+            "{id} not resolvable by_id"
+        );
+    }
+}
+
+#[test]
+fn perf_report_smoke() {
+    let dir = std::env::temp_dir().join("mmhew-bin-smoke");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out = dir.join("bench_engines_smoke.json");
+    let (stdout, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_perf_report"),
+        &[
+            "--smoke",
+            "--seed",
+            "9",
+            "--out",
+            out.to_str().expect("utf8 path"),
+        ],
+    );
+    assert!(ok, "perf_report failed: {stderr}");
+    assert!(stdout.contains("sparse_grid_8x8"), "{stdout}");
+    assert!(stdout.contains("dense_complete_64"), "{stdout}");
+    let content = std::fs::read_to_string(&out).expect("report written");
+    assert!(
+        content.contains("\"schema\":\"mmhew-perf-report/v1\""),
+        "{content}"
+    );
+    assert!(content.contains("\"mode\":\"smoke\""), "{content}");
+    std::fs::remove_file(&out).ok();
 }
 
 #[test]

@@ -56,44 +56,95 @@ pub struct ClearReception {
 /// could possibly matter; bursts on other channels, from non-neighbors, or
 /// outside the window are ignored here). At most one reception per sender
 /// is reported (the earliest clear burst).
+///
+/// Convenience wrapper over [`ContinuousResolver`] that allocates a fresh
+/// result vector per call; the async engine holds a resolver instead to
+/// reuse buffers across frames.
 pub fn clear_receptions(
     network: &Network,
     window: &ListenWindow,
     transmissions: &[Transmission],
 ) -> Vec<ClearReception> {
-    let neighbors = network.neighbors_on(window.listener, window.channel);
-    // Bursts from neighbors on the listening channel, i.e. both candidate
-    // signals and potential interferers.
-    let relevant: Vec<&Transmission> = transmissions
-        .iter()
-        .filter(|t| t.channel == window.channel && neighbors.contains(&t.from))
-        .collect();
+    let mut resolver = ContinuousResolver::new();
+    resolver.resolve(network, window, transmissions);
+    resolver.received
+}
 
-    let mut received: Vec<ClearReception> = Vec::new();
-    for burst in &relevant {
-        if !window.interval.contains_interval(&burst.interval) {
-            continue;
-        }
-        let interfered = relevant
-            .iter()
-            .any(|other| other.from != burst.from && other.interval.overlaps(&burst.interval));
-        if interfered {
-            continue;
-        }
-        match received.iter_mut().find(|r| r.from == burst.from) {
-            Some(existing) => {
-                if burst.interval.start() < existing.burst.start() {
-                    existing.burst = burst.interval;
-                }
-            }
-            None => received.push(ClearReception {
-                from: burst.from,
-                burst: burst.interval,
-            }),
-        }
+/// Continuous-time reception resolution with persistent scratch space.
+///
+/// Same algorithm and results as [`clear_receptions`], but the candidate
+/// and result buffers are reused across calls, so the steady-state frame
+/// loop performs no heap allocation once capacities have grown to the
+/// densest frame seen.
+#[derive(Debug, Default)]
+pub struct ContinuousResolver {
+    /// Bursts from neighbors on the listening channel — both candidate
+    /// signals and potential interferers. Reused across calls.
+    relevant: Vec<Transmission>,
+    /// Receptions of the most recent `resolve` call. Reused across calls.
+    received: Vec<ClearReception>,
+}
+
+impl ContinuousResolver {
+    /// An empty resolver; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    received.sort_by_key(|r| (r.burst.start(), r.from));
-    received
+
+    /// The receptions of the most recent [`resolve`](Self::resolve) call
+    /// (empty before the first).
+    pub fn receptions(&self) -> &[ClearReception] {
+        &self.received
+    }
+
+    /// Resolves which senders the listener hears clearly during `window`,
+    /// reusing internal buffers. Results are identical to
+    /// [`clear_receptions`]: at most one reception per sender (the earliest
+    /// clear burst), sorted by `(burst start, sender)` — a unique key, so
+    /// the allocation-free unstable sort is deterministic.
+    pub fn resolve(
+        &mut self,
+        network: &Network,
+        window: &ListenWindow,
+        transmissions: &[Transmission],
+    ) -> &[ClearReception] {
+        let neighbors = network.neighbors_on(window.listener, window.channel);
+        self.relevant.clear();
+        self.relevant.extend(
+            transmissions
+                .iter()
+                .filter(|t| t.channel == window.channel && neighbors.contains(&t.from))
+                .copied(),
+        );
+
+        self.received.clear();
+        for burst in &self.relevant {
+            if !window.interval.contains_interval(&burst.interval) {
+                continue;
+            }
+            let interfered = self
+                .relevant
+                .iter()
+                .any(|other| other.from != burst.from && other.interval.overlaps(&burst.interval));
+            if interfered {
+                continue;
+            }
+            match self.received.iter_mut().find(|r| r.from == burst.from) {
+                Some(existing) => {
+                    if burst.interval.start() < existing.burst.start() {
+                        existing.burst = burst.interval;
+                    }
+                }
+                None => self.received.push(ClearReception {
+                    from: burst.from,
+                    burst: burst.interval,
+                }),
+            }
+        }
+        self.received
+            .sort_unstable_by_key(|r| (r.burst.start(), r.from));
+        &self.received
+    }
 }
 
 #[cfg(test)]

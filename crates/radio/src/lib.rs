@@ -15,17 +15,23 @@
 //! [`Impairments`] adds the unreliable-channel extension (per-reception
 //! delivery probability).
 //!
+//! Slotted resolution is transmitter-centric and allocation-free in the
+//! steady state ([`SlotResolver`]); the original listener-centric
+//! `slotted::resolve_slot` survives behind the `reference-resolver`
+//! feature as the oracle for equivalence tests and benchmarks.
+//!
 //! # Examples
 //!
 //! ```
-//! use mmhew_radio::{resolve_slot, Impairments, SlotAction};
+//! use mmhew_radio::{Impairments, SlotAction, SlotResolver};
 //! use mmhew_spectrum::{AvailabilityModel, ChannelId};
 //! use mmhew_topology::NetworkBuilder;
 //! use mmhew_util::SeedTree;
 //!
 //! let net = NetworkBuilder::line(2).universe(1).build(SeedTree::new(0))?;
 //! let mut rng = SeedTree::new(1).rng();
-//! let out = resolve_slot(
+//! let mut resolver = SlotResolver::new();
+//! let out = resolver.resolve(
 //!     &net,
 //!     &[
 //!         SlotAction::Transmit { channel: ChannelId::new(0) },
@@ -44,8 +50,12 @@ pub mod message;
 pub mod mode;
 pub mod slotted;
 
-pub use continuous::{clear_receptions, ClearReception, ListenWindow, Transmission};
+pub use continuous::{
+    clear_receptions, ClearReception, ContinuousResolver, ListenWindow, Transmission,
+};
 pub use impairments::Impairments;
 pub use message::{Beacon, DecodeError};
 pub use mode::{FrameAction, SlotAction};
-pub use slotted::{resolve_slot, Collision, Delivery, SlotOutcome};
+#[cfg(any(test, feature = "reference-resolver"))]
+pub use slotted::resolve_slot;
+pub use slotted::{Collision, Delivery, SlotOutcome, SlotResolver};

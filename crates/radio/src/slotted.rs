@@ -49,14 +49,23 @@ pub struct SlotOutcome {
     pub impairment_losses: usize,
 }
 
-/// Resolves one synchronous slot.
+/// Resolves one synchronous slot — listener-centric reference
+/// implementation.
 ///
 /// `actions[i]` is node `i`'s action. Returns all clear receptions and
 /// collision diagnostics.
 ///
+/// This is the original, obviously-correct-by-inspection resolver: for
+/// every listener, scan its full neighbor list for transmitters. It costs
+/// O(Σ_listeners deg) per slot and allocates, so the engines use
+/// [`SlotResolver`] instead; this function is retained (behind
+/// `cfg(test)` / the `reference-resolver` feature) as the oracle that
+/// equivalence tests and benches compare against.
+///
 /// # Panics
 ///
 /// Panics if `actions.len()` differs from the network's node count.
+#[cfg(any(test, feature = "reference-resolver"))]
 pub fn resolve_slot<R: Rng + ?Sized>(
     network: &Network,
     actions: &[SlotAction],
@@ -108,6 +117,167 @@ pub fn resolve_slot<R: Rng + ?Sized>(
     outcome
 }
 
+/// Transmitter-centric slot resolution with persistent scratch space.
+///
+/// Equivalent to the reference `resolve_slot` bit-for-bit — same deliveries,
+/// collisions and loss counts in the same order, and the same RNG draw
+/// sequence — but costs O(Σ_transmitters deg) per slot instead of
+/// O(Σ_listeners deg) and performs **zero heap allocation** once the
+/// scratch buffers have grown to the network size (the first call per
+/// network size is the warm-up).
+///
+/// The inversion: instead of every listener scanning its neighbors for
+/// transmitters, each transmitter `v` scatters a reception count into its
+/// receivers (via [`Network::receivers_on`]) that are listening on its
+/// channel. Touched listeners are then drained in ascending node order —
+/// exactly the order the reference's listener scan visits them — so
+/// deliveries, collisions, and impairment draws line up one-to-one.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_radio::{Impairments, SlotAction, SlotResolver};
+/// use mmhew_spectrum::{ChannelId, ChannelSet};
+/// use mmhew_topology::{generators, Network, NodeId, Propagation};
+/// use mmhew_util::SeedTree;
+///
+/// let net = Network::new(
+///     generators::line(2),
+///     1,
+///     vec![ChannelSet::full(1), ChannelSet::full(1)],
+///     Propagation::Uniform,
+/// )?;
+/// let mut resolver = SlotResolver::new();
+/// let mut rng = SeedTree::new(0).rng();
+/// let outcome = resolver.resolve(
+///     &net,
+///     &[
+///         SlotAction::Transmit { channel: ChannelId::new(0) },
+///         SlotAction::Listen { channel: ChannelId::new(0) },
+///     ],
+///     &Impairments::reliable(),
+///     &mut rng,
+/// );
+/// assert_eq!(outcome.deliveries.len(), 1);
+/// assert_eq!(outcome.deliveries[0].from, NodeId::new(0));
+/// # Ok::<(), mmhew_topology::NetworkError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct SlotResolver {
+    /// Per-listener reception count this slot; non-zero only for entries in
+    /// `touched`, and zeroed again before `resolve` returns.
+    rx_count: Vec<u32>,
+    /// Per-listener first transmitter seen; only meaningful (and only read)
+    /// where `rx_count == 1`.
+    rx_from: Vec<NodeId>,
+    /// Listener indices with `rx_count > 0`, in scatter order; sorted
+    /// ascending before draining.
+    touched: Vec<u32>,
+    /// Reused outcome; `deliveries`/`collisions` keep their capacity across
+    /// slots.
+    outcome: SlotOutcome,
+}
+
+impl SlotResolver {
+    /// An empty resolver; scratch grows on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The outcome of the most recent [`resolve`](Self::resolve) call
+    /// (empty before the first). Lets callers re-borrow the result without
+    /// holding the `resolve` return value across unrelated mutations.
+    pub fn last_outcome(&self) -> &SlotOutcome {
+        &self.outcome
+    }
+
+    /// Resolves one synchronous slot, reusing internal buffers.
+    ///
+    /// Bit-for-bit equivalent to the reference `resolve_slot`, including
+    /// the `rng` draw sequence (one draw per uniquely-received listener,
+    /// ascending, and none at all when `impairments` is reliable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len()` differs from the network's node count.
+    pub fn resolve<R: Rng + ?Sized>(
+        &mut self,
+        network: &Network,
+        actions: &[SlotAction],
+        impairments: &Impairments,
+        rng: &mut R,
+    ) -> &SlotOutcome {
+        assert_eq!(
+            actions.len(),
+            network.node_count(),
+            "one action per node required"
+        );
+        if self.rx_count.len() < actions.len() {
+            self.rx_count.resize(actions.len(), 0);
+            self.rx_from.resize(actions.len(), NodeId::new(0));
+        }
+        self.outcome.deliveries.clear();
+        self.outcome.collisions.clear();
+        self.outcome.impairment_losses = 0;
+        debug_assert!(self.touched.is_empty());
+
+        // Scatter: each transmitter bumps the count of every receiver that
+        // is listening on its channel.
+        for (i, action) in actions.iter().enumerate() {
+            let SlotAction::Transmit { channel } = action else {
+                continue;
+            };
+            let v = NodeId::new(i as u32);
+            for &u in network.receivers_on(v, *channel) {
+                let ui = u.as_usize();
+                if !matches!(
+                    actions[ui],
+                    SlotAction::Listen { channel: lc } if lc == *channel
+                ) {
+                    continue;
+                }
+                if self.rx_count[ui] == 0 {
+                    self.rx_from[ui] = v;
+                    self.touched.push(ui as u32);
+                }
+                self.rx_count[ui] += 1;
+            }
+        }
+
+        // Drain in ascending listener order — the reference's visit order.
+        // Listener indices are unique in `touched`, so the unstable sort is
+        // deterministic.
+        self.touched.sort_unstable();
+        for &ui in &self.touched {
+            let u = ui as usize;
+            let SlotAction::Listen { channel } = actions[u] else {
+                unreachable!("only listeners are ever touched");
+            };
+            let count = self.rx_count[u];
+            self.rx_count[u] = 0;
+            if count == 1 {
+                if impairments.delivers(rng) {
+                    self.outcome.deliveries.push(Delivery {
+                        to: NodeId::new(ui),
+                        from: self.rx_from[u],
+                        channel,
+                    });
+                } else {
+                    self.outcome.impairment_losses += 1;
+                }
+            } else {
+                self.outcome.collisions.push(Collision {
+                    at: NodeId::new(ui),
+                    channel,
+                    transmitters: count as usize,
+                });
+            }
+        }
+        self.touched.clear();
+        &self.outcome
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,9 +304,18 @@ mod tests {
         .expect("valid network")
     }
 
+    /// Runs the reference and the transmitter-centric resolver on the same
+    /// inputs and asserts bit-identical outcomes, so every scenario test in
+    /// this module doubles as an equivalence check.
     fn resolve(network: &Network, actions: &[SlotAction]) -> SlotOutcome {
         let mut rng = SeedTree::new(0).rng();
-        resolve_slot(network, actions, &Impairments::reliable(), &mut rng)
+        let reference = resolve_slot(network, actions, &Impairments::reliable(), &mut rng);
+        let mut resolver = SlotResolver::new();
+        let mut rng2 = SeedTree::new(0).rng();
+        let fast = resolver.resolve(network, actions, &Impairments::reliable(), &mut rng2);
+        assert_eq!(*fast, reference, "SlotResolver must match resolve_slot");
+        assert_eq!(rng, rng2, "RNG draw sequences must match");
+        reference
     }
 
     #[test]
@@ -349,5 +528,47 @@ mod tests {
             &Impairments::reliable(),
             &mut rng,
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "one action per node")]
+    fn resolver_wrong_action_count_panics() {
+        let net = homogeneous(generators::line(2), 1);
+        let mut rng = SeedTree::new(0).rng();
+        let _ = SlotResolver::new().resolve(
+            &net,
+            &[SlotAction::Quiet],
+            &Impairments::reliable(),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn resolver_reuse_across_slots_matches_fresh_reference() {
+        // One resolver instance over many slots with impairments: scratch
+        // reuse must not leak state between slots, and the shared RNG must
+        // advance identically to feeding the reference the same stream.
+        let net = homogeneous(generators::complete(5), 3);
+        let imp = Impairments::with_delivery_probability(0.6);
+        let mut resolver = SlotResolver::new();
+        let mut rng_fast = SeedTree::new(42).rng();
+        let mut rng_ref = SeedTree::new(42).rng();
+        let mut action_rng = SeedTree::new(7).rng();
+        for _ in 0..200 {
+            let actions: Vec<SlotAction> = (0..5)
+                .map(|_| {
+                    let c = ch(action_rng.gen_range(0..3u16));
+                    match action_rng.gen_range(0..3u8) {
+                        0 => SlotAction::Transmit { channel: c },
+                        1 => SlotAction::Listen { channel: c },
+                        _ => SlotAction::Quiet,
+                    }
+                })
+                .collect();
+            let reference = resolve_slot(&net, &actions, &imp, &mut rng_ref);
+            let fast = resolver.resolve(&net, &actions, &imp, &mut rng_fast);
+            assert_eq!(*fast, reference);
+            assert_eq!(rng_fast, rng_ref, "RNG streams diverged");
+        }
     }
 }

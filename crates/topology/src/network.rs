@@ -136,6 +136,7 @@ impl fmt::Display for Link {
 /// # Ok::<(), mmhew_topology::NetworkError>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(from = "NetworkWire")]
 pub struct Network {
     topology: Topology,
     universe: u16,
@@ -144,6 +145,40 @@ pub struct Network {
     /// `neighbors_on[u][c]` = in-neighbors `v` of `u` with `c ∈ span(v,u)`.
     neighbors_on: Vec<Vec<Vec<NodeId>>>,
     links: Vec<Link>,
+    /// `receivers_on[v][c]` = out-neighbors `u` of `v` with `c ∈ span(v,u)`,
+    /// ascending — the transmitter-centric mirror of `neighbors_on`, so the
+    /// hot slot-resolution path can walk only the (few) transmitters.
+    /// Derived state, canonically rebuilt from `neighbors_on`; skipped on
+    /// the wire to keep the serialized shape unchanged.
+    #[serde(skip)]
+    receivers_on: Vec<Vec<Vec<NodeId>>>,
+}
+
+/// On-the-wire shape of [`Network`]: every stored field except the derived
+/// transmitter-centric adjacency, which is rebuilt on deserialization.
+#[derive(Deserialize)]
+struct NetworkWire {
+    topology: Topology,
+    universe: u16,
+    availability: Vec<ChannelSet>,
+    propagation: Propagation,
+    neighbors_on: Vec<Vec<Vec<NodeId>>>,
+    links: Vec<Link>,
+}
+
+impl From<NetworkWire> for Network {
+    fn from(w: NetworkWire) -> Self {
+        let receivers_on = Network::receivers_from_neighbors(&w.neighbors_on, w.universe);
+        Network {
+            topology: w.topology,
+            universe: w.universe,
+            availability: w.availability,
+            propagation: w.propagation,
+            neighbors_on: w.neighbors_on,
+            links: w.links,
+            receivers_on,
+        }
+    }
 }
 
 impl Network {
@@ -208,6 +243,7 @@ impl Network {
             }
         }
         links.sort();
+        let receivers_on = Self::receivers_from_neighbors(&neighbors_on, universe);
 
         Ok(Self {
             topology,
@@ -216,7 +252,29 @@ impl Network {
             propagation,
             neighbors_on,
             links,
+            receivers_on,
         })
+    }
+
+    /// Canonical construction of the transmitter-centric adjacency:
+    /// inverting `neighbors_on` with receivers visited in ascending order
+    /// leaves every `receivers_on[v][c]` sorted by receiver index. Both
+    /// `new` and `refresh_receivers` funnel through this, so an
+    /// incrementally maintained network compares equal to a scratch
+    /// rebuild.
+    fn receivers_from_neighbors(
+        neighbors_on: &[Vec<Vec<NodeId>>],
+        universe: u16,
+    ) -> Vec<Vec<Vec<NodeId>>> {
+        let mut receivers = vec![vec![Vec::new(); universe as usize]; neighbors_on.len()];
+        for (u, row) in neighbors_on.iter().enumerate() {
+            for (c, vs) in row.iter().enumerate() {
+                for &v in vs {
+                    receivers[v.as_usize()][c].push(NodeId::new(u as u32));
+                }
+            }
+        }
+        receivers
     }
 
     /// Applies one [`NetworkEvent`], incrementally recomputing the
@@ -346,6 +404,11 @@ impl Network {
                 .extend(froms.into_iter().map(|v| Link { from: v, to: u }));
         }
         self.links.sort();
+        // Dynamics events are rare relative to slots, so the
+        // transmitter-centric mirror is rebuilt wholesale — the only way to
+        // stay canonical when a receiver's refreshed row may add or drop
+        // entries anywhere in other nodes' receiver lists.
+        self.receivers_on = Self::receivers_from_neighbors(&self.neighbors_on, self.universe);
     }
 
     /// The underlying communication graph.
@@ -377,6 +440,14 @@ impl Network {
     /// `c` reach (and can collide at) `u`.
     pub fn neighbors_on(&self, u: NodeId, c: ChannelId) -> &[NodeId] {
         &self.neighbors_on[u.as_usize()][c.index() as usize]
+    }
+
+    /// Out-neighbors of `v` on channel `c`: the nodes a transmission by `v`
+    /// on `c` reaches, ascending. The transmitter-centric mirror of
+    /// [`neighbors_on`](Self::neighbors_on): `u ∈ receivers_on(v, c)` iff
+    /// `v ∈ neighbors_on(u, c)`.
+    pub fn receivers_on(&self, v: NodeId, c: ChannelId) -> &[NodeId] {
+        &self.receivers_on[v.as_usize()][c.index() as usize]
     }
 
     /// The span of the directed link `from → to`: channels on which `to`
@@ -738,6 +809,52 @@ mod tests {
         }
         assert_eq!(net.links().len(), 6);
         assert_eq!(net.span(n(0), n(2)), cs(&[1]));
+        assert_eq!(net, rebuilt(&net));
+    }
+
+    #[test]
+    fn receivers_on_mirrors_neighbors_on() {
+        let mut net = Network::new(
+            generators::star(4),
+            3,
+            vec![cs(&[0, 1]), cs(&[0]), cs(&[0, 2]), cs(&[1])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        let mirror_holds = |net: &Network| {
+            for u in 0..net.node_count() as u32 {
+                for c in 0..net.universe_size() {
+                    let c = ChannelId::new(c);
+                    let rx = net.receivers_on(n(u), c);
+                    assert!(rx.windows(2).all(|w| w[0] < w[1]), "ascending receivers");
+                    for v in 0..net.node_count() as u32 {
+                        assert_eq!(
+                            rx.contains(&n(v)),
+                            net.neighbors_on(n(v), c).contains(&n(u)),
+                            "mirror property for tx n{u} rx n{v} on {c}"
+                        );
+                    }
+                }
+            }
+        };
+        mirror_holds(&net);
+        assert_eq!(net.receivers_on(n(0), ChannelId::new(0)), &[n(1), n(2)]);
+        // The mirror must follow every class of dynamics event.
+        net.apply(&NetworkEvent::ChannelLost {
+            node: n(2),
+            channel: ChannelId::new(0),
+        })
+        .expect("apply");
+        mirror_holds(&net);
+        net.apply(&NetworkEvent::EdgeAdd {
+            from: n(1),
+            to: n(3),
+        })
+        .expect("apply");
+        mirror_holds(&net);
+        net.apply(&NetworkEvent::NodeLeave { node: n(1) })
+            .expect("apply");
+        mirror_holds(&net);
         assert_eq!(net, rebuilt(&net));
     }
 
