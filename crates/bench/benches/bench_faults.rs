@@ -1,0 +1,88 @@
+//! Fault-subsystem bench: the neutral empty-plan path vs a dense
+//! Gilbert–Elliott plan. The empty-plan column must track the plain
+//! engine (zero per-slot fault overhead); the dense column prices the
+//! per-reception chain stepping.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
+use mmhew_discovery::{run_sync_discovery, run_sync_discovery_faulted};
+use mmhew_engine::{FaultPlan, StartSchedule, SyncRunConfig};
+use mmhew_faults::{GilbertElliott, LinkLossModel};
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    print_experiment("E24");
+    let net = NetworkBuilder::ring(10)
+        .universe(4)
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("ring network");
+    let delta = net.max_degree().max(1) as u64;
+    let config = SyncRunConfig::until_complete(4_000_000);
+    let dense = FaultPlan::new().with_default_loss(LinkLossModel::GilbertElliott(
+        GilbertElliott::bursty(0.3, 8.0),
+    ));
+
+    let mut g = c.benchmark_group("faults");
+    g.bench_function("no_plan", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_sync_discovery(
+                &net,
+                uniform(delta),
+                StartSchedule::Identical,
+                config,
+                SeedTree::new(seed),
+            )
+            .expect("valid protocol")
+            .completion_slot()
+            .expect("completed")
+        })
+    });
+    g.bench_function("empty_plan", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_sync_discovery_faulted(
+                &net,
+                uniform(delta),
+                StartSchedule::Identical,
+                FaultPlan::new(),
+                config,
+                SeedTree::new(seed),
+            )
+            .expect("valid protocol")
+            .completion_slot()
+            .expect("completed")
+        })
+    });
+    g.bench_function("dense_gilbert_elliott", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_sync_discovery_faulted(
+                &net,
+                uniform(delta),
+                StartSchedule::Identical,
+                dense.clone(),
+                config,
+                SeedTree::new(seed),
+            )
+            .expect("valid protocol")
+            .completion_slot()
+            .expect("completed")
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -53,6 +53,7 @@ pub mod baseline;
 pub mod bounds;
 pub mod continuous;
 pub mod params;
+pub mod robust;
 pub mod runner;
 pub mod termination;
 pub mod two_hop;
@@ -66,11 +67,14 @@ pub use continuous::{
     build_continuous_protocols, staleness, ContinuousConfig, ContinuousDiscovery, StalenessReport,
 };
 pub use params::{AsyncParams, ProtocolError, SyncParams};
+pub use robust::{build_robust_protocols, repetition_factor, RobustDiscovery};
 pub use runner::{
     run_async_discovery, run_async_discovery_dynamic, run_async_discovery_dynamic_observed,
+    run_async_discovery_faulted, run_async_discovery_faulted_observed,
     run_async_discovery_observed, run_async_discovery_terminating, run_continuous_discovery,
     run_sync_discovery, run_sync_discovery_dynamic, run_sync_discovery_dynamic_observed,
-    run_sync_discovery_observed, run_sync_discovery_terminating, tables_are_sound,
+    run_sync_discovery_faulted, run_sync_discovery_faulted_observed, run_sync_discovery_observed,
+    run_sync_discovery_robust, run_sync_discovery_terminating, tables_are_sound,
     tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
 };
 pub use termination::{QuiescentAsyncTermination, QuiescentTermination};

@@ -7,12 +7,14 @@ use crate::alg4_async::AsyncFrameDiscovery;
 use crate::baseline::PerChannelBirthday;
 use crate::continuous::{build_continuous_protocols, ContinuousConfig};
 use crate::params::{AsyncParams, ProtocolError, SyncParams};
+use crate::robust::build_robust_protocols;
 use crate::termination::{QuiescentAsyncTermination, QuiescentTermination};
 use mmhew_dynamics::DynamicsSchedule;
 use mmhew_engine::{
     AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, NeighborTable, StartSchedule,
     SyncEngine, SyncOutcome, SyncProtocol, SyncRunConfig,
 };
+use mmhew_faults::FaultPlan;
 use mmhew_obs::EventSink;
 use mmhew_topology::{Network, NodeId};
 use mmhew_util::SeedTree;
@@ -217,6 +219,95 @@ pub fn run_sync_discovery_dynamic_observed(
     )
 }
 
+/// Like [`run_sync_discovery`], but attaches a [`FaultPlan`] (per-link
+/// loss, jammers, capture, crash outages) to the engine. An empty plan
+/// reproduces [`run_sync_discovery`] bit for bit — outcomes, RNG streams
+/// and traces.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_sync_discovery_faulted(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    faults: FaultPlan,
+    config: SyncRunConfig,
+    seed: SeedTree,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_faults(faults)
+            .run(config),
+    )
+}
+
+/// [`run_sync_discovery_faulted`] with an attached [`DynamicsSchedule`]
+/// and [`EventSink`]: the fully-loaded synchronous configuration. The
+/// sink additionally sees fault events (`beacon_lost`, `slot_jammed`,
+/// `capture_delivery`, `node_crashed`, `node_recovered`). Empty dynamics
+/// and an empty plan reproduce [`run_sync_discovery_observed`] bit for
+/// bit, traces included.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_discovery_faulted_observed(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    dynamics: DynamicsSchedule,
+    faults: FaultPlan,
+    config: SyncRunConfig,
+    seed: SeedTree,
+    sink: &mut dyn EventSink,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_sync_protocols(network, algorithm)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .with_faults(faults)
+            .with_sink(sink)
+            .run(config),
+    )
+}
+
+/// Runs [`crate::RobustDiscovery`]-wrapped protocols under a fault plan:
+/// each node's algorithm is time-dilated by `repetition` so that every
+/// logical transmit/listen pairing is attempted `repetition` times
+/// (see [`crate::repetition_factor`] for the budget-restoring choice).
+/// Remember to inflate the slot budget in `config` by the same factor.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+///
+/// # Panics
+///
+/// Panics if `repetition` is zero.
+#[allow(clippy::too_many_arguments)]
+pub fn run_sync_discovery_robust(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    repetition: u64,
+    starts: StartSchedule,
+    faults: FaultPlan,
+    config: SyncRunConfig,
+    seed: SeedTree,
+) -> Result<SyncOutcome, ProtocolError> {
+    let protocols = build_robust_protocols(network, algorithm, repetition)?;
+    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
+    Ok(
+        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
+            .with_faults(faults)
+            .run(config),
+    )
+}
+
 /// Runs [`crate::ContinuousDiscovery`]-wrapped protocols under a dynamics
 /// schedule: the deployment-faithful configuration for a network that
 /// never stops changing. The run always exhausts its slot budget
@@ -321,6 +412,55 @@ pub fn run_async_discovery_observed(
     let protocols = build_async_protocols(network, algorithm)?;
     Ok(
         AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_sink(sink)
+            .run(),
+    )
+}
+
+/// Like [`run_async_discovery`], but attaches a [`FaultPlan`] (`at`
+/// interpreted as real nanoseconds; the capture effect is not modelled
+/// asynchronously). An empty plan reproduces [`run_async_discovery`] bit
+/// for bit.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_async_discovery_faulted(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    faults: FaultPlan,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let protocols = build_async_protocols(network, algorithm)?;
+    Ok(
+        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_faults(faults)
+            .run(),
+    )
+}
+
+/// [`run_async_discovery_faulted`] with an attached [`DynamicsSchedule`]
+/// and [`EventSink`]. Empty dynamics and an empty plan reproduce
+/// [`run_async_discovery_observed`] bit for bit, traces included.
+///
+/// # Errors
+///
+/// Returns [`ProtocolError`] if any node's available channel set is empty.
+pub fn run_async_discovery_faulted_observed(
+    network: &Network,
+    algorithm: AsyncAlgorithm,
+    dynamics: DynamicsSchedule,
+    faults: FaultPlan,
+    config: AsyncRunConfig,
+    seed: SeedTree,
+    sink: &mut dyn EventSink,
+) -> Result<AsyncOutcome, ProtocolError> {
+    let protocols = build_async_protocols(network, algorithm)?;
+    Ok(
+        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
+            .with_dynamics(dynamics)
+            .with_faults(faults)
             .with_sink(sink)
             .run(),
     )
@@ -753,6 +893,90 @@ mod tests {
         let report = staleness(&shrunk, out.tables());
         assert_eq!(report.ghosts, 0, "departed neighbor still tabled");
         assert_eq!(report.missing, 0, "survivors should know each other");
+    }
+
+    #[test]
+    fn faulted_run_with_empty_plan_matches_plain() {
+        let net = small_net();
+        let alg = SyncAlgorithm::Staged(SyncParams::new(4).expect("valid"));
+        let config = SyncRunConfig::until_complete(100_000);
+        let plain = run_sync_discovery(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        let faulted = run_sync_discovery_faulted(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            FaultPlan::new(),
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        assert_eq!(plain.completion_slot(), faulted.completion_slot());
+        assert_eq!(plain.link_coverage(), faulted.link_coverage());
+        assert_eq!(plain.deliveries(), faulted.deliveries());
+        assert_eq!(faulted.beacon_losses(), 0);
+    }
+
+    #[test]
+    fn robust_with_unit_repetition_matches_plain() {
+        // r = 1 makes the wrapper a pure pass-through: same actions, same
+        // RNG stream, same outcome.
+        let net = small_net();
+        let alg = SyncAlgorithm::Staged(SyncParams::new(4).expect("valid"));
+        let config = SyncRunConfig::until_complete(100_000);
+        let plain = run_sync_discovery(
+            &net,
+            alg,
+            StartSchedule::Identical,
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        let robust = run_sync_discovery_robust(
+            &net,
+            alg,
+            1,
+            StartSchedule::Identical,
+            FaultPlan::new(),
+            config,
+            SeedTree::new(7),
+        )
+        .expect("run");
+        assert_eq!(plain.completion_slot(), robust.completion_slot());
+        assert_eq!(plain.link_coverage(), robust.link_coverage());
+    }
+
+    #[test]
+    fn robust_discovery_completes_under_heavy_loss() {
+        use crate::robust::repetition_factor;
+        use mmhew_faults::LinkLossModel;
+
+        let net = small_net();
+        let alg = SyncAlgorithm::Staged(SyncParams::new(4).expect("valid"));
+        let p_loss = 0.6;
+        let r = repetition_factor(net.node_count(), 0.1, p_loss);
+        let plan = FaultPlan::new().with_default_loss(LinkLossModel::Bernoulli {
+            delivery_probability: 1.0 - p_loss,
+        });
+        let out = run_sync_discovery_robust(
+            &net,
+            alg,
+            r,
+            StartSchedule::Identical,
+            plan,
+            SyncRunConfig::until_complete(r * 200_000),
+            SeedTree::new(41),
+        )
+        .expect("run");
+        assert!(out.completed(), "repetition should overcome 60% loss");
+        assert!(tables_match_ground_truth(&net, out.tables()));
+        assert!(out.beacon_losses() > 0, "the channel really was lossy");
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::observer::CoverageTracker;
 use crate::protocol::AsyncProtocol;
 use crate::table::NeighborTable;
 use mmhew_dynamics::DynamicsSchedule;
+use mmhew_faults::{ActiveFaults, FaultPlan};
 use mmhew_obs::{EventSink, ProtocolPhase, SimEvent, Stamp};
 use mmhew_radio::{
     Beacon, ContinuousResolver, FrameAction, ListenWindow, SlotAction, Transmission,
@@ -44,6 +45,8 @@ pub struct AsyncOutcome {
     tables: Vec<NeighborTable>,
     deliveries: u64,
     impairment_losses: u64,
+    beacon_losses: u64,
+    jam_losses: u64,
     action_counts: Vec<ActionCounts>,
 }
 
@@ -100,6 +103,18 @@ impl AsyncOutcome {
         self.impairment_losses
     }
 
+    /// Clear receptions destroyed by the fault plan's link loss models.
+    /// Zero without faults.
+    pub fn beacon_losses(&self) -> u64 {
+        self.beacon_losses
+    }
+
+    /// Receptions suppressed because a jammer overlapped their burst.
+    /// Zero without faults.
+    pub fn jam_losses(&self) -> u64 {
+        self.jam_losses
+    }
+
     /// Per-node frame action counts (transmit/listen frames), for energy
     /// accounting.
     pub fn action_counts(&self) -> &[ActionCounts] {
@@ -147,6 +162,9 @@ pub struct AsyncEngine<'n> {
     /// dynamics mutation (copy-on-write keeps static runs allocation-free).
     network: Cow<'n, Network>,
     dynamics: Option<DynamicsSchedule>,
+    /// `None` when the fault plan is empty, so fault-free runs take the
+    /// exact pre-fault code path (neutrality).
+    faults: Option<ActiveFaults>,
     protocols: Vec<Box<dyn AsyncProtocol>>,
     nodes: Vec<NodeState>,
     starts: Vec<RealTime>,
@@ -157,6 +175,8 @@ pub struct AsyncEngine<'n> {
     bursts: Vec<Vec<Transmission>>,
     deliveries: u64,
     impairment_losses: u64,
+    beacon_losses: u64,
+    jam_losses: u64,
     action_counts: Vec<ActionCounts>,
     config: AsyncRunConfig,
     sink: Option<&'n mut dyn EventSink>,
@@ -241,6 +261,7 @@ impl<'n> AsyncEngine<'n> {
         Self {
             network: Cow::Borrowed(network),
             dynamics: None,
+            faults: None,
             protocols,
             nodes,
             starts,
@@ -251,6 +272,8 @@ impl<'n> AsyncEngine<'n> {
             bursts: vec![Vec::new(); network.universe_size() as usize],
             deliveries: 0,
             impairment_losses: 0,
+            beacon_losses: 0,
+            jam_losses: 0,
             action_counts: vec![ActionCounts::default(); n],
             config,
             sink: None,
@@ -278,10 +301,52 @@ impl<'n> AsyncEngine<'n> {
         self
     }
 
+    /// Attaches a [`FaultPlan`]: link loss models, jammer schedules
+    /// (matched against each burst's real-time interval), and
+    /// crash/recover outages. The capture effect is a slot-synchronous
+    /// concept and is not modelled here.
+    ///
+    /// An empty plan is dropped on the floor so the run stays
+    /// bit-identical — outcomes, RNG stream, and traces — to a run
+    /// without faults (fault neutrality).
+    ///
+    /// Crash state is sampled at frame boundaries: a node crashed when
+    /// its transmit frame starts radiates nothing that frame, and a node
+    /// crashed when its listen frame ends hears nothing from it.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            plan.validate();
+            let n = self.network.node_count();
+            let universe = self.network.universe_size() as usize;
+            self.faults = Some(ActiveFaults::new(plan, n, universe));
+        }
+        self
+    }
+
     /// The network as of the last applied dynamics event (the original
     /// borrow while no event has fired).
     pub fn network(&self) -> &Network {
         &self.network
+    }
+
+    /// Advances the fault runtime to `now` (queue pops are time-ordered,
+    /// so stamps are nondecreasing) and surfaces crash transitions.
+    fn advance_faults(&mut self, now: RealTime) {
+        let Some(faults) = self.faults.as_mut() else {
+            return;
+        };
+        faults.advance_to(now.as_nanos());
+        if self.sink.as_ref().is_some_and(|s| s.enabled()) {
+            let at = Stamp::Real(now);
+            let sink = self.sink.as_deref_mut().expect("sink checked above");
+            for t in faults.transitions() {
+                sink.on_event(&if t.up {
+                    SimEvent::NodeRecovered { at, node: t.node }
+                } else {
+                    SimEvent::NodeCrashed { at, node: t.node }
+                });
+            }
+        }
     }
 
     /// Applies every dynamics event due at real time `now`, then resyncs
@@ -368,6 +433,7 @@ impl<'n> AsyncEngine<'n> {
 
     fn on_frame_start(&mut self, event: Event) {
         self.apply_due_dynamics(event.time);
+        self.advance_faults(event.time);
         let i = event.node as usize;
         let f = event.frame;
         if self.protocols[i].is_terminated() {
@@ -410,36 +476,47 @@ impl<'n> AsyncEngine<'n> {
                 action: slot_action,
             });
         }
+        // A crashed radio still burns the frame (the protocol acted and is
+        // charged for it) but puts nothing on the medium and arms no
+        // listening window.
+        let crashed = self
+            .faults
+            .as_ref()
+            .is_some_and(|fa| fa.is_crashed(NodeId::new(event.node)));
         match action {
             FrameAction::Transmit { channel } => {
                 self.action_counts[i].transmit += 1;
-                let mut push = |interval| {
-                    self.bursts[channel.index() as usize].push(Transmission {
-                        from: NodeId::new(event.node),
-                        channel,
-                        interval,
-                    });
-                };
-                match self.config.burst_plan {
-                    BurstPlan::EverySlot => {
-                        for slot in 0..SLOTS_PER_FRAME {
+                if !crashed {
+                    let mut push = |interval| {
+                        self.bursts[channel.index() as usize].push(Transmission {
+                            from: NodeId::new(event.node),
+                            channel,
+                            interval,
+                        });
+                    };
+                    match self.config.burst_plan {
+                        BurstPlan::EverySlot => {
+                            for slot in 0..SLOTS_PER_FRAME {
+                                push(state.schedule.slot_interval(f, slot, &mut state.clock));
+                            }
+                        }
+                        BurstPlan::SingleSlot { slot } => {
+                            let slot = slot.min(SLOTS_PER_FRAME - 1);
                             push(state.schedule.slot_interval(f, slot, &mut state.clock));
                         }
+                        BurstPlan::WholeFrame => push(interval),
                     }
-                    BurstPlan::SingleSlot { slot } => {
-                        let slot = slot.min(SLOTS_PER_FRAME - 1);
-                        push(state.schedule.slot_interval(f, slot, &mut state.clock));
-                    }
-                    BurstPlan::WholeFrame => push(interval),
                 }
             }
             FrameAction::Listen { channel } => {
                 self.action_counts[i].listen += 1;
-                state.pending_listen = Some(ListenWindow {
-                    listener: NodeId::new(event.node),
-                    channel,
-                    interval,
-                });
+                if !crashed {
+                    state.pending_listen = Some(ListenWindow {
+                        listener: NodeId::new(event.node),
+                        channel,
+                        interval,
+                    });
+                }
             }
         }
         self.queue.push(Reverse(Event {
@@ -462,6 +539,7 @@ impl<'n> AsyncEngine<'n> {
     }
 
     fn on_frame_end(&mut self, event: Event) {
+        self.advance_faults(event.time);
         let i = event.node as usize;
         self.nodes[i].frames_executed = event.frame + 1;
         let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
@@ -475,11 +553,58 @@ impl<'n> AsyncEngine<'n> {
                 local,
             });
         }
+        let listener_crashed = self
+            .faults
+            .as_ref()
+            .is_some_and(|fa| fa.is_crashed(NodeId::new(event.node)));
         if let Some(window) = self.nodes[i].pending_listen.take() {
+            if listener_crashed {
+                // The radio died while listening: the window resolves to
+                // nothing (and its would-be receptions are not tallied).
+                self.prune_bursts(event.time);
+                if observing {
+                    self.poll_phase(i, Stamp::Real(event.time));
+                }
+                return;
+            }
+            if let Some(faults) = self.faults.as_mut() {
+                faults.begin_resolution();
+            }
             let channel_bursts = &self.bursts[window.channel.index() as usize];
             self.resolver
                 .resolve(&self.network, &window, channel_bursts);
             for &r in self.resolver.receptions() {
+                if let Some(faults) = self.faults.as_mut() {
+                    if faults.is_jammed_in(
+                        window.channel,
+                        r.burst.start().as_nanos(),
+                        r.burst.end().as_nanos(),
+                    ) {
+                        self.jam_losses += 1;
+                        if observing {
+                            let sink = self.sink.as_deref_mut().expect("sink checked above");
+                            sink.on_event(&SimEvent::SlotJammed {
+                                at: Stamp::Real(event.time),
+                                channel: window.channel,
+                                losses: 1,
+                            });
+                        }
+                        continue;
+                    }
+                    if !faults.link_delivers(r.from, NodeId::new(event.node), &mut self.medium_rng)
+                    {
+                        self.beacon_losses += 1;
+                        if observing {
+                            let sink = self.sink.as_deref_mut().expect("sink checked above");
+                            sink.on_event(&SimEvent::BeaconLost {
+                                at: Stamp::Real(event.time),
+                                from: r.from,
+                                to: NodeId::new(event.node),
+                            });
+                        }
+                        continue;
+                    }
+                }
                 if self.config.impairments.delivers(&mut self.medium_rng) {
                     let beacon = &self.beacons[r.from.as_usize()];
                     self.protocols[i].on_beacon(beacon, window.channel);
@@ -593,6 +718,8 @@ impl<'n> AsyncEngine<'n> {
             tables: self.protocols.iter().map(|p| p.table().clone()).collect(),
             deliveries: self.deliveries,
             impairment_losses: self.impairment_losses,
+            beacon_losses: self.beacon_losses,
+            jam_losses: self.jam_losses,
             action_counts: self.action_counts,
         }
     }
@@ -953,6 +1080,136 @@ mod tests {
         assert_eq!(plain.link_coverage(), frozen.link_coverage());
         assert_eq!(plain.deliveries(), frozen.deliveries());
         assert_eq!(plain.action_counts(), frozen.action_counts());
+    }
+
+    #[test]
+    fn empty_fault_plan_is_neutral() {
+        let mk = |faults: bool| {
+            let net = NetworkBuilder::line(2)
+                .universe(1)
+                .build(SeedTree::new(0))
+                .expect("build");
+            let engine = AsyncEngine::new(
+                &net,
+                vec![
+                    FrameAlternator::boxed(true, ChannelSet::full(1)),
+                    FrameAlternator::boxed(false, ChannelSet::full(1)),
+                ],
+                AsyncRunConfig::until_complete(100)
+                    .with_impairments(mmhew_radio::Impairments::with_delivery_probability(0.7)),
+                SeedTree::new(9),
+            );
+            let engine = if faults {
+                engine.with_faults(FaultPlan::new())
+            } else {
+                engine
+            };
+            engine.run()
+        };
+        let plain = mk(false);
+        let faulted = mk(true);
+        assert_eq!(plain.completion_time(), faulted.completion_time());
+        assert_eq!(plain.link_coverage(), faulted.link_coverage());
+        assert_eq!(plain.deliveries(), faulted.deliveries());
+        assert_eq!(plain.impairment_losses(), faulted.impairment_losses());
+        assert_eq!(faulted.beacon_losses(), 0);
+        assert_eq!(faulted.jam_losses(), 0);
+    }
+
+    #[test]
+    fn dead_links_block_async_discovery() {
+        use mmhew_faults::LinkLossModel;
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mut cfg = AsyncRunConfig::until_complete(50);
+        cfg.stop_when_complete = false;
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(false, ChannelSet::full(1)),
+            ],
+            cfg,
+            SeedTree::new(1),
+        )
+        .with_faults(
+            FaultPlan::new().with_default_loss(LinkLossModel::Bernoulli {
+                delivery_probability: 0.0,
+            }),
+        );
+        let out = engine.run();
+        assert!(!out.completed());
+        assert_eq!(out.deliveries(), 0);
+        assert!(out.beacon_losses() > 0);
+    }
+
+    #[test]
+    fn crash_outage_silences_a_node_until_recovery() {
+        use mmhew_faults::CrashSchedule;
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // Node 0 is dead until t = 30µs; completion must postdate its
+        // recovery (frames are 3µs with ideal clocks).
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(false, ChannelSet::full(1)),
+            ],
+            AsyncRunConfig::until_complete(100),
+            SeedTree::new(1),
+        )
+        .with_faults(FaultPlan::new().with_crashes(CrashSchedule::outage(n(0), 0, 30_000)));
+        let out = engine.run();
+        assert!(out.completed());
+        let tc = out.completion_time().expect("complete");
+        assert!(
+            tc >= RealTime::from_nanos(30_000),
+            "heard a crashed radio: {tc}"
+        );
+    }
+
+    #[test]
+    fn jammed_channel_suppresses_bursts_in_interval() {
+        use mmhew_faults::JamSchedule;
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // The single channel is jammed for the first 30µs: every burst in
+        // that window dies, so completion postdates the jammer.
+        let jam = JamSchedule::new(vec![
+            mmhew_faults::JamStep {
+                at: 0,
+                channels: ChannelSet::full(1),
+            },
+            mmhew_faults::JamStep {
+                at: 30_000,
+                channels: ChannelSet::new(),
+            },
+        ]);
+        let engine = AsyncEngine::new(
+            &net,
+            vec![
+                FrameAlternator::boxed(true, ChannelSet::full(1)),
+                FrameAlternator::boxed(false, ChannelSet::full(1)),
+            ],
+            AsyncRunConfig::until_complete(100),
+            SeedTree::new(1),
+        )
+        .with_faults(FaultPlan::new().with_jamming(jam));
+        let out = engine.run();
+        assert!(out.completed());
+        assert!(out.jam_losses() > 0);
+        let tc = out.completion_time().expect("complete");
+        assert!(
+            tc >= RealTime::from_nanos(30_000),
+            "a jammed burst was delivered: {tc}"
+        );
     }
 
     #[test]

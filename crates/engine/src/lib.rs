@@ -24,6 +24,12 @@
 //! resolutions, deliveries, link coverage, and protocol phase
 //! transitions. Without a sink the instrumentation costs one branch per
 //! slot.
+//!
+//! Both engines also accept a [`mmhew_faults::FaultPlan`] (via
+//! `with_faults`): per-link loss models, jammer schedules, the capture
+//! effect (slotted engine only), and crash/recover outages. An empty plan
+//! is provably neutral — outcomes, RNG streams, and traces are
+//! bit-identical to a run without faults.
 
 pub mod async_engine;
 pub mod config;
@@ -40,6 +46,7 @@ pub use config::{
 };
 pub use energy::{ActionCounts, EnergyModel};
 pub use mmhew_dynamics::DynamicsSchedule;
+pub use mmhew_faults::FaultPlan;
 pub use observer::CoverageTracker;
 pub use protocol::{AsyncProtocol, SyncProtocol};
 pub use sync::{SyncEngine, SyncOutcome};

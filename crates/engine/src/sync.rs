@@ -13,6 +13,7 @@ use crate::observer::CoverageTracker;
 use crate::protocol::SyncProtocol;
 use crate::table::NeighborTable;
 use mmhew_dynamics::DynamicsSchedule;
+use mmhew_faults::{ActiveFaults, FaultPlan};
 use mmhew_obs::{EventSink, MediumResolution, ProtocolPhase, SimEvent, Stamp};
 use mmhew_radio::{Beacon, SlotAction, SlotOutcome, SlotResolver};
 use mmhew_spectrum::ChannelId;
@@ -42,6 +43,13 @@ pub struct SyncOutcome {
     collisions: u64,
     /// Clear receptions lost to impairments.
     impairment_losses: u64,
+    /// Clear receptions destroyed by fault-plan link loss models.
+    beacon_losses: u64,
+    /// Receptions suppressed by jammed channels.
+    jam_losses: u64,
+    /// Collisions resolved into deliveries by the capture effect (also
+    /// included in `deliveries`).
+    capture_deliveries: u64,
     /// Per-node transceiver action counts (energy accounting).
     action_counts: Vec<ActionCounts>,
     /// True if every protocol reported local termination.
@@ -107,6 +115,24 @@ impl SyncOutcome {
     /// Clear receptions dropped by channel impairments.
     pub fn impairment_losses(&self) -> u64 {
         self.impairment_losses
+    }
+
+    /// Clear receptions destroyed by the fault plan's link loss models
+    /// (Gilbert–Elliott or per-link Bernoulli). Zero without faults.
+    pub fn beacon_losses(&self) -> u64 {
+        self.beacon_losses
+    }
+
+    /// Receptions suppressed because their channel was jammed. Zero
+    /// without faults.
+    pub fn jam_losses(&self) -> u64 {
+        self.jam_losses
+    }
+
+    /// Collisions resolved into deliveries by the capture effect. These
+    /// are also counted in [`deliveries`](Self::deliveries).
+    pub fn capture_deliveries(&self) -> u64 {
+        self.capture_deliveries
     }
 
     /// Per-node transceiver action counts, for energy accounting.
@@ -180,6 +206,9 @@ pub struct SyncEngine<'n> {
     /// dynamics mutation (copy-on-write keeps static runs allocation-free).
     network: Cow<'n, Network>,
     dynamics: Option<DynamicsSchedule>,
+    /// `None` when the fault plan is empty, so fault-free runs take the
+    /// exact pre-fault code path (neutrality).
+    faults: Option<ActiveFaults>,
     protocols: Vec<Box<dyn SyncProtocol>>,
     start_slots: Vec<u64>,
     node_rngs: Vec<Xoshiro256StarStar>,
@@ -322,6 +351,7 @@ impl<'n> SyncEngine<'n> {
         Self {
             network: Cow::Borrowed(network),
             dynamics: None,
+            faults: None,
             protocols,
             start_slots,
             node_rngs,
@@ -331,6 +361,9 @@ impl<'n> SyncEngine<'n> {
             deliveries: 0,
             collisions: 0,
             impairment_losses: 0,
+            beacon_losses: 0,
+            jam_losses: 0,
+            capture_deliveries: 0,
             action_counts: vec![ActionCounts::default(); n],
             sink: None,
             phases: vec![None; n],
@@ -356,6 +389,23 @@ impl<'n> SyncEngine<'n> {
     /// without one (dynamics neutrality).
     pub fn with_dynamics(mut self, schedule: DynamicsSchedule) -> Self {
         self.dynamics = Some(schedule);
+        self
+    }
+
+    /// Attaches a [`FaultPlan`]: link loss models, jammers, the capture
+    /// effect, and crash/recover outages, resolved per slot.
+    ///
+    /// An empty plan is dropped on the floor so the run stays
+    /// bit-identical — in outcomes, RNG stream, *and* emitted traces — to
+    /// a run without faults (fault neutrality, the same discipline as
+    /// [`with_dynamics`](Self::with_dynamics)).
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if !plan.is_empty() {
+            plan.validate();
+            let n = self.network.node_count();
+            let universe = self.network.universe_size() as usize;
+            self.faults = Some(ActiveFaults::new(plan, n, universe));
+        }
         self
     }
 
@@ -450,6 +500,20 @@ impl<'n> SyncEngine<'n> {
     /// step (the steady-state slot loop allocates nothing).
     pub fn step_traced(&mut self, config: &SyncRunConfig) -> (&[SlotAction], &SlotOutcome) {
         self.apply_due_dynamics();
+        if let Some(faults) = self.faults.as_mut() {
+            faults.advance_to(self.slot);
+            if self.sink.as_ref().is_some_and(|s| s.enabled()) {
+                let at = Stamp::Slot(self.slot);
+                let sink = self.sink.as_deref_mut().expect("sink checked above");
+                for t in faults.transitions() {
+                    sink.on_event(&if t.up {
+                        SimEvent::NodeRecovered { at, node: t.node }
+                    } else {
+                        SimEvent::NodeCrashed { at, node: t.node }
+                    });
+                }
+            }
+        }
         self.actions.clear();
         for i in 0..self.network.node_count() {
             let action = if self.slot < self.start_slots[i] {
@@ -480,12 +544,25 @@ impl<'n> SyncEngine<'n> {
                 });
             }
         }
-        self.resolver.resolve(
-            &self.network,
-            &self.actions,
-            &config.impairments,
-            &mut self.medium_rng,
-        );
+        match self.faults.as_mut() {
+            None => {
+                self.resolver.resolve(
+                    &self.network,
+                    &self.actions,
+                    &config.impairments,
+                    &mut self.medium_rng,
+                );
+            }
+            Some(faults) => {
+                self.resolver.resolve_faulted(
+                    &self.network,
+                    &self.actions,
+                    &config.impairments,
+                    faults,
+                    &mut self.medium_rng,
+                );
+            }
+        }
         if observing {
             let universe = self.network.universe_size() as usize;
             let at = Stamp::Slot(self.slot);
@@ -493,6 +570,37 @@ impl<'n> SyncEngine<'n> {
             let sink = self.sink.as_deref_mut().expect("sink checked above");
             self.chan_scratch
                 .emit(universe, &self.actions, outcome, at, sink);
+        }
+        if let Some(faults) = self.faults.as_ref() {
+            self.beacon_losses += faults.beacon_losses().len() as u64;
+            self.jam_losses += faults
+                .jam_losses()
+                .iter()
+                .map(|&(_, n)| n as u64)
+                .sum::<u64>();
+            self.capture_deliveries += faults.captures().len() as u64;
+            if observing {
+                let at = Stamp::Slot(self.slot);
+                let sink = self.sink.as_deref_mut().expect("sink checked above");
+                for &(from, to) in faults.beacon_losses() {
+                    sink.on_event(&SimEvent::BeaconLost { at, from, to });
+                }
+                for &(channel, losses) in faults.jam_losses() {
+                    sink.on_event(&SimEvent::SlotJammed {
+                        at,
+                        channel,
+                        losses,
+                    });
+                }
+                for c in faults.captures() {
+                    sink.on_event(&SimEvent::CaptureDelivery {
+                        at,
+                        to: c.to,
+                        from: c.from,
+                        contenders: c.contenders,
+                    });
+                }
+            }
         }
         let outcome = self.resolver.last_outcome();
         for d in &outcome.deliveries {
@@ -598,6 +706,9 @@ impl<'n> SyncEngine<'n> {
             deliveries: self.deliveries,
             collisions: self.collisions,
             impairment_losses: self.impairment_losses,
+            beacon_losses: self.beacon_losses,
+            jam_losses: self.jam_losses,
+            capture_deliveries: self.capture_deliveries,
             action_counts: self.action_counts,
             all_terminated: terminated_slot.is_some(),
             terminated_slot,
@@ -1024,5 +1135,161 @@ mod tests {
             .build(SeedTree::new(0))
             .expect("build");
         let _ = SyncEngine::new(&net, vec![], vec![0, 0], SeedTree::new(0));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_neutral() {
+        let net = NetworkBuilder::ring(5)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let mk = |faults: bool| {
+            let engine = SyncEngine::new(
+                &net,
+                (0..5)
+                    .map(|i| Alternator::boxed(i % 2 == 0, 0, ChannelSet::full(2)))
+                    .collect(),
+                vec![0; 5],
+                SeedTree::new(7),
+            );
+            let engine = if faults {
+                engine.with_faults(FaultPlan::new())
+            } else {
+                engine
+            };
+            engine.run(
+                SyncRunConfig::fixed(100)
+                    .with_impairments(Impairments::with_delivery_probability(0.7)),
+            )
+        };
+        let plain = mk(false);
+        let faulted = mk(true);
+        assert_eq!(plain.deliveries(), faulted.deliveries());
+        assert_eq!(plain.collisions(), faulted.collisions());
+        assert_eq!(plain.impairment_losses(), faulted.impairment_losses());
+        assert_eq!(plain.link_coverage(), faulted.link_coverage());
+        assert_eq!(plain.action_counts(), faulted.action_counts());
+        assert_eq!(faulted.beacon_losses(), 0);
+        assert_eq!(faulted.jam_losses(), 0);
+        assert_eq!(faulted.capture_deliveries(), 0);
+    }
+
+    #[test]
+    fn dead_links_tally_beacon_losses_and_block_discovery() {
+        use mmhew_faults::LinkLossModel;
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        )
+        .with_faults(
+            FaultPlan::new().with_default_loss(LinkLossModel::Bernoulli {
+                delivery_probability: 0.0,
+            }),
+        );
+        let out = engine.run(SyncRunConfig::fixed(10));
+        assert!(!out.completed());
+        assert_eq!(out.deliveries(), 0);
+        // The alternators line up one clear reception per slot; every one
+        // of them dies on the link.
+        assert_eq!(out.beacon_losses(), 10);
+        assert_eq!(out.impairment_losses(), 0);
+    }
+
+    #[test]
+    fn crash_outage_delays_coverage_until_recovery() {
+        use mmhew_faults::CrashSchedule;
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // Node 0's radio is dead until slot 10: it neither beacons nor
+        // hears, but its protocol keeps alternating (radio brown-out).
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        )
+        .with_faults(FaultPlan::new().with_crashes(CrashSchedule::outage(n(0), 0, 10)));
+        let out = engine.run(SyncRunConfig::until_complete(100));
+        assert!(out.completed());
+        let cov: std::collections::BTreeMap<Link, Option<u64>> =
+            out.link_coverage().iter().copied().collect();
+        assert_eq!(
+            cov[&Link {
+                from: n(0),
+                to: n(1)
+            }],
+            Some(10),
+            "first beacon after recovery lands at slot 10"
+        );
+        assert_eq!(
+            cov[&Link {
+                from: n(1),
+                to: n(0)
+            }],
+            Some(11)
+        );
+    }
+
+    #[test]
+    fn capture_lets_the_hub_hear_through_collisions() {
+        let net = NetworkBuilder::star(3)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        // Both leaves transmit every even slot while the hub listens: with
+        // the base model the hub hears nothing (see collisions_are_counted);
+        // with p_cap = 1 every collision resolves to one of the leaves.
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0, 0],
+            SeedTree::new(1),
+        )
+        .with_faults(FaultPlan::new().with_capture(1.0));
+        let out = engine.run(SyncRunConfig::fixed(20));
+        assert!(out.capture_deliveries() > 0);
+        assert!(!out.table(n(0)).is_empty(), "capture feeds the hub's table");
+        assert_eq!(out.collisions(), 0, "p_cap = 1 resolves every collision");
+    }
+
+    #[test]
+    fn full_jam_blocks_everything_and_is_counted() {
+        use mmhew_faults::JamSchedule;
+        let net = NetworkBuilder::line(2)
+            .universe(1)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let engine = SyncEngine::new(
+            &net,
+            vec![
+                Alternator::boxed(true, 0, ChannelSet::full(1)),
+                Alternator::boxed(false, 0, ChannelSet::full(1)),
+            ],
+            vec![0, 0],
+            SeedTree::new(1),
+        )
+        .with_faults(FaultPlan::new().with_jamming(JamSchedule::fixed(ChannelSet::full(1))));
+        let out = engine.run(SyncRunConfig::fixed(10));
+        assert!(!out.completed());
+        assert_eq!(out.deliveries(), 0);
+        assert_eq!(out.jam_losses(), 10);
     }
 }

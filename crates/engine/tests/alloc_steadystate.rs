@@ -9,10 +9,11 @@
 //! The whole file is a single test: a process-global counting allocator
 //! cannot distinguish threads, so no other test may run in this binary.
 
-use mmhew_engine::{NeighborTable, SyncEngine, SyncProtocol, SyncRunConfig};
+use mmhew_engine::{FaultPlan, NeighborTable, SyncEngine, SyncProtocol, SyncRunConfig};
+use mmhew_faults::{CrashSchedule, GilbertElliott, JamSchedule, LinkLossModel};
 use mmhew_radio::{Beacon, Impairments, SlotAction};
 use mmhew_spectrum::{AvailabilityModel, ChannelId};
-use mmhew_topology::NetworkBuilder;
+use mmhew_topology::{NetworkBuilder, NodeId};
 use mmhew_util::{SeedTree, Xoshiro256StarStar};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -128,4 +129,49 @@ fn warm_engine_slot_loop_allocates_nothing() {
             "steady-state slot loop allocated (q={q})"
         );
     }
+
+    // A dense fault plan must preserve the zero-allocation steady state:
+    // per-link Gilbert–Elliott chains, a permanent jammer on channel 0,
+    // and a crash outage that transitions *during* the audited window all
+    // run out of scratch pre-reserved at construction.
+    let plan = FaultPlan::new()
+        .with_default_loss(LinkLossModel::GilbertElliott(GilbertElliott::bursty(
+            0.3, 8.0,
+        )))
+        .with_jamming(JamSchedule::fixed([0u16].into_iter().collect()))
+        .with_crashes(CrashSchedule::outage(NodeId::new(0), 600, 700));
+    let config = SyncRunConfig::fixed(u64::MAX);
+    let mut engine = SyncEngine::new(
+        &net,
+        (0..n)
+            .map(|i| {
+                Box::new(Metronome {
+                    offset: i as u64,
+                    universe: 3,
+                    table: NeighborTable::new(),
+                }) as Box<dyn SyncProtocol>
+            })
+            .collect(),
+        vec![0; n],
+        SeedTree::new(8),
+    )
+    .with_faults(plan);
+    for _ in 0..500 {
+        engine.step(&config);
+    }
+    let mut delivered = 0usize;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..2_000 {
+        delivered += engine.step(&config).deliveries.len();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert!(
+        delivered > 0,
+        "faulted medium must still deliver for the audit to mean anything"
+    );
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state slot loop allocated under a dense fault plan"
+    );
 }

@@ -1,0 +1,123 @@
+//! Crash/recover node processes.
+//!
+//! A crashed node stays in the topology — its links still count toward the
+//! discovery ground truth — but its radio is dead: it neither radiates nor
+//! hears until it recovers. This is deliberately distinct from `NodeLeave`
+//! churn, which removes the node (and its links) from the ground truth.
+
+use mmhew_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// One crash or recovery transition at a unit-agnostic time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// When the transition takes effect (inclusive), unit-agnostic.
+    pub at: u64,
+    /// The node transitioning.
+    pub node: NodeId,
+    /// `true` = recover (radio back on), `false` = crash (radio dead).
+    pub up: bool,
+}
+
+impl CrashEvent {
+    /// A crash at `at`.
+    pub fn down(at: u64, node: NodeId) -> Self {
+        Self {
+            at,
+            node,
+            up: false,
+        }
+    }
+
+    /// A recovery at `at`.
+    pub fn recover(at: u64, node: NodeId) -> Self {
+        Self { at, node, up: true }
+    }
+}
+
+/// A time-sorted list of crash/recover transitions, walked by a monotone
+/// cursor inside [`crate::ActiveFaults`].
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_faults::CrashSchedule;
+/// use mmhew_topology::NodeId;
+///
+/// let s = CrashSchedule::outage(NodeId::new(3), 100, 250);
+/// assert_eq!(s.events().len(), 2);
+/// assert!(!s.is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    events: Vec<CrashEvent>,
+}
+
+impl CrashSchedule {
+    /// Builds a schedule from transitions (sorted by time; the sort is
+    /// stable, so same-time transitions apply in the order given).
+    pub fn new(mut events: Vec<CrashEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Self { events }
+    }
+
+    /// The empty schedule: no node ever crashes.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A single outage: `node` crashes at `down_at` and recovers at
+    /// `up_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `down_at < up_at`.
+    pub fn outage(node: NodeId, down_at: u64, up_at: u64) -> Self {
+        assert!(down_at < up_at, "outage must end after it begins");
+        Self::new(vec![
+            CrashEvent::down(down_at, node),
+            CrashEvent::recover(up_at, node),
+        ])
+    }
+
+    /// Merges two schedules into one time-sorted stream.
+    pub fn merged(self, other: CrashSchedule) -> Self {
+        let mut events = self.events;
+        events.extend(other.events);
+        Self::new(events)
+    }
+
+    /// `true` if the schedule holds no transitions.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The transitions, sorted by time.
+    pub fn events(&self) -> &[CrashEvent] {
+        &self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_merges() {
+        let a = CrashSchedule::new(vec![
+            CrashEvent::down(50, NodeId::new(1)),
+            CrashEvent::down(10, NodeId::new(0)),
+        ]);
+        assert_eq!(a.events()[0].at, 10);
+        let b = CrashSchedule::outage(NodeId::new(2), 20, 30);
+        let m = a.merged(b);
+        let ats: Vec<u64> = m.events().iter().map(|e| e.at).collect();
+        assert_eq!(ats, vec![10, 20, 30, 50]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outage must end after it begins")]
+    fn rejects_inverted_outage() {
+        let _ = CrashSchedule::outage(NodeId::new(0), 30, 30);
+    }
+}

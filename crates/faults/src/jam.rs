@@ -1,0 +1,239 @@
+//! Per-channel jammer schedules.
+//!
+//! A [`JamSchedule`] is a time-stepped function from unit-agnostic `u64`
+//! times (slot indices under the synchronous engine, nanoseconds under the
+//! asynchronous one) to the set of jammed channels, following the
+//! `DynamicsSchedule` idiom: a sorted step list walked by a monotone
+//! cursor in the hot loop, with stateless binary-search lookups for
+//! interval queries. Randomized schedules are seeded at construction, so
+//! resolving a jam never consumes simulation RNG.
+
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_util::SeedTree;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One step of a jammer schedule: from `at` onward (until the next step)
+/// the given channels are jammed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JamStep {
+    /// Activation time (inclusive), unit-agnostic.
+    pub at: u64,
+    /// The set of channels jammed from `at` until the next step.
+    pub channels: ChannelSet,
+}
+
+/// A piecewise-constant jammed-channel set over time.
+///
+/// Before the first step nothing is jammed; the last step holds forever.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_faults::JamSchedule;
+/// use mmhew_spectrum::ChannelId;
+///
+/// let sweep = JamSchedule::sweeping(3, 10, 60);
+/// assert!(sweep.jammed_at(ChannelId::new(0), 5));
+/// assert!(sweep.jammed_at(ChannelId::new(1), 15));
+/// assert!(sweep.jammed_at(ChannelId::new(0), 35)); // wrapped around
+/// assert!(!sweep.jammed_at(ChannelId::new(2), 0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct JamSchedule {
+    steps: Vec<JamStep>,
+}
+
+impl JamSchedule {
+    /// Builds a schedule from explicit steps (sorted by time; the sort is
+    /// stable, so among equal times the last step given wins).
+    pub fn new(mut steps: Vec<JamStep>) -> Self {
+        steps.sort_by_key(|s| s.at);
+        Self { steps }
+    }
+
+    /// The empty schedule: nothing is ever jammed.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A fixed-set jammer: `channels` are jammed for the whole run.
+    pub fn fixed(channels: ChannelSet) -> Self {
+        Self::new(vec![JamStep { at: 0, channels }])
+    }
+
+    /// A sweeping jammer: one channel at a time, cycling through the
+    /// universe `0, 1, …, universe−1, 0, …`, dwelling `dwell` time units
+    /// on each, until `horizon`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0` or `dwell == 0`.
+    pub fn sweeping(universe: u16, dwell: u64, horizon: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(dwell > 0, "dwell must be positive");
+        let mut steps = Vec::new();
+        let mut at = 0u64;
+        let mut c = 0u16;
+        while at < horizon {
+            let mut channels = ChannelSet::new();
+            channels.insert(ChannelId::new(c));
+            steps.push(JamStep { at, channels });
+            c = (c + 1) % universe;
+            at = at.saturating_add(dwell);
+        }
+        Self { steps }
+    }
+
+    /// A random jammer: every `dwell` time units, jam a fresh uniformly
+    /// chosen set of `width` distinct channels, until `horizon`. The
+    /// choices are drawn from `seed` here at construction — running the
+    /// schedule consumes no simulation RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe == 0`, `dwell == 0`, or `width > universe`.
+    pub fn random(universe: u16, width: usize, dwell: u64, horizon: u64, seed: SeedTree) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        assert!(dwell > 0, "dwell must be positive");
+        assert!(
+            width <= universe as usize,
+            "cannot jam more channels than the universe holds"
+        );
+        let mut rng = seed.rng();
+        let mut steps = Vec::new();
+        let mut at = 0u64;
+        while at < horizon {
+            let mut channels = ChannelSet::new();
+            while channels.len() < width {
+                channels.insert(ChannelId::new(rng.gen_range(0..universe)));
+            }
+            steps.push(JamStep { at, channels });
+            at = at.saturating_add(dwell);
+        }
+        Self { steps }
+    }
+
+    /// `true` if the schedule never jams anything.
+    pub fn is_empty(&self) -> bool {
+        self.steps.iter().all(|s| s.channels.is_empty())
+    }
+
+    /// The underlying steps, sorted by activation time.
+    pub fn steps(&self) -> &[JamStep] {
+        &self.steps
+    }
+
+    /// Index of the step active at `t`, if any step has started yet.
+    pub(crate) fn index_at(&self, t: u64) -> Option<usize> {
+        self.steps.partition_point(|s| s.at <= t).checked_sub(1)
+    }
+
+    /// Is `channel` jammed at instant `t`?
+    pub fn jammed_at(&self, channel: ChannelId, t: u64) -> bool {
+        self.index_at(t)
+            .is_some_and(|i| self.steps[i].channels.contains(channel))
+    }
+
+    /// Is `channel` jammed at any point of the half-open interval
+    /// `[start, end)`? Used for asynchronous bursts, which span time.
+    pub fn jammed_in(&self, channel: ChannelId, start: u64, end: u64) -> bool {
+        if start >= end {
+            return false;
+        }
+        let mut i = self.index_at(start).unwrap_or(0);
+        while i < self.steps.len() {
+            let seg_start = self.steps[i].at;
+            if seg_start >= end {
+                break;
+            }
+            let seg_end = self.steps.get(i + 1).map_or(u64::MAX, |s| s.at);
+            if seg_end > start && self.steps[i].channels.contains(channel) {
+                return true;
+            }
+            i += 1;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u16) -> ChannelId {
+        ChannelId::new(i)
+    }
+
+    #[test]
+    fn nothing_jammed_before_first_step() {
+        let s = JamSchedule::new(vec![JamStep {
+            at: 10,
+            channels: ChannelSet::full(2),
+        }]);
+        assert!(!s.jammed_at(ch(0), 9));
+        assert!(s.jammed_at(ch(0), 10));
+        assert!(s.jammed_at(ch(1), 1_000_000), "last step holds forever");
+    }
+
+    #[test]
+    fn fixed_jams_whole_run() {
+        let s = JamSchedule::fixed([ch(2)].into_iter().collect());
+        assert!(s.jammed_at(ch(2), 0));
+        assert!(s.jammed_at(ch(2), u64::MAX));
+        assert!(!s.jammed_at(ch(1), 0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn sweep_cycles_channels() {
+        let s = JamSchedule::sweeping(4, 5, 40);
+        for t in 0..40 {
+            let expect = ((t / 5) % 4) as u16;
+            for c in 0..4 {
+                assert_eq!(s.jammed_at(ch(c), t), c == expect, "t={t} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_is_seed_deterministic_with_exact_width() {
+        let a = JamSchedule::random(6, 2, 10, 100, SeedTree::new(3).branch("jam"));
+        let b = JamSchedule::random(6, 2, 10, 100, SeedTree::new(3).branch("jam"));
+        assert_eq!(a, b);
+        assert_eq!(a.steps().len(), 10);
+        for step in a.steps() {
+            assert_eq!(step.channels.len(), 2);
+        }
+        let c = JamSchedule::random(6, 2, 10, 100, SeedTree::new(4).branch("jam"));
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn interval_query_sees_past_and_future_segments() {
+        // Jam channel 0 during [10, 20) only.
+        let s = JamSchedule::new(vec![
+            JamStep {
+                at: 10,
+                channels: [ch(0)].into_iter().collect(),
+            },
+            JamStep {
+                at: 20,
+                channels: ChannelSet::new(),
+            },
+        ]);
+        assert!(!s.jammed_in(ch(0), 0, 10), "before the jam");
+        assert!(s.jammed_in(ch(0), 5, 15), "overlaps the front");
+        assert!(s.jammed_in(ch(0), 15, 25), "overlaps the back");
+        assert!(s.jammed_in(ch(0), 0, 100), "spans the jam");
+        assert!(!s.jammed_in(ch(0), 20, 30), "after the jam");
+        assert!(!s.jammed_in(ch(1), 0, 100), "other channel untouched");
+        assert!(!s.jammed_in(ch(0), 15, 15), "empty interval");
+    }
+
+    #[test]
+    fn empty_schedule_is_empty() {
+        assert!(JamSchedule::none().is_empty());
+        assert!(JamSchedule::fixed(ChannelSet::new()).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-link loss models: i.i.d. Bernoulli and Gilbert–Elliott bursty loss.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One i.i.d. delivery draw in *delivery-probability* terms.
+///
+/// This is exactly the draw `mmhew-radio::Impairments` has always made: no
+/// RNG is consumed when the channel is reliable (`delivery_probability >=
+/// 1.0`), otherwise one `gen_bool(delivery_probability)`. `Impairments`
+/// delegates here, so the i.i.d. knob is the trivial case of the fault
+/// machinery and legacy experiments (E13) keep their exact draw sequence.
+#[inline]
+pub fn bernoulli_delivers<R: Rng + ?Sized>(delivery_probability: f64, rng: &mut R) -> bool {
+    delivery_probability >= 1.0 || rng.gen_bool(delivery_probability)
+}
+
+/// Gilbert–Elliott two-state Markov loss channel.
+///
+/// The channel is in a *good* or *bad* state; each use first draws the
+/// state transition, then draws a loss with the current state's loss
+/// probability. Burst lengths are geometric: the mean sojourn in the bad
+/// state is `1 / p_bad_to_good` uses.
+///
+/// The stationary probability of the bad state is
+/// `p_good_to_bad / (p_good_to_bad + p_bad_to_good)` and the stationary
+/// loss rate is `π_bad·loss_bad + π_good·loss_good` — see
+/// [`stationary_loss`](Self::stationary_loss), property-tested against the
+/// empirical chain.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_faults::GilbertElliott;
+///
+/// let ge = GilbertElliott::new(0.1, 0.4, 0.01, 0.9);
+/// assert!((ge.stationary_bad() - 0.2).abs() < 1e-12);
+/// assert!((ge.stationary_loss() - (0.2 * 0.9 + 0.8 * 0.01)).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GilbertElliott {
+    p_good_to_bad: f64,
+    p_bad_to_good: f64,
+    loss_good: f64,
+    loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// Creates a channel from the two transition probabilities and the two
+    /// per-state loss probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or if both transition
+    /// probabilities are zero (the chain would be frozen and the
+    /// stationary distribution undefined).
+    pub fn new(p_good_to_bad: f64, p_bad_to_good: f64, loss_good: f64, loss_bad: f64) -> Self {
+        for p in [p_good_to_bad, p_bad_to_good, loss_good, loss_bad] {
+            assert!((0.0..=1.0).contains(&p), "probability out of range");
+        }
+        assert!(
+            p_good_to_bad + p_bad_to_good > 0.0,
+            "degenerate chain: both transition probabilities are zero"
+        );
+        Self {
+            p_good_to_bad,
+            p_bad_to_good,
+            loss_good,
+            loss_bad,
+        }
+    }
+
+    /// Burst-calibrated constructor: a blackout channel (`loss_bad = 1`,
+    /// `loss_good = 0`) with the given stationary loss rate and mean burst
+    /// length, so experiments can compare bursty against i.i.d. loss *at
+    /// equal average rate*.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < stationary_loss < 1` and `mean_burst_len >= 1`.
+    pub fn bursty(stationary_loss: f64, mean_burst_len: f64) -> Self {
+        assert!(
+            stationary_loss > 0.0 && stationary_loss < 1.0,
+            "stationary loss must be in (0, 1)"
+        );
+        assert!(
+            mean_burst_len >= 1.0,
+            "mean burst length must be at least 1"
+        );
+        let p_bad_to_good = 1.0 / mean_burst_len;
+        // With loss_bad = 1 and loss_good = 0 the stationary loss IS the
+        // stationary bad probability π; solve π = g2b / (g2b + b2g) for g2b.
+        let p_good_to_bad = (stationary_loss * p_bad_to_good / (1.0 - stationary_loss)).min(1.0);
+        Self::new(p_good_to_bad, p_bad_to_good, 0.0, 1.0)
+    }
+
+    /// Good → bad transition probability per use.
+    pub fn p_good_to_bad(&self) -> f64 {
+        self.p_good_to_bad
+    }
+
+    /// Bad → good transition probability per use.
+    pub fn p_bad_to_good(&self) -> f64 {
+        self.p_bad_to_good
+    }
+
+    /// Loss probability while in the good state.
+    pub fn loss_good(&self) -> f64 {
+        self.loss_good
+    }
+
+    /// Loss probability while in the bad state.
+    pub fn loss_bad(&self) -> f64 {
+        self.loss_bad
+    }
+
+    /// Stationary probability of the bad state.
+    pub fn stationary_bad(&self) -> f64 {
+        self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+    }
+
+    /// Stationary loss rate `π_bad·loss_bad + π_good·loss_good`.
+    pub fn stationary_loss(&self) -> f64 {
+        let pi_bad = self.stationary_bad();
+        pi_bad * self.loss_bad + (1.0 - pi_bad) * self.loss_good
+    }
+
+    /// Advances the chain one use and draws the loss: one transition draw
+    /// followed by one loss draw, returning `true` if the beacon is lost.
+    /// `bad` is the caller-held channel state.
+    pub fn step<R: Rng + ?Sized>(&self, bad: &mut bool, rng: &mut R) -> bool {
+        let p_leave = if *bad {
+            self.p_bad_to_good
+        } else {
+            self.p_good_to_bad
+        };
+        if rng.gen_bool(p_leave) {
+            *bad = !*bad;
+        }
+        let loss = if *bad { self.loss_bad } else { self.loss_good };
+        rng.gen_bool(loss)
+    }
+}
+
+/// Loss model attached to one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkLossModel {
+    /// i.i.d. loss expressed as a *delivery* probability — the same
+    /// convention (and the same single `gen_bool` draw) as
+    /// `mmhew-radio::Impairments`.
+    Bernoulli {
+        /// Probability that a clear reception is actually delivered.
+        delivery_probability: f64,
+    },
+    /// Two-state bursty loss.
+    GilbertElliott(GilbertElliott),
+}
+
+impl LinkLossModel {
+    /// Long-run loss rate of the model (for equal-average-rate
+    /// comparisons).
+    pub fn expected_loss(&self) -> f64 {
+        match self {
+            LinkLossModel::Bernoulli {
+                delivery_probability,
+            } => 1.0 - delivery_probability.min(1.0),
+            LinkLossModel::GilbertElliott(ge) => ge.stationary_loss(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_util::SeedTree;
+
+    #[test]
+    fn bernoulli_matches_gen_bool_sequence() {
+        // The delegation contract: `bernoulli_delivers(q, rng)` must be
+        // indistinguishable from the historical `rng.gen_bool(q)` draw,
+        // and must not touch the RNG at q >= 1.
+        use rand::Rng;
+        let mut a = SeedTree::new(99).rng();
+        let mut b = SeedTree::new(99).rng();
+        for _ in 0..200 {
+            assert_eq!(bernoulli_delivers(0.37, &mut a), b.gen_bool(0.37));
+        }
+        assert_eq!(a, b, "RNG states must stay in lockstep");
+        let before = a.clone();
+        assert!(bernoulli_delivers(1.0, &mut a));
+        assert_eq!(a, before, "reliable draw must not consume RNG");
+    }
+
+    #[test]
+    fn stationary_formulas() {
+        let ge = GilbertElliott::new(0.05, 0.2, 0.0, 1.0);
+        assert!((ge.stationary_bad() - 0.2).abs() < 1e-12);
+        assert!((ge.stationary_loss() - 0.2).abs() < 1e-12);
+        let bursty = GilbertElliott::bursty(0.25, 10.0);
+        assert!((bursty.stationary_loss() - 0.25).abs() < 1e-12);
+        assert!((1.0 / bursty.p_bad_to_good() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_consumes_exactly_two_draws() {
+        use rand::RngCore;
+        let ge = GilbertElliott::new(0.1, 0.3, 0.05, 0.8);
+        let mut a = SeedTree::new(5).rng();
+        let mut b = SeedTree::new(5).rng();
+        let mut bad = false;
+        ge.step(&mut bad, &mut a);
+        b.next_u64();
+        b.next_u64();
+        // gen_bool consumes one u64 per draw in rand 0.8.
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn blackout_chain_loses_exactly_in_bad_state() {
+        let ge = GilbertElliott::new(0.5, 0.5, 0.0, 1.0);
+        let mut rng = SeedTree::new(7).rng();
+        let mut bad = false;
+        for _ in 0..1000 {
+            let lost = ge.step(&mut bad, &mut rng);
+            assert_eq!(lost, bad);
+        }
+    }
+
+    #[test]
+    fn expected_loss() {
+        let b = LinkLossModel::Bernoulli {
+            delivery_probability: 0.75,
+        };
+        assert!((b.expected_loss() - 0.25).abs() < 1e-12);
+        let g = LinkLossModel::GilbertElliott(GilbertElliott::bursty(0.25, 4.0));
+        assert!((g.expected_loss() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_probability() {
+        let _ = GilbertElliott::new(1.5, 0.1, 0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate chain")]
+    fn rejects_frozen_chain() {
+        let _ = GilbertElliott::new(0.0, 0.0, 0.0, 1.0);
+    }
+}

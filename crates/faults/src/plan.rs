@@ -1,0 +1,241 @@
+//! The composable fault specification both engines consume.
+
+use crate::crash::CrashSchedule;
+use crate::jam::JamSchedule;
+use crate::loss::LinkLossModel;
+use mmhew_topology::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// An immutable, seedable, composable fault specification.
+///
+/// A plan combines (all optional, in any combination):
+///
+/// * a default per-link loss model applied to every directed link;
+/// * per-directed-link overrides — giving the two directions of a link
+///   different models expresses *asymmetric* loss;
+/// * a [`JamSchedule`];
+/// * a [`CrashSchedule`];
+/// * a capture probability `p_cap`: a collision of `k` transmitters still
+///   delivers the strongest frame (uniform among contenders, i.i.d.
+///   fading) with probability `p_cap`.
+///
+/// The default plan [`is_empty`](Self::is_empty); engines treat an empty
+/// plan exactly like no plan at all (byte-identical outcomes and traces,
+/// zero extra RNG draws).
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_faults::{FaultPlan, LinkLossModel};
+/// use mmhew_topology::NodeId;
+///
+/// let plan = FaultPlan::new()
+///     .with_asymmetric_loss(NodeId::new(0), NodeId::new(1), 0.9, 0.3);
+/// assert_eq!(plan.link_overrides().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    default_loss: Option<LinkLossModel>,
+    link_loss: Vec<(NodeId, NodeId, LinkLossModel)>,
+    jam: JamSchedule,
+    crashes: CrashSchedule,
+    capture_probability: Option<f64>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults at all.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies `model` to every directed link not otherwise overridden.
+    pub fn with_default_loss(mut self, model: LinkLossModel) -> Self {
+        validate(&model);
+        self.default_loss = Some(model);
+        self
+    }
+
+    /// Overrides the loss model of the directed link `from → to`.
+    pub fn with_link_loss(mut self, from: NodeId, to: NodeId, model: LinkLossModel) -> Self {
+        validate(&model);
+        self.link_loss.push((from, to, model));
+        self
+    }
+
+    /// Asymmetric loss on the undirected link `{a, b}`: delivery
+    /// probability `delivery_ab` in the `a → b` direction and
+    /// `delivery_ba` in the other.
+    pub fn with_asymmetric_loss(
+        self,
+        a: NodeId,
+        b: NodeId,
+        delivery_ab: f64,
+        delivery_ba: f64,
+    ) -> Self {
+        self.with_link_loss(
+            a,
+            b,
+            LinkLossModel::Bernoulli {
+                delivery_probability: delivery_ab,
+            },
+        )
+        .with_link_loss(
+            b,
+            a,
+            LinkLossModel::Bernoulli {
+                delivery_probability: delivery_ba,
+            },
+        )
+    }
+
+    /// Attaches a jammer schedule.
+    pub fn with_jamming(mut self, jam: JamSchedule) -> Self {
+        self.jam = jam;
+        self
+    }
+
+    /// Attaches a crash/recover schedule.
+    pub fn with_crashes(mut self, crashes: CrashSchedule) -> Self {
+        self.crashes = crashes;
+        self
+    }
+
+    /// Enables the capture effect with probability `p_cap` per collision.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p_cap <= 1` (zero would be a no-op that still
+    /// perturbed the RNG stream — spell "no capture" by not calling this).
+    pub fn with_capture(mut self, p_cap: f64) -> Self {
+        assert!(
+            p_cap > 0.0 && p_cap <= 1.0,
+            "capture probability out of range"
+        );
+        self.capture_probability = Some(p_cap);
+        self
+    }
+
+    /// The default per-link loss model, if any.
+    pub fn default_loss(&self) -> Option<&LinkLossModel> {
+        self.default_loss.as_ref()
+    }
+
+    /// Per-directed-link overrides, in insertion order (later entries win).
+    pub fn link_overrides(&self) -> &[(NodeId, NodeId, LinkLossModel)] {
+        &self.link_loss
+    }
+
+    /// The jammer schedule.
+    pub fn jam(&self) -> &JamSchedule {
+        &self.jam
+    }
+
+    /// The crash/recover schedule.
+    pub fn crashes(&self) -> &CrashSchedule {
+        &self.crashes
+    }
+
+    /// The capture probability, if the capture effect is enabled.
+    pub fn capture_probability(&self) -> Option<f64> {
+        self.capture_probability
+    }
+
+    /// `true` when the plan specifies no fault whatsoever — the engines'
+    /// neutrality fast path.
+    pub fn is_empty(&self) -> bool {
+        self.default_loss.is_none()
+            && self.link_loss.is_empty()
+            && self.jam.is_empty()
+            && self.crashes.is_empty()
+            && self.capture_probability.is_none()
+    }
+}
+
+fn validate(model: &LinkLossModel) {
+    if let LinkLossModel::Bernoulli {
+        delivery_probability,
+    } = model
+    {
+        assert!(
+            (0.0..=1.0).contains(delivery_probability),
+            "probability out of range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::GilbertElliott;
+    use mmhew_spectrum::ChannelId;
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::new().is_empty());
+        assert!(FaultPlan::default().is_empty());
+    }
+
+    #[test]
+    fn each_axis_makes_the_plan_non_empty() {
+        let loss = LinkLossModel::Bernoulli {
+            delivery_probability: 0.5,
+        };
+        assert!(!FaultPlan::new().with_default_loss(loss).is_empty());
+        assert!(!FaultPlan::new()
+            .with_link_loss(NodeId::new(0), NodeId::new(1), loss)
+            .is_empty());
+        assert!(!FaultPlan::new()
+            .with_jamming(JamSchedule::fixed(
+                [ChannelId::new(0)].into_iter().collect()
+            ))
+            .is_empty());
+        assert!(!FaultPlan::new()
+            .with_crashes(CrashSchedule::outage(NodeId::new(0), 1, 2))
+            .is_empty());
+        assert!(!FaultPlan::new().with_capture(0.5).is_empty());
+        // A jammer that jams nothing stays neutral.
+        assert!(FaultPlan::new()
+            .with_jamming(JamSchedule::none())
+            .is_empty());
+    }
+
+    #[test]
+    fn asymmetric_builder_expands_to_two_overrides() {
+        let plan = FaultPlan::new().with_asymmetric_loss(NodeId::new(2), NodeId::new(5), 1.0, 0.1);
+        let o = plan.link_overrides();
+        assert_eq!(o.len(), 2);
+        assert_eq!((o[0].0, o[0].1), (NodeId::new(2), NodeId::new(5)));
+        assert_eq!((o[1].0, o[1].1), (NodeId::new(5), NodeId::new(2)));
+    }
+
+    #[test]
+    fn later_override_wins_is_documented_order() {
+        let plan = FaultPlan::new()
+            .with_default_loss(LinkLossModel::GilbertElliott(GilbertElliott::bursty(
+                0.2, 6.0,
+            )))
+            .with_link_loss(
+                NodeId::new(0),
+                NodeId::new(1),
+                LinkLossModel::Bernoulli {
+                    delivery_probability: 0.5,
+                },
+            );
+        assert!(plan.default_loss().is_some());
+        assert_eq!(plan.link_overrides().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture probability out of range")]
+    fn rejects_zero_capture() {
+        let _ = FaultPlan::new().with_capture(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability out of range")]
+    fn rejects_bad_delivery_probability() {
+        let _ = FaultPlan::new().with_default_loss(LinkLossModel::Bernoulli {
+            delivery_probability: -0.1,
+        });
+    }
+}

@@ -1,0 +1,63 @@
+//! Property test: the empirical loss rate of a driven Gilbert–Elliott
+//! chain converges to the analytic stationary probability
+//! `π_bad·loss_bad + π_good·loss_good`.
+
+use mmhew_faults::GilbertElliott;
+use mmhew_util::SeedTree;
+use proptest::prelude::*;
+use rand::Rng;
+
+const STEPS: usize = 40_000;
+// Transitions are bounded away from 0 so the chain mixes within a few
+// dozen steps; the empirical mean of 40k correlated draws then sits
+// within ~3σ ≈ 0.06 of the stationary rate.
+const TOLERANCE: f64 = 0.06;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn empirical_loss_rate_matches_stationary(
+        p_g2b in 0.05f64..0.95,
+        p_b2g in 0.05f64..0.95,
+        loss_good in 0.0f64..1.0,
+        loss_bad in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let ge = GilbertElliott::new(p_g2b, p_b2g, loss_good, loss_bad);
+        let mut rng = SeedTree::new(seed).branch("ge").rng();
+        // Start from the stationary distribution so no burn-in is needed.
+        let mut bad = rng.gen_bool(ge.stationary_bad());
+        let mut losses = 0u64;
+        for _ in 0..STEPS {
+            if ge.step(&mut bad, &mut rng) {
+                losses += 1;
+            }
+        }
+        let empirical = losses as f64 / STEPS as f64;
+        let analytic = ge.stationary_loss();
+        prop_assert!(
+            (empirical - analytic).abs() < TOLERANCE,
+            "empirical {empirical:.4} vs stationary {analytic:.4} \
+             (p_g2b={p_g2b:.3}, p_b2g={p_b2g:.3}, \
+              loss_good={loss_good:.3}, loss_bad={loss_bad:.3})"
+        );
+    }
+}
+
+#[test]
+fn bursty_constructor_hits_requested_rate_empirically() {
+    let ge = GilbertElliott::bursty(0.3, 8.0);
+    let mut rng = SeedTree::new(17).rng();
+    let mut bad = rng.gen_bool(ge.stationary_bad());
+    let mut losses = 0u64;
+    for _ in 0..200_000 {
+        if ge.step(&mut bad, &mut rng) {
+            losses += 1;
+        }
+    }
+    let empirical = losses as f64 / 200_000.0;
+    assert!(
+        (empirical - 0.3).abs() < 0.02,
+        "bursty(0.3, 8) measured {empirical:.4}"
+    );
+}

@@ -1,8 +1,11 @@
 //! Shared measurement helpers for the experiment suite.
 
 use crate::sweep::parallel_reps;
-use mmhew_discovery::{run_async_discovery, run_sync_discovery, AsyncAlgorithm, SyncAlgorithm};
-use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_discovery::{
+    run_async_discovery, run_sync_discovery, run_sync_discovery_faulted, run_sync_discovery_robust,
+    AsyncAlgorithm, SyncAlgorithm,
+};
+use mmhew_engine::{AsyncRunConfig, FaultPlan, StartSchedule, SyncRunConfig};
 use mmhew_topology::Network;
 use mmhew_util::{SeedTree, Summary};
 
@@ -47,6 +50,73 @@ pub fn measure_sync(
         run_sync_discovery(network, algorithm, starts.clone(), config, rep_seed)
             .expect("protocol construction failed")
             .slots_to_complete()
+    });
+    let slots: Vec<f64> = outcomes.iter().flatten().map(|&s| s as f64).collect();
+    let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+    SyncMeasurement {
+        slots,
+        failures,
+        reps,
+    }
+}
+
+/// Like [`measure_sync`], but every repetition runs under a clone of the
+/// given [`FaultPlan`].
+pub fn measure_sync_faulted(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    starts: &StartSchedule,
+    faults: &FaultPlan,
+    config: SyncRunConfig,
+    reps: u64,
+    seed: SeedTree,
+) -> SyncMeasurement {
+    let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
+        run_sync_discovery_faulted(
+            network,
+            algorithm,
+            starts.clone(),
+            faults.clone(),
+            config,
+            rep_seed,
+        )
+        .expect("protocol construction failed")
+        .slots_to_complete()
+    });
+    let slots: Vec<f64> = outcomes.iter().flatten().map(|&s| s as f64).collect();
+    let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;
+    SyncMeasurement {
+        slots,
+        failures,
+        reps,
+    }
+}
+
+/// Like [`measure_sync_faulted`], but wraps every node in a
+/// [`mmhew_discovery::RobustDiscovery`] with the given repetition factor.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_sync_robust(
+    network: &Network,
+    algorithm: SyncAlgorithm,
+    repetition: u64,
+    starts: &StartSchedule,
+    faults: &FaultPlan,
+    config: SyncRunConfig,
+    reps: u64,
+    seed: SeedTree,
+) -> SyncMeasurement {
+    let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
+        run_sync_discovery_robust(
+            network,
+            algorithm,
+            repetition,
+            starts.clone(),
+            faults.clone(),
+            config,
+            rep_seed,
+        )
+        .expect("protocol construction failed")
+        .slots_to_complete()
     });
     let slots: Vec<f64> = outcomes.iter().flatten().map(|&s| s as f64).collect();
     let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;

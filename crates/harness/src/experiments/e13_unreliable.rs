@@ -84,6 +84,41 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mmhew_discovery::run_sync_discovery;
+
+    #[test]
+    fn unreliable_runs_are_seed_stable() {
+        // Regression for the Impairments -> mmhew_faults delegation: the
+        // per-reception draw sequence, and hence every seeded outcome,
+        // must remain a pure function of the seed.
+        let net = NetworkBuilder::ring(4)
+            .universe(2)
+            .build(SeedTree::new(0))
+            .expect("ring networks are always valid");
+        let run_once = || {
+            run_sync_discovery(
+                &net,
+                SyncAlgorithm::Uniform(SyncParams::new(2).expect("positive")),
+                StartSchedule::Identical,
+                SyncRunConfig::until_complete(500_000)
+                    .with_impairments(Impairments::with_delivery_probability(0.5)),
+                SeedTree::new(77),
+            )
+            .expect("run")
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a.completion_slot(), b.completion_slot());
+        assert_eq!(a.link_coverage(), b.link_coverage());
+        assert_eq!(a.deliveries(), b.deliveries());
+        let sorted = |o: &mmhew_engine::SyncOutcome| {
+            o.tables()
+                .iter()
+                .map(|t| t.to_sorted_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sorted(&a), sorted(&b));
+    }
 
     #[test]
     fn lossier_channels_cost_proportionally_more() {

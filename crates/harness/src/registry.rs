@@ -32,6 +32,9 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E21", experiments::e21_join_rediscovery::run),
         ("E22", experiments::e22_churn_staleness::run),
         ("E23", experiments::e23_spectrum_churn::run),
+        ("E24", experiments::e24_bursty_loss::run),
+        ("E25", experiments::e25_jamming::run),
+        ("E26", experiments::e26_robust_repetition::run),
         ("F-CDF", experiments::f_cdf::run),
     ]
 }
@@ -81,10 +84,24 @@ mod tests {
 
     #[test]
     fn registry_is_complete_and_unique() {
+        // Structural rather than a hard-coded count: ids must be unique,
+        // and every numbered experiment from E1 up to the highest
+        // registered number must be present (no gaps).
         let entries = all();
-        assert_eq!(entries.len(), 24);
         let ids: std::collections::HashSet<&str> = entries.iter().map(|(id, _)| *id).collect();
-        assert_eq!(ids.len(), 24);
+        assert_eq!(ids.len(), entries.len(), "duplicate experiment id");
+        let highest = entries
+            .iter()
+            .filter_map(|(id, _)| id.strip_prefix('E').and_then(|n| n.parse::<u32>().ok()))
+            .max()
+            .expect("numbered experiments exist");
+        for k in 1..=highest {
+            assert!(
+                ids.contains(format!("E{k}").as_str()),
+                "gap in experiment numbering at E{k}"
+            );
+        }
+        assert!(highest >= 26, "E24-E26 must be registered");
     }
 
     #[test]

@@ -170,3 +170,30 @@ fn e23_smoke() {
     assert!(stdout.contains("=== E23:"), "{stdout}");
     assert!(stdout.contains("mean re-est"), "{stdout}");
 }
+
+#[test]
+fn e24_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e24_bursty_loss"), &["--seed", "3"]);
+    assert!(ok, "e24 failed: {stderr}");
+    assert!(stdout.contains("=== E24:"), "{stdout}");
+    assert!(stdout.contains("gilbert-elliott"), "{stdout}");
+}
+
+#[test]
+fn e25_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e25_jamming"), &["--seed", "3"]);
+    assert!(ok, "e25 failed: {stderr}");
+    assert!(stdout.contains("=== E25:"), "{stdout}");
+    assert!(stdout.contains("slowdown at"), "{stdout}");
+}
+
+#[test]
+fn e26_smoke() {
+    let (stdout, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_e26_robust_repetition"),
+        &["--seed", "3"],
+    );
+    assert!(ok, "e26 failed: {stderr}");
+    assert!(stdout.contains("=== E26:"), "{stdout}");
+    assert!(stdout.contains("calibrated budget"), "{stdout}");
+}

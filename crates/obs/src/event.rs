@@ -157,6 +157,29 @@ pub enum SimEvent {
         covered: u64,
         expected: u64,
     },
+    /// A clear reception from `from` to `to` was destroyed by the link's
+    /// fault-plan loss model (Gilbert–Elliott or per-link Bernoulli).
+    BeaconLost { at: Stamp, from: NodeId, to: NodeId },
+    /// A jammer held `channel`; `losses` would-be receptions were
+    /// suppressed there.
+    SlotJammed {
+        at: Stamp,
+        channel: ChannelId,
+        losses: u32,
+    },
+    /// The capture effect resolved a collision: `to` heard `from` despite
+    /// `contenders` simultaneous transmitters.
+    CaptureDelivery {
+        at: Stamp,
+        to: NodeId,
+        from: NodeId,
+        contenders: u32,
+    },
+    /// A node's radio crashed (fault plan): it stays in the topology but
+    /// goes silent.
+    NodeCrashed { at: Stamp, node: NodeId },
+    /// A crashed node's radio recovered.
+    NodeRecovered { at: Stamp, node: NodeId },
 }
 
 impl SimEvent {
@@ -178,6 +201,11 @@ impl SimEvent {
             SimEvent::EdgeChanged { .. } => "edge_changed",
             SimEvent::ChannelChanged { .. } => "channel_changed",
             SimEvent::GroundTruthChanged { .. } => "ground_truth_changed",
+            SimEvent::BeaconLost { .. } => "beacon_lost",
+            SimEvent::SlotJammed { .. } => "slot_jammed",
+            SimEvent::CaptureDelivery { .. } => "capture_delivery",
+            SimEvent::NodeCrashed { .. } => "node_crashed",
+            SimEvent::NodeRecovered { .. } => "node_recovered",
         }
     }
 }

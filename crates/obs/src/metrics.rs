@@ -122,6 +122,12 @@ pub struct MetricsSink {
     links_expected: u64,
     phase_transitions: u64,
     dynamics_events: u64,
+    beacons_lost: u64,
+    slots_jammed: u64,
+    jam_losses: u64,
+    capture_deliveries: u64,
+    node_crashes: u64,
+    node_recoveries: u64,
     nodes: Vec<NodeActivity>,
     channels: Vec<ChannelActivity>,
     /// Slot-window width for the collision series; 0 disables it.
@@ -204,6 +210,36 @@ impl MetricsSink {
         self.dynamics_events
     }
 
+    /// Clear receptions destroyed by fault-plan link loss models.
+    pub fn beacons_lost(&self) -> u64 {
+        self.beacons_lost
+    }
+
+    /// Channel-slots (or channel-windows) suppressed by a jammer.
+    pub fn slots_jammed(&self) -> u64 {
+        self.slots_jammed
+    }
+
+    /// Receptions suppressed by jamming (summed over jammed slots).
+    pub fn jam_losses(&self) -> u64 {
+        self.jam_losses
+    }
+
+    /// Collisions resolved into deliveries by the capture effect.
+    pub fn capture_deliveries(&self) -> u64 {
+        self.capture_deliveries
+    }
+
+    /// Node crash transitions observed (fault plan, not churn).
+    pub fn node_crashes(&self) -> u64 {
+        self.node_crashes
+    }
+
+    /// Node recovery transitions observed.
+    pub fn node_recoveries(&self) -> u64 {
+        self.node_recoveries
+    }
+
     /// Per-node activity (indexed by node id; absent nodes are default).
     pub fn nodes(&self) -> &[NodeActivity] {
         &self.nodes
@@ -269,6 +305,12 @@ impl MetricsSink {
         self.links_expected = self.links_expected.max(other.links_expected);
         self.phase_transitions += other.phase_transitions;
         self.dynamics_events += other.dynamics_events;
+        self.beacons_lost += other.beacons_lost;
+        self.slots_jammed += other.slots_jammed;
+        self.jam_losses += other.jam_losses;
+        self.capture_deliveries += other.capture_deliveries;
+        self.node_crashes += other.node_crashes;
+        self.node_recoveries += other.node_recoveries;
         for (i, n) in other.nodes.iter().enumerate() {
             let mine = self.node_mut(i);
             mine.transmit += n.transmit;
@@ -434,6 +476,22 @@ impl EventSink for MetricsSink {
                 self.links_covered = covered;
                 self.links_expected = expected;
             }
+            SimEvent::BeaconLost { .. } => {
+                self.beacons_lost += 1;
+            }
+            SimEvent::SlotJammed { losses, .. } => {
+                self.slots_jammed += 1;
+                self.jam_losses += losses as u64;
+            }
+            SimEvent::CaptureDelivery { .. } => {
+                self.capture_deliveries += 1;
+            }
+            SimEvent::NodeCrashed { .. } => {
+                self.node_crashes += 1;
+            }
+            SimEvent::NodeRecovered { .. } => {
+                self.node_recoveries += 1;
+            }
         }
     }
 }
@@ -565,6 +623,48 @@ mod tests {
         });
         a.merge(&b);
         assert_eq!(a.collision_series()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn fault_counters_aggregate_and_merge() {
+        let mut m = MetricsSink::new();
+        let at = Stamp::Slot(3);
+        m.on_event(&SimEvent::BeaconLost {
+            at,
+            from: NodeId::new(0),
+            to: NodeId::new(1),
+        });
+        m.on_event(&SimEvent::SlotJammed {
+            at,
+            channel: ChannelId::new(2),
+            losses: 3,
+        });
+        m.on_event(&SimEvent::CaptureDelivery {
+            at,
+            to: NodeId::new(1),
+            from: NodeId::new(0),
+            contenders: 4,
+        });
+        m.on_event(&SimEvent::NodeCrashed {
+            at,
+            node: NodeId::new(2),
+        });
+        m.on_event(&SimEvent::NodeRecovered {
+            at,
+            node: NodeId::new(2),
+        });
+        assert_eq!(m.beacons_lost(), 1);
+        assert_eq!(m.slots_jammed(), 1);
+        assert_eq!(m.jam_losses(), 3);
+        assert_eq!(m.capture_deliveries(), 1);
+        assert_eq!(m.node_crashes(), 1);
+        assert_eq!(m.node_recoveries(), 1);
+        let other = m.clone();
+        m.merge(&other);
+        assert_eq!(m.beacons_lost(), 2);
+        assert_eq!(m.jam_losses(), 6);
+        assert_eq!(m.capture_deliveries(), 2);
+        assert_eq!(m.node_crashes(), 2);
     }
 
     #[test]

@@ -61,8 +61,13 @@ impl Impairments {
     }
 
     /// Samples whether one clear reception is actually delivered.
+    ///
+    /// Delegates to [`mmhew_faults::bernoulli_delivers`], which is the
+    /// i.i.d. special case of the fault subsystem's link-loss models —
+    /// the draw sequence (one `gen_bool(q)` per unreliable reception,
+    /// none when reliable) is pinned by E13's seeded regression.
     pub fn delivers<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
-        self.is_reliable() || rng.gen_bool(self.delivery_probability)
+        mmhew_faults::bernoulli_delivers(self.delivery_probability, rng)
     }
 }
 
@@ -108,5 +113,23 @@ mod tests {
     #[should_panic(expected = "probability out of range")]
     fn invalid_probability_panics() {
         let _ = Impairments::with_delivery_probability(1.5);
+    }
+
+    #[test]
+    fn draw_sequence_matches_raw_gen_bool() {
+        // Guards the delegation to `mmhew_faults::bernoulli_delivers`:
+        // exactly one `gen_bool(q)` per call when q < 1 and zero when
+        // reliable, so pre-delegation seeded runs (E13) replay unchanged.
+        let imp = Impairments::with_delivery_probability(0.3);
+        let mut a = SeedTree::new(9).rng();
+        let mut b = a.clone();
+        for _ in 0..500 {
+            assert_eq!(imp.delivers(&mut a), b.gen_bool(0.3));
+        }
+        let reliable = Impairments::reliable();
+        for _ in 0..10 {
+            assert!(reliable.delivers(&mut a));
+        }
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>(), "streams stayed in lockstep");
     }
 }

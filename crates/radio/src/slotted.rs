@@ -10,6 +10,7 @@
 
 use crate::impairments::Impairments;
 use crate::mode::SlotAction;
+use mmhew_faults::ActiveFaults;
 use mmhew_spectrum::ChannelId;
 use mmhew_topology::{Network, NodeId};
 use rand::Rng;
@@ -271,6 +272,148 @@ impl SlotResolver {
                     channel,
                     transmitters: count as usize,
                 });
+            }
+        }
+        self.touched.clear();
+        &self.outcome
+    }
+
+    /// Resolves one synchronous slot under an active fault plan.
+    ///
+    /// Same scatter/drain structure as [`resolve`](Self::resolve) —
+    /// ascending-listener drain order and the base impairments draw in its
+    /// usual position — with the fault model injected around it:
+    ///
+    /// * crashed transmitters do not radiate (they neither deliver nor
+    ///   interfere) and crashed listeners hear nothing;
+    /// * a jammed channel suppresses every unique reception on it
+    ///   (tallied per channel, no RNG); collisions there stay collisions;
+    /// * a unique reception first draws the directed link's loss model
+    ///   (Gilbert–Elliott chain advance or per-link Bernoulli), then the
+    ///   base `impairments` draw, in that order;
+    /// * a collision on an unjammed channel may resolve by capture: one
+    ///   `gen_bool(p_cap)` plus a uniform winner pick, the winner
+    ///   delivered in place of the collision record. Capture already
+    ///   models the survivor's SINR margin, so a captured beacon is not
+    ///   additionally subjected to loss draws.
+    ///
+    /// The caller advances `faults` to the current slot
+    /// ([`ActiveFaults::advance_to`]) before resolving; per-slot fault
+    /// tallies (beacon losses, jam losses, captures) are reset here and
+    /// left in `faults` for the engine to surface as events.
+    ///
+    /// The engines only call this when the plan is non-empty, so the
+    /// neutrality guarantee (byte-identical outcomes and traces under an
+    /// empty plan) never depends on this path; still, an empty
+    /// `ActiveFaults` resolves identically to [`resolve`](Self::resolve),
+    /// RNG stream included.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len()` differs from the network's node count.
+    pub fn resolve_faulted<R: Rng + ?Sized>(
+        &mut self,
+        network: &Network,
+        actions: &[SlotAction],
+        impairments: &Impairments,
+        faults: &mut ActiveFaults,
+        rng: &mut R,
+    ) -> &SlotOutcome {
+        assert_eq!(
+            actions.len(),
+            network.node_count(),
+            "one action per node required"
+        );
+        if self.rx_count.len() < actions.len() {
+            self.rx_count.resize(actions.len(), 0);
+            self.rx_from.resize(actions.len(), NodeId::new(0));
+        }
+        self.outcome.deliveries.clear();
+        self.outcome.collisions.clear();
+        self.outcome.impairment_losses = 0;
+        debug_assert!(self.touched.is_empty());
+        faults.begin_resolution();
+
+        for (i, action) in actions.iter().enumerate() {
+            let SlotAction::Transmit { channel } = action else {
+                continue;
+            };
+            let v = NodeId::new(i as u32);
+            if faults.is_crashed(v) {
+                continue;
+            }
+            for &u in network.receivers_on(v, *channel) {
+                let ui = u.as_usize();
+                if !matches!(
+                    actions[ui],
+                    SlotAction::Listen { channel: lc } if lc == *channel
+                ) || faults.is_crashed(u)
+                {
+                    continue;
+                }
+                if self.rx_count[ui] == 0 {
+                    self.rx_from[ui] = v;
+                    self.touched.push(ui as u32);
+                }
+                self.rx_count[ui] += 1;
+            }
+        }
+
+        self.touched.sort_unstable();
+        for &ui in &self.touched {
+            let u = ui as usize;
+            let SlotAction::Listen { channel } = actions[u] else {
+                unreachable!("only listeners are ever touched");
+            };
+            let count = self.rx_count[u];
+            self.rx_count[u] = 0;
+            let listener = NodeId::new(ui);
+            if count == 1 {
+                if faults.is_jammed_now(channel) {
+                    faults.record_jam_loss(channel);
+                } else if !faults.link_delivers(self.rx_from[u], listener, rng) {
+                    // Tallied inside `faults` as a beacon loss.
+                } else if impairments.delivers(rng) {
+                    self.outcome.deliveries.push(Delivery {
+                        to: listener,
+                        from: self.rx_from[u],
+                        channel,
+                    });
+                } else {
+                    self.outcome.impairment_losses += 1;
+                }
+            } else {
+                let captured = if faults.is_jammed_now(channel) {
+                    None
+                } else {
+                    faults.try_capture(
+                        listener,
+                        channel,
+                        network
+                            .neighbors_on(listener, channel)
+                            .iter()
+                            .copied()
+                            .filter(|v| {
+                                matches!(
+                                    actions[v.as_usize()],
+                                    SlotAction::Transmit { channel: tc } if tc == channel
+                                )
+                            }),
+                        rng,
+                    )
+                };
+                match captured {
+                    Some(winner) => self.outcome.deliveries.push(Delivery {
+                        to: listener,
+                        from: winner,
+                        channel,
+                    }),
+                    None => self.outcome.collisions.push(Collision {
+                        at: listener,
+                        channel,
+                        transmitters: count as usize,
+                    }),
+                }
             }
         }
         self.touched.clear();
@@ -569,6 +712,221 @@ mod tests {
             let fast = resolver.resolve(&net, &actions, &imp, &mut rng_fast);
             assert_eq!(*fast, reference);
             assert_eq!(rng_fast, rng_ref, "RNG streams diverged");
+        }
+    }
+
+    mod faulted {
+        use super::*;
+        use mmhew_faults::{
+            ActiveFaults, CrashSchedule, FaultPlan, GilbertElliott, JamSchedule, LinkLossModel,
+        };
+        use rand::Rng;
+
+        /// An always-lose Gilbert–Elliott chain: the first transition is
+        /// certain (good → bad) and the bad state always loses, so every
+        /// draw is deterministic.
+        fn blackout() -> LinkLossModel {
+            LinkLossModel::GilbertElliott(GilbertElliott::new(1.0, 0.0, 0.0, 1.0))
+        }
+
+        #[test]
+        fn empty_plan_matches_plain_resolve_including_rng() {
+            let net = homogeneous(generators::complete(5), 3);
+            let imp = Impairments::with_delivery_probability(0.6);
+            let mut plain = SlotResolver::new();
+            let mut faulted = SlotResolver::new();
+            let mut active = ActiveFaults::new(FaultPlan::new(), 5, 3);
+            let mut rng_plain = SeedTree::new(11).rng();
+            let mut rng_faulted = SeedTree::new(11).rng();
+            let mut action_rng = SeedTree::new(8).rng();
+            for slot in 0..200u64 {
+                let actions: Vec<SlotAction> = (0..5)
+                    .map(|_| {
+                        let c = ch(action_rng.gen_range(0..3u16));
+                        match action_rng.gen_range(0..3u8) {
+                            0 => SlotAction::Transmit { channel: c },
+                            1 => SlotAction::Listen { channel: c },
+                            _ => SlotAction::Quiet,
+                        }
+                    })
+                    .collect();
+                active.advance_to(slot);
+                let expected = plain.resolve(&net, &actions, &imp, &mut rng_plain).clone();
+                let got =
+                    faulted.resolve_faulted(&net, &actions, &imp, &mut active, &mut rng_faulted);
+                assert_eq!(*got, expected);
+                assert_eq!(rng_faulted, rng_plain, "RNG streams diverged");
+                assert!(active.beacon_losses().is_empty());
+                assert!(active.jam_losses().is_empty());
+                assert!(active.captures().is_empty());
+            }
+        }
+
+        #[test]
+        fn crashed_nodes_neither_radiate_nor_hear() {
+            let net = homogeneous(generators::line(3), 1);
+            let actions = [
+                SlotAction::Transmit { channel: ch(0) },
+                SlotAction::Listen { channel: ch(0) },
+                SlotAction::Transmit { channel: ch(0) },
+            ];
+            let mut resolver = SlotResolver::new();
+            let mut rng = SeedTree::new(0).rng();
+            // Node 2 crashed: its interference vanishes, so node 1 hears 0.
+            let mut active = ActiveFaults::new(
+                FaultPlan::new().with_crashes(CrashSchedule::outage(n(2), 0, 100)),
+                3,
+                1,
+            );
+            active.advance_to(0);
+            let out = resolver.resolve_faulted(
+                &net,
+                &actions,
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert_eq!(out.deliveries.len(), 1);
+            assert_eq!(out.deliveries[0].from, n(0));
+            assert!(out.collisions.is_empty());
+            // Listener crashed instead: nothing is heard at all.
+            let mut active = ActiveFaults::new(
+                FaultPlan::new().with_crashes(CrashSchedule::outage(n(1), 0, 100)),
+                3,
+                1,
+            );
+            active.advance_to(0);
+            let out = resolver.resolve_faulted(
+                &net,
+                &actions,
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert!(out.deliveries.is_empty());
+            assert!(out.collisions.is_empty());
+        }
+
+        #[test]
+        fn jammed_channel_suppresses_and_tallies_without_rng() {
+            let net = homogeneous(generators::line(2), 2);
+            let mut active = ActiveFaults::new(
+                FaultPlan::new().with_jamming(JamSchedule::fixed([0u16].into_iter().collect())),
+                2,
+                2,
+            );
+            active.advance_to(0);
+            let mut resolver = SlotResolver::new();
+            let mut rng = SeedTree::new(0).rng();
+            let before = rng.clone();
+            let out = resolver.resolve_faulted(
+                &net,
+                &[
+                    SlotAction::Transmit { channel: ch(0) },
+                    SlotAction::Listen { channel: ch(0) },
+                ],
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert!(out.deliveries.is_empty());
+            assert_eq!(active.jam_losses(), &[(ch(0), 1)]);
+            assert_eq!(rng, before, "jam suppression must not draw RNG");
+            // The unjammed channel still works.
+            let out = resolver.resolve_faulted(
+                &net,
+                &[
+                    SlotAction::Transmit { channel: ch(1) },
+                    SlotAction::Listen { channel: ch(1) },
+                ],
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert_eq!(out.deliveries.len(), 1);
+        }
+
+        #[test]
+        fn blackout_link_records_beacon_loss() {
+            let net = homogeneous(generators::line(2), 1);
+            let mut active =
+                ActiveFaults::new(FaultPlan::new().with_default_loss(blackout()), 2, 1);
+            active.advance_to(0);
+            let mut resolver = SlotResolver::new();
+            let mut rng = SeedTree::new(0).rng();
+            let out = resolver.resolve_faulted(
+                &net,
+                &[
+                    SlotAction::Transmit { channel: ch(0) },
+                    SlotAction::Listen { channel: ch(0) },
+                ],
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert!(out.deliveries.is_empty());
+            assert_eq!(
+                out.impairment_losses, 0,
+                "fault losses are tallied separately"
+            );
+            assert_eq!(active.beacon_losses(), &[(n(0), n(1))]);
+        }
+
+        #[test]
+        fn capture_turns_a_collision_into_a_delivery() {
+            let net = homogeneous(generators::line(3), 1);
+            let mut active = ActiveFaults::new(FaultPlan::new().with_capture(1.0), 3, 1);
+            active.advance_to(0);
+            let mut resolver = SlotResolver::new();
+            let mut rng = SeedTree::new(0).rng();
+            let out = resolver.resolve_faulted(
+                &net,
+                &[
+                    SlotAction::Transmit { channel: ch(0) },
+                    SlotAction::Listen { channel: ch(0) },
+                    SlotAction::Transmit { channel: ch(0) },
+                ],
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert!(out.collisions.is_empty());
+            assert_eq!(out.deliveries.len(), 1);
+            let d = out.deliveries[0];
+            assert_eq!(d.to, n(1));
+            assert!(d.from == n(0) || d.from == n(2));
+            assert_eq!(active.captures().len(), 1);
+            assert_eq!(active.captures()[0].contenders, 2);
+        }
+
+        #[test]
+        fn capture_is_suppressed_on_a_jammed_channel() {
+            let net = homogeneous(generators::line(3), 1);
+            let mut active = ActiveFaults::new(
+                FaultPlan::new()
+                    .with_capture(1.0)
+                    .with_jamming(JamSchedule::fixed([0u16].into_iter().collect())),
+                3,
+                1,
+            );
+            active.advance_to(0);
+            let mut resolver = SlotResolver::new();
+            let mut rng = SeedTree::new(0).rng();
+            let before = rng.clone();
+            let out = resolver.resolve_faulted(
+                &net,
+                &[
+                    SlotAction::Transmit { channel: ch(0) },
+                    SlotAction::Listen { channel: ch(0) },
+                    SlotAction::Transmit { channel: ch(0) },
+                ],
+                &Impairments::reliable(),
+                &mut active,
+                &mut rng,
+            );
+            assert!(out.deliveries.is_empty());
+            assert_eq!(out.collisions.len(), 1, "jammed collisions stay collisions");
+            assert_eq!(rng, before, "no capture draw on a jammed channel");
         }
     }
 }

@@ -43,6 +43,7 @@
 pub use mmhew_discovery as discovery;
 pub use mmhew_dynamics as dynamics;
 pub use mmhew_engine as engine;
+pub use mmhew_faults as faults;
 pub use mmhew_harness as harness;
 pub use mmhew_obs as obs;
 pub use mmhew_radio as radio;
@@ -54,12 +55,13 @@ pub use mmhew_util as util;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use mmhew_discovery::{
-        run_async_discovery, run_async_discovery_dynamic, run_async_discovery_observed,
-        run_continuous_discovery, run_sync_discovery, run_sync_discovery_dynamic,
-        run_sync_discovery_observed, staleness, tables_are_sound, tables_match_ground_truth,
-        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, Bounds,
-        ContinuousConfig, ContinuousDiscovery, ProtocolError, StagedDiscovery, StalenessReport,
-        SyncAlgorithm, SyncParams, UniformDiscovery,
+        repetition_factor, run_async_discovery, run_async_discovery_dynamic,
+        run_async_discovery_faulted, run_async_discovery_observed, run_continuous_discovery,
+        run_sync_discovery, run_sync_discovery_dynamic, run_sync_discovery_faulted,
+        run_sync_discovery_observed, run_sync_discovery_robust, staleness, tables_are_sound,
+        tables_match_ground_truth, AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery,
+        AsyncParams, Bounds, ContinuousConfig, ContinuousDiscovery, ProtocolError, RobustDiscovery,
+        StagedDiscovery, StalenessReport, SyncAlgorithm, SyncParams, UniformDiscovery,
     };
     pub use mmhew_dynamics::{
         markov_primary_users, poisson_churn, random_waypoint, ChurnConfig, DynamicsSchedule,
@@ -69,6 +71,7 @@ pub mod prelude {
         AsyncOutcome, AsyncRunConfig, AsyncStartSchedule, ClockConfig, NeighborTable,
         StartSchedule, SyncOutcome, SyncRunConfig,
     };
+    pub use mmhew_faults::{CrashSchedule, FaultPlan, GilbertElliott, JamSchedule, LinkLossModel};
     pub use mmhew_obs::{
         EventSink, FanoutSink, JsonlTraceSink, MetricsSink, NullSink, SimEvent, TimelineSink,
     };

@@ -459,6 +459,191 @@ fn same_seed_async_traces_are_byte_identical() {
     assert_ne!(a, c, "different seeds should diverge");
 }
 
+fn faulted_trace_bytes(
+    seed: u64,
+    dynamics: DynamicsSchedule,
+    faults: FaultPlan,
+) -> (SyncOutcome, Vec<u8>) {
+    let tree = SeedTree::new(seed);
+    let network = net(&tree);
+    let mut sink = JsonlTraceSink::new(Vec::new());
+    let out = mmhew::discovery::run_sync_discovery_faulted_observed(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Identical,
+        dynamics,
+        faults,
+        SyncRunConfig::until_complete(50_000),
+        tree.branch("run"),
+        &mut sink,
+    )
+    .expect("run");
+    (out, sink.finish().expect("no io error"))
+}
+
+#[test]
+fn empty_fault_plan_is_trace_neutral() {
+    // Acceptance criterion of the fault subsystem: an empty FaultPlan
+    // produces byte-identical outcomes AND traces to the same seed with no
+    // plan attached.
+    let (plain, plain_trace) = dynamic_trace_bytes(0xF1, None);
+    let (faulted, faulted_trace) =
+        faulted_trace_bytes(0xF1, DynamicsSchedule::empty(), FaultPlan::new());
+    assert_eq!(plain.completion_slot(), faulted.completion_slot());
+    assert_eq!(plain.deliveries(), faulted.deliveries());
+    assert_eq!(plain.collisions(), faulted.collisions());
+    assert_eq!(plain.action_counts(), faulted.action_counts());
+    assert_eq!(plain.link_coverage(), faulted.link_coverage());
+    assert_eq!(faulted.beacon_losses(), 0);
+    assert_eq!(faulted.jam_losses(), 0);
+    assert_eq!(faulted.capture_deliveries(), 0);
+    assert_eq!(plain_trace, faulted_trace, "traces must be byte-identical");
+}
+
+#[test]
+fn empty_fault_plan_is_trace_neutral_under_dynamics() {
+    // Neutrality must also hold when the run already carries a non-empty
+    // dynamics schedule: the plan-free and empty-plan code paths interleave
+    // identically with dynamics application.
+    let (dynamic, dynamic_trace) = dynamic_trace_bytes(0xF2, Some(spectrum_schedule()));
+    let (faulted, faulted_trace) = faulted_trace_bytes(0xF2, spectrum_schedule(), FaultPlan::new());
+    assert_eq!(dynamic.completion_slot(), faulted.completion_slot());
+    assert_eq!(dynamic.deliveries(), faulted.deliveries());
+    assert_eq!(dynamic.link_coverage(), faulted.link_coverage());
+    assert_eq!(
+        dynamic_trace, faulted_trace,
+        "dynamics + empty plan must not perturb the trace"
+    );
+}
+
+#[test]
+fn empty_fault_plan_is_trace_neutral_async() {
+    let tree = SeedTree::new(0xF3);
+    let network = net(&tree);
+    let delta = network.max_degree().max(1) as u64;
+    let alg = || AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive"));
+    let config = AsyncRunConfig::until_complete(200_000);
+    let mut plain_sink = JsonlTraceSink::new(Vec::new());
+    let plain = run_async_discovery_observed(
+        &network,
+        alg(),
+        config.clone(),
+        tree.branch("run"),
+        &mut plain_sink,
+    )
+    .expect("run");
+    let mut faulted_sink = JsonlTraceSink::new(Vec::new());
+    let faulted = mmhew::discovery::run_async_discovery_faulted_observed(
+        &network,
+        alg(),
+        DynamicsSchedule::empty(),
+        FaultPlan::new(),
+        config,
+        tree.branch("run"),
+        &mut faulted_sink,
+    )
+    .expect("run");
+    assert_eq!(plain.completion_time(), faulted.completion_time());
+    assert_eq!(plain.deliveries(), faulted.deliveries());
+    assert_eq!(plain.action_counts(), faulted.action_counts());
+    assert_eq!(faulted.beacon_losses(), 0);
+    assert_eq!(faulted.jam_losses(), 0);
+    assert_eq!(
+        plain_sink.finish().expect("no io error"),
+        faulted_sink.finish().expect("no io error"),
+        "async traces must be byte-identical"
+    );
+}
+
+#[test]
+fn fault_events_appear_in_traces_and_counters_reconcile() {
+    use mmhew::faults::{GilbertElliott, LinkLossModel};
+    // A chain pinned to the bad state with certain loss: every clear
+    // reception becomes a beacon_lost event.
+    let plan = FaultPlan::new().with_default_loss(LinkLossModel::GilbertElliott(
+        GilbertElliott::new(1.0, 0.0, 0.0, 1.0),
+    ));
+    let tree = SeedTree::new(0xF4);
+    let network = net(&tree);
+    let mut metrics = MetricsSink::new();
+    let out = mmhew::discovery::run_sync_discovery_faulted_observed(
+        &network,
+        sync_alg(&network),
+        StartSchedule::Identical,
+        DynamicsSchedule::empty(),
+        plan,
+        SyncRunConfig::fixed(200),
+        tree.branch("run"),
+        &mut metrics,
+    )
+    .expect("run");
+    assert_eq!(out.deliveries(), 0, "blackout delivers nothing");
+    assert!(out.beacon_losses() > 0, "losses must occur in 200 slots");
+    assert_eq!(
+        metrics.beacons_lost(),
+        out.beacon_losses(),
+        "sink and outcome must agree"
+    );
+}
+
+#[test]
+fn fault_events_serialize_stably() {
+    // The JSONL trace format is a contract: each fault variant has a fixed
+    // kind tag and a deterministic, externally-tagged JSON shape.
+    use mmhew::obs::json::to_string;
+    use mmhew::obs::Stamp;
+    let cases: Vec<(SimEvent, &str, &str)> = vec![
+        (
+            SimEvent::BeaconLost {
+                at: Stamp::Slot(5),
+                from: NodeId::new(1),
+                to: NodeId::new(2),
+            },
+            "beacon_lost",
+            r#"{"beacon_lost":{"at":{"slot":5},"from":1,"to":2}}"#,
+        ),
+        (
+            SimEvent::SlotJammed {
+                at: Stamp::Slot(6),
+                channel: ChannelId::new(3),
+                losses: 2,
+            },
+            "slot_jammed",
+            r#"{"slot_jammed":{"at":{"slot":6},"channel":3,"losses":2}}"#,
+        ),
+        (
+            SimEvent::CaptureDelivery {
+                at: Stamp::Slot(7),
+                to: NodeId::new(0),
+                from: NodeId::new(4),
+                contenders: 3,
+            },
+            "capture_delivery",
+            r#"{"capture_delivery":{"at":{"slot":7},"to":0,"from":4,"contenders":3}}"#,
+        ),
+        (
+            SimEvent::NodeCrashed {
+                at: Stamp::Slot(8),
+                node: NodeId::new(2),
+            },
+            "node_crashed",
+            r#"{"node_crashed":{"at":{"slot":8},"node":2}}"#,
+        ),
+        (
+            SimEvent::NodeRecovered {
+                at: Stamp::Real(RealTime::from_nanos(5_000)),
+                node: NodeId::new(2),
+            },
+            "node_recovered",
+            r#"{"node_recovered":{"at":{"real":5000},"node":2}}"#,
+        ),
+    ];
+    for (event, kind, json) in cases {
+        assert_eq!(event.kind(), kind);
+        assert_eq!(to_string(&event).expect("serializes"), json);
+    }
+}
+
 #[test]
 fn attaching_a_sink_does_not_change_the_simulation() {
     let tree = SeedTree::new(0xB3);
