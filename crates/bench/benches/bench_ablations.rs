@@ -2,7 +2,7 @@
 //! variants, estimate-growth strategies, and terminating runs.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::{print_experiment, sync_run, BENCH_SEED};
-use mmhew_discovery::{run_sync_discovery_terminating, SyncAlgorithm, SyncParams};
+use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
 use mmhew_engine::{StartSchedule, SyncRunConfig};
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::NetworkBuilder;
@@ -59,14 +59,13 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_sync_discovery_terminating(
+            Scenario::sync(
                 &net,
                 SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
-                1_600,
-                StartSchedule::Identical,
-                SyncRunConfig::until_all_terminated(2_000_000),
-                SeedTree::new(seed),
             )
+            .terminating(1_600)
+            .config(SyncRunConfig::until_all_terminated(2_000_000))
+            .run(SeedTree::new(seed))
             .expect("valid protocols")
             .terminated_slot()
             .expect("quiescence fires")

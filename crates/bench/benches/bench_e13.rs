@@ -1,8 +1,8 @@
 //! E13 bench: discovery over reliable vs lossy channels.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
-use mmhew_discovery::run_sync_discovery;
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::Scenario;
+use mmhew_engine::SyncRunConfig;
 use mmhew_radio::Impairments;
 use mmhew_topology::NetworkBuilder;
 use mmhew_util::SeedTree;
@@ -21,17 +21,15 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync_discovery(
-                    &net,
-                    uniform(delta),
-                    StartSchedule::Identical,
-                    SyncRunConfig::until_complete(4_000_000)
-                        .with_impairments(Impairments::with_delivery_probability(q)),
-                    SeedTree::new(seed),
-                )
-                .expect("valid protocol")
-                .completion_slot()
-                .expect("completed")
+                Scenario::sync(&net, uniform(delta))
+                    .config(
+                        SyncRunConfig::until_complete(4_000_000)
+                            .with_impairments(Impairments::with_delivery_probability(q)),
+                    )
+                    .run(SeedTree::new(seed))
+                    .expect("valid protocol")
+                    .completion_slot()
+                    .expect("completed")
             })
         });
     }

@@ -1,7 +1,7 @@
 //! E21 bench: re-discovery of a node joining a running network.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
-use mmhew_discovery::run_sync_discovery_dynamic;
+use mmhew_discovery::Scenario;
 use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
 use mmhew_engine::{StartSchedule, SyncRunConfig};
 use mmhew_topology::{NetworkBuilder, NetworkEvent, NodeId};
@@ -52,17 +52,14 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync_discovery_dynamic(
-                    &net,
-                    uniform(d as u64),
-                    StartSchedule::Explicit(starts.clone()),
-                    schedule.clone(),
-                    SyncRunConfig::until_complete(4_000_000),
-                    SeedTree::new(seed),
-                )
-                .expect("valid protocol")
-                .completion_slot()
-                .expect("completed")
+                Scenario::sync(&net, uniform(d as u64))
+                    .starts(StartSchedule::Explicit(starts.clone()))
+                    .with_dynamics(schedule.clone())
+                    .config(SyncRunConfig::until_complete(4_000_000))
+                    .run(SeedTree::new(seed))
+                    .expect("valid protocol")
+                    .completion_slot()
+                    .expect("completed")
             })
         });
     }

@@ -1,9 +1,9 @@
 //! E23 bench: link re-establishment after a primary-user outage.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
-use mmhew_discovery::run_sync_discovery_dynamic;
+use mmhew_discovery::Scenario;
 use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_engine::SyncRunConfig;
 use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
 use mmhew_topology::{NetworkBuilder, NetworkEvent, NodeId};
 use mmhew_util::SeedTree;
@@ -42,17 +42,13 @@ fn bench(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                run_sync_discovery_dynamic(
-                    &net,
-                    uniform(1),
-                    StartSchedule::Identical,
-                    schedule.clone(),
-                    SyncRunConfig::until_complete(4_000_000),
-                    SeedTree::new(seed),
-                )
-                .expect("valid protocol")
-                .completion_slot()
-                .expect("completed")
+                Scenario::sync(&net, uniform(1))
+                    .with_dynamics(schedule.clone())
+                    .config(SyncRunConfig::until_complete(4_000_000))
+                    .run(SeedTree::new(seed))
+                    .expect("valid protocol")
+                    .completion_slot()
+                    .expect("completed")
             })
         });
     }

@@ -2,8 +2,8 @@
 //! set algebra, drifting-clock queries, and async event processing.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::BENCH_SEED;
-use mmhew_discovery::{run_sync_discovery, run_sync_discovery_observed, SyncAlgorithm, SyncParams};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
 use mmhew_obs::NullSink;
 use mmhew_radio::{resolve_slot, Impairments, SlotAction};
 use mmhew_spectrum::{ChannelId, ChannelSet};
@@ -63,30 +63,22 @@ fn bench(c: &mut Criterion) {
     let guard_config = SyncRunConfig::fixed(2_000);
     c.bench_function("sync_engine_uninstrumented", |b| {
         b.iter(|| {
-            run_sync_discovery(
-                &guard_net,
-                guard_alg,
-                StartSchedule::Identical,
-                guard_config,
-                SeedTree::new(BENCH_SEED),
-            )
-            .expect("valid protocols")
-            .deliveries()
+            Scenario::sync(&guard_net, guard_alg)
+                .config(guard_config)
+                .run(SeedTree::new(BENCH_SEED))
+                .expect("valid protocols")
+                .deliveries()
         })
     });
     c.bench_function("sync_engine_null_sink", |b| {
         b.iter(|| {
             let mut sink = NullSink;
-            run_sync_discovery_observed(
-                &guard_net,
-                guard_alg,
-                StartSchedule::Identical,
-                guard_config,
-                SeedTree::new(BENCH_SEED),
-                &mut sink,
-            )
-            .expect("valid protocols")
-            .deliveries()
+            Scenario::sync(&guard_net, guard_alg)
+                .with_sink(&mut sink)
+                .config(guard_config)
+                .run(SeedTree::new(BENCH_SEED))
+                .expect("valid protocols")
+                .deliveries()
         })
     });
 

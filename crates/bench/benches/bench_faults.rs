@@ -4,8 +4,8 @@
 //! per-reception chain stepping.
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
-use mmhew_discovery::{run_sync_discovery, run_sync_discovery_faulted};
-use mmhew_engine::{FaultPlan, StartSchedule, SyncRunConfig};
+use mmhew_discovery::Scenario;
+use mmhew_engine::{FaultPlan, SyncRunConfig};
 use mmhew_faults::{GilbertElliott, LinkLossModel};
 use mmhew_topology::NetworkBuilder;
 use mmhew_util::SeedTree;
@@ -28,50 +28,38 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_sync_discovery(
-                &net,
-                uniform(delta),
-                StartSchedule::Identical,
-                config,
-                SeedTree::new(seed),
-            )
-            .expect("valid protocol")
-            .completion_slot()
-            .expect("completed")
+            Scenario::sync(&net, uniform(delta))
+                .config(config)
+                .run(SeedTree::new(seed))
+                .expect("valid protocol")
+                .completion_slot()
+                .expect("completed")
         })
     });
     g.bench_function("empty_plan", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_sync_discovery_faulted(
-                &net,
-                uniform(delta),
-                StartSchedule::Identical,
-                FaultPlan::new(),
-                config,
-                SeedTree::new(seed),
-            )
-            .expect("valid protocol")
-            .completion_slot()
-            .expect("completed")
+            Scenario::sync(&net, uniform(delta))
+                .with_faults(FaultPlan::new())
+                .config(config)
+                .run(SeedTree::new(seed))
+                .expect("valid protocol")
+                .completion_slot()
+                .expect("completed")
         })
     });
     g.bench_function("dense_gilbert_elliott", |b| {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            run_sync_discovery_faulted(
-                &net,
-                uniform(delta),
-                StartSchedule::Identical,
-                dense.clone(),
-                config,
-                SeedTree::new(seed),
-            )
-            .expect("valid protocol")
-            .completion_slot()
-            .expect("completed")
+            Scenario::sync(&net, uniform(delta))
+                .with_faults(dense.clone())
+                .config(config)
+                .run(SeedTree::new(seed))
+                .expect("valid protocol")
+                .completion_slot()
+                .expect("completed")
         })
     });
     g.finish();

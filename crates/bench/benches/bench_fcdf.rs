@@ -1,8 +1,8 @@
 //! F-CDF bench: per-link coverage-time collection (the figure's series).
 use criterion::{criterion_group, criterion_main, Criterion};
 use mmhew_bench::{print_experiment, uniform, BENCH_SEED};
-use mmhew_discovery::run_sync_discovery;
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::Scenario;
+use mmhew_engine::SyncRunConfig;
 use mmhew_topology::NetworkBuilder;
 use mmhew_util::SeedTree;
 use std::time::Duration;
@@ -18,14 +18,10 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            let out = run_sync_discovery(
-                &net,
-                uniform(delta),
-                StartSchedule::Identical,
-                SyncRunConfig::until_complete(1_000_000),
-                SeedTree::new(seed),
-            )
-            .expect("valid protocol");
+            let out = Scenario::sync(&net, uniform(delta))
+                .config(SyncRunConfig::until_complete(1_000_000))
+                .run(SeedTree::new(seed))
+                .expect("valid protocol");
             out.link_coverage()
                 .iter()
                 .filter_map(|(_, t)| *t)

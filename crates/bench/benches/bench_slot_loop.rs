@@ -7,8 +7,8 @@
 //! of hot-loop changes with statistical confidence.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mmhew_bench::BENCH_SEED;
-use mmhew_discovery::{run_sync_discovery, run_sync_discovery_observed, SyncAlgorithm, SyncParams};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
 use mmhew_obs::NullSink;
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::{Network, NetworkBuilder};
@@ -48,30 +48,22 @@ fn bench(c: &mut Criterion) {
         let config = SyncRunConfig::fixed(SLOTS);
         group.bench_with_input(BenchmarkId::new("no_sink", name), &net, |b, net| {
             b.iter(|| {
-                run_sync_discovery(
-                    net,
-                    alg,
-                    StartSchedule::Identical,
-                    config,
-                    SeedTree::new(BENCH_SEED),
-                )
-                .expect("valid protocols")
-                .deliveries()
+                Scenario::sync(net, alg)
+                    .config(config)
+                    .run(SeedTree::new(BENCH_SEED))
+                    .expect("valid protocols")
+                    .deliveries()
             })
         });
         group.bench_with_input(BenchmarkId::new("null_sink", name), &net, |b, net| {
             b.iter(|| {
                 let mut sink = NullSink;
-                run_sync_discovery_observed(
-                    net,
-                    alg,
-                    StartSchedule::Identical,
-                    config,
-                    SeedTree::new(BENCH_SEED),
-                    &mut sink,
-                )
-                .expect("valid protocols")
-                .deliveries()
+                Scenario::sync(net, alg)
+                    .with_sink(&mut sink)
+                    .config(config)
+                    .run(SeedTree::new(BENCH_SEED))
+                    .expect("valid protocols")
+                    .deliveries()
             })
         });
     }

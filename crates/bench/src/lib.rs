@@ -6,9 +6,7 @@
 //! the wall-clock cost of the experiment's core simulation at
 //! representative sweep points.
 
-use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm, SyncParams,
-};
+use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Scenario, SyncAlgorithm, SyncParams};
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
 use mmhew_harness::registry;
 use mmhew_harness::Effort;
@@ -35,27 +33,24 @@ pub fn sync_run(
     budget: u64,
     seed: u64,
 ) -> u64 {
-    run_sync_discovery(
-        network,
-        algorithm,
-        starts.clone(),
-        SyncRunConfig::until_complete(budget),
-        SeedTree::new(seed),
-    )
-    .expect("valid protocol")
-    .completion_slot()
-    .expect("run completed within budget")
+    Scenario::sync(network, algorithm)
+        .starts(starts.clone())
+        .config(SyncRunConfig::until_complete(budget))
+        .run(SeedTree::new(seed))
+        .expect("valid protocol")
+        .completion_slot()
+        .expect("run completed within budget")
 }
 
 /// One complete asynchronous discovery run; returns the completion time in
 /// nanoseconds.
 pub fn async_run(network: &Network, delta_est: u64, config: &AsyncRunConfig, seed: u64) -> u64 {
-    run_async_discovery(
+    Scenario::asynchronous(
         network,
         AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est).expect("positive")),
-        config.clone(),
-        SeedTree::new(seed),
     )
+    .config(config.clone())
+    .run(SeedTree::new(seed))
     .expect("valid protocol")
     .completion_time()
     .expect("run completed within budget")

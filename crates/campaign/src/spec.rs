@@ -1,0 +1,509 @@
+//! Declarative sweep specifications.
+//!
+//! A [`SweepSpec`] names a parameter grid over the quantities the
+//! reproduction sweeps in its experiments — network size, universe size,
+//! availability, loss, jamming, churn, robustness, start staggering —
+//! plus the fixed scaffolding (engine, algorithm, topology, repetitions,
+//! master seed, slot budget). [`SweepSpec::expand`] turns the grid into a
+//! flat list of numbered [`Point`]s; the campaign engine
+//! ([`crate::run_campaign`]) compiles each point into a
+//! [`mmhew_discovery::Scenario`] and measures it.
+//!
+//! Specs are written as JSON (parsed by [`SweepSpec::from_json`] through
+//! the dependency-free [`crate::json`] parser):
+//!
+//! ```json
+//! {
+//!   "name": "loss-vs-n",
+//!   "engine": "sync",
+//!   "algorithm": "staged",
+//!   "topology": "ring",
+//!   "mode": "cartesian",
+//!   "reps": 20,
+//!   "seed": 7,
+//!   "budget": 400000,
+//!   "axes": { "nodes": [8, 16, 32], "loss": [0, 0.1, 0.3] }
+//! }
+//! ```
+//!
+//! Every point is independently addressable: its seed derives from
+//! `(spec.seed, spec.name, point.id)` alone (see
+//! [`crate::run::point_seed`]), never from which shard or process ran it.
+
+use crate::json::{self, Value};
+use serde::Serialize;
+use std::fmt;
+
+/// Which simulation engine a spec drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "lowercase")]
+pub enum EngineKind {
+    /// Slot-synchronous ([`mmhew_discovery::Scenario::sync`]).
+    Sync,
+    /// Unsynchronized clocks ([`mmhew_discovery::Scenario::asynchronous`]).
+    Async,
+}
+
+/// How multiple axes combine into points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[serde(rename_all = "lowercase")]
+pub enum GridMode {
+    /// Cartesian product of all axes (last axis varies fastest).
+    Cartesian,
+    /// Position-wise zip; all axes must have equal length.
+    Zip,
+}
+
+/// One swept parameter: a known axis name and its value list.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AxisSpec {
+    /// Axis name (one of [`AXES`]).
+    pub name: String,
+    /// Values, in sweep order.
+    pub values: Vec<f64>,
+}
+
+/// The closed axis vocabulary and each axis's default when not swept.
+///
+/// * `nodes` — network size (default 16)
+/// * `universe` — channel universe size `|U|` (default 8)
+/// * `avail` — channels per node; 0 means the full universe (default 0)
+/// * `delta-est` — degree estimate Δ̂; 0 means the true max degree
+/// * `loss` — Bernoulli loss probability on every link, in `[0, 1)`
+/// * `jam` — number of channels jammed (the first `k` of the universe)
+/// * `churn-rate` — expected node departures per slot (Poisson)
+/// * `robust` — repetition factor `r` of the robust wrapper; 0 disables
+/// * `start-window` — staggered-start window in slots; 0 = identical
+pub const AXES: &[(&str, f64)] = &[
+    ("nodes", 16.0),
+    ("universe", 8.0),
+    ("avail", 0.0),
+    ("delta-est", 0.0),
+    ("loss", 0.0),
+    ("jam", 0.0),
+    ("churn-rate", 0.0),
+    ("robust", 0.0),
+    ("start-window", 0.0),
+];
+
+/// Axes that only exist on the slot-synchronous engine.
+pub const SYNC_ONLY_AXES: &[&str] = &["jam", "churn-rate", "robust", "start-window"];
+
+/// A complete sweep description. See the [module docs](self) for the JSON
+/// shape; construct programmatically for built-ins like [`SweepSpec::smoke`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepSpec {
+    /// Campaign name: file-name-safe (`[A-Za-z0-9._-]+`), keyed into the
+    /// seed derivation so renaming a campaign re-randomizes it.
+    pub name: String,
+    /// Engine selection.
+    pub engine: EngineKind,
+    /// Algorithm: `staged` | `adaptive` | `uniform` | `baseline` (sync),
+    /// `frame-based` (async).
+    pub algorithm: String,
+    /// Topology family: `complete` | `line` | `ring` | `star` | `er`.
+    pub topology: String,
+    /// Edge probability when `topology == "er"`.
+    pub edge_prob: f64,
+    /// Axis combination mode.
+    pub mode: GridMode,
+    /// Repetitions per point.
+    pub reps: u64,
+    /// Master seed; every point's randomness derives from it.
+    pub seed: u64,
+    /// Slot (sync) / frame (async) budget per repetition.
+    pub budget: u64,
+    /// Bins of the per-point completion-time histogram.
+    pub hist_bins: usize,
+    /// Mean downtime (slots) of churned nodes when `churn-rate` is swept.
+    pub churn_downtime: f64,
+    /// The swept axes, in declaration order.
+    pub axes: Vec<AxisSpec>,
+}
+
+/// One grid point: an id and the swept axes' values.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Point {
+    /// Position in the expansion order; stable for a given spec.
+    pub id: u64,
+    /// `(axis name, value)` pairs in the spec's axis order.
+    pub values: Vec<(String, f64)>,
+}
+
+impl Point {
+    /// The value of `axis` at this point: the swept value if the axis is
+    /// swept, otherwise its default from [`AXES`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown axis name (validation guarantees specs only
+    /// carry known axes).
+    pub fn axis(&self, axis: &str) -> f64 {
+        if let Some((_, v)) = self.values.iter().find(|(n, _)| n == axis) {
+            return *v;
+        }
+        AXES.iter()
+            .find(|(n, _)| *n == axis)
+            .map(|(_, d)| *d)
+            .unwrap_or_else(|| panic!("unknown axis {axis:?}"))
+    }
+}
+
+/// Spec construction / validation failures.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The JSON text did not parse.
+    Json(json::ParseError),
+    /// A required field is missing or has the wrong type.
+    Field(&'static str),
+    /// A field has a structurally valid but unacceptable value.
+    Invalid(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Json(e) => write!(f, "spec is not valid JSON: {e}"),
+            SpecError::Field(name) => write!(f, "spec field {name:?} missing or wrong type"),
+            SpecError::Invalid(msg) => write!(f, "invalid spec: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SweepSpec {
+    /// Parses and validates a JSON spec document.
+    ///
+    /// Only `name` and `axes` are required; everything else defaults
+    /// (`sync` / `staged` / `complete` / `cartesian`, 5 reps, seed 1,
+    /// budget 1 000 000, 50 histogram bins). An axis may be given as a
+    /// single number as shorthand for a one-element list (pinning it
+    /// without sweeping).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] on malformed JSON, missing fields, unknown
+    /// axes / algorithms / topologies, or inconsistent grids.
+    pub fn from_json(text: &str) -> Result<Self, SpecError> {
+        let doc = json::parse(text).map_err(SpecError::Json)?;
+        let name = doc
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(SpecError::Field("name"))?
+            .to_string();
+        let engine = match doc.get("engine").and_then(Value::as_str).unwrap_or("sync") {
+            "sync" => EngineKind::Sync,
+            "async" => EngineKind::Async,
+            other => {
+                return Err(SpecError::Invalid(format!(
+                    "engine {other:?} (expected \"sync\" or \"async\")"
+                )))
+            }
+        };
+        let mode = match doc
+            .get("mode")
+            .and_then(Value::as_str)
+            .unwrap_or("cartesian")
+        {
+            "cartesian" => GridMode::Cartesian,
+            "zip" => GridMode::Zip,
+            other => {
+                return Err(SpecError::Invalid(format!(
+                    "mode {other:?} (expected \"cartesian\" or \"zip\")"
+                )))
+            }
+        };
+        let field_u64 = |key: &'static str, default: u64| -> Result<u64, SpecError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_u64().ok_or(SpecError::Field(key)),
+            }
+        };
+        let field_f64 = |key: &'static str, default: f64| -> Result<f64, SpecError> {
+            match doc.get(key) {
+                None => Ok(default),
+                Some(v) => v.as_f64().ok_or(SpecError::Field(key)),
+            }
+        };
+        let axes_doc = match doc.get("axes") {
+            Some(Value::Obj(fields)) => fields,
+            _ => return Err(SpecError::Field("axes")),
+        };
+        let mut axes = Vec::new();
+        for (axis, values) in axes_doc {
+            let values = match values {
+                Value::Num(n) => vec![*n],
+                Value::Arr(items) => items
+                    .iter()
+                    .map(|v| v.as_f64().ok_or(SpecError::Field("axes")))
+                    .collect::<Result<_, _>>()?,
+                _ => return Err(SpecError::Field("axes")),
+            };
+            axes.push(AxisSpec {
+                name: axis.clone(),
+                values,
+            });
+        }
+        let spec = SweepSpec {
+            name,
+            engine,
+            algorithm: doc
+                .get("algorithm")
+                .and_then(Value::as_str)
+                .unwrap_or(match engine {
+                    EngineKind::Sync => "staged",
+                    EngineKind::Async => "frame-based",
+                })
+                .to_string(),
+            topology: doc
+                .get("topology")
+                .and_then(Value::as_str)
+                .unwrap_or("complete")
+                .to_string(),
+            edge_prob: field_f64("edge-prob", 0.3)?,
+            mode,
+            reps: field_u64("reps", 5)?,
+            seed: field_u64("seed", 1)?,
+            budget: field_u64("budget", 1_000_000)?,
+            hist_bins: field_u64("hist-bins", 50)? as usize,
+            churn_downtime: field_f64("churn-downtime", 2_000.0)?,
+            axes,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The built-in 4-point smoke spec CI runs: 2×2 over `nodes` ×
+    /// `universe` on small complete graphs, 2 reps each.
+    pub fn smoke() -> Self {
+        let spec = SweepSpec {
+            name: "smoke".to_string(),
+            engine: EngineKind::Sync,
+            algorithm: "staged".to_string(),
+            topology: "complete".to_string(),
+            edge_prob: 0.3,
+            mode: GridMode::Cartesian,
+            reps: 2,
+            seed: 7,
+            budget: 200_000,
+            hist_bins: 20,
+            churn_downtime: 2_000.0,
+            axes: vec![
+                AxisSpec {
+                    name: "nodes".to_string(),
+                    values: vec![4.0, 6.0],
+                },
+                AxisSpec {
+                    name: "universe".to_string(),
+                    values: vec![4.0, 6.0],
+                },
+            ],
+        };
+        spec.validate().expect("built-in smoke spec is valid");
+        spec
+    }
+
+    /// Checks every invariant the campaign engine relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Invalid`] describing the first violation.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let err = |msg: String| Err(SpecError::Invalid(msg));
+        if self.name.is_empty()
+            || !self
+                .name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+        {
+            return err(format!(
+                "name {:?} must be non-empty and file-name-safe ([A-Za-z0-9._-])",
+                self.name
+            ));
+        }
+        let algorithms: &[&str] = match self.engine {
+            EngineKind::Sync => &["staged", "adaptive", "uniform", "baseline"],
+            EngineKind::Async => &["frame-based"],
+        };
+        if !algorithms.contains(&self.algorithm.as_str()) {
+            return err(format!(
+                "algorithm {:?} (this engine allows {algorithms:?})",
+                self.algorithm
+            ));
+        }
+        if !["complete", "line", "ring", "star", "er"].contains(&self.topology.as_str()) {
+            return err(format!("topology {:?}", self.topology));
+        }
+        if self.reps == 0 {
+            return err("reps must be at least 1".to_string());
+        }
+        if self.budget == 0 {
+            return err("budget must be positive".to_string());
+        }
+        if self.hist_bins == 0 {
+            return err("hist-bins must be at least 1".to_string());
+        }
+        if self.axes.is_empty() {
+            return err("at least one axis must be swept".to_string());
+        }
+        for (i, axis) in self.axes.iter().enumerate() {
+            if !AXES.iter().any(|(n, _)| *n == axis.name) {
+                let known: Vec<&str> = AXES.iter().map(|(n, _)| *n).collect();
+                return err(format!("unknown axis {:?} (known: {known:?})", axis.name));
+            }
+            if self.axes[..i].iter().any(|a| a.name == axis.name) {
+                return err(format!("axis {:?} listed twice", axis.name));
+            }
+            if axis.values.is_empty() {
+                return err(format!("axis {:?} has no values", axis.name));
+            }
+            if axis.values.iter().any(|v| !v.is_finite() || *v < 0.0) {
+                return err(format!(
+                    "axis {:?} values must be finite and ≥ 0",
+                    axis.name
+                ));
+            }
+            if axis.name == "loss" && axis.values.iter().any(|v| *v >= 1.0) {
+                return err("loss probabilities must be < 1".to_string());
+            }
+            if self.engine == EngineKind::Async && SYNC_ONLY_AXES.contains(&axis.name.as_str()) {
+                return err(format!(
+                    "axis {:?} is slot-synchronous only (async engine has no {})",
+                    axis.name,
+                    match axis.name.as_str() {
+                        "jam" | "churn-rate" => "slot-indexed fault/dynamics schedules here",
+                        "robust" => "robust wrapper",
+                        _ => "start schedule",
+                    }
+                ));
+            }
+        }
+        if self.mode == GridMode::Zip {
+            let len = self.axes[0].values.len();
+            if self.axes.iter().any(|a| a.values.len() != len) {
+                return err("zip mode requires equal-length axes".to_string());
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into numbered points, cartesian (last axis
+    /// fastest) or zipped. The order — hence every point id — is a pure
+    /// function of the spec.
+    pub fn expand(&self) -> Vec<Point> {
+        match self.mode {
+            GridMode::Zip => (0..self.axes[0].values.len())
+                .map(|i| Point {
+                    id: i as u64,
+                    values: self
+                        .axes
+                        .iter()
+                        .map(|a| (a.name.clone(), a.values[i]))
+                        .collect(),
+                })
+                .collect(),
+            GridMode::Cartesian => {
+                let total: usize = self.axes.iter().map(|a| a.values.len()).product();
+                (0..total)
+                    .map(|mut flat| {
+                        let id = flat as u64;
+                        let mut values = vec![(String::new(), 0.0); self.axes.len()];
+                        for (slot, axis) in values.iter_mut().zip(&self.axes).rev() {
+                            let k = axis.values.len();
+                            *slot = (axis.name.clone(), axis.values[flat % k]);
+                            flat /= k;
+                        }
+                        Point { id, values }
+                    })
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cartesian_expansion_orders_last_axis_fastest() {
+        let mut spec = SweepSpec::smoke();
+        spec.axes[0].values = vec![4.0, 8.0];
+        spec.axes[1].values = vec![2.0, 3.0, 5.0];
+        let points = spec.expand();
+        assert_eq!(points.len(), 6);
+        assert_eq!(
+            points[0].values,
+            vec![("nodes".into(), 4.0), ("universe".into(), 2.0)]
+        );
+        assert_eq!(points[1].axis("universe"), 3.0);
+        assert_eq!(
+            points[3].values,
+            vec![("nodes".into(), 8.0), ("universe".into(), 2.0)]
+        );
+        assert!(points.iter().enumerate().all(|(i, p)| p.id == i as u64));
+    }
+
+    #[test]
+    fn zip_mode_pairs_positionally() {
+        let mut spec = SweepSpec::smoke();
+        spec.mode = GridMode::Zip;
+        let points = spec.expand();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[1].axis("nodes"), 6.0);
+        assert_eq!(points[1].axis("universe"), 6.0);
+
+        spec.axes[1].values.push(9.0);
+        assert!(matches!(spec.validate(), Err(SpecError::Invalid(_))));
+    }
+
+    #[test]
+    fn unswept_axes_fall_back_to_defaults() {
+        let p = SweepSpec::smoke().expand().remove(0);
+        assert_eq!(p.axis("loss"), 0.0);
+        assert_eq!(p.axis("delta-est"), 0.0);
+        assert_eq!(p.axis("start-window"), 0.0);
+    }
+
+    #[test]
+    fn json_parsing_with_defaults_and_shorthand() {
+        let spec = SweepSpec::from_json(
+            r#"{"name": "t", "seed": 9,
+                "axes": {"nodes": [8, 16], "loss": 0.2}}"#,
+        )
+        .expect("valid");
+        assert_eq!(spec.engine, EngineKind::Sync);
+        assert_eq!(spec.algorithm, "staged");
+        assert_eq!(spec.reps, 5);
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.axes[1].values, vec![0.2]);
+        assert_eq!(spec.expand().len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let bad = |text: &str| SweepSpec::from_json(text).expect_err("must fail");
+        assert!(matches!(bad("{"), SpecError::Json(_)));
+        assert!(matches!(
+            bad(r#"{"axes": {"nodes": [4]}}"#),
+            SpecError::Field("name")
+        ));
+        assert!(matches!(bad(r#"{"name": "t"}"#), SpecError::Field("axes")));
+        let e = bad(r#"{"name": "t", "axes": {"speed": [1]}}"#);
+        assert!(e.to_string().contains("unknown axis"));
+        let e = bad(r#"{"name": "t", "axes": {"loss": [1.5]}}"#);
+        assert!(e.to_string().contains("loss"));
+        let e = bad(r#"{"name": "bad/name", "axes": {"nodes": [4]}}"#);
+        assert!(e.to_string().contains("file-name-safe"));
+        let e = bad(r#"{"name": "t", "engine": "async", "axes": {"jam": [1]}}"#);
+        assert!(e.to_string().contains("slot-synchronous only"));
+        let e = bad(r#"{"name": "t", "algorithm": "alg9", "axes": {"nodes": [4]}}"#);
+        assert!(e.to_string().contains("algorithm"));
+    }
+
+    #[test]
+    fn smoke_spec_is_four_points() {
+        assert_eq!(SweepSpec::smoke().expand().len(), 4);
+    }
+}

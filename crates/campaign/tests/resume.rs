@@ -1,0 +1,83 @@
+//! Checkpoint/resume contract: an interrupted-then-resumed campaign must
+//! produce a byte-identical artifact to an uninterrupted run, and must
+//! report the resumed points as skipped.
+
+use mmhew_campaign::{run_campaign, CampaignOptions, SweepSpec};
+use std::path::PathBuf;
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmhew-campaign-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+#[test]
+fn interrupted_then_resumed_artifact_is_byte_identical() {
+    let spec = SweepSpec::smoke();
+
+    // Reference: one uninterrupted run.
+    let straight = fresh_dir("straight");
+    let outcome = run_campaign(&spec, &CampaignOptions::new(&straight)).expect("runs");
+    assert_eq!(outcome.completed, 4);
+    assert_eq!(outcome.skipped, 0);
+    let reference = std::fs::read(outcome.artifact.expect("artifact written")).expect("read");
+
+    // Interrupted: stop after 2 points — simulates a kill between chunks.
+    let resumed = fresh_dir("resumed");
+    let mut opts = CampaignOptions::new(&resumed);
+    opts.max_points = Some(2);
+    let partial = run_campaign(&spec, &opts).expect("partial run");
+    assert_eq!(partial.completed, 2);
+    assert!(partial.artifact.is_none(), "no artifact while incomplete");
+    let manifest = resumed.join("smoke.manifest.jsonl");
+    assert_eq!(
+        std::fs::read_to_string(&manifest)
+            .expect("manifest")
+            .lines()
+            .count(),
+        2,
+        "checkpoint holds exactly the finished points"
+    );
+
+    // Resume: the finished points are skipped, not re-run.
+    let mut opts = CampaignOptions::new(&resumed);
+    opts.resume = true;
+    let finished = run_campaign(&spec, &opts).expect("resume");
+    assert_eq!(finished.skipped, 2, "resume reports the skipped points");
+    assert_eq!(finished.completed, 2);
+    let bytes = std::fs::read(finished.artifact.expect("artifact written")).expect("read");
+    assert_eq!(bytes, reference, "resumed artifact is byte-identical");
+
+    std::fs::remove_dir_all(&straight).ok();
+    std::fs::remove_dir_all(&resumed).ok();
+}
+
+#[test]
+fn rerun_without_resume_starts_over_but_matches() {
+    // Not resuming discards the manifest; determinism still makes the
+    // fresh artifact byte-identical.
+    let spec = SweepSpec::smoke();
+    let dir = fresh_dir("restart");
+    let first = run_campaign(&spec, &CampaignOptions::new(&dir)).expect("first");
+    let a = std::fs::read(first.artifact.expect("artifact")).expect("read");
+    let second = run_campaign(&spec, &CampaignOptions::new(&dir)).expect("second");
+    assert_eq!(second.skipped, 0, "non-resume runs everything again");
+    let b = std::fs::read(second.artifact.expect("artifact")).expect("read");
+    assert_eq!(a, b);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_on_finished_campaign_skips_everything() {
+    let spec = SweepSpec::smoke();
+    let dir = fresh_dir("noop");
+    run_campaign(&spec, &CampaignOptions::new(&dir)).expect("first");
+    let mut opts = CampaignOptions::new(&dir);
+    opts.resume = true;
+    let again = run_campaign(&spec, &opts).expect("noop resume");
+    assert_eq!(again.completed, 0);
+    assert_eq!(again.skipped, 4);
+    assert!(again.artifact.is_some(), "artifact still (re)rendered");
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -192,7 +192,7 @@ impl SyncProtocol for ContinuousDiscovery {
 /// Builds one [`ContinuousDiscovery`]-wrapped protocol per node, with
 /// `algorithm` as the inner discovery phase. Pair with
 /// [`mmhew_engine::SyncEngine::with_dynamics`] (or
-/// [`crate::run_continuous_discovery`]) for a churn study.
+/// [`crate::SyncScenario::continuous`]) for a churn study.
 ///
 /// # Errors
 ///

@@ -15,14 +15,15 @@
 //!
 //! [`Bounds`] provides the closed-form running-time bounds of Theorems 1–3
 //! and 9–10 so experiments can print prediction next to measurement, and
-//! [`run_sync_discovery`]/[`run_async_discovery`] wire everything to the
-//! simulation engines in one call.
+//! the [`Scenario`] builder wires everything to the simulation engines in
+//! one composable call chain (the legacy `run_*` one-call runners remain
+//! as deprecated shims).
 //!
 //! # Examples
 //!
 //! ```
-//! use mmhew_discovery::{run_sync_discovery, Bounds, SyncAlgorithm, SyncParams};
-//! use mmhew_engine::{StartSchedule, SyncRunConfig};
+//! use mmhew_discovery::{Bounds, Scenario, SyncAlgorithm, SyncParams};
+//! use mmhew_engine::SyncRunConfig;
 //! use mmhew_spectrum::AvailabilityModel;
 //! use mmhew_topology::NetworkBuilder;
 //! use mmhew_util::SeedTree;
@@ -32,13 +33,9 @@
 //!     .availability(AvailabilityModel::UniformSubset { size: 6 })
 //!     .build(SeedTree::new(42))?;
 //! let delta_est = net.max_degree().max(1) as u64;
-//! let outcome = run_sync_discovery(
-//!     &net,
-//!     SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-//!     StartSchedule::Identical,
-//!     SyncRunConfig::until_complete(1_000_000),
-//!     SeedTree::new(7),
-//! )?;
+//! let outcome = Scenario::sync(&net, SyncAlgorithm::Staged(SyncParams::new(delta_est)?))
+//!     .config(SyncRunConfig::until_complete(1_000_000))
+//!     .run(SeedTree::new(7))?;
 //! assert!(outcome.completed());
 //! let bound = Bounds::from_network(&net, delta_est, 0.01).theorem1_slots();
 //! assert!((outcome.slots_to_complete().unwrap() as f64) < bound);
@@ -55,6 +52,7 @@ pub mod continuous;
 pub mod params;
 pub mod robust;
 pub mod runner;
+pub mod scenario;
 pub mod termination;
 pub mod two_hop;
 
@@ -68,14 +66,16 @@ pub use continuous::{
 };
 pub use params::{AsyncParams, ProtocolError, SyncParams};
 pub use robust::{build_robust_protocols, repetition_factor, RobustDiscovery};
+#[allow(deprecated)] // compatibility re-exports: the shims stay reachable unchanged
 pub use runner::{
     run_async_discovery, run_async_discovery_dynamic, run_async_discovery_dynamic_observed,
     run_async_discovery_faulted, run_async_discovery_faulted_observed,
     run_async_discovery_observed, run_async_discovery_terminating, run_continuous_discovery,
     run_sync_discovery, run_sync_discovery_dynamic, run_sync_discovery_dynamic_observed,
     run_sync_discovery_faulted, run_sync_discovery_faulted_observed, run_sync_discovery_observed,
-    run_sync_discovery_robust, run_sync_discovery_terminating, tables_are_sound,
-    tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm,
+    run_sync_discovery_robust, run_sync_discovery_terminating,
 };
+pub use runner::{tables_are_sound, tables_match_ground_truth, AsyncAlgorithm, SyncAlgorithm};
+pub use scenario::{AsyncScenario, Scenario, SyncScenario, DEFAULT_BUDGET};
 pub use termination::{QuiescentAsyncTermination, QuiescentTermination};
 pub use two_hop::{two_hop_views, TwoHopView};

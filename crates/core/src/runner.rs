@@ -1,18 +1,24 @@
-//! One-call runners wiring algorithms, networks and engines together.
+//! Legacy one-call runners, now thin shims over [`crate::Scenario`].
+//!
+//! Each `run_*` variant below wires exactly one cell of the historical
+//! engine-feature matrix. The [`Scenario`](crate::Scenario) builder
+//! subsumes them all; every shim here is `#[deprecated]` and delegates
+//! verbatim (same wiring, same seed branches), so existing callers keep
+//! compiling and produce byte-identical outcomes and traces. The
+//! `scenario_equivalence` integration tests pin that guarantee.
 
 use crate::alg1_staged::StagedDiscovery;
 use crate::alg2_adaptive::{AdaptiveDiscovery, GrowthStrategy};
 use crate::alg3_uniform::UniformDiscovery;
 use crate::alg4_async::AsyncFrameDiscovery;
 use crate::baseline::PerChannelBirthday;
-use crate::continuous::{build_continuous_protocols, ContinuousConfig};
+use crate::continuous::ContinuousConfig;
 use crate::params::{AsyncParams, ProtocolError, SyncParams};
-use crate::robust::build_robust_protocols;
-use crate::termination::{QuiescentAsyncTermination, QuiescentTermination};
+use crate::scenario::Scenario;
 use mmhew_dynamics::DynamicsSchedule;
 use mmhew_engine::{
-    AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, NeighborTable, StartSchedule,
-    SyncEngine, SyncOutcome, SyncProtocol, SyncRunConfig,
+    AsyncOutcome, AsyncProtocol, AsyncRunConfig, NeighborTable, StartSchedule, SyncOutcome,
+    SyncProtocol, SyncRunConfig,
 };
 use mmhew_faults::FaultPlan;
 use mmhew_obs::EventSink;
@@ -59,26 +65,7 @@ pub enum AsyncAlgorithm {
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty
 /// (the paper assumes every participating node has at least one channel).
-///
-/// # Examples
-///
-/// ```
-/// use mmhew_discovery::{run_sync_discovery, SyncAlgorithm, SyncParams};
-/// use mmhew_engine::{StartSchedule, SyncRunConfig};
-/// use mmhew_topology::NetworkBuilder;
-/// use mmhew_util::SeedTree;
-///
-/// let net = NetworkBuilder::complete(4).universe(4).build(SeedTree::new(0))?;
-/// let outcome = run_sync_discovery(
-///     &net,
-///     SyncAlgorithm::Staged(SyncParams::new(4)?),
-///     StartSchedule::Identical,
-///     SyncRunConfig::until_complete(100_000),
-///     SeedTree::new(1),
-/// )?;
-/// assert!(outcome.completed());
-/// # Ok::<(), Box<dyn std::error::Error>>(())
-/// ```
+#[deprecated(note = "use Scenario::sync(network, algorithm)")]
 pub fn run_sync_discovery(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -86,9 +73,10 @@ pub fn run_sync_discovery(
     config: SyncRunConfig,
     seed: SeedTree,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(SyncEngine::new(network, protocols, start_slots, seed.branch("engine")).run(config))
+    Scenario::sync(network, algorithm)
+        .starts(starts)
+        .config(config)
+        .run(seed)
 }
 
 /// Like [`run_sync_discovery`], but attaches `sink` to the engine so
@@ -98,6 +86,7 @@ pub fn run_sync_discovery(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::sync(network, algorithm).with_sink(sink)")]
 pub fn run_sync_discovery_observed(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -106,24 +95,23 @@ pub fn run_sync_discovery_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_sink(sink)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .starts(starts)
+        .config(config)
+        .with_sink(sink)
+        .run(seed)
 }
 
 /// Like [`run_sync_discovery`], but wraps every node in a
-/// [`QuiescentTermination`] detector with the given threshold, so nodes
-/// decide *locally* when to stop. Pair with
+/// [`crate::QuiescentTermination`] detector with the given threshold, so
+/// nodes decide *locally* when to stop. Pair with
 /// [`SyncRunConfig::until_all_terminated`] for a deployment-faithful run.
 ///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] for empty availability sets or a zero
 /// threshold.
+#[deprecated(note = "use Scenario::sync(network, algorithm).terminating(quiet_slots)")]
 pub fn run_sync_discovery_terminating(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -132,15 +120,11 @@ pub fn run_sync_discovery_terminating(
     config: SyncRunConfig,
     seed: SeedTree,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?
-        .into_iter()
-        .map(|inner| {
-            QuiescentTermination::new(inner, quiet_slots)
-                .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(SyncEngine::new(network, protocols, start_slots, seed.branch("engine")).run(config))
+    Scenario::sync(network, algorithm)
+        .terminating(quiet_slots)
+        .starts(starts)
+        .config(config)
+        .run(seed)
 }
 
 pub(crate) fn build_sync_protocols(
@@ -175,6 +159,7 @@ pub(crate) fn build_sync_protocols(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::sync(network, algorithm).with_dynamics(dynamics)")]
 pub fn run_sync_discovery_dynamic(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -183,13 +168,11 @@ pub fn run_sync_discovery_dynamic(
     config: SyncRunConfig,
     seed: SeedTree,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .starts(starts)
+        .with_dynamics(dynamics)
+        .config(config)
+        .run(seed)
 }
 
 /// [`run_sync_discovery_dynamic`] with an attached [`EventSink`] — the
@@ -200,6 +183,9 @@ pub fn run_sync_discovery_dynamic(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(
+    note = "use Scenario::sync(network, algorithm).with_dynamics(dynamics).with_sink(sink)"
+)]
 pub fn run_sync_discovery_dynamic_observed(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -209,14 +195,12 @@ pub fn run_sync_discovery_dynamic_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .with_sink(sink)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .starts(starts)
+        .with_dynamics(dynamics)
+        .config(config)
+        .with_sink(sink)
+        .run(seed)
 }
 
 /// Like [`run_sync_discovery`], but attaches a [`FaultPlan`] (per-link
@@ -227,6 +211,7 @@ pub fn run_sync_discovery_dynamic_observed(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::sync(network, algorithm).with_faults(faults)")]
 pub fn run_sync_discovery_faulted(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -235,13 +220,11 @@ pub fn run_sync_discovery_faulted(
     config: SyncRunConfig,
     seed: SeedTree,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_faults(faults)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .starts(starts)
+        .with_faults(faults)
+        .config(config)
+        .run(seed)
 }
 
 /// [`run_sync_discovery_faulted`] with an attached [`DynamicsSchedule`]
@@ -255,6 +238,9 @@ pub fn run_sync_discovery_faulted(
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    note = "use Scenario::sync(network, algorithm).with_dynamics(dynamics).with_faults(faults).with_sink(sink)"
+)]
 pub fn run_sync_discovery_faulted_observed(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -265,15 +251,13 @@ pub fn run_sync_discovery_faulted_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_sync_protocols(network, algorithm)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .with_faults(faults)
-            .with_sink(sink)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .starts(starts)
+        .with_dynamics(dynamics)
+        .with_faults(faults)
+        .config(config)
+        .with_sink(sink)
+        .run(seed)
 }
 
 /// Runs [`crate::RobustDiscovery`]-wrapped protocols under a fault plan:
@@ -290,6 +274,9 @@ pub fn run_sync_discovery_faulted_observed(
 ///
 /// Panics if `repetition` is zero.
 #[allow(clippy::too_many_arguments)]
+#[deprecated(
+    note = "use Scenario::sync(network, algorithm).robust(repetition).with_faults(faults)"
+)]
 pub fn run_sync_discovery_robust(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -299,13 +286,12 @@ pub fn run_sync_discovery_robust(
     config: SyncRunConfig,
     seed: SeedTree,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_robust_protocols(network, algorithm, repetition)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_faults(faults)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .robust(repetition)
+        .starts(starts)
+        .with_faults(faults)
+        .config(config)
+        .run(seed)
 }
 
 /// Runs [`crate::ContinuousDiscovery`]-wrapped protocols under a dynamics
@@ -317,6 +303,9 @@ pub fn run_sync_discovery_robust(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(
+    note = "use Scenario::sync(network, algorithm).continuous(config).with_dynamics(dynamics)"
+)]
 pub fn run_continuous_discovery(
     network: &Network,
     algorithm: SyncAlgorithm,
@@ -326,13 +315,12 @@ pub fn run_continuous_discovery(
     config: SyncRunConfig,
     seed: SeedTree,
 ) -> Result<SyncOutcome, ProtocolError> {
-    let protocols = build_continuous_protocols(network, algorithm, continuous)?;
-    let start_slots = starts.materialize(network.node_count(), seed.branch("starts"));
-    Ok(
-        SyncEngine::new(network, protocols, start_slots, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .run(config),
-    )
+    Scenario::sync(network, algorithm)
+        .continuous(continuous)
+        .starts(starts)
+        .with_dynamics(dynamics)
+        .config(config)
+        .run(seed)
 }
 
 /// Builds per-node protocol instances and runs the asynchronous engine.
@@ -340,14 +328,16 @@ pub fn run_continuous_discovery(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::asynchronous(network, algorithm)")]
 pub fn run_async_discovery(
     network: &Network,
     algorithm: AsyncAlgorithm,
     config: AsyncRunConfig,
     seed: SeedTree,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?;
-    Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
+    Scenario::asynchronous(network, algorithm)
+        .config(config)
+        .run(seed)
 }
 
 /// Like [`run_async_discovery`], but attaches a [`DynamicsSchedule`]
@@ -358,6 +348,7 @@ pub fn run_async_discovery(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::asynchronous(network, algorithm).with_dynamics(dynamics)")]
 pub fn run_async_discovery_dynamic(
     network: &Network,
     algorithm: AsyncAlgorithm,
@@ -365,12 +356,10 @@ pub fn run_async_discovery_dynamic(
     config: AsyncRunConfig,
     seed: SeedTree,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?;
-    Ok(
-        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .run(),
-    )
+    Scenario::asynchronous(network, algorithm)
+        .with_dynamics(dynamics)
+        .config(config)
+        .run(seed)
 }
 
 /// [`run_async_discovery_dynamic`] with an attached [`EventSink`].
@@ -378,6 +367,9 @@ pub fn run_async_discovery_dynamic(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(
+    note = "use Scenario::asynchronous(network, algorithm).with_dynamics(dynamics).with_sink(sink)"
+)]
 pub fn run_async_discovery_dynamic_observed(
     network: &Network,
     algorithm: AsyncAlgorithm,
@@ -386,13 +378,11 @@ pub fn run_async_discovery_dynamic_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?;
-    Ok(
-        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .with_sink(sink)
-            .run(),
-    )
+    Scenario::asynchronous(network, algorithm)
+        .with_dynamics(dynamics)
+        .config(config)
+        .with_sink(sink)
+        .run(seed)
 }
 
 /// Like [`run_async_discovery`], but attaches `sink` to the engine so
@@ -402,6 +392,7 @@ pub fn run_async_discovery_dynamic_observed(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::asynchronous(network, algorithm).with_sink(sink)")]
 pub fn run_async_discovery_observed(
     network: &Network,
     algorithm: AsyncAlgorithm,
@@ -409,12 +400,10 @@ pub fn run_async_discovery_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?;
-    Ok(
-        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
-            .with_sink(sink)
-            .run(),
-    )
+    Scenario::asynchronous(network, algorithm)
+        .config(config)
+        .with_sink(sink)
+        .run(seed)
 }
 
 /// Like [`run_async_discovery`], but attaches a [`FaultPlan`] (`at`
@@ -425,6 +414,7 @@ pub fn run_async_discovery_observed(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(note = "use Scenario::asynchronous(network, algorithm).with_faults(faults)")]
 pub fn run_async_discovery_faulted(
     network: &Network,
     algorithm: AsyncAlgorithm,
@@ -432,12 +422,10 @@ pub fn run_async_discovery_faulted(
     config: AsyncRunConfig,
     seed: SeedTree,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?;
-    Ok(
-        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
-            .with_faults(faults)
-            .run(),
-    )
+    Scenario::asynchronous(network, algorithm)
+        .with_faults(faults)
+        .config(config)
+        .run(seed)
 }
 
 /// [`run_async_discovery_faulted`] with an attached [`DynamicsSchedule`]
@@ -447,6 +435,9 @@ pub fn run_async_discovery_faulted(
 /// # Errors
 ///
 /// Returns [`ProtocolError`] if any node's available channel set is empty.
+#[deprecated(
+    note = "use Scenario::asynchronous(network, algorithm).with_dynamics(dynamics).with_faults(faults).with_sink(sink)"
+)]
 pub fn run_async_discovery_faulted_observed(
     network: &Network,
     algorithm: AsyncAlgorithm,
@@ -456,17 +447,15 @@ pub fn run_async_discovery_faulted_observed(
     seed: SeedTree,
     sink: &mut dyn EventSink,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?;
-    Ok(
-        AsyncEngine::new(network, protocols, config, seed.branch("engine"))
-            .with_dynamics(dynamics)
-            .with_faults(faults)
-            .with_sink(sink)
-            .run(),
-    )
+    Scenario::asynchronous(network, algorithm)
+        .with_dynamics(dynamics)
+        .with_faults(faults)
+        .config(config)
+        .with_sink(sink)
+        .run(seed)
 }
 
-fn build_async_protocols(
+pub(crate) fn build_async_protocols(
     network: &Network,
     algorithm: AsyncAlgorithm,
 ) -> Result<Vec<Box<dyn AsyncProtocol>>, ProtocolError> {
@@ -485,15 +474,16 @@ fn build_async_protocols(
 }
 
 /// Like [`run_async_discovery`], but wraps every node in a
-/// [`QuiescentAsyncTermination`] detector: nodes stop transmitting and
-/// listening for good after `quiet_frames` frames without a new neighbor,
-/// and the run ends when every node has gone silent (or the frame budget
-/// is exhausted).
+/// [`crate::QuiescentAsyncTermination`] detector: nodes stop transmitting
+/// and listening for good after `quiet_frames` frames without a new
+/// neighbor, and the run ends when every node has gone silent (or the
+/// frame budget is exhausted).
 ///
 /// # Errors
 ///
 /// Returns [`ProtocolError`] for empty availability sets or a zero
 /// threshold.
+#[deprecated(note = "use Scenario::asynchronous(network, algorithm).terminating(quiet_frames)")]
 pub fn run_async_discovery_terminating(
     network: &Network,
     algorithm: AsyncAlgorithm,
@@ -501,14 +491,10 @@ pub fn run_async_discovery_terminating(
     config: AsyncRunConfig,
     seed: SeedTree,
 ) -> Result<AsyncOutcome, ProtocolError> {
-    let protocols = build_async_protocols(network, algorithm)?
-        .into_iter()
-        .map(|inner| {
-            QuiescentAsyncTermination::new(inner, quiet_frames)
-                .map(|p| Box::new(p) as Box<dyn AsyncProtocol>)
-        })
-        .collect::<Result<Vec<_>, _>>()?;
-    Ok(AsyncEngine::new(network, protocols, config, seed.branch("engine")).run())
+    Scenario::asynchronous(network, algorithm)
+        .terminating(quiet_frames)
+        .config(config)
+        .run(seed)
 }
 
 /// True if every node's table equals the network's ground truth exactly
@@ -539,6 +525,10 @@ pub fn tables_are_sound(network: &Network, tables: &[NeighborTable]) -> bool {
 
 #[cfg(test)]
 mod tests {
+    // These tests deliberately exercise the deprecated shims: they are the
+    // compatibility contract the Scenario migration must not break.
+    #![allow(deprecated)]
+
     use super::*;
     use mmhew_engine::{AsyncStartSchedule, ClockConfig};
     use mmhew_spectrum::{AvailabilityModel, ChannelSet};

@@ -1,0 +1,423 @@
+//! The unified `Scenario` builder: one composable entry point replacing
+//! the 16-function `run_*` runner matrix.
+//!
+//! Every feature the engines grew across the observability, dynamics and
+//! fault PRs — event sinks, dynamics schedules, fault plans, robust
+//! time-dilation, continuous re-announcement, quiescent termination —
+//! used to require its own `run_{sync,async}_discovery_…` variant, and
+//! the combinations multiplied. [`Scenario`] collapses them into a
+//! builder:
+//!
+//! ```text
+//! Scenario::sync(&net, algorithm)
+//!     .starts(..)            // start-slot schedule (default Identical)
+//!     .config(..)            // run budget / stop conditions
+//!     .with_dynamics(..)     // churn / mobility / spectrum events
+//!     .with_faults(..)       // loss, jamming, capture, crashes
+//!     .with_sink(..)         // event observation
+//!     .robust(r)             // time-dilation wrapper
+//!     .continuous(cfg)       // re-announce / stale-evict wrapper
+//!     .terminating(q)        // local quiescence detection
+//!     .run(seed)?            // -> SyncOutcome
+//! ```
+//!
+//! # Neutrality guarantees
+//!
+//! A `Scenario` with no extras attached is **RNG- and trace-neutral**
+//! with respect to the legacy plain runner: it performs the exact same
+//! wiring (`build protocols → starts.materialize(n, seed.branch("starts"))
+//! → Engine::new(…, seed.branch("engine")) → run(config)`), touching the
+//! engine's optional hooks only when explicitly configured, so outcomes
+//! and JSONL traces are byte-identical at the same seed. The
+//! `scenario_equivalence` test suite asserts this for every cell of the
+//! legacy matrix on both engines.
+//!
+//! # Wrapper composition order
+//!
+//! Protocol wrappers nest base → robust → continuous → terminating: the
+//! robust wrapper dilates the innermost clock, continuous re-announcement
+//! rides on the dilated protocol, and the quiescence detector watches the
+//! outermost table. Single-wrapper scenarios reproduce the corresponding
+//! legacy runner exactly; multi-wrapper scenarios compose combinations
+//! the runner matrix never offered.
+
+use crate::continuous::{ContinuousConfig, ContinuousDiscovery};
+use crate::params::ProtocolError;
+use crate::robust::RobustDiscovery;
+use crate::runner::{build_async_protocols, build_sync_protocols, AsyncAlgorithm, SyncAlgorithm};
+use crate::termination::{QuiescentAsyncTermination, QuiescentTermination};
+use mmhew_dynamics::DynamicsSchedule;
+use mmhew_engine::{
+    AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, StartSchedule, SyncEngine,
+    SyncOutcome, SyncProtocol, SyncRunConfig,
+};
+use mmhew_faults::FaultPlan;
+use mmhew_obs::EventSink;
+use mmhew_topology::{Network, NodeId};
+use mmhew_util::SeedTree;
+
+/// Default slot/frame budget when no [`SyncRunConfig`]/[`AsyncRunConfig`]
+/// is supplied: run until complete within one million slots (frames).
+pub const DEFAULT_BUDGET: u64 = 1_000_000;
+
+/// Entry point for building simulation scenarios.
+///
+/// `Scenario` is a pure namespace: [`Scenario::sync`] opens a
+/// [`SyncScenario`] on the slot-synchronous engine, and
+/// [`Scenario::asynchronous`] an [`AsyncScenario`] on the
+/// unsynchronized-clock engine.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
+/// use mmhew_topology::NetworkBuilder;
+/// use mmhew_util::SeedTree;
+///
+/// let net = NetworkBuilder::complete(4).universe(4).build(SeedTree::new(0))?;
+/// let outcome = Scenario::sync(&net, SyncAlgorithm::Staged(SyncParams::new(4)?))
+///     .run(SeedTree::new(1))?;
+/// assert!(outcome.completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Scenario;
+
+impl Scenario {
+    /// Opens a slot-synchronous scenario on `network` running `algorithm`.
+    pub fn sync(network: &Network, algorithm: SyncAlgorithm) -> SyncScenario<'_> {
+        SyncScenario {
+            network,
+            algorithm,
+            starts: StartSchedule::Identical,
+            config: SyncRunConfig::until_complete(DEFAULT_BUDGET),
+            robust: None,
+            continuous: None,
+            terminating: None,
+            dynamics: None,
+            faults: None,
+            sink: None,
+        }
+    }
+
+    /// Opens an asynchronous (unsynchronized clocks) scenario on
+    /// `network` running `algorithm`.
+    pub fn asynchronous(network: &Network, algorithm: AsyncAlgorithm) -> AsyncScenario<'_> {
+        AsyncScenario {
+            network,
+            algorithm,
+            config: AsyncRunConfig::until_complete(DEFAULT_BUDGET),
+            terminating: None,
+            dynamics: None,
+            faults: None,
+            sink: None,
+        }
+    }
+}
+
+/// A configured slot-synchronous run, built by [`Scenario::sync`].
+///
+/// See the [module docs](self) for the builder grammar and the
+/// neutrality / composition-order guarantees.
+pub struct SyncScenario<'a> {
+    network: &'a Network,
+    algorithm: SyncAlgorithm,
+    starts: StartSchedule,
+    config: SyncRunConfig,
+    robust: Option<u64>,
+    continuous: Option<ContinuousConfig>,
+    terminating: Option<u64>,
+    dynamics: Option<DynamicsSchedule>,
+    faults: Option<FaultPlan>,
+    sink: Option<&'a mut dyn EventSink>,
+}
+
+impl<'a> SyncScenario<'a> {
+    /// Sets the start-slot schedule (default [`StartSchedule::Identical`]).
+    #[must_use]
+    pub fn starts(mut self, starts: StartSchedule) -> Self {
+        self.starts = starts;
+        self
+    }
+
+    /// Sets the run configuration (budget, stop conditions, impairments).
+    /// Defaults to [`SyncRunConfig::until_complete`] with
+    /// [`DEFAULT_BUDGET`] slots.
+    #[must_use]
+    pub fn config(mut self, config: SyncRunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a [`DynamicsSchedule`] (churn, mobility, spectrum events;
+    /// `at` interpreted as slot indices).
+    #[must_use]
+    pub fn with_dynamics(mut self, dynamics: DynamicsSchedule) -> Self {
+        self.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Attaches a [`FaultPlan`] (per-link loss, jammers, capture, crash
+    /// outages).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches an [`EventSink`] observing every simulation event.
+    #[must_use]
+    pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Wraps every node in [`crate::RobustDiscovery`] with the given
+    /// repetition factor (see [`crate::repetition_factor`]). Remember to
+    /// inflate the slot budget by the same factor.
+    ///
+    /// # Panics
+    ///
+    /// [`run`](Self::run) panics if `repetition` is zero.
+    #[must_use]
+    pub fn robust(mut self, repetition: u64) -> Self {
+        self.robust = Some(repetition);
+        self
+    }
+
+    /// Wraps every node in [`crate::ContinuousDiscovery`] (periodic
+    /// re-announcement + stale eviction). Continuous runs never complete;
+    /// pair with [`SyncRunConfig::fixed`].
+    #[must_use]
+    pub fn continuous(mut self, config: ContinuousConfig) -> Self {
+        self.continuous = Some(config);
+        self
+    }
+
+    /// Wraps every node in a [`crate::QuiescentTermination`] detector
+    /// with the given threshold, so nodes decide *locally* when to stop.
+    /// Pair with [`SyncRunConfig::until_all_terminated`].
+    #[must_use]
+    pub fn terminating(mut self, quiet_slots: u64) -> Self {
+        self.terminating = Some(quiet_slots);
+        self
+    }
+
+    /// Builds the per-node protocol stack and runs the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if any node's available channel set is
+    /// empty, or a wrapper threshold/parameter is zero.
+    pub fn run(self, seed: SeedTree) -> Result<SyncOutcome, ProtocolError> {
+        let mut protocols = build_sync_protocols(self.network, self.algorithm)?;
+        if let Some(repetition) = self.robust {
+            protocols = protocols
+                .into_iter()
+                .map(|inner| {
+                    Box::new(RobustDiscovery::new(inner, repetition)) as Box<dyn SyncProtocol>
+                })
+                .collect();
+        }
+        if let Some(config) = self.continuous {
+            protocols = protocols
+                .into_iter()
+                .enumerate()
+                .map(|(i, inner)| {
+                    let available = self.network.available(NodeId::new(i as u32)).clone();
+                    ContinuousDiscovery::new(inner, available, config)
+                        .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        if let Some(quiet_slots) = self.terminating {
+            protocols = protocols
+                .into_iter()
+                .map(|inner| {
+                    QuiescentTermination::new(inner, quiet_slots)
+                        .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        let start_slots = self
+            .starts
+            .materialize(self.network.node_count(), seed.branch("starts"));
+        let mut engine =
+            SyncEngine::new(self.network, protocols, start_slots, seed.branch("engine"));
+        if let Some(dynamics) = self.dynamics {
+            engine = engine.with_dynamics(dynamics);
+        }
+        if let Some(faults) = self.faults {
+            engine = engine.with_faults(faults);
+        }
+        if let Some(sink) = self.sink {
+            engine = engine.with_sink(sink);
+        }
+        Ok(engine.run(self.config))
+    }
+}
+
+/// A configured asynchronous run, built by [`Scenario::asynchronous`].
+///
+/// The asynchronous engine has no start-slot schedule (starts live in
+/// [`AsyncRunConfig`]) and no robust/continuous wrappers (both are
+/// slot-synchronous constructions).
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Scenario};
+/// use mmhew_engine::AsyncRunConfig;
+/// use mmhew_topology::NetworkBuilder;
+/// use mmhew_util::SeedTree;
+///
+/// let net = NetworkBuilder::complete(4).universe(4).build(SeedTree::new(0))?;
+/// let outcome = Scenario::asynchronous(&net, AsyncAlgorithm::FrameBased(AsyncParams::new(3)?))
+///     .config(AsyncRunConfig::until_complete(100_000))
+///     .run(SeedTree::new(1))?;
+/// assert!(outcome.completed());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct AsyncScenario<'a> {
+    network: &'a Network,
+    algorithm: AsyncAlgorithm,
+    config: AsyncRunConfig,
+    terminating: Option<u64>,
+    dynamics: Option<DynamicsSchedule>,
+    faults: Option<FaultPlan>,
+    sink: Option<&'a mut dyn EventSink>,
+}
+
+impl<'a> AsyncScenario<'a> {
+    /// Sets the run configuration (frame budget, clocks, starts, stop
+    /// conditions). Defaults to [`AsyncRunConfig::until_complete`] with
+    /// [`DEFAULT_BUDGET`] frames.
+    #[must_use]
+    pub fn config(mut self, config: AsyncRunConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a [`DynamicsSchedule`] (`at` interpreted as real
+    /// nanoseconds, applied at frame-start boundaries).
+    #[must_use]
+    pub fn with_dynamics(mut self, dynamics: DynamicsSchedule) -> Self {
+        self.dynamics = Some(dynamics);
+        self
+    }
+
+    /// Attaches a [`FaultPlan`] (`at` interpreted as real nanoseconds;
+    /// the capture effect is not modelled asynchronously).
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Attaches an [`EventSink`] observing every simulation event.
+    #[must_use]
+    pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Wraps every node in a [`crate::QuiescentAsyncTermination`]
+    /// detector: nodes go silent for good after `quiet_frames` frames
+    /// without a new neighbor.
+    #[must_use]
+    pub fn terminating(mut self, quiet_frames: u64) -> Self {
+        self.terminating = Some(quiet_frames);
+        self
+    }
+
+    /// Builds the per-node protocol stack and runs the engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtocolError`] if any node's available channel set is
+    /// empty, or the termination threshold is zero.
+    pub fn run(self, seed: SeedTree) -> Result<AsyncOutcome, ProtocolError> {
+        let mut protocols = build_async_protocols(self.network, self.algorithm)?;
+        if let Some(quiet_frames) = self.terminating {
+            protocols = protocols
+                .into_iter()
+                .map(|inner| {
+                    QuiescentAsyncTermination::new(inner, quiet_frames)
+                        .map(|p| Box::new(p) as Box<dyn AsyncProtocol>)
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        let mut engine =
+            AsyncEngine::new(self.network, protocols, self.config, seed.branch("engine"));
+        if let Some(dynamics) = self.dynamics {
+            engine = engine.with_dynamics(dynamics);
+        }
+        if let Some(faults) = self.faults {
+            engine = engine.with_faults(faults);
+        }
+        if let Some(sink) = self.sink {
+            engine = engine.with_sink(sink);
+        }
+        Ok(engine.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SyncParams;
+    use crate::runner::tables_match_ground_truth;
+    use mmhew_topology::NetworkBuilder;
+
+    fn small_net() -> Network {
+        NetworkBuilder::complete(4)
+            .universe(4)
+            .build(SeedTree::new(0))
+            .expect("build")
+    }
+
+    #[test]
+    fn plain_scenario_completes() {
+        let net = small_net();
+        let out = Scenario::sync(
+            &net,
+            SyncAlgorithm::Staged(SyncParams::new(4).expect("valid")),
+        )
+        .config(SyncRunConfig::until_complete(200_000))
+        .run(SeedTree::new(1))
+        .expect("run");
+        assert!(out.completed());
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn wrappers_compose_robust_then_terminating() {
+        // A combination the legacy matrix never offered: time-dilated
+        // protocols under local quiescence detection.
+        let net = small_net();
+        let out = Scenario::sync(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(3).expect("valid")),
+        )
+        .robust(2)
+        .terminating(4_000)
+        .config(SyncRunConfig::until_all_terminated(400_000))
+        .run(SeedTree::new(5))
+        .expect("run");
+        assert!(out.all_terminated(), "nodes decide to stop");
+        assert!(out.completed(), "generous threshold finds all links");
+        assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn zero_terminating_threshold_is_an_error() {
+        let net = small_net();
+        let err = Scenario::sync(
+            &net,
+            SyncAlgorithm::Uniform(SyncParams::new(3).expect("valid")),
+        )
+        .terminating(0)
+        .run(SeedTree::new(5))
+        .expect_err("zero threshold");
+        assert_eq!(err, ProtocolError::ZeroDegreeEstimate);
+    }
+}

@@ -75,8 +75,9 @@ pub fn two_hop_views(tables: &[NeighborTable]) -> Vec<TwoHopView> {
 mod tests {
     use super::*;
     use crate::params::SyncParams;
-    use crate::runner::{run_sync_discovery, SyncAlgorithm};
-    use mmhew_engine::{StartSchedule, SyncRunConfig};
+    use crate::runner::SyncAlgorithm;
+    use crate::scenario::Scenario;
+    use mmhew_engine::SyncRunConfig;
     use mmhew_spectrum::ChannelSet;
     use mmhew_topology::NetworkBuilder;
     use mmhew_util::SeedTree;
@@ -150,13 +151,12 @@ mod tests {
             .build(seed.branch("net"))
             .expect("build");
         let delta = net.max_degree().max(1) as u64;
-        let out = run_sync_discovery(
+        let out = Scenario::sync(
             &net,
             SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive")),
-            StartSchedule::Identical,
-            SyncRunConfig::until_complete(1_000_000),
-            seed.branch("run"),
         )
+        .config(SyncRunConfig::until_complete(1_000_000))
+        .run(seed.branch("run"))
         .expect("run");
         assert!(out.completed());
         let views = two_hop_views(out.tables());

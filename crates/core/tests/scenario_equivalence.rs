@@ -1,0 +1,375 @@
+//! The `Scenario` builder must be a drop-in replacement for the legacy
+//! 16-runner matrix: for every engine × wrapper combination, the builder
+//! chain and the deprecated `run_*` shim must produce byte-identical
+//! outcomes (via the deterministic JSON serializer) and byte-identical
+//! JSONL traces at the same seed. These tests are the migration's safety
+//! net — any RNG-consumption or wiring drift between the two paths shows
+//! up here as a byte diff, not a statistical anomaly.
+// The shim side of every comparison is deprecated on purpose.
+#![allow(deprecated)]
+
+use mmhew_discovery::{
+    run_async_discovery, run_async_discovery_dynamic_observed, run_async_discovery_faulted,
+    run_async_discovery_observed, run_async_discovery_terminating, run_sync_discovery,
+    run_sync_discovery_dynamic_observed, run_sync_discovery_faulted_observed,
+    run_sync_discovery_observed, run_sync_discovery_robust, run_sync_discovery_terminating,
+    AsyncAlgorithm, AsyncParams, Scenario, SyncAlgorithm, SyncParams,
+};
+use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
+use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_faults::{FaultPlan, LinkLossModel};
+use mmhew_obs::JsonlTraceSink;
+use mmhew_spectrum::{AvailabilityModel, ChannelId};
+use mmhew_topology::{Network, NetworkBuilder, NetworkEvent, NodeId};
+use mmhew_util::SeedTree;
+
+fn sync_net(seed: SeedTree) -> Network {
+    NetworkBuilder::grid(3, 3)
+        .universe(6)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(seed)
+        .expect("valid network")
+}
+
+fn full_net(seed: SeedTree) -> Network {
+    // Full availability so channel-churn events below always refer to a
+    // channel every node owns.
+    NetworkBuilder::complete(5)
+        .universe(4)
+        .build(seed)
+        .expect("valid network")
+}
+
+fn sync_alg(net: &Network) -> SyncAlgorithm {
+    let delta = net.max_degree().max(1) as u64;
+    SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive"))
+}
+
+fn async_alg(net: &Network) -> AsyncAlgorithm {
+    let delta = net.max_degree().max(1) as u64;
+    AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive"))
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    mmhew_obs::json::to_string(value).expect("outcome serializes")
+}
+
+fn channel_churn(at: [u64; 2]) -> DynamicsSchedule {
+    DynamicsSchedule::new(vec![
+        TimedEvent::new(
+            at[0],
+            NetworkEvent::ChannelLost {
+                node: NodeId::new(1),
+                channel: ChannelId::new(0),
+            },
+        ),
+        TimedEvent::new(
+            at[1],
+            NetworkEvent::ChannelGained {
+                node: NodeId::new(1),
+                channel: ChannelId::new(0),
+            },
+        ),
+    ])
+}
+
+fn lossy() -> FaultPlan {
+    FaultPlan::new().with_default_loss(LinkLossModel::Bernoulli {
+        delivery_probability: 0.9,
+    })
+}
+
+// --- synchronous engine --------------------------------------------------
+
+#[test]
+fn sync_plain_matches_legacy_runner() {
+    let seed = SeedTree::new(101);
+    let net = sync_net(seed.branch("net"));
+    let alg = sync_alg(&net);
+    let config = SyncRunConfig::until_complete(200_000);
+
+    let legacy = run_sync_discovery(
+        &net,
+        alg,
+        StartSchedule::Staggered { window: 64 },
+        config,
+        seed.branch("run"),
+    )
+    .expect("run");
+    let scenario = Scenario::sync(&net, alg)
+        .starts(StartSchedule::Staggered { window: 64 })
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+    assert_eq!(json(&legacy), json(&scenario));
+    assert!(legacy.completed(), "comparison must exercise a full run");
+}
+
+#[test]
+fn sync_observed_matches_legacy_runner_traces_included() {
+    let seed = SeedTree::new(102);
+    let net = sync_net(seed.branch("net"));
+    let alg = sync_alg(&net);
+    let config = SyncRunConfig::until_complete(100_000);
+
+    let mut legacy_sink = JsonlTraceSink::new(Vec::new());
+    let legacy = run_sync_discovery_observed(
+        &net,
+        alg,
+        StartSchedule::Identical,
+        config,
+        seed.branch("run"),
+        &mut legacy_sink,
+    )
+    .expect("run");
+    let mut scenario_sink = JsonlTraceSink::new(Vec::new());
+    let scenario = Scenario::sync(&net, alg)
+        .with_sink(&mut scenario_sink)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+
+    assert_eq!(json(&legacy), json(&scenario));
+    let legacy_trace = legacy_sink.finish().expect("no io error");
+    let scenario_trace = scenario_sink.finish().expect("no io error");
+    assert!(!legacy_trace.is_empty(), "trace captured no events");
+    assert_eq!(legacy_trace, scenario_trace);
+}
+
+#[test]
+fn sync_dynamic_matches_legacy_runner_traces_included() {
+    let seed = SeedTree::new(103);
+    let net = full_net(seed.branch("net"));
+    let alg = sync_alg(&net);
+    let config = SyncRunConfig::until_complete(200_000);
+    let dynamics = channel_churn([50, 120]);
+
+    let mut legacy_sink = JsonlTraceSink::new(Vec::new());
+    let legacy = run_sync_discovery_dynamic_observed(
+        &net,
+        alg,
+        StartSchedule::Identical,
+        dynamics.clone(),
+        config,
+        seed.branch("run"),
+        &mut legacy_sink,
+    )
+    .expect("run");
+    let mut scenario_sink = JsonlTraceSink::new(Vec::new());
+    let scenario = Scenario::sync(&net, alg)
+        .with_dynamics(dynamics)
+        .with_sink(&mut scenario_sink)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+
+    assert_eq!(json(&legacy), json(&scenario));
+    assert_eq!(
+        legacy_sink.finish().expect("no io error"),
+        scenario_sink.finish().expect("no io error")
+    );
+}
+
+#[test]
+fn sync_faulted_matches_legacy_runner_traces_included() {
+    let seed = SeedTree::new(104);
+    let net = sync_net(seed.branch("net"));
+    let alg = sync_alg(&net);
+    let config = SyncRunConfig::until_complete(400_000);
+
+    let mut legacy_sink = JsonlTraceSink::new(Vec::new());
+    let legacy = run_sync_discovery_faulted_observed(
+        &net,
+        alg,
+        StartSchedule::Identical,
+        lossy(),
+        config,
+        seed.branch("run"),
+        &mut legacy_sink,
+    )
+    .expect("run");
+    let mut scenario_sink = JsonlTraceSink::new(Vec::new());
+    let scenario = Scenario::sync(&net, alg)
+        .with_faults(lossy())
+        .with_sink(&mut scenario_sink)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+
+    assert_eq!(json(&legacy), json(&scenario));
+    assert_eq!(
+        legacy_sink.finish().expect("no io error"),
+        scenario_sink.finish().expect("no io error")
+    );
+}
+
+#[test]
+fn sync_robust_matches_legacy_runner() {
+    let seed = SeedTree::new(105);
+    let net = sync_net(seed.branch("net"));
+    let alg = sync_alg(&net);
+    let config = SyncRunConfig::until_complete(800_000);
+
+    let legacy = run_sync_discovery_robust(
+        &net,
+        alg,
+        2,
+        StartSchedule::Identical,
+        lossy(),
+        config,
+        seed.branch("run"),
+    )
+    .expect("run");
+    let scenario = Scenario::sync(&net, alg)
+        .robust(2)
+        .with_faults(lossy())
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+    assert_eq!(json(&legacy), json(&scenario));
+}
+
+#[test]
+fn sync_terminating_matches_legacy_runner() {
+    let seed = SeedTree::new(106);
+    let net = sync_net(seed.branch("net"));
+    let alg = sync_alg(&net);
+    let config = SyncRunConfig::until_all_terminated(500_000);
+
+    let legacy = run_sync_discovery_terminating(
+        &net,
+        alg,
+        200,
+        StartSchedule::Identical,
+        config,
+        seed.branch("run"),
+    )
+    .expect("run");
+    let scenario = Scenario::sync(&net, alg)
+        .terminating(200)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+    assert_eq!(json(&legacy), json(&scenario));
+    assert!(legacy.all_terminated(), "detector must actually fire");
+}
+
+// --- asynchronous engine -------------------------------------------------
+
+#[test]
+fn async_plain_matches_legacy_runner() {
+    let seed = SeedTree::new(201);
+    let net = sync_net(seed.branch("net"));
+    let alg = async_alg(&net);
+    let config = AsyncRunConfig::until_complete(200_000);
+
+    let legacy = run_async_discovery(&net, alg, config.clone(), seed.branch("run")).expect("run");
+    let scenario = Scenario::asynchronous(&net, alg)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+    assert_eq!(json(&legacy), json(&scenario));
+    assert!(
+        legacy.completion_time().is_some(),
+        "comparison must exercise a full run"
+    );
+}
+
+#[test]
+fn async_observed_matches_legacy_runner_traces_included() {
+    let seed = SeedTree::new(202);
+    let net = sync_net(seed.branch("net"));
+    let alg = async_alg(&net);
+    let config = AsyncRunConfig::until_complete(100_000);
+
+    let mut legacy_sink = JsonlTraceSink::new(Vec::new());
+    let legacy = run_async_discovery_observed(
+        &net,
+        alg,
+        config.clone(),
+        seed.branch("run"),
+        &mut legacy_sink,
+    )
+    .expect("run");
+    let mut scenario_sink = JsonlTraceSink::new(Vec::new());
+    let scenario = Scenario::asynchronous(&net, alg)
+        .with_sink(&mut scenario_sink)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+
+    assert_eq!(json(&legacy), json(&scenario));
+    let legacy_trace = legacy_sink.finish().expect("no io error");
+    let scenario_trace = scenario_sink.finish().expect("no io error");
+    assert!(!legacy_trace.is_empty(), "trace captured no events");
+    assert_eq!(legacy_trace, scenario_trace);
+}
+
+#[test]
+fn async_dynamic_matches_legacy_runner_traces_included() {
+    let seed = SeedTree::new(203);
+    let net = full_net(seed.branch("net"));
+    let alg = async_alg(&net);
+    let config = AsyncRunConfig::until_complete(200_000);
+    // `at` is real nanoseconds for the asynchronous engine.
+    let dynamics = channel_churn([30_000, 90_000]);
+
+    let mut legacy_sink = JsonlTraceSink::new(Vec::new());
+    let legacy = run_async_discovery_dynamic_observed(
+        &net,
+        alg,
+        dynamics.clone(),
+        config.clone(),
+        seed.branch("run"),
+        &mut legacy_sink,
+    )
+    .expect("run");
+    let mut scenario_sink = JsonlTraceSink::new(Vec::new());
+    let scenario = Scenario::asynchronous(&net, alg)
+        .with_dynamics(dynamics)
+        .with_sink(&mut scenario_sink)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+
+    assert_eq!(json(&legacy), json(&scenario));
+    assert_eq!(
+        legacy_sink.finish().expect("no io error"),
+        scenario_sink.finish().expect("no io error")
+    );
+}
+
+#[test]
+fn async_faulted_matches_legacy_runner() {
+    let seed = SeedTree::new(204);
+    let net = sync_net(seed.branch("net"));
+    let alg = async_alg(&net);
+    let config = AsyncRunConfig::until_complete(400_000);
+
+    let legacy =
+        run_async_discovery_faulted(&net, alg, lossy(), config.clone(), seed.branch("run"))
+            .expect("run");
+    let scenario = Scenario::asynchronous(&net, alg)
+        .with_faults(lossy())
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+    assert_eq!(json(&legacy), json(&scenario));
+}
+
+#[test]
+fn async_terminating_matches_legacy_runner() {
+    let seed = SeedTree::new(205);
+    let net = sync_net(seed.branch("net"));
+    let alg = async_alg(&net);
+    let config = AsyncRunConfig::until_complete(50_000);
+
+    let legacy = run_async_discovery_terminating(&net, alg, 30, config.clone(), seed.branch("run"))
+        .expect("run");
+    let scenario = Scenario::asynchronous(&net, alg)
+        .terminating(30)
+        .config(config)
+        .run(seed.branch("run"))
+        .expect("run");
+    assert_eq!(json(&legacy), json(&scenario));
+}

@@ -17,10 +17,8 @@
 //! cargo run --release -p mmhew-harness --bin perf_report
 //! ```
 
-use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm, SyncParams,
-};
-use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::{AsyncRunConfig, SyncRunConfig};
 use mmhew_harness::cli::Args;
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::{Network, NetworkBuilder};
@@ -29,7 +27,7 @@ use serde::Serialize;
 use std::time::Instant;
 
 #[derive(Serialize)]
-struct Scenario {
+struct ScenarioReport {
     name: &'static str,
     engine: &'static str,
     nodes: usize,
@@ -47,7 +45,7 @@ struct Report {
     schema: &'static str,
     mode: &'static str,
     seed: u64,
-    scenarios: Vec<Scenario>,
+    scenarios: Vec<ScenarioReport>,
     regenerate: &'static str,
 }
 
@@ -67,20 +65,16 @@ fn dense(seed: SeedTree) -> Network {
         .expect("build dense network")
 }
 
-fn measure_sync(name: &'static str, net: &Network, slots: u64, seed: SeedTree) -> Scenario {
+fn measure_sync(name: &'static str, net: &Network, slots: u64, seed: SeedTree) -> ScenarioReport {
     let delta = net.max_degree().max(1) as u64;
     let alg = SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive delta"));
     let start = Instant::now();
-    let out = run_sync_discovery(
-        net,
-        alg,
-        StartSchedule::Identical,
-        SyncRunConfig::fixed(slots),
-        seed,
-    )
-    .expect("sync run");
+    let out = Scenario::sync(net, alg)
+        .config(SyncRunConfig::fixed(slots))
+        .run(seed)
+        .expect("sync run");
     let elapsed = start.elapsed().as_secs_f64();
-    Scenario {
+    ScenarioReport {
         name,
         engine: "sync",
         nodes: net.node_count(),
@@ -93,7 +87,7 @@ fn measure_sync(name: &'static str, net: &Network, slots: u64, seed: SeedTree) -
     }
 }
 
-fn measure_async(name: &'static str, net: &Network, frames: u64, seed: SeedTree) -> Scenario {
+fn measure_async(name: &'static str, net: &Network, frames: u64, seed: SeedTree) -> ScenarioReport {
     let delta = net.max_degree().max(1) as u64;
     let alg = AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive delta"));
     let config = AsyncRunConfig {
@@ -101,10 +95,13 @@ fn measure_async(name: &'static str, net: &Network, frames: u64, seed: SeedTree)
         ..AsyncRunConfig::until_complete(frames)
     };
     let start = Instant::now();
-    let out = run_async_discovery(net, alg, config, seed).expect("async run");
+    let out = Scenario::asynchronous(net, alg)
+        .config(config)
+        .run(seed)
+        .expect("async run");
     let elapsed = start.elapsed().as_secs_f64();
     let total_frames: u64 = out.frames_executed().iter().sum();
-    Scenario {
+    ScenarioReport {
         name,
         engine: "async",
         nodes: net.node_count(),
@@ -122,6 +119,11 @@ fn main() {
         eprintln!("perf_report: {e}");
         std::process::exit(2);
     });
+    args.expect_only(&["seed", "out"], &["smoke"])
+        .unwrap_or_else(|e| {
+            eprintln!("perf_report: {e}");
+            std::process::exit(2);
+        });
     let smoke = args.flag("smoke");
     let seed = args.get_or("seed", 0xBE5Du64).unwrap_or_else(|e| {
         eprintln!("perf_report: {e}");

@@ -4,32 +4,30 @@
 //! `--csv-dir <dir>` (additionally write every table as `<dir>/<id>.csv`),
 //! `--jobs <n>` (worker threads for repetitions; also `MMHEW_JOBS`;
 //! results are thread-count-independent).
+use mmhew_harness::cli::Args;
 use mmhew_harness::registry;
-use mmhew_harness::{reps_completed, set_jobs, Effort};
+use mmhew_harness::{reps_completed, set_jobs};
 
 fn main() {
-    let effort = Effort::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_260_706);
-    if let Some(jobs) = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-    {
+    let (args, jobs, seed) = match Args::parse().and_then(|a| {
+        a.expect_only(&["seed", "csv-dir"], &["markdown"])?;
+        let jobs = a.jobs()?;
+        let seed = a.get_or("seed", 20_260_706u64)?;
+        Ok((a, jobs, seed))
+    }) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("run_all: {e}");
+            eprintln!("usage: [--quick|--full] [--jobs N] [--seed N] [--markdown] [--csv-dir DIR]");
+            std::process::exit(2);
+        }
+    };
+    let effort = args.effort();
+    if let Some(jobs) = jobs {
         set_jobs(jobs);
     }
-    let markdown = args.iter().any(|a| a == "--markdown");
-    let csv_dir = args
-        .iter()
-        .position(|a| a == "--csv-dir")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    let markdown = args.flag("markdown");
+    let csv_dir = args.raw("csv-dir").map(std::path::PathBuf::from);
     if let Some(dir) = &csv_dir {
         std::fs::create_dir_all(dir).expect("failed to create csv dir");
     }

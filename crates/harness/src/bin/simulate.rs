@@ -34,9 +34,8 @@
 //! not change the simulation: same seed, same outcome.
 
 use mmhew_discovery::{
-    run_async_discovery, run_async_discovery_observed, run_sync_discovery,
-    run_sync_discovery_observed, tables_match_ground_truth, AsyncAlgorithm, AsyncParams, Bounds,
-    SyncAlgorithm, SyncParams,
+    tables_match_ground_truth, AsyncAlgorithm, AsyncParams, Bounds, Scenario, SyncAlgorithm,
+    SyncParams,
 };
 use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, ClockConfig, StartSchedule, SyncRunConfig};
 use mmhew_harness::cli::Args;
@@ -91,8 +90,38 @@ fn build_network(args: &Args, seed: SeedTree) -> Result<Network, Box<dyn std::er
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse()?;
-    let jobs: usize = args.get_or("jobs", 0)?;
-    if jobs > 0 {
+    args.expect_only(
+        &[
+            "nodes",
+            "topology",
+            "width",
+            "height",
+            "side",
+            "radius",
+            "edge-prob",
+            "universe",
+            "availability",
+            "set-size",
+            "shared",
+            "private",
+            "primaries",
+            "pu-radius",
+            "pu-channels",
+            "algorithm",
+            "delta-est",
+            "epsilon",
+            "start-window",
+            "frame-len",
+            "drift-den",
+            "reps",
+            "seed",
+            "budget",
+            "trace",
+            "timeline-slots",
+        ],
+        &["metrics", "timeline"],
+    )?;
+    if let Some(jobs) = args.jobs()? {
         mmhew_harness::set_jobs(jobs);
     }
     let seed = SeedTree::new(args.get_or("seed", 1)?);
@@ -171,9 +200,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 }
                 let mut fan = FanoutSink::new(sinks);
-                run_async_discovery_observed(&net, alg, config.clone(), rep_seed, &mut fan)?
+                Scenario::asynchronous(&net, alg)
+                    .config(config.clone())
+                    .with_sink(&mut fan)
+                    .run(rep_seed)?
             } else {
-                run_async_discovery(&net, alg, config.clone(), rep_seed)?
+                Scenario::asynchronous(&net, alg)
+                    .config(config.clone())
+                    .run(rep_seed)?
             };
             match out.min_full_frames_at_completion() {
                 Some(frames) => {
@@ -225,9 +259,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 }
                 let mut fan = FanoutSink::new(sinks);
-                run_sync_discovery_observed(&net, alg, starts.clone(), config, rep_seed, &mut fan)?
+                Scenario::sync(&net, alg)
+                    .starts(starts.clone())
+                    .config(config)
+                    .with_sink(&mut fan)
+                    .run(rep_seed)?
             } else {
-                run_sync_discovery(&net, alg, starts.clone(), config, rep_seed)?
+                Scenario::sync(&net, alg)
+                    .starts(starts.clone())
+                    .config(config)
+                    .run(rep_seed)?
             };
             match out.slots_to_complete() {
                 Some(slots) => {

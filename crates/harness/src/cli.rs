@@ -3,6 +3,7 @@
 //! Deliberately tiny (no external dependency): `--key value` pairs and
 //! boolean `--flag`s, with typed accessors and helpful errors.
 
+use crate::experiment::Effort;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::str::FromStr;
@@ -47,6 +48,8 @@ pub enum CliError {
         /// Allowed values.
         allowed: &'static [&'static str],
     },
+    /// A flag not accepted by this binary (probably a typo) was given.
+    UnknownFlag(String),
 }
 
 impl fmt::Display for CliError {
@@ -62,6 +65,9 @@ impl fmt::Display for CliError {
                 allowed,
             } => {
                 write!(f, "--{key}: unknown value {value:?} (allowed: {allowed:?})")
+            }
+            CliError::UnknownFlag(key) => {
+                write!(f, "--{key}: unknown flag (misspelled?)")
             }
         }
     }
@@ -160,6 +166,60 @@ impl Args {
                 }),
         }
     }
+
+    /// The effort level from the standard `--quick`/`--full` flags
+    /// (defaults to quick; `--full` wins when both are given, matching
+    /// the historical `Effort::from_args` scan).
+    pub fn effort(&self) -> Effort {
+        if self.flag("full") {
+            Effort::Full
+        } else {
+            Effort::Quick
+        }
+    }
+
+    /// The worker count from the standard `--jobs N` key, if given.
+    ///
+    /// Callers typically feed this to [`crate::sweep::set_jobs`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::BadValue`] if present but unparseable.
+    pub fn jobs(&self) -> Result<Option<usize>, CliError> {
+        match self.values.get("jobs") {
+            None => Ok(None),
+            Some(v) => v.parse().map(Some).map_err(|_| CliError::BadValue {
+                key: "jobs".to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// Rejects any argument outside the given vocabularies: `keys` are
+    /// the accepted `--key value` names, `flags` the accepted boolean
+    /// `--flag`s. The standard effort/parallelism trio (`--quick`,
+    /// `--full`, `--jobs N`) is always accepted, so every harness binary
+    /// parses it uniformly — and a misspelled flag is an error instead of
+    /// being silently ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::UnknownFlag`] naming the first offender.
+    pub fn expect_only(&self, keys: &[&str], flags: &[&str]) -> Result<(), CliError> {
+        const STANDARD_KEYS: &[&str] = &["jobs"];
+        const STANDARD_FLAGS: &[&str] = &["quick", "full"];
+        for key in self.values.keys() {
+            if !keys.iter().chain(STANDARD_KEYS).any(|k| k == key) {
+                return Err(CliError::UnknownFlag(key.clone()));
+            }
+        }
+        for flag in &self.flags {
+            if !flags.iter().chain(STANDARD_FLAGS).any(|f| f == flag) {
+                return Err(CliError::UnknownFlag(flag.clone()));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -223,5 +283,38 @@ mod tests {
             allowed: &["a"],
         };
         assert!(e.to_string().contains("unknown value"));
+        assert!(CliError::UnknownFlag("ful".into())
+            .to_string()
+            .contains("unknown flag"));
+    }
+
+    #[test]
+    fn effort_and_jobs_parse_uniformly() {
+        let a = parse(&["--full", "--jobs", "3"]);
+        assert_eq!(a.effort(), Effort::Full);
+        assert_eq!(a.jobs().expect("jobs"), Some(3));
+        let b = parse(&["--quick"]);
+        assert_eq!(b.effort(), Effort::Quick);
+        assert_eq!(b.jobs().expect("jobs"), None);
+        let c = parse(&["--jobs", "many"]);
+        assert!(matches!(c.jobs(), Err(CliError::BadValue { .. })));
+    }
+
+    #[test]
+    fn expect_only_rejects_misspellings() {
+        // The standard trio is always accepted.
+        let a = parse(&["--full", "--jobs", "2", "--seed", "7"]);
+        assert!(a.expect_only(&["seed"], &[]).is_ok());
+        // A misspelled flag is an error, not silently a boolean.
+        let b = parse(&["--ful"]);
+        assert_eq!(
+            b.expect_only(&["seed"], &[]),
+            Err(CliError::UnknownFlag("ful".into()))
+        );
+        let c = parse(&["--sed", "7"]);
+        assert_eq!(
+            c.expect_only(&["seed"], &[]),
+            Err(CliError::UnknownFlag("sed".into()))
+        );
     }
 }

@@ -27,6 +27,7 @@ impl Effort {
 
     /// Parses `--quick`/`--full` style command-line arguments (defaults to
     /// quick).
+    #[deprecated(note = "parse cli::Args and use Args::effort, which also validates flags")]
     pub fn from_args() -> Self {
         if std::env::args().any(|a| a == "--full") {
             Effort::Full

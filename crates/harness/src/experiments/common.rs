@@ -1,10 +1,7 @@
 //! Shared measurement helpers for the experiment suite.
 
 use crate::sweep::parallel_reps;
-use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, run_sync_discovery_faulted, run_sync_discovery_robust,
-    AsyncAlgorithm, SyncAlgorithm,
-};
+use mmhew_discovery::{AsyncAlgorithm, Scenario, SyncAlgorithm};
 use mmhew_engine::{AsyncRunConfig, FaultPlan, StartSchedule, SyncRunConfig};
 use mmhew_topology::Network;
 use mmhew_util::{SeedTree, Summary};
@@ -47,7 +44,10 @@ pub fn measure_sync(
     seed: SeedTree,
 ) -> SyncMeasurement {
     let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
-        run_sync_discovery(network, algorithm, starts.clone(), config, rep_seed)
+        Scenario::sync(network, algorithm)
+            .starts(starts.clone())
+            .config(config)
+            .run(rep_seed)
             .expect("protocol construction failed")
             .slots_to_complete()
     });
@@ -72,16 +72,13 @@ pub fn measure_sync_faulted(
     seed: SeedTree,
 ) -> SyncMeasurement {
     let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
-        run_sync_discovery_faulted(
-            network,
-            algorithm,
-            starts.clone(),
-            faults.clone(),
-            config,
-            rep_seed,
-        )
-        .expect("protocol construction failed")
-        .slots_to_complete()
+        Scenario::sync(network, algorithm)
+            .starts(starts.clone())
+            .with_faults(faults.clone())
+            .config(config)
+            .run(rep_seed)
+            .expect("protocol construction failed")
+            .slots_to_complete()
     });
     let slots: Vec<f64> = outcomes.iter().flatten().map(|&s| s as f64).collect();
     let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;
@@ -106,17 +103,14 @@ pub fn measure_sync_robust(
     seed: SeedTree,
 ) -> SyncMeasurement {
     let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
-        run_sync_discovery_robust(
-            network,
-            algorithm,
-            repetition,
-            starts.clone(),
-            faults.clone(),
-            config,
-            rep_seed,
-        )
-        .expect("protocol construction failed")
-        .slots_to_complete()
+        Scenario::sync(network, algorithm)
+            .robust(repetition)
+            .starts(starts.clone())
+            .with_faults(faults.clone())
+            .config(config)
+            .run(rep_seed)
+            .expect("protocol construction failed")
+            .slots_to_complete()
     });
     let slots: Vec<f64> = outcomes.iter().flatten().map(|&s| s as f64).collect();
     let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;
@@ -170,7 +164,9 @@ pub fn measure_async(
     seed: SeedTree,
 ) -> AsyncMeasurement {
     let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
-        let out = run_async_discovery(network, algorithm, config.clone(), rep_seed)
+        let out = Scenario::asynchronous(network, algorithm)
+            .config(config.clone())
+            .run(rep_seed)
             .expect("protocol construction failed");
         out.min_full_frames_at_completion().map(|frames| {
             let wall = out

@@ -84,7 +84,7 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mmhew_discovery::run_sync_discovery;
+    use mmhew_discovery::Scenario;
 
     #[test]
     fn unreliable_runs_are_seed_stable() {
@@ -96,14 +96,15 @@ mod tests {
             .build(SeedTree::new(0))
             .expect("ring networks are always valid");
         let run_once = || {
-            run_sync_discovery(
+            Scenario::sync(
                 &net,
                 SyncAlgorithm::Uniform(SyncParams::new(2).expect("positive")),
-                StartSchedule::Identical,
+            )
+            .config(
                 SyncRunConfig::until_complete(500_000)
                     .with_impairments(Impairments::with_delivery_probability(0.5)),
-                SeedTree::new(77),
             )
+            .run(SeedTree::new(77))
             .expect("run")
         };
         let a = run_once();

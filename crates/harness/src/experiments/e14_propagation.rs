@@ -10,8 +10,8 @@
 use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{run_sync_discovery, tables_are_sound, SyncAlgorithm, SyncParams};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::{tables_are_sound, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
 use mmhew_topology::{NetworkBuilder, Propagation};
 use mmhew_util::{SeedTree, Summary};
 
@@ -57,13 +57,12 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             .expect("unit disk is valid");
         let delta = net.max_degree().max(1) as u64;
         let results = parallel_reps(reps, seed.branch("run").index(i as u64), |_rep, s| {
-            let out = run_sync_discovery(
+            let out = Scenario::sync(
                 &net,
                 SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
-                StartSchedule::Identical,
-                SyncRunConfig::until_complete(2_000_000),
-                s,
             )
+            .config(SyncRunConfig::until_complete(2_000_000))
+            .run(s)
             .expect("run");
             (
                 out.slots_to_complete(),

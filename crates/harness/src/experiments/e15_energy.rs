@@ -12,8 +12,8 @@
 use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{run_sync_discovery, SyncAlgorithm, SyncParams};
-use mmhew_engine::{EnergyModel, StartSchedule, SyncRunConfig};
+use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::{EnergyModel, SyncRunConfig};
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::{Network, NetworkBuilder};
 use mmhew_util::Histogram;
@@ -27,14 +27,10 @@ fn measure_energy(
 ) -> (Summary, Summary, Vec<f64>) {
     let model = EnergyModel::default();
     let results = parallel_reps(reps, seed, |_rep, s| {
-        let out = run_sync_discovery(
-            net,
-            alg,
-            StartSchedule::Identical,
-            SyncRunConfig::until_complete(3_000_000),
-            s,
-        )
-        .expect("valid protocols");
+        let out = Scenario::sync(net, alg)
+            .config(SyncRunConfig::until_complete(3_000_000))
+            .run(s)
+            .expect("valid protocols");
         let per_node: Vec<f64> = out.action_counts().iter().map(|c| model.cost(c)).collect();
         (
             out.slots_to_complete().expect("completed") as f64,

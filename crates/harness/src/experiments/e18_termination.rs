@@ -11,8 +11,8 @@
 use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{run_sync_discovery_terminating, SyncAlgorithm, SyncParams};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::NetworkBuilder;
 use mmhew_util::{SeedTree, Summary};
@@ -44,14 +44,13 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
     let mut miss_rates = Vec::new();
     for (i, &q) in thresholds.iter().enumerate() {
         let results = parallel_reps(reps, seed.branch("run").index(i as u64), |_rep, s| {
-            let out = run_sync_discovery_terminating(
+            let out = Scenario::sync(
                 &net,
                 SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive")),
-                q,
-                StartSchedule::Identical,
-                SyncRunConfig::until_all_terminated(3_000_000),
-                s,
             )
+            .terminating(q)
+            .config(SyncRunConfig::until_all_terminated(3_000_000))
+            .run(s)
             .expect("valid protocols");
             let missed = out
                 .link_coverage()

@@ -12,10 +12,8 @@
 use crate::experiment::{Effort, ExperimentReport};
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{
-    alg3_link_coverage_probability, run_sync_discovery, SyncAlgorithm, SyncParams,
-};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::{alg3_link_coverage_probability, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::{Link, NetworkBuilder};
 use mmhew_util::{quantile, SeedTree};
@@ -35,13 +33,12 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
 
     // Measure per-link mean first-coverage slots.
     let per_rep: Vec<Vec<(Link, u64)>> = parallel_reps(reps, seed.branch("run"), |_rep, s| {
-        let out = run_sync_discovery(
+        let out = Scenario::sync(
             &net,
             SyncAlgorithm::Uniform(SyncParams::new(delta_est).expect("positive")),
-            StartSchedule::Identical,
-            SyncRunConfig::until_complete(5_000_000),
-            s,
         )
+        .config(SyncRunConfig::until_complete(5_000_000))
+        .run(s)
         .expect("valid protocols");
         out.link_coverage()
             .iter()

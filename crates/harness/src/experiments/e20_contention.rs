@@ -16,8 +16,8 @@ use crate::experiment::{Effort, ExperimentReport};
 use crate::plot::AsciiPlot;
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{run_sync_discovery_observed, Bounds, SyncAlgorithm, SyncParams};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_discovery::{Bounds, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
 use mmhew_obs::MetricsSink;
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_topology::NetworkBuilder;
@@ -66,15 +66,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             seed.branch("run").index(shared as u64),
             |_rep, rep_seed| {
                 let mut sink = MetricsSink::with_collision_series(window);
-                let outcome = run_sync_discovery_observed(
-                    &net,
-                    algorithm,
-                    StartSchedule::Identical,
-                    SyncRunConfig::until_complete(budget),
-                    rep_seed,
-                    &mut sink,
-                )
-                .expect("protocol construction failed");
+                let outcome = Scenario::sync(&net, algorithm)
+                    .config(SyncRunConfig::until_complete(budget))
+                    .with_sink(&mut sink)
+                    .run(rep_seed)
+                    .expect("protocol construction failed");
                 (outcome.slots_to_complete(), sink)
             },
         );

@@ -13,7 +13,7 @@ use crate::experiment::{Effort, ExperimentReport};
 use crate::plot::AsciiPlot;
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{run_sync_discovery_dynamic, Bounds, SyncAlgorithm, SyncParams};
+use mmhew_discovery::{Bounds, Scenario, SyncAlgorithm, SyncParams};
 use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
 use mmhew_engine::{StartSchedule, SyncRunConfig};
 use mmhew_topology::{NetworkBuilder, NetworkEvent, NodeId};
@@ -92,18 +92,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             reps,
             seed.branch("run").index(d as u64),
             |_rep, rep_seed| {
-                run_sync_discovery_dynamic(
-                    &net,
-                    algorithm,
-                    StartSchedule::Explicit(starts.clone()),
-                    schedule.clone(),
-                    SyncRunConfig::until_complete(budget),
-                    rep_seed,
-                )
-                .expect("protocol construction failed")
-                // latest_start is exactly the join slot, so this is the
-                // re-discovery latency Theorem 3 bounds.
-                .slots_to_complete()
+                Scenario::sync(&net, algorithm)
+                    .starts(StartSchedule::Explicit(starts.clone()))
+                    .with_dynamics(schedule.clone())
+                    .config(SyncRunConfig::until_complete(budget))
+                    .run(rep_seed)
+                    .expect("protocol construction failed")
+                    // latest_start is exactly the join slot, so this is the
+                    // re-discovery latency Theorem 3 bounds.
+                    .slots_to_complete()
             },
         );
         let latencies: Vec<f64> = runs.iter().filter_map(|s| s.map(|v| v as f64)).collect();

@@ -17,9 +17,9 @@ use crate::experiment::{Effort, ExperimentReport};
 use crate::plot::AsciiPlot;
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{run_sync_discovery_dynamic, SyncAlgorithm, SyncParams};
+use mmhew_discovery::{Scenario, SyncAlgorithm, SyncParams};
 use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
-use mmhew_engine::{StartSchedule, SyncRunConfig};
+use mmhew_engine::SyncRunConfig;
 use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
 use mmhew_topology::{NetworkBuilder, NetworkEvent, NodeId};
 use mmhew_util::{SeedTree, Summary};
@@ -82,15 +82,11 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             reps,
             seed.branch("run").index(s as u64),
             |_rep, rep_seed| {
-                let outcome = run_sync_discovery_dynamic(
-                    &net,
-                    algorithm,
-                    StartSchedule::Identical,
-                    schedule.clone(),
-                    SyncRunConfig::until_complete(budget),
-                    rep_seed,
-                )
-                .expect("protocol construction failed");
+                let outcome = Scenario::sync(&net, algorithm)
+                    .with_dynamics(schedule.clone())
+                    .config(SyncRunConfig::until_complete(budget))
+                    .run(rep_seed)
+                    .expect("protocol construction failed");
                 // Both link directions were covered long before T1 and dropped
                 // by the resync, so completion is re-establishment.
                 outcome.completion_slot().map(|c| c - t2 + 1)

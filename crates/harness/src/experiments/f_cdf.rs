@@ -10,10 +10,8 @@ use crate::experiment::{Effort, ExperimentReport};
 use crate::plot::AsciiPlot;
 use crate::sweep::parallel_reps;
 use crate::table::{fmt_f64, Table};
-use mmhew_discovery::{
-    run_async_discovery, run_sync_discovery, AsyncAlgorithm, AsyncParams, SyncAlgorithm, SyncParams,
-};
-use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
+use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::{AsyncRunConfig, SyncRunConfig};
 use mmhew_time::LocalDuration;
 use mmhew_topology::NetworkBuilder;
 use mmhew_util::{quantile, SeedTree};
@@ -33,14 +31,10 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
 
     let sync_cover = |alg: SyncAlgorithm, tag: &str| -> Vec<f64> {
         parallel_reps(reps, seed.branch(tag), |_rep, s| {
-            let out = run_sync_discovery(
-                &net,
-                alg,
-                StartSchedule::Identical,
-                SyncRunConfig::until_complete(1_000_000),
-                s,
-            )
-            .expect("run");
+            let out = Scenario::sync(&net, alg)
+                .config(SyncRunConfig::until_complete(1_000_000))
+                .run(s)
+                .expect("run");
             out.link_coverage()
                 .iter()
                 .filter_map(|(_, t)| t.map(|v| v as f64))
@@ -60,13 +54,15 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
         "alg3",
     );
     let frames: Vec<f64> = parallel_reps(reps, seed.branch("alg4"), |_rep, s| {
-        let out = run_async_discovery(
+        let out = Scenario::asynchronous(
             &net,
             AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+        )
+        .config(
             AsyncRunConfig::until_complete(1_000_000)
                 .with_frame_len(LocalDuration::from_nanos(FRAME_LEN)),
-            s,
         )
+        .run(s)
         .expect("run");
         out.link_coverage()
             .iter()

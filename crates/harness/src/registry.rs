@@ -48,29 +48,34 @@ pub fn by_id(id: &str) -> Option<ExperimentFn> {
 }
 
 /// Standard main body for the per-experiment binaries: parses
-/// `--full`/`--seed <n>`/`--csv <path>` from the command line, runs the
-/// experiment and prints the report.
+/// `--quick`/`--full`/`--jobs <n>`/`--seed <n>`/`--csv <path>` through
+/// the shared [`crate::cli`] parser (anything else is rejected as a
+/// misspelling), runs the experiment and prints the report.
 ///
 /// # Panics
 ///
 /// Panics if `id` is unknown or CSV writing fails.
 pub fn run_binary(id: &str) {
     let f = by_id(id).unwrap_or_else(|| panic!("unknown experiment {id}"));
-    let effort = Effort::from_args();
-    let args: Vec<String> = std::env::args().collect();
-    let seed = args
-        .iter()
-        .position(|a| a == "--seed")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_260_706);
-    let report = f(effort, seed);
+    let (args, jobs, seed) = match crate::cli::Args::parse().and_then(|a| {
+        a.expect_only(&["seed", "csv"], &[])?;
+        let jobs = a.jobs()?;
+        let seed = a.get_or("seed", 20_260_706u64)?;
+        Ok((a, jobs, seed))
+    }) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{id}: {e}");
+            eprintln!("usage: [--quick|--full] [--jobs N] [--seed N] [--csv PATH]");
+            std::process::exit(2);
+        }
+    };
+    if let Some(jobs) = jobs {
+        crate::sweep::set_jobs(jobs);
+    }
+    let report = f(args.effort(), seed);
     report.print();
-    if let Some(path) = args
-        .iter()
-        .position(|a| a == "--csv")
-        .and_then(|i| args.get(i + 1))
-    {
+    if let Some(path) = args.raw("csv") {
         report
             .write_csv(std::path::Path::new(path))
             .expect("failed to write CSV");

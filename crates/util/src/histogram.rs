@@ -107,6 +107,35 @@ impl Histogram {
         self.overflow += other.overflow;
     }
 
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// within the containing bin. Underflow mass is attributed to `lo`
+    /// and overflow mass to `hi`; returns `NaN` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `q` is in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = q * total as f64;
+        let mut seen = self.underflow as f64;
+        if rank <= seen {
+            return self.lo;
+        }
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = seen + c as f64;
+            if rank <= next && c > 0 {
+                let (a, b) = self.bin_range(i);
+                return a + (b - a) * ((rank - seen) / c as f64);
+            }
+            seen = next;
+        }
+        self.hi
+    }
+
     /// Observations below `lo`.
     pub fn underflow(&self) -> u64 {
         self.underflow

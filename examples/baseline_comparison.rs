@@ -35,13 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mean = |alg: SyncAlgorithm, tag: &str| -> Result<f64, ProtocolError> {
             let mut total = 0.0;
             for rep in 0..reps {
-                let outcome = run_sync_discovery(
-                    &network,
-                    alg,
-                    StartSchedule::Identical,
-                    SyncRunConfig::until_complete(2_000_000),
-                    seed.branch(tag).index(universe as u64).index(rep),
-                )?;
+                let outcome = Scenario::sync(&network, alg)
+                    .config(SyncRunConfig::until_complete(2_000_000))
+                    .run(seed.branch(tag).index(universe as u64).index(rep))?;
                 total += outcome.slots_to_complete().expect("completed") as f64;
             }
             Ok(total / reps as f64)

@@ -69,14 +69,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Incumbents start at slot 0; the joiner's protocol wakes at the
     // slot its `NodeJoin` event fires.
     let starts: Vec<u64> = (0..6).map(|i| if i == 5 { join_slot } else { 0 }).collect();
-    let outcome = run_sync_discovery_dynamic(
-        &network,
-        SyncAlgorithm::Uniform(SyncParams::new(delta)?),
-        StartSchedule::Explicit(starts),
-        schedule,
-        SyncRunConfig::until_complete(join_slot + bound.ceil() as u64 * 4),
-        seed.branch("run"),
-    )?;
+    let outcome = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
+        .starts(StartSchedule::Explicit(starts))
+        .with_dynamics(schedule)
+        .config(SyncRunConfig::until_complete(
+            join_slot + bound.ceil() as u64 * 4,
+        ))
+        .run(seed.branch("run"))?;
 
     // `slots_to_complete` counts from the *latest* start — the join slot —
     // so it is exactly the re-discovery latency Theorem 3 bounds.

@@ -59,13 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Nobody knows Δ here — Algorithm 2 estimates it online.
-    let outcome = run_sync_discovery(
-        &network,
-        SyncAlgorithm::Adaptive,
-        StartSchedule::Identical,
-        SyncRunConfig::until_complete(5_000_000),
-        seed.branch("run"),
-    )?;
+    let outcome = Scenario::sync(&network, SyncAlgorithm::Adaptive)
+        .config(SyncRunConfig::until_complete(5_000_000))
+        .run(seed.branch("run"))?;
 
     println!(
         "\nAlgorithm 2 (no degree knowledge) completed in {} slots",

@@ -34,13 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let mut slots = Vec::new();
         for rep in 0..reps {
-            let outcome = run_sync_discovery(
-                &network,
-                SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-                StartSchedule::Identical,
-                SyncRunConfig::until_complete(2_000_000),
-                seed.branch("run").index(shared as u64).index(rep),
-            )?;
+            let outcome =
+                Scenario::sync(&network, SyncAlgorithm::Staged(SyncParams::new(delta_est)?))
+                    .config(SyncRunConfig::until_complete(2_000_000))
+                    .run(seed.branch("run").index(shared as u64).index(rep))?;
             slots.push(outcome.slots_to_complete().expect("completed") as f64);
         }
         let summary = Summary::from_samples(&slots);

@@ -39,14 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_jamming(JamSchedule::sweeping(universe, 200, 50_000))
         .with_crashes(CrashSchedule::outage(NodeId::new(5), 0, 300));
 
-    let outcome = run_sync_discovery_faulted(
-        &network,
-        SyncAlgorithm::Uniform(SyncParams::new(delta)?),
-        StartSchedule::Identical,
-        plan,
-        SyncRunConfig::until_complete(500_000),
-        seed.branch("hostile"),
-    )?;
+    let outcome = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
+        .with_faults(plan)
+        .config(SyncRunConfig::until_complete(500_000))
+        .run(seed.branch("hostile"))?;
     let slots = outcome.slots_to_complete().expect("completed");
     println!("hostile spectrum: jammer sweep + bursty links + crashed node");
     println!(
@@ -60,42 +56,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Part 2: the repetition factor --------------------------------
     // Calibrate a budget on a clean channel, then impose 70% loss.
-    let clean = run_sync_discovery(
-        &network,
-        SyncAlgorithm::Uniform(SyncParams::new(delta)?),
-        StartSchedule::Identical,
-        SyncRunConfig::until_complete(500_000),
-        seed.branch("clean"),
-    )?;
+    let clean = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
+        .config(SyncRunConfig::until_complete(500_000))
+        .run(seed.branch("clean"))?;
     let budget = 2 * clean.slots_to_complete().expect("completed");
     let p_loss = 0.7;
     let lossy = FaultPlan::new().with_default_loss(LinkLossModel::Bernoulli {
         delivery_probability: 1.0 - p_loss,
     });
 
-    let unwrapped = run_sync_discovery_faulted(
-        &network,
-        SyncAlgorithm::Uniform(SyncParams::new(delta)?),
-        StartSchedule::Identical,
-        lossy.clone(),
-        SyncRunConfig::until_complete(budget),
-        seed.branch("unwrapped"),
-    )?;
+    let unwrapped = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
+        .with_faults(lossy.clone())
+        .config(SyncRunConfig::until_complete(budget))
+        .run(seed.branch("unwrapped"))?;
     println!(
         "\n70% loss, budget {budget} slots: unwrapped completed = {}",
         unwrapped.completed()
     );
 
     let r = repetition_factor(network.node_count(), 0.1, p_loss);
-    let robust = run_sync_discovery_robust(
-        &network,
-        SyncAlgorithm::Uniform(SyncParams::new(delta)?),
-        r,
-        StartSchedule::Identical,
-        lossy,
-        SyncRunConfig::until_complete(r * budget),
-        seed.branch("robust"),
-    )?;
+    let robust = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
+        .robust(r)
+        .with_faults(lossy)
+        .config(SyncRunConfig::until_complete(r * budget))
+        .run(seed.branch("robust"))?;
     println!(
         "robust r={r} (ε=0.1), budget {} slots: completed = {}",
         r * budget,

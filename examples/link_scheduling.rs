@@ -34,13 +34,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let delta_est = network.max_degree().max(1) as u64;
 
     // Phase 1: neighbor discovery (Algorithm 1).
-    let outcome = run_sync_discovery(
-        &network,
-        SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-        StartSchedule::Identical,
-        SyncRunConfig::until_complete(3_000_000),
-        seed.branch("discovery"),
-    )?;
+    let outcome = Scenario::sync(&network, SyncAlgorithm::Staged(SyncParams::new(delta_est)?))
+        .config(SyncRunConfig::until_complete(3_000_000))
+        .run(seed.branch("discovery"))?;
     assert!(outcome.completed());
     println!(
         "discovery: {} links found in {} slots",

@@ -39,13 +39,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run Algorithm 1: synchronous, identical start times, known Δ_est.
-    let outcome = run_sync_discovery(
-        &network,
-        SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-        StartSchedule::Identical,
-        SyncRunConfig::until_complete(1_000_000),
-        seed.branch("run"),
-    )?;
+    let outcome = Scenario::sync(&network, SyncAlgorithm::Staged(SyncParams::new(delta_est)?))
+        .config(SyncRunConfig::until_complete(1_000_000))
+        .run(seed.branch("run"))?;
 
     println!(
         "\ndiscovery completed in {} slots ({} deliveries, {} collisions)",

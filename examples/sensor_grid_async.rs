@@ -45,12 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             window: RealDuration::from_nanos(100_000),
         });
 
-    let outcome = run_async_discovery(
+    let outcome = Scenario::asynchronous(
         &network,
         AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
-        config,
-        seed.branch("run"),
-    )?;
+    )
+    .config(config)
+    .run(seed.branch("run"))?;
 
     let bounds = Bounds::from_network(&network, delta_est, 0.01);
     let frames = outcome

@@ -11,7 +11,6 @@
 //! cargo run --release --example terminating_deployment
 //! ```
 
-use mmhew::discovery::run_sync_discovery_terminating;
 use mmhew::engine::EnergyModel;
 use mmhew::prelude::*;
 
@@ -34,14 +33,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for quiet_slots in [50u64, 500, 5_000] {
-        let outcome = run_sync_discovery_terminating(
+        let outcome = Scenario::sync(
             &network,
             SyncAlgorithm::Uniform(SyncParams::new(delta_est)?),
-            quiet_slots,
-            StartSchedule::Staggered { window: 200 },
-            SyncRunConfig::until_all_terminated(5_000_000),
-            seed.branch("run").index(quiet_slots),
-        )?;
+        )
+        .terminating(quiet_slots)
+        .starts(StartSchedule::Staggered { window: 200 })
+        .config(SyncRunConfig::until_all_terminated(5_000_000))
+        .run(seed.branch("run").index(quiet_slots))?;
         let missed = outcome
             .link_coverage()
             .iter()

@@ -28,18 +28,15 @@
 //!
 //! // Run Algorithm 1 (synchronous, identical starts, known degree bound).
 //! let delta_est = network.max_degree().max(1) as u64;
-//! let outcome = run_sync_discovery(
-//!     &network,
-//!     SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-//!     StartSchedule::Identical,
-//!     SyncRunConfig::until_complete(1_000_000),
-//!     seed.branch("run"),
-//! )?;
+//! let outcome = Scenario::sync(&network, SyncAlgorithm::Staged(SyncParams::new(delta_est)?))
+//!     .config(SyncRunConfig::until_complete(1_000_000))
+//!     .run(seed.branch("run"))?;
 //! assert!(outcome.completed());
 //! assert!(tables_match_ground_truth(&network, outcome.tables()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub use mmhew_campaign as campaign;
 pub use mmhew_discovery as discovery;
 pub use mmhew_dynamics as dynamics;
 pub use mmhew_engine as engine;
@@ -55,13 +52,18 @@ pub use mmhew_util as util;
 /// The most commonly used items, for glob import in examples and tests.
 pub mod prelude {
     pub use mmhew_discovery::{
-        repetition_factor, run_async_discovery, run_async_discovery_dynamic,
-        run_async_discovery_faulted, run_async_discovery_observed, run_continuous_discovery,
-        run_sync_discovery, run_sync_discovery_dynamic, run_sync_discovery_faulted,
-        run_sync_discovery_observed, run_sync_discovery_robust, staleness, tables_are_sound,
-        tables_match_ground_truth, AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery,
-        AsyncParams, Bounds, ContinuousConfig, ContinuousDiscovery, ProtocolError, RobustDiscovery,
-        StagedDiscovery, StalenessReport, SyncAlgorithm, SyncParams, UniformDiscovery,
+        repetition_factor, staleness, tables_are_sound, tables_match_ground_truth,
+        AdaptiveDiscovery, AsyncAlgorithm, AsyncFrameDiscovery, AsyncParams, AsyncScenario, Bounds,
+        ContinuousConfig, ContinuousDiscovery, ProtocolError, RobustDiscovery, Scenario,
+        StagedDiscovery, StalenessReport, SyncAlgorithm, SyncParams, SyncScenario,
+        UniformDiscovery,
+    };
+    #[allow(deprecated)] // compatibility: the legacy runner shims stay glob-importable
+    pub use mmhew_discovery::{
+        run_async_discovery, run_async_discovery_dynamic, run_async_discovery_faulted,
+        run_async_discovery_observed, run_continuous_discovery, run_sync_discovery,
+        run_sync_discovery_dynamic, run_sync_discovery_faulted, run_sync_discovery_observed,
+        run_sync_discovery_robust,
     };
     pub use mmhew_dynamics::{
         markov_primary_users, poisson_churn, random_waypoint, ChurnConfig, DynamicsSchedule,

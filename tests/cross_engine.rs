@@ -2,6 +2,10 @@
 //! zero offsets and identical starts degenerates into a frame-granular
 //! slotted process, so its statistics must agree with a synchronous run of
 //! the equivalent protocol.
+// These suites predate the `Scenario` builder and deliberately keep
+// calling the deprecated `run_*` shims: they are the compatibility
+// contract that the shims must keep honoring until removal.
+#![allow(deprecated)]
 
 use mmhew::prelude::*;
 

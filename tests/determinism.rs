@@ -1,5 +1,9 @@
 //! Reproducibility: every simulation is a pure function of its master
 //! seed, across both engines and all layers of the stack.
+// These suites predate the `Scenario` builder and deliberately keep
+// calling the deprecated `run_*` shims: they are the compatibility
+// contract that the shims must keep honoring until removal.
+#![allow(deprecated)]
 
 use mmhew::prelude::*;
 

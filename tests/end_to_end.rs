@@ -1,6 +1,10 @@
 //! End-to-end correctness: every algorithm × every topology family ×
 //! every availability model completes and reproduces the ground truth
 //! exactly.
+// These suites predate the `Scenario` builder and deliberately keep
+// calling the deprecated `run_*` shims: they are the compatibility
+// contract that the shims must keep honoring until removal.
+#![allow(deprecated)]
 
 use mmhew::prelude::*;
 

@@ -1,5 +1,9 @@
 //! Adversarial and degraded configurations: the system must degrade
 //! predictably, never silently corrupt results.
+// These suites predate the `Scenario` builder and deliberately keep
+// calling the deprecated `run_*` shims: they are the compatibility
+// contract that the shims must keep honoring until removal.
+#![allow(deprecated)]
 
 use mmhew::prelude::*;
 

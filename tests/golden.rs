@@ -9,6 +9,10 @@
 //! If a change *intentionally* alters the trace (e.g. an algorithm fix
 //! that draws randomness differently), update the constants here and note
 //! it in the changelog — that is a reproducibility-breaking release.
+// These suites predate the `Scenario` builder and deliberately keep
+// calling the deprecated `run_*` shims: they are the compatibility
+// contract that the shims must keep honoring until removal.
+#![allow(deprecated)]
 
 use mmhew::prelude::*;
 

@@ -1,6 +1,10 @@
 //! Observability guarantees: traces are deterministic, metrics reconcile
 //! exactly with engine outcomes, and both engines speak the shared event
 //! vocabulary.
+// These suites predate the `Scenario` builder and deliberately keep
+// calling the deprecated `run_*` shims: they are the compatibility
+// contract that the shims must keep honoring until removal.
+#![allow(deprecated)]
 
 use mmhew::obs::CollectSink;
 use mmhew::prelude::*;

@@ -1,0 +1,143 @@
+//! Migration gate: no non-shim workspace code may call the deprecated
+//! `run_*` discovery entry points. The shims live on only as a
+//! compatibility surface — `crates/core/src/runner.rs` defines them, the
+//! umbrella prelude and `mmhew-discovery`'s root re-export them, and the
+//! integration-test suites exercise them deliberately. Everything else
+//! must go through the `Scenario` builder; this test fails the build (CI
+//! runs it alongside clippy's `-D warnings` deprecation lint) if a legacy
+//! call sneaks back into library, binary, bench, or example code.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Identifier prefixes of the deprecated runner matrix. Prefix matching
+/// covers the whole family (`run_sync_discovery_faulted_observed`, …).
+const LEGACY_PREFIXES: &[&str] = &[
+    "run_sync_discovery",
+    "run_async_discovery",
+    "run_continuous_discovery",
+];
+
+/// Files allowed to mention the legacy names: the shim definitions and the
+/// two designated re-export surfaces.
+const ALLOWED: &[&str] = &[
+    "crates/core/src/runner.rs",
+    "crates/core/src/lib.rs",
+    "src/lib.rs",
+];
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            // Integration-test trees are the compatibility contract and
+            // may keep calling the shims (under `#![allow(deprecated)]`).
+            if name == "target" || name == "tests" || name == ".git" {
+                continue;
+            }
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Strips line comments so doc references to the legacy names (migration
+/// notes, deprecation messages) don't trip the gate.
+fn code_lines(source: &str) -> impl Iterator<Item = (usize, &str)> {
+    source.lines().enumerate().filter_map(|(i, line)| {
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            return None;
+        }
+        let code = line.split("//").next().unwrap_or(line);
+        Some((i + 1, code))
+    })
+}
+
+fn is_identifier_use(code: &str, start: usize) -> bool {
+    // Reject matches embedded in a longer identifier on the left; the
+    // prefix match already accepts longer names on the right.
+    if start > 0 {
+        let before = code.as_bytes()[start - 1];
+        if before == b'_' || before.is_ascii_alphanumeric() {
+            return false;
+        }
+        // A quoted mention (deprecation note, log string) is not a call.
+        if before == b'"' {
+            return false;
+        }
+    }
+    true
+}
+
+#[test]
+fn no_workspace_code_calls_the_deprecated_runner_matrix() {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for dir in ["src", "examples", "crates"] {
+        rust_files(&root.join(dir), &mut files);
+    }
+    files.sort();
+    assert!(
+        files.len() > 20,
+        "gate walked suspiciously few files ({}) — directory layout changed?",
+        files.len()
+    );
+
+    let allowed: Vec<PathBuf> = ALLOWED.iter().map(|p| root.join(p)).collect();
+    let mut violations = Vec::new();
+    for file in &files {
+        if allowed.iter().any(|a| a == file) {
+            continue;
+        }
+        let Ok(source) = fs::read_to_string(file) else {
+            continue;
+        };
+        for (line_no, code) in code_lines(&source) {
+            for prefix in LEGACY_PREFIXES {
+                let mut from = 0;
+                while let Some(pos) = code[from..].find(prefix) {
+                    let at = from + pos;
+                    if is_identifier_use(code, at) {
+                        violations.push(format!(
+                            "{}:{line_no}: references `{prefix}…` — use the Scenario builder",
+                            file.strip_prefix(&root).unwrap_or(file).display()
+                        ));
+                        break;
+                    }
+                    from = at + prefix.len();
+                }
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "deprecated runner calls outside the shim surface:\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn the_shim_surface_still_exists() {
+    // The allow-list must track reality: if the shims move, update both
+    // the list above and this test.
+    let root = workspace_root();
+    for path in ALLOWED {
+        let full = root.join(path);
+        let source = fs::read_to_string(&full)
+            .unwrap_or_else(|_| panic!("allow-listed file {path} is missing"));
+        assert!(
+            LEGACY_PREFIXES.iter().any(|p| source.contains(p)),
+            "{path} no longer mentions the legacy runners — trim the allow-list"
+        );
+    }
+}
