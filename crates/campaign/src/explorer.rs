@@ -1,0 +1,600 @@
+//! Static campaign explorer: manifest JSONL → one self-contained HTML
+//! page.
+//!
+//! [`render_explorer`] reads the per-point records a campaign streams
+//! into `<name>.manifest.jsonl` and renders a single HTML document with
+//! no external assets: inline CSS, inline SVG quantile charts (one per
+//! *swept* axis — an axis whose values actually vary across points), and
+//! a point table whose last column is the exact `campaign … --point N`
+//! command that reproduces any row's manifest line in isolation.
+//!
+//! The page is a pure function of the manifest text and the
+//! [`ExplorerOptions`], so regenerating it from the same campaign yields
+//! byte-identical HTML — it can be committed, diffed, and served from
+//! anywhere (CI artifacts, a gist, `python -m http.server`).
+//!
+//! Tolerances mirror the campaign's own manifest loader: unversioned
+//! lines (written before `schema_version` existed) load fine, a torn or
+//! garbled line is skipped, and a line stamped with a *newer* schema than
+//! this build understands is a hard error.
+
+use crate::json::{self, Value};
+use crate::run::MANIFEST_SCHEMA_VERSION;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Explorer failures: an unusable manifest (empty, or written by a newer
+/// schema).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExplorerError {
+    message: String,
+}
+
+impl fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ExplorerError {}
+
+fn explorer_error(message: impl Into<String>) -> ExplorerError {
+    ExplorerError {
+        message: message.into(),
+    }
+}
+
+/// How to label the generated page.
+#[derive(Debug, Clone)]
+pub struct ExplorerOptions {
+    /// Page title, typically the campaign name.
+    pub title: String,
+    /// Replay command prefix, e.g. `campaign --spec sweep.json` or
+    /// `campaign --smoke`; the table appends ` --point N` per row.
+    pub replay: String,
+}
+
+impl ExplorerOptions {
+    /// Options with the given title and replay prefix.
+    pub fn new(title: impl Into<String>, replay: impl Into<String>) -> Self {
+        Self {
+            title: title.into(),
+            replay: replay.into(),
+        }
+    }
+}
+
+/// One manifest line, decoded. Missing or non-numeric statistics decode
+/// as NaN (rendered as an em dash, excluded from charts) so a point whose
+/// repetitions all exhausted the budget still gets a table row.
+struct PointSummary {
+    id: u64,
+    params: Vec<(String, f64)>,
+    completed: u64,
+    failures: u64,
+    mean: f64,
+    p50: f64,
+    p90: f64,
+    p99: f64,
+}
+
+fn num(v: Option<&Value>) -> f64 {
+    v.and_then(Value::as_f64).unwrap_or(f64::NAN)
+}
+
+fn decode_params(v: Option<&Value>) -> Vec<(String, f64)> {
+    let Some(items) = v.and_then(Value::as_arr) else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|pair| {
+            let pair = pair.as_arr()?;
+            let name = pair.first()?.as_str()?;
+            let value = pair.get(1)?.as_f64()?;
+            Some((name.to_string(), value))
+        })
+        .collect()
+}
+
+/// Decodes the manifest into point summaries sorted by id (a later line
+/// for the same id wins, matching the campaign's resume semantics).
+fn parse_manifest(manifest: &str) -> Result<Vec<PointSummary>, ExplorerError> {
+    let mut points: BTreeMap<u64, PointSummary> = BTreeMap::new();
+    for line in manifest.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        // A torn trailing line (crash mid-append) is expected; skip
+        // anything unparseable rather than refusing the whole page.
+        let Ok(v) = json::parse(line) else { continue };
+        let version = v.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
+        if version > MANIFEST_SCHEMA_VERSION as u64 {
+            return Err(explorer_error(format!(
+                "manifest has schema_version {version}, newer than the supported \
+                 {MANIFEST_SCHEMA_VERSION}"
+            )));
+        }
+        let Some(id) = v.get("point").and_then(Value::as_u64) else {
+            continue;
+        };
+        points.insert(
+            id,
+            PointSummary {
+                id,
+                params: decode_params(v.get("params")),
+                completed: v.get("completed").and_then(Value::as_u64).unwrap_or(0),
+                failures: v.get("failures").and_then(Value::as_u64).unwrap_or(0),
+                mean: num(v.get("mean")),
+                p50: num(v.get("p50")),
+                p90: num(v.get("p90")),
+                p99: num(v.get("p99")),
+            },
+        );
+    }
+    if points.is_empty() {
+        return Err(explorer_error(
+            "manifest contains no point records; run the campaign first",
+        ));
+    }
+    Ok(points.into_values().collect())
+}
+
+/// Every axis name, in first-appearance order.
+fn axis_names(points: &[PointSummary]) -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    for p in points {
+        for (name, _) in &p.params {
+            if !names.contains(name) {
+                names.push(name.clone());
+            }
+        }
+    }
+    names
+}
+
+fn axis_value(p: &PointSummary, axis: &str) -> Option<f64> {
+    p.params.iter().find(|(n, _)| n == axis).map(|(_, v)| *v)
+}
+
+/// Axes whose value actually varies across points — each gets a chart.
+fn swept_axes(points: &[PointSummary]) -> Vec<String> {
+    axis_names(points)
+        .into_iter()
+        .filter(|axis| {
+            let mut distinct: Vec<u64> = points
+                .iter()
+                .filter_map(|p| axis_value(p, axis))
+                .map(f64::to_bits)
+                .collect();
+            distinct.sort_unstable();
+            distinct.dedup();
+            distinct.len() > 1
+        })
+        .collect()
+}
+
+/// Minimal HTML escaping for text and attribute positions.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Compact numeric display: integers verbatim, everything else with at
+/// most three decimals, NaN as an em dash.
+fn fmt_num(v: f64) -> String {
+    if !v.is_finite() {
+        return "—".to_string();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{v:.3}");
+    s.trim_end_matches('0').trim_end_matches('.').to_string()
+}
+
+/// Rounds up to 1/2/5 × 10^k for calm chart ceilings.
+fn nice_ceil(v: f64) -> f64 {
+    if !(v > 0.0) {
+        return 1.0;
+    }
+    let mag = 10f64.powf(v.log10().floor());
+    let n = v / mag;
+    let factor = if n <= 1.0 {
+        1.0
+    } else if n <= 2.0 {
+        2.0
+    } else if n <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    factor * mag
+}
+
+/// The three plotted quantiles: (field label, accessor, stroke color).
+const SERIES: &[(&str, fn(&PointSummary) -> f64, &str)] = &[
+    ("p50", |p| p.p50, "#2563eb"),
+    ("p90", |p| p.p90, "#d97706"),
+    ("p99", |p| p.p99, "#dc2626"),
+];
+
+const CHART_W: f64 = 620.0;
+const CHART_H: f64 = 300.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 18.0;
+const MARGIN_T: f64 = 18.0;
+const MARGIN_B: f64 = 46.0;
+
+/// One chart: the p50/p90/p99 quantiles against `axis`. Points sharing
+/// an axis value (a grid swept over other axes too) are averaged, and
+/// the caption says over how many points each marker averages.
+fn render_axis_chart(axis: &str, points: &[PointSummary]) -> String {
+    // x → the finite quantile samples of every point at that x.
+    let mut groups: Vec<(f64, Vec<&PointSummary>)> = Vec::new();
+    for p in points {
+        let Some(x) = axis_value(p, axis) else {
+            continue;
+        };
+        match groups
+            .iter_mut()
+            .find(|(gx, _)| gx.to_bits() == x.to_bits())
+        {
+            Some((_, members)) => members.push(p),
+            None => groups.push((x, vec![p])),
+        }
+    }
+    groups.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+    // Per series, the averaged finite y at each x.
+    let curves: Vec<Vec<(f64, f64)>> = SERIES
+        .iter()
+        .map(|(_, get, _)| {
+            groups
+                .iter()
+                .filter_map(|(x, members)| {
+                    let ys: Vec<f64> = members
+                        .iter()
+                        .map(|p| get(p))
+                        .filter(|y| y.is_finite())
+                        .collect();
+                    if ys.is_empty() {
+                        None
+                    } else {
+                        Some((*x, ys.iter().sum::<f64>() / ys.len() as f64))
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let xs: Vec<f64> = groups.iter().map(|(x, _)| *x).collect();
+    let (xmin, xmax) = (xs[0], xs[xs.len() - 1]);
+    let ymax = nice_ceil(curves.iter().flatten().map(|(_, y)| *y).fold(0.0, f64::max));
+    let sx = |x: f64| MARGIN_L + (x - xmin) / (xmax - xmin) * (CHART_W - MARGIN_L - MARGIN_R);
+    let sy = |y: f64| CHART_H - MARGIN_B - y / ymax * (CHART_H - MARGIN_T - MARGIN_B);
+
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"{CHART_W}\" height=\"{CHART_H}\" \
+         role=\"img\" aria-label=\"completion-time quantiles vs {}\">\n",
+        escape(axis)
+    );
+    // Horizontal gridlines + y tick labels.
+    for i in 0..=4 {
+        let y = ymax * i as f64 / 4.0;
+        let py = sy(y);
+        svg.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{py:.1}\" x2=\"{:.1}\" y2=\"{py:.1}\" \
+             stroke=\"#e5e7eb\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" class=\"tick\">{}</text>\n",
+            CHART_W - MARGIN_R,
+            MARGIN_L - 6.0,
+            py + 4.0,
+            fmt_num(y)
+        ));
+    }
+    // X ticks at each swept value (thin the labels if the sweep is long).
+    let stride = xs.len().div_ceil(10);
+    for (i, x) in xs.iter().enumerate() {
+        let px = sx(*x);
+        svg.push_str(&format!(
+            "<line x1=\"{px:.1}\" y1=\"{:.1}\" x2=\"{px:.1}\" y2=\"{:.1}\" stroke=\"#9ca3af\"/>\n",
+            CHART_H - MARGIN_B,
+            CHART_H - MARGIN_B + 4.0
+        ));
+        if i % stride == 0 {
+            svg.push_str(&format!(
+                "<text x=\"{px:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"tick\">{}</text>\n",
+                CHART_H - MARGIN_B + 16.0,
+                fmt_num(*x)
+            ));
+        }
+    }
+    // Axis lines and labels.
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{MARGIN_T}\" x2=\"{MARGIN_L}\" y2=\"{:.1}\" stroke=\"#111\"/>\n\
+         <line x1=\"{MARGIN_L}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#111\"/>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"label\">{}</text>\n",
+        CHART_H - MARGIN_B,
+        CHART_H - MARGIN_B,
+        CHART_W - MARGIN_R,
+        CHART_H - MARGIN_B,
+        (MARGIN_L + CHART_W - MARGIN_R) / 2.0,
+        CHART_H - 8.0,
+        escape(axis)
+    ));
+    // Quantile curves with point markers, plus the legend.
+    for ((label, _, color), curve) in SERIES.iter().zip(&curves) {
+        if curve.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = curve
+            .iter()
+            .map(|(x, y)| format!("{:.1},{:.1}", sx(*x), sy(*y)))
+            .collect();
+        svg.push_str(&format!(
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            path.join(" ")
+        ));
+        for (x, y) in curve {
+            svg.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3\" fill=\"{color}\"/>\n",
+                sx(*x),
+                sy(*y)
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" class=\"legend\" fill=\"{color}\">{label}</text>\n",
+            sx(curve[curve.len() - 1].0) - 26.0,
+            sy(curve[curve.len() - 1].1) - 8.0
+        ));
+    }
+    svg.push_str("</svg>");
+
+    let averaging = groups.iter().map(|(_, m)| m.len()).max().unwrap_or(1);
+    let caption = if averaging > 1 {
+        format!(
+            "<p class=\"note\">each marker averages the {averaging} grid points sharing \
+             that <code>{}</code> value</p>",
+            escape(axis)
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "<section>\n<h2>p50 / p90 / p99 vs <code>{}</code></h2>\n{caption}{svg}\n</section>\n",
+        escape(axis)
+    )
+}
+
+/// Renders the manifest into a complete, self-contained HTML document.
+///
+/// # Errors
+///
+/// Returns [`ExplorerError`] if no point record parses, or if any line is
+/// stamped with a schema version newer than this build supports.
+pub fn render_explorer(manifest: &str, opts: &ExplorerOptions) -> Result<String, ExplorerError> {
+    let points = parse_manifest(manifest)?;
+    let axes = axis_names(&points);
+    let swept = swept_axes(&points);
+    let completed: u64 = points.iter().map(|p| p.completed).sum();
+    let failures: u64 = points.iter().map(|p| p.failures).sum();
+
+    let mut html = String::with_capacity(16 * 1024);
+    html.push_str("<!doctype html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n");
+    html.push_str("<meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n");
+    html.push_str(&format!(
+        "<title>{} — campaign explorer</title>\n",
+        escape(&opts.title)
+    ));
+    html.push_str(
+        "<style>\n\
+         body{font:14px/1.5 system-ui,sans-serif;color:#111;max-width:72rem;\
+         margin:2rem auto;padding:0 1rem}\n\
+         h1{font-size:1.4rem}h2{font-size:1.1rem;margin-top:2rem}\n\
+         .meta,.note{color:#6b7280}\n\
+         svg{background:#fff;border:1px solid #e5e7eb;max-width:100%;height:auto}\n\
+         svg .tick{font:11px system-ui,sans-serif;fill:#6b7280}\n\
+         svg .label{font:12px system-ui,sans-serif;fill:#111}\n\
+         svg .legend{font:600 12px system-ui,sans-serif}\n\
+         table{border-collapse:collapse;margin-top:.5rem}\n\
+         th,td{border:1px solid #e5e7eb;padding:.25rem .6rem;text-align:right}\n\
+         th{background:#f3f4f6}\n\
+         td.cmd{text-align:left;font-family:ui-monospace,monospace;font-size:12px}\n\
+         </style>\n</head>\n<body>\n",
+    );
+    html.push_str(&format!(
+        "<h1>campaign explorer — {}</h1>\n",
+        escape(&opts.title)
+    ));
+    html.push_str(&format!(
+        "<p class=\"meta\">{} points · {completed} completed repetitions · \
+         {failures} budget-exhausted · manifest schema v{MANIFEST_SCHEMA_VERSION} · \
+         y axes are completion times (slots for the sync engine, frames for async)</p>\n",
+        points.len()
+    ));
+
+    if swept.is_empty() {
+        html.push_str(
+            "<p class=\"note\">no axis varies across these points, so there is \
+             nothing to chart — see the table below</p>\n",
+        );
+    }
+    for axis in &swept {
+        html.push_str(&render_axis_chart(axis, &points));
+    }
+
+    html.push_str("<h2>Points</h2>\n<table>\n<thead><tr><th>point</th>");
+    for axis in &axes {
+        html.push_str(&format!("<th>{}</th>", escape(axis)));
+    }
+    html.push_str(
+        "<th>completed</th><th>failures</th><th>mean</th><th>p50</th><th>p90</th>\
+         <th>p99</th><th>replay</th></tr></thead>\n<tbody>\n",
+    );
+    for p in &points {
+        html.push_str(&format!("<tr><td>{}</td>", p.id));
+        for axis in &axes {
+            html.push_str(&format!(
+                "<td>{}</td>",
+                axis_value(p, axis).map(fmt_num).unwrap_or_default()
+            ));
+        }
+        html.push_str(&format!(
+            "<td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td><td>{}</td>\
+             <td class=\"cmd\">{} --point {}</td></tr>\n",
+            p.completed,
+            p.failures,
+            fmt_num(p.mean),
+            fmt_num(p.p50),
+            fmt_num(p.p90),
+            fmt_num(p.p99),
+            escape(&opts.replay),
+            p.id
+        ));
+    }
+    html.push_str("</tbody>\n</table>\n");
+    html.push_str(
+        "<p class=\"note\">generated by <code>campaign explore</code>; each replay \
+         command re-runs one point in isolation and prints its manifest line \
+         byte-identically</p>\n</body>\n</html>\n",
+    );
+    Ok(html)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> String {
+        // 2×2 grid over nodes × universe, universe varying fastest.
+        let mut out = String::new();
+        for (id, (n, u, p50)) in [
+            (4.0, 4.0, 100.0),
+            (4.0, 6.0, 140.0),
+            (6.0, 4.0, 180.0),
+            (6.0, 6.0, 220.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            out.push_str(&format!(
+                "{{\"schema_version\":1,\"point\":{id},\
+                 \"params\":[[\"nodes\",{n}],[\"universe\",{u}]],\
+                 \"reps\":2,\"completed\":2,\"failures\":0,\"mean\":{p50},\
+                 \"stddev\":1.0,\"min\":90.0,\"max\":240.0,\
+                 \"p50\":{p50},\"p90\":{},\"p99\":{}}}\n",
+                p50 + 10.0,
+                p50 + 20.0
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn renders_one_chart_per_swept_axis() {
+        let opts = ExplorerOptions::new("smoke", "campaign --smoke");
+        let html = render_explorer(&sample_manifest(), &opts).expect("renders");
+        assert_eq!(
+            html.matches("<svg").count(),
+            2,
+            "nodes and universe both swept"
+        );
+        assert!(html.contains("vs <code>nodes</code>"));
+        assert!(html.contains("vs <code>universe</code>"));
+        assert!(html.contains("campaign --smoke --point 3"));
+        assert!(html.contains("<table>"));
+        // Self-contained: no external fetches of any kind.
+        assert!(!html.contains("http://") && !html.contains("https://"));
+    }
+
+    #[test]
+    fn unswept_axes_get_no_chart() {
+        let manifest = "{\"point\":0,\"params\":[[\"nodes\",4],[\"loss\",0.1]],\
+                        \"completed\":1,\"failures\":0,\"mean\":10,\"p50\":10,\
+                        \"p90\":11,\"p99\":12}\n\
+                        {\"point\":1,\"params\":[[\"nodes\",8],[\"loss\",0.1]],\
+                        \"completed\":1,\"failures\":0,\"mean\":20,\"p50\":20,\
+                        \"p90\":21,\"p99\":22}\n";
+        let opts = ExplorerOptions::new("t", "campaign --spec t.json");
+        let html = render_explorer(manifest, &opts).expect("renders");
+        assert_eq!(html.matches("<svg").count(), 1, "only nodes varies");
+        // loss still appears as a table column.
+        assert!(html.contains("<th>loss</th>"));
+    }
+
+    #[test]
+    fn titles_and_commands_are_escaped() {
+        let opts = ExplorerOptions::new("a<b>&\"c\"", "campaign --spec x & y");
+        let html = render_explorer(&sample_manifest(), &opts).expect("renders");
+        assert!(html.contains("a&lt;b&gt;&amp;&quot;c&quot;"));
+        assert!(html.contains("campaign --spec x &amp; y --point 0"));
+        assert!(!html.contains("a<b>"));
+    }
+
+    #[test]
+    fn tolerates_torn_lines_and_all_failed_points() {
+        let manifest = "{\"point\":0,\"params\":[[\"nodes\",4]],\"completed\":0,\
+                        \"failures\":2,\"mean\":null,\"p50\":null,\"p90\":null,\
+                        \"p99\":null}\n\
+                        {\"point\":1,\"params\":[[\"nodes\",8]],\"completed\":2,\
+                        \"failures\":0,\"mean\":10,\"p50\":10,\"p90\":11,\"p99\":12}\n\
+                        {\"point\":2,\"par";
+        let opts = ExplorerOptions::new("t", "campaign --spec t.json");
+        let html = render_explorer(manifest, &opts).expect("renders");
+        // The all-failed point renders dashes, the torn line is dropped.
+        assert!(html.contains("<td>—</td>"));
+        assert!(!html.contains("--point 2"));
+    }
+
+    #[test]
+    fn empty_and_future_manifests_are_errors() {
+        let opts = ExplorerOptions::new("t", "campaign");
+        assert!(render_explorer("", &opts).is_err());
+        assert!(render_explorer("not json\n", &opts).is_err());
+        let future = "{\"schema_version\":99,\"point\":0,\"params\":[]}\n";
+        let err = render_explorer(future, &opts).expect_err("must refuse");
+        assert!(err.to_string().contains("newer than the supported"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let opts = ExplorerOptions::new("smoke", "campaign --smoke");
+        let manifest = sample_manifest();
+        let a = render_explorer(&manifest, &opts).expect("renders");
+        let b = render_explorer(&manifest, &opts).expect("renders");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn real_smoke_manifest_renders_end_to_end() {
+        // The acceptance path: run the built-in 4-point smoke spec through
+        // the real point runner and feed its manifest lines straight in.
+        let spec = crate::spec::SweepSpec::smoke();
+        let manifest: String = spec
+            .expand()
+            .iter()
+            .map(|p| {
+                let line = crate::run::run_point(&spec, p.id).expect("point runs");
+                format!("{line}\n")
+            })
+            .collect();
+        let opts = ExplorerOptions::new(&spec.name, "campaign --smoke");
+        let html = render_explorer(&manifest, &opts).expect("renders");
+        assert_eq!(
+            html.matches("<svg").count(),
+            2,
+            "smoke sweeps nodes × universe"
+        );
+        assert!(html.contains("campaign --smoke --point 3"));
+    }
+}

@@ -1,357 +1,8 @@
-//! A minimal JSON *parser*, the read-side complement of
-//! [`mmhew_obs::json`] (which only serializes).
+//! Compatibility re-export of the workspace JSON parser.
 //!
-//! The workspace deliberately avoids `serde_json`; campaign specs and
-//! checkpoint manifests are small hand-written documents, so a
-//! recursive-descent parser over a [`Value`] tree is all that is needed.
-//! Numbers are held as `f64` (campaign axis values are numeric and well
-//! inside the exact-integer range of a double); objects preserve key
-//! order so error messages can point at the offending field.
+//! The recursive-descent parser originally lived here; PR 6 moved it to
+//! [`mmhew_obs::value`] so the trace reader and the bench-file checker
+//! can share it without depending on the campaign layer. Campaign code
+//! (and downstream users of `mmhew_campaign::json`) keep the same paths.
 
-use std::fmt;
-
-/// A parsed JSON document.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Value {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number.
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Value>),
-    /// An object, in source order.
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    /// Member lookup on an object (`None` on missing key or non-object).
-    pub fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string payload, if this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload, if this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Value::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The numeric payload as a non-negative integer, if it is one
-    /// exactly (rejects `2.5` and `-1`).
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The element list, if this is an array.
-    pub fn as_arr(&self) -> Option<&[Value]> {
-        match self {
-            Value::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-/// Parse failure: what was wrong and the byte offset where.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseError {
-    /// Human-readable description.
-    pub message: String,
-    /// Byte offset into the input.
-    pub offset: usize,
-}
-
-impl fmt::Display for ParseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} at byte {}", self.message, self.offset)
-    }
-}
-
-impl std::error::Error for ParseError {}
-
-/// Parses one complete JSON document; trailing whitespace is allowed,
-/// trailing content is an error.
-pub fn parse(input: &str) -> Result<Value, ParseError> {
-    let mut p = Parser {
-        bytes: input.as_bytes(),
-        pos: 0,
-    };
-    p.skip_ws();
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.error("trailing content after JSON document"));
-    }
-    Ok(value)
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn error(&self, message: &str) -> ParseError {
-        ParseError {
-            message: message.to_string(),
-            offset: self.pos,
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.error(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Value) -> Result<Value, ParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.error(&format!("expected {word:?}")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Value, ParseError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Value::Null),
-            Some(b't') => self.literal("true", Value::Bool(true)),
-            Some(b'f') => self.literal("false", Value::Bool(false)),
-            Some(b'"') => self.string().map(Value::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(self.error("expected a JSON value")),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, ParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.error("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'b' => out.push('\u{08}'),
-                        b'f' => out.push('\u{0c}'),
-                        b'u' => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos..self.pos + 4)
-                                .and_then(|h| std::str::from_utf8(h).ok())
-                                .and_then(|h| u32::from_str_radix(h, 16).ok())
-                                .ok_or_else(|| self.error("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogate pairs are not needed for campaign
-                            // specs; map lone surrogates to U+FFFD.
-                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
-                        }
-                        _ => return Err(self.error("unknown escape")),
-                    }
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so byte
-                    // boundaries are valid; copy the full sequence).
-                    let start = self.pos;
-                    self.pos += 1;
-                    while self
-                        .peek()
-                        .is_some_and(|b| b & 0xc0 == 0x80 && self.pos > start)
-                    {
-                        self.pos += 1;
-                    }
-                    out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap());
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Value, ParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Num)
-            .ok_or_else(|| self.error("malformed number"))
-    }
-
-    fn array(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(self.error("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Value, ParseError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(self.error("expected ',' or '}'")),
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn primitives() {
-        assert_eq!(parse("null").unwrap(), Value::Null);
-        assert_eq!(parse(" true ").unwrap(), Value::Bool(true));
-        assert_eq!(parse("false").unwrap(), Value::Bool(false));
-        assert_eq!(parse("-2.5e1").unwrap(), Value::Num(-25.0));
-        assert_eq!(parse("\"hi\"").unwrap(), Value::Str("hi".into()));
-    }
-
-    #[test]
-    fn escapes_and_unicode() {
-        assert_eq!(
-            parse(r#""a\"b\\c\ndA""#).unwrap(),
-            Value::Str("a\"b\\c\ndA".into())
-        );
-        assert_eq!(parse("\"Δρ\"").unwrap(), Value::Str("Δρ".into()));
-    }
-
-    #[test]
-    fn arrays_and_objects() {
-        let v = parse(r#"{"axes": {"nodes": [4, 8]}, "reps": 3}"#).unwrap();
-        assert_eq!(v.get("reps").and_then(Value::as_u64), Some(3));
-        let nodes = v.get("axes").and_then(|a| a.get("nodes")).unwrap();
-        assert_eq!(nodes.as_arr().unwrap(), &[Value::Num(4.0), Value::Num(8.0)]);
-        assert_eq!(parse("[]").unwrap(), Value::Arr(vec![]));
-        assert_eq!(parse("{}").unwrap(), Value::Obj(vec![]));
-    }
-
-    #[test]
-    fn integer_accessor_is_exact() {
-        assert_eq!(parse("7").unwrap().as_u64(), Some(7));
-        assert_eq!(parse("7.5").unwrap().as_u64(), None);
-        assert_eq!(parse("-1").unwrap().as_u64(), None);
-    }
-
-    #[test]
-    fn errors_carry_offsets() {
-        assert!(parse("").is_err());
-        assert!(parse("[1,").is_err());
-        assert!(parse("{\"a\" 1}").is_err());
-        assert!(parse("nul").is_err());
-        let e = parse("true false").unwrap_err();
-        assert!(e.message.contains("trailing"));
-        assert_eq!(e.offset, 5);
-    }
-
-    #[test]
-    fn round_trips_obs_json_output() {
-        // The serializer in mmhew-obs and this parser must agree: what one
-        // writes, the other reads (the resume path depends on this).
-        #[derive(serde::Serialize)]
-        struct Rec {
-            point: u64,
-            mean: f64,
-            params: Vec<(String, f64)>,
-        }
-        let line = mmhew_obs::json::to_string(&Rec {
-            point: 3,
-            mean: 12.5,
-            params: vec![("nodes".into(), 8.0)],
-        })
-        .unwrap();
-        let v = parse(&line).unwrap();
-        assert_eq!(v.get("point").and_then(Value::as_u64), Some(3));
-        assert_eq!(v.get("mean").and_then(Value::as_f64), Some(12.5));
-    }
-}
+pub use mmhew_obs::value::{parse, ParseError, Value};

@@ -23,13 +23,20 @@
 //!
 //! The `campaign` binary (in this crate) drives it from the command
 //! line: `campaign --spec sweep.json [--resume] [--jobs N]`, or
-//! `campaign --smoke` for the built-in 4-point CI spec.
+//! `campaign --smoke` for the built-in 4-point CI spec. A finished (or
+//! in-flight) manifest can be rendered into a self-contained static HTML
+//! report — quantile charts per swept axis plus a point table with
+//! replay commands — via `campaign explore --manifest FILE.jsonl`
+//! ([`render_explorer`]).
 
+pub mod explorer;
 pub mod json;
 pub mod run;
 pub mod spec;
 
+pub use explorer::{render_explorer, ExplorerError, ExplorerOptions};
 pub use run::{
     point_seed, run_campaign, run_point, CampaignError, CampaignOptions, CampaignOutcome,
+    MANIFEST_SCHEMA_VERSION,
 };
 pub use spec::{AxisSpec, EngineKind, GridMode, Point, SpecError, SweepSpec, AXES};

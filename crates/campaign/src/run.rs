@@ -56,6 +56,19 @@ const REPS_PER_SHARD: u64 = 4;
 /// its manifest lines land only after every point in it finished.
 const POINTS_PER_CHUNK: usize = 8;
 
+/// Schema version stamped on every manifest line (and therefore on each
+/// entry of the artifact's `points` array).
+///
+/// Version history:
+///
+/// * **1** — first stamped shape: `schema_version`, `point`, `params`,
+///   `reps`, `completed`, `failures`, `mean`, `stddev`, `min`, `max`,
+///   `p50`, `p90`, `p99`. Lines *without* the field (written before
+///   versioning existed) are the same shape minus the stamp and are
+///   accepted by every reader; lines stamped with a *newer* version are
+///   rejected rather than misread.
+pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
+
 /// How [`run_campaign`] should execute.
 #[derive(Debug, Clone)]
 pub struct CampaignOptions {
@@ -104,6 +117,9 @@ pub enum CampaignError {
     Protocol(ProtocolError),
     /// Manifest / artifact I/O failed.
     Io(std::io::Error),
+    /// An existing manifest cannot be consumed (e.g. it was written by a
+    /// newer schema than this binary understands).
+    Manifest(String),
     /// A record failed to serialize (should not happen).
     Render(String),
     /// [`run_point`] was asked for an id outside the grid.
@@ -117,6 +133,7 @@ impl fmt::Display for CampaignError {
             CampaignError::Build(e) => write!(f, "network build failed: {e}"),
             CampaignError::Protocol(e) => write!(f, "protocol build failed: {e}"),
             CampaignError::Io(e) => write!(f, "campaign I/O failed: {e}"),
+            CampaignError::Manifest(e) => write!(f, "manifest unusable: {e}"),
             CampaignError::Render(e) => write!(f, "record serialization failed: {e}"),
             CampaignError::UnknownPoint(id) => write!(f, "point {id} is outside the grid"),
         }
@@ -357,6 +374,7 @@ fn shards(reps: u64) -> impl Iterator<Item = (u64, u64)> {
 /// the statistics.
 #[derive(Serialize)]
 struct PointRecord<'a> {
+    schema_version: u32,
     point: u64,
     params: &'a [(String, f64)],
     reps: u64,
@@ -373,6 +391,7 @@ struct PointRecord<'a> {
 
 fn render_record(spec: &SweepSpec, point: &Point, agg: &Agg) -> Result<String, CampaignError> {
     let record = PointRecord {
+        schema_version: MANIFEST_SCHEMA_VERSION,
         point: point.id,
         params: &point.values,
         reps: spec.reps,
@@ -451,6 +470,9 @@ fn artifact_path(spec: &SweepSpec, opts: &CampaignOptions) -> PathBuf {
 
 /// Reads the completed-point map from an existing manifest, dropping a
 /// torn trailing line (crash mid-append) and anything unparseable.
+/// Unversioned lines (pre-[`MANIFEST_SCHEMA_VERSION`] manifests) load
+/// fine; a line stamped with a newer schema is an error — resuming on
+/// top of it would mix shapes in one file.
 fn load_manifest(path: &Path) -> Result<BTreeMap<u64, String>, CampaignError> {
     let mut done = BTreeMap::new();
     let text = match std::fs::read_to_string(path) {
@@ -460,6 +482,14 @@ fn load_manifest(path: &Path) -> Result<BTreeMap<u64, String>, CampaignError> {
     };
     for line in text.lines() {
         if let Ok(v) = json::parse(line) {
+            let version = v.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
+            if version > MANIFEST_SCHEMA_VERSION as u64 {
+                return Err(CampaignError::Manifest(format!(
+                    "{} has schema_version {version}, newer than the supported {}",
+                    path.display(),
+                    MANIFEST_SCHEMA_VERSION
+                )));
+            }
             if let Some(id) = v.get("point").and_then(Value::as_u64) {
                 done.insert(id, line.to_string());
             }
@@ -616,6 +646,10 @@ mod tests {
         let spec = SweepSpec::smoke();
         let line = run_point(&spec, 0).expect("runs");
         let v = json::parse(&line).expect("valid JSON");
+        assert_eq!(
+            v.get("schema_version").and_then(Value::as_u64),
+            Some(MANIFEST_SCHEMA_VERSION as u64)
+        );
         assert_eq!(v.get("point").and_then(Value::as_u64), Some(0));
         assert_eq!(v.get("reps").and_then(Value::as_u64), Some(spec.reps));
         assert_eq!(v.get("failures").and_then(Value::as_u64), Some(0));
@@ -644,5 +678,30 @@ mod tests {
         assert_eq!(done.len(), 1);
         assert!(done.contains_key(&0));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn manifest_loader_versioning() {
+        let dir = std::env::temp_dir().join("mmhew-campaign-schema");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+
+        // Unversioned (pre-stamp) and current-version lines both load.
+        let ok = dir.join("ok.jsonl");
+        std::fs::write(
+            &ok,
+            "{\"point\":0,\"mean\":1}\n{\"schema_version\":1,\"point\":1,\"mean\":2}\n",
+        )
+        .expect("write");
+        let done = load_manifest(&ok).expect("load");
+        assert_eq!(done.len(), 2);
+
+        // A newer stamp is an error, not a silent misread.
+        let newer = dir.join("newer.jsonl");
+        std::fs::write(&newer, "{\"schema_version\":999,\"point\":0,\"mean\":1}\n").expect("write");
+        let err = load_manifest(&newer).expect_err("must refuse");
+        assert!(err.to_string().contains("newer than the supported"));
+
+        std::fs::remove_file(&ok).ok();
+        std::fs::remove_file(&newer).ok();
     }
 }

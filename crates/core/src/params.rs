@@ -14,6 +14,9 @@ pub enum ProtocolError {
     /// Continuous-discovery periods (re-announce, stale timeout) must be
     /// at least 1 slot.
     ZeroContinuousParameter,
+    /// Writing the Perfetto tee file requested via
+    /// `Scenario::with_perfetto` failed (payload: the I/O error text).
+    TraceWrite(String),
 }
 
 impl fmt::Display for ProtocolError {
@@ -27,6 +30,9 @@ impl fmt::Display for ProtocolError {
             }
             ProtocolError::ZeroContinuousParameter => {
                 write!(f, "continuous-discovery periods must be at least 1 slot")
+            }
+            ProtocolError::TraceWrite(e) => {
+                write!(f, "writing the Perfetto trace failed: {e}")
             }
         }
     }

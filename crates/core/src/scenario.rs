@@ -15,6 +15,7 @@
 //!     .with_dynamics(..)     // churn / mobility / spectrum events
 //!     .with_faults(..)       // loss, jamming, capture, crashes
 //!     .with_sink(..)         // event observation
+//!     .with_perfetto(..)     // tee a Perfetto .pftrace of the run
 //!     .robust(r)             // time-dilation wrapper
 //!     .continuous(cfg)       // re-announce / stale-evict wrapper
 //!     .terminating(q)        // local quiescence detection
@@ -52,9 +53,11 @@ use mmhew_engine::{
     SyncOutcome, SyncProtocol, SyncRunConfig,
 };
 use mmhew_faults::FaultPlan;
-use mmhew_obs::EventSink;
+use mmhew_obs::{EventSink, FanoutSink};
+use mmhew_perfetto::PerfettoSink;
 use mmhew_topology::{Network, NodeId};
 use mmhew_util::SeedTree;
+use std::path::PathBuf;
 
 /// Default slot/frame budget when no [`SyncRunConfig`]/[`AsyncRunConfig`]
 /// is supplied: run until complete within one million slots (frames).
@@ -96,6 +99,7 @@ impl Scenario {
             dynamics: None,
             faults: None,
             sink: None,
+            perfetto: None,
         }
     }
 
@@ -110,8 +114,36 @@ impl Scenario {
             dynamics: None,
             faults: None,
             sink: None,
+            perfetto: None,
         }
     }
+}
+
+/// Composes the user sink (if any) with the Perfetto tee (if any) and
+/// runs `run` with the result. Keeping the composition in one helper
+/// guarantees both scenario flavours wire it identically: the tee rides
+/// the exact event stream the user sink sees, and attaching it cannot
+/// perturb the simulation (sinks only observe).
+fn run_with_tee<T>(
+    user: Option<&mut dyn EventSink>,
+    perfetto: Option<PathBuf>,
+    run: impl FnOnce(Option<&mut dyn EventSink>) -> T,
+) -> Result<T, ProtocolError> {
+    let mut tee = perfetto.map(PerfettoSink::create);
+    let outcome = match (user, tee.as_mut()) {
+        (Some(user), Some(t)) => {
+            let mut fanout = FanoutSink::new(vec![user, t as &mut dyn EventSink]);
+            run(Some(&mut fanout))
+        }
+        (Some(user), None) => run(Some(user)),
+        (None, Some(t)) => run(Some(t as &mut dyn EventSink)),
+        (None, None) => run(None),
+    };
+    if let Some(tee) = tee {
+        tee.finish()
+            .map_err(|e| ProtocolError::TraceWrite(e.to_string()))?;
+    }
+    Ok(outcome)
 }
 
 /// A configured slot-synchronous run, built by [`Scenario::sync`].
@@ -129,6 +161,7 @@ pub struct SyncScenario<'a> {
     dynamics: Option<DynamicsSchedule>,
     faults: Option<FaultPlan>,
     sink: Option<&'a mut dyn EventSink>,
+    perfetto: Option<PathBuf>,
 }
 
 impl<'a> SyncScenario<'a> {
@@ -168,6 +201,19 @@ impl<'a> SyncScenario<'a> {
     #[must_use]
     pub fn with_sink(mut self, sink: &'a mut dyn EventSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Tees the run's event stream through the Perfetto converter and
+    /// writes a `.pftrace` file at `path` when the run finishes (open it
+    /// at <https://ui.perfetto.dev>). Composes with [`with_sink`]: the
+    /// user sink observes the identical stream. Attaching the tee is
+    /// RNG- and outcome-neutral — sinks only observe.
+    ///
+    /// [`with_sink`]: Self::with_sink
+    #[must_use]
+    pub fn with_perfetto<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.perfetto = Some(path.into());
         self
     }
 
@@ -241,18 +287,24 @@ impl<'a> SyncScenario<'a> {
         let start_slots = self
             .starts
             .materialize(self.network.node_count(), seed.branch("starts"));
-        let mut engine =
-            SyncEngine::new(self.network, protocols, start_slots, seed.branch("engine"));
-        if let Some(dynamics) = self.dynamics {
-            engine = engine.with_dynamics(dynamics);
-        }
-        if let Some(faults) = self.faults {
-            engine = engine.with_faults(faults);
-        }
-        if let Some(sink) = self.sink {
-            engine = engine.with_sink(sink);
-        }
-        Ok(engine.run(self.config))
+        let network = self.network;
+        let dynamics = self.dynamics;
+        let faults = self.faults;
+        let config = self.config;
+        let engine_seed = seed.branch("engine");
+        run_with_tee(self.sink, self.perfetto, move |sink| {
+            let mut engine = SyncEngine::new(network, protocols, start_slots, engine_seed);
+            if let Some(dynamics) = dynamics {
+                engine = engine.with_dynamics(dynamics);
+            }
+            if let Some(faults) = faults {
+                engine = engine.with_faults(faults);
+            }
+            if let Some(sink) = sink {
+                engine = engine.with_sink(sink);
+            }
+            engine.run(config)
+        })
     }
 }
 
@@ -285,6 +337,7 @@ pub struct AsyncScenario<'a> {
     dynamics: Option<DynamicsSchedule>,
     faults: Option<FaultPlan>,
     sink: Option<&'a mut dyn EventSink>,
+    perfetto: Option<PathBuf>,
 }
 
 impl<'a> AsyncScenario<'a> {
@@ -320,6 +373,15 @@ impl<'a> AsyncScenario<'a> {
         self
     }
 
+    /// Tees the run's event stream through the Perfetto converter and
+    /// writes a `.pftrace` file at `path` when the run finishes; see
+    /// [`SyncScenario::with_perfetto`].
+    #[must_use]
+    pub fn with_perfetto<P: Into<PathBuf>>(mut self, path: P) -> Self {
+        self.perfetto = Some(path.into());
+        self
+    }
+
     /// Wraps every node in a [`crate::QuiescentAsyncTermination`]
     /// detector: nodes go silent for good after `quiet_frames` frames
     /// without a new neighbor.
@@ -346,18 +408,24 @@ impl<'a> AsyncScenario<'a> {
                 })
                 .collect::<Result<_, _>>()?;
         }
-        let mut engine =
-            AsyncEngine::new(self.network, protocols, self.config, seed.branch("engine"));
-        if let Some(dynamics) = self.dynamics {
-            engine = engine.with_dynamics(dynamics);
-        }
-        if let Some(faults) = self.faults {
-            engine = engine.with_faults(faults);
-        }
-        if let Some(sink) = self.sink {
-            engine = engine.with_sink(sink);
-        }
-        Ok(engine.run())
+        let network = self.network;
+        let dynamics = self.dynamics;
+        let faults = self.faults;
+        let config = self.config;
+        let engine_seed = seed.branch("engine");
+        run_with_tee(self.sink, self.perfetto, move |sink| {
+            let mut engine = AsyncEngine::new(network, protocols, config, engine_seed);
+            if let Some(dynamics) = dynamics {
+                engine = engine.with_dynamics(dynamics);
+            }
+            if let Some(faults) = faults {
+                engine = engine.with_faults(faults);
+            }
+            if let Some(sink) = sink {
+                engine = engine.with_sink(sink);
+            }
+            engine.run()
+        })
     }
 }
 

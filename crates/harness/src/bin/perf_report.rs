@@ -9,7 +9,12 @@
 //! * `--smoke` — tiny budgets, for CI (verifies the harness runs; the
 //!   numbers are meaningless);
 //! * `--seed <n>` — base seed (default `0xBE5D`);
-//! * `--out <path>` — output path (default `BENCH_engines.json`).
+//! * `--out <path>` — output path (default `BENCH_engines.json`);
+//! * `--check` — validate the shape of an existing report at `--out`
+//!   instead of measuring. Accepts the documented `null` placeholders
+//!   (`work_units`, `elapsed_secs`, `throughput_per_sec`, `deliveries`)
+//!   only when `mode` is `"pending"` — a report awaiting regeneration on
+//!   a machine that can build — and exits nonzero on anything malformed.
 //!
 //! Regenerate the committed report on a quiet machine with:
 //!
@@ -114,16 +119,116 @@ fn measure_async(name: &'static str, net: &Network, frames: u64, seed: SeedTree)
     }
 }
 
+/// Validates the shape of an existing `BENCH_engines.json`.
+///
+/// The measurement fields may be `null` only in a `mode: "pending"`
+/// report (committed from an environment that could not build and run
+/// the benchmark); in `full`/`smoke` reports every number must be a
+/// finite non-negative value.
+fn check_report(text: &str) -> Result<(), String> {
+    use mmhew_obs::value::{parse, Value};
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let str_field = |key: &str| -> Result<&str, String> {
+        doc.get(key)
+            .and_then(Value::as_str)
+            .ok_or(format!("field {key:?} missing or not a string"))
+    };
+    let schema = str_field("schema")?;
+    if schema != "mmhew-perf-report/v1" {
+        return Err(format!(
+            "schema {schema:?} (expected \"mmhew-perf-report/v1\")"
+        ));
+    }
+    let mode = str_field("mode")?;
+    if !["full", "smoke", "pending"].contains(&mode) {
+        return Err(format!(
+            "mode {mode:?} (expected \"full\", \"smoke\", or \"pending\")"
+        ));
+    }
+    let pending = mode == "pending";
+    doc.get("seed")
+        .and_then(Value::as_u64)
+        .ok_or("field \"seed\" missing or not an integer")?;
+    str_field("regenerate")?;
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Value::as_arr)
+        .ok_or("field \"scenarios\" missing or not an array")?;
+    if scenarios.is_empty() {
+        return Err("\"scenarios\" is empty".to_string());
+    }
+    for (i, s) in scenarios.iter().enumerate() {
+        let at = |key: &str, want: &str| format!("scenarios[{i}].{key}: expected {want}");
+        let strv = |key: &str| s.get(key).and_then(Value::as_str);
+        strv("name").ok_or(at("name", "a string"))?;
+        let engine = strv("engine").ok_or(at("engine", "a string"))?;
+        if !["sync", "async"].contains(&engine) {
+            return Err(at("engine", "\"sync\" or \"async\""));
+        }
+        let unit = strv("unit").ok_or(at("unit", "a string"))?;
+        if !["slots", "frames"].contains(&unit) {
+            return Err(at("unit", "\"slots\" or \"frames\""));
+        }
+        for key in ["nodes", "universe"] {
+            s.get(key)
+                .and_then(Value::as_u64)
+                .filter(|n| *n > 0)
+                .ok_or(at(key, "a positive integer"))?;
+        }
+        for key in [
+            "work_units",
+            "elapsed_secs",
+            "throughput_per_sec",
+            "deliveries",
+        ] {
+            match s.get(key) {
+                Some(Value::Null) if pending => {}
+                Some(Value::Null) => {
+                    return Err(format!(
+                        "scenarios[{i}].{key} is null, which only a \
+                         mode \"pending\" report may contain (this one is {mode:?})"
+                    ));
+                }
+                Some(v) if v.as_f64().is_some_and(|x| x.is_finite() && x >= 0.0) => {}
+                _ => {
+                    return Err(at(
+                        key,
+                        "a finite non-negative number (or null when pending)",
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 fn main() {
     let args = Args::parse().unwrap_or_else(|e| {
         eprintln!("perf_report: {e}");
         std::process::exit(2);
     });
-    args.expect_only(&["seed", "out"], &["smoke"])
+    args.expect_only(&["seed", "out"], &["smoke", "check"])
         .unwrap_or_else(|e| {
             eprintln!("perf_report: {e}");
             std::process::exit(2);
         });
+    if args.flag("check") {
+        let path = args.raw("out").unwrap_or("BENCH_engines.json");
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("perf_report: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match check_report(&text) {
+            Ok(()) => {
+                println!("{path}: valid mmhew-perf-report/v1");
+                return;
+            }
+            Err(e) => {
+                eprintln!("perf_report: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let smoke = args.flag("smoke");
     let seed = args.get_or("seed", 0xBE5Du64).unwrap_or_else(|e| {
         eprintln!("perf_report: {e}");
@@ -185,4 +290,69 @@ fn main() {
         std::process::exit(1);
     });
     println!("wrote {out_path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_report;
+
+    fn scenario(mode: &str, elapsed: &str) -> String {
+        format!(
+            "{{\"schema\":\"mmhew-perf-report/v1\",\"mode\":\"{mode}\",\"seed\":1,\
+             \"scenarios\":[{{\"name\":\"s\",\"engine\":\"sync\",\"nodes\":64,\
+             \"universe\":8,\"work_units\":100,\"unit\":\"slots\",\
+             \"elapsed_secs\":{elapsed},\"throughput_per_sec\":10.0,\
+             \"deliveries\":5}}],\
+             \"regenerate\":\"cargo run --release -p mmhew-harness --bin perf_report\"}}"
+        )
+    }
+
+    #[test]
+    fn accepts_measured_and_pending_reports() {
+        assert_eq!(check_report(&scenario("full", "1.5")), Ok(()));
+        assert_eq!(check_report(&scenario("smoke", "0.01")), Ok(()));
+        // Pending reports may carry the documented null placeholders.
+        assert_eq!(check_report(&scenario("pending", "null")), Ok(()));
+    }
+
+    #[test]
+    fn rejects_nulls_outside_pending_mode() {
+        let err = check_report(&scenario("full", "null")).expect_err("must fail");
+        assert!(err.contains("null"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_reports() {
+        assert!(check_report("not json").is_err());
+        assert!(check_report("{}").is_err());
+        let wrong_schema = scenario("full", "1.0").replace("/v1", "/v9");
+        assert!(check_report(&wrong_schema).unwrap_err().contains("schema"));
+        let bad_engine = scenario("full", "1.0").replace("\"sync\"", "\"warp\"");
+        assert!(check_report(&bad_engine).unwrap_err().contains("engine"));
+        let negative = scenario("full", "-2.0");
+        assert!(check_report(&negative)
+            .unwrap_err()
+            .contains("elapsed_secs"));
+    }
+
+    #[test]
+    fn committed_report_shape_is_accepted() {
+        // The repo's own BENCH_engines.json (wherever the test runs from,
+        // walk up to the workspace root) must pass its own checker.
+        let mut dir = std::env::current_dir().expect("cwd");
+        loop {
+            let candidate = dir.join("BENCH_engines.json");
+            if candidate.exists() {
+                let text = std::fs::read_to_string(&candidate).expect("read");
+                assert_eq!(check_report(&text), Ok(()), "{}", candidate.display());
+                return;
+            }
+            if !dir.pop() {
+                panic!(
+                    "BENCH_engines.json not found above {:?}",
+                    std::env::current_dir()
+                );
+            }
+        }
+    }
 }

@@ -27,11 +27,13 @@
 //!
 //! Observability flags:
 //! `--trace <path>` writes repetition 0 as a JSONL event trace
-//! (deterministic for a fixed seed), `--metrics` prints per-node and
-//! per-channel counters aggregated over all repetitions, and `--timeline`
-//! draws the first `--timeline-slots (120)` slots of repetition 0 as an
-//! ASCII slot×node grid (slotted algorithms only). Attaching sinks does
-//! not change the simulation: same seed, same outcome.
+//! (deterministic for a fixed seed), `--perfetto <path>` writes
+//! repetition 0 as a Perfetto `.pftrace` (open it at ui.perfetto.dev),
+//! `--metrics` prints per-node and per-channel counters aggregated over
+//! all repetitions, and `--timeline` draws the first
+//! `--timeline-slots (120)` slots of repetition 0 as an ASCII slot×node
+//! grid (slotted algorithms only). Attaching sinks does not change the
+//! simulation: same seed, same outcome.
 
 use mmhew_discovery::{
     tables_match_ground_truth, AsyncAlgorithm, AsyncParams, Bounds, Scenario, SyncAlgorithm,
@@ -40,6 +42,7 @@ use mmhew_discovery::{
 use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, ClockConfig, StartSchedule, SyncRunConfig};
 use mmhew_harness::cli::Args;
 use mmhew_obs::{EventSink, FanoutSink, JsonlTraceSink, MetricsSink, TimelineSink};
+use mmhew_perfetto::PerfettoSink;
 use mmhew_spectrum::AvailabilityModel;
 use mmhew_time::{DriftBound, DriftModel, LocalDuration, RealDuration};
 use mmhew_topology::{Network, NetworkBuilder};
@@ -117,6 +120,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "seed",
             "budget",
             "trace",
+            "perfetto",
             "timeline-slots",
         ],
         &["metrics", "timeline"],
@@ -160,7 +164,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(p) => Some(JsonlTraceSink::create(p)?),
         None => None,
     };
-    let observing = metrics_on || timeline_on || trace_path.is_some();
+    let perfetto_path = args.raw("perfetto").map(str::to_string);
+    let mut perfetto = perfetto_path.as_ref().map(PerfettoSink::create);
+    let observing = metrics_on || timeline_on || trace_path.is_some() || perfetto_path.is_some();
 
     if algorithm == "alg4" {
         println!(
@@ -197,6 +203,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if rep == 0 {
                     if let Some(t) = trace.as_mut() {
                         sinks.push(t);
+                    }
+                    if let Some(p) = perfetto.as_mut() {
+                        sinks.push(p);
                     }
                 }
                 let mut fan = FanoutSink::new(sinks);
@@ -253,6 +262,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 if rep == 0 {
                     if let Some(t) = trace.as_mut() {
                         sinks.push(t);
+                    }
+                    if let Some(p) = perfetto.as_mut() {
+                        sinks.push(p);
                     }
                     if let Some(t) = timeline.as_mut() {
                         sinks.push(t);
@@ -312,6 +324,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "trace: {events} events written to {}",
             trace_path.as_deref().unwrap_or_default()
+        );
+    }
+    if let Some(p) = perfetto {
+        let events = p.events();
+        let bytes = p.finish()?;
+        println!(
+            "perfetto: {events} events → {bytes} bytes at {} (open at ui.perfetto.dev)",
+            perfetto_path.as_deref().unwrap_or_default()
         );
     }
     Ok(())

@@ -19,17 +19,22 @@
 //!
 //! [`FanoutSink`] combines several sinks in one run, and [`CollectSink`]
 //! buffers raw events for tests. The [`json`] module holds the
-//! dependency-free JSON serializer behind the trace writer.
+//! dependency-free JSON serializer behind the trace writer; [`value`] is
+//! its read-side complement (a minimal JSON parser), and [`reader`]
+//! builds on it to stream typed [`SimEvent`]s back out of a JSONL trace.
 
 pub mod event;
 pub mod json;
 pub mod metrics;
+pub mod reader;
 pub mod timeline;
 pub mod trace;
+pub mod value;
 
 pub use event::{
     CollectSink, EventSink, FanoutSink, MediumResolution, NullSink, ProtocolPhase, SimEvent, Stamp,
 };
 pub use metrics::{ChannelActivity, MetricsSink, NodeActivity};
+pub use reader::{ReadError, TraceReader};
 pub use timeline::TimelineSink;
-pub use trace::JsonlTraceSink;
+pub use trace::{JsonlTraceSink, TRACE_SCHEMA_VERSION};

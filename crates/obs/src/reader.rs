@@ -1,0 +1,555 @@
+//! Streaming reader for `SimEvent` JSONL traces — the inverse of
+//! [`crate::trace::JsonlTraceSink`].
+//!
+//! Until PR 6 only the write side existed; every trace consumer had to
+//! re-parse lines ad hoc. [`TraceReader`] turns any [`BufRead`] into an
+//! iterator of typed [`SimEvent`]s, one per line, and understands the
+//! optional `{"schema_version":N}` header line that versioned traces
+//! start with (unversioned traces from earlier releases load the same
+//! way — the first line is simply an event).
+//!
+//! The reader is strict: an unknown event tag, a missing field, or a
+//! schema version newer than this build understands is an error, not a
+//! silent skip. Trace files are machine-written; anything unexpected in
+//! one means the producer and consumer disagree about the vocabulary,
+//! which is exactly what a converter must not paper over.
+
+use std::io::BufRead;
+
+use mmhew_radio::SlotAction;
+use mmhew_spectrum::ChannelId;
+use mmhew_time::{LocalTime, RealTime};
+use mmhew_topology::NodeId;
+
+use crate::event::{MediumResolution, ProtocolPhase, SimEvent, Stamp};
+use crate::trace::TRACE_SCHEMA_VERSION;
+use crate::value::{parse, Value};
+
+/// A failure while reading a trace: which line (1-based) and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Iterator of typed [`SimEvent`]s over a JSONL trace.
+///
+/// Blank lines are skipped; a `{"schema_version":N}` header (if present,
+/// on the first non-blank line) is consumed transparently and exposed
+/// via [`TraceReader::schema_version`] after the first event is read.
+pub struct TraceReader<R: BufRead> {
+    input: R,
+    line_no: usize,
+    started: bool,
+    schema_version: Option<u32>,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Wraps a buffered reader positioned at the start of a trace.
+    pub fn new(input: R) -> Self {
+        Self {
+            input,
+            line_no: 0,
+            started: false,
+            schema_version: None,
+        }
+    }
+
+    /// The schema version declared by the trace header, if any.
+    ///
+    /// `None` either because the trace predates versioning or because no
+    /// line has been read yet (the header is only examined once the
+    /// iterator is first advanced).
+    pub fn schema_version(&self) -> Option<u32> {
+        self.schema_version
+    }
+
+    fn err(&self, message: impl Into<String>) -> ReadError {
+        ReadError {
+            line: self.line_no,
+            message: message.into(),
+        }
+    }
+
+    /// Reads the next non-blank line; `Ok(None)` at end of input.
+    fn next_line(&mut self) -> Result<Option<String>, ReadError> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            self.line_no += 1;
+            let n = self
+                .input
+                .read_line(&mut buf)
+                .map_err(|e| self.err(format!("I/O error: {e}")))?;
+            if n == 0 {
+                return Ok(None);
+            }
+            let trimmed = buf.trim();
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for TraceReader<R> {
+    type Item = Result<SimEvent, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let line = match self.next_line() {
+                Ok(Some(line)) => line,
+                Ok(None) => return None,
+                Err(e) => return Some(Err(e)),
+            };
+            let value = match parse(&line) {
+                Ok(v) => v,
+                Err(e) => return Some(Err(self.err(e.to_string()))),
+            };
+            if !self.started {
+                self.started = true;
+                if let Value::Obj(fields) = &value {
+                    if fields.len() == 1 && fields[0].0 == "schema_version" {
+                        let version = match fields[0].1.as_u64() {
+                            Some(v) if v <= u32::MAX as u64 => v as u32,
+                            _ => {
+                                return Some(
+                                    Err(self.err("schema_version must be a small integer")),
+                                )
+                            }
+                        };
+                        if version > TRACE_SCHEMA_VERSION {
+                            return Some(Err(self.err(format!(
+                                "trace schema_version {version} is newer than supported \
+                                 version {TRACE_SCHEMA_VERSION}"
+                            ))));
+                        }
+                        self.schema_version = Some(version);
+                        continue;
+                    }
+                }
+            }
+            return Some(event_from_value(&value).map_err(|m| self.err(m)));
+        }
+    }
+}
+
+/// Decodes one externally-tagged event object (one trace line) into a
+/// [`SimEvent`]. Exposed so other tools (e.g. single-line probes) can
+/// reuse the vocabulary decoding without a full reader.
+pub fn event_from_value(value: &Value) -> Result<SimEvent, String> {
+    let Value::Obj(fields) = value else {
+        return Err("event line is not a JSON object".into());
+    };
+    let [(tag, body)] = fields.as_slice() else {
+        return Err("event object must have exactly one key (the event tag)".into());
+    };
+    match tag.as_str() {
+        "slot_start" => Ok(SimEvent::SlotStart {
+            slot: u64_field(body, "slot")?,
+        }),
+        "frame_start" => Ok(SimEvent::FrameStart {
+            node: node_field(body, "node")?,
+            frame: u64_field(body, "frame")?,
+            real: RealTime::from_nanos(u64_field(body, "real")?),
+            local: LocalTime::from_nanos(u64_field(body, "local")?),
+        }),
+        "frame_end" => Ok(SimEvent::FrameEnd {
+            node: node_field(body, "node")?,
+            frame: u64_field(body, "frame")?,
+            real: RealTime::from_nanos(u64_field(body, "real")?),
+            local: LocalTime::from_nanos(u64_field(body, "local")?),
+        }),
+        "action" => Ok(SimEvent::Action {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+            action: slot_action(field(body, "action")?)?,
+        }),
+        "channel" => Ok(SimEvent::Channel {
+            at: stamp_field(body, "at")?,
+            channel: channel_field(body, "channel")?,
+            resolution: resolution(field(body, "resolution")?)?,
+        }),
+        "delivery" => Ok(SimEvent::Delivery {
+            at: stamp_field(body, "at")?,
+            from: node_field(body, "from")?,
+            to: node_field(body, "to")?,
+            channel: channel_field(body, "channel")?,
+        }),
+        "impairment_loss" => Ok(SimEvent::ImpairmentLoss {
+            at: stamp_field(body, "at")?,
+            count: u64_field(body, "count")?,
+        }),
+        "link_covered" => Ok(SimEvent::LinkCovered {
+            at: stamp_field(body, "at")?,
+            from: node_field(body, "from")?,
+            to: node_field(body, "to")?,
+            covered: u64_field(body, "covered")?,
+            expected: u64_field(body, "expected")?,
+        }),
+        "phase" => Ok(SimEvent::Phase {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+            phase: protocol_phase(field(body, "phase")?)?,
+        }),
+        "node_joined" => Ok(SimEvent::NodeJoined {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+        }),
+        "node_left" => Ok(SimEvent::NodeLeft {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+        }),
+        "edge_changed" => Ok(SimEvent::EdgeChanged {
+            at: stamp_field(body, "at")?,
+            from: node_field(body, "from")?,
+            to: node_field(body, "to")?,
+            added: bool_field(body, "added")?,
+        }),
+        "channel_changed" => Ok(SimEvent::ChannelChanged {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+            channel: channel_field(body, "channel")?,
+            gained: bool_field(body, "gained")?,
+        }),
+        "ground_truth_changed" => Ok(SimEvent::GroundTruthChanged {
+            at: stamp_field(body, "at")?,
+            covered: u64_field(body, "covered")?,
+            expected: u64_field(body, "expected")?,
+        }),
+        "beacon_lost" => Ok(SimEvent::BeaconLost {
+            at: stamp_field(body, "at")?,
+            from: node_field(body, "from")?,
+            to: node_field(body, "to")?,
+        }),
+        "slot_jammed" => Ok(SimEvent::SlotJammed {
+            at: stamp_field(body, "at")?,
+            channel: channel_field(body, "channel")?,
+            losses: u32_field(body, "losses")?,
+        }),
+        "capture_delivery" => Ok(SimEvent::CaptureDelivery {
+            at: stamp_field(body, "at")?,
+            to: node_field(body, "to")?,
+            from: node_field(body, "from")?,
+            contenders: u32_field(body, "contenders")?,
+        }),
+        "node_crashed" => Ok(SimEvent::NodeCrashed {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+        }),
+        "node_recovered" => Ok(SimEvent::NodeRecovered {
+            at: stamp_field(body, "at")?,
+            node: node_field(body, "node")?,
+        }),
+        other => Err(format!("unknown event tag {other:?}")),
+    }
+}
+
+fn field<'v>(body: &'v Value, key: &str) -> Result<&'v Value, String> {
+    body.get(key)
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn u64_field(body: &Value, key: &str) -> Result<u64, String> {
+    field(body, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} is not a non-negative integer"))
+}
+
+fn u32_field(body: &Value, key: &str) -> Result<u32, String> {
+    let n = u64_field(body, key)?;
+    u32::try_from(n).map_err(|_| format!("field {key:?} exceeds u32"))
+}
+
+fn bool_field(body: &Value, key: &str) -> Result<bool, String> {
+    field(body, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field {key:?} is not a boolean"))
+}
+
+fn node_field(body: &Value, key: &str) -> Result<NodeId, String> {
+    Ok(NodeId::new(u32_field(body, key)?))
+}
+
+fn channel_field(body: &Value, key: &str) -> Result<ChannelId, String> {
+    let n = u64_field(body, key)?;
+    let id = u16::try_from(n).map_err(|_| format!("field {key:?} exceeds u16"))?;
+    Ok(ChannelId::new(id))
+}
+
+fn stamp_field(body: &Value, key: &str) -> Result<Stamp, String> {
+    let v = field(body, key)?;
+    if let Some(slot) = v.get("slot").and_then(Value::as_u64) {
+        return Ok(Stamp::Slot(slot));
+    }
+    if let Some(real) = v.get("real").and_then(Value::as_u64) {
+        return Ok(Stamp::Real(RealTime::from_nanos(real)));
+    }
+    Err(format!("field {key:?} is not a slot/real stamp"))
+}
+
+fn slot_action(v: &Value) -> Result<SlotAction, String> {
+    // `SlotAction` keeps serde's default variant casing (it predates the
+    // snake_case event vocabulary), so the tags here are capitalized.
+    if v.as_str() == Some("Quiet") {
+        return Ok(SlotAction::Quiet);
+    }
+    if let Some(body) = v.get("Transmit") {
+        return Ok(SlotAction::Transmit {
+            channel: channel_field(body, "channel")?,
+        });
+    }
+    if let Some(body) = v.get("Listen") {
+        return Ok(SlotAction::Listen {
+            channel: channel_field(body, "channel")?,
+        });
+    }
+    Err("unknown slot action".into())
+}
+
+fn resolution(v: &Value) -> Result<MediumResolution, String> {
+    if let Some(body) = v.get("clear") {
+        return Ok(MediumResolution::Clear {
+            tx: node_field(body, "tx")?,
+            rx_count: u32_field(body, "rx_count")?,
+        });
+    }
+    if let Some(body) = v.get("collision") {
+        return Ok(MediumResolution::Collision {
+            contenders: u32_field(body, "contenders")?,
+        });
+    }
+    if let Some(body) = v.get("silence") {
+        return Ok(MediumResolution::Silence {
+            listeners: u32_field(body, "listeners")?,
+        });
+    }
+    Err("unknown medium resolution".into())
+}
+
+fn protocol_phase(v: &Value) -> Result<ProtocolPhase, String> {
+    if v.as_str() == Some("terminated") {
+        return Ok(ProtocolPhase::Terminated);
+    }
+    if let Some(stage) = v.get("stage").and_then(Value::as_u64) {
+        return Ok(ProtocolPhase::Stage(stage));
+    }
+    if let Some(estimate) = v.get("estimate").and_then(Value::as_u64) {
+        return Ok(ProtocolPhase::Estimate(estimate));
+    }
+    Err("unknown protocol phase".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::JsonlTraceSink;
+    use crate::EventSink;
+
+    /// One event of every variant, exercising every stamp/enum shape.
+    fn all_variants() -> Vec<SimEvent> {
+        let slot = Stamp::Slot(7);
+        let real = Stamp::Real(RealTime::from_nanos(5_000));
+        let n = NodeId::new;
+        let c = ChannelId::new;
+        vec![
+            SimEvent::SlotStart { slot: 3 },
+            SimEvent::FrameStart {
+                node: n(1),
+                frame: 2,
+                real: RealTime::from_nanos(9_000),
+                local: LocalTime::from_nanos(8_900),
+            },
+            SimEvent::FrameEnd {
+                node: n(1),
+                frame: 2,
+                real: RealTime::from_nanos(10_000),
+                local: LocalTime::from_nanos(9_900),
+            },
+            SimEvent::Action {
+                at: slot,
+                node: n(0),
+                action: SlotAction::Transmit { channel: c(2) },
+            },
+            SimEvent::Action {
+                at: real,
+                node: n(1),
+                action: SlotAction::Listen { channel: c(0) },
+            },
+            SimEvent::Action {
+                at: slot,
+                node: n(2),
+                action: SlotAction::Quiet,
+            },
+            SimEvent::Channel {
+                at: slot,
+                channel: c(2),
+                resolution: MediumResolution::Clear {
+                    tx: n(0),
+                    rx_count: 2,
+                },
+            },
+            SimEvent::Channel {
+                at: slot,
+                channel: c(1),
+                resolution: MediumResolution::Collision { contenders: 3 },
+            },
+            SimEvent::Channel {
+                at: slot,
+                channel: c(0),
+                resolution: MediumResolution::Silence { listeners: 1 },
+            },
+            SimEvent::Delivery {
+                at: slot,
+                from: n(0),
+                to: n(1),
+                channel: c(2),
+            },
+            SimEvent::ImpairmentLoss { at: slot, count: 4 },
+            SimEvent::LinkCovered {
+                at: slot,
+                from: n(0),
+                to: n(1),
+                covered: 3,
+                expected: 22,
+            },
+            SimEvent::Phase {
+                at: slot,
+                node: n(0),
+                phase: ProtocolPhase::Stage(2),
+            },
+            SimEvent::Phase {
+                at: real,
+                node: n(1),
+                phase: ProtocolPhase::Estimate(8),
+            },
+            SimEvent::Phase {
+                at: slot,
+                node: n(2),
+                phase: ProtocolPhase::Terminated,
+            },
+            SimEvent::NodeJoined {
+                at: slot,
+                node: n(3),
+            },
+            SimEvent::NodeLeft {
+                at: slot,
+                node: n(3),
+            },
+            SimEvent::EdgeChanged {
+                at: slot,
+                from: n(0),
+                to: n(3),
+                added: true,
+            },
+            SimEvent::ChannelChanged {
+                at: slot,
+                node: n(1),
+                channel: c(3),
+                gained: false,
+            },
+            SimEvent::GroundTruthChanged {
+                at: slot,
+                covered: 1,
+                expected: 20,
+            },
+            SimEvent::BeaconLost {
+                at: slot,
+                from: n(0),
+                to: n(1),
+            },
+            SimEvent::SlotJammed {
+                at: slot,
+                channel: c(2),
+                losses: 3,
+            },
+            SimEvent::CaptureDelivery {
+                at: slot,
+                to: n(1),
+                from: n(0),
+                contenders: 3,
+            },
+            SimEvent::NodeCrashed {
+                at: slot,
+                node: n(2),
+            },
+            SimEvent::NodeRecovered {
+                at: real,
+                node: n(2),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant_through_the_sink() {
+        let events = all_variants();
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        for e in &events {
+            sink.on_event(e);
+        }
+        let bytes = sink.finish().unwrap();
+        let reader = TraceReader::new(bytes.as_slice());
+        let back: Vec<SimEvent> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn header_is_consumed_and_reported() {
+        let input = b"{\"schema_version\":1}\n{\"slot_start\":{\"slot\":0}}\n";
+        let mut reader = TraceReader::new(&input[..]);
+        assert_eq!(reader.schema_version(), None);
+        let first = reader.next().unwrap().unwrap();
+        assert_eq!(first, SimEvent::SlotStart { slot: 0 });
+        assert_eq!(reader.schema_version(), Some(1));
+        assert!(reader.next().is_none());
+    }
+
+    #[test]
+    fn unversioned_traces_still_load() {
+        let input = b"{\"slot_start\":{\"slot\":5}}\n\n{\"slot_start\":{\"slot\":6}}\n";
+        let reader = TraceReader::new(&input[..]);
+        let back: Vec<SimEvent> = reader.map(|r| r.unwrap()).collect();
+        assert_eq!(
+            back,
+            vec![
+                SimEvent::SlotStart { slot: 5 },
+                SimEvent::SlotStart { slot: 6 }
+            ]
+        );
+    }
+
+    #[test]
+    fn future_schema_version_is_rejected() {
+        let input = b"{\"schema_version\":99}\n{\"slot_start\":{\"slot\":0}}\n";
+        let mut reader = TraceReader::new(&input[..]);
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(err.message.contains("newer than supported"));
+    }
+
+    #[test]
+    fn strict_errors_name_the_line() {
+        let input = b"{\"slot_start\":{\"slot\":0}}\n{\"mystery\":{}}\n";
+        let mut reader = TraceReader::new(&input[..]);
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("mystery"));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_skip() {
+        let input = b"{\"slot_start\":{\"slot\":\n";
+        let mut reader = TraceReader::new(&input[..]);
+        assert!(reader.next().unwrap().is_err());
+    }
+}

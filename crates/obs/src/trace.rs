@@ -7,10 +7,20 @@ use std::path::Path;
 use crate::event::{EventSink, SimEvent};
 use crate::json;
 
+/// Schema version written as the first line of every trace file.
+///
+/// Version history:
+/// - *(unversioned)* — PR 1 traces: event lines only, no header.
+/// - **1** — identical event vocabulary, plus this `{"schema_version":1}`
+///   header line. [`crate::reader::TraceReader`] accepts both.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
 /// An [`EventSink`] that appends each event as one JSON line to a buffered
 /// writer.
 ///
-/// I/O errors are captured rather than panicking the simulation: the sink
+/// The first line of the output is a `{"schema_version":N}` header (see
+/// [`TRACE_SCHEMA_VERSION`]); every subsequent line is one event. I/O
+/// errors are captured rather than panicking the simulation: the sink
 /// stops writing after the first failure and reports it from
 /// [`JsonlTraceSink::finish`]. With a fixed master seed the byte output is
 /// deterministic — two same-seed runs produce identical files.
@@ -29,17 +39,23 @@ impl JsonlTraceSink<File> {
 }
 
 impl<W: Write> JsonlTraceSink<W> {
-    /// Wraps any writer (e.g. `Vec<u8>` in tests).
+    /// Wraps any writer (e.g. `Vec<u8>` in tests) and writes the schema
+    /// header line.
     pub fn new(writer: W) -> Self {
-        Self {
+        let mut sink = Self {
             out: BufWriter::new(writer),
             line: String::new(),
             events: 0,
             error: None,
+        };
+        let header = format!("{{\"schema_version\":{TRACE_SCHEMA_VERSION}}}\n");
+        if let Err(e) = sink.out.write_all(header.as_bytes()) {
+            sink.error = Some(e);
         }
+        sink
     }
 
-    /// Events written so far.
+    /// Events written so far (the schema header line is not an event).
     pub fn events(&self) -> u64 {
         self.events
     }
@@ -82,7 +98,7 @@ mod tests {
     use crate::event::{ProtocolPhase, Stamp};
 
     #[test]
-    fn writes_one_json_object_per_line() {
+    fn writes_header_then_one_json_object_per_line() {
         let mut sink = JsonlTraceSink::new(Vec::new());
         sink.on_event(&SimEvent::SlotStart { slot: 3 });
         sink.on_event(&SimEvent::Phase {
@@ -90,14 +106,15 @@ mod tests {
             node: NodeId::new(1),
             phase: ProtocolPhase::Estimate(4),
         });
-        assert_eq!(sink.events(), 2);
+        assert_eq!(sink.events(), 2, "header must not count as an event");
         let bytes = sink.finish().expect("no io error");
         let text = String::from_utf8(bytes).expect("utf8");
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
-        assert_eq!(lines[0], "{\"slot_start\":{\"slot\":3}}");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "{\"schema_version\":1}");
+        assert_eq!(lines[1], "{\"slot_start\":{\"slot\":3}}");
         assert_eq!(
-            lines[1],
+            lines[2],
             "{\"phase\":{\"at\":{\"slot\":3},\"node\":1,\"phase\":{\"estimate\":4}}}"
         );
     }

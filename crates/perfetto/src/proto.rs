@@ -1,0 +1,272 @@
+//! A dependency-free protobuf *writer* — just enough wire format for
+//! Perfetto's `Trace` message.
+//!
+//! The workspace's JSON story is deliberately hand-rolled
+//! (`mmhew_obs::json` writes, `mmhew_obs::value` reads); this module is
+//! the same philosophy applied to protobuf. Perfetto's trace format only
+//! needs two wire types — varint (0) and length-delimited (2) — plus
+//! 64-bit (1) for double counters, so a full protobuf stack would be
+//! ~500 dependencies for three encoders.
+//!
+//! Field numbers for the Perfetto messages we emit live in [`fields`];
+//! they are copied from the stable `perfetto/trace/*.proto` schema and
+//! must never change (the golden-file test pins the encoded bytes).
+
+/// Wire type 0: varint.
+pub const WIRE_VARINT: u32 = 0;
+/// Wire type 1: fixed 64-bit.
+pub const WIRE_FIXED64: u32 = 1;
+/// Wire type 2: length-delimited.
+pub const WIRE_LEN: u32 = 2;
+
+/// Appends `v` to `buf` as a base-128 varint (protobuf encoding).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// An append-only protobuf message under construction.
+#[derive(Debug, Default, Clone)]
+pub struct ProtoBuf {
+    bytes: Vec<u8>,
+}
+
+impl ProtoBuf {
+    /// An empty message.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Encoded length so far.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    fn key(&mut self, field: u32, wire: u32) {
+        put_varint(&mut self.bytes, ((field as u64) << 3) | wire as u64);
+    }
+
+    /// Writes a varint-typed field (uint32/uint64/int32/int64/enum).
+    pub fn varint(&mut self, field: u32, v: u64) {
+        self.key(field, WIRE_VARINT);
+        put_varint(&mut self.bytes, v);
+    }
+
+    /// Writes a `double` field (fixed 64-bit, little-endian IEEE 754).
+    pub fn double(&mut self, field: u32, v: f64) {
+        self.key(field, WIRE_FIXED64);
+        self.bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a `string` field.
+    pub fn string(&mut self, field: u32, s: &str) {
+        self.bytes_field(field, s.as_bytes());
+    }
+
+    /// Writes a length-delimited field from raw bytes (string, bytes, or
+    /// an already-encoded sub-message).
+    pub fn bytes_field(&mut self, field: u32, b: &[u8]) {
+        self.key(field, WIRE_LEN);
+        put_varint(&mut self.bytes, b.len() as u64);
+        self.bytes.extend_from_slice(b);
+    }
+
+    /// Writes an embedded message field, built by `f` into a fresh
+    /// buffer (protobuf length-prefixes sub-messages, so the child must
+    /// be complete before the parent can frame it).
+    pub fn message(&mut self, field: u32, f: impl FnOnce(&mut ProtoBuf)) {
+        let mut child = ProtoBuf::new();
+        f(&mut child);
+        self.bytes_field(field, &child.bytes);
+    }
+}
+
+/// Field numbers from the stable Perfetto trace schema.
+///
+/// Only the subset the converter emits is listed; numbers are part of
+/// Perfetto's forever-stable public format.
+pub mod fields {
+    /// `perfetto.protos.Trace`
+    pub mod trace {
+        /// `repeated TracePacket packet = 1`
+        pub const PACKET: u32 = 1;
+    }
+
+    /// `perfetto.protos.TracePacket`
+    pub mod packet {
+        /// `optional uint64 timestamp = 8`
+        pub const TIMESTAMP: u32 = 8;
+        /// `optional uint32 trusted_packet_sequence_id = 10`
+        pub const TRUSTED_PACKET_SEQUENCE_ID: u32 = 10;
+        /// `TrackEvent track_event = 11`
+        pub const TRACK_EVENT: u32 = 11;
+        /// `TrackDescriptor track_descriptor = 60`
+        pub const TRACK_DESCRIPTOR: u32 = 60;
+    }
+
+    /// `perfetto.protos.TrackDescriptor`
+    pub mod track_descriptor {
+        /// `optional uint64 uuid = 1`
+        pub const UUID: u32 = 1;
+        /// `optional string name = 2`
+        pub const NAME: u32 = 2;
+        /// `ProcessDescriptor process = 3`
+        pub const PROCESS: u32 = 3;
+        /// `ThreadDescriptor thread = 4`
+        pub const THREAD: u32 = 4;
+        /// `optional uint64 parent_uuid = 5`
+        pub const PARENT_UUID: u32 = 5;
+        /// `CounterDescriptor counter = 8`
+        pub const COUNTER: u32 = 8;
+    }
+
+    /// `perfetto.protos.ProcessDescriptor`
+    pub mod process_descriptor {
+        /// `optional int32 pid = 1`
+        pub const PID: u32 = 1;
+        /// `optional string process_name = 6`
+        pub const PROCESS_NAME: u32 = 6;
+    }
+
+    /// `perfetto.protos.ThreadDescriptor`
+    pub mod thread_descriptor {
+        /// `optional int32 pid = 1`
+        pub const PID: u32 = 1;
+        /// `optional int32 tid = 2`
+        pub const TID: u32 = 2;
+        /// `optional string thread_name = 5`
+        pub const THREAD_NAME: u32 = 5;
+    }
+
+    /// `perfetto.protos.CounterDescriptor`
+    pub mod counter_descriptor {
+        /// `optional string unit_name = 6`
+        pub const UNIT_NAME: u32 = 6;
+    }
+
+    /// `perfetto.protos.TrackEvent`
+    pub mod track_event {
+        /// `optional Type type = 9`
+        pub const TYPE: u32 = 9;
+        /// `optional uint64 track_uuid = 11`
+        pub const TRACK_UUID: u32 = 11;
+        /// `optional string name = 23`
+        pub const NAME: u32 = 23;
+        /// `optional int64 counter_value = 30`
+        pub const COUNTER_VALUE: u32 = 30;
+        /// `optional double double_counter_value = 44`
+        pub const DOUBLE_COUNTER_VALUE: u32 = 44;
+
+        /// `TrackEvent.Type` enum values.
+        pub mod event_type {
+            /// `TYPE_SLICE_BEGIN`
+            pub const SLICE_BEGIN: u64 = 1;
+            /// `TYPE_SLICE_END`
+            pub const SLICE_END: u64 = 2;
+            /// `TYPE_INSTANT`
+            pub const INSTANT: u64 = 3;
+            /// `TYPE_COUNTER`
+            pub const COUNTER: u64 = 4;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reads one varint; returns (value, bytes consumed).
+    fn read_varint(bytes: &[u8]) -> (u64, usize) {
+        let mut v = 0u64;
+        let mut shift = 0;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return (v, i + 1);
+            }
+            shift += 7;
+        }
+        panic!("truncated varint");
+    }
+
+    #[test]
+    fn varint_known_vectors() {
+        // Canonical protobuf varint test vectors.
+        let cases: [(u64, &[u8]); 6] = [
+            (0, &[0x00]),
+            (1, &[0x01]),
+            (127, &[0x7f]),
+            (128, &[0x80, 0x01]),
+            (300, &[0xac, 0x02]),
+            (
+                u64::MAX,
+                &[0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01],
+            ),
+        ];
+        for (value, expected) in cases {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, value);
+            assert_eq!(buf, expected, "encoding of {value}");
+            assert_eq!(read_varint(&buf), (value, expected.len()));
+        }
+    }
+
+    #[test]
+    fn field_keys_follow_the_wire_format() {
+        // field 1, varint 150 is the canonical protobuf example: 08 96 01.
+        let mut m = ProtoBuf::new();
+        m.varint(1, 150);
+        assert_eq!(m.into_bytes(), vec![0x08, 0x96, 0x01]);
+    }
+
+    #[test]
+    fn strings_are_length_delimited() {
+        // field 2, "testing": 12 07 74 65 73 74 69 6e 67.
+        let mut m = ProtoBuf::new();
+        m.string(2, "testing");
+        assert_eq!(
+            m.into_bytes(),
+            vec![0x12, 0x07, 0x74, 0x65, 0x73, 0x74, 0x69, 0x6e, 0x67]
+        );
+    }
+
+    #[test]
+    fn nested_messages_are_length_prefixed() {
+        let mut m = ProtoBuf::new();
+        m.message(3, |child| child.varint(1, 44));
+        // key (3<<3|2 = 0x1a), len 2, then child bytes 08 2c.
+        assert_eq!(m.into_bytes(), vec![0x1a, 0x02, 0x08, 0x2c]);
+    }
+
+    #[test]
+    fn doubles_are_little_endian_fixed64() {
+        let mut m = ProtoBuf::new();
+        m.double(44, 0.5);
+        let bytes = m.into_bytes();
+        let key = ((44u64) << 3) | WIRE_FIXED64 as u64;
+        let (k, n) = read_varint(&bytes);
+        assert_eq!(k, key);
+        assert_eq!(bytes.len(), n + 8);
+        assert_eq!(
+            f64::from_bits(u64::from_le_bytes(bytes[n..].try_into().unwrap())),
+            0.5
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Live tee: an [`EventSink`] that feeds the converter during a run.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use mmhew_obs::{EventSink, SimEvent};
+
+use crate::convert::{ConvertOptions, PerfettoConverter};
+
+/// An [`EventSink`] that converts events to a Perfetto trace as they are
+/// emitted and writes the `.pftrace` file on [`PerfettoSink::finish`].
+///
+/// No I/O happens until `finish` (the protobuf `Trace` is assembled in
+/// memory — sub-messages are length-prefixed, so it cannot be streamed
+/// incrementally anyway), which also means attaching this sink can never
+/// perturb a simulation: it only observes, exactly like
+/// [`mmhew_obs::JsonlTraceSink`].
+pub struct PerfettoSink {
+    converter: PerfettoConverter,
+    path: PathBuf,
+}
+
+impl PerfettoSink {
+    /// A sink that will write `path` when finished.
+    pub fn create<P: AsRef<Path>>(path: P) -> Self {
+        Self::with_options(path, ConvertOptions::default())
+    }
+
+    /// A sink with explicit windowing/filtering options.
+    pub fn with_options<P: AsRef<Path>>(path: P, opts: ConvertOptions) -> Self {
+        Self {
+            converter: PerfettoConverter::with_options(opts),
+            path: path.as_ref().to_path_buf(),
+        }
+    }
+
+    /// Events consumed so far.
+    pub fn events(&self) -> u64 {
+        self.converter.events_pushed()
+    }
+
+    /// Serializes the trace and writes the `.pftrace` file; returns the
+    /// number of bytes written.
+    pub fn finish(self) -> io::Result<u64> {
+        let bytes = self.converter.finish();
+        let mut file = std::fs::File::create(&self.path)?;
+        file.write_all(&bytes)?;
+        file.flush()?;
+        Ok(bytes.len() as u64)
+    }
+}
+
+impl EventSink for PerfettoSink {
+    fn on_event(&mut self, event: &SimEvent) {
+        self.converter.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_obs::Stamp;
+    use mmhew_topology::NodeId;
+
+    #[test]
+    fn writes_a_file_on_finish() {
+        let dir = std::env::temp_dir().join("mmhew-perfetto-sink-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.pftrace");
+        let mut sink = PerfettoSink::create(&path);
+        sink.on_event(&SimEvent::SlotStart { slot: 0 });
+        sink.on_event(&SimEvent::Phase {
+            at: Stamp::Slot(0),
+            node: NodeId::new(0),
+            phase: mmhew_obs::ProtocolPhase::Stage(1),
+        });
+        assert_eq!(sink.events(), 2);
+        let bytes = sink.finish().unwrap();
+        assert!(bytes > 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), bytes);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -14,12 +14,15 @@
 //!
 //! ```text
 //! cargo run --release --example jammed_discovery
+//! # also write Part 1 as a Perfetto trace (open at ui.perfetto.dev):
+//! cargo run --release --example jammed_discovery -- hostile.pftrace
 //! ```
 
 use mmhew::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seed = SeedTree::new(11);
+    let pftrace = std::env::args().nth(1);
 
     // A complete graph of 6 nodes over a 5-channel universe.
     let network = NetworkBuilder::complete(6)
@@ -39,12 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .with_jamming(JamSchedule::sweeping(universe, 200, 50_000))
         .with_crashes(CrashSchedule::outage(NodeId::new(5), 0, 300));
 
-    let outcome = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
+    let mut scenario = Scenario::sync(&network, SyncAlgorithm::Uniform(SyncParams::new(delta)?))
         .with_faults(plan)
-        .config(SyncRunConfig::until_complete(500_000))
-        .run(seed.branch("hostile"))?;
+        .config(SyncRunConfig::until_complete(500_000));
+    if let Some(path) = &pftrace {
+        scenario = scenario.with_perfetto(path.as_str());
+    }
+    let outcome = scenario.run(seed.branch("hostile"))?;
     let slots = outcome.slots_to_complete().expect("completed");
     println!("hostile spectrum: jammer sweep + bursty links + crashed node");
+    if let Some(path) = &pftrace {
+        println!("  wrote {path} — open it at https://ui.perfetto.dev");
+    }
     println!(
         "  completed in {slots} slots ({} beacons lost to links, {} to jamming)",
         outcome.beacon_losses(),

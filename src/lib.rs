@@ -43,6 +43,7 @@ pub use mmhew_engine as engine;
 pub use mmhew_faults as faults;
 pub use mmhew_harness as harness;
 pub use mmhew_obs as obs;
+pub use mmhew_perfetto as perfetto;
 pub use mmhew_radio as radio;
 pub use mmhew_spectrum as spectrum;
 pub use mmhew_time as time;
@@ -76,7 +77,9 @@ pub mod prelude {
     pub use mmhew_faults::{CrashSchedule, FaultPlan, GilbertElliott, JamSchedule, LinkLossModel};
     pub use mmhew_obs::{
         EventSink, FanoutSink, JsonlTraceSink, MetricsSink, NullSink, SimEvent, TimelineSink,
+        TraceReader,
     };
+    pub use mmhew_perfetto::{PerfettoConverter, PerfettoSink};
     pub use mmhew_radio::Impairments;
     pub use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
     pub use mmhew_time::{

@@ -648,6 +648,80 @@ fn fault_events_serialize_stably() {
     }
 }
 
+fn perfetto_tee_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("mmhew-obs-perfetto");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+#[test]
+fn perfetto_tee_is_outcome_and_trace_neutral() {
+    // Acceptance criterion of the Perfetto subsystem: `with_perfetto`
+    // only observes. Same seed ⇒ same outcome AND a byte-identical JSONL
+    // trace whether or not the tee is attached.
+    let run = |tee: Option<std::path::PathBuf>| {
+        let tree = SeedTree::new(0x9F);
+        let network = net(&tree);
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        let mut scenario = Scenario::sync(&network, sync_alg(&network))
+            .config(SyncRunConfig::until_complete(50_000))
+            .with_sink(&mut sink);
+        if let Some(path) = tee {
+            scenario = scenario.with_perfetto(path);
+        }
+        let out = scenario.run(tree.branch("run")).expect("run");
+        (out, sink.finish().expect("no io error"))
+    };
+    let (plain, plain_trace) = run(None);
+    let path = perfetto_tee_path("sync-neutrality.pftrace");
+    let (teed, teed_trace) = run(Some(path.clone()));
+    assert_eq!(plain.completion_slot(), teed.completion_slot());
+    assert_eq!(plain.deliveries(), teed.deliveries());
+    assert_eq!(plain.collisions(), teed.collisions());
+    assert_eq!(plain.action_counts(), teed.action_counts());
+    assert_eq!(
+        plain_trace, teed_trace,
+        "the tee must not perturb the JSONL trace"
+    );
+    assert!(
+        std::fs::metadata(&path).expect("tee file written").len() > 0,
+        "the tee must still produce a non-empty .pftrace"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn perfetto_tee_is_outcome_and_trace_neutral_async() {
+    let run = |tee: Option<std::path::PathBuf>| {
+        let tree = SeedTree::new(0xA0);
+        let network = net(&tree);
+        let delta = network.max_degree().max(1) as u64;
+        let mut sink = JsonlTraceSink::new(Vec::new());
+        let mut scenario = Scenario::asynchronous(
+            &network,
+            AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive")),
+        )
+        .config(AsyncRunConfig::until_complete(200_000))
+        .with_sink(&mut sink);
+        if let Some(path) = tee {
+            scenario = scenario.with_perfetto(path);
+        }
+        let out = scenario.run(tree.branch("run")).expect("run");
+        (out, sink.finish().expect("no io error"))
+    };
+    let (plain, plain_trace) = run(None);
+    let path = perfetto_tee_path("async-neutrality.pftrace");
+    let (teed, teed_trace) = run(Some(path.clone()));
+    assert_eq!(plain.completion_time(), teed.completion_time());
+    assert_eq!(plain.deliveries(), teed.deliveries());
+    assert_eq!(plain.action_counts(), teed.action_counts());
+    assert_eq!(
+        plain_trace, teed_trace,
+        "the tee must not perturb the async JSONL trace"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
 #[test]
 fn attaching_a_sink_does_not_change_the_simulation() {
     let tree = SeedTree::new(0xB3);

@@ -1,0 +1,281 @@
+//! Perfetto export guarantees: fixed-seed conversion is byte-stable on
+//! both engines, the live tee and the offline converter agree exactly,
+//! and the emitted protobuf is structurally sound (unique track uuids,
+//! nondecreasing timestamps) under an independent in-test decoder.
+//!
+//! The golden `.pftrace` files under `tests/golden/` are self-blessing:
+//! a missing golden is written from the current build (with a notice on
+//! stderr) so the suite stays green on a fresh checkout, while a present
+//! golden pins the encoding — any byte drift in the converter fails here
+//! until the golden is deliberately regenerated (delete it and re-run).
+
+use mmhew::prelude::*;
+use std::path::PathBuf;
+
+fn net(seed: &SeedTree) -> Network {
+    NetworkBuilder::complete(5)
+        .universe(4)
+        .availability(AvailabilityModel::UniformSubset { size: 3 })
+        .build(seed.branch("net"))
+        .expect("build")
+}
+
+fn sync_alg(network: &Network) -> SyncAlgorithm {
+    let delta = network.max_degree().max(1) as u64;
+    SyncAlgorithm::Staged(SyncParams::new(delta).expect("positive"))
+}
+
+fn async_alg(network: &Network) -> AsyncAlgorithm {
+    let delta = network.max_degree().max(1) as u64;
+    AsyncAlgorithm::FrameBased(AsyncParams::new(delta).expect("positive"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("mmhew-perfetto-golden");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir.join(name)
+}
+
+/// Runs the fixed-seed sync scenario with a Perfetto tee and returns the
+/// `.pftrace` bytes.
+fn sync_pftrace(seed: u64, file: &str) -> Vec<u8> {
+    let tree = SeedTree::new(seed);
+    let network = net(&tree);
+    let path = temp_path(file);
+    Scenario::sync(&network, sync_alg(&network))
+        .config(SyncRunConfig::until_complete(50_000))
+        .with_perfetto(&path)
+        .run(tree.branch("run"))
+        .expect("run");
+    let bytes = std::fs::read(&path).expect("tee file written");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+fn async_pftrace(seed: u64, file: &str) -> Vec<u8> {
+    let tree = SeedTree::new(seed);
+    let network = net(&tree);
+    let path = temp_path(file);
+    Scenario::asynchronous(&network, async_alg(&network))
+        .config(AsyncRunConfig::until_complete(200_000))
+        .with_perfetto(&path)
+        .run(tree.branch("run"))
+        .expect("run");
+    let bytes = std::fs::read(&path).expect("tee file written");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn same_seed_pftrace_is_byte_identical_on_both_engines() {
+    let a = sync_pftrace(0x51, "sync-a.pftrace");
+    let b = sync_pftrace(0x51, "sync-b.pftrace");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "sync: same seed must reproduce the .pftrace exactly");
+    let c = sync_pftrace(0x52, "sync-c.pftrace");
+    assert_ne!(a, c, "sync: different seeds should diverge");
+
+    let a = async_pftrace(0x51, "async-a.pftrace");
+    let b = async_pftrace(0x51, "async-b.pftrace");
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "async: same seed must reproduce the .pftrace exactly");
+}
+
+#[test]
+fn live_tee_matches_offline_conversion() {
+    // One run captured as JSONL, then converted offline, must produce the
+    // exact bytes the live tee wrote during an identical run — the CI
+    // trace-tooling job diffs the two paths the same way.
+    let tree = SeedTree::new(0x53);
+    let network = net(&tree);
+
+    let mut jsonl = JsonlTraceSink::new(Vec::new());
+    Scenario::sync(&network, sync_alg(&network))
+        .config(SyncRunConfig::until_complete(50_000))
+        .with_sink(&mut jsonl)
+        .run(tree.branch("run"))
+        .expect("run");
+    let jsonl_bytes = jsonl.finish().expect("no io error");
+
+    let mut converter = PerfettoConverter::new();
+    for item in TraceReader::new(jsonl_bytes.as_slice()) {
+        converter.push(&item.expect("trace line decodes"));
+    }
+    let offline = converter.finish();
+
+    let teed = sync_pftrace(0x53, "tee.pftrace");
+    assert_eq!(offline, teed, "offline conversion and live tee must agree");
+}
+
+#[test]
+fn converting_the_same_trace_twice_is_deterministic() {
+    let tree = SeedTree::new(0x54);
+    let network = net(&tree);
+    let mut jsonl = JsonlTraceSink::new(Vec::new());
+    Scenario::sync(&network, sync_alg(&network))
+        .config(SyncRunConfig::until_complete(50_000))
+        .with_sink(&mut jsonl)
+        .run(tree.branch("run"))
+        .expect("run");
+    let jsonl_bytes = jsonl.finish().expect("no io error");
+
+    let convert = || {
+        let mut c = PerfettoConverter::new();
+        for item in TraceReader::new(jsonl_bytes.as_slice()) {
+            c.push(&item.expect("decodes"));
+        }
+        c.finish()
+    };
+    assert_eq!(convert(), convert());
+}
+
+#[test]
+fn golden_files_pin_the_encoding() {
+    let goldens = [
+        (
+            "tests/golden/perfetto_sync_seed66.pftrace",
+            sync_pftrace(0x66, "g-sync.pftrace"),
+        ),
+        (
+            "tests/golden/perfetto_async_seed66.pftrace",
+            async_pftrace(0x66, "g-async.pftrace"),
+        ),
+    ];
+    for (path, bytes) in goldens {
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(path);
+        match std::fs::read(&path) {
+            Ok(golden) => assert_eq!(
+                golden,
+                bytes,
+                "{} drifted — the converter's encoding changed; if intentional, \
+                 delete the golden and re-run to re-bless",
+                path.display()
+            ),
+            Err(_) => {
+                std::fs::create_dir_all(path.parent().expect("parent")).expect("mkdir");
+                std::fs::write(&path, &bytes).expect("bless golden");
+                eprintln!(
+                    "blessed new golden {} ({} bytes)",
+                    path.display(),
+                    bytes.len()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Independent protobuf reader — deliberately NOT using mmhew::perfetto's
+// writer helpers, so an encoding bug cannot hide behind its own inverse.
+// ---------------------------------------------------------------------
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> u64 {
+    let mut v = 0u64;
+    let mut shift = 0;
+    loop {
+        let b = bytes[*pos];
+        *pos += 1;
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+/// One pass over a protobuf message, yielding `(field, wire, payload)`
+/// where payload is the varint value or the length-delimited slice range.
+fn fields(bytes: &[u8]) -> Vec<(u32, u32, u64, std::ops::Range<usize>)> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let key = read_varint(bytes, &mut pos);
+        let field = (key >> 3) as u32;
+        let wire = (key & 7) as u32;
+        match wire {
+            0 => {
+                let v = read_varint(bytes, &mut pos);
+                out.push((field, wire, v, 0..0));
+            }
+            1 => {
+                out.push((field, wire, 0, pos..pos + 8));
+                pos += 8;
+            }
+            2 => {
+                let len = read_varint(bytes, &mut pos) as usize;
+                out.push((field, wire, len as u64, pos..pos + len));
+                pos += len;
+            }
+            other => panic!("unexpected wire type {other} at {pos}"),
+        }
+    }
+    out
+}
+
+fn varint_field(msg: &[u8], want: u32) -> Option<u64> {
+    fields(msg)
+        .into_iter()
+        .find(|(f, w, _, _)| *f == want && *w == 0)
+        .map(|(_, _, v, _)| v)
+}
+
+#[test]
+fn decoded_trace_has_unique_tracks_and_monotonic_timestamps() {
+    for (engine, bytes) in [
+        ("sync", sync_pftrace(0x55, "d-sync.pftrace")),
+        ("async", async_pftrace(0x55, "d-async.pftrace")),
+    ] {
+        let mut track_uuids = Vec::new();
+        let mut referenced = Vec::new();
+        let mut last_ts = 0u64;
+        let mut track_events = 0u64;
+        for (field, wire, _, range) in fields(&bytes) {
+            assert_eq!((field, wire), (1, 2), "{engine}: Trace has only packet=1");
+            let packet = &bytes[range];
+            // trusted_packet_sequence_id = 10 on every packet.
+            assert_eq!(
+                varint_field(packet, 10),
+                Some(1),
+                "{engine}: packet missing sequence id"
+            );
+            let descriptor = fields(packet)
+                .into_iter()
+                .find(|(f, w, _, _)| (*f, *w) == (60, 2));
+            if let Some((_, _, _, d)) = descriptor {
+                // TrackDescriptor.uuid = 1.
+                let uuid = varint_field(&packet[d], 1).expect("descriptor has uuid");
+                track_uuids.push(uuid);
+                continue;
+            }
+            let event = fields(packet)
+                .into_iter()
+                .find(|(f, w, _, _)| (*f, *w) == (11, 2))
+                .expect("packet is a descriptor or a track event");
+            // TracePacket.timestamp = 8 must never decrease.
+            let ts = varint_field(packet, 8).expect("event packet has timestamp");
+            assert!(
+                ts >= last_ts,
+                "{engine}: timestamp went backwards ({ts} < {last_ts})"
+            );
+            last_ts = ts;
+            track_events += 1;
+            // TrackEvent.track_uuid = 11 must reference a declared track.
+            referenced.push(varint_field(&packet[event.3], 11).expect("event has track uuid"));
+        }
+        assert!(track_events > 0, "{engine}: no events decoded");
+        let declared = track_uuids.len();
+        track_uuids.sort_unstable();
+        track_uuids.dedup();
+        assert_eq!(
+            declared,
+            track_uuids.len(),
+            "{engine}: duplicate track uuid"
+        );
+        for uuid in referenced {
+            assert!(
+                track_uuids.binary_search(&uuid).is_ok(),
+                "{engine}: event references undeclared track {uuid}"
+            );
+        }
+    }
+}
