@@ -1,0 +1,188 @@
+//! A minimal, dependency-free HTTP/1.1 client for the campaign service.
+//!
+//! The `campaign` binary talks to a `campaign-server` coordinator
+//! (`mmhew-serve`) in two places — `campaign submit --server URL` and
+//! `campaign explore --server URL` — and this module is the whole client:
+//! one request per connection (`Connection: close`), JSON bodies, no
+//! keep-alive, no TLS. It deliberately does *not* depend on `mmhew-serve`
+//! (which depends on this crate); the wire protocol is plain enough that
+//! the two sides only share [`WIRE_SCHEMA_VERSION`] and the JSON shapes,
+//! which `crates/serve` pins with a cross-crate equality test.
+
+use crate::json::{self, Value};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Schema version stamped on every request and response body of the
+/// campaign service wire protocol. Either side refuses a *newer* version
+/// rather than misreading it; `mmhew_serve::wire::WIRE_SCHEMA_VERSION`
+/// must stay equal to this constant.
+pub const WIRE_SCHEMA_VERSION: u32 = 1;
+
+/// A decoded HTTP response: status code and body text.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The HTTP status code (200, 204, 409, …).
+    pub status: u16,
+    /// The response body (empty for bodyless statuses).
+    pub body: String,
+}
+
+impl HttpResponse {
+    /// Parses the body as JSON and refuses a `schema_version` newer than
+    /// [`WIRE_SCHEMA_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed or too-new body.
+    pub fn json(&self) -> Result<Value, String> {
+        let v = json::parse(&self.body).map_err(|e| format!("response is not JSON: {e}"))?;
+        let version = v.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
+        if version > WIRE_SCHEMA_VERSION as u64 {
+            return Err(format!(
+                "server speaks wire schema {version}, newer than the supported \
+                 {WIRE_SCHEMA_VERSION}; upgrade this binary"
+            ));
+        }
+        Ok(v)
+    }
+}
+
+/// Normalizes a `--server` value to a connectable `host:port`: strips an
+/// `http://` prefix and any trailing slash.
+pub fn server_addr(server: &str) -> &str {
+    server
+        .trim()
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+}
+
+/// One-shot HTTP request: connects, sends, reads the full response
+/// (the service closes every connection after responding).
+///
+/// # Errors
+///
+/// Returns the underlying I/O error, or `InvalidData` on a malformed
+/// response.
+pub fn request(
+    server: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpResponse> {
+    let addr = server_addr(server);
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// `GET path` against the server.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn get(server: &str, path: &str) -> std::io::Result<HttpResponse> {
+    request(server, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn post(server: &str, path: &str, body: &str) -> std::io::Result<HttpResponse> {
+    request(server, "POST", path, Some(body))
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<HttpResponse> {
+    let invalid = || {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response from campaign server",
+        )
+    };
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(invalid)?;
+    let status = head
+        .lines()
+        .next()
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(invalid)?;
+    Ok(HttpResponse {
+        status,
+        body: body.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_addr_normalizes() {
+        assert_eq!(server_addr("http://127.0.0.1:8077/"), "127.0.0.1:8077");
+        assert_eq!(server_addr("127.0.0.1:8077"), "127.0.0.1:8077");
+        assert_eq!(server_addr(" http://h:1 "), "h:1");
+    }
+
+    #[test]
+    fn responses_parse_and_version_check() {
+        let raw = b"HTTP/1.1 200 OK\r\nContent-Length: 27\r\n\r\n{\"schema_version\":1,\"a\":2}";
+        let r = parse_response(raw).expect("parses");
+        assert_eq!(r.status, 200);
+        let v = r.json().expect("json");
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+
+        let newer = HttpResponse {
+            status: 200,
+            body: "{\"schema_version\":99}".to_string(),
+        };
+        assert!(newer.json().expect_err("refuse").contains("newer"));
+
+        assert!(parse_response(b"garbage").is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_over_a_real_socket() {
+        // A throwaway single-request echo server on a loopback port.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            let mut buf = [0u8; 4096];
+            let n = s.read(&mut buf).expect("read");
+            let req = String::from_utf8_lossy(&buf[..n]).to_string();
+            let body = "{\"schema_version\":1,\"ok\":true}";
+            let resp = format!(
+                "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n\
+                 Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+            s.write_all(resp.as_bytes()).expect("write");
+            req
+        });
+        let r = post(&addr.to_string(), "/lease", "{\"schema_version\":1}").expect("request");
+        assert_eq!(r.status, 200);
+        assert_eq!(
+            r.json().expect("json").get("ok").and_then(Value::as_bool),
+            Some(true)
+        );
+        let seen = handle.join().expect("server thread");
+        assert!(seen.starts_with("POST /lease HTTP/1.1\r\n"));
+        assert!(seen.contains("Content-Length: 20"));
+        assert!(seen.ends_with("{\"schema_version\":1}"));
+    }
+}

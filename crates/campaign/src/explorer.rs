@@ -19,7 +19,7 @@
 //! this build understands is a hard error.
 
 use crate::json::{self, Value};
-use crate::run::MANIFEST_SCHEMA_VERSION;
+use crate::points::MANIFEST_SCHEMA_VERSION;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -584,7 +584,7 @@ mod tests {
             .expand()
             .iter()
             .map(|p| {
-                let line = crate::run::run_point(&spec, p.id).expect("point runs");
+                let line = crate::points::run_point(&spec, p.id).expect("point runs");
                 format!("{line}\n")
             })
             .collect();

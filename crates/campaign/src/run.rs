@@ -13,61 +13,39 @@
 //! # Determinism
 //!
 //! Every repetition's seed is derived from
-//! `(spec.seed, spec.name, point.id, rep)` via [`point_seed`] — never
-//! from shard boundaries, chunk boundaries, worker threads, or resume
-//! state. Per-point statistics are assembled by merging shard aggregates
-//! in shard order, so even the floating-point sums are independent of
-//! scheduling; [`run_point`] reproduces any point's manifest line
-//! byte-for-byte in isolation.
+//! `(spec.seed, spec.name, point.id, rep)` via [`crate::points::point_seed`]
+//! — never from shard boundaries, chunk boundaries, worker threads, or
+//! resume state. Per-point statistics are assembled by merging shard
+//! aggregates in shard order, so even the floating-point sums are
+//! independent of scheduling; [`crate::points::run_point`] reproduces any
+//! point's manifest line byte-for-byte in isolation.
 //!
 //! # Checkpoints
 //!
-//! After each chunk, one JSON line per completed point is appended to
-//! `<out>/<name>.manifest.jsonl` (a whole line per `write`, so a crash
-//! leaves at most one torn final line, which resume discards). The final
-//! artifact `<out>/<name>.campaign.json` is rendered from the manifest
-//! lines sorted by point id and written via temp-file rename, so an
-//! interrupted-then-resumed campaign produces a byte-identical artifact
-//! to an uninterrupted one.
+//! The manifest `<out>/<name>.manifest.jsonl` opens with a spec-echo
+//! header line, then gains one JSON line per completed point after each
+//! chunk (a whole line per `write`, so a crash leaves at most one torn
+//! final line, which resume discards; a torn *header* is rewritten). The
+//! final artifact `<out>/<name>.campaign.json` is rendered from the
+//! manifest lines sorted by point id and written via temp-file rename, so
+//! an interrupted-then-resumed campaign produces a byte-identical
+//! artifact to an uninterrupted one. The mechanics live in
+//! [`crate::points`], shared with the `mmhew-serve` campaign service —
+//! which is why a distributed run's manifest is byte-identical too.
 
-use crate::json::{self, Value};
-use crate::spec::{EngineKind, Point, SweepSpec};
-use mmhew_discovery::{
-    AsyncAlgorithm, AsyncParams, ProtocolError, Scenario, SyncAlgorithm, SyncParams,
-};
-use mmhew_dynamics::{poisson_churn, ChurnConfig, DynamicsSchedule};
-use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
-use mmhew_faults::{FaultPlan, JamSchedule, LinkLossModel};
+use crate::points::{self, Agg};
+use crate::spec::{Point, SweepSpec};
+use mmhew_discovery::ProtocolError;
 use mmhew_harness::parallel_reps;
-use mmhew_spectrum::{AvailabilityModel, ChannelSet};
-use mmhew_topology::{BuildError, Network, NetworkBuilder};
-use mmhew_util::{Histogram, SeedTree, Welford};
-use serde::Serialize;
+use mmhew_topology::BuildError;
+use mmhew_util::SeedTree;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::io::Write as _;
-use std::path::{Path, PathBuf};
-
-/// Repetitions per shard: small enough that work stealing balances
-/// heterogeneous points, large enough to amortize scheduling.
-const REPS_PER_SHARD: u64 = 4;
+use std::path::PathBuf;
 
 /// Points checkpointed together. A chunk is the failure-atomicity unit:
 /// its manifest lines land only after every point in it finished.
 const POINTS_PER_CHUNK: usize = 8;
-
-/// Schema version stamped on every manifest line (and therefore on each
-/// entry of the artifact's `points` array).
-///
-/// Version history:
-///
-/// * **1** — first stamped shape: `schema_version`, `point`, `params`,
-///   `reps`, `completed`, `failures`, `mean`, `stddev`, `min`, `max`,
-///   `p50`, `p90`, `p99`. Lines *without* the field (written before
-///   versioning existed) are the same shape minus the stamp and are
-///   accepted by every reader; lines stamped with a *newer* version are
-///   rejected rather than misread.
-pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
 
 /// How [`run_campaign`] should execute.
 #[derive(Debug, Clone)]
@@ -118,11 +96,12 @@ pub enum CampaignError {
     /// Manifest / artifact I/O failed.
     Io(std::io::Error),
     /// An existing manifest cannot be consumed (e.g. it was written by a
-    /// newer schema than this binary understands).
+    /// newer schema than this binary understands, or belongs to a
+    /// different spec).
     Manifest(String),
     /// A record failed to serialize (should not happen).
     Render(String),
-    /// [`run_point`] was asked for an id outside the grid.
+    /// [`crate::points::run_point`] was asked for an id outside the grid.
     UnknownPoint(u64),
 }
 
@@ -166,266 +145,24 @@ impl From<std::io::Error> for CampaignError {
     }
 }
 
-/// The seed subtree owning all randomness of one point: derived from the
-/// master seed, the campaign name, and the point id — nothing else.
-/// `branch("net")` seeds the network, `branch("dynamics")` the generated
-/// schedules, and `branch("run").index(rep)` each repetition.
-pub fn point_seed(spec: &SweepSpec, point_id: u64) -> SeedTree {
-    SeedTree::new(spec.seed)
-        .branch("campaign")
-        .branch(&spec.name)
-        .index(point_id)
-}
-
-/// Everything needed to run one point's repetitions, built once.
-struct PointContext {
-    root: SeedTree,
-    network: Network,
-    algorithm: Algorithm,
-    starts: StartSchedule,
-    robust: u64,
-    faults: Option<FaultPlan>,
-    dynamics: Option<DynamicsSchedule>,
-    budget: u64,
-}
-
-#[derive(Clone, Copy)]
-enum Algorithm {
-    Sync(SyncAlgorithm),
-    Async(AsyncAlgorithm),
-}
-
-fn compile_point(spec: &SweepSpec, point: &Point) -> Result<PointContext, CampaignError> {
-    let root = point_seed(spec, point.id);
-    let nodes = point.axis("nodes") as usize;
-    let universe = point.axis("universe") as u16;
-    let avail = point.axis("avail") as u16;
-    let builder = match spec.topology.as_str() {
-        "complete" => NetworkBuilder::complete(nodes),
-        "line" => NetworkBuilder::line(nodes),
-        "ring" => NetworkBuilder::ring(nodes),
-        "star" => NetworkBuilder::star(nodes),
-        "er" => NetworkBuilder::erdos_renyi(nodes, spec.edge_prob),
-        other => unreachable!("validated topology {other:?}"),
-    };
-    let availability = if avail == 0 {
-        AvailabilityModel::Full
-    } else {
-        AvailabilityModel::UniformSubset { size: avail }
-    };
-    let network = builder
-        .universe(universe)
-        .availability(availability)
-        .build(root.branch("net"))?;
-
-    let delta_est = match point.axis("delta-est") as u64 {
-        0 => network.max_degree().max(1) as u64,
-        explicit => explicit,
-    };
-    let algorithm = match spec.engine {
-        EngineKind::Sync => Algorithm::Sync(match spec.algorithm.as_str() {
-            "staged" => SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-            "adaptive" => SyncAlgorithm::Adaptive,
-            "uniform" => SyncAlgorithm::Uniform(SyncParams::new(delta_est)?),
-            "baseline" => SyncAlgorithm::PerChannelBirthday {
-                tx_probability: 0.5,
-            },
-            other => unreachable!("validated algorithm {other:?}"),
-        }),
-        EngineKind::Async => Algorithm::Async(match spec.algorithm.as_str() {
-            "frame-based" => AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
-            other => unreachable!("validated algorithm {other:?}"),
-        }),
-    };
-
-    let window = point.axis("start-window") as u64;
-    let starts = if window == 0 {
-        StartSchedule::Identical
-    } else {
-        StartSchedule::Staggered { window }
-    };
-
-    let loss = point.axis("loss");
-    let jam = point.axis("jam") as u16;
-    let faults = (loss > 0.0 || jam > 0).then(|| {
-        let mut plan = FaultPlan::new();
-        if loss > 0.0 {
-            plan = plan.with_default_loss(LinkLossModel::Bernoulli {
-                delivery_probability: 1.0 - loss,
-            });
-        }
-        if jam > 0 {
-            plan = plan.with_jamming(JamSchedule::fixed(ChannelSet::full(jam)));
-        }
-        plan
-    });
-
-    let churn_rate = point.axis("churn-rate");
-    let dynamics = (churn_rate > 0.0).then(|| {
-        DynamicsSchedule::new(poisson_churn(
-            &network,
-            spec.budget,
-            &ChurnConfig {
-                rate: churn_rate,
-                mean_downtime: spec.churn_downtime,
-            },
-            root.branch("dynamics"),
-        ))
-    });
-
-    Ok(PointContext {
-        root,
-        network,
-        algorithm,
-        starts,
-        robust: point.axis("robust") as u64,
-        faults,
-        dynamics,
-        budget: spec.budget,
-    })
-}
-
-/// One repetition's completion time (`None` = budget exhausted).
-fn run_rep(ctx: &PointContext, rep: u64) -> Result<Option<f64>, ProtocolError> {
-    let rep_seed = ctx.root.branch("run").index(rep);
-    match ctx.algorithm {
-        Algorithm::Sync(algorithm) => {
-            let mut scenario = Scenario::sync(&ctx.network, algorithm)
-                .starts(ctx.starts.clone())
-                .config(SyncRunConfig::until_complete(ctx.budget));
-            if ctx.robust > 0 {
-                scenario = scenario.robust(ctx.robust);
-            }
-            if let Some(faults) = &ctx.faults {
-                scenario = scenario.with_faults(faults.clone());
-            }
-            if let Some(dynamics) = &ctx.dynamics {
-                scenario = scenario.with_dynamics(dynamics.clone());
-            }
-            let outcome = scenario.run(rep_seed)?;
-            Ok(outcome.slots_to_complete().map(|s| s as f64))
-        }
-        Algorithm::Async(algorithm) => {
-            let mut scenario = Scenario::asynchronous(&ctx.network, algorithm)
-                .config(AsyncRunConfig::until_complete(ctx.budget));
-            if let Some(faults) = &ctx.faults {
-                scenario = scenario.with_faults(faults.clone());
-            }
-            let outcome = scenario.run(rep_seed)?;
-            Ok(outcome.min_full_frames_at_completion().map(|f| f as f64))
-        }
-    }
-}
-
-/// Streaming aggregate of one shard (and, after merging, one point).
-struct Agg {
-    welford: Welford,
-    hist: Histogram,
-    failures: u64,
-}
-
-impl Agg {
-    fn new(spec: &SweepSpec) -> Self {
-        Self {
-            welford: Welford::new(),
-            hist: Histogram::new(0.0, spec.budget as f64, spec.hist_bins),
-            failures: 0,
-        }
-    }
-
-    fn merge(&mut self, other: &Agg) {
-        self.welford.merge(&other.welford);
-        self.hist.merge(&other.hist);
-        self.failures += other.failures;
-    }
-}
-
-fn run_shard(
-    spec: &SweepSpec,
-    ctx: &PointContext,
-    start: u64,
-    len: u64,
-) -> Result<Agg, ProtocolError> {
-    let mut agg = Agg::new(spec);
-    for rep in start..start + len {
-        match run_rep(ctx, rep)? {
-            Some(x) => {
-                agg.welford.push(x);
-                agg.hist.record(x);
-            }
-            None => agg.failures += 1,
-        }
-    }
-    Ok(agg)
-}
-
-/// The shard decomposition of one point's `reps` repetitions.
-fn shards(reps: u64) -> impl Iterator<Item = (u64, u64)> {
-    (0..reps.div_ceil(REPS_PER_SHARD)).map(move |s| {
-        (
-            s * REPS_PER_SHARD,
-            REPS_PER_SHARD.min(reps - s * REPS_PER_SHARD),
-        )
-    })
-}
-
-/// One completed point as recorded in the manifest and artifact.
-/// Failed (budget-exhausted) repetitions are counted but excluded from
-/// the statistics.
-#[derive(Serialize)]
-struct PointRecord<'a> {
-    schema_version: u32,
-    point: u64,
-    params: &'a [(String, f64)],
-    reps: u64,
-    completed: u64,
-    failures: u64,
-    mean: f64,
-    stddev: f64,
-    min: f64,
-    max: f64,
-    p50: f64,
-    p90: f64,
-    p99: f64,
-}
-
-fn render_record(spec: &SweepSpec, point: &Point, agg: &Agg) -> Result<String, CampaignError> {
-    let record = PointRecord {
-        schema_version: MANIFEST_SCHEMA_VERSION,
-        point: point.id,
-        params: &point.values,
-        reps: spec.reps,
-        completed: agg.welford.count(),
-        failures: agg.failures,
-        mean: agg.welford.mean(),
-        stddev: agg.welford.stddev(),
-        min: agg.welford.min(),
-        max: agg.welford.max(),
-        p50: agg.hist.quantile(0.5),
-        p90: agg.hist.quantile(0.9),
-        p99: agg.hist.quantile(0.99),
-    };
-    mmhew_obs::json::to_string(&record).map_err(|e| CampaignError::Render(e.to_string()))
-}
-
 /// Runs one chunk of points: every shard of every point through a single
 /// work-stealing pool, then per-point merges in shard order.
 fn run_chunk(spec: &SweepSpec, chunk: &[&Point]) -> Result<Vec<String>, CampaignError> {
     let contexts = chunk
         .iter()
-        .map(|p| compile_point(spec, p))
+        .map(|p| points::compile_point(spec, p))
         .collect::<Result<Vec<_>, _>>()?;
     let tasks: Vec<(usize, u64, u64)> = contexts
         .iter()
         .enumerate()
-        .flat_map(|(i, _)| shards(spec.reps).map(move |(start, len)| (i, start, len)))
+        .flat_map(|(i, _)| points::shards(spec.reps).map(move |(start, len)| (i, start, len)))
         .collect();
     // parallel_reps hands each task a derived seed we deliberately ignore:
     // repetition seeds come from point_seed, so shard/task layout can
     // never influence results.
     let shard_results = parallel_reps(tasks.len() as u64, SeedTree::new(0), |t, _seed| {
         let (i, start, len) = tasks[t as usize];
-        run_shard(spec, &contexts[i], start, len)
+        points::run_shard(spec, &contexts[i], start, len)
     });
     let mut aggs: Vec<Agg> = contexts.iter().map(|_| Agg::new(spec)).collect();
     for ((i, _, _), result) in tasks.iter().zip(shard_results) {
@@ -434,30 +171,8 @@ fn run_chunk(spec: &SweepSpec, chunk: &[&Point]) -> Result<Vec<String>, Campaign
     chunk
         .iter()
         .zip(&aggs)
-        .map(|(point, agg)| render_record(spec, point, agg))
+        .map(|(point, agg)| points::render_record(spec, point, agg))
         .collect()
-}
-
-/// Re-runs a single point in isolation and returns its manifest line —
-/// byte-identical to what a full campaign records for that point.
-///
-/// # Errors
-///
-/// Returns [`CampaignError::UnknownPoint`] if `point_id` is outside the
-/// grid, or any compile/run failure.
-pub fn run_point(spec: &SweepSpec, point_id: u64) -> Result<String, CampaignError> {
-    spec.validate()?;
-    let points = spec.expand();
-    let point = points
-        .iter()
-        .find(|p| p.id == point_id)
-        .ok_or(CampaignError::UnknownPoint(point_id))?;
-    let ctx = compile_point(spec, point)?;
-    let mut agg = Agg::new(spec);
-    for (start, len) in shards(spec.reps) {
-        agg.merge(&run_shard(spec, &ctx, start, len)?);
-    }
-    render_record(spec, point, &agg)
 }
 
 fn manifest_path(spec: &SweepSpec, opts: &CampaignOptions) -> PathBuf {
@@ -466,75 +181,6 @@ fn manifest_path(spec: &SweepSpec, opts: &CampaignOptions) -> PathBuf {
 
 fn artifact_path(spec: &SweepSpec, opts: &CampaignOptions) -> PathBuf {
     opts.out_dir.join(format!("{}.campaign.json", spec.name))
-}
-
-/// Reads the completed-point map from an existing manifest, dropping a
-/// torn trailing line (crash mid-append) and anything unparseable.
-/// Unversioned lines (pre-[`MANIFEST_SCHEMA_VERSION`] manifests) load
-/// fine; a line stamped with a newer schema is an error — resuming on
-/// top of it would mix shapes in one file.
-fn load_manifest(path: &Path) -> Result<BTreeMap<u64, String>, CampaignError> {
-    let mut done = BTreeMap::new();
-    let text = match std::fs::read_to_string(path) {
-        Ok(text) => text,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(done),
-        Err(e) => return Err(e.into()),
-    };
-    for line in text.lines() {
-        if let Ok(v) = json::parse(line) {
-            let version = v.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
-            if version > MANIFEST_SCHEMA_VERSION as u64 {
-                return Err(CampaignError::Manifest(format!(
-                    "{} has schema_version {version}, newer than the supported {}",
-                    path.display(),
-                    MANIFEST_SCHEMA_VERSION
-                )));
-            }
-            if let Some(id) = v.get("point").and_then(Value::as_u64) {
-                done.insert(id, line.to_string());
-            }
-        }
-    }
-    Ok(done)
-}
-
-fn append_manifest(path: &Path, lines: &[String]) -> Result<(), CampaignError> {
-    let mut file = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(path)?;
-    for line in lines {
-        // One write per record keeps lines whole under interruption.
-        file.write_all(format!("{line}\n").as_bytes())?;
-    }
-    file.flush()?;
-    Ok(())
-}
-
-/// Renders the final artifact from the manifest lines, sorted by point
-/// id, and moves it into place atomically (temp file + rename). Reusing
-/// the recorded lines verbatim is what makes a resumed campaign's
-/// artifact byte-identical to an uninterrupted one.
-fn write_artifact(
-    spec: &SweepSpec,
-    opts: &CampaignOptions,
-    done: &BTreeMap<u64, String>,
-) -> Result<PathBuf, CampaignError> {
-    let spec_json =
-        mmhew_obs::json::to_string(spec).map_err(|e| CampaignError::Render(e.to_string()))?;
-    let mut out = format!("{{\"spec\":{spec_json},\"points\":[\n");
-    for (i, line) in done.values().enumerate() {
-        if i > 0 {
-            out.push_str(",\n");
-        }
-        out.push_str(line);
-    }
-    out.push_str("\n]}\n");
-    let path = artifact_path(spec, opts);
-    let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, out)?;
-    std::fs::rename(&tmp, &path)?;
-    Ok(path)
 }
 
 /// Executes (or resumes) a campaign. See the [module docs](self) for the
@@ -553,41 +199,44 @@ pub fn run_campaign(
     std::fs::create_dir_all(&opts.out_dir)?;
     let manifest = manifest_path(spec, opts);
     let mut done = if opts.resume {
-        load_manifest(&manifest)?
+        points::ensure_manifest_header(&manifest, spec)?;
+        points::load_manifest(&manifest)?
     } else {
         if manifest.exists() {
             std::fs::remove_file(&manifest)?;
         }
+        points::ensure_manifest_header(&manifest, spec)?;
         BTreeMap::new()
     };
 
-    let points = spec.expand();
-    let pending: Vec<&Point> = points
-        .iter()
-        .filter(|p| !done.contains_key(&p.id))
-        .collect();
-    let skipped = points.len() - pending.len();
+    let all = spec.expand();
+    let pending: Vec<&Point> = all.iter().filter(|p| !done.contains_key(&p.id)).collect();
+    let skipped = all.len() - pending.len();
     let allowance = opts.max_points.unwrap_or(pending.len()).min(pending.len());
 
     let mut completed = 0;
     for chunk in pending[..allowance].chunks(POINTS_PER_CHUNK) {
         let lines = run_chunk(spec, chunk)?;
-        append_manifest(&manifest, &lines)?;
+        points::append_manifest(&manifest, &lines)?;
         for (point, line) in chunk.iter().zip(lines) {
             done.insert(point.id, line);
         }
         completed += chunk.len();
     }
 
-    let artifact = if done.len() == points.len() {
-        Some(write_artifact(spec, opts, &done)?)
+    let artifact = if done.len() == all.len() {
+        Some(points::write_artifact_file(
+            spec,
+            &artifact_path(spec, opts),
+            &done,
+        )?)
     } else {
         None
     };
     Ok(CampaignOutcome {
         completed,
         skipped,
-        total: points.len(),
+        total: all.len(),
         artifact,
     })
 }
@@ -595,37 +244,7 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn shard_decomposition_covers_reps_exactly() {
-        for reps in 1..=13 {
-            let parts: Vec<(u64, u64)> = shards(reps).collect();
-            let mut covered = Vec::new();
-            for (start, len) in parts {
-                assert!(len >= 1 && len <= REPS_PER_SHARD);
-                covered.extend(start..start + len);
-            }
-            assert_eq!(covered, (0..reps).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn point_seed_depends_on_spec_identity_only() {
-        let mut a = SweepSpec::smoke();
-        let s1 = point_seed(&a, 2);
-        assert_eq!(s1, point_seed(&a, 2));
-        assert_ne!(s1, point_seed(&a, 3));
-        a.name = "other".to_string();
-        assert_ne!(s1, point_seed(&a, 2));
-        a = SweepSpec::smoke();
-        a.seed ^= 1;
-        assert_ne!(s1, point_seed(&a, 2));
-        // Execution-shape knobs must NOT enter the derivation.
-        a = SweepSpec::smoke();
-        a.reps += 10;
-        a.hist_bins += 1;
-        assert_eq!(s1, point_seed(&a, 2));
-    }
+    use crate::points::run_point;
 
     #[test]
     fn run_point_matches_chunked_execution() {
@@ -639,69 +258,5 @@ mod tests {
             let line = run_point(&spec, point.id).expect("point runs");
             assert_eq!(line, lines[point.id as usize]);
         }
-    }
-
-    #[test]
-    fn records_are_parseable_and_complete() {
-        let spec = SweepSpec::smoke();
-        let line = run_point(&spec, 0).expect("runs");
-        let v = json::parse(&line).expect("valid JSON");
-        assert_eq!(
-            v.get("schema_version").and_then(Value::as_u64),
-            Some(MANIFEST_SCHEMA_VERSION as u64)
-        );
-        assert_eq!(v.get("point").and_then(Value::as_u64), Some(0));
-        assert_eq!(v.get("reps").and_then(Value::as_u64), Some(spec.reps));
-        assert_eq!(v.get("failures").and_then(Value::as_u64), Some(0));
-        let mean = v.get("mean").and_then(Value::as_f64).expect("mean");
-        assert!(mean > 0.0);
-        let p50 = v.get("p50").and_then(Value::as_f64).expect("p50");
-        assert!(p50 >= 0.0 && p50 <= spec.budget as f64);
-    }
-
-    #[test]
-    fn unknown_point_is_an_error() {
-        let spec = SweepSpec::smoke();
-        assert!(matches!(
-            run_point(&spec, 99),
-            Err(CampaignError::UnknownPoint(99))
-        ));
-    }
-
-    #[test]
-    fn manifest_loader_drops_torn_lines() {
-        let dir = std::env::temp_dir().join("mmhew-campaign-torn");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-        let path = dir.join("m.jsonl");
-        std::fs::write(&path, "{\"point\":0,\"mean\":1}\n{\"point\":1,\"me").expect("write");
-        let done = load_manifest(&path).expect("load");
-        assert_eq!(done.len(), 1);
-        assert!(done.contains_key(&0));
-        std::fs::remove_file(&path).ok();
-    }
-
-    #[test]
-    fn manifest_loader_versioning() {
-        let dir = std::env::temp_dir().join("mmhew-campaign-schema");
-        std::fs::create_dir_all(&dir).expect("mkdir");
-
-        // Unversioned (pre-stamp) and current-version lines both load.
-        let ok = dir.join("ok.jsonl");
-        std::fs::write(
-            &ok,
-            "{\"point\":0,\"mean\":1}\n{\"schema_version\":1,\"point\":1,\"mean\":2}\n",
-        )
-        .expect("write");
-        let done = load_manifest(&ok).expect("load");
-        assert_eq!(done.len(), 2);
-
-        // A newer stamp is an error, not a silent misread.
-        let newer = dir.join("newer.jsonl");
-        std::fs::write(&newer, "{\"schema_version\":999,\"point\":0,\"mean\":1}\n").expect("write");
-        let err = load_manifest(&newer).expect_err("must refuse");
-        assert!(err.to_string().contains("newer than the supported"));
-
-        std::fs::remove_file(&ok).ok();
-        std::fs::remove_file(&newer).ok();
     }
 }

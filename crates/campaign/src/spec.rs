@@ -28,7 +28,8 @@
 //!
 //! Every point is independently addressable: its seed derives from
 //! `(spec.seed, spec.name, point.id)` alone (see
-//! [`crate::run::point_seed`]), never from which shard or process ran it.
+//! [`crate::points::point_seed`]), never from which shard or process ran
+//! it.
 
 use crate::json::{self, Value};
 use serde::Serialize;
@@ -274,6 +275,62 @@ impl SweepSpec {
         Ok(spec)
     }
 
+    /// Serializes the spec back to the canonical JSON document shape
+    /// [`SweepSpec::from_json`] reads (kebab-case field names, axes as an
+    /// ordered object) — `from_json(spec.to_json())` reconstructs the
+    /// spec exactly. This is the wire and manifest-header form: the
+    /// campaign service ships specs between `campaign submit`, the
+    /// coordinator, and its workers as this text, and the manifest's
+    /// spec-echo header records it.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::from("{\"name\":");
+        mmhew_obs::value::write_json_string(&mut out, &self.name);
+        let _ = write!(
+            out,
+            ",\"engine\":\"{}\"",
+            match self.engine {
+                EngineKind::Sync => "sync",
+                EngineKind::Async => "async",
+            }
+        );
+        out.push_str(",\"algorithm\":");
+        mmhew_obs::value::write_json_string(&mut out, &self.algorithm);
+        out.push_str(",\"topology\":");
+        mmhew_obs::value::write_json_string(&mut out, &self.topology);
+        let _ = write!(
+            out,
+            ",\"edge-prob\":{},\"mode\":\"{}\",\"reps\":{},\"seed\":{},\"budget\":{},\
+             \"hist-bins\":{},\"churn-downtime\":{},\"axes\":{{",
+            self.edge_prob,
+            match self.mode {
+                GridMode::Cartesian => "cartesian",
+                GridMode::Zip => "zip",
+            },
+            self.reps,
+            self.seed,
+            self.budget,
+            self.hist_bins,
+            self.churn_downtime
+        );
+        for (i, axis) in self.axes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            mmhew_obs::value::write_json_string(&mut out, &axis.name);
+            out.push_str(":[");
+            for (j, v) in axis.values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+
     /// The built-in 4-point smoke spec CI runs: 2×2 over `nodes` ×
     /// `universe` on small complete graphs, 2 reps each.
     pub fn smoke() -> Self {
@@ -505,5 +562,44 @@ mod tests {
     #[test]
     fn smoke_spec_is_four_points() {
         assert_eq!(SweepSpec::smoke().expand().len(), 4);
+    }
+
+    #[test]
+    fn canonical_json_round_trips_exactly() {
+        // to_json must be the precise inverse of from_json: the campaign
+        // service ships specs as this text, and a worker that parses it
+        // must reconstruct the identical spec (identical seeds, points,
+        // and manifest lines).
+        let mut spec = SweepSpec::smoke();
+        assert_eq!(SweepSpec::from_json(&spec.to_json()).expect("parses"), spec);
+
+        spec.topology = "er".to_string();
+        spec.edge_prob = 0.35;
+        spec.mode = GridMode::Zip;
+        spec.algorithm = "uniform".to_string();
+        spec.churn_downtime = 1_234.5;
+        spec.axes.push(AxisSpec {
+            name: "loss".to_string(),
+            values: vec![0.0, 0.25],
+        });
+        assert_eq!(SweepSpec::from_json(&spec.to_json()).expect("parses"), spec);
+
+        // Canonicalization is idempotent: reparse and reserialize agree.
+        let canonical = spec.to_json();
+        let reparsed = SweepSpec::from_json(&canonical).expect("parses");
+        assert_eq!(reparsed.to_json(), canonical);
+    }
+
+    #[test]
+    fn checked_in_smoke_spec_file_matches_the_builtin() {
+        // The README's campaign-server quickstart points at
+        // specs/smoke.json; keep it in lockstep with SweepSpec::smoke()
+        // so the two paths produce identical campaigns.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/smoke.json");
+        let text = std::fs::read_to_string(path).expect("specs/smoke.json exists");
+        assert_eq!(
+            SweepSpec::from_json(&text).expect("parses"),
+            SweepSpec::smoke()
+        );
     }
 }

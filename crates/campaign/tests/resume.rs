@@ -2,7 +2,7 @@
 //! produce a byte-identical artifact to an uninterrupted run, and must
 //! report the resumed points as skipped.
 
-use mmhew_campaign::{run_campaign, CampaignOptions, SweepSpec};
+use mmhew_campaign::{manifest_header, run_campaign, CampaignOptions, SweepSpec};
 use std::path::PathBuf;
 
 fn fresh_dir(name: &str) -> PathBuf {
@@ -31,13 +31,16 @@ fn interrupted_then_resumed_artifact_is_byte_identical() {
     assert_eq!(partial.completed, 2);
     assert!(partial.artifact.is_none(), "no artifact while incomplete");
     let manifest = resumed.join("smoke.manifest.jsonl");
+    let checkpoint = std::fs::read_to_string(&manifest).expect("manifest");
     assert_eq!(
-        std::fs::read_to_string(&manifest)
-            .expect("manifest")
-            .lines()
-            .count(),
-        2,
-        "checkpoint holds exactly the finished points"
+        checkpoint.lines().count(),
+        3,
+        "checkpoint holds the spec-echo header plus exactly the finished points"
+    );
+    assert_eq!(
+        checkpoint.lines().next().expect("header"),
+        manifest_header(&spec),
+        "manifest opens with the spec-echo header"
     );
 
     // Resume: the finished points are skipped, not re-run.
@@ -66,6 +69,67 @@ fn rerun_without_resume_starts_over_but_matches() {
     let b = std::fs::read(second.artifact.expect("artifact")).expect("read");
     assert_eq!(a, b);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn resume_tolerates_a_torn_spec_echo_header() {
+    // A crash during the very first manifest write can tear the header
+    // line itself. Resume must rewrite it and carry on — and because no
+    // data line survived, the repaired run is byte-identical to an
+    // uninterrupted one.
+    let spec = SweepSpec::smoke();
+
+    let straight = fresh_dir("header-straight");
+    let outcome = run_campaign(&spec, &CampaignOptions::new(&straight)).expect("runs");
+    let reference_manifest =
+        std::fs::read(straight.join("smoke.manifest.jsonl")).expect("manifest");
+    let reference_artifact =
+        std::fs::read(outcome.artifact.expect("artifact written")).expect("read");
+
+    let repaired = fresh_dir("header-torn");
+    let manifest = repaired.join("smoke.manifest.jsonl");
+    let header = manifest_header(&spec);
+    std::fs::write(&manifest, &header.as_bytes()[..header.len() / 2]).expect("write torn header");
+
+    let mut opts = CampaignOptions::new(&repaired);
+    opts.resume = true;
+    let finished = run_campaign(&spec, &opts).expect("resume over torn header");
+    assert_eq!(finished.skipped, 0, "no data line survived the tear");
+    assert_eq!(finished.completed, 4);
+    assert_eq!(
+        std::fs::read(&manifest).expect("manifest"),
+        reference_manifest,
+        "repaired manifest is byte-identical"
+    );
+    assert_eq!(
+        std::fs::read(finished.artifact.expect("artifact written")).expect("read"),
+        reference_artifact,
+        "repaired artifact is byte-identical"
+    );
+
+    // A torn final *data* line on top of an intact header: the header is
+    // kept, the torn line dropped, and the campaign resumes cleanly.
+    let torn_data = fresh_dir("data-torn");
+    let manifest = torn_data.join("smoke.manifest.jsonl");
+    let mut opts = CampaignOptions::new(&torn_data);
+    opts.max_points = Some(2);
+    run_campaign(&spec, &opts).expect("partial run");
+    let mut bytes = std::fs::read(&manifest).expect("manifest");
+    bytes.extend_from_slice(b"{\"schema_version\":1,\"point\":2,\"par");
+    std::fs::write(&manifest, bytes).expect("tear");
+    let mut opts = CampaignOptions::new(&torn_data);
+    opts.resume = true;
+    let finished = run_campaign(&spec, &opts).expect("resume over torn data line");
+    assert_eq!(finished.skipped, 2);
+    assert_eq!(finished.completed, 2);
+    assert_eq!(
+        std::fs::read(&manifest).expect("manifest"),
+        reference_manifest
+    );
+
+    std::fs::remove_dir_all(&straight).ok();
+    std::fs::remove_dir_all(&repaired).ok();
+    std::fs::remove_dir_all(&torn_data).ok();
 }
 
 #[test]

@@ -83,6 +83,79 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Serializes this value back to compact JSON text, matching the
+    /// conventions of the write-side serializer in [`crate::json`]
+    /// (compact separators, `{}`-formatted numbers, non-finite numbers as
+    /// `null`). Together with [`parse`] this makes [`Value`] a wire
+    /// format: a subobject of a parsed request/response can be lifted out
+    /// and re-sent without a schema.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Num(n) => {
+                if n.is_finite() {
+                    let _ = write!(out, "{n}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(out, s),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(out, key);
+                    out.push(':');
+                    value.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Appends `s` as a JSON string literal (same escaping rules as the
+/// serializer in [`crate::json`]).
+pub fn write_json_string(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// Parse failure: what was wrong and the byte offset where.
@@ -352,6 +425,22 @@ mod tests {
         let e = parse("true false").unwrap_err();
         assert!(e.message.contains("trailing"));
         assert_eq!(e.offset, 5);
+    }
+
+    #[test]
+    fn value_writer_round_trips_through_parse() {
+        // parse → to_json → parse is the identity; and for documents
+        // already in compact form, parse → to_json reproduces the bytes.
+        let compact = r#"{"name":"smoke","p":[1,2.5,null,true],"nested":{"a":"x\"y"},"e":[]}"#;
+        let v = parse(compact).unwrap();
+        assert_eq!(v.to_json(), compact);
+        assert_eq!(parse(&v.to_json()).unwrap(), v);
+        // Spacing normalizes away; values survive.
+        let spaced = parse("{ \"a\" : [ 1 , 2 ] }").unwrap();
+        assert_eq!(spaced.to_json(), "{\"a\":[1,2]}");
+        // Non-finite numbers serialize as null, matching crate::json.
+        assert_eq!(Value::Num(f64::NAN).to_json(), "null");
+        assert_eq!(Value::Str("a\nb".into()).to_json(), "\"a\\nb\"");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Campaign coordinator: owns the manifest, hands out leases, serves
+//! status.
+//!
+//! ```text
+//! campaign-server --spec sweep.json [--listen ADDR] [--out DIR]
+//!                 [--lease-secs N] [--resume]
+//! campaign-server --smoke                 # built-in 4-point CI spec
+//! campaign-server --listen 127.0.0.1:8077 # wait for `campaign submit`
+//! ```
+//!
+//! Flags: `--spec <file.json>` or `--smoke` preload the campaign
+//! (otherwise the server waits for a `campaign submit --server URL`),
+//! `--listen <addr>` (default `127.0.0.1:8077`; port 0 picks a free
+//! port, printed on startup), `--out <dir>` (default `campaign-out`),
+//! `--lease-secs <n>` (default 30 — how long a worker may hold a point
+//! before it is re-issued), `--linger-ms <n>` (default 2000 — how long
+//! to keep serving `/status` and `/manifest` after completion), and
+//! `--resume` (continue an existing manifest instead of starting over).
+//!
+//! The server prints `listening on http://ADDR`, runs until every point
+//! is done, writes the artifact, lingers briefly, and exits 0.
+
+use mmhew_campaign::SweepSpec;
+use mmhew_harness::cli::Args;
+use mmhew_serve::{spawn_server, ServerOptions};
+use std::io::Write as _;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign-server [--spec FILE.json | --smoke] [--listen ADDR] \
+         [--out DIR] [--lease-secs N] [--linger-ms N] [--resume]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = match Args::parse().and_then(|a| {
+        a.expect_only(
+            &["spec", "listen", "out", "lease-secs", "linger-ms"],
+            &["smoke", "resume"],
+        )?;
+        Ok(a)
+    }) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("campaign-server: {e}");
+            usage();
+        }
+    };
+
+    let spec = if args.flag("smoke") {
+        Some(SweepSpec::smoke())
+    } else if let Some(path) = args.raw("spec") {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("campaign-server: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        match SweepSpec::from_json(&text) {
+            Ok(spec) => Some(spec),
+            Err(e) => {
+                eprintln!("campaign-server: {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+
+    let mut opts = ServerOptions::new();
+    opts.listen = args.raw("listen").unwrap_or("127.0.0.1:8077").to_string();
+    opts.out_dir = args.raw("out").unwrap_or("campaign-out").into();
+    opts.resume = args.flag("resume");
+    opts.lease_ms = match args.get_or("lease-secs", 30u64) {
+        Ok(secs) => secs.saturating_mul(1000).max(1),
+        Err(e) => {
+            eprintln!("campaign-server: {e}");
+            usage();
+        }
+    };
+    opts.linger_ms = match args.get_or("linger-ms", 2000u64) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("campaign-server: {e}");
+            usage();
+        }
+    };
+
+    let handle = match spawn_server(spec, opts) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("campaign-server: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("campaign-server: listening on {}", handle.url());
+    // Workers and scripts parse the line above; make sure it is visible
+    // before the (potentially long) campaign.
+    let _ = std::io::stdout().flush();
+    match handle.wait_until_complete() {
+        Some(artifact) => println!("campaign-server: artifact {}", artifact.display()),
+        None => println!("campaign-server: stopped without an artifact"),
+    }
+}

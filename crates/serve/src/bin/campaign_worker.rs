@@ -1,0 +1,84 @@
+//! Campaign worker: leases points from a `campaign-server` and runs them.
+//!
+//! ```text
+//! campaign-worker --server http://127.0.0.1:8077 [--name w1]
+//!                 [--throttle-ms N] [--poll-ms N]
+//! ```
+//!
+//! Flags: `--server <url>` (required), `--name <id>` (default
+//! `worker-<pid>`; must be unique per worker), `--throttle-ms <n>`
+//! (sleep before each leased point — for fault-injection tests that need
+//! a wide kill window), `--poll-ms <n>` (default 200 — idle poll
+//! interval), and the standard `--jobs <n>` (accepted uniformly by every
+//! harness binary; points run their shards serially, so it only sizes the
+//! harness pool if a future worker parallelizes within a point).
+//!
+//! The worker exits 0 when the coordinator reports the campaign done
+//! (or disappears after this worker completed at least one point —
+//! coordinators exit shortly after completion).
+
+use mmhew_harness::cli::Args;
+use mmhew_harness::set_jobs;
+use mmhew_serve::{run_worker, WorkerOptions};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign-worker --server URL [--name ID] [--throttle-ms N] \
+         [--poll-ms N] [--jobs N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = match Args::parse().and_then(|a| {
+        a.expect_only(&["server", "name", "throttle-ms", "poll-ms"], &[])?;
+        Ok(a)
+    }) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            usage();
+        }
+    };
+    match args.jobs() {
+        Ok(Some(jobs)) => set_jobs(jobs),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            usage();
+        }
+    }
+    let Some(server) = args.raw("server") else {
+        eprintln!("campaign-worker: --server URL is required");
+        usage();
+    };
+    let name = args
+        .raw("name")
+        .map(String::from)
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let mut opts = WorkerOptions::new(server, &name);
+    opts.throttle_ms = match args.get_or("throttle-ms", 0u64) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            usage();
+        }
+    };
+    opts.poll_ms = match args.get_or("poll-ms", 200u64) {
+        Ok(ms) => ms.max(1),
+        Err(e) => {
+            eprintln!("campaign-worker: {e}");
+            usage();
+        }
+    };
+    match run_worker(&opts) {
+        Ok(summary) => println!(
+            "campaign-worker {name}: {} completed, {} conflicted",
+            summary.completed, summary.conflicts
+        ),
+        Err(e) => {
+            eprintln!("campaign-worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

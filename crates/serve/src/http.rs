@@ -1,0 +1,186 @@
+//! A deliberately small HTTP/1.1 server edge for the campaign service.
+//!
+//! One request per connection, `Content-Length`-framed bodies,
+//! `Connection: close` on every response — no keep-alive, no chunked
+//! encoding, no TLS. The protocol is coordinator-to-worker on a trusted
+//! network (usually loopback), so the parser favors clarity over
+//! generality; it still bounds header and body sizes so a confused peer
+//! cannot balloon memory.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on the request head (request line + headers).
+const MAX_HEAD: usize = 16 * 1024;
+/// Upper bound on a request body (a submitted spec is a few KiB; manifest
+/// lines are smaller still).
+const MAX_BODY: usize = 4 * 1024 * 1024;
+
+/// A parsed request: method, path, and the (possibly empty) body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, ….
+    pub method: String,
+    /// The request target, e.g. `/lease`.
+    pub path: String,
+    /// The body, framed by `Content-Length`.
+    pub body: String,
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Reads one request from the stream: head until `\r\n\r\n`, then exactly
+/// `Content-Length` body bytes.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on a malformed or oversized request, or any
+/// underlying I/O error (including read timeouts set by the caller).
+pub fn read_request(stream: &mut TcpStream) -> std::io::Result<Request> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(invalid("request head exceeds 16 KiB"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-request"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or_else(|| invalid("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or_else(|| invalid("missing method"))?;
+    let path = parts.next().ok_or_else(|| invalid("missing path"))?;
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| v.trim().parse::<usize>())
+        .transpose()
+        .map_err(|_| invalid("bad Content-Length"))?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(invalid("request body exceeds 4 MiB"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body: String::from_utf8_lossy(&body).to_string(),
+    })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Writes one response (JSON body unless empty) and leaves the connection
+/// for the caller to drop — every response is `Connection: close`.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error.
+pub fn respond(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        410 => "Gone",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips a raw request through a real socket pair and returns
+    /// what `read_request` parsed.
+    fn parse_raw(raw: &[u8]) -> std::io::Result<Request> {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.write_all(&raw).expect("write");
+        });
+        let (mut stream, _) = listener.accept().expect("accept");
+        let parsed = read_request(&mut stream);
+        writer.join().expect("writer");
+        parsed
+    }
+
+    #[test]
+    fn requests_parse_with_and_without_bodies() {
+        let r = parse_raw(b"GET /status HTTP/1.1\r\nHost: x\r\n\r\n").expect("parses");
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/status");
+        assert_eq!(r.body, "");
+
+        let r = parse_raw(
+            b"POST /lease HTTP/1.1\r\nHost: x\r\nContent-Length: 20\r\n\r\n{\"schema_version\":1}",
+        )
+        .expect("parses");
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/lease");
+        assert_eq!(r.body, "{\"schema_version\":1}");
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_raw(b"\r\n\r\n").is_err());
+        assert!(parse_raw(b"POST /x HTTP/1.1\r\nContent-Length: zap\r\n\r\n").is_err());
+        // Truncated body: peer closes before Content-Length bytes arrive.
+        assert!(parse_raw(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn responses_are_well_formed() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().expect("accept");
+            respond(&mut s, 409, "{\"schema_version\":1}").expect("respond");
+        });
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut raw = String::new();
+        s.read_to_string(&mut raw).expect("read");
+        server.join().expect("server");
+        assert!(raw.starts_with("HTTP/1.1 409 Conflict\r\n"));
+        assert!(raw.contains("Content-Length: 20\r\n"));
+        assert!(raw.contains("Connection: close\r\n"));
+        assert!(raw.ends_with("\r\n\r\n{\"schema_version\":1}"));
+    }
+}

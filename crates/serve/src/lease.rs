@@ -1,0 +1,270 @@
+//! The lease state machine: which worker owns which point, and for how
+//! long.
+//!
+//! Pure data structure — the clock is injected as a millisecond counter,
+//! so expiry is unit-testable without sleeping. Each point moves
+//! `pending → leased → done`; a leased point whose deadline has passed is
+//! *reclaimed* (back to the head of the pending queue) the next time a
+//! grant is requested, and re-issued to whoever asked. Because point
+//! execution is a pure function of `(spec, point id)`, a re-issued
+//! point's redo produces byte-identical output, so reclaiming is always
+//! safe — the only cost is the wasted work of the original holder, whose
+//! late completion is answered with a conflict (HTTP 409) and discarded.
+//!
+//! v1 leases always cover a whole point (`rep_start = 0`,
+//! `rep_len = reps`); the fields exist on the wire so a future version
+//! can split a point's repetitions across workers without a schema bump.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One granted lease.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The point to execute.
+    pub point: u64,
+    /// First repetition of the shard (always 0 in v1).
+    pub rep_start: u64,
+    /// Repetitions in the shard (always the spec's `reps` in v1).
+    pub rep_len: u64,
+    /// Absolute deadline on the coordinator's clock, in ms.
+    pub deadline_ms: u64,
+}
+
+/// The outcome of a grant request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Grant {
+    /// Work to do.
+    Lease(Lease),
+    /// Everything is leased out but not yet done — poll again shortly.
+    NoneAvailable,
+    /// Every point is done; the worker can exit.
+    Done,
+}
+
+/// The outcome of a completion report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// The result was accepted (first completion of this point).
+    Accepted,
+    /// The point is already done, or leased to a different worker after
+    /// this one's lease expired — the result is discarded.
+    Conflict,
+}
+
+struct Held {
+    worker: String,
+    deadline_ms: u64,
+}
+
+/// Lease bookkeeping for one campaign.
+pub struct LeaseTable {
+    pending: VecDeque<u64>,
+    leased: BTreeMap<u64, Held>,
+    done: BTreeSet<u64>,
+    rep_len: u64,
+    lease_ms: u64,
+}
+
+impl LeaseTable {
+    /// A table over `points` (ids not in `already_done`), with whole-point
+    /// leases of `rep_len` repetitions expiring `lease_ms` after grant.
+    pub fn new(points: &[u64], already_done: &BTreeSet<u64>, rep_len: u64, lease_ms: u64) -> Self {
+        Self {
+            pending: points
+                .iter()
+                .copied()
+                .filter(|p| !already_done.contains(p))
+                .collect(),
+            leased: BTreeMap::new(),
+            done: already_done.clone(),
+            rep_len,
+            lease_ms,
+        }
+    }
+
+    /// Moves every expired lease back to the head of the pending queue so
+    /// stalled points are retried before fresh ones.
+    fn reclaim(&mut self, now_ms: u64) {
+        let expired: Vec<u64> = self
+            .leased
+            .iter()
+            .filter(|(_, held)| held.deadline_ms <= now_ms)
+            .map(|(&p, _)| p)
+            .collect();
+        for point in expired {
+            self.leased.remove(&point);
+            self.pending.push_front(point);
+        }
+    }
+
+    /// Grants the next pending point to `worker`, reclaiming expired
+    /// leases first.
+    pub fn grant(&mut self, worker: &str, now_ms: u64) -> Grant {
+        self.reclaim(now_ms);
+        match self.pending.pop_front() {
+            Some(point) => {
+                let deadline_ms = now_ms + self.lease_ms;
+                self.leased.insert(
+                    point,
+                    Held {
+                        worker: worker.to_string(),
+                        deadline_ms,
+                    },
+                );
+                Grant::Lease(Lease {
+                    point,
+                    rep_start: 0,
+                    rep_len: self.rep_len,
+                    deadline_ms,
+                })
+            }
+            None if self.leased.is_empty() => Grant::Done,
+            None => Grant::NoneAvailable,
+        }
+    }
+
+    /// Records `worker` finishing `point`. Accepted if the point is still
+    /// leased to this worker — or back in the pending queue after an
+    /// expiry nobody else picked up yet (the bytes are deterministic, so
+    /// accepting saves a redo). Conflict if the point is already done or
+    /// was re-issued to a different worker.
+    pub fn complete(&mut self, worker: &str, point: u64) -> Completion {
+        if self.done.contains(&point) {
+            return Completion::Conflict;
+        }
+        if let Some(held) = self.leased.get(&point) {
+            if held.worker != worker {
+                return Completion::Conflict;
+            }
+        } else if !self.pending.contains(&point) {
+            // Not done, not leased, not pending: outside the grid.
+            return Completion::Conflict;
+        }
+        self.leased.remove(&point);
+        self.pending.retain(|&p| p != point);
+        self.done.insert(point);
+        Completion::Accepted
+    }
+
+    /// `(done, leased, pending)` counts, as served by `GET /status`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.done.len(), self.leased.len(), self.pending.len())
+    }
+
+    /// True once every point is done.
+    pub fn is_complete(&self) -> bool {
+        self.pending.is_empty() && self.leased.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(points: u64, lease_ms: u64) -> LeaseTable {
+        let ids: Vec<u64> = (0..points).collect();
+        LeaseTable::new(&ids, &BTreeSet::new(), 8, lease_ms)
+    }
+
+    #[test]
+    fn grants_cover_every_point_once() {
+        let mut t = table(3, 1000);
+        let mut seen = Vec::new();
+        for _ in 0..3 {
+            match t.grant("w", 0) {
+                Grant::Lease(l) => {
+                    assert_eq!((l.rep_start, l.rep_len), (0, 8));
+                    assert_eq!(l.deadline_ms, 1000);
+                    seen.push(l.point);
+                }
+                other => panic!("expected lease, got {other:?}"),
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+        assert_eq!(t.grant("w", 0), Grant::NoneAvailable);
+        for p in 0..3 {
+            assert_eq!(t.complete("w", p), Completion::Accepted);
+        }
+        assert_eq!(t.grant("w", 0), Grant::Done);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn expired_leases_are_reissued_and_late_completion_conflicts() {
+        let mut t = table(1, 1000);
+        let Grant::Lease(l) = t.grant("w1", 0) else {
+            panic!("lease");
+        };
+        assert_eq!(l.point, 0);
+        // Before expiry nothing is reissued.
+        assert_eq!(t.grant("w2", 999), Grant::NoneAvailable);
+        // At the deadline the lease is reclaimed and reissued to w2.
+        let Grant::Lease(l) = t.grant("w2", 1000) else {
+            panic!("reissue");
+        };
+        assert_eq!(l.point, 0);
+        assert_eq!(l.deadline_ms, 2000);
+        // w2 completes first; w1's late result is a conflict.
+        assert_eq!(t.complete("w2", 0), Completion::Accepted);
+        assert_eq!(t.complete("w1", 0), Completion::Conflict);
+        assert!(t.is_complete());
+    }
+
+    #[test]
+    fn duplicate_completion_is_a_conflict() {
+        let mut t = table(2, 1000);
+        let Grant::Lease(l) = t.grant("w1", 0) else {
+            panic!("lease");
+        };
+        assert_eq!(t.complete("w1", l.point), Completion::Accepted);
+        assert_eq!(t.counts().0, 1);
+        assert_eq!(t.complete("w1", l.point), Completion::Conflict);
+    }
+
+    #[test]
+    fn expired_point_back_in_pending_still_accepts_original_holder() {
+        // Both points leased; both expire; a third worker's grant reclaims
+        // both but can only take one — the other sits *pending*. The
+        // original holder's late result for the pending point is still
+        // byte-identical, so it is accepted (saving a redo) rather than
+        // conflicted.
+        let mut t = table(2, 1000);
+        let Grant::Lease(a) = t.grant("w1", 0) else {
+            panic!("lease a");
+        };
+        let Grant::Lease(b) = t.grant("w2", 0) else {
+            panic!("lease b");
+        };
+        let Grant::Lease(reissued) = t.grant("w3", 1000) else {
+            panic!("reissue");
+        };
+        let still_pending = if reissued.point == a.point {
+            b.point
+        } else {
+            a.point
+        };
+        let original_holder = if still_pending == a.point { "w1" } else { "w2" };
+        assert_eq!(t.counts(), (0, 1, 1));
+        assert_eq!(
+            t.complete(original_holder, still_pending),
+            Completion::Accepted
+        );
+        assert_eq!(t.counts(), (1, 1, 0));
+    }
+
+    #[test]
+    fn unknown_points_and_resume_are_handled() {
+        let done: BTreeSet<u64> = [0, 2].into_iter().collect();
+        let mut t = LeaseTable::new(&[0, 1, 2, 3], &done, 4, 1000);
+        assert_eq!(t.counts(), (2, 0, 2));
+        assert_eq!(t.complete("w", 99), Completion::Conflict);
+        assert_eq!(t.complete("w", 0), Completion::Conflict);
+        let mut granted = Vec::new();
+        while let Grant::Lease(l) = t.grant("w", 0) {
+            granted.push(l.point);
+        }
+        granted.sort_unstable();
+        assert_eq!(granted, vec![1, 3], "resumed points are never re-leased");
+    }
+}

@@ -1,0 +1,46 @@
+//! `mmhew-serve` — the distributed campaign service: a `campaign-server`
+//! coordinator and a `campaign-worker` fleet speaking a dependency-free
+//! HTTP/1.1 + JSONL protocol over `std::net`.
+//!
+//! A campaign is a grid of deterministic points
+//! ([`mmhew_campaign::SweepSpec`]); every point's bytes depend only on
+//! `(spec, point id)`, never on where or when it runs. That is the whole
+//! trick of this service: the coordinator owns the manifest and hands out
+//! *leases* (point id + rep shard + deadline), workers execute
+//! [`mmhew_campaign::run_point_line`] and post the finished line back, and
+//! the coordinator appends lines **in point order** with exactly the
+//! torn-line/resume semantics of a single-process run. A worker that
+//! crashes mid-lease simply times out; the lease is re-issued and the redo
+//! produces byte-identical output, so the final manifest and artifact are
+//! indistinguishable from `campaign --spec …` run locally — asserted
+//! byte-for-byte by this crate's integration tests (including one that
+//! SIGKILLs a worker mid-campaign).
+//!
+//! Module map:
+//!
+//! * [`http`] — a minimal HTTP/1.1 server edge (one request per
+//!   connection, `Content-Length` bodies, `Connection: close`).
+//! * [`wire`] — the JSON wire protocol: [`wire::WIRE_SCHEMA_VERSION`]
+//!   stamped on every body, newer versions refused on both sides.
+//! * [`lease`] — the pure lease state machine (pending → leased → done),
+//!   with an injected clock so expiry is unit-testable.
+//! * [`server`] — the coordinator: spec loading/submission, lease grants,
+//!   in-order manifest appends, `/status` and `/manifest` endpoints.
+//! * [`worker`] — the worker loop: lease → run → complete, tolerant of
+//!   conflicts (409) and coordinator shutdown.
+//!
+//! The matching client side (used by `campaign submit --server URL` and
+//! `campaign explore --server URL`) lives in [`mmhew_campaign::client`],
+//! because this crate depends on `mmhew-campaign` and the client must not
+//! create a cycle.
+
+pub mod http;
+pub mod lease;
+pub mod server;
+pub mod wire;
+pub mod worker;
+
+pub use lease::{Completion, Grant, Lease, LeaseTable};
+pub use server::{spawn_server, ServeError, ServerHandle, ServerOptions};
+pub use wire::WIRE_SCHEMA_VERSION;
+pub use worker::{run_worker, WorkerOptions, WorkerSummary};

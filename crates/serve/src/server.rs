@@ -1,0 +1,519 @@
+//! The coordinator: owns the spec, the lease table, and the manifest.
+//!
+//! One `TcpListener`, one thread per connection, one `Mutex` around the
+//! campaign state — campaign points take seconds, so lock contention is
+//! irrelevant next to correctness. The load-bearing invariant is the
+//! **in-point-order manifest append**: completions arrive in whatever
+//! order workers finish, are buffered, and are flushed to disk only as a
+//! contiguous run from the append cursor. Combined with the byte-stable
+//! manifest lines of [`mmhew_campaign::points`], that makes a distributed
+//! campaign's manifest byte-identical to a single-process
+//! `run_campaign` of the same spec — including after a worker is killed
+//! mid-lease and its point redone elsewhere.
+//!
+//! The manifest on disk uses the exact single-process checkpoint
+//! machinery ([`mmhew_campaign::ensure_manifest_header`],
+//! [`mmhew_campaign::load_manifest`], append, artifact render), so a
+//! coordinator can resume a manifest a local run left behind and vice
+//! versa.
+
+use crate::http::{read_request, respond, Request};
+use crate::lease::{Completion, Grant, LeaseTable};
+use crate::wire::{body_with, check_version, error_body, WIRE_SCHEMA_VERSION};
+use mmhew_campaign::json::{parse, Value};
+use mmhew_campaign::{points, CampaignError, SweepSpec};
+use mmhew_obs::value::write_json_string;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Coordinator configuration.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Bind address, e.g. `127.0.0.1:8077` (port 0 picks a free one).
+    pub listen: String,
+    /// Directory for the manifest and artifact.
+    pub out_dir: PathBuf,
+    /// Lease duration before a point is reclaimed and re-issued.
+    pub lease_ms: u64,
+    /// Resume an existing manifest instead of starting the campaign over.
+    pub resume: bool,
+    /// How long to keep serving `/status` and `/manifest` after the
+    /// campaign completes before `run` returns (lets trailing pollers and
+    /// `campaign explore --server` catch the final state).
+    pub linger_ms: u64,
+}
+
+impl ServerOptions {
+    /// Defaults: loopback with an OS-assigned port, `campaign-out`,
+    /// 30-second leases, fresh start, 2-second linger.
+    pub fn new() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            out_dir: PathBuf::from("campaign-out"),
+            lease_ms: 30_000,
+            resume: false,
+            linger_ms: 2_000,
+        }
+    }
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Coordinator failures.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Socket / filesystem failure.
+    Io(std::io::Error),
+    /// The spec or manifest was unusable.
+    Campaign(CampaignError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "campaign-server I/O failed: {e}"),
+            ServeError::Campaign(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<CampaignError> for ServeError {
+    fn from(e: CampaignError) -> Self {
+        ServeError::Campaign(e)
+    }
+}
+
+struct WorkerStats {
+    completed: u64,
+    first_seen: Instant,
+}
+
+/// One loaded campaign and its manifest bookkeeping.
+struct Active {
+    spec: SweepSpec,
+    /// Canonical [`SweepSpec::to_json`] form — the identity used for
+    /// idempotent re-submission and served by `GET /spec`.
+    spec_json: String,
+    total: u64,
+    table: LeaseTable,
+    /// Accepted lines not yet flushed (completions that arrived out of
+    /// point order).
+    buffered: BTreeMap<u64, String>,
+    /// Points whose lines are already in the manifest file (resumed or
+    /// flushed).
+    appended: BTreeSet<u64>,
+    /// Next point id the manifest file expects — lines are appended only
+    /// as a contiguous run from here, which is what keeps the file
+    /// byte-identical to a single-process run's.
+    cursor: u64,
+    manifest: PathBuf,
+    artifact: Option<PathBuf>,
+    workers: BTreeMap<String, WorkerStats>,
+}
+
+impl Active {
+    fn load(spec: SweepSpec, opts: &ServerOptions) -> Result<Self, CampaignError> {
+        spec.validate()?;
+        std::fs::create_dir_all(&opts.out_dir)?;
+        let manifest = opts.out_dir.join(format!("{}.manifest.jsonl", spec.name));
+        let done = if opts.resume {
+            points::ensure_manifest_header(&manifest, &spec)?;
+            points::load_manifest(&manifest)?
+        } else {
+            if manifest.exists() {
+                std::fs::remove_file(&manifest)?;
+            }
+            points::ensure_manifest_header(&manifest, &spec)?;
+            BTreeMap::new()
+        };
+        let all = spec.expand();
+        let ids: Vec<u64> = all.iter().map(|p| p.id).collect();
+        let appended: BTreeSet<u64> = done.keys().copied().collect();
+        let table = LeaseTable::new(&ids, &appended, spec.reps, opts.lease_ms);
+        let mut active = Active {
+            spec_json: spec.to_json(),
+            total: all.len() as u64,
+            table,
+            buffered: BTreeMap::new(),
+            appended,
+            cursor: 0,
+            manifest,
+            artifact: None,
+            workers: BTreeMap::new(),
+            spec,
+        };
+        active.advance_cursor();
+        Ok(active)
+    }
+
+    /// Skips the cursor over points already in the file (resumed runs).
+    fn advance_cursor(&mut self) {
+        while self.appended.contains(&self.cursor) {
+            self.cursor += 1;
+        }
+    }
+
+    /// Flushes the contiguous run of buffered lines starting at the
+    /// cursor, and renders the artifact once everything is on disk.
+    fn flush(&mut self, out_dir: &Path) -> Result<(), CampaignError> {
+        let mut lines = Vec::new();
+        while let Some(line) = self.buffered.remove(&self.cursor) {
+            lines.push(line);
+            self.appended.insert(self.cursor);
+            self.cursor += 1;
+            self.advance_cursor();
+        }
+        if !lines.is_empty() {
+            points::append_manifest(&self.manifest, &lines)?;
+        }
+        if self.table.is_complete() && self.artifact.is_none() {
+            debug_assert!(self.buffered.is_empty());
+            let done = points::load_manifest(&self.manifest)?;
+            let artifact = out_dir.join(format!("{}.campaign.json", self.spec.name));
+            self.artifact = Some(points::write_artifact_file(&self.spec, &artifact, &done)?);
+        }
+        Ok(())
+    }
+}
+
+struct Coordinator {
+    opts: ServerOptions,
+    started: Instant,
+    state: Mutex<Option<Active>>,
+    stop: AtomicBool,
+}
+
+impl Coordinator {
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// Routes one request to `(status, body)`.
+    fn handle(&self, req: &Request) -> (u16, String) {
+        match (req.method.as_str(), req.path.as_str()) {
+            ("GET", "/spec") => self.get_spec(),
+            ("POST", "/spec") => self.post_spec(&req.body),
+            ("POST", "/lease") => self.post_lease(&req.body),
+            ("POST", "/complete") => self.post_complete(&req.body),
+            ("GET", "/status") => self.get_status(),
+            ("GET", "/manifest") => self.get_manifest(),
+            _ => (
+                404,
+                error_body(&format!("no such endpoint: {} {}", req.method, req.path)),
+            ),
+        }
+    }
+
+    fn get_spec(&self) -> (u16, String) {
+        let state = self.state.lock().expect("coordinator lock");
+        match state.as_ref() {
+            Some(active) => (200, body_with(&format!("\"spec\":{}", active.spec_json))),
+            None => (503, error_body("no campaign loaded; POST /spec one")),
+        }
+    }
+
+    fn post_spec(&self, body: &str) -> (u16, String) {
+        let v = match parse_checked(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let Some(spec_value) = v.get("spec") else {
+            return (400, error_body("body needs a \"spec\" object"));
+        };
+        let spec = match SweepSpec::from_json(&spec_value.to_json()) {
+            Ok(spec) => spec,
+            Err(e) => return (400, error_body(&format!("invalid spec: {e}"))),
+        };
+        let mut state = self.state.lock().expect("coordinator lock");
+        match state.as_ref() {
+            Some(active) if active.spec_json == spec.to_json() => {
+                // Idempotent re-submission of the running campaign.
+                (200, body_with("\"loaded\":true"))
+            }
+            Some(active) => (
+                409,
+                error_body(&format!(
+                    "campaign {:?} is already active; one campaign per server",
+                    active.spec.name
+                )),
+            ),
+            None => match Active::load(spec, &self.opts) {
+                Ok(active) => {
+                    *state = Some(active);
+                    (200, body_with("\"loaded\":true"))
+                }
+                Err(e) => (400, error_body(&e.to_string())),
+            },
+        }
+    }
+
+    fn post_lease(&self, body: &str) -> (u16, String) {
+        let v = match parse_checked(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let Some(worker) = v.get("worker").and_then(Value::as_str) else {
+            return (400, error_body("body needs a \"worker\" name"));
+        };
+        let now = self.now_ms();
+        let mut state = self.state.lock().expect("coordinator lock");
+        let Some(active) = state.as_mut() else {
+            return (503, error_body("no campaign loaded; POST /spec one"));
+        };
+        active
+            .workers
+            .entry(worker.to_string())
+            .or_insert_with(|| WorkerStats {
+                completed: 0,
+                first_seen: Instant::now(),
+            });
+        match active.table.grant(worker, now) {
+            Grant::Lease(lease) => (
+                200,
+                body_with(&format!(
+                    "\"point\":{},\"rep_start\":{},\"rep_len\":{},\
+                     \"deadline_ms\":{},\"lease_ms\":{}",
+                    lease.point,
+                    lease.rep_start,
+                    lease.rep_len,
+                    lease.deadline_ms,
+                    self.opts.lease_ms
+                )),
+            ),
+            Grant::NoneAvailable => (204, String::new()),
+            Grant::Done => (410, error_body("campaign complete; nothing to lease")),
+        }
+    }
+
+    fn post_complete(&self, body: &str) -> (u16, String) {
+        let v = match parse_checked(body) {
+            Ok(v) => v,
+            Err(resp) => return resp,
+        };
+        let (Some(worker), Some(point), Some(line)) = (
+            v.get("worker").and_then(Value::as_str),
+            v.get("point").and_then(Value::as_u64),
+            v.get("line").and_then(Value::as_str),
+        ) else {
+            return (
+                400,
+                error_body("body needs \"worker\", \"point\", and \"line\""),
+            );
+        };
+        // The line must be a manifest record for the claimed point —
+        // anything else would corrupt the checkpoint.
+        match parse(line) {
+            Ok(rec) if rec.get("point").and_then(Value::as_u64) == Some(point) => {}
+            _ => {
+                return (
+                    400,
+                    error_body("\"line\" is not a manifest record for that point"),
+                )
+            }
+        }
+        let mut state = self.state.lock().expect("coordinator lock");
+        let Some(active) = state.as_mut() else {
+            return (503, error_body("no campaign loaded"));
+        };
+        match active.table.complete(worker, point) {
+            Completion::Conflict => (
+                409,
+                error_body(&format!(
+                    "lease on point {point} is stale (expired and re-issued, \
+                     or already completed); result discarded"
+                )),
+            ),
+            Completion::Accepted => {
+                active.buffered.insert(point, line.to_string());
+                if let Some(stats) = active.workers.get_mut(worker) {
+                    stats.completed += 1;
+                }
+                if let Err(e) = active.flush(&self.opts.out_dir) {
+                    return (500, error_body(&format!("manifest append failed: {e}")));
+                }
+                (200, body_with("\"accepted\":true"))
+            }
+        }
+    }
+
+    fn get_status(&self) -> (u16, String) {
+        let state = self.state.lock().expect("coordinator lock");
+        let Some(active) = state.as_ref() else {
+            return (200, body_with("\"active\":false"));
+        };
+        let (done, leased, pending) = active.table.counts();
+        let mut workers = String::from("{");
+        for (i, (name, stats)) in active.workers.iter().enumerate() {
+            if i > 0 {
+                workers.push(',');
+            }
+            write_json_string(&mut workers, name);
+            let elapsed = stats.first_seen.elapsed().as_secs_f64().max(1e-9);
+            workers.push_str(&format!(
+                ":{{\"completed\":{},\"points_per_sec\":{:.6}}}",
+                stats.completed,
+                stats.completed as f64 / elapsed
+            ));
+        }
+        workers.push('}');
+        let mut fields = String::from("\"active\":true,\"name\":");
+        write_json_string(&mut fields, &active.spec.name);
+        fields.push_str(&format!(
+            ",\"total\":{},\"done\":{done},\"leased\":{leased},\"pending\":{pending},\
+             \"complete\":{},\"workers\":{workers}",
+            active.total,
+            active.table.is_complete()
+        ));
+        (200, body_with(&fields))
+    }
+
+    fn get_manifest(&self) -> (u16, String) {
+        let state = self.state.lock().expect("coordinator lock");
+        let Some(active) = state.as_ref() else {
+            return (503, error_body("no campaign loaded"));
+        };
+        match std::fs::read_to_string(&active.manifest) {
+            Ok(text) => (200, text),
+            Err(e) => (500, error_body(&format!("cannot read manifest: {e}"))),
+        }
+    }
+
+    fn campaign_complete(&self) -> bool {
+        let state = self.state.lock().expect("coordinator lock");
+        state
+            .as_ref()
+            .is_some_and(|a| a.table.is_complete() && a.artifact.is_some())
+    }
+
+    fn artifact(&self) -> Option<PathBuf> {
+        let state = self.state.lock().expect("coordinator lock");
+        state.as_ref().and_then(|a| a.artifact.clone())
+    }
+}
+
+fn parse_checked(body: &str) -> Result<Value, (u16, String)> {
+    let v = parse(body).map_err(|e| (400, error_body(&format!("body is not JSON: {e}"))))?;
+    check_version(&v).map_err(|msg| (400, error_body(&msg)))?;
+    Ok(v)
+}
+
+fn serve_connection(coordinator: &Coordinator, mut stream: TcpStream) {
+    let response = match read_request(&mut stream) {
+        Ok(req) => coordinator.handle(&req),
+        Err(e) => (400, error_body(&e.to_string())),
+    };
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = respond(&mut stream, response.0, &response.1);
+}
+
+/// A running coordinator, for in-process use (tests, embedding).
+pub struct ServerHandle {
+    /// The bound address (with the OS-assigned port resolved).
+    pub addr: SocketAddr,
+    coordinator: Arc<Coordinator>,
+    accept_thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The `--server` value clients should use.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// True once every point is done and the artifact is on disk.
+    pub fn campaign_complete(&self) -> bool {
+        self.coordinator.campaign_complete()
+    }
+
+    /// The artifact path, once written.
+    pub fn artifact(&self) -> Option<PathBuf> {
+        self.coordinator.artifact()
+    }
+
+    /// Blocks until the campaign completes (plus the configured linger),
+    /// then stops. Used by the `campaign-server` binary.
+    pub fn wait_until_complete(self) -> Option<PathBuf> {
+        while !self.coordinator.campaign_complete() {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        std::thread::sleep(Duration::from_millis(self.coordinator.opts.linger_ms));
+        let artifact = self.coordinator.artifact();
+        self.stop();
+        artifact
+    }
+
+    /// Stops accepting and joins the accept thread.
+    pub fn stop(self) {
+        self.coordinator.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept_thread.join();
+    }
+}
+
+/// Binds `opts.listen` and starts serving on a background accept thread.
+/// `spec` preloads a campaign; with `None` the server waits for
+/// `POST /spec` (the `campaign submit` flow).
+///
+/// # Errors
+///
+/// Returns bind/spec/manifest failures; once this returns `Ok` the
+/// service is reachable at [`ServerHandle::addr`].
+pub fn spawn_server(
+    spec: Option<SweepSpec>,
+    opts: ServerOptions,
+) -> Result<ServerHandle, ServeError> {
+    let listener = TcpListener::bind(&opts.listen)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let active = match spec {
+        Some(spec) => Some(Active::load(spec, &opts)?),
+        None => None,
+    };
+    let coordinator = Arc::new(Coordinator {
+        opts,
+        started: Instant::now(),
+        state: Mutex::new(active),
+        stop: AtomicBool::new(false),
+    });
+    let accept_owner = Arc::clone(&coordinator);
+    let accept_thread = std::thread::spawn(move || {
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !accept_owner.stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let c = Arc::clone(&accept_owner);
+                    handlers.push(std::thread::spawn(move || serve_connection(&c, stream)));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+            handlers.retain(|h| !h.is_finished());
+        }
+        for h in handlers {
+            let _ = h.join();
+        }
+    });
+    Ok(ServerHandle {
+        addr,
+        coordinator,
+        accept_thread,
+    })
+}

@@ -1,0 +1,101 @@
+//! The campaign service wire protocol: JSON bodies, one schema version.
+//!
+//! Every request and response body carries `"schema_version"`. Both sides
+//! refuse a *newer* version than they understand rather than misreading
+//! it; the client half of the protocol lives in
+//! [`mmhew_campaign::client`] (to avoid a dependency cycle) and a test
+//! below pins the two constants equal.
+//!
+//! Endpoint map (all bodies stamped with the version):
+//!
+//! | Endpoint         | Request body                          | Responses |
+//! |------------------|---------------------------------------|-----------|
+//! | `POST /spec`     | `{…,"spec":{…}}`                      | 200 loaded/idempotent, 409 different spec active, 400 invalid |
+//! | `GET  /spec`     | —                                     | 200 `{…,"spec":{…}}`, 503 none loaded |
+//! | `POST /lease`    | `{…,"worker":"w1"}`                   | 200 `{…,"point":N,"rep_start":0,"rep_len":R,"lease_ms":L}`, 204 none free, 410 campaign done, 503 none loaded |
+//! | `POST /complete` | `{…,"worker":"w1","point":N,"line":"…"}` | 200 accepted, 409 stale lease / duplicate, 400 invalid, 503 none loaded |
+//! | `GET  /status`   | —                                     | 200 counts + per-worker throughput |
+//! | `GET  /manifest` | —                                     | 200 manifest JSONL verbatim, 503 none loaded |
+
+use mmhew_obs::value::{write_json_string, Value};
+
+/// Schema version stamped on every body. Must stay equal to
+/// [`mmhew_campaign::client::WIRE_SCHEMA_VERSION`]; the test below pins
+/// them together.
+pub const WIRE_SCHEMA_VERSION: u32 = 1;
+
+/// Checks a parsed request body's `schema_version`: absent counts as
+/// version 0 (oldest), newer than ours is refused.
+///
+/// # Errors
+///
+/// Returns the refusal message for a too-new body.
+pub fn check_version(v: &Value) -> Result<(), String> {
+    let version = v.get("schema_version").and_then(Value::as_u64).unwrap_or(0);
+    if version > WIRE_SCHEMA_VERSION as u64 {
+        return Err(format!(
+            "request speaks wire schema {version}, newer than the supported \
+             {WIRE_SCHEMA_VERSION}; upgrade this server"
+        ));
+    }
+    Ok(())
+}
+
+/// An error body: `{"schema_version":1,"error":"…"}`.
+pub fn error_body(message: &str) -> String {
+    let mut out = format!("{{\"schema_version\":{WIRE_SCHEMA_VERSION},\"error\":");
+    write_json_string(&mut out, message);
+    out.push('}');
+    out
+}
+
+/// A body with pre-rendered JSON fields after the version stamp:
+/// `fields` is the raw `"key":value,…` tail (may be empty).
+pub fn body_with(fields: &str) -> String {
+    if fields.is_empty() {
+        format!("{{\"schema_version\":{WIRE_SCHEMA_VERSION}}}")
+    } else {
+        format!("{{\"schema_version\":{WIRE_SCHEMA_VERSION},{fields}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmhew_obs::value::parse;
+
+    #[test]
+    fn wire_version_is_pinned_to_the_client_constant() {
+        // The client lives in mmhew-campaign (dependency direction), so
+        // the shared constant is duplicated; this test is the pin.
+        assert_eq!(
+            WIRE_SCHEMA_VERSION,
+            mmhew_campaign::client::WIRE_SCHEMA_VERSION
+        );
+    }
+
+    #[test]
+    fn version_check_refuses_only_newer() {
+        assert!(check_version(&parse("{\"schema_version\":1}").expect("json")).is_ok());
+        assert!(check_version(&parse("{}").expect("json")).is_ok());
+        let err = check_version(&parse("{\"schema_version\":9}").expect("json"))
+            .expect_err("must refuse");
+        assert!(err.contains("newer"));
+    }
+
+    #[test]
+    fn bodies_are_valid_json() {
+        let e = parse(&error_body("boom \"quoted\"")).expect("json");
+        assert_eq!(
+            e.get("error").and_then(Value::as_str),
+            Some("boom \"quoted\"")
+        );
+        let b = parse(&body_with("\"point\":3")).expect("json");
+        assert_eq!(b.get("point").and_then(Value::as_u64), Some(3));
+        assert_eq!(
+            b.get("schema_version").and_then(Value::as_u64),
+            Some(WIRE_SCHEMA_VERSION as u64)
+        );
+        parse(&body_with("")).expect("empty-field body is valid JSON");
+    }
+}

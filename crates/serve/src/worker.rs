@@ -1,0 +1,195 @@
+//! The worker loop: lease a point, run it, post the line back, repeat.
+//!
+//! A worker is stateless and interchangeable: it fetches the canonical
+//! spec once (`GET /spec`), expands the grid locally (deterministic, so
+//! every worker and the coordinator agree on point ids), then loops on
+//! `POST /lease` → [`mmhew_campaign::run_point_line`] → `POST /complete`.
+//! A 409 on completion means the lease expired and the point was
+//! re-issued elsewhere — the worker shrugs and asks for the next lease; a
+//! 410 on lease means the campaign is done and the worker exits. Crashing
+//! at *any* point in the loop is safe: the coordinator re-issues the
+//! lease after its deadline and the redo is byte-identical.
+
+use mmhew_campaign::client::{get, post};
+use mmhew_campaign::json::Value;
+use mmhew_campaign::points::run_point_line;
+use mmhew_campaign::{Point, SweepSpec};
+use mmhew_obs::value::write_json_string;
+use std::time::Duration;
+
+/// Worker configuration.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Coordinator URL, e.g. `http://127.0.0.1:8077`.
+    pub server: String,
+    /// Worker name as reported in leases and `/status` (must be unique
+    /// per worker, or lease ownership checks degrade).
+    pub name: String,
+    /// Extra sleep before executing each leased point — only useful to
+    /// widen kill windows in fault-tolerance tests.
+    pub throttle_ms: u64,
+    /// Sleep between polls when no lease is available (204) or no spec is
+    /// loaded yet (503).
+    pub poll_ms: u64,
+}
+
+impl WorkerOptions {
+    /// Defaults for a worker of the given name against `server`.
+    pub fn new(server: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            server: server.into(),
+            name: name.into(),
+            throttle_ms: 0,
+            poll_ms: 200,
+        }
+    }
+}
+
+/// What a worker did before exiting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerSummary {
+    /// Completions the coordinator accepted.
+    pub completed: u64,
+    /// Completions discarded as stale (409) — work lost to lease expiry.
+    pub conflicts: u64,
+}
+
+/// Consecutive connection failures tolerated before concluding the
+/// coordinator is gone.
+const MAX_CONNECT_FAILURES: u32 = 150;
+
+fn body_for_lease(name: &str) -> String {
+    let mut body = String::from("{\"schema_version\":1,\"worker\":");
+    write_json_string(&mut body, name);
+    body.push('}');
+    body
+}
+
+fn body_for_complete(name: &str, point: u64, line: &str) -> String {
+    let mut body = String::from("{\"schema_version\":1,\"worker\":");
+    write_json_string(&mut body, name);
+    body.push_str(&format!(",\"point\":{point},\"line\":"));
+    write_json_string(&mut body, line);
+    body.push('}');
+    body
+}
+
+/// Fetches and parses the canonical spec, waiting out 503s (server up,
+/// campaign not submitted yet) and early connection failures (server
+/// still binding).
+fn fetch_spec(opts: &WorkerOptions) -> Result<SweepSpec, String> {
+    let mut failures = 0u32;
+    loop {
+        match get(&opts.server, "/spec") {
+            Ok(resp) if resp.status == 200 => {
+                let v = resp.json()?;
+                let spec_json = v
+                    .get("spec")
+                    .map(Value::to_json)
+                    .ok_or("GET /spec response has no \"spec\"")?;
+                return SweepSpec::from_json(&spec_json)
+                    .map_err(|e| format!("coordinator served an invalid spec: {e}"));
+            }
+            Ok(resp) if resp.status == 503 => {
+                std::thread::sleep(Duration::from_millis(opts.poll_ms));
+            }
+            Ok(resp) => {
+                return Err(format!(
+                    "GET /spec failed with status {}: {}",
+                    resp.status, resp.body
+                ))
+            }
+            Err(_) => {
+                failures += 1;
+                if failures > MAX_CONNECT_FAILURES {
+                    return Err(format!("cannot reach coordinator at {}", opts.server));
+                }
+                std::thread::sleep(Duration::from_millis(opts.poll_ms));
+            }
+        }
+    }
+}
+
+/// Runs the worker loop until the coordinator reports the campaign done
+/// (410) or disappears after having served leases.
+///
+/// # Errors
+///
+/// Returns a description of an unrecoverable failure: unreachable
+/// coordinator, invalid spec, a protocol error, or a point that fails to
+/// execute.
+pub fn run_worker(opts: &WorkerOptions) -> Result<WorkerSummary, String> {
+    let spec = fetch_spec(opts)?;
+    let points: Vec<Point> = spec.expand();
+    let mut summary = WorkerSummary {
+        completed: 0,
+        conflicts: 0,
+    };
+    let mut failures = 0u32;
+    loop {
+        let resp = match post(&opts.server, "/lease", &body_for_lease(&opts.name)) {
+            Ok(resp) => {
+                failures = 0;
+                resp
+            }
+            Err(_) => {
+                failures += 1;
+                if failures > 3 && summary.completed > 0 {
+                    // The coordinator exits shortly after completion; a
+                    // vanished server after successful work means done.
+                    return Ok(summary);
+                }
+                if failures > MAX_CONNECT_FAILURES {
+                    return Err(format!("lost coordinator at {}", opts.server));
+                }
+                std::thread::sleep(Duration::from_millis(opts.poll_ms));
+                continue;
+            }
+        };
+        match resp.status {
+            200 => {
+                let v = resp.json()?;
+                let Some(id) = v.get("point").and_then(Value::as_u64) else {
+                    return Err("lease response has no \"point\"".to_string());
+                };
+                let point = points
+                    .iter()
+                    .find(|p| p.id == id)
+                    .ok_or_else(|| format!("leased point {id} is outside the grid"))?;
+                if opts.throttle_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(opts.throttle_ms));
+                }
+                let line = run_point_line(&spec, point).map_err(|e| e.to_string())?;
+                match post(
+                    &opts.server,
+                    "/complete",
+                    &body_for_complete(&opts.name, id, &line),
+                ) {
+                    Ok(resp) if resp.status == 200 => summary.completed += 1,
+                    Ok(resp) if resp.status == 409 => summary.conflicts += 1,
+                    Ok(resp) => {
+                        return Err(format!(
+                            "POST /complete failed with status {}: {}",
+                            resp.status, resp.body
+                        ))
+                    }
+                    Err(e) => {
+                        // The line is lost but the lease will expire and
+                        // the point be redone — not fatal for the fleet,
+                        // but this worker reports the broken link.
+                        return Err(format!("lost coordinator mid-completion: {e}"));
+                    }
+                }
+            }
+            204 => std::thread::sleep(Duration::from_millis(opts.poll_ms)),
+            410 => return Ok(summary),
+            503 => std::thread::sleep(Duration::from_millis(opts.poll_ms)),
+            other => {
+                return Err(format!(
+                    "POST /lease failed with status {other}: {}",
+                    resp.body
+                ))
+            }
+        }
+    }
+}

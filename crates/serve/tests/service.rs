@@ -1,0 +1,271 @@
+//! End-to-end contract of the campaign service: a distributed run's
+//! manifest and artifact are byte-identical to a single-process
+//! `run_campaign` of the same spec — including when a worker is killed
+//! mid-lease and its point is redone elsewhere — and stale completions
+//! are rejected rather than duplicated.
+
+use mmhew_campaign::client::{get, post};
+use mmhew_campaign::json::Value;
+use mmhew_campaign::points::run_point_line;
+use mmhew_campaign::{run_campaign, CampaignOptions, SweepSpec};
+use mmhew_serve::{run_worker, spawn_server, ServerOptions, WorkerOptions};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmhew-serve-{name}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// One uninterrupted single-process smoke run; returns its manifest and
+/// artifact bytes — the reference every distributed run must match.
+fn reference_bytes(name: &str) -> (Vec<u8>, Vec<u8>) {
+    let spec = SweepSpec::smoke();
+    let dir = fresh_dir(name);
+    let outcome = run_campaign(&spec, &CampaignOptions::new(&dir)).expect("reference run");
+    let manifest = std::fs::read(dir.join("smoke.manifest.jsonl")).expect("manifest");
+    let artifact = std::fs::read(outcome.artifact.expect("artifact")).expect("artifact");
+    std::fs::remove_dir_all(&dir).ok();
+    (manifest, artifact)
+}
+
+fn server_opts(dir: &PathBuf, lease_ms: u64) -> ServerOptions {
+    let mut opts = ServerOptions::new();
+    opts.out_dir = dir.clone();
+    opts.lease_ms = lease_ms;
+    opts
+}
+
+fn wait_until(what: &str, timeout: Duration, mut ready: impl FnMut() -> bool) {
+    let start = Instant::now();
+    while !ready() {
+        assert!(start.elapsed() < timeout, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn distributed_run_is_byte_identical_to_single_process() {
+    let (ref_manifest, ref_artifact) = reference_bytes("ref-distributed");
+    let dir = fresh_dir("distributed");
+    let handle = spawn_server(Some(SweepSpec::smoke()), server_opts(&dir, 60_000)).expect("server");
+    let url = handle.url();
+
+    let workers: Vec<_> = ["w1", "w2"]
+        .into_iter()
+        .map(|name| {
+            let mut opts = WorkerOptions::new(&url, name);
+            opts.poll_ms = 25;
+            std::thread::spawn(move || run_worker(&opts).expect("worker"))
+        })
+        .collect();
+    let total: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker thread").completed)
+        .sum();
+    assert_eq!(total, 4, "the fleet completed every point exactly once");
+    wait_until("artifact", Duration::from_secs(10), || {
+        handle.campaign_complete()
+    });
+
+    // The status endpoint reports completion and knows both workers.
+    let status = get(&url, "/status").expect("status").json().expect("json");
+    assert_eq!(status.get("complete").and_then(Value::as_bool), Some(true));
+    assert_eq!(status.get("done").and_then(Value::as_u64), Some(4));
+    let workers_obj = status.get("workers").expect("workers");
+    assert!(workers_obj.get("w1").is_some() && workers_obj.get("w2").is_some());
+
+    // GET /manifest serves the exact file bytes…
+    let manifest_file = std::fs::read(dir.join("smoke.manifest.jsonl")).expect("manifest");
+    let served = get(&url, "/manifest").expect("manifest");
+    assert_eq!(served.status, 200);
+    assert_eq!(served.body.as_bytes(), &manifest_file[..]);
+    // …and both match the single-process reference byte for byte.
+    assert_eq!(manifest_file, ref_manifest);
+    let artifact = std::fs::read(handle.artifact().expect("artifact path")).expect("artifact");
+    assert_eq!(artifact, ref_artifact);
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_worker_lease_is_reissued_and_redo_is_byte_identical() {
+    let (ref_manifest, ref_artifact) = reference_bytes("ref-killed");
+    let dir = fresh_dir("killed");
+    // Short leases so the murdered worker's point is reclaimed quickly.
+    let handle = spawn_server(Some(SweepSpec::smoke()), server_opts(&dir, 1_500)).expect("server");
+    let url = handle.url();
+
+    // A doomed worker (separate OS process) that sleeps 60 s before
+    // touching its first point — plenty of window to SIGKILL it while it
+    // holds a lease.
+    let mut doomed = std::process::Command::new(env!("CARGO_BIN_EXE_campaign-worker"))
+        .args([
+            "--server",
+            &url,
+            "--name",
+            "doomed",
+            "--throttle-ms",
+            "60000",
+            "--poll-ms",
+            "25",
+        ])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn doomed worker");
+    wait_until(
+        "doomed worker to hold a lease",
+        Duration::from_secs(30),
+        || {
+            let status = get(&url, "/status").expect("status").json().expect("json");
+            status.get("leased").and_then(Value::as_u64).unwrap_or(0) >= 1
+        },
+    );
+    doomed.kill().expect("SIGKILL the doomed worker");
+    doomed.wait().expect("reap");
+
+    // A survivor finishes the campaign, redoing the orphaned point after
+    // its lease expires.
+    let mut opts = WorkerOptions::new(&url, "survivor");
+    opts.poll_ms = 25;
+    let summary = run_worker(&opts).expect("survivor");
+    assert_eq!(summary.completed, 4, "survivor redid the orphaned point");
+    wait_until("artifact", Duration::from_secs(10), || {
+        handle.campaign_complete()
+    });
+
+    let manifest = std::fs::read(dir.join("smoke.manifest.jsonl")).expect("manifest");
+    assert_eq!(
+        manifest, ref_manifest,
+        "redo after SIGKILL left a byte-identical manifest"
+    );
+    let artifact = std::fs::read(handle.artifact().expect("artifact path")).expect("artifact");
+    assert_eq!(artifact, ref_artifact);
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn late_completion_after_reissue_gets_409_and_no_duplicate_lines() {
+    let (ref_manifest, _) = reference_bytes("ref-conflict");
+    let spec = SweepSpec::smoke();
+    let points = spec.expand();
+    let dir = fresh_dir("conflict");
+    let handle = spawn_server(Some(spec.clone()), server_opts(&dir, 100)).expect("server");
+    let url = handle.url();
+    let lease_body = |w: &str| format!("{{\"schema_version\":1,\"worker\":\"{w}\"}}");
+    let complete_body = |w: &str, p: u64, line: &str| {
+        let escaped = line.replace('\\', "\\\\").replace('"', "\\\"");
+        format!("{{\"schema_version\":1,\"worker\":\"{w}\",\"point\":{p},\"line\":\"{escaped}\"}}")
+    };
+
+    // w1 leases the first point, then stalls past the 100 ms deadline.
+    let lease = post(&url, "/lease", &lease_body("w1")).expect("lease");
+    assert_eq!(lease.status, 200);
+    let p = lease
+        .json()
+        .expect("json")
+        .get("point")
+        .and_then(Value::as_u64)
+        .expect("point");
+    std::thread::sleep(Duration::from_millis(200));
+
+    // w2 asks after expiry and is handed the *same* point.
+    let release = post(&url, "/lease", &lease_body("w2")).expect("re-lease");
+    assert_eq!(release.status, 200);
+    assert_eq!(
+        release
+            .json()
+            .expect("json")
+            .get("point")
+            .and_then(Value::as_u64),
+        Some(p),
+        "the expired lease is re-issued first"
+    );
+
+    let point = points.iter().find(|pt| pt.id == p).expect("grid point");
+    let line = run_point_line(&spec, point).expect("line");
+    // w2 (the current leaseholder) completes: accepted.
+    let ok = post(&url, "/complete", &complete_body("w2", p, &line)).expect("complete");
+    assert_eq!(ok.status, 200);
+    // w1's late completion of the re-issued point: conflict, discarded.
+    let stale = post(&url, "/complete", &complete_body("w1", p, &line)).expect("late complete");
+    assert_eq!(stale.status, 409, "stale completion is rejected");
+    // And completing an already-done point again is also a conflict.
+    let dup = post(&url, "/complete", &complete_body("w2", p, &line)).expect("dup complete");
+    assert_eq!(dup.status, 409, "duplicate completion is rejected");
+
+    // Finish the campaign normally and check exactly one line per point.
+    let mut opts = WorkerOptions::new(&url, "w2");
+    opts.poll_ms = 25;
+    run_worker(&opts).expect("finish");
+    wait_until("artifact", Duration::from_secs(10), || {
+        handle.campaign_complete()
+    });
+    let manifest = std::fs::read(dir.join("smoke.manifest.jsonl")).expect("manifest");
+    assert_eq!(
+        manifest, ref_manifest,
+        "despite the conflict dance, the manifest is byte-identical (one line per point)"
+    );
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn submit_flow_version_refusal_and_spec_round_trip() {
+    let dir = fresh_dir("submit");
+    // No preloaded spec: the server waits for a submission.
+    let handle = spawn_server(None, server_opts(&dir, 60_000)).expect("server");
+    let url = handle.url();
+
+    assert_eq!(get(&url, "/spec").expect("spec").status, 503);
+    assert_eq!(
+        post(&url, "/lease", "{\"schema_version\":1,\"worker\":\"w\"}")
+            .expect("lease")
+            .status,
+        503
+    );
+    let status = get(&url, "/status").expect("status").json().expect("json");
+    assert_eq!(status.get("active").and_then(Value::as_bool), Some(false));
+
+    // A too-new request is refused with 400, not misread.
+    let refused =
+        post(&url, "/lease", "{\"schema_version\":99,\"worker\":\"w\"}").expect("too-new lease");
+    assert_eq!(refused.status, 400);
+    assert!(refused.body.contains("newer"));
+
+    // Submit the smoke spec; re-submission of the same spec is idempotent;
+    // a different spec is refused.
+    let spec = SweepSpec::smoke();
+    let body = format!("{{\"schema_version\":1,\"spec\":{}}}", spec.to_json());
+    assert_eq!(post(&url, "/spec", &body).expect("submit").status, 200);
+    assert_eq!(post(&url, "/spec", &body).expect("resubmit").status, 200);
+    let mut other = SweepSpec::smoke();
+    other.seed ^= 1;
+    let other_body = format!("{{\"schema_version\":1,\"spec\":{}}}", other.to_json());
+    assert_eq!(
+        post(&url, "/spec", &other_body).expect("conflict").status,
+        409
+    );
+
+    // GET /spec serves the canonical form back, byte-identical.
+    let served = get(&url, "/spec").expect("spec").json().expect("json");
+    assert_eq!(
+        served.get("spec").map(Value::to_json),
+        Some(spec.to_json()),
+        "the canonical spec round-trips through the wire"
+    );
+
+    // Garbage endpoints and bodies are 404/400, never a hang.
+    assert_eq!(get(&url, "/nope").expect("404").status, 404);
+    assert_eq!(post(&url, "/spec", "not json").expect("400").status, 400);
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
