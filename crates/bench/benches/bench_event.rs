@@ -1,0 +1,66 @@
+//! Slotted oracle vs the dead-air-skipping event executor, across transmit
+//! densities.
+//!
+//! Three Δ̂ settings on the same 256-node grid turn Algorithm 3's transmit
+//! probability from "every slot busy" down to "one busy slot in sixteen":
+//!
+//! * `delta_est = 8` — transmissions almost every slot; the event executor
+//!   degenerates to stepping and should roughly tie the slotted loop
+//!   (its overhead bound);
+//! * `delta_est = 256` — moderate dead air;
+//! * `delta_est = 2048` — the low-ρ regime the executor is built for,
+//!   matching `perf_report`'s `sparse_low_rho_256` scenario.
+//!
+//! Each pair runs at the same seed, so the deliveries the two executors
+//! report are byte-identical — the assert inside the setup is a cheap
+//! cross-check that the benchmark is comparing equal work.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mmhew_bench::BENCH_SEED;
+use mmhew_discovery::{Engine, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_engine::SyncRunConfig;
+use mmhew_spectrum::AvailabilityModel;
+use mmhew_topology::NetworkBuilder;
+use mmhew_util::SeedTree;
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let net = NetworkBuilder::grid(16, 16)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(SeedTree::new(BENCH_SEED))
+        .expect("grid network");
+    let slots = 2_000u64;
+    for delta_est in [8u64, 256, 2048] {
+        let alg = SyncAlgorithm::Uniform(SyncParams::new(delta_est).expect("positive"));
+        let config = SyncRunConfig::fixed(slots);
+        let run = |engine: Engine| {
+            Scenario::sync(&net, alg)
+                .config(config)
+                .engine(engine)
+                .run(SeedTree::new(BENCH_SEED))
+                .expect("valid protocols")
+                .deliveries()
+        };
+        assert_eq!(
+            run(Engine::Slotted),
+            run(Engine::Event),
+            "executors diverged at delta_est={delta_est}"
+        );
+        c.bench_function(&format!("sync_slotted_grid256_delta{delta_est}"), |b| {
+            b.iter(|| run(Engine::Slotted))
+        });
+        c.bench_function(&format!("sync_event_grid256_delta{delta_est}"), |b| {
+            b.iter(|| run(Engine::Event))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -27,7 +27,7 @@ use crate::json::{self, Value};
 use crate::run::CampaignError;
 use crate::spec::{EngineKind, Point, SweepSpec};
 use mmhew_discovery::{
-    AsyncAlgorithm, AsyncParams, ProtocolError, Scenario, SyncAlgorithm, SyncParams,
+    AsyncAlgorithm, AsyncParams, Engine, ProtocolError, Scenario, SyncAlgorithm, SyncParams,
 };
 use mmhew_dynamics::{poisson_churn, ChurnConfig, DynamicsSchedule};
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
@@ -75,6 +75,8 @@ pub(crate) struct PointContext {
     root: SeedTree,
     network: Network,
     algorithm: Algorithm,
+    /// Slotted oracle or the byte-identical event executor (sync only).
+    executor: Engine,
     starts: StartSchedule,
     robust: u64,
     faults: Option<FaultPlan>,
@@ -119,15 +121,17 @@ pub(crate) fn compile_point(
         explicit => explicit,
     };
     let algorithm = match spec.engine {
-        EngineKind::Sync => Algorithm::Sync(match spec.algorithm.as_str() {
-            "staged" => SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
-            "adaptive" => SyncAlgorithm::Adaptive,
-            "uniform" => SyncAlgorithm::Uniform(SyncParams::new(delta_est)?),
-            "baseline" => SyncAlgorithm::PerChannelBirthday {
-                tx_probability: 0.5,
-            },
-            other => unreachable!("validated algorithm {other:?}"),
-        }),
+        EngineKind::Sync | EngineKind::SyncEvent => {
+            Algorithm::Sync(match spec.algorithm.as_str() {
+                "staged" => SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
+                "adaptive" => SyncAlgorithm::Adaptive,
+                "uniform" => SyncAlgorithm::Uniform(SyncParams::new(delta_est)?),
+                "baseline" => SyncAlgorithm::PerChannelBirthday {
+                    tx_probability: 0.5,
+                },
+                other => unreachable!("validated algorithm {other:?}"),
+            })
+        }
         EngineKind::Async => Algorithm::Async(match spec.algorithm.as_str() {
             "frame-based" => AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
             other => unreachable!("validated algorithm {other:?}"),
@@ -173,6 +177,10 @@ pub(crate) fn compile_point(
         root,
         network,
         algorithm,
+        executor: match spec.engine {
+            EngineKind::SyncEvent => Engine::Event,
+            EngineKind::Sync | EngineKind::Async => Engine::Slotted,
+        },
         starts,
         robust: point.axis("robust") as u64,
         faults,
@@ -188,6 +196,7 @@ fn run_rep(ctx: &PointContext, rep: u64) -> Result<Option<f64>, ProtocolError> {
         Algorithm::Sync(algorithm) => {
             let mut scenario = Scenario::sync(&ctx.network, algorithm)
                 .starts(ctx.starts.clone())
+                .engine(ctx.executor)
                 .config(SyncRunConfig::until_complete(ctx.budget));
             if ctx.robust > 0 {
                 scenario = scenario.robust(ctx.robust);
@@ -561,6 +570,22 @@ mod tests {
             assert_eq!(
                 run_point_line(&spec, &point).expect("line"),
                 run_point(&spec, point.id).expect("point")
+            );
+        }
+    }
+
+    #[test]
+    fn sync_event_points_match_slotted_lines() {
+        // The event executor is byte-identical to the slotted oracle, so
+        // a sync-event campaign's manifest lines must equal the sync
+        // campaign's (the engine field is not part of the seed derivation).
+        let slotted = SweepSpec::smoke();
+        let mut event = SweepSpec::smoke();
+        event.engine = EngineKind::SyncEvent;
+        for point in slotted.expand() {
+            assert_eq!(
+                run_point_line(&slotted, &point).expect("slotted line"),
+                run_point_line(&event, &point).expect("event line")
             );
         }
     }

@@ -41,6 +41,12 @@ use std::fmt;
 pub enum EngineKind {
     /// Slot-synchronous ([`mmhew_discovery::Scenario::sync`]).
     Sync,
+    /// Slot-synchronous semantics executed by the dead-air-skipping event
+    /// executor ([`mmhew_discovery::Engine::Event`]). Outcomes are
+    /// byte-identical to [`EngineKind::Sync`] at the same seed, so the
+    /// same algorithms and axes apply; only wall-clock differs.
+    #[serde(rename = "sync-event")]
+    SyncEvent,
     /// Unsynchronized clocks ([`mmhew_discovery::Scenario::asynchronous`]).
     Async,
 }
@@ -99,8 +105,8 @@ pub struct SweepSpec {
     pub name: String,
     /// Engine selection.
     pub engine: EngineKind,
-    /// Algorithm: `staged` | `adaptive` | `uniform` | `baseline` (sync),
-    /// `frame-based` (async).
+    /// Algorithm: `staged` | `adaptive` | `uniform` | `baseline` (sync
+    /// and sync-event), `frame-based` (async).
     pub algorithm: String,
     /// Topology family: `complete` | `line` | `ring` | `star` | `er`.
     pub topology: String,
@@ -195,10 +201,11 @@ impl SweepSpec {
             .to_string();
         let engine = match doc.get("engine").and_then(Value::as_str).unwrap_or("sync") {
             "sync" => EngineKind::Sync,
+            "sync-event" => EngineKind::SyncEvent,
             "async" => EngineKind::Async,
             other => {
                 return Err(SpecError::Invalid(format!(
-                    "engine {other:?} (expected \"sync\" or \"async\")"
+                    "engine {other:?} (expected \"sync\", \"sync-event\", or \"async\")"
                 )))
             }
         };
@@ -253,7 +260,7 @@ impl SweepSpec {
                 .get("algorithm")
                 .and_then(Value::as_str)
                 .unwrap_or(match engine {
-                    EngineKind::Sync => "staged",
+                    EngineKind::Sync | EngineKind::SyncEvent => "staged",
                     EngineKind::Async => "frame-based",
                 })
                 .to_string(),
@@ -291,6 +298,7 @@ impl SweepSpec {
             ",\"engine\":\"{}\"",
             match self.engine {
                 EngineKind::Sync => "sync",
+                EngineKind::SyncEvent => "sync-event",
                 EngineKind::Async => "async",
             }
         );
@@ -380,7 +388,9 @@ impl SweepSpec {
             ));
         }
         let algorithms: &[&str] = match self.engine {
-            EngineKind::Sync => &["staged", "adaptive", "uniform", "baseline"],
+            EngineKind::Sync | EngineKind::SyncEvent => {
+                &["staged", "adaptive", "uniform", "baseline"]
+            }
             EngineKind::Async => &["frame-based"],
         };
         if !algorithms.contains(&self.algorithm.as_str()) {
@@ -557,6 +567,20 @@ mod tests {
         assert!(e.to_string().contains("slot-synchronous only"));
         let e = bad(r#"{"name": "t", "algorithm": "alg9", "axes": {"nodes": [4]}}"#);
         assert!(e.to_string().contains("algorithm"));
+    }
+
+    #[test]
+    fn sync_event_engine_parses_and_round_trips() {
+        let spec = SweepSpec::from_json(
+            r#"{"name": "t", "engine": "sync-event",
+                "axes": {"nodes": [4], "jam": [0, 1]}}"#,
+        )
+        .expect("valid");
+        assert_eq!(spec.engine, EngineKind::SyncEvent);
+        // Sync-event shares the slot-synchronous defaults and axes
+        // (jam is SYNC_ONLY and must be accepted here).
+        assert_eq!(spec.algorithm, "staged");
+        assert_eq!(SweepSpec::from_json(&spec.to_json()).expect("parses"), spec);
     }
 
     #[test]

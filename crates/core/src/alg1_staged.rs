@@ -88,6 +88,14 @@ impl SyncProtocol for StagedDiscovery {
         }
     }
 
+    /// Every active slot draws a fresh channel and a fresh transmit coin
+    /// (a geometric-style schedule), so the draw-free repeat window is
+    /// empty — but the stream is beacon-independent, which is what lets
+    /// the event executor scan ahead.
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
     fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
         self.table.record(
             beacon.sender(),

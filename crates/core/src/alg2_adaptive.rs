@@ -116,6 +116,14 @@ impl AdaptiveDiscovery {
 }
 
 impl SyncProtocol for AdaptiveDiscovery {
+    /// Every active slot draws a fresh channel and a fresh transmit coin,
+    /// so the draw-free repeat window is empty; the estimate machinery
+    /// advances on slot count alone (beacon-independent), so the event
+    /// executor may scan ahead.
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
     fn on_slot(&mut self, _active_slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
         let i = self.pos + 1; // 1-based slot within the stage
         let p = tx_probability(&self.available, (2.0f64).powi(i as i32));

@@ -95,6 +95,12 @@ impl SyncProtocol for BirthdayProtocol {
         }
     }
 
+    /// Memoryless per-slot coin: empty repeat window, beacon-independent
+    /// stream — scan-ahead-safe for the event executor.
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        Some(now)
+    }
+
     fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
         self.table.record(
             beacon.sender(),

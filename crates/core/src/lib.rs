@@ -64,6 +64,7 @@ pub use bounds::{alg3_link_coverage_probability, Bounds};
 pub use continuous::{
     build_continuous_protocols, staleness, ContinuousConfig, ContinuousDiscovery, StalenessReport,
 };
+pub use mmhew_engine::Engine;
 pub use params::{AsyncParams, ProtocolError, SyncParams};
 pub use robust::{build_robust_protocols, repetition_factor, RobustDiscovery};
 #[allow(deprecated)] // compatibility re-exports: the shims stay reachable unchanged

@@ -106,6 +106,21 @@ impl SyncProtocol for RobustDiscovery {
         self.inner.is_terminated()
     }
 
+    /// Time dilation is a blocked schedule: the inner protocol only draws
+    /// at multiples of `repetition`, and every mid-block slot repeats
+    /// `current` without touching the RNG. The draw-free repeat window
+    /// therefore runs to the next block boundary — the event executor
+    /// fills it without a single virtual call. Scanning is only sound if
+    /// the inner schedule is itself scan-ahead-safe.
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        self.inner.next_transmission_bound(now / self.repetition)?;
+        if now.is_multiple_of(self.repetition) {
+            Some(now)
+        } else {
+            Some((now / self.repetition + 1) * self.repetition)
+        }
+    }
+
     fn phase(&self) -> Option<ProtocolPhase> {
         self.inner.phase()
     }

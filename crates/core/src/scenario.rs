@@ -12,6 +12,7 @@
 //! Scenario::sync(&net, algorithm)
 //!     .starts(..)            // start-slot schedule (default Identical)
 //!     .config(..)            // run budget / stop conditions
+//!     .engine(..)            // executor: Slotted oracle / Event skipper
 //!     .with_dynamics(..)     // churn / mobility / spectrum events
 //!     .with_faults(..)       // loss, jamming, capture, crashes
 //!     .with_sink(..)         // event observation
@@ -49,7 +50,7 @@ use crate::runner::{build_async_protocols, build_sync_protocols, AsyncAlgorithm,
 use crate::termination::{QuiescentAsyncTermination, QuiescentTermination};
 use mmhew_dynamics::DynamicsSchedule;
 use mmhew_engine::{
-    AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, StartSchedule, SyncEngine,
+    AsyncEngine, AsyncOutcome, AsyncProtocol, AsyncRunConfig, Engine, StartSchedule, SyncEngine,
     SyncOutcome, SyncProtocol, SyncRunConfig,
 };
 use mmhew_faults::FaultPlan;
@@ -93,6 +94,7 @@ impl Scenario {
             algorithm,
             starts: StartSchedule::Identical,
             config: SyncRunConfig::until_complete(DEFAULT_BUDGET),
+            engine: Engine::Slotted,
             robust: None,
             continuous: None,
             terminating: None,
@@ -155,6 +157,7 @@ pub struct SyncScenario<'a> {
     algorithm: SyncAlgorithm,
     starts: StartSchedule,
     config: SyncRunConfig,
+    engine: Engine,
     robust: Option<u64>,
     continuous: Option<ContinuousConfig>,
     terminating: Option<u64>,
@@ -178,6 +181,20 @@ impl<'a> SyncScenario<'a> {
     #[must_use]
     pub fn config(mut self, config: SyncRunConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Selects the executor driving the run (default
+    /// [`Engine::Slotted`], the slot-by-slot oracle).
+    /// [`Engine::Event`] skips dead air — stretches of slots with no
+    /// transmission and no due dynamics — while staying byte-identical to
+    /// the oracle at the same seed, and falls back to it wholesale
+    /// whenever the fast path's preconditions fail (an attached sink, a
+    /// fault plan, or a protocol stack without a scan-ahead-safe
+    /// transmit-schedule hook).
+    #[must_use]
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -291,6 +308,7 @@ impl<'a> SyncScenario<'a> {
         let dynamics = self.dynamics;
         let faults = self.faults;
         let config = self.config;
+        let executor = self.engine;
         let engine_seed = seed.branch("engine");
         run_with_tee(self.sink, self.perfetto, move |sink| {
             let mut engine = SyncEngine::new(network, protocols, start_slots, engine_seed);
@@ -303,7 +321,10 @@ impl<'a> SyncScenario<'a> {
             if let Some(sink) = sink {
                 engine = engine.with_sink(sink);
             }
-            engine.run(config)
+            match executor {
+                Engine::Slotted => engine.run(config),
+                Engine::Event => engine.run_event(config),
+            }
         })
     }
 }

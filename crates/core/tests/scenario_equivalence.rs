@@ -5,6 +5,11 @@
 //! JSONL traces at the same seed. These tests are the migration's safety
 //! net — any RNG-consumption or wiring drift between the two paths shows
 //! up here as a byte diff, not a statistical anomaly.
+//!
+//! The second half holds `Scenario::engine(Engine::Event)` — the
+//! dead-air-skipping event executor — to the same standard against the
+//! slotted default, across the full wrapper matrix and two RNG-sensitive
+//! seeds per cell.
 // The shim side of every comparison is deprecated on purpose.
 #![allow(deprecated)]
 
@@ -13,7 +18,7 @@ use mmhew_discovery::{
     run_async_discovery_observed, run_async_discovery_terminating, run_sync_discovery,
     run_sync_discovery_dynamic_observed, run_sync_discovery_faulted_observed,
     run_sync_discovery_observed, run_sync_discovery_robust, run_sync_discovery_terminating,
-    AsyncAlgorithm, AsyncParams, Scenario, SyncAlgorithm, SyncParams,
+    AsyncAlgorithm, AsyncParams, ContinuousConfig, Engine, Scenario, SyncAlgorithm, SyncParams,
 };
 use mmhew_dynamics::{DynamicsSchedule, TimedEvent};
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
@@ -252,6 +257,225 @@ fn sync_terminating_matches_legacy_runner() {
         .expect("run");
     assert_eq!(json(&legacy), json(&scenario));
     assert!(legacy.all_terminated(), "detector must actually fire");
+}
+
+// --- event executor vs the slotted oracle --------------------------------
+//
+// Every cell runs the identical scenario twice — slotted default and
+// `.engine(Engine::Event)` — and demands byte-identical serialized
+// outcomes (and traces, where a sink attaches). Cells the event executor
+// cannot fast-path (trace sinks, fault plans, wrappers with no
+// transmission bound) exercise its whole-run fallback: routing through
+// `Engine::Event` must still be a no-op on the bytes.
+
+#[test]
+fn event_plain_matches_slotted() {
+    for seed in [301u64, 302] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::until_complete(200_000);
+        let starts = StartSchedule::Staggered { window: 64 };
+
+        let slotted = Scenario::sync(&net, alg)
+            .starts(starts.clone())
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let event = Scenario::sync(&net, alg)
+            .starts(starts)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+        assert_eq!(json(&slotted), json(&event));
+        assert!(slotted.completed(), "comparison must exercise a full run");
+    }
+}
+
+#[test]
+fn event_low_rho_skipping_matches_slotted() {
+    // An inflated Δ̂ makes Algorithm 3 transmit with probability ≈ 1/1024
+    // per node, so almost every slot is dead air — the regime where the
+    // event executor genuinely jumps, not just degenerates to stepping.
+    for seed in [311u64, 312] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = SyncAlgorithm::Uniform(SyncParams::new(512).expect("positive"));
+        let config = SyncRunConfig::fixed(5_000);
+
+        let slotted = Scenario::sync(&net, alg)
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let event = Scenario::sync(&net, alg)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+        assert_eq!(json(&slotted), json(&event));
+        assert_eq!(event.slots_executed(), 5_000);
+    }
+}
+
+#[test]
+fn event_observed_matches_slotted_traces_included() {
+    for seed in [321u64, 322] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::until_complete(100_000);
+
+        let mut slotted_sink = JsonlTraceSink::new(Vec::new());
+        let slotted = Scenario::sync(&net, alg)
+            .with_sink(&mut slotted_sink)
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let mut event_sink = JsonlTraceSink::new(Vec::new());
+        let event = Scenario::sync(&net, alg)
+            .with_sink(&mut event_sink)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+
+        assert_eq!(json(&slotted), json(&event));
+        let slotted_trace = slotted_sink.finish().expect("no io error");
+        let event_trace = event_sink.finish().expect("no io error");
+        assert!(!slotted_trace.is_empty(), "trace captured no events");
+        assert_eq!(slotted_trace, event_trace);
+    }
+}
+
+#[test]
+fn event_dynamic_matches_slotted() {
+    for seed in [331u64, 332] {
+        let seed = SeedTree::new(seed);
+        let net = full_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::until_complete(200_000);
+
+        let slotted = Scenario::sync(&net, alg)
+            .with_dynamics(channel_churn([50, 120]))
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let event = Scenario::sync(&net, alg)
+            .with_dynamics(channel_churn([50, 120]))
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+        assert_eq!(json(&slotted), json(&event));
+    }
+}
+
+#[test]
+fn event_faulted_matches_slotted_traces_included() {
+    for seed in [341u64, 342] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::until_complete(400_000);
+
+        let mut slotted_sink = JsonlTraceSink::new(Vec::new());
+        let slotted = Scenario::sync(&net, alg)
+            .with_faults(lossy())
+            .with_sink(&mut slotted_sink)
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let mut event_sink = JsonlTraceSink::new(Vec::new());
+        let event = Scenario::sync(&net, alg)
+            .with_faults(lossy())
+            .with_sink(&mut event_sink)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+
+        assert_eq!(json(&slotted), json(&event));
+        assert_eq!(
+            slotted_sink.finish().expect("no io error"),
+            event_sink.finish().expect("no io error")
+        );
+    }
+}
+
+#[test]
+fn event_robust_matches_slotted() {
+    // Robust without faults keeps the fast path engaged: the wrapper's
+    // blocked repeat schedule reports its next block boundary as the
+    // transmission bound, so skipped slots include repeated transmissions'
+    // quiet interludes too.
+    for seed in [351u64, 352] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::until_complete(800_000);
+
+        let slotted = Scenario::sync(&net, alg)
+            .robust(2)
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let event = Scenario::sync(&net, alg)
+            .robust(2)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+        assert_eq!(json(&slotted), json(&event));
+    }
+}
+
+#[test]
+fn event_continuous_matches_slotted() {
+    for seed in [361u64, 362] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::fixed(3_000);
+        let continuous = ContinuousConfig::new(64, 1_024).expect("valid");
+
+        let slotted = Scenario::sync(&net, alg)
+            .continuous(continuous)
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let event = Scenario::sync(&net, alg)
+            .continuous(continuous)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+        assert_eq!(json(&slotted), json(&event));
+    }
+}
+
+#[test]
+fn event_terminating_matches_slotted() {
+    for seed in [371u64, 372] {
+        let seed = SeedTree::new(seed);
+        let net = sync_net(seed.branch("net"));
+        let alg = sync_alg(&net);
+        let config = SyncRunConfig::until_all_terminated(500_000);
+
+        let slotted = Scenario::sync(&net, alg)
+            .terminating(200)
+            .config(config)
+            .run(seed.branch("run"))
+            .expect("run");
+        let event = Scenario::sync(&net, alg)
+            .terminating(200)
+            .config(config)
+            .engine(Engine::Event)
+            .run(seed.branch("run"))
+            .expect("run");
+        assert_eq!(json(&slotted), json(&event));
+        assert!(slotted.all_terminated(), "detector must actually fire");
+    }
 }
 
 // --- asynchronous engine -------------------------------------------------

@@ -1,0 +1,252 @@
+//! Event-driven executor for the synchronous engine: skip dead air, keep
+//! byte-identity to the slotted oracle.
+//!
+//! At low transmit probability most slots are pure listening — nothing is
+//! on the medium, nothing is delivered, and (by construction of
+//! `SlotResolver`) nothing is drawn from the medium RNG. The slotted loop
+//! still pays a full per-slot pass for every one of those slots. The
+//! executor here instead keeps a wake queue of the slots that can matter —
+//! each node's next transmission plus every pending dynamics boundary —
+//! and advances virtual time directly to the next such slot, consuming the
+//! skipped listen-only slots in bulk.
+//!
+//! # How byte-identity is preserved
+//!
+//! Per-node RNG streams are independent (`seed.branch("node").index(i)`),
+//! so a node's draws may be evaluated *early* without perturbing anyone
+//! else: the executor scans each node ahead by calling the real `on_slot`
+//! with the real RNG, buffering the returned actions until the scan hits a
+//! `Transmit`. The per-node draw sequence is exactly the slotted one —
+//! only its wall-clock position moves. The medium RNG is only ever drawn
+//! by the resolver, and a slot with no transmitters draws nothing, so
+//! skipping those slots leaves the medium stream untouched. Stepped slots
+//! (any transmission, any dynamics boundary, and always the first slot)
+//! run through the *same* `begin_slot`/`finish_slot`/`post_step_stop` code
+//! the slotted loop uses, so outcomes cannot drift.
+//!
+//! Scan-ahead is sound only when the protocol promises its action stream
+//! is beacon-independent — that is what
+//! [`SyncProtocol::next_transmission_bound`](crate::SyncProtocol::next_transmission_bound)
+//! declares. Runs that can't promise it (a `None` hook anywhere, an active
+//! fault plan, or an enabled sink — every slot of a trace-bearing run
+//! emits events, so it has no dead air) fall back to the slotted loop
+//! wholesale and are trivially byte-identical.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use mmhew_radio::SlotAction;
+
+use crate::config::SyncRunConfig;
+use crate::sync::{SyncEngine, SyncOutcome};
+
+/// Which executor drives a synchronous [`run`](SyncEngine::run): the
+/// slot-by-slot oracle (default) or the dead-air-skipping event executor,
+/// which is held byte-identical to the oracle at the same seed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// Step every slot in order — the reference semantics.
+    #[default]
+    Slotted,
+    /// Jump straight to the next transmission-bearing (or dynamics) slot,
+    /// bulk-consuming the skipped listen-only slots. Falls back to
+    /// [`Slotted`](Engine::Slotted) whenever the fast path's preconditions
+    /// don't hold.
+    Event,
+}
+
+/// Time-ordered wake queue plus per-node action lookahead for the event
+/// executor. One [`advance`](EventCursor::advance) call consumes the dead
+/// air up to the next wake and steps that one slot through the shared
+/// slotted machinery — step-granular on purpose, so the steady state can
+/// be audited (warm up, then count allocations) exactly like the slotted
+/// loop.
+///
+/// Invariants:
+///
+/// * Every node's buffer front is aligned with the engine's current slot,
+///   and extends either through that node's next `Transmit` (inclusive) or
+///   to the horizon if the node stays silent.
+/// * Every buffered `Transmit` has exactly one live `(slot, generation,
+///   node)` entry in the heap; entries whose generation no longer matches
+///   the node's counter are stale and discarded lazily on pop. (With
+///   eager pre-drawing nothing currently invalidates a prediction — the
+///   counter is the safety net that keeps lazy deletion correct if a
+///   future caller rescans a node mid-flight.)
+/// * No RNG is ever drawn for a slot at or past the horizon
+///   (`config.max_slots`); draws buffered past an early stop are dropped
+///   unobserved, which is exactly what the slotted engine's unreached
+///   slots would have drawn.
+pub struct EventCursor {
+    /// Min-heap of `(wake_slot, generation, node)` — the next slot at
+    /// which each scanned node transmits.
+    heap: BinaryHeap<Reverse<(u64, u64, u32)>>,
+    /// Lazy-invalidation counters, bumped whenever a node is (re)scanned.
+    generation: Vec<u64>,
+    /// Pre-drawn actions per node; front == the engine's current slot.
+    buffers: Vec<VecDeque<SlotAction>>,
+    /// First absolute slot *not yet* buffered for each node.
+    frontier: Vec<u64>,
+    /// The first slot of a run is always stepped, never skipped, so the
+    /// shared post-step stop checks see a complete- or terminated-from-
+    /// the-start run exactly when the slotted loop would.
+    primed: bool,
+}
+
+impl EventCursor {
+    /// A cursor for an engine with `n` nodes, positioned at its current
+    /// slot with nothing scanned yet.
+    pub fn new(n: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(n),
+            generation: vec![0; n],
+            buffers: vec![VecDeque::new(); n],
+            frontier: vec![0; n],
+            primed: false,
+        }
+    }
+
+    /// Scans node `i` forward from its frontier: pre-start slots buffer
+    /// `Quiet` without touching the protocol (mirroring the slotted fill),
+    /// active slots call the real `on_slot` with the real per-node RNG.
+    /// Stops at the first `Transmit` (registering a wake) or at the
+    /// horizon. Non-transmit actions consult the protocol's declared
+    /// repeat window to fill blocked schedules without virtual calls.
+    fn scan(&mut self, engine: &mut SyncEngine<'_>, i: usize, horizon: u64) {
+        let start = engine.start_slots[i];
+        let mut s = self.frontier[i];
+        loop {
+            if s >= horizon {
+                self.frontier[i] = horizon;
+                return;
+            }
+            if s < start {
+                let until = start.min(horizon);
+                for _ in s..until {
+                    self.buffers[i].push_back(SlotAction::Quiet);
+                }
+                s = until;
+                continue;
+            }
+            let action = engine.protocols[i].on_slot(s - start, &mut engine.node_rngs[i]);
+            self.buffers[i].push_back(action);
+            s += 1;
+            if matches!(action, SlotAction::Transmit { .. }) {
+                self.generation[i] += 1;
+                self.heap
+                    .push(Reverse((s - 1, self.generation[i], i as u32)));
+                self.frontier[i] = s;
+                return;
+            }
+            // Blocked fast-fill: `[s, bound)` repeats `action` draw-free.
+            if s < horizon {
+                if let Some(bound) = engine.protocols[i].next_transmission_bound(s - start) {
+                    let bound_abs = bound.saturating_add(start).min(horizon);
+                    while s < bound_abs {
+                        self.buffers[i].push_back(action);
+                        s += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Consumes dead air up to the next wake (tallying the skipped
+    /// listen-only actions exactly as the slotted loop would) and steps
+    /// that slot through the shared slotted machinery. Returns `true` if a
+    /// slot was stepped — the caller must then apply
+    /// `post_step_stop` — or `false` if the run consumed trailing dead air
+    /// to the horizon.
+    pub fn advance(&mut self, engine: &mut SyncEngine<'_>, config: &SyncRunConfig) -> bool {
+        debug_assert!(engine.slot < config.max_slots);
+        let n = self.buffers.len();
+        for i in 0..n {
+            if self.frontier[i] <= engine.slot {
+                self.scan(engine, i, config.max_slots);
+            }
+        }
+        let mut wake = config.max_slots;
+        if !self.primed {
+            self.primed = true;
+            wake = engine.slot;
+        }
+        while let Some(&Reverse((s, generation, i))) = self.heap.peek() {
+            if s < engine.slot || generation != self.generation[i as usize] {
+                self.heap.pop();
+                continue;
+            }
+            wake = wake.min(s);
+            break;
+        }
+        if let Some(at) = engine.next_dynamics_at() {
+            wake = wake.min(at.max(engine.slot));
+        }
+        let wake = wake.min(config.max_slots);
+        // Dead air: nothing on the medium, nothing delivered, no medium-RNG
+        // draws — only the per-node action tallies the slotted loop would
+        // have recorded.
+        while engine.slot < wake {
+            for (i, buffer) in self.buffers.iter_mut().enumerate() {
+                let action = buffer.pop_front().expect("buffered through next wake");
+                match action {
+                    SlotAction::Transmit { .. } => {
+                        unreachable!("transmissions are wakes, never dead air")
+                    }
+                    SlotAction::Listen { .. } => engine.action_counts[i].listen += 1,
+                    SlotAction::Quiet => engine.action_counts[i].quiet += 1,
+                }
+            }
+            engine.slot += 1;
+        }
+        if engine.slot >= config.max_slots {
+            return false;
+        }
+        // Step the wake slot itself through the exact slotted code path,
+        // feeding the pre-drawn actions in place of fresh `on_slot` calls.
+        engine.begin_slot();
+        engine.actions.clear();
+        for buffer in &mut self.buffers {
+            let action = buffer.pop_front().expect("buffered through next wake");
+            engine.actions.push(action);
+        }
+        engine.finish_slot(config);
+        // Retire wake entries for the slot just stepped.
+        while let Some(&Reverse((s, _, _))) = self.heap.peek() {
+            if s < engine.slot {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
+        true
+    }
+}
+
+impl<'n> SyncEngine<'n> {
+    /// Runs to the same stopping point as [`run`](Self::run) — producing a
+    /// byte-identical [`SyncOutcome`] at the same seed — but skips over
+    /// dead air: stretches of slots in which no node transmits and no
+    /// dynamics event is due are consumed in bulk instead of stepped.
+    ///
+    /// Falls back to [`run`](Self::run) wholesale when the fast path's
+    /// preconditions fail: any protocol whose
+    /// [`next_transmission_bound`](crate::SyncProtocol::next_transmission_bound)
+    /// is `None`, an active fault plan, or an enabled sink (trace-bearing
+    /// runs emit per-slot events, so they have no dead air to skip).
+    pub fn run_event(mut self, config: SyncRunConfig) -> SyncOutcome {
+        if !self.event_fast_path_eligible() {
+            return self.run(config);
+        }
+        let mut cursor = EventCursor::new(self.network().node_count());
+        let mut terminated_slot = None;
+        while self.slot < config.max_slots {
+            if !cursor.advance(&mut self, &config) {
+                break;
+            }
+            if self.post_step_stop(&config, &mut terminated_slot) {
+                break;
+            }
+        }
+        self.into_outcome(terminated_slot)
+    }
+}

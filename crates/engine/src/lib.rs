@@ -5,7 +5,9 @@
 //!
 //! * [`SyncEngine`] — globally synchronized slots with the paper's
 //!   collision model; supports per-node start slots (Algorithm 3's
-//!   variable start times);
+//!   variable start times). Sparse runs can opt into the dead-air-skipping
+//!   event executor ([`SyncEngine::run_event`], module [`event`]), which
+//!   is held byte-identical to the slot-by-slot oracle;
 //! * [`AsyncEngine`] — event-driven continuous time; per-node drifting
 //!   clocks, local frames split into three slots, interval-based reception
 //!   (Algorithm 4).
@@ -35,6 +37,7 @@ pub mod async_engine;
 pub mod config;
 mod dynamics;
 pub mod energy;
+pub mod event;
 pub mod observer;
 pub mod protocol;
 pub mod sync;
@@ -45,6 +48,7 @@ pub use config::{
     AsyncRunConfig, AsyncStartSchedule, BurstPlan, ClockConfig, StartSchedule, SyncRunConfig,
 };
 pub use energy::{ActionCounts, EnergyModel};
+pub use event::{Engine, EventCursor};
 pub use mmhew_dynamics::DynamicsSchedule;
 pub use mmhew_faults::FaultPlan;
 pub use observer::CoverageTracker;

@@ -32,6 +32,35 @@ pub trait SyncProtocol {
         false
     }
 
+    /// Declares how far ahead of active slot `now` the event executor may
+    /// scan this protocol's transmit schedule (the dead-air-skipping fast
+    /// path of `run_event`).
+    ///
+    /// Returning `Some(b)` (with `b >= now`) is a three-part promise:
+    ///
+    /// 1. **Draw-free repeat window** — `on_slot` for every active slot in
+    ///    `[now, b)` performs no RNG draws and returns the same action the
+    ///    most recent `on_slot` call returned. `b == now` declares the
+    ///    window empty (the paper's geometric per-slot schedules draw
+    ///    every slot); blocked schedules such as
+    ///    `RobustDiscovery` return the next block boundary.
+    /// 2. **Transmission bound** — no slot before `b` can introduce a
+    ///    *new* transmission: the earliest slot whose action may differ
+    ///    from the repeated one (and thus may transmit) is `b`.
+    /// 3. **Scan-ahead safety** — from `now` on, the action stream is
+    ///    independent of beacon receptions (`on_beacon` only updates the
+    ///    table) and `is_terminated` is constant, so the executor may
+    ///    evaluate `on_slot` eagerly, ahead of virtual time.
+    ///
+    /// The default `None` opts out: the engine falls back to the
+    /// slot-by-slot oracle for the whole run. Reception-coupled wrappers
+    /// (quiescent termination, continuous re-discovery) must keep the
+    /// default.
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        let _ = now;
+        None
+    }
+
     /// The protocol's current internal phase, if it has a notion of one
     /// (Algorithm 1 reports its stage, Algorithm 2 its estimate,
     /// termination wrappers their vote). Observing engines emit a

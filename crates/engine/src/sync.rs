@@ -209,20 +209,23 @@ pub struct SyncEngine<'n> {
     /// `None` when the fault plan is empty, so fault-free runs take the
     /// exact pre-fault code path (neutrality).
     faults: Option<ActiveFaults>,
-    protocols: Vec<Box<dyn SyncProtocol>>,
-    start_slots: Vec<u64>,
-    node_rngs: Vec<Xoshiro256StarStar>,
+    pub(crate) protocols: Vec<Box<dyn SyncProtocol>>,
+    pub(crate) start_slots: Vec<u64>,
+    pub(crate) node_rngs: Vec<Xoshiro256StarStar>,
     medium_rng: Xoshiro256StarStar,
     tracker: CoverageTracker<u64>,
-    slot: u64,
+    pub(crate) slot: u64,
     deliveries: u64,
     collisions: u64,
     impairment_losses: u64,
-    action_counts: Vec<ActionCounts>,
+    beacon_losses: u64,
+    jam_losses: u64,
+    capture_deliveries: u64,
+    pub(crate) action_counts: Vec<ActionCounts>,
     sink: Option<&'n mut dyn EventSink>,
     phases: Vec<Option<ProtocolPhase>>,
     /// This slot's actions, reused across slots (cleared, never shrunk).
-    actions: Vec<SlotAction>,
+    pub(crate) actions: Vec<SlotAction>,
     /// Transmitter-centric medium resolution with persistent scratch.
     resolver: SlotResolver,
     /// One prebuilt beacon per node, so deliveries don't clone the sender's
@@ -499,6 +502,25 @@ impl<'n> SyncEngine<'n> {
     /// debugging. Both slices borrow buffers the engine reuses on the next
     /// step (the steady-state slot loop allocates nothing).
     pub fn step_traced(&mut self, config: &SyncRunConfig) -> (&[SlotAction], &SlotOutcome) {
+        self.begin_slot();
+        self.actions.clear();
+        for i in 0..self.network.node_count() {
+            let action = if self.slot < self.start_slots[i] {
+                SlotAction::Quiet
+            } else {
+                self.protocols[i].on_slot(self.slot - self.start_slots[i], &mut self.node_rngs[i])
+            };
+            self.actions.push(action);
+        }
+        self.finish_slot(config);
+        (&self.actions, self.resolver.last_outcome())
+    }
+
+    /// The pre-action half of a slot: apply due dynamics, then advance the
+    /// fault plan (emitting crash/recover transitions when observed).
+    /// Shared verbatim by the slotted step and the event executor so the
+    /// two can never drift.
+    pub(crate) fn begin_slot(&mut self) {
         self.apply_due_dynamics();
         if let Some(faults) = self.faults.as_mut() {
             faults.advance_to(self.slot);
@@ -514,15 +536,13 @@ impl<'n> SyncEngine<'n> {
                 }
             }
         }
-        self.actions.clear();
-        for i in 0..self.network.node_count() {
-            let action = if self.slot < self.start_slots[i] {
-                SlotAction::Quiet
-            } else {
-                self.protocols[i].on_slot(self.slot - self.start_slots[i], &mut self.node_rngs[i])
-            };
-            self.actions.push(action);
-        }
+    }
+
+    /// The post-action half of a slot: tally `self.actions`, resolve the
+    /// medium, deliver beacons, update counters, advance the slot cursor.
+    /// Expects `self.actions` to hold one action per node for the current
+    /// slot; shared verbatim by the slotted step and the event executor.
+    pub(crate) fn finish_slot(&mut self, config: &SyncRunConfig) {
         for (i, action) in self.actions.iter().enumerate() {
             match action {
                 SlotAction::Transmit { .. } => self.action_counts[i].transmit += 1,
@@ -654,7 +674,6 @@ impl<'n> SyncEngine<'n> {
         self.collisions += collided;
         self.impairment_losses += lost;
         self.slot += 1;
-        (&self.actions, self.resolver.last_outcome())
     }
 
     /// Emits a [`SimEvent::Phase`] if node `i`'s protocol changed phase.
@@ -684,17 +703,57 @@ impl<'n> SyncEngine<'n> {
         let mut terminated_slot = None;
         while self.slot < config.max_slots {
             self.step(&config);
-            if terminated_slot.is_none() && self.protocols.iter().all(|p| p.is_terminated()) {
-                terminated_slot = Some(self.slot);
-                if config.stop_when_all_terminated {
-                    break;
-                }
-            }
-            let dynamics_pending = self.dynamics.as_ref().is_some_and(|s| !s.is_exhausted());
-            if config.stop_when_complete && self.tracker.is_complete() && !dynamics_pending {
+            if self.post_step_stop(&config, &mut terminated_slot) {
                 break;
             }
         }
+        self.into_outcome(terminated_slot)
+    }
+
+    /// The slotted loop's post-step bookkeeping: records the first slot at
+    /// which every protocol reports termination and decides whether the run
+    /// should stop now. Shared verbatim with the event executor so the two
+    /// loops apply identical stop conditions.
+    pub(crate) fn post_step_stop(
+        &self,
+        config: &SyncRunConfig,
+        terminated_slot: &mut Option<u64>,
+    ) -> bool {
+        if terminated_slot.is_none() && self.protocols.iter().all(|p| p.is_terminated()) {
+            *terminated_slot = Some(self.slot);
+            if config.stop_when_all_terminated {
+                return true;
+            }
+        }
+        let dynamics_pending = self.dynamics.as_ref().is_some_and(|s| !s.is_exhausted());
+        config.stop_when_complete && self.tracker.is_complete() && !dynamics_pending
+    }
+
+    /// Slot index of the next pending dynamics event, if any — the event
+    /// executor must wake (and step a full slot) at every such boundary.
+    pub(crate) fn next_dynamics_at(&self) -> Option<u64> {
+        self.dynamics.as_ref().and_then(|s| s.peek_at())
+    }
+
+    /// Whether the event executor's dead-air-skipping fast path may drive
+    /// this engine. Trace-bearing runs are excluded (every slot emits
+    /// events, so there is no dead air to skip), as are faulted runs (jam,
+    /// crash, and loss state advance per slot) and any run whose protocols
+    /// don't declare a scan-ahead-safe transmit schedule via
+    /// [`SyncProtocol::next_transmission_bound`].
+    pub(crate) fn event_fast_path_eligible(&self) -> bool {
+        let observing = self.sink.as_ref().is_some_and(|s| s.enabled());
+        !observing
+            && self.faults.is_none()
+            && self
+                .protocols
+                .iter()
+                .all(|p| p.next_transmission_bound(0).is_some())
+    }
+
+    /// Consumes the engine into the run outcome (the shared epilogue of
+    /// [`run`](Self::run) and the event executor).
+    pub(crate) fn into_outcome(self, terminated_slot: Option<u64>) -> SyncOutcome {
         let latest_start = self.start_slots.iter().copied().max().unwrap_or(0);
         SyncOutcome {
             completed: self.tracker.is_complete(),

@@ -4,12 +4,17 @@
 //! size) a slot with no attached sink must perform **zero** heap
 //! allocation — transmitter-centric resolution, beacon delivery from the
 //! per-node cache, and coverage recording all run out of persistent
-//! buffers.
+//! buffers. The same bar applies to the event executor: once its wake
+//! queue, per-node action buffers, and generation counters are grown, an
+//! `EventCursor::advance` (scan-ahead, dead-air drain, stepped slot)
+//! allocates nothing.
 //!
 //! The whole file is a single test: a process-global counting allocator
 //! cannot distinguish threads, so no other test may run in this binary.
 
-use mmhew_engine::{FaultPlan, NeighborTable, SyncEngine, SyncProtocol, SyncRunConfig};
+use mmhew_engine::{
+    EventCursor, FaultPlan, NeighborTable, SyncEngine, SyncProtocol, SyncRunConfig,
+};
 use mmhew_faults::{CrashSchedule, GilbertElliott, JamSchedule, LinkLossModel};
 use mmhew_radio::{Beacon, Impairments, SlotAction};
 use mmhew_spectrum::{AvailabilityModel, ChannelId};
@@ -47,13 +52,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// Allocation-free periodic protocol: node `i` transmits every fourth slot
-/// (staggered by `i`) on a fixed channel, listens on a rotating channel
-/// otherwise, and ignores beacons. The point is to keep the *medium* busy
-/// — deliveries, collisions, and silence all occur — while the protocol
-/// layer itself provably allocates nothing.
+/// Allocation-free periodic protocol: node `i` transmits every `period`-th
+/// slot (staggered by `i`) on a fixed channel, listens on a rotating
+/// channel otherwise, and ignores beacons. The point is to keep the
+/// *medium* busy — deliveries, collisions, and silence all occur — while
+/// the protocol layer itself provably allocates nothing.
 struct Metronome {
     offset: u64,
+    period: u64,
     universe: u16,
     table: NeighborTable,
 }
@@ -61,7 +67,7 @@ struct Metronome {
 impl SyncProtocol for Metronome {
     fn on_slot(&mut self, slot: u64, _rng: &mut Xoshiro256StarStar) -> SlotAction {
         let tick = slot + self.offset;
-        if tick.is_multiple_of(4) {
+        if tick.is_multiple_of(self.period) {
             SlotAction::Transmit {
                 channel: ChannelId::new((self.offset % self.universe as u64) as u16),
             }
@@ -70,6 +76,14 @@ impl SyncProtocol for Metronome {
                 channel: ChannelId::new((tick % self.universe as u64) as u16),
             }
         }
+    }
+
+    // Deterministic and draw-free, but the listen channel rotates every
+    // slot, so there is no repeat window to declare: the bound is always
+    // "now" (scan slot by slot — the buffered listens still reveal the
+    // dead air for the executor to skip).
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        Some(now)
     }
 
     fn on_beacon(&mut self, _beacon: &Beacon, _channel: ChannelId) {}
@@ -100,6 +114,7 @@ fn warm_engine_slot_loop_allocates_nothing() {
                 .map(|i| {
                     Box::new(Metronome {
                         offset: i as u64,
+                        period: 4,
                         universe: 3,
                         table: NeighborTable::new(),
                     }) as Box<dyn SyncProtocol>
@@ -147,6 +162,7 @@ fn warm_engine_slot_loop_allocates_nothing() {
             .map(|i| {
                 Box::new(Metronome {
                     offset: i as u64,
+                    period: 4,
                     universe: 3,
                     table: NeighborTable::new(),
                 }) as Box<dyn SyncProtocol>
@@ -173,5 +189,43 @@ fn warm_engine_slot_loop_allocates_nothing() {
         after - before,
         0,
         "steady-state slot loop allocated under a dense fault plan"
+    );
+
+    // The event executor's steady state is held to the same bar. Period 64
+    // leaves long dead-air gaps (9 transmission-bearing slots per 64), so
+    // every advance exercises the full cycle: per-node scan-ahead into the
+    // action buffers, a multi-slot dead-air drain, then one stepped slot —
+    // all out of the heap, buffers, and counters grown during warm-up.
+    let config = SyncRunConfig::fixed(u64::MAX);
+    let mut engine = SyncEngine::new(
+        &net,
+        (0..n)
+            .map(|i| {
+                Box::new(Metronome {
+                    offset: i as u64,
+                    period: 64,
+                    universe: 3,
+                    table: NeighborTable::new(),
+                }) as Box<dyn SyncProtocol>
+            })
+            .collect(),
+        vec![0; n],
+        SeedTree::new(9),
+    );
+    let mut cursor = EventCursor::new(n);
+    for _ in 0..200 {
+        // Every advance steps a slot with a transmission (the metronome
+        // guarantees one), so a `true` return is the busy-medium witness.
+        assert!(cursor.advance(&mut engine, &config), "budget is unbounded");
+    }
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..2_000 {
+        assert!(cursor.advance(&mut engine, &config), "budget is unbounded");
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state event-executor advance allocated"
     );
 }

@@ -8,7 +8,11 @@
 //! * the per-node beacon cache (instead of cloning the sender's
 //!   availability on every delivery),
 //! * beacon-cache invalidation under dynamics events that change
-//!   availability (`NodeJoin` / `ChannelGained` / `ChannelLost`).
+//!   availability (`NodeJoin` / `ChannelGained` / `ChannelLost`),
+//! * the dead-air-skipping event executor (`SyncEngine::run_event`),
+//!   which must replay the same reference byte for byte — including the
+//!   occasional all-listen slots it skips and the dynamics boundaries it
+//!   must wake for.
 //!
 //! The reference replay below re-implements the engine's slot loop the
 //! slow, obviously-correct way — reference resolver, a fresh
@@ -19,8 +23,8 @@
 //! per-node action counts.
 
 use mmhew_engine::{
-    ActionCounts, CoverageTracker, DynamicsSchedule, NeighborTable, SyncEngine, SyncProtocol,
-    SyncRunConfig,
+    ActionCounts, CoverageTracker, DynamicsSchedule, Engine, NeighborTable, SyncEngine,
+    SyncProtocol, SyncRunConfig,
 };
 use mmhew_radio::{resolve_slot, Beacon, Impairments, SlotAction};
 use mmhew_spectrum::{ChannelId, ChannelSet};
@@ -55,6 +59,13 @@ impl SyncProtocol for RandomChatter {
         } else {
             SlotAction::Listen { channel }
         }
+    }
+
+    // Every active slot draws afresh, so the draw-free repeat window is
+    // empty — the exact bound for a per-slot randomized schedule. This
+    // opts the protocol into the event executor's fast path.
+    fn next_transmission_bound(&self, now: u64) -> Option<u64> {
+        Some(now)
     }
 
     // Recording the beacon's channel set (not just the sender) is what
@@ -161,7 +172,8 @@ fn reference_run(
 }
 
 /// Runs the real engine with identical inputs and extracts the same
-/// observables.
+/// observables. `executor` picks the slot-by-slot loop or the dead-air-
+/// skipping event executor — both must replay the reference byte for byte.
 fn engine_run(
     base: &Network,
     schedule: Option<DynamicsSchedule>,
@@ -169,6 +181,7 @@ fn engine_run(
     seed: SeedTree,
     impairments: &Impairments,
     slots: u64,
+    executor: Engine,
 ) -> Observables {
     let n = base.node_count();
     let universe = base.universe_size();
@@ -181,7 +194,11 @@ fn engine_run(
     if let Some(s) = schedule {
         engine = engine.with_dynamics(s);
     }
-    let out = engine.run(SyncRunConfig::fixed(slots).with_impairments(*impairments));
+    let config = SyncRunConfig::fixed(slots).with_impairments(*impairments);
+    let out = match executor {
+        Engine::Slotted => engine.run(config),
+        Engine::Event => engine.run_event(config),
+    };
     Observables {
         deliveries: out.deliveries(),
         collisions: out.collisions(),
@@ -216,8 +233,10 @@ fn static_run_matches_reference_replay() {
         };
         let seed = SeedTree::new(seed);
         let reference = reference_run(&net, None, &starts, seed, &imp, 400);
-        let engine = engine_run(&net, None, &starts, seed, &imp, 400);
-        assert_eq!(engine, reference, "divergence at q={q}");
+        for executor in [Engine::Slotted, Engine::Event] {
+            let engine = engine_run(&net, None, &starts, seed, &imp, 400, executor);
+            assert_eq!(engine, reference, "divergence at q={q} ({executor:?})");
+        }
     }
 }
 
@@ -322,7 +341,20 @@ fn dynamic_run_matches_reference_replay() {
         };
         let seed = SeedTree::new(seed);
         let reference = reference_run(&net, Some(churny_schedule()), &starts, seed, &imp, 300);
-        let engine = engine_run(&net, Some(churny_schedule()), &starts, seed, &imp, 300);
-        assert_eq!(engine, reference, "divergence under dynamics at q={q}");
+        for executor in [Engine::Slotted, Engine::Event] {
+            let engine = engine_run(
+                &net,
+                Some(churny_schedule()),
+                &starts,
+                seed,
+                &imp,
+                300,
+                executor,
+            );
+            assert_eq!(
+                engine, reference,
+                "divergence under dynamics at q={q} ({executor:?})"
+            );
+        }
     }
 }

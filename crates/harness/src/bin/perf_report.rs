@@ -4,7 +4,11 @@
 //! Measures wall-clock slots/sec of the synchronous engine (sparse 8×8
 //! grid and dense complete-64, both on an 8-channel universe with random
 //! 4-channel availability) plus frames/sec of the asynchronous engine on
-//! the sparse scenario. Flags:
+//! the sparse scenario, plus the low-ρ pair `sparse_low_rho_256` (a
+//! 16×16 grid at Δ̂ = 2048, roughly one transmission-bearing slot in
+//! sixteen) run through both the slotted oracle (`engine: "sync"`) and
+//! the dead-air-skipping event executor (`engine: "sync-event"`) at the
+//! same seed. Flags:
 //!
 //! * `--smoke` — tiny budgets, for CI (verifies the harness runs; the
 //!   numbers are meaningless);
@@ -15,6 +19,10 @@
 //!   (`work_units`, `elapsed_secs`, `throughput_per_sec`, `deliveries`)
 //!   only when `mode` is `"pending"` — a report awaiting regeneration on
 //!   a machine that can build — and exits nonzero on anything malformed.
+//!   A measured `full` report carrying both `sparse_low_rho_256` rows
+//!   must additionally show event throughput ≥ slotted throughput
+//!   (smoke budgets are too small for stable ratios, so `smoke` reports
+//!   are exempt from the ordering, not from the shape checks).
 //!
 //! Regenerate the committed report on a quiet machine with:
 //!
@@ -22,7 +30,7 @@
 //! cargo run --release -p mmhew-harness --bin perf_report
 //! ```
 
-use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Scenario, SyncAlgorithm, SyncParams};
+use mmhew_discovery::{AsyncAlgorithm, AsyncParams, Engine, Scenario, SyncAlgorithm, SyncParams};
 use mmhew_engine::{AsyncRunConfig, SyncRunConfig};
 use mmhew_harness::cli::Args;
 use mmhew_spectrum::AvailabilityModel;
@@ -68,6 +76,48 @@ fn dense(seed: SeedTree) -> Network {
         .availability(AvailabilityModel::UniformSubset { size: 4 })
         .build(seed.branch("dense"))
         .expect("build dense network")
+}
+
+/// Inflated degree estimate for the low-ρ scenario: Algorithm 3 transmits
+/// with probability ≈ 1/(2Δ̂), so Δ̂ = 2048 over 256 nodes leaves roughly
+/// one slot in sixteen with any transmission at all — the dead-air regime
+/// the event executor targets.
+const LOW_RHO_DELTA_EST: u64 = 2_048;
+
+fn sparse_low_rho(seed: SeedTree) -> Network {
+    NetworkBuilder::grid(16, 16)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("low-rho"))
+        .expect("build low-rho network")
+}
+
+/// One `sparse_low_rho_256` row. Both executors run the identical
+/// scenario at the identical seed, so their `deliveries` must agree —
+/// the throughput columns are the only thing allowed to differ.
+fn measure_low_rho(executor: Engine, net: &Network, slots: u64, seed: SeedTree) -> ScenarioReport {
+    let alg = SyncAlgorithm::Uniform(SyncParams::new(LOW_RHO_DELTA_EST).expect("positive delta"));
+    let start = Instant::now();
+    let out = Scenario::sync(net, alg)
+        .config(SyncRunConfig::fixed(slots))
+        .engine(executor)
+        .run(seed)
+        .expect("sync run");
+    let elapsed = start.elapsed().as_secs_f64();
+    ScenarioReport {
+        name: "sparse_low_rho_256",
+        engine: match executor {
+            Engine::Slotted => "sync",
+            Engine::Event => "sync-event",
+        },
+        nodes: net.node_count(),
+        universe: net.universe_size(),
+        work_units: out.slots_executed(),
+        unit: "slots",
+        elapsed_secs: elapsed,
+        throughput_per_sec: out.slots_executed() as f64 / elapsed.max(f64::EPSILON),
+        deliveries: out.deliveries(),
+    }
 }
 
 fn measure_sync(name: &'static str, net: &Network, slots: u64, seed: SeedTree) -> ScenarioReport {
@@ -162,8 +212,8 @@ fn check_report(text: &str) -> Result<(), String> {
         let strv = |key: &str| s.get(key).and_then(Value::as_str);
         strv("name").ok_or(at("name", "a string"))?;
         let engine = strv("engine").ok_or(at("engine", "a string"))?;
-        if !["sync", "async"].contains(&engine) {
-            return Err(at("engine", "\"sync\" or \"async\""));
+        if !["sync", "sync-event", "async"].contains(&engine) {
+            return Err(at("engine", "\"sync\", \"sync-event\", or \"async\""));
         }
         let unit = strv("unit").ok_or(at("unit", "a string"))?;
         if !["slots", "frames"].contains(&unit) {
@@ -196,6 +246,32 @@ fn check_report(text: &str) -> Result<(), String> {
                         "a finite non-negative number (or null when pending)",
                     ))
                 }
+            }
+        }
+    }
+    // A fully measured report carrying the low-ρ pair must show the event
+    // executor at least matching the slotted oracle — that throughput win
+    // is the fast path's reason to exist. Smoke budgets are far too small
+    // for stable ratios, so only `full` reports are held to the ordering.
+    if mode == "full" {
+        let low_rho_throughput = |engine: &str| {
+            scenarios
+                .iter()
+                .find(|s| {
+                    s.get("name").and_then(Value::as_str) == Some("sparse_low_rho_256")
+                        && s.get("engine").and_then(Value::as_str) == Some(engine)
+                })
+                .and_then(|s| s.get("throughput_per_sec"))
+                .and_then(Value::as_f64)
+        };
+        if let (Some(slotted), Some(event)) =
+            (low_rho_throughput("sync"), low_rho_throughput("sync-event"))
+        {
+            if event < slotted {
+                return Err(format!(
+                    "sparse_low_rho_256: event throughput ({event:.0} slots/sec) below \
+                     slotted ({slotted:.0} slots/sec) — the dead-air fast path regressed"
+                ));
             }
         }
     }
@@ -236,14 +312,15 @@ fn main() {
     });
     let out_path = args.raw("out").unwrap_or("BENCH_engines.json").to_string();
     let tree = SeedTree::new(seed);
-    let (sparse_slots, dense_slots, async_frames) = if smoke {
-        (200, 100, 50)
+    let (sparse_slots, dense_slots, async_frames, low_rho_slots) = if smoke {
+        (200, 100, 50, 500)
     } else {
-        (20_000, 4_000, 5_000)
+        (20_000, 4_000, 5_000, 50_000)
     };
 
     let sparse_net = sparse(tree.branch("net"));
     let dense_net = dense(tree.branch("net"));
+    let low_rho_net = sparse_low_rho(tree.branch("net"));
     let scenarios = vec![
         measure_sync(
             "sparse_grid_8x8",
@@ -262,6 +339,20 @@ fn main() {
             &sparse_net,
             async_frames,
             tree.branch("async-sparse"),
+        ),
+        // Same seed for both executors: byte-identity makes the
+        // deliveries columns a free cross-check on the fast path.
+        measure_low_rho(
+            Engine::Slotted,
+            &low_rho_net,
+            low_rho_slots,
+            tree.branch("sync-low-rho"),
+        ),
+        measure_low_rho(
+            Engine::Event,
+            &low_rho_net,
+            low_rho_slots,
+            tree.branch("sync-low-rho"),
         ),
     ];
     for s in &scenarios {
@@ -321,6 +412,43 @@ mod tests {
         assert!(err.contains("null"), "{err}");
     }
 
+    fn low_rho_pair(mode: &str, slotted_tp: &str, event_tp: &str) -> String {
+        let row = |engine: &str, tp: &str| {
+            format!(
+                "{{\"name\":\"sparse_low_rho_256\",\"engine\":\"{engine}\",\
+                 \"nodes\":256,\"universe\":8,\"work_units\":100,\"unit\":\"slots\",\
+                 \"elapsed_secs\":1.0,\"throughput_per_sec\":{tp},\"deliveries\":5}}"
+            )
+        };
+        format!(
+            "{{\"schema\":\"mmhew-perf-report/v1\",\"mode\":\"{mode}\",\"seed\":1,\
+             \"scenarios\":[{},{}],\
+             \"regenerate\":\"cargo run --release -p mmhew-harness --bin perf_report\"}}",
+            row("sync", slotted_tp),
+            row("sync-event", event_tp)
+        )
+    }
+
+    #[test]
+    fn low_rho_ordering_enforced_on_full_reports_only() {
+        assert_eq!(
+            check_report(&low_rho_pair("full", "100.0", "250.0")),
+            Ok(())
+        );
+        let err = check_report(&low_rho_pair("full", "250.0", "100.0")).expect_err("must fail");
+        assert!(err.contains("fast path"), "{err}");
+        // Smoke budgets are jitter-dominated, so the ordering is waived there,
+        // and pending rows carry nulls, so there is nothing to compare.
+        assert_eq!(
+            check_report(&low_rho_pair("smoke", "250.0", "100.0")),
+            Ok(())
+        );
+        assert_eq!(
+            check_report(&low_rho_pair("pending", "null", "null")),
+            Ok(())
+        );
+    }
+
     #[test]
     fn rejects_malformed_reports() {
         assert!(check_report("not json").is_err());
@@ -345,6 +473,10 @@ mod tests {
             if candidate.exists() {
                 let text = std::fs::read_to_string(&candidate).expect("read");
                 assert_eq!(check_report(&text), Ok(()), "{}", candidate.display());
+                // The committed report must carry the low-ρ pair so the
+                // event-vs-slotted comparison survives regeneration.
+                assert!(text.contains("sparse_low_rho_256"), "low-ρ rows missing");
+                assert!(text.contains("sync-event"), "event-engine row missing");
                 return;
             }
             if !dir.pop() {

@@ -23,7 +23,10 @@
 //! `--epsilon (0.01)`, `--start-window (0)`, `--frame-len (3000)`,
 //! `--drift-den (0 = ideal; 7 means δ=1/7)`, `--reps (5)`, `--seed (1)`,
 //! `--budget (4000000)`, `--jobs (0 = auto; worker threads for harness
-//! parallelism, also settable via MMHEW_JOBS — never changes results)`.
+//! parallelism, also settable via MMHEW_JOBS — never changes results)`,
+//! `--engine slotted|event (slotted)` — `event` drives slotted algorithms
+//! through the dead-air-skipping executor (byte-identical outcomes at the
+//! same seed; slotted-only, rejected for alg4).
 //!
 //! Observability flags:
 //! `--trace <path>` writes repetition 0 as a JSONL event trace
@@ -36,8 +39,8 @@
 //! simulation: same seed, same outcome.
 
 use mmhew_discovery::{
-    tables_match_ground_truth, AsyncAlgorithm, AsyncParams, Bounds, Scenario, SyncAlgorithm,
-    SyncParams,
+    tables_match_ground_truth, AsyncAlgorithm, AsyncParams, Bounds, Engine, Scenario,
+    SyncAlgorithm, SyncParams,
 };
 use mmhew_engine::{AsyncRunConfig, AsyncStartSchedule, ClockConfig, StartSchedule, SyncRunConfig};
 use mmhew_harness::cli::Args;
@@ -119,6 +122,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "reps",
             "seed",
             "budget",
+            "engine",
             "trace",
             "perfetto",
             "timeline-slots",
@@ -151,6 +155,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let algorithm = args.one_of("algorithm", &["alg1", "alg2", "alg3", "alg4", "baseline"])?;
+    let engine = match args.one_of("engine", &["slotted", "event"])? {
+        "event" => Engine::Event,
+        _ => Engine::Slotted,
+    };
+    if engine == Engine::Event && algorithm == "alg4" {
+        return Err("--engine event drives the slotted engine only (alg4 is asynchronous)".into());
+    }
     let mut completions: Vec<f64> = Vec::new();
     let mut ok = true;
 
@@ -274,12 +285,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 Scenario::sync(&net, alg)
                     .starts(starts.clone())
                     .config(config)
+                    .engine(engine)
                     .with_sink(&mut fan)
                     .run(rep_seed)?
             } else {
                 Scenario::sync(&net, alg)
                     .starts(starts.clone())
                     .config(config)
+                    .engine(engine)
                     .run(rep_seed)?
             };
             match out.slots_to_complete() {

@@ -584,6 +584,33 @@ mod tests {
     }
 
     #[test]
+    fn silent_slot_draws_no_rng_and_emits_nothing() {
+        // The event executor's dead-air skipping rests on exactly this
+        // contract: a slot with no transmitters consumes no medium
+        // randomness and produces an empty outcome even with impairments
+        // armed, so skipping it wholesale leaves the medium RNG stream
+        // byte-identical to stepping it.
+        let net = homogeneous(generators::complete(4), 2);
+        let actions = [
+            SlotAction::Listen { channel: ch(0) },
+            SlotAction::Listen { channel: ch(1) },
+            SlotAction::Quiet,
+            SlotAction::Listen { channel: ch(0) },
+        ];
+        let imp = Impairments::with_delivery_probability(0.5);
+        let mut rng = SeedTree::new(3).rng();
+        let before = rng.clone();
+        let mut resolver = SlotResolver::new();
+        let fast = resolver.resolve(&net, &actions, &imp, &mut rng).clone();
+        assert_eq!(fast, SlotOutcome::default());
+        assert_eq!(rng, before, "silent slot must not draw medium RNG");
+        // The reference resolver pins the same contract.
+        let reference = resolve_slot(&net, &actions, &imp, &mut rng);
+        assert_eq!(reference, SlotOutcome::default());
+        assert_eq!(rng, before);
+    }
+
+    #[test]
     fn heterogeneous_spans_block_reception() {
         // Node 1 cannot hear node 0 on a channel outside their span.
         let net = Network::new(
