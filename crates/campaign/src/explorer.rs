@@ -69,6 +69,8 @@ impl ExplorerOptions {
 /// repetitions all exhausted the budget still gets a table row.
 struct PointSummary {
     id: u64,
+    /// Categorical `protocol` axis value, when the campaign swept one.
+    protocol: Option<String>,
     params: Vec<(String, f64)>,
     completed: u64,
     failures: u64,
@@ -122,6 +124,10 @@ fn parse_manifest(manifest: &str) -> Result<Vec<PointSummary>, ExplorerError> {
             id,
             PointSummary {
                 id,
+                protocol: v
+                    .get("protocol")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
                 params: decode_params(v.get("params")),
                 completed: v.get("completed").and_then(Value::as_u64).unwrap_or(0),
                 failures: v.get("failures").and_then(Value::as_u64).unwrap_or(0),
@@ -376,6 +382,130 @@ fn render_axis_chart(axis: &str, points: &[PointSummary]) -> String {
     )
 }
 
+/// The categorical `protocol` axis chart: one group of p50/p90/p99 bars
+/// per protocol, averaged over every numeric grid point run under that
+/// protocol. Categories keep manifest order and are *not* coerced onto a
+/// numeric x-axis — names have no meaningful ordering or spacing, so a
+/// line chart would invent trends that do not exist. Empty when fewer
+/// than two protocols appear (nothing varies, nothing to chart).
+fn render_protocol_chart(points: &[PointSummary]) -> String {
+    let mut cats: Vec<(&str, Vec<&PointSummary>)> = Vec::new();
+    for p in points {
+        let Some(name) = p.protocol.as_deref() else {
+            continue;
+        };
+        match cats.iter_mut().find(|(c, _)| *c == name) {
+            Some((_, members)) => members.push(p),
+            None => cats.push((name, vec![p])),
+        }
+    }
+    if cats.len() < 2 {
+        return String::new();
+    }
+
+    // Per category, the averaged finite value of each quantile series.
+    let bars: Vec<Vec<Option<f64>>> = cats
+        .iter()
+        .map(|(_, members)| {
+            SERIES
+                .iter()
+                .map(|(_, get, _)| {
+                    let ys: Vec<f64> = members
+                        .iter()
+                        .map(|p| get(p))
+                        .filter(|y| y.is_finite())
+                        .collect();
+                    if ys.is_empty() {
+                        None
+                    } else {
+                        Some(ys.iter().sum::<f64>() / ys.len() as f64)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let ymax = nice_ceil(bars.iter().flatten().filter_map(|b| *b).fold(0.0, f64::max));
+    let sy = |y: f64| CHART_H - MARGIN_B - y / ymax * (CHART_H - MARGIN_T - MARGIN_B);
+    let plot_w = CHART_W - MARGIN_L - MARGIN_R;
+    let group_w = plot_w / cats.len() as f64;
+    let bar_w = (group_w * 0.8) / SERIES.len() as f64;
+
+    let mut svg = format!(
+        "<svg viewBox=\"0 0 {CHART_W} {CHART_H}\" width=\"{CHART_W}\" height=\"{CHART_H}\" \
+         role=\"img\" aria-label=\"completion-time quantiles by protocol\">\n"
+    );
+    // Horizontal gridlines + y tick labels (same scale treatment as the
+    // numeric charts).
+    for i in 0..=4 {
+        let y = ymax * i as f64 / 4.0;
+        let py = sy(y);
+        svg.push_str(&format!(
+            "<line x1=\"{MARGIN_L}\" y1=\"{py:.1}\" x2=\"{:.1}\" y2=\"{py:.1}\" \
+             stroke=\"#e5e7eb\"/>\n\
+             <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" class=\"tick\">{}</text>\n",
+            CHART_W - MARGIN_R,
+            MARGIN_L - 6.0,
+            py + 4.0,
+            fmt_num(y)
+        ));
+    }
+    // Grouped bars with the category name centered under each group.
+    for (ci, (name, _)) in cats.iter().enumerate() {
+        let gx = MARGIN_L + ci as f64 * group_w;
+        for (si, ((_, _, color), bar)) in SERIES.iter().zip(&bars[ci]).enumerate() {
+            let Some(y) = bar else { continue };
+            let px = gx + group_w * 0.1 + si as f64 * bar_w;
+            let py = sy(*y);
+            svg.push_str(&format!(
+                "<rect x=\"{px:.1}\" y=\"{py:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+                 fill=\"{color}\"/>\n",
+                bar_w * 0.9,
+                CHART_H - MARGIN_B - py
+            ));
+        }
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"tick\">{}</text>\n",
+            gx + group_w / 2.0,
+            CHART_H - MARGIN_B + 16.0,
+            escape(name)
+        ));
+    }
+    // Axis lines, x label, and the series legend.
+    svg.push_str(&format!(
+        "<line x1=\"{MARGIN_L}\" y1=\"{MARGIN_T}\" x2=\"{MARGIN_L}\" y2=\"{:.1}\" stroke=\"#111\"/>\n\
+         <line x1=\"{MARGIN_L}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#111\"/>\n\
+         <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" class=\"label\">protocol</text>\n",
+        CHART_H - MARGIN_B,
+        CHART_H - MARGIN_B,
+        CHART_W - MARGIN_R,
+        CHART_H - MARGIN_B,
+        (MARGIN_L + CHART_W - MARGIN_R) / 2.0,
+        CHART_H - 8.0
+    ));
+    for (si, (label, _, color)) in SERIES.iter().enumerate() {
+        svg.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" class=\"legend\" fill=\"{color}\">{label}</text>\n",
+            MARGIN_L + 8.0 + si as f64 * 44.0,
+            MARGIN_T + 12.0
+        ));
+    }
+    svg.push_str("</svg>");
+
+    let averaging = cats.iter().map(|(_, m)| m.len()).max().unwrap_or(1);
+    let caption = if averaging > 1 {
+        format!(
+            "<p class=\"note\">each bar averages the {averaging} numeric grid points \
+             run under that protocol</p>"
+        )
+    } else {
+        String::new()
+    };
+    format!(
+        "<section>\n<h2>p50 / p90 / p99 by <code>protocol</code></h2>\n{caption}{svg}\n</section>\n"
+    )
+}
+
 /// Renders the manifest into a complete, self-contained HTML document.
 ///
 /// # Errors
@@ -409,7 +539,7 @@ pub fn render_explorer(manifest: &str, opts: &ExplorerOptions) -> Result<String,
          table{border-collapse:collapse;margin-top:.5rem}\n\
          th,td{border:1px solid #e5e7eb;padding:.25rem .6rem;text-align:right}\n\
          th{background:#f3f4f6}\n\
-         td.cmd{text-align:left;font-family:ui-monospace,monospace;font-size:12px}\n\
+         td.cmd,td.cat{text-align:left;font-family:ui-monospace,monospace;font-size:12px}\n\
          </style>\n</head>\n<body>\n",
     );
     html.push_str(&format!(
@@ -423,17 +553,23 @@ pub fn render_explorer(manifest: &str, opts: &ExplorerOptions) -> Result<String,
         points.len()
     ));
 
-    if swept.is_empty() {
+    let protocol_chart = render_protocol_chart(&points);
+    if swept.is_empty() && protocol_chart.is_empty() {
         html.push_str(
             "<p class=\"note\">no axis varies across these points, so there is \
              nothing to chart — see the table below</p>\n",
         );
     }
+    html.push_str(&protocol_chart);
     for axis in &swept {
         html.push_str(&render_axis_chart(axis, &points));
     }
 
+    let show_protocol = points.iter().any(|p| p.protocol.is_some());
     html.push_str("<h2>Points</h2>\n<table>\n<thead><tr><th>point</th>");
+    if show_protocol {
+        html.push_str("<th>protocol</th>");
+    }
     for axis in &axes {
         html.push_str(&format!("<th>{}</th>", escape(axis)));
     }
@@ -443,6 +579,12 @@ pub fn render_explorer(manifest: &str, opts: &ExplorerOptions) -> Result<String,
     );
     for p in &points {
         html.push_str(&format!("<tr><td>{}</td>", p.id));
+        if show_protocol {
+            html.push_str(&format!(
+                "<td class=\"cat\">{}</td>",
+                p.protocol.as_deref().map(escape).unwrap_or_default()
+            ));
+        }
         for axis in &axes {
             html.push_str(&format!(
                 "<td>{}</td>",
@@ -530,6 +672,91 @@ mod tests {
         assert_eq!(html.matches("<svg").count(), 1, "only nodes varies");
         // loss still appears as a table column.
         assert!(html.contains("<th>loss</th>"));
+    }
+
+    #[test]
+    fn protocol_axis_renders_grouped_bars_not_a_numeric_chart() {
+        // 2 protocols × 2 nodes values: one grouped-bar chart for the
+        // categorical axis, one line chart for the numeric one.
+        let mut manifest = String::new();
+        for (id, (proto, n, p50)) in [
+            ("staged", 4.0, 100.0),
+            ("staged", 8.0, 160.0),
+            ("mc-dis", 4.0, 900.0),
+            ("mc-dis", 8.0, 1400.0),
+        ]
+        .iter()
+        .enumerate()
+        {
+            manifest.push_str(&format!(
+                "{{\"schema_version\":1,\"point\":{id},\"protocol\":\"{proto}\",\
+                 \"params\":[[\"nodes\",{n}]],\"reps\":2,\"completed\":2,\
+                 \"failures\":0,\"mean\":{p50},\"stddev\":1.0,\"min\":90.0,\
+                 \"max\":2000.0,\"p50\":{p50},\"p90\":{},\"p99\":{}}}\n",
+                p50 + 10.0,
+                p50 + 20.0
+            ));
+        }
+        let opts = ExplorerOptions::new("rivals", "campaign --spec rivals.json");
+        let html = render_explorer(&manifest, &opts).expect("renders");
+        assert_eq!(
+            html.matches("<svg").count(),
+            2,
+            "protocol bars + nodes line"
+        );
+        assert!(html.contains("by <code>protocol</code>"));
+        assert!(html.contains("<rect"), "categorical chart uses bars");
+        assert!(html.contains("each bar averages the 2 numeric grid points"));
+        // The table gains a protocol column with the raw names.
+        assert!(html.contains("<th>protocol</th>"));
+        assert!(html.contains("<td class=\"cat\">mc-dis</td>"));
+    }
+
+    #[test]
+    fn single_protocol_manifests_chart_like_plain_ones() {
+        // One protocol does not vary: no grouped bars, but the column
+        // still shows which protocol produced the rows.
+        let manifest = "{\"point\":0,\"protocol\":\"s-nihao\",\
+                        \"params\":[[\"nodes\",4]],\"completed\":1,\"failures\":0,\
+                        \"mean\":10,\"p50\":10,\"p90\":11,\"p99\":12}\n\
+                        {\"point\":1,\"protocol\":\"s-nihao\",\
+                        \"params\":[[\"nodes\",8]],\"completed\":1,\"failures\":0,\
+                        \"mean\":20,\"p50\":20,\"p90\":21,\"p99\":22}\n";
+        let opts = ExplorerOptions::new("t", "campaign --spec t.json");
+        let html = render_explorer(manifest, &opts).expect("renders");
+        assert_eq!(html.matches("<svg").count(), 1, "only nodes varies");
+        assert!(!html.contains("by <code>protocol</code>"));
+        assert!(html.contains("<th>protocol</th>"));
+    }
+
+    #[test]
+    fn head_to_head_manifest_renders_expected_chart_count() {
+        // The acceptance path for the rivals sweep: run a real
+        // protocol-axis spec through the point runner and count charts.
+        let spec = crate::spec::SweepSpec::from_json(
+            r#"{"name":"rivals-explore","engine":"sync","topology":"complete",
+                "reps":2,"seed":11,"budget":200000,
+                "axes":{"protocol":["staged","adaptive","uniform"],
+                        "nodes":[4],"universe":[5]}}"#,
+        )
+        .expect("valid spec");
+        let manifest: String = spec
+            .expand()
+            .iter()
+            .map(|p| {
+                let line = crate::points::run_point_line(&spec, p).expect("point runs");
+                format!("{line}\n")
+            })
+            .collect();
+        let opts = ExplorerOptions::new(&spec.name, "campaign --spec rivals.json");
+        let html = render_explorer(&manifest, &opts).expect("renders");
+        // nodes and universe each take a single value, so the grouped
+        // protocol bars are the only chart on the page.
+        assert_eq!(html.matches("<svg").count(), 1);
+        assert!(html.contains("by <code>protocol</code>"));
+        for name in ["staged", "adaptive", "uniform"] {
+            assert!(html.contains(&format!("<td class=\"cat\">{name}</td>")));
+        }
     }
 
     #[test]

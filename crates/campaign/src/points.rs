@@ -28,6 +28,7 @@ use crate::run::CampaignError;
 use crate::spec::{EngineKind, Point, SweepSpec};
 use mmhew_discovery::{
     AsyncAlgorithm, AsyncParams, Engine, ProtocolError, Scenario, SyncAlgorithm, SyncParams,
+    SyncScenario,
 };
 use mmhew_dynamics::{poisson_churn, ChurnConfig, DynamicsSchedule};
 use mmhew_engine::{AsyncRunConfig, StartSchedule, SyncRunConfig};
@@ -60,14 +61,27 @@ pub(crate) const REPS_PER_SHARD: u64 = 4;
 pub const MANIFEST_SCHEMA_VERSION: u32 = 1;
 
 /// The seed subtree owning all randomness of one point: derived from the
-/// master seed, the campaign name, and the point id — nothing else.
-/// `branch("net")` seeds the network, `branch("dynamics")` the generated
-/// schedules, and `branch("run").index(rep)` each repetition.
+/// master seed, the campaign name, and the point's *numeric grid id* —
+/// nothing else. `branch("net")` seeds the network, `branch("dynamics")`
+/// the generated schedules, and `branch("run").index(rep)` each
+/// repetition.
+///
+/// When the categorical `protocol` axis is swept, the point id is reduced
+/// modulo [`SweepSpec::numeric_grid_len`] first: every protocol at the
+/// same numeric point then draws the identical network, fault, churn, and
+/// per-repetition seeds, so head-to-head comparisons are matched — the
+/// protocols differ, nothing else does. Without the axis the reduction is
+/// the identity and the derivation is unchanged from earlier manifests.
 pub fn point_seed(spec: &SweepSpec, point_id: u64) -> SeedTree {
+    let grid_id = if spec.protocols.is_empty() {
+        point_id
+    } else {
+        point_id % spec.numeric_grid_len()
+    };
     SeedTree::new(spec.seed)
         .branch("campaign")
         .branch(&spec.name)
-        .index(point_id)
+        .index(grid_id)
 }
 
 /// Everything needed to run one point's repetitions, built once.
@@ -82,11 +96,16 @@ pub(crate) struct PointContext {
     faults: Option<FaultPlan>,
     dynamics: Option<DynamicsSchedule>,
     budget: u64,
+    /// Degree estimate handed to catalog builders (`protocol` axis).
+    delta_est: u64,
 }
 
 #[derive(Clone, Copy)]
 enum Algorithm {
     Sync(SyncAlgorithm),
+    /// A catalog entry from the `protocol` axis: the per-node stack is
+    /// rebuilt from the entry's builder every repetition.
+    SyncCatalog(&'static mmhew_rivals::ProtocolKind),
     Async(AsyncAlgorithm),
 }
 
@@ -120,8 +139,18 @@ pub(crate) fn compile_point(
         0 => network.max_degree().max(1) as u64,
         explicit => explicit,
     };
-    let algorithm = match spec.engine {
-        EngineKind::Sync | EngineKind::SyncEvent => {
+    let algorithm = match (&point.protocol, spec.engine) {
+        // Categorical `protocol` axis: the catalog entry overrides the
+        // spec-level algorithm for this point.
+        (Some(name), EngineKind::Sync | EngineKind::SyncEvent) => Algorithm::SyncCatalog(
+            mmhew_rivals::catalog::by_name(name)
+                .unwrap_or_else(|| unreachable!("validated protocol {name:?}")),
+        ),
+        (Some(name), EngineKind::Async) => Algorithm::Async(match name.as_str() {
+            "frame-based" => AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
+            other => unreachable!("validated protocol {other:?}"),
+        }),
+        (None, EngineKind::Sync | EngineKind::SyncEvent) => {
             Algorithm::Sync(match spec.algorithm.as_str() {
                 "staged" => SyncAlgorithm::Staged(SyncParams::new(delta_est)?),
                 "adaptive" => SyncAlgorithm::Adaptive,
@@ -132,7 +161,7 @@ pub(crate) fn compile_point(
                 other => unreachable!("validated algorithm {other:?}"),
             })
         }
-        EngineKind::Async => Algorithm::Async(match spec.algorithm.as_str() {
+        (None, EngineKind::Async) => Algorithm::Async(match spec.algorithm.as_str() {
             "frame-based" => AsyncAlgorithm::FrameBased(AsyncParams::new(delta_est)?),
             other => unreachable!("validated algorithm {other:?}"),
         }),
@@ -186,7 +215,34 @@ pub(crate) fn compile_point(
         faults,
         dynamics,
         budget: spec.budget,
+        delta_est,
     })
+}
+
+/// Applies the point's shared sync wiring (starts, executor, budget,
+/// robustness, faults, dynamics) and runs the scenario — identical for
+/// named algorithms and catalog stacks, so a protocol-axis `"staged"`
+/// line is byte-identical to the named-algorithm line.
+fn run_sync_scenario(
+    ctx: &PointContext,
+    scenario: SyncScenario<'_>,
+    rep_seed: SeedTree,
+) -> Result<Option<f64>, ProtocolError> {
+    let mut scenario = scenario
+        .starts(ctx.starts.clone())
+        .engine(ctx.executor)
+        .config(SyncRunConfig::until_complete(ctx.budget));
+    if ctx.robust > 0 {
+        scenario = scenario.robust(ctx.robust);
+    }
+    if let Some(faults) = &ctx.faults {
+        scenario = scenario.with_faults(faults.clone());
+    }
+    if let Some(dynamics) = &ctx.dynamics {
+        scenario = scenario.with_dynamics(dynamics.clone());
+    }
+    let outcome = scenario.run(rep_seed)?;
+    Ok(outcome.slots_to_complete().map(|s| s as f64))
 }
 
 /// One repetition's completion time (`None` = budget exhausted).
@@ -194,21 +250,11 @@ fn run_rep(ctx: &PointContext, rep: u64) -> Result<Option<f64>, ProtocolError> {
     let rep_seed = ctx.root.branch("run").index(rep);
     match ctx.algorithm {
         Algorithm::Sync(algorithm) => {
-            let mut scenario = Scenario::sync(&ctx.network, algorithm)
-                .starts(ctx.starts.clone())
-                .engine(ctx.executor)
-                .config(SyncRunConfig::until_complete(ctx.budget));
-            if ctx.robust > 0 {
-                scenario = scenario.robust(ctx.robust);
-            }
-            if let Some(faults) = &ctx.faults {
-                scenario = scenario.with_faults(faults.clone());
-            }
-            if let Some(dynamics) = &ctx.dynamics {
-                scenario = scenario.with_dynamics(dynamics.clone());
-            }
-            let outcome = scenario.run(rep_seed)?;
-            Ok(outcome.slots_to_complete().map(|s| s as f64))
+            run_sync_scenario(ctx, Scenario::sync(&ctx.network, algorithm), rep_seed)
+        }
+        Algorithm::SyncCatalog(kind) => {
+            let stack = kind.build_sync(&ctx.network, ctx.delta_est)?;
+            run_sync_scenario(ctx, Scenario::sync_stack(&ctx.network, stack), rep_seed)
         }
         Algorithm::Async(algorithm) => {
             let mut scenario = Scenario::asynchronous(&ctx.network, algorithm)
@@ -281,6 +327,10 @@ pub(crate) fn shards(reps: u64) -> impl Iterator<Item = (u64, u64)> {
 struct PointRecord<'a> {
     schema_version: u32,
     point: u64,
+    /// Catalog name when the `protocol` axis is swept; absent otherwise,
+    /// keeping protocol-free manifests byte-identical to earlier runs.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    protocol: Option<&'a str>,
     params: &'a [(String, f64)],
     reps: u64,
     completed: u64,
@@ -302,6 +352,7 @@ pub(crate) fn render_record(
     let record = PointRecord {
         schema_version: MANIFEST_SCHEMA_VERSION,
         point: point.id,
+        protocol: point.protocol.as_deref(),
         params: &point.values,
         reps: spec.reps,
         completed: agg.welford.count(),
@@ -586,6 +637,74 @@ mod tests {
             assert_eq!(
                 run_point_line(&slotted, &point).expect("slotted line"),
                 run_point_line(&event, &point).expect("event line")
+            );
+        }
+    }
+
+    /// A small protocol-axis head-to-head used by the tests below.
+    fn rivals_spec() -> SweepSpec {
+        SweepSpec::from_json(
+            r#"{"name":"rivals-test","engine":"sync","topology":"complete",
+                "reps":2,"seed":7,"budget":200000,
+                "axes":{"protocol":["staged","mc-dis"],"nodes":[4],"universe":[5]}}"#,
+        )
+        .expect("valid spec")
+    }
+
+    #[test]
+    fn protocol_axis_points_share_the_numeric_grid_seed() {
+        let spec = rivals_spec();
+        let stride = spec.numeric_grid_len();
+        assert_eq!(stride, 1);
+        // Point 0 is "staged", point 1 is "mc-dis": matched head-to-head
+        // means both draw the same seed subtree.
+        assert_eq!(point_seed(&spec, 0), point_seed(&spec, stride));
+        // And that subtree is the one a protocol-free spec would draw, so
+        // the numeric grid's randomness is unchanged by adding the axis.
+        let mut plain = spec.clone();
+        plain.protocols.clear();
+        assert_eq!(point_seed(&spec, 0), point_seed(&plain, 0));
+    }
+
+    #[test]
+    fn protocol_axis_lines_are_matched_and_distinct() {
+        let spec = rivals_spec();
+        let points = spec.expand();
+        assert_eq!(points.len(), 2);
+        let staged = run_point_line(&spec, &points[0]).expect("staged line");
+        let rival = run_point_line(&spec, &points[1]).expect("mc-dis line");
+        let vs = json::parse(&staged).expect("staged JSON");
+        let vr = json::parse(&rival).expect("mc-dis JSON");
+        assert_eq!(vs.get("protocol").and_then(Value::as_str), Some("staged"));
+        assert_eq!(vr.get("protocol").and_then(Value::as_str), Some("mc-dis"));
+        // Same matched network and seeds, different protocol — the
+        // outcomes must differ (deterministic hopping vs staged rounds).
+        assert_ne!(
+            vs.get("mean").and_then(Value::as_f64),
+            vr.get("mean").and_then(Value::as_f64)
+        );
+
+        // The catalog's "staged" builder constructs exactly what the
+        // named-algorithm path does, so every statistic matches the
+        // protocol-free campaign's line for the same numeric point.
+        let mut plain = spec.clone();
+        plain.protocols.clear();
+        let plain_line = run_point_line(&plain, &plain.expand()[0]).expect("plain line");
+        let vp = json::parse(&plain_line).expect("plain JSON");
+        assert_eq!(vp.get("protocol").map(Value::to_json), None);
+        for key in [
+            "completed",
+            "failures",
+            "mean",
+            "stddev",
+            "p50",
+            "p90",
+            "p99",
+        ] {
+            assert_eq!(
+                vs.get(key).map(Value::to_json),
+                vp.get(key).map(Value::to_json),
+                "field {key:?} must match the named-algorithm line"
             );
         }
     }

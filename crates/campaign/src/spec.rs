@@ -124,15 +124,27 @@ pub struct SweepSpec {
     pub hist_bins: usize,
     /// Mean downtime (slots) of churned nodes when `churn-rate` is swept.
     pub churn_downtime: f64,
-    /// The swept axes, in declaration order.
+    /// The categorical `protocol` axis: catalog names
+    /// ([`mmhew_rivals::catalog`]) swept head-to-head. Empty when the
+    /// axis is absent; when present it overrides `algorithm` per point
+    /// and multiplies the numeric grid (even in zip mode), varying
+    /// slowest. Kept out of `axes` because its values are strings, not
+    /// numbers.
+    #[serde(skip_serializing_if = "Vec::is_empty")]
+    pub protocols: Vec<String>,
+    /// The swept numeric axes, in declaration order.
     pub axes: Vec<AxisSpec>,
 }
 
-/// One grid point: an id and the swept axes' values.
+/// One grid point: an id, the protocol (when the categorical `protocol`
+/// axis is swept), and the swept numeric axes' values.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Point {
     /// Position in the expansion order; stable for a given spec.
     pub id: u64,
+    /// Catalog protocol name when the `protocol` axis is swept.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub protocol: Option<String>,
     /// `(axis name, value)` pairs in the spec's axis order.
     pub values: Vec<(String, f64)>,
 }
@@ -239,14 +251,46 @@ impl SweepSpec {
             _ => return Err(SpecError::Field("axes")),
         };
         let mut axes = Vec::new();
+        let mut protocols = Vec::new();
         for (axis, values) in axes_doc {
+            // The `protocol` axis is categorical: its values are catalog
+            // names, not numbers. Every other axis is numeric.
+            if axis == "protocol" {
+                let string_value = |v: &Value| -> Result<String, SpecError> {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        SpecError::Invalid(
+                            "axis \"protocol\" takes catalog names (strings)".to_string(),
+                        )
+                    })
+                };
+                protocols = match values {
+                    Value::Str(_) => vec![string_value(values)?],
+                    Value::Arr(items) => {
+                        items.iter().map(string_value).collect::<Result<_, _>>()?
+                    }
+                    _ => {
+                        return Err(SpecError::Invalid(
+                            "axis \"protocol\" takes catalog names (strings)".to_string(),
+                        ))
+                    }
+                };
+                continue;
+            }
+            let numeric_value = |v: &Value| -> Result<f64, SpecError> {
+                v.as_f64().ok_or_else(|| {
+                    SpecError::Invalid(format!(
+                        "axis {axis:?} takes numbers (only \"protocol\" takes strings)"
+                    ))
+                })
+            };
             let values = match values {
                 Value::Num(n) => vec![*n],
-                Value::Arr(items) => items
-                    .iter()
-                    .map(|v| v.as_f64().ok_or(SpecError::Field("axes")))
-                    .collect::<Result<_, _>>()?,
-                _ => return Err(SpecError::Field("axes")),
+                Value::Arr(items) => items.iter().map(numeric_value).collect::<Result<_, _>>()?,
+                _ => {
+                    return Err(SpecError::Invalid(format!(
+                        "axis {axis:?} takes a number or an array of numbers"
+                    )))
+                }
             };
             axes.push(AxisSpec {
                 name: axis.clone(),
@@ -276,6 +320,7 @@ impl SweepSpec {
             budget: field_u64("budget", 1_000_000)?,
             hist_bins: field_u64("hist-bins", 50)? as usize,
             churn_downtime: field_f64("churn-downtime", 2_000.0)?,
+            protocols,
             axes,
         };
         spec.validate()?;
@@ -321,8 +366,21 @@ impl SweepSpec {
             self.hist_bins,
             self.churn_downtime
         );
+        // Canonical position: the categorical protocol axis always leads
+        // the axes object, so reserialization is idempotent regardless of
+        // where the author wrote it.
+        if !self.protocols.is_empty() {
+            out.push_str("\"protocol\":[");
+            for (j, name) in self.protocols.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                mmhew_obs::value::write_json_string(&mut out, name);
+            }
+            out.push(']');
+        }
         for (i, axis) in self.axes.iter().enumerate() {
-            if i > 0 {
+            if i > 0 || !self.protocols.is_empty() {
                 out.push(',');
             }
             mmhew_obs::value::write_json_string(&mut out, &axis.name);
@@ -354,6 +412,7 @@ impl SweepSpec {
             budget: 200_000,
             hist_bins: 20,
             churn_downtime: 2_000.0,
+            protocols: vec![],
             axes: vec![
                 AxisSpec {
                     name: "nodes".to_string(),
@@ -399,8 +458,12 @@ impl SweepSpec {
                 self.algorithm
             ));
         }
-        if !["complete", "line", "ring", "star", "er"].contains(&self.topology.as_str()) {
-            return err(format!("topology {:?}", self.topology));
+        const TOPOLOGIES: &[&str] = &["complete", "line", "ring", "star", "er"];
+        if !TOPOLOGIES.contains(&self.topology.as_str()) {
+            return err(format!(
+                "topology {:?} (expected one of {TOPOLOGIES:?})",
+                self.topology
+            ));
         }
         if self.reps == 0 {
             return err("reps must be at least 1".to_string());
@@ -411,8 +474,32 @@ impl SweepSpec {
         if self.hist_bins == 0 {
             return err("hist-bins must be at least 1".to_string());
         }
-        if self.axes.is_empty() {
+        if self.axes.is_empty() && self.protocols.is_empty() {
             return err("at least one axis must be swept".to_string());
+        }
+        let family = match self.engine {
+            EngineKind::Sync | EngineKind::SyncEvent => mmhew_rivals::Family::Sync,
+            EngineKind::Async => mmhew_rivals::Family::Async,
+        };
+        for (i, name) in self.protocols.iter().enumerate() {
+            let accepted = mmhew_rivals::catalog::names(family);
+            match mmhew_rivals::catalog::by_name(name) {
+                None => {
+                    return err(format!(
+                        "axis \"protocol\": unknown protocol {name:?} (this engine accepts {accepted:?})"
+                    ))
+                }
+                Some(kind) if kind.family != family => {
+                    return err(format!(
+                        "axis \"protocol\": {name:?} runs on the {} engine only (this engine accepts {accepted:?})",
+                        kind.family.label()
+                    ))
+                }
+                Some(_) => {}
+            }
+            if self.protocols[..i].iter().any(|p| p == name) {
+                return err(format!("axis \"protocol\": {name:?} listed twice"));
+            }
         }
         for (i, axis) in self.axes.iter().enumerate() {
             if !AXES.iter().any(|(n, _)| *n == axis.name) {
@@ -432,7 +519,7 @@ impl SweepSpec {
                 ));
             }
             if axis.name == "loss" && axis.values.iter().any(|v| *v >= 1.0) {
-                return err("loss probabilities must be < 1".to_string());
+                return err("axis \"loss\": Bernoulli loss probabilities must be < 1".to_string());
             }
             if self.engine == EngineKind::Async && SYNC_ONLY_AXES.contains(&axis.name.as_str()) {
                 return err(format!(
@@ -447,45 +534,97 @@ impl SweepSpec {
             }
         }
         if self.mode == GridMode::Zip {
-            let len = self.axes[0].values.len();
-            if self.axes.iter().any(|a| a.values.len() != len) {
-                return err("zip mode requires equal-length axes".to_string());
+            if let Some(first) = self.axes.first() {
+                let len = first.values.len();
+                if let Some(odd) = self.axes.iter().find(|a| a.values.len() != len) {
+                    return err(format!(
+                        "zip mode requires equal-length axes: axis {:?} has {} values but axis {:?} has {len}",
+                        odd.name,
+                        odd.values.len(),
+                        first.name
+                    ));
+                }
             }
         }
         Ok(())
     }
 
+    /// The number of points in the numeric grid alone, ignoring the
+    /// categorical `protocol` axis. Point ids relate to it by
+    /// `id = protocol_index * numeric_grid_len + numeric_id`, and the
+    /// per-point seed derivation reduces ids modulo it so every protocol
+    /// sees identical per-point randomness (matched head-to-head runs).
+    pub fn numeric_grid_len(&self) -> u64 {
+        if self.axes.is_empty() {
+            return 1;
+        }
+        (match self.mode {
+            GridMode::Zip => self.axes[0].values.len(),
+            GridMode::Cartesian => self.axes.iter().map(|a| a.values.len()).product(),
+        }) as u64
+    }
+
     /// Expands the grid into numbered points, cartesian (last axis
-    /// fastest) or zipped. The order — hence every point id — is a pure
+    /// fastest) or zipped. The categorical `protocol` axis multiplies the
+    /// numeric grid in both modes (zip pairs numeric axes only) and
+    /// varies slowest. The order — hence every point id — is a pure
     /// function of the spec.
     pub fn expand(&self) -> Vec<Point> {
-        match self.mode {
-            GridMode::Zip => (0..self.axes[0].values.len())
-                .map(|i| Point {
-                    id: i as u64,
-                    values: self
-                        .axes
-                        .iter()
-                        .map(|a| (a.name.clone(), a.values[i]))
-                        .collect(),
-                })
-                .collect(),
-            GridMode::Cartesian => {
-                let total: usize = self.axes.iter().map(|a| a.values.len()).product();
-                (0..total)
-                    .map(|mut flat| {
-                        let id = flat as u64;
-                        let mut values = vec![(String::new(), 0.0); self.axes.len()];
-                        for (slot, axis) in values.iter_mut().zip(&self.axes).rev() {
-                            let k = axis.values.len();
-                            *slot = (axis.name.clone(), axis.values[flat % k]);
-                            flat /= k;
-                        }
-                        Point { id, values }
+        let numeric: Vec<Point> = if self.axes.is_empty() {
+            vec![Point {
+                id: 0,
+                protocol: None,
+                values: Vec::new(),
+            }]
+        } else {
+            match self.mode {
+                GridMode::Zip => (0..self.axes[0].values.len())
+                    .map(|i| Point {
+                        id: i as u64,
+                        protocol: None,
+                        values: self
+                            .axes
+                            .iter()
+                            .map(|a| (a.name.clone(), a.values[i]))
+                            .collect(),
                     })
-                    .collect()
+                    .collect(),
+                GridMode::Cartesian => {
+                    let total: usize = self.axes.iter().map(|a| a.values.len()).product();
+                    (0..total)
+                        .map(|mut flat| {
+                            let id = flat as u64;
+                            let mut values = vec![(String::new(), 0.0); self.axes.len()];
+                            for (slot, axis) in values.iter_mut().zip(&self.axes).rev() {
+                                let k = axis.values.len();
+                                *slot = (axis.name.clone(), axis.values[flat % k]);
+                                flat /= k;
+                            }
+                            Point {
+                                id,
+                                protocol: None,
+                                values,
+                            }
+                        })
+                        .collect()
+                }
             }
+        };
+        if self.protocols.is_empty() {
+            return numeric;
         }
+        let stride = numeric.len() as u64;
+        self.protocols
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, name)| {
+                numeric.iter().map(move |p| Point {
+                    id: pi as u64 * stride + p.id,
+                    protocol: Some(name.clone()),
+                    values: p.values.clone(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -586,6 +725,92 @@ mod tests {
     #[test]
     fn smoke_spec_is_four_points() {
         assert_eq!(SweepSpec::smoke().expand().len(), 4);
+    }
+
+    #[test]
+    fn protocol_axis_multiplies_the_numeric_grid_varying_slowest() {
+        let spec = SweepSpec::from_json(
+            r#"{"name": "t",
+                "axes": {"protocol": ["staged", "mc-dis"], "nodes": [4, 6]}}"#,
+        )
+        .expect("valid");
+        assert_eq!(spec.protocols, vec!["staged", "mc-dis"]);
+        assert_eq!(spec.numeric_grid_len(), 2);
+        let points = spec.expand();
+        assert_eq!(points.len(), 4);
+        assert_eq!(points[0].protocol.as_deref(), Some("staged"));
+        assert_eq!(points[0].axis("nodes"), 4.0);
+        assert_eq!(points[1].protocol.as_deref(), Some("staged"));
+        assert_eq!(points[1].axis("nodes"), 6.0);
+        assert_eq!(points[2].protocol.as_deref(), Some("mc-dis"));
+        assert_eq!(points[2].axis("nodes"), 4.0);
+        assert!(points.iter().enumerate().all(|(i, p)| p.id == i as u64));
+    }
+
+    #[test]
+    fn protocol_only_sweep_is_a_one_point_numeric_grid() {
+        let spec = SweepSpec::from_json(
+            r#"{"name": "t", "axes": {"protocol": ["staged", "s-nihao", "a-nihao"]}}"#,
+        )
+        .expect("valid");
+        assert_eq!(spec.numeric_grid_len(), 1);
+        let points = spec.expand();
+        assert_eq!(points.len(), 3);
+        assert!(points.iter().all(|p| p.values.is_empty()));
+    }
+
+    #[test]
+    fn protocol_axis_round_trips_canonically_from_any_position() {
+        // The author wrote protocol *after* a numeric axis; canonical form
+        // moves it first, and reserialization is idempotent.
+        let spec = SweepSpec::from_json(
+            r#"{"name": "t", "axes": {"nodes": [4, 8], "protocol": ["uniform", "mc-dis"]}}"#,
+        )
+        .expect("valid");
+        let canonical = spec.to_json();
+        assert!(
+            canonical.contains("\"axes\":{\"protocol\":[\"uniform\",\"mc-dis\"],\"nodes\":[4,8]}")
+        );
+        let reparsed = SweepSpec::from_json(&canonical).expect("parses");
+        assert_eq!(reparsed, spec);
+        assert_eq!(reparsed.to_json(), canonical);
+    }
+
+    #[test]
+    fn protocol_axis_validation_names_the_axis_and_accepted_values() {
+        let bad = |text: &str| SweepSpec::from_json(text).expect_err("must fail");
+        let e = bad(r#"{"name": "t", "axes": {"protocol": ["warp-drive"]}}"#);
+        let msg = e.to_string();
+        assert!(msg.contains("axis \"protocol\""), "{msg}");
+        assert!(msg.contains("warp-drive"), "{msg}");
+        assert!(msg.contains("mc-dis"), "names accepted values: {msg}");
+
+        let e = bad(r#"{"name": "t", "engine": "async", "axes": {"protocol": ["mc-dis"]}}"#);
+        let msg = e.to_string();
+        assert!(msg.contains("sync engine only"), "{msg}");
+        assert!(msg.contains("frame-based"), "{msg}");
+
+        let e = bad(r#"{"name": "t", "axes": {"protocol": [4]}}"#);
+        assert!(e.to_string().contains("catalog names"), "{e}");
+
+        let e = bad(r#"{"name": "t", "axes": {"nodes": ["four"]}}"#);
+        let msg = e.to_string();
+        assert!(msg.contains("axis \"nodes\""), "{msg}");
+
+        let e = bad(r#"{"name": "t", "axes": {"protocol": ["staged", "staged"]}}"#);
+        assert!(e.to_string().contains("listed twice"), "{e}");
+
+        let e = bad(r#"{"name": "t", "mode": "zip",
+                "axes": {"nodes": [4, 8], "loss": [0, 0.1, 0.2]}}"#);
+        let msg = e.to_string();
+        assert!(
+            msg.contains("\"loss\"") && msg.contains("\"nodes\""),
+            "{msg}"
+        );
+        assert!(
+            msg.contains('3') && msg.contains('2'),
+            "lengths named: {msg}"
+        );
     }
 
     #[test]

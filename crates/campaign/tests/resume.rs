@@ -133,6 +133,46 @@ fn resume_tolerates_a_torn_spec_echo_header() {
 }
 
 #[test]
+fn protocol_axis_resume_is_byte_identical() {
+    // The categorical `protocol` axis goes through the same
+    // checkpoint/resume machinery as numeric axes: interrupting between
+    // protocols and resuming reproduces the uninterrupted bytes.
+    let spec = SweepSpec::from_json(
+        r#"{
+            "name": "rivals-resume",
+            "engine": "sync",
+            "topology": "complete",
+            "reps": 2,
+            "seed": 13,
+            "budget": 200000,
+            "axes": {"protocol": ["staged", "mc-dis", "s-nihao"], "nodes": [4], "universe": [5]}
+        }"#,
+    )
+    .expect("valid spec");
+
+    let straight = fresh_dir("rivals-straight");
+    let outcome = run_campaign(&spec, &CampaignOptions::new(&straight)).expect("runs");
+    assert_eq!(outcome.completed, 3, "one point per protocol");
+    let reference = std::fs::read(outcome.artifact.expect("artifact written")).expect("read");
+
+    let resumed = fresh_dir("rivals-resumed");
+    let mut opts = CampaignOptions::new(&resumed);
+    opts.max_points = Some(1);
+    let partial = run_campaign(&spec, &opts).expect("partial run");
+    assert_eq!(partial.completed, 1);
+    let mut opts = CampaignOptions::new(&resumed);
+    opts.resume = true;
+    let finished = run_campaign(&spec, &opts).expect("resume");
+    assert_eq!(finished.skipped, 1);
+    assert_eq!(finished.completed, 2);
+    let bytes = std::fs::read(finished.artifact.expect("artifact written")).expect("read");
+    assert_eq!(bytes, reference, "resumed protocol-axis artifact matches");
+
+    std::fs::remove_dir_all(&straight).ok();
+    std::fs::remove_dir_all(&resumed).ok();
+}
+
+#[test]
 fn resume_on_finished_campaign_skips_everything() {
     let spec = SweepSpec::smoke();
     let dir = fresh_dir("noop");

@@ -89,9 +89,31 @@ pub struct Scenario;
 impl Scenario {
     /// Opens a slot-synchronous scenario on `network` running `algorithm`.
     pub fn sync(network: &Network, algorithm: SyncAlgorithm) -> SyncScenario<'_> {
+        Self::sync_source(network, SyncSource::Named(algorithm))
+    }
+
+    /// Opens a slot-synchronous scenario on `network` running an
+    /// externally built per-node protocol stack (e.g. from the
+    /// `mmhew-rivals` catalog). `protocols[i]` drives node `i`; the stack
+    /// length must equal `network.node_count()`. All builder knobs —
+    /// wrappers, engines, faults, sinks — compose exactly as with
+    /// [`Scenario::sync`].
+    ///
+    /// # Panics
+    ///
+    /// [`run`](SyncScenario::run) panics if the stack length does not
+    /// match the node count.
+    pub fn sync_stack(
+        network: &Network,
+        protocols: Vec<Box<dyn SyncProtocol>>,
+    ) -> SyncScenario<'_> {
+        Self::sync_source(network, SyncSource::Stack(protocols))
+    }
+
+    fn sync_source(network: &Network, source: SyncSource) -> SyncScenario<'_> {
         SyncScenario {
             network,
-            algorithm,
+            source,
             starts: StartSchedule::Identical,
             config: SyncRunConfig::until_complete(DEFAULT_BUDGET),
             engine: Engine::Slotted,
@@ -152,9 +174,17 @@ fn run_with_tee<T>(
 ///
 /// See the [module docs](self) for the builder grammar and the
 /// neutrality / composition-order guarantees.
+/// Where a [`SyncScenario`]'s per-node protocols come from: a named
+/// algorithm built on demand, or a ready-made stack handed in by the
+/// caller.
+enum SyncSource {
+    Named(SyncAlgorithm),
+    Stack(Vec<Box<dyn SyncProtocol>>),
+}
+
 pub struct SyncScenario<'a> {
     network: &'a Network,
-    algorithm: SyncAlgorithm,
+    source: SyncSource,
     starts: StartSchedule,
     config: SyncRunConfig,
     engine: Engine,
@@ -272,7 +302,17 @@ impl<'a> SyncScenario<'a> {
     /// Returns [`ProtocolError`] if any node's available channel set is
     /// empty, or a wrapper threshold/parameter is zero.
     pub fn run(self, seed: SeedTree) -> Result<SyncOutcome, ProtocolError> {
-        let mut protocols = build_sync_protocols(self.network, self.algorithm)?;
+        let mut protocols = match self.source {
+            SyncSource::Named(algorithm) => build_sync_protocols(self.network, algorithm)?,
+            SyncSource::Stack(stack) => {
+                assert_eq!(
+                    stack.len(),
+                    self.network.node_count(),
+                    "protocol stack length must equal the node count"
+                );
+                stack
+            }
+        };
         if let Some(repetition) = self.robust {
             protocols = protocols
                 .into_iter()
@@ -495,6 +535,41 @@ mod tests {
         assert!(out.all_terminated(), "nodes decide to stop");
         assert!(out.completed(), "generous threshold finds all links");
         assert!(tables_match_ground_truth(&net, out.tables()));
+    }
+
+    #[test]
+    fn sync_stack_matches_the_named_algorithm_byte_for_byte() {
+        // A caller-built stack constructed like build_sync_protocols must
+        // be indistinguishable from the named path: same seeds, same
+        // draws, same outcome.
+        let net = small_net();
+        let params = SyncParams::new(4).expect("valid");
+        let named = Scenario::sync(&net, SyncAlgorithm::Staged(params))
+            .config(SyncRunConfig::until_complete(200_000))
+            .run(SeedTree::new(1))
+            .expect("run");
+        let stack: Vec<Box<dyn SyncProtocol>> = (0..net.node_count())
+            .map(|i| {
+                let available = net.available(NodeId::new(i as u32)).clone();
+                Box::new(crate::StagedDiscovery::new(available, params).expect("valid"))
+                    as Box<dyn SyncProtocol>
+            })
+            .collect();
+        let stacked = Scenario::sync_stack(&net, stack)
+            .config(SyncRunConfig::until_complete(200_000))
+            .run(SeedTree::new(1))
+            .expect("run");
+        assert_eq!(named.slots_to_complete(), stacked.slots_to_complete());
+        assert_eq!(named.deliveries(), stacked.deliveries());
+        assert_eq!(named.collisions(), stacked.collisions());
+        assert_eq!(named.tables(), stacked.tables());
+    }
+
+    #[test]
+    #[should_panic(expected = "stack length")]
+    fn mismatched_stack_length_panics() {
+        let net = small_net();
+        let _ = Scenario::sync_stack(&net, Vec::new()).run(SeedTree::new(1));
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! Runs experiment E29 (see DESIGN.md §5). Flags: `--full`, `--seed <n>`, `--csv <path>`.
+fn main() {
+    mmhew_harness::registry::run_binary("E29");
+}

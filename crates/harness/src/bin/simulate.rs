@@ -19,7 +19,10 @@
 //! `--availability full|subset|overlap|spatial (subset)`, `--set-size (4)`,
 //! `--shared (2)`, `--private (2)`, `--primaries (5)`, `--pu-radius (4)`,
 //! `--pu-channels (3)`,
-//! `--algorithm alg1|alg2|alg3|alg4|baseline (alg1)`, `--delta-est (Δ)`,
+//! `--algorithm alg1|alg2|alg3|alg4|baseline (alg1)`,
+//! `--protocol <catalog name>` (mutually exclusive with `--algorithm`;
+//! runs any sync entry from `mmhew_rivals::catalog`, e.g. `mc-dis`,
+//! `s-nihao`, `a-nihao`), `--delta-est (Δ)`,
 //! `--epsilon (0.01)`, `--start-window (0)`, `--frame-len (3000)`,
 //! `--drift-den (0 = ideal; 7 means δ=1/7)`, `--reps (5)`, `--seed (1)`,
 //! `--budget (4000000)`, `--jobs (0 = auto; worker threads for harness
@@ -114,6 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "pu-radius",
             "pu-channels",
             "algorithm",
+            "protocol",
             "delta-est",
             "epsilon",
             "start-window",
@@ -154,6 +158,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .map_or("∞ (disconnected)".to_string(), |d| d.to_string()),
     );
 
+    if args.raw("protocol").is_some() && args.raw("algorithm").is_some() {
+        return Err(
+            "--protocol and --algorithm are mutually exclusive (the catalog entry \
+             already picks the algorithm)"
+                .into(),
+        );
+    }
+    let rival = match args.raw("protocol") {
+        Some(name) => {
+            let kind = mmhew_rivals::catalog::by_name(name).ok_or_else(|| {
+                format!(
+                    "--protocol {name:?} is not in the catalog (known names: {})",
+                    mmhew_rivals::catalog::names(mmhew_rivals::Family::Sync).join(", ")
+                )
+            })?;
+            if kind.family == mmhew_rivals::Family::Async {
+                return Err(format!(
+                    "--protocol {name} is the asynchronous frame-based algorithm — \
+                     run it as --algorithm alg4 instead"
+                )
+                .into());
+            }
+            Some(kind)
+        }
+        None => None,
+    };
     let algorithm = args.one_of("algorithm", &["alg1", "alg2", "alg3", "alg4", "baseline"])?;
     let engine = match args.one_of("engine", &["slotted", "event"])? {
         "event" => Engine::Event,
@@ -179,7 +209,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut perfetto = perfetto_path.as_ref().map(PerfettoSink::create);
     let observing = metrics_on || timeline_on || trace_path.is_some() || perfetto_path.is_some();
 
-    if algorithm == "alg4" {
+    if rival.is_none() && algorithm == "alg4" {
         println!(
             "algorithm: Algorithm 4 (async), Δ_est={delta_est}; Thm9 bound = {:.0} frames",
             bounds.theorem9_frames()
@@ -251,11 +281,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             _ => unreachable!("one_of validated"),
         };
-        println!(
-            "algorithm: {algorithm}, Δ_est={delta_est}; Thm1 bound = {:.0} slots, Thm3 bound = {:.0} slots",
-            bounds.theorem1_slots(),
-            bounds.theorem3_slots()
-        );
+        match rival {
+            Some(kind) => println!(
+                "protocol: {} (catalog) — {}; Δ_est={delta_est}; paper bounds do not apply",
+                kind.name, kind.summary
+            ),
+            None => println!(
+                "algorithm: {algorithm}, Δ_est={delta_est}; Thm1 bound = {:.0} slots, Thm3 bound = {:.0} slots",
+                bounds.theorem1_slots(),
+                bounds.theorem3_slots()
+            ),
+        }
         let window: u64 = args.get_or("start-window", 0)?;
         let starts = if window == 0 {
             StartSchedule::Identical
@@ -265,6 +301,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for rep in 0..reps {
             let rep_seed = seed.branch("run").index(rep);
             let config = SyncRunConfig::until_complete(budget);
+            // Catalog stacks are rebuilt every repetition (they are
+            // per-node state machines); named algorithms are stateless
+            // descriptors the scenario instantiates itself.
+            let scenario = match rival {
+                Some(kind) => Scenario::sync_stack(&net, kind.build_sync(&net, delta_est)?),
+                None => Scenario::sync(&net, alg),
+            };
             let out = if observing {
                 let mut sinks: Vec<&mut dyn EventSink> = Vec::new();
                 if let Some(m) = metrics.as_mut() {
@@ -282,14 +325,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     }
                 }
                 let mut fan = FanoutSink::new(sinks);
-                Scenario::sync(&net, alg)
+                scenario
                     .starts(starts.clone())
                     .config(config)
                     .engine(engine)
                     .with_sink(&mut fan)
                     .run(rep_seed)?
             } else {
-                Scenario::sync(&net, alg)
+                scenario
                     .starts(starts.clone())
                     .config(config)
                     .engine(engine)

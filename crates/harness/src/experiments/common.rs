@@ -2,7 +2,8 @@
 
 use crate::sweep::parallel_reps;
 use mmhew_discovery::{AsyncAlgorithm, Scenario, SyncAlgorithm};
-use mmhew_engine::{AsyncRunConfig, FaultPlan, StartSchedule, SyncRunConfig};
+use mmhew_engine::{AsyncRunConfig, EnergyModel, FaultPlan, StartSchedule, SyncRunConfig};
+use mmhew_rivals::ProtocolKind;
 use mmhew_topology::Network;
 use mmhew_util::{SeedTree, Summary};
 
@@ -116,6 +117,76 @@ pub fn measure_sync_robust(
     let failures = outcomes.iter().filter(|o| o.is_none()).count() as u64;
     SyncMeasurement {
         slots,
+        failures,
+        reps,
+    }
+}
+
+/// One catalog protocol's repeated head-to-head measurement: completion
+/// slots plus energy spent, with budget-exhausted repetitions counted as
+/// failures (their energy still accrues over the whole budget, which is
+/// exactly the "matched energy budget" comparison the rivals experiments
+/// make).
+#[derive(Debug, Clone)]
+pub struct ProtocolMeasurement {
+    /// Slots from `T_s` to completion, one entry per *completed* rep.
+    pub slots: Vec<f64>,
+    /// Mean per-node-per-slot energy of every repetition (completed or
+    /// not), under the model passed to [`measure_protocol`].
+    pub energy_per_node_slot: Vec<f64>,
+    /// Repetitions that did not complete within the budget.
+    pub failures: u64,
+    /// Total repetitions.
+    pub reps: u64,
+}
+
+impl ProtocolMeasurement {
+    /// Summary over the completed repetitions' slot counts.
+    pub fn summary(&self) -> Summary {
+        Summary::from_samples(&self.slots)
+    }
+
+    /// Mean energy per node per executed slot across all repetitions.
+    pub fn mean_energy_rate(&self) -> f64 {
+        Summary::from_samples(&self.energy_per_node_slot).mean
+    }
+}
+
+/// Runs `reps` seeded repetitions of a catalog protocol (rebuilding the
+/// per-node stack from its builder each repetition) and collects
+/// completion times and energy rates. `faults` applies to every
+/// repetition when given.
+pub fn measure_protocol(
+    network: &Network,
+    kind: &'static ProtocolKind,
+    delta_est: u64,
+    faults: Option<&FaultPlan>,
+    config: SyncRunConfig,
+    model: &EnergyModel,
+    reps: u64,
+    seed: SeedTree,
+) -> ProtocolMeasurement {
+    let outcomes = parallel_reps(reps, seed, |_rep, rep_seed| {
+        let stack = kind
+            .build_sync(network, delta_est)
+            .expect("catalog stack builds on non-empty channel sets");
+        let mut scenario = Scenario::sync_stack(network, stack).config(config);
+        if let Some(plan) = faults {
+            scenario = scenario.with_faults(plan.clone());
+        }
+        let out = scenario.run(rep_seed).expect("scenario runs");
+        let denom = (network.node_count() as u64 * out.slots_executed()).max(1) as f64;
+        (out.slots_to_complete(), out.total_energy(model) / denom)
+    });
+    let slots: Vec<f64> = outcomes
+        .iter()
+        .filter_map(|(s, _)| s.map(|v| v as f64))
+        .collect();
+    let energy_per_node_slot: Vec<f64> = outcomes.iter().map(|(_, e)| *e).collect();
+    let failures = outcomes.iter().filter(|(s, _)| s.is_none()).count() as u64;
+    ProtocolMeasurement {
+        slots,
+        energy_per_node_slot,
         failures,
         reps,
     }
@@ -239,6 +310,36 @@ mod tests {
         );
         assert!(m.failures > 0);
         assert!(m.failure_rate() > 0.0);
+    }
+
+    #[test]
+    fn measure_protocol_runs_catalog_entries() {
+        let net = NetworkBuilder::complete(4)
+            .universe(5)
+            .build(SeedTree::new(0))
+            .expect("build");
+        let kind = mmhew_rivals::catalog::by_name("mc-dis").expect("registered");
+        let m = measure_protocol(
+            &net,
+            kind,
+            3,
+            None,
+            SyncRunConfig::until_complete(200_000),
+            &EnergyModel::default(),
+            3,
+            SeedTree::new(4),
+        );
+        assert_eq!(m.reps, 3);
+        assert_eq!(
+            m.failures, 0,
+            "full availability on a prime universe completes deterministically"
+        );
+        assert_eq!(m.energy_per_node_slot.len(), 3);
+        let rate = m.mean_energy_rate();
+        assert!(
+            rate > 0.0 && rate < 0.3,
+            "mc-dis duty cycle keeps energy rate low, got {rate}"
+        );
     }
 
     #[test]

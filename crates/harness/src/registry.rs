@@ -35,6 +35,9 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("E24", experiments::e24_bursty_loss::run),
         ("E25", experiments::e25_jamming::run),
         ("E26", experiments::e26_robust_repetition::run),
+        ("E27", experiments::e27_rivals_completion::run),
+        ("E28", experiments::e28_rivals_adversity::run),
+        ("E29", experiments::e29_rivals_churn::run),
         ("F-CDF", experiments::f_cdf::run),
     ]
 }
@@ -106,7 +109,7 @@ mod tests {
                 "gap in experiment numbering at E{k}"
             );
         }
-        assert!(highest >= 26, "E24-E26 must be registered");
+        assert!(highest >= 29, "E27-E29 must be registered");
     }
 
     #[test]

@@ -121,6 +121,58 @@ fn run_all_csv_dir_writes_every_table() {
 }
 
 #[test]
+fn simulate_protocol_runs_catalog_entries() {
+    let (stdout, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_simulate"),
+        &[
+            "--topology",
+            "complete",
+            "--nodes",
+            "6",
+            "--universe",
+            "5",
+            "--availability",
+            "full",
+            "--protocol",
+            "mc-dis",
+            "--reps",
+            "2",
+            "--seed",
+            "5",
+        ],
+    );
+    assert!(ok, "simulate --protocol failed: {stderr}");
+    assert!(stdout.contains("protocol: mc-dis"), "{stdout}");
+    assert!(stdout.contains("completed in"), "{stdout}");
+    assert!(stdout.contains("all completed runs exact ✓"), "{stdout}");
+}
+
+#[test]
+fn simulate_protocol_flag_conflicts_and_unknown_names_fail() {
+    let (_, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_simulate"),
+        &["--protocol", "mc-dis", "--algorithm", "alg1"],
+    );
+    assert!(!ok, "conflicting flags must fail");
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    let (_, stderr, ok) = run(env!("CARGO_BIN_EXE_simulate"), &["--protocol", "bogus"]);
+    assert!(!ok, "unknown protocol must fail");
+    assert!(stderr.contains("not in the catalog"), "{stderr}");
+    assert!(
+        stderr.contains("mc-dis"),
+        "error lists known names: {stderr}"
+    );
+
+    let (_, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_simulate"),
+        &["--protocol", "frame-based"],
+    );
+    assert!(!ok, "async catalog entry must be redirected");
+    assert!(stderr.contains("--algorithm alg4"), "{stderr}");
+}
+
+#[test]
 fn perf_report_smoke() {
     let dir = std::env::temp_dir().join("mmhew-bin-smoke");
     std::fs::create_dir_all(&dir).expect("mkdir");
@@ -196,4 +248,32 @@ fn e26_smoke() {
     assert!(ok, "e26 failed: {stderr}");
     assert!(stdout.contains("=== E26:"), "{stdout}");
     assert!(stdout.contains("calibrated budget"), "{stdout}");
+}
+
+#[test]
+fn e27_smoke() {
+    let (stdout, stderr, ok) = run(
+        env!("CARGO_BIN_EXE_e27_rivals_completion"),
+        &["--seed", "3"],
+    );
+    assert!(ok, "e27 failed: {stderr}");
+    assert!(stdout.contains("=== E27:"), "{stdout}");
+    assert!(stdout.contains("mc-dis"), "{stdout}");
+    assert!(stdout.contains("energy/node/slot"), "{stdout}");
+}
+
+#[test]
+fn e28_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e28_rivals_adversity"), &["--seed", "3"]);
+    assert!(ok, "e28 failed: {stderr}");
+    assert!(stdout.contains("=== E28:"), "{stdout}");
+    assert!(stdout.contains("slowdown"), "{stdout}");
+}
+
+#[test]
+fn e29_smoke() {
+    let (stdout, stderr, ok) = run(env!("CARGO_BIN_EXE_e29_rivals_churn"), &["--seed", "3"]);
+    assert!(ok, "e29 failed: {stderr}");
+    assert!(stdout.contains("=== E29:"), "{stdout}");
+    assert!(stdout.contains("s-nihao"), "{stdout}");
 }

@@ -1,0 +1,42 @@
+//! Rival neighbor-discovery protocols and the protocol catalog.
+//!
+//! The source paper's pitch is comparative: randomized gossip discovery
+//! versus the deterministic sequence schedules of the heterogeneous-ND
+//! literature. This crate supplies the other side of that comparison —
+//! [`McDisDiscovery`] (prime-pair hopping, after arXiv:1307.3630) and
+//! [`NihaoDiscovery`] (talk-more-listen-less grids, after
+//! arXiv:1411.5415) — behind the same [`SyncProtocol`] trait the paper's
+//! algorithms use, so every harness (slotted engine, event engine,
+//! faults, churn, campaigns, the distributed service) runs them
+//! unchanged.
+//!
+//! [`catalog`] maps stable string names to per-network stack builders;
+//! the campaign `protocol` axis, `simulate --protocol`, and the
+//! conformance suite all key off it.
+//!
+//! # Examples
+//!
+//! ```
+//! use mmhew_rivals::catalog;
+//! use mmhew_spectrum::AvailabilityModel;
+//! use mmhew_topology::NetworkBuilder;
+//! use mmhew_util::SeedTree;
+//!
+//! let net = NetworkBuilder::complete(4)
+//!     .universe(5)
+//!     .build(SeedTree::new(3))?;
+//! let kind = catalog::by_name("mc-dis").expect("registered");
+//! let stack = kind.build_sync(&net, 3)?;
+//! assert_eq!(stack.len(), 4);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! [`SyncProtocol`]: mmhew_engine::SyncProtocol
+
+pub mod catalog;
+pub mod mcdis;
+pub mod nihao;
+
+pub use catalog::{Family, ProtocolKind};
+pub use mcdis::{DutyClass, McDisDiscovery, DUTY_CLASSES};
+pub use nihao::NihaoDiscovery;

@@ -218,6 +218,95 @@ fn late_completion_after_reissue_gets_409_and_no_duplicate_lines() {
 }
 
 #[test]
+fn protocol_axis_distributed_run_is_byte_identical() {
+    // The categorical `protocol` axis rides through the lease/complete
+    // machinery untouched: a worker fleet produces the same manifest and
+    // artifact bytes as a single-process run of the same rivals spec.
+    let spec = SweepSpec::from_json(
+        r#"{
+            "name": "rivals-serve",
+            "engine": "sync",
+            "topology": "complete",
+            "reps": 2,
+            "seed": 17,
+            "budget": 200000,
+            "axes": {"protocol": ["staged", "mc-dis"], "nodes": [4], "universe": [5]}
+        }"#,
+    )
+    .expect("valid spec");
+
+    let ref_dir = fresh_dir("rivals-ref");
+    let outcome = run_campaign(&spec, &CampaignOptions::new(&ref_dir)).expect("reference run");
+    let ref_manifest = std::fs::read(ref_dir.join("rivals-serve.manifest.jsonl")).expect("read");
+    let ref_artifact = std::fs::read(outcome.artifact.expect("artifact")).expect("read");
+    std::fs::remove_dir_all(&ref_dir).ok();
+
+    let dir = fresh_dir("rivals-fleet");
+    let handle = spawn_server(Some(spec), server_opts(&dir, 60_000)).expect("server");
+    let url = handle.url();
+    let workers: Vec<_> = ["w1", "w2"]
+        .into_iter()
+        .map(|name| {
+            let mut opts = WorkerOptions::new(&url, name);
+            opts.poll_ms = 25;
+            std::thread::spawn(move || run_worker(&opts).expect("worker"))
+        })
+        .collect();
+    let total: u64 = workers
+        .into_iter()
+        .map(|w| w.join().expect("worker thread").completed)
+        .sum();
+    assert_eq!(total, 2, "one point per protocol, each done exactly once");
+    wait_until("artifact", Duration::from_secs(10), || {
+        handle.campaign_complete()
+    });
+
+    let manifest = std::fs::read(dir.join("rivals-serve.manifest.jsonl")).expect("manifest");
+    assert_eq!(manifest, ref_manifest, "distributed manifest matches");
+    let artifact = std::fs::read(handle.artifact().expect("artifact path")).expect("artifact");
+    assert_eq!(artifact, ref_artifact, "distributed artifact matches");
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn spec_endpoint_names_the_offending_protocol_axis() {
+    let dir = fresh_dir("bad-protocol");
+    let handle = spawn_server(None, server_opts(&dir, 60_000)).expect("server");
+    let url = handle.url();
+
+    // Unknown protocol name: refused with the axis named and the accepted
+    // values listed, so the submitter can fix the spec without grepping.
+    let bad = r#"{"schema_version":1,"spec":{
+        "name": "t", "engine": "sync",
+        "axes": {"protocol": ["mc-dsi"], "nodes": [4]}
+    }}"#;
+    let resp = post(&url, "/spec", bad).expect("post");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body.contains("invalid spec"), "{}", resp.body);
+    assert!(resp.body.contains("axis \\\"protocol\\\""), "{}", resp.body);
+    assert!(resp.body.contains("mc-dis"), "{}", resp.body);
+
+    // Sync-only protocol on the async engine: same treatment.
+    let mismatched = r#"{"schema_version":1,"spec":{
+        "name": "t", "engine": "async", "algorithm": "frame-based",
+        "axes": {"protocol": ["s-nihao"], "nodes": [4]}
+    }}"#;
+    let resp = post(&url, "/spec", mismatched).expect("post");
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.body.contains("runs on the sync engine only"),
+        "{}",
+        resp.body
+    );
+    assert!(resp.body.contains("frame-based"), "{}", resp.body);
+
+    handle.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn submit_flow_version_refusal_and_spec_round_trip() {
     let dir = fresh_dir("submit");
     // No preloaded spec: the server waits for a submission.

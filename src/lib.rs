@@ -45,6 +45,7 @@ pub use mmhew_harness as harness;
 pub use mmhew_obs as obs;
 pub use mmhew_perfetto as perfetto;
 pub use mmhew_radio as radio;
+pub use mmhew_rivals as rivals;
 pub use mmhew_serve as serve;
 pub use mmhew_spectrum as spectrum;
 pub use mmhew_time as time;
@@ -72,7 +73,7 @@ pub mod prelude {
         MobilityConfig, SpectrumChurnConfig, TimedEvent,
     };
     pub use mmhew_engine::{
-        AsyncOutcome, AsyncRunConfig, AsyncStartSchedule, ClockConfig, NeighborTable,
+        AsyncOutcome, AsyncRunConfig, AsyncStartSchedule, ClockConfig, EnergyModel, NeighborTable,
         StartSchedule, SyncOutcome, SyncRunConfig,
     };
     pub use mmhew_faults::{CrashSchedule, FaultPlan, GilbertElliott, JamSchedule, LinkLossModel};
@@ -82,6 +83,7 @@ pub mod prelude {
     };
     pub use mmhew_perfetto::{PerfettoConverter, PerfettoSink};
     pub use mmhew_radio::Impairments;
+    pub use mmhew_rivals::{DutyClass, McDisDiscovery, NihaoDiscovery};
     pub use mmhew_spectrum::{AvailabilityModel, ChannelId, ChannelSet};
     pub use mmhew_time::{
         DriftBound, DriftModel, DriftedClock, LocalDuration, LocalTime, Rate, RealDuration,
