@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
             NetworkEvent::NodeJoin {
                 node: joiner,
                 position: net.topology().position(joiner),
-                available: net.available(joiner).clone(),
+                available: net.available(joiner).to_owned(),
             },
         ));
         for i in 0..d as u32 {

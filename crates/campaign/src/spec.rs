@@ -546,6 +546,49 @@ impl SweepSpec {
                 }
             }
         }
+        self.validate_storage_cap()?;
+        Ok(())
+    }
+
+    /// Rejects any grid point whose `nodes × universe` fixed storage
+    /// would exceed the memory cap, naming the estimate up front instead
+    /// of letting a worker OOM mid-campaign. Covers exactly the pairs
+    /// the grid can produce: zipped index pairs when both axes are swept
+    /// in zip mode, the full cross product otherwise.
+    fn validate_storage_cap(&self) -> Result<(), SpecError> {
+        let axis_values = |name: &str| -> Vec<f64> {
+            self.axes
+                .iter()
+                .find(|a| a.name == name)
+                .map(|a| a.values.clone())
+                .unwrap_or_else(|| {
+                    vec![AXES
+                        .iter()
+                        .find(|(n, _)| *n == name)
+                        .map(|(_, d)| *d)
+                        .unwrap_or(0.0)]
+                })
+        };
+        let nodes = axis_values("nodes");
+        let universe = axis_values("universe");
+        let both_swept = self.axes.iter().any(|a| a.name == "nodes")
+            && self.axes.iter().any(|a| a.name == "universe");
+        let pairs: Vec<(f64, f64)> = if self.mode == GridMode::Zip && both_swept {
+            nodes
+                .iter()
+                .copied()
+                .zip(universe.iter().copied())
+                .collect()
+        } else {
+            nodes
+                .iter()
+                .flat_map(|&n| universe.iter().map(move |&u| (n, u)))
+                .collect()
+        };
+        for (n, u) in pairs {
+            mmhew_topology::check_storage_cap(n as u64, u as u16)
+                .map_err(|e| SpecError::Invalid(format!("axes \"nodes\" × \"universe\": {e}")))?;
+        }
         Ok(())
     }
 
@@ -706,6 +749,31 @@ mod tests {
         assert!(e.to_string().contains("slot-synchronous only"));
         let e = bad(r#"{"name": "t", "algorithm": "alg9", "axes": {"nodes": [4]}}"#);
         assert!(e.to_string().contains("algorithm"));
+    }
+
+    #[test]
+    fn storage_cap_rejects_oversized_grid_points_with_the_estimate() {
+        let bad = |text: &str| SweepSpec::from_json(text).expect_err("must fail");
+        // 10¹² nodes × 64 channels is far beyond any sane cap; the error
+        // names the estimated footprint and the override knob rather
+        // than letting a worker OOM.
+        let e = bad(r#"{"name": "t", "axes": {"nodes": [4, 1000000000000], "universe": [64]}}"#);
+        let msg = e.to_string();
+        assert!(msg.contains("nodes"), "msg: {msg}");
+        assert!(msg.contains("MiB"), "names the estimate: {msg}");
+        assert!(msg.contains("MMHEW_MEM_CAP_BYTES"), "names the knob: {msg}");
+        // Zip mode only pairs index-matched values: (4, 64) and (8, 2)
+        // are both tiny even though (8, 64) at the cross product of a
+        // cartesian read would also be fine — and a huge zipped pair
+        // still trips the check.
+        assert!(SweepSpec::from_json(
+            r#"{"name": "t", "mode": "zip",
+                "axes": {"nodes": [4, 8], "universe": [64, 2]}}"#,
+        )
+        .is_ok());
+        let e = bad(r#"{"name": "t", "mode": "zip",
+                "axes": {"nodes": [4, 1000000000000], "universe": [2, 64]}}"#);
+        assert!(e.to_string().contains("MiB"));
     }
 
     #[test]

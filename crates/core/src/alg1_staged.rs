@@ -62,7 +62,7 @@ impl StagedDiscovery {
 
     /// The transmission probability used in slot `i` (1-based) of a stage.
     pub fn slot_probability(&self, i: u64) -> f64 {
-        tx_probability(&self.available, (2.0f64).powi(i as i32))
+        tx_probability(self.available.view(), (2.0f64).powi(i as i32))
     }
 
     /// The stage length `⌈log₂ Δ_est⌉` (≥ 1).

@@ -126,7 +126,7 @@ impl SyncProtocol for AdaptiveDiscovery {
 
     fn on_slot(&mut self, _active_slot: u64, rng: &mut Xoshiro256StarStar) -> SlotAction {
         let i = self.pos + 1; // 1-based slot within the stage
-        let p = tx_probability(&self.available, (2.0f64).powi(i as i32));
+        let p = tx_probability(self.available.view(), (2.0f64).powi(i as i32));
         let channel = self
             .available
             .choose_uniform(rng)

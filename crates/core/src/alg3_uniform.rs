@@ -51,7 +51,7 @@ impl UniformDiscovery {
         if available.is_empty() {
             return Err(ProtocolError::EmptyChannelSet);
         }
-        let probability = tx_probability(&available, params.delta_est() as f64);
+        let probability = tx_probability(available.view(), params.delta_est() as f64);
         Ok(Self {
             available,
             probability,

@@ -52,7 +52,7 @@ impl AsyncFrameDiscovery {
         if available.is_empty() {
             return Err(ProtocolError::EmptyChannelSet);
         }
-        let probability = tx_probability(&available, 3.0 * params.delta_est() as f64);
+        let probability = tx_probability(available.view(), 3.0 * params.delta_est() as f64);
         Ok(Self {
             available,
             probability,

@@ -206,7 +206,7 @@ pub fn build_continuous_protocols(
         .into_iter()
         .enumerate()
         .map(|(i, inner)| {
-            let available = network.available(NodeId::new(i as u32)).clone();
+            let available = network.available(NodeId::new(i as u32)).to_owned();
             ContinuousDiscovery::new(inner, available, config)
                 .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
         })

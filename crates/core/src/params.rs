@@ -1,6 +1,6 @@
 //! Algorithm parameters.
 
-use mmhew_spectrum::ChannelSet;
+use mmhew_spectrum::ChannelSetRef;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -119,7 +119,7 @@ pub(crate) fn ceil_log2(x: u64) -> u64 {
 
 /// The transmission probability `min(1/2, |A(u)|/denominator)` common to
 /// all the paper's algorithms.
-pub(crate) fn tx_probability(available: &ChannelSet, denominator: f64) -> f64 {
+pub(crate) fn tx_probability(available: ChannelSetRef<'_>, denominator: f64) -> f64 {
     debug_assert!(denominator > 0.0);
     (available.len() as f64 / denominator).min(0.5)
 }
@@ -157,10 +157,11 @@ mod tests {
 
     #[test]
     fn tx_probability_caps_at_half() {
+        use mmhew_spectrum::ChannelSet;
         let small: ChannelSet = [0u16].into_iter().collect();
         let big = ChannelSet::full(40);
-        assert_eq!(tx_probability(&big, 8.0), 0.5);
-        assert!((tx_probability(&small, 8.0) - 0.125).abs() < 1e-12);
+        assert_eq!(tx_probability(big.view(), 8.0), 0.5);
+        assert!((tx_probability(small.view(), 8.0) - 0.125).abs() < 1e-12);
     }
 
     #[test]

@@ -134,7 +134,7 @@ pub(crate) fn build_sync_protocols(
     let n = network.node_count();
     let mut protocols: Vec<Box<dyn SyncProtocol>> = Vec::with_capacity(n);
     for i in 0..n {
-        let available = network.available(NodeId::new(i as u32)).clone();
+        let available = network.available(NodeId::new(i as u32)).to_owned();
         let protocol: Box<dyn SyncProtocol> = match algorithm {
             SyncAlgorithm::Staged(params) => Box::new(StagedDiscovery::new(available, params)?),
             SyncAlgorithm::Adaptive => Box::new(AdaptiveDiscovery::new(available)?),
@@ -462,7 +462,7 @@ pub(crate) fn build_async_protocols(
     let n = network.node_count();
     let mut protocols: Vec<Box<dyn AsyncProtocol>> = Vec::with_capacity(n);
     for i in 0..n {
-        let available = network.available(NodeId::new(i as u32)).clone();
+        let available = network.available(NodeId::new(i as u32)).to_owned();
         let protocol: Box<dyn AsyncProtocol> = match algorithm {
             AsyncAlgorithm::FrameBased(params) => {
                 Box::new(AsyncFrameDiscovery::new(available, params)?)

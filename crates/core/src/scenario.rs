@@ -124,6 +124,7 @@ impl Scenario {
             faults: None,
             sink: None,
             perfetto: None,
+            shards: 1,
         }
     }
 
@@ -195,6 +196,7 @@ pub struct SyncScenario<'a> {
     faults: Option<FaultPlan>,
     sink: Option<&'a mut dyn EventSink>,
     perfetto: Option<PathBuf>,
+    shards: usize,
 }
 
 impl<'a> SyncScenario<'a> {
@@ -264,6 +266,18 @@ impl<'a> SyncScenario<'a> {
         self
     }
 
+    /// Resolves each slot's medium with up to `shards` worker threads,
+    /// partitioned by channel. Purely an execution knob (like a build
+    /// system's `--jobs`): outcomes, RNG streams, and traces are
+    /// byte-identical for every shard count, so the value is *not* part
+    /// of [`SyncRunConfig`] and never appears in serialized run
+    /// manifests. `0` and `1` both mean serial resolution.
+    #[must_use]
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Wraps every node in [`crate::RobustDiscovery`] with the given
     /// repetition factor (see [`crate::repetition_factor`]). Remember to
     /// inflate the slot budget by the same factor.
@@ -326,7 +340,7 @@ impl<'a> SyncScenario<'a> {
                 .into_iter()
                 .enumerate()
                 .map(|(i, inner)| {
-                    let available = self.network.available(NodeId::new(i as u32)).clone();
+                    let available = self.network.available(NodeId::new(i as u32)).to_owned();
                     ContinuousDiscovery::new(inner, available, config)
                         .map(|p| Box::new(p) as Box<dyn SyncProtocol>)
                 })
@@ -349,9 +363,11 @@ impl<'a> SyncScenario<'a> {
         let faults = self.faults;
         let config = self.config;
         let executor = self.engine;
+        let shards = self.shards;
         let engine_seed = seed.branch("engine");
         run_with_tee(self.sink, self.perfetto, move |sink| {
-            let mut engine = SyncEngine::new(network, protocols, start_slots, engine_seed);
+            let mut engine =
+                SyncEngine::new(network, protocols, start_slots, engine_seed).with_shards(shards);
             if let Some(dynamics) = dynamics {
                 engine = engine.with_dynamics(dynamics);
             }
@@ -550,7 +566,7 @@ mod tests {
             .expect("run");
         let stack: Vec<Box<dyn SyncProtocol>> = (0..net.node_count())
             .map(|i| {
-                let available = net.available(NodeId::new(i as u32)).clone();
+                let available = net.available(NodeId::new(i as u32)).to_owned();
                 Box::new(crate::StagedDiscovery::new(available, params).expect("valid"))
                     as Box<dyn SyncProtocol>
             })
@@ -563,6 +579,33 @@ mod tests {
         assert_eq!(named.deliveries(), stacked.deliveries());
         assert_eq!(named.collisions(), stacked.collisions());
         assert_eq!(named.tables(), stacked.tables());
+    }
+
+    #[test]
+    fn shard_count_never_changes_a_full_run() {
+        // The sharded medium resolver is an execution knob: a complete
+        // scenario run — protocol RNG streams, medium RNG, coverage
+        // stamps, tables — is identical at every thread count.
+        let net = small_net();
+        let mk = |shards: usize| {
+            Scenario::sync(
+                &net,
+                SyncAlgorithm::Uniform(SyncParams::new(3).expect("valid")),
+            )
+            .shards(shards)
+            .config(SyncRunConfig::until_complete(200_000))
+            .run(SeedTree::new(11))
+            .expect("run")
+        };
+        let serial = mk(1);
+        for shards in [0, 2, 3, 8] {
+            let sharded = mk(shards);
+            assert_eq!(serial.slots_to_complete(), sharded.slots_to_complete());
+            assert_eq!(serial.deliveries(), sharded.deliveries());
+            assert_eq!(serial.collisions(), sharded.collisions());
+            assert_eq!(serial.link_coverage(), sharded.link_coverage());
+            assert_eq!(serial.tables(), sharded.tables());
+        }
     }
 
     #[test]

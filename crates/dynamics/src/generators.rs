@@ -72,7 +72,7 @@ pub fn poisson_churn(
                 NetworkEvent::NodeJoin {
                     node,
                     position: topo.position(node),
-                    available: network.available(node).clone(),
+                    available: network.available(node).to_owned(),
                 },
             ));
             for &(from, to) in &edges {
@@ -112,7 +112,7 @@ pub fn poisson_churn(
             NetworkEvent::NodeJoin {
                 node,
                 position: topo.position(node),
-                available: network.available(node).clone(),
+                available: network.available(node).to_owned(),
             },
         ));
         for &(from, to) in &edges {

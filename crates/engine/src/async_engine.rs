@@ -255,7 +255,7 @@ impl<'n> AsyncEngine<'n> {
         let beacons = (0..n)
             .map(|i| {
                 let u = NodeId::new(i as u32);
-                Beacon::new(u, network.available(u).clone())
+                Beacon::new(u, network.available(u).to_owned())
             })
             .collect();
         Self {
@@ -391,7 +391,7 @@ impl<'n> AsyncEngine<'n> {
                 | NetworkEvent::EdgeAdd { .. }
                 | NetworkEvent::EdgeRemove { .. } => continue,
             };
-            self.beacons[node.as_usize()] = Beacon::new(node, self.network.available(node).clone());
+            self.beacons[node.as_usize()].update_available(self.network.available(node));
         }
         if observing {
             let covered = self.tracker.covered() as u64;

@@ -348,7 +348,7 @@ impl<'n> SyncEngine<'n> {
         let beacons = (0..n)
             .map(|i| {
                 let u = NodeId::new(i as u32);
-                Beacon::new(u, network.available(u).clone())
+                Beacon::new(u, network.available(u).to_owned())
             })
             .collect();
         Self {
@@ -383,6 +383,17 @@ impl<'n> SyncEngine<'n> {
     /// [`mmhew_obs::NullSink`]) the engine skips event assembly entirely.
     pub fn with_sink(mut self, sink: &'n mut dyn EventSink) -> Self {
         self.sink = Some(sink);
+        self
+    }
+
+    /// Resolves each slot's medium with up to `shards` worker threads,
+    /// partitioned by channel. An execution knob like a build system's
+    /// `--jobs`: outcomes, RNG streams, and traces are byte-identical for
+    /// every shard count (see [`SlotResolver::with_shards`]), so it is
+    /// deliberately *not* part of [`SyncRunConfig`] and never serialized.
+    /// `0` and `1` both mean serial.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.resolver.set_shards(shards);
         self
     }
 
@@ -476,7 +487,7 @@ impl<'n> SyncEngine<'n> {
                 | NetworkEvent::EdgeAdd { .. }
                 | NetworkEvent::EdgeRemove { .. } => continue,
             };
-            self.beacons[node.as_usize()] = Beacon::new(node, self.network.available(node).clone());
+            self.beacons[node.as_usize()].update_available(self.network.available(node));
         }
         if observing {
             let covered = self.tracker.covered() as u64;

@@ -228,4 +228,74 @@ fn warm_engine_slot_loop_allocates_nothing() {
         0,
         "steady-state event-executor advance allocated"
     );
+
+    // Churn-heavy dynamics: `Network::apply`'s incremental CSR patching
+    // is held to the same bar. One warm cycle grows the persistent
+    // `ApplyScratch` buffers (and settles edge re-insertion order to its
+    // fixed point); from then on a full leave/rejoin + edge flap +
+    // spectrum flap cycle allocates nothing and restores the network
+    // bit-for-bit.
+    use mmhew_topology::NetworkEvent;
+    let mut churned = NetworkBuilder::grid(3, 3)
+        .universe(3)
+        .availability(AvailabilityModel::UniformSubset { size: 2 })
+        .build(SeedTree::new(0xA110C))
+        .expect("build network");
+    let center = NodeId::new(4);
+    let rejoin = NetworkEvent::NodeJoin {
+        node: center,
+        position: churned.topology().position(center),
+        available: churned.available(center).to_owned(),
+    };
+    let flapped = churned
+        .available(NodeId::new(0))
+        .iter()
+        .next()
+        .expect("node 0 holds a channel");
+    let mut cycle = vec![NetworkEvent::NodeLeave { node: center }, rejoin];
+    for &nb in &[1u32, 3, 5, 7] {
+        cycle.push(NetworkEvent::EdgeAdd {
+            from: center,
+            to: NodeId::new(nb),
+        });
+        cycle.push(NetworkEvent::EdgeAdd {
+            from: NodeId::new(nb),
+            to: center,
+        });
+    }
+    cycle.push(NetworkEvent::ChannelLost {
+        node: NodeId::new(0),
+        channel: flapped,
+    });
+    cycle.push(NetworkEvent::ChannelGained {
+        node: NodeId::new(0),
+        channel: flapped,
+    });
+    cycle.push(NetworkEvent::EdgeRemove {
+        from: NodeId::new(0),
+        to: NodeId::new(1),
+    });
+    cycle.push(NetworkEvent::EdgeAdd {
+        from: NodeId::new(0),
+        to: NodeId::new(1),
+    });
+    for _ in 0..3 {
+        for event in &cycle {
+            churned.apply(event).expect("valid churn event");
+        }
+    }
+    let snapshot = churned.clone();
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        for event in &cycle {
+            churned.apply(event).expect("valid churn event");
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "churn-heavy apply cycle allocated in steady state"
+    );
+    assert_eq!(churned, snapshot, "each churn cycle is state-restoring");
 }

@@ -16,7 +16,7 @@
 //!
 //! The reference replay below re-implements the engine's slot loop the
 //! slow, obviously-correct way — reference resolver, a fresh
-//! `Beacon::new(from, network.available(from).clone())` per delivery —
+//! `Beacon::new(from, network.available(from).to_owned())` per delivery —
 //! with the engine's exact seeding discipline, and every observable of the
 //! two runs must agree: coverage stamps, tables (including the channel
 //! sets recorded from beacons), delivery/collision/loss counts, and
@@ -73,7 +73,7 @@ impl SyncProtocol for RandomChatter {
     // cached and freshly-built beacons differ in content, not presence.
     fn on_beacon(&mut self, beacon: &Beacon, _channel: ChannelId) {
         self.table
-            .record(beacon.sender(), beacon.available().clone());
+            .record(beacon.sender(), beacon.available().to_owned());
     }
 
     fn table(&self) -> &NeighborTable {
@@ -144,7 +144,7 @@ fn reference_run(
         }
         let outcome = resolve_slot(&network, &actions, impairments, &mut medium_rng);
         for d in &outcome.deliveries {
-            let beacon = Beacon::new(d.from, network.available(d.from).clone());
+            let beacon = Beacon::new(d.from, network.available(d.from).to_owned());
             protocols[d.to.as_usize()].on_beacon(&beacon, d.channel);
             tracker.record(
                 Link {

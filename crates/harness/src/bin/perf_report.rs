@@ -8,7 +8,9 @@
 //! 16×16 grid at Δ̂ = 2048, roughly one transmission-bearing slot in
 //! sixteen) run through both the slotted oracle (`engine: "sync"`) and
 //! the dead-air-skipping event executor (`engine: "sync-event"`) at the
-//! same seed. Flags:
+//! same seed, plus the scale pair `million_node` (a 100 000-node
+//! unit-disk network over the CSR/bitset topology storage, both
+//! executors) that CI's `scale-smoke` job drives for 200 slots. Flags:
 //!
 //! * `--smoke` — tiny budgets, for CI (verifies the harness runs; the
 //!   numbers are meaningless);
@@ -106,6 +108,51 @@ fn measure_low_rho(executor: Engine, net: &Network, slots: u64, seed: SeedTree) 
     let elapsed = start.elapsed().as_secs_f64();
     ScenarioReport {
         name: "sparse_low_rho_256",
+        engine: match executor {
+            Engine::Slotted => "sync",
+            Engine::Event => "sync-event",
+        },
+        nodes: net.node_count(),
+        universe: net.universe_size(),
+        work_units: out.slots_executed(),
+        unit: "slots",
+        elapsed_secs: elapsed,
+        throughput_per_sec: out.slots_executed() as f64 / elapsed.max(f64::EPSILON),
+        deliveries: out.deliveries(),
+    }
+}
+
+/// The scale scenario behind CI's `scale-smoke` job: 100 000 nodes on a
+/// unit disk sized for a mean degree around ten — five orders of
+/// magnitude, exercising CSR construction (counting-sort mirror
+/// included), the flat availability arena, and the slot loop's slice
+/// carves at a size where any pointer-heavy regression is unmissable.
+const SCALE_NODES: usize = 100_000;
+
+fn million_node(seed: SeedTree) -> Network {
+    // Mean degree ≈ n·π·r²/side²: side 1000, r 5.6 → ≈ 9.9.
+    NetworkBuilder::unit_disk(SCALE_NODES, 1_000.0, 5.6)
+        .universe(8)
+        .availability(AvailabilityModel::UniformSubset { size: 4 })
+        .build(seed.branch("million"))
+        .expect("build scale network")
+}
+
+/// One `million_node` row. As with the low-ρ pair, both executors run
+/// the identical scenario at the identical seed, so equal `deliveries`
+/// columns are a free byte-identity cross-check at scale.
+fn measure_scale(executor: Engine, net: &Network, slots: u64, seed: SeedTree) -> ScenarioReport {
+    let delta = net.max_degree().max(1) as u64;
+    let alg = SyncAlgorithm::Uniform(SyncParams::new(delta).expect("positive delta"));
+    let start = Instant::now();
+    let out = Scenario::sync(net, alg)
+        .config(SyncRunConfig::fixed(slots))
+        .engine(executor)
+        .run(seed)
+        .expect("sync run");
+    let elapsed = start.elapsed().as_secs_f64();
+    ScenarioReport {
+        name: "million_node",
         engine: match executor {
             Engine::Slotted => "sync",
             Engine::Event => "sync-event",
@@ -312,15 +359,16 @@ fn main() {
     });
     let out_path = args.raw("out").unwrap_or("BENCH_engines.json").to_string();
     let tree = SeedTree::new(seed);
-    let (sparse_slots, dense_slots, async_frames, low_rho_slots) = if smoke {
-        (200, 100, 50, 500)
+    let (sparse_slots, dense_slots, async_frames, low_rho_slots, scale_slots) = if smoke {
+        (200, 100, 50, 500, 200)
     } else {
-        (20_000, 4_000, 5_000, 50_000)
+        (20_000, 4_000, 5_000, 50_000, 1_000)
     };
 
     let sparse_net = sparse(tree.branch("net"));
     let dense_net = dense(tree.branch("net"));
     let low_rho_net = sparse_low_rho(tree.branch("net"));
+    let scale_net = million_node(tree.branch("net"));
     let scenarios = vec![
         measure_sync(
             "sparse_grid_8x8",
@@ -353,6 +401,18 @@ fn main() {
             &low_rho_net,
             low_rho_slots,
             tree.branch("sync-low-rho"),
+        ),
+        measure_scale(
+            Engine::Slotted,
+            &scale_net,
+            scale_slots,
+            tree.branch("sync-scale"),
+        ),
+        measure_scale(
+            Engine::Event,
+            &scale_net,
+            scale_slots,
+            tree.branch("sync-scale"),
         ),
     ];
     for s in &scenarios {

@@ -27,6 +27,8 @@
 //! `--drift-den (0 = ideal; 7 means δ=1/7)`, `--reps (5)`, `--seed (1)`,
 //! `--budget (4000000)`, `--jobs (0 = auto; worker threads for harness
 //! parallelism, also settable via MMHEW_JOBS — never changes results)`,
+//! `--shards (1; channel-sharded medium resolution worker threads for
+//! slotted runs — byte-identical outcomes at any shard count)`,
 //! `--engine slotted|event (slotted)` — `event` drives slotted algorithms
 //! through the dead-air-skipping executor (byte-identical outcomes at the
 //! same seed; slotted-only, rejected for alg4).
@@ -56,6 +58,11 @@ use mmhew_util::{SeedTree, Summary};
 
 fn build_network(args: &Args, seed: SeedTree) -> Result<Network, Box<dyn std::error::Error>> {
     let nodes: usize = args.get_or("nodes", 16)?;
+    let universe: u16 = args.get_or("universe", 8)?;
+    // Reject node counts whose fixed CSR + arena storage would blow the
+    // memory cap *before* any allocation happens, with an error that
+    // names the estimate instead of OOMing mid-build.
+    mmhew_topology::check_storage_cap(nodes as u64, universe)?;
     let builder = match args.one_of(
         "topology",
         &["grid", "line", "ring", "star", "complete", "disk", "er"],
@@ -73,7 +80,6 @@ fn build_network(args: &Args, seed: SeedTree) -> Result<Network, Box<dyn std::er
         "er" => NetworkBuilder::erdos_renyi(nodes, args.get_or("edge-prob", 0.3)?),
         _ => unreachable!("one_of validated"),
     };
-    let universe: u16 = args.get_or("universe", 8)?;
     let availability =
         match args.one_of("availability", &["subset", "full", "overlap", "spatial"])? {
             "full" => AvailabilityModel::Full,
@@ -126,6 +132,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "reps",
             "seed",
             "budget",
+            "shards",
             "engine",
             "trace",
             "perfetto",
@@ -143,6 +150,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let epsilon: f64 = args.get_or("epsilon", 0.01)?;
     let reps: u64 = args.get_or("reps", 5)?;
     let budget: u64 = args.get_or("budget", 4_000_000)?;
+    let shards: usize = args.get_or("shards", 1)?;
     let bounds = Bounds::from_network(&net, delta_est, epsilon);
 
     println!(
@@ -329,6 +337,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .starts(starts.clone())
                     .config(config)
                     .engine(engine)
+                    .shards(shards)
                     .with_sink(&mut fan)
                     .run(rep_seed)?
             } else {
@@ -336,6 +345,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .starts(starts.clone())
                     .config(config)
                     .engine(engine)
+                    .shards(shards)
                     .run(rep_seed)?
             };
             match out.slots_to_complete() {

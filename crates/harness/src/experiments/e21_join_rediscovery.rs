@@ -65,7 +65,7 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
             NetworkEvent::NodeJoin {
                 node: joiner,
                 position: net.topology().position(joiner),
-                available: net.available(joiner).clone(),
+                available: net.available(joiner).to_owned(),
             },
         ));
         for i in 0..d as u32 {

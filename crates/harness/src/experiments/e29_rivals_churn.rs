@@ -88,7 +88,7 @@ pub fn run(effort: Effort, master_seed: u64) -> ExperimentReport {
                     .into_iter()
                     .enumerate()
                     .map(|(i, inner)| {
-                        let available = net.available(NodeId::new(i as u32)).clone();
+                        let available = net.available(NodeId::new(i as u32)).to_owned();
                         Box::new(
                             ContinuousDiscovery::new(inner, available, continuous)
                                 .expect("non-empty channel sets"),

@@ -6,7 +6,7 @@
 //! with its own set to record `⟨v, A ∩ A(u)⟩`.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_spectrum::{ChannelId, ChannelSet, ChannelSetRef};
 use mmhew_topology::NodeId;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -45,6 +45,13 @@ impl Beacon {
     /// The advertised available channel set `A(v)`.
     pub fn available(&self) -> &ChannelSet {
         &self.available
+    }
+
+    /// Overwrites the advertised set in place from a borrowed view,
+    /// reusing the beacon's existing allocation — the zero-allocation
+    /// refresh path the engines use when churn changes `A(u)`.
+    pub fn update_available(&mut self, available: ChannelSetRef<'_>) {
+        self.available.copy_from(available);
     }
 
     /// Serializes to the wire format:
@@ -153,6 +160,20 @@ mod tests {
             Err(DecodeError::TrailingBytes(1))
         );
         assert_eq!(Beacon::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn update_available_rewrites_payload_in_place() {
+        let mut b = Beacon::new(NodeId::new(4), cs(&[0, 1, 2]));
+        let replacement = cs(&[5]);
+        b.update_available(replacement.view());
+        assert_eq!(b.available(), &replacement);
+        assert_eq!(b.sender(), NodeId::new(4));
+        // Shrinking to empty and regrowing stays within capacity.
+        b.update_available(ChannelSet::new().view());
+        assert!(b.available().is_empty());
+        b.update_available(cs(&[0, 63]).view());
+        assert_eq!(b.available(), &cs(&[0, 63]));
     }
 
     #[test]

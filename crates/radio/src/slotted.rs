@@ -15,6 +15,7 @@ use mmhew_spectrum::ChannelId;
 use mmhew_topology::{Network, NodeId};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One clear reception: `to` heard `from`'s beacon on `channel`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -177,12 +178,114 @@ pub struct SlotResolver {
     /// Reused outcome; `deliveries`/`collisions` keep their capacity across
     /// slots.
     outcome: SlotOutcome,
+    /// Scatter parallelism for [`resolve`](Self::resolve); `0`/`1` = serial.
+    shards: usize,
+    /// Per-worker scratch for the sharded scatter phase.
+    workers: Vec<ShardScratch>,
+    /// Transmitters bucketed per channel (scatter work units).
+    tx_by_channel: Vec<Vec<NodeId>>,
+    /// Channels with at least one transmitter this slot.
+    touched_channels: Vec<ChannelId>,
+    /// Concatenated worker records, sorted by (unique) listener before the
+    /// serial drain.
+    merged: Vec<(u32, u32, NodeId)>,
+}
+
+/// Per-worker scratch for the channel-sharded scatter. Each worker owns a
+/// full-length count/from array (a few bytes per node per shard) so no
+/// synchronization happens inside the scatter loops.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    rx_count: Vec<u32>,
+    rx_from: Vec<NodeId>,
+    touched: Vec<u32>,
+    /// Flushed `(listener, count, first transmitter)` records; order is
+    /// scheduling-dependent, made deterministic by the sorted merge.
+    out: Vec<(u32, u32, NodeId)>,
+}
+
+/// One worker of the sharded scatter: claims channels off the shared
+/// counter (work stealing — dense channels don't serialize behind a static
+/// partition), scatters that channel's transmitters, and flushes the
+/// touched listeners into its private record list.
+fn shard_worker(
+    w: &mut ShardScratch,
+    network: &Network,
+    actions: &[SlotAction],
+    channels: &[ChannelId],
+    tx_by_channel: &[Vec<NodeId>],
+    next: &AtomicUsize,
+) {
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        let Some(&channel) = channels.get(k) else {
+            break;
+        };
+        for &v in &tx_by_channel[channel.index() as usize] {
+            for &u in network.receivers_on(v, channel) {
+                let ui = u.as_usize();
+                if !matches!(
+                    actions[ui],
+                    SlotAction::Listen { channel: lc } if lc == channel
+                ) {
+                    continue;
+                }
+                if w.rx_count[ui] == 0 {
+                    w.rx_from[ui] = v;
+                    w.touched.push(ui as u32);
+                }
+                w.rx_count[ui] += 1;
+            }
+        }
+        // Flush and re-zero per claim, so counts never leak across
+        // channels even though one worker serves many.
+        while let Some(ui) = w.touched.pop() {
+            let i = ui as usize;
+            let rec = (ui, w.rx_count[i], w.rx_from[i]);
+            w.rx_count[i] = 0;
+            w.out.push(rec);
+        }
+    }
 }
 
 impl SlotResolver {
     /// An empty resolver; scratch grows on first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the scatter parallelism of [`resolve`](Self::resolve) and
+    /// returns the resolver. `0` or `1` keeps the serial path.
+    ///
+    /// Sharding is by channel: a listener tunes exactly one channel per
+    /// slot, so per-channel listener sets are disjoint and each shard's
+    /// reception counts are complete without any cross-shard merge of
+    /// counts. Workers claim channels off a shared counter (work
+    /// stealing), the scatter results are merged by sorting on the unique
+    /// listener index, and the drain — the only phase that touches the
+    /// medium RNG — stays serial in ascending listener order. Outcomes,
+    /// RNG streams and traces are therefore **byte-identical** to the
+    /// serial path at every shard count; the equivalence proptests enforce
+    /// this. This is an execution knob, like a `--jobs` flag: it is
+    /// deliberately not part of any serialized run configuration.
+    ///
+    /// [`resolve_faulted`](Self::resolve_faulted) always runs serial —
+    /// fault state (Gilbert–Elliott chains, capture draws) is advanced
+    /// during resolution and is inherently sequential.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.set_shards(shards);
+        self
+    }
+
+    /// Sets the scatter parallelism in place; see
+    /// [`with_shards`](Self::with_shards).
+    pub fn set_shards(&mut self, shards: usize) {
+        self.shards = shards;
+    }
+
+    /// The configured scatter parallelism (`0`/`1` = serial).
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The outcome of the most recent [`resolve`](Self::resolve) call
@@ -221,6 +324,10 @@ impl SlotResolver {
         self.outcome.collisions.clear();
         self.outcome.impairment_losses = 0;
         debug_assert!(self.touched.is_empty());
+
+        if self.shards > 1 && self.resolve_sharded(network, actions, impairments, rng) {
+            return &self.outcome;
+        }
 
         // Scatter: each transmitter bumps the count of every receiver that
         // is listening on its channel.
@@ -276,6 +383,118 @@ impl SlotResolver {
         }
         self.touched.clear();
         &self.outcome
+    }
+
+    /// The channel-sharded scatter + serial merge-drain. Returns `false`
+    /// (leaving the cleared outcome untouched) when fewer than two
+    /// channels carry transmitters — there is nothing to parallelize and
+    /// the serial path is cheaper than a thread scope.
+    ///
+    /// Determinism argument: (1) bucketing scans `actions` in ascending
+    /// node order, so each channel's transmitter list is ascending and
+    /// identical to the order the serial scatter visits them — `rx_from`
+    /// (the *first* transmitter seen per listener) matches exactly;
+    /// (2) listener sets per channel are disjoint, so each record carries
+    /// a complete count; (3) the merge sorts on the unique listener index,
+    /// erasing all scheduling nondeterminism; (4) the drain — the only
+    /// phase drawing medium RNG — is serial and ascending, the same visit
+    /// order as the serial path. Hence byte-identical outcomes and RNG
+    /// streams at any shard count.
+    fn resolve_sharded<R: Rng + ?Sized>(
+        &mut self,
+        network: &Network,
+        actions: &[SlotAction],
+        impairments: &Impairments,
+        rng: &mut R,
+    ) -> bool {
+        // Bucket transmitters per channel (clearing last slot's buckets
+        // lazily — only the channels it actually touched).
+        let universe = network.universe_size() as usize;
+        if self.tx_by_channel.len() < universe {
+            self.tx_by_channel.resize_with(universe, Vec::new);
+        }
+        for c in self.touched_channels.drain(..) {
+            self.tx_by_channel[c.index() as usize].clear();
+        }
+        for (i, action) in actions.iter().enumerate() {
+            let SlotAction::Transmit { channel } = action else {
+                continue;
+            };
+            let bucket = &mut self.tx_by_channel[channel.index() as usize];
+            if bucket.is_empty() {
+                self.touched_channels.push(*channel);
+            }
+            bucket.push(NodeId::new(i as u32));
+        }
+        if self.touched_channels.len() < 2 {
+            return false;
+        }
+
+        let n = actions.len();
+        let worker_count = self.shards.min(self.touched_channels.len());
+        if self.workers.len() < worker_count {
+            self.workers
+                .resize_with(worker_count, ShardScratch::default);
+        }
+        for w in &mut self.workers[..worker_count] {
+            if w.rx_count.len() < n {
+                w.rx_count.resize(n, 0);
+                w.rx_from.resize(n, NodeId::new(0));
+            }
+            w.out.clear();
+            debug_assert!(w.touched.is_empty());
+        }
+
+        let next = AtomicUsize::new(0);
+        let channels: &[ChannelId] = &self.touched_channels;
+        let tx_by_channel: &[Vec<NodeId>] = &self.tx_by_channel;
+        let mut workers = self.workers[..worker_count].iter_mut();
+        let own = workers.next().expect("at least one worker");
+        std::thread::scope(|scope| {
+            for w in workers {
+                let next = &next;
+                scope.spawn(move || {
+                    shard_worker(w, network, actions, channels, tx_by_channel, next);
+                });
+            }
+            // This thread is worker 0 — no spawn for the common case of
+            // two shards on an otherwise idle engine thread.
+            shard_worker(own, network, actions, channels, tx_by_channel, &next);
+        });
+
+        // Deterministic merge: listener indices are globally unique (one
+        // channel per listener), so the unstable sort has a single output.
+        self.merged.clear();
+        for w in &mut self.workers[..worker_count] {
+            self.merged.append(&mut w.out);
+        }
+        self.merged.sort_unstable_by_key(|&(ui, _, _)| ui);
+
+        // Serial drain, ascending listeners — identical to the serial path,
+        // medium RNG draws included.
+        for &(ui, count, from) in &self.merged {
+            let SlotAction::Listen { channel } = actions[ui as usize] else {
+                unreachable!("only listeners are ever recorded");
+            };
+            if count == 1 {
+                if impairments.delivers(rng) {
+                    self.outcome.deliveries.push(Delivery {
+                        to: NodeId::new(ui),
+                        from,
+                        channel,
+                    });
+                } else {
+                    self.outcome.impairment_losses += 1;
+                }
+            } else {
+                self.outcome.collisions.push(Collision {
+                    at: NodeId::new(ui),
+                    channel,
+                    transmitters: count as usize,
+                });
+            }
+        }
+        true
     }
 
     /// Resolves one synchronous slot under an active fault plan.
@@ -739,6 +958,47 @@ mod tests {
             let fast = resolver.resolve(&net, &actions, &imp, &mut rng_fast);
             assert_eq!(*fast, reference);
             assert_eq!(rng_fast, rng_ref, "RNG streams diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_resolver_matches_serial_across_shard_counts() {
+        // Dense multi-channel traffic over many slots: every shard count
+        // must reproduce the serial outcome and RNG stream byte-for-byte,
+        // through scratch reuse, and fall back cleanly on single-channel
+        // slots (the < 2 touched-channels path).
+        let net = homogeneous(generators::complete(12), 4);
+        let imp = Impairments::with_delivery_probability(0.7);
+        for shards in [0, 1, 2, 3, 8] {
+            let mut serial = SlotResolver::new();
+            let mut sharded = SlotResolver::new().with_shards(shards);
+            assert_eq!(sharded.shards(), shards);
+            let mut rng_serial = SeedTree::new(21).rng();
+            let mut rng_sharded = SeedTree::new(21).rng();
+            let mut action_rng = SeedTree::new(9).rng();
+            for slot in 0..120 {
+                let single_channel = slot % 10 == 0;
+                let actions: Vec<SlotAction> = (0..12)
+                    .map(|_| {
+                        let c = if single_channel {
+                            ch(0)
+                        } else {
+                            ch(action_rng.gen_range(0..4u16))
+                        };
+                        match action_rng.gen_range(0..3u8) {
+                            0 => SlotAction::Transmit { channel: c },
+                            1 => SlotAction::Listen { channel: c },
+                            _ => SlotAction::Quiet,
+                        }
+                    })
+                    .collect();
+                let expected = serial
+                    .resolve(&net, &actions, &imp, &mut rng_serial)
+                    .clone();
+                let got = sharded.resolve(&net, &actions, &imp, &mut rng_sharded);
+                assert_eq!(*got, expected, "shards={shards} slot={slot}");
+                assert_eq!(rng_sharded, rng_serial, "RNG diverged at shards={shards}");
+            }
         }
     }
 

@@ -87,6 +87,71 @@ fn to_actions(raw: &[(u8, u16)]) -> Vec<SlotAction> {
         .collect()
 }
 
+/// Strategy for the channel-sharded resolver: like [`resolver_case`] but
+/// with a three-way topology family (Erdős–Rényi / unit-disk / grid) and
+/// a shard count in `1..=8`.
+#[allow(clippy::type_complexity)]
+fn sharded_case() -> impl Strategy<
+    Value = (
+        usize,               // n
+        u16,                 // universe
+        u8,                  // topology family: 0 = ER, 1 = disk, 2 = grid
+        u64,                 // topology seed
+        Vec<Vec<u16>>,       // per-node available channels (dups ok)
+        Vec<Vec<(u8, u16)>>, // slots of raw per-node actions
+        f64,                 // lossy delivery probability
+        bool,                // force perfectly reliable impairments
+        usize,               // shard count
+    ),
+> {
+    (3usize..12, 1u16..5, 0u8..3, 0u64..u64::MAX).prop_flat_map(|(n, universe, family, seed)| {
+        let avail = prop::collection::vec(
+            prop::collection::vec(0..universe, 0..=universe as usize),
+            n..=n,
+        );
+        let slots =
+            prop::collection::vec(prop::collection::vec((0u8..3, 0..universe), n..=n), 1..6);
+        (
+            Just(n),
+            Just(universe),
+            Just(family),
+            Just(seed),
+            avail,
+            slots,
+            0.2f64..1.0,
+            any::<bool>(),
+            1usize..=8,
+        )
+    })
+}
+
+fn build_family_network(
+    n: usize,
+    universe: u16,
+    family: u8,
+    seed: u64,
+    avail: &[Vec<u16>],
+) -> Network {
+    let topo = match family {
+        0 => generators::erdos_renyi(n, 0.5, SeedTree::new(seed)),
+        1 => generators::unit_disk(n, 10.0, 4.5, SeedTree::new(seed)),
+        _ => {
+            // The widest w × h factorization with w·h = n exactly (falls
+            // back to a 1 × n line for prime n — still a grid instance).
+            let w = (1..=n)
+                .filter(|d| n % d == 0 && d * d <= n)
+                .max()
+                .expect("1 always divides n");
+            generators::grid(w, n / w)
+        }
+    };
+    let availability: Vec<ChannelSet> = avail
+        .iter()
+        .map(|chs| chs.iter().copied().collect())
+        .collect();
+    Network::new(topo, universe, availability, Propagation::Uniform).expect("valid network")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
@@ -113,6 +178,37 @@ proptest! {
             let got = resolver.resolve(&net, &actions, &impairments, &mut rng_new);
             prop_assert_eq!(got, &expected, "outcome diverged");
             prop_assert_eq!(&rng_new, &rng_ref, "RNG draw sequence diverged");
+        }
+    }
+
+    /// The channel-sharded resolver is indistinguishable from the serial
+    /// one — identical outcomes *and* identical post-call RNG state after
+    /// every slot — across ER, unit-disk, and grid topologies and every
+    /// shard count in 1..=8. Worker scheduling (work stealing over the
+    /// touched-channel list) must never leak into results.
+    #[test]
+    fn sharded_resolver_bitwise_matches_serial(
+        (n, universe, family, seed, avail, raw_slots, q, reliable, shards) in sharded_case()
+    ) {
+        let net = build_family_network(n, universe, family, seed, &avail);
+        let impairments = if reliable {
+            Impairments::reliable()
+        } else {
+            Impairments::with_delivery_probability(q)
+        };
+        let medium = SeedTree::new(seed ^ 0x5A5A).branch("medium");
+        let mut rng_serial = medium.rng();
+        let mut rng_sharded = medium.rng();
+        let mut serial = SlotResolver::new();
+        let mut sharded = SlotResolver::new().with_shards(shards);
+        for raw in &raw_slots {
+            let actions = to_actions(raw);
+            let expected = serial
+                .resolve(&net, &actions, &impairments, &mut rng_serial)
+                .clone();
+            let got = sharded.resolve(&net, &actions, &impairments, &mut rng_sharded);
+            prop_assert_eq!(got, &expected, "sharded outcome diverged (shards={})", shards);
+            prop_assert_eq!(&rng_sharded, &rng_serial, "sharded RNG trajectory diverged");
         }
     }
 

@@ -92,7 +92,7 @@ fn build_staged(
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     let params = SyncParams::new(delta_est)?;
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         Ok(Box::new(StagedDiscovery::new(available, params)?) as Box<dyn SyncProtocol>)
     })
 }
@@ -102,7 +102,7 @@ fn build_adaptive(
     _delta_est: u64,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         Ok(Box::new(AdaptiveDiscovery::new(available)?) as Box<dyn SyncProtocol>)
     })
 }
@@ -113,7 +113,7 @@ fn build_uniform(
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     let params = SyncParams::new(delta_est)?;
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         Ok(Box::new(UniformDiscovery::new(available, params)?) as Box<dyn SyncProtocol>)
     })
 }
@@ -123,7 +123,7 @@ fn build_per_channel(
     _delta_est: u64,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         Ok(Box::new(PerChannelBirthday::new(
             net.universe_size(),
             0.5,
@@ -137,7 +137,7 @@ fn build_birthday(
     _delta_est: u64,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         // The single-channel strawman: each node runs birthday on its
         // lowest available channel, so it only ever discovers neighbors
         // sharing that channel — the weakness E11 quantifies.
@@ -154,7 +154,7 @@ fn build_mc_dis(
     _delta_est: u64,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         let class = DUTY_CLASSES[i as usize % DUTY_CLASSES.len()];
         Ok(Box::new(McDisDiscovery::new(available, class, i)?) as Box<dyn SyncProtocol>)
     })
@@ -174,7 +174,7 @@ fn build_s_nihao(
     _delta_est: u64,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         Ok(
             Box::new(NihaoDiscovery::new(available, S_NIHAO_ROWS, NIHAO_COLS, i)?)
                 as Box<dyn SyncProtocol>,
@@ -187,7 +187,7 @@ fn build_a_nihao(
     _delta_est: u64,
 ) -> Result<Vec<Box<dyn SyncProtocol>>, ProtocolError> {
     per_node(network, |net, i| {
-        let available = net.available(NodeId::new(i)).clone();
+        let available = net.available(NodeId::new(i)).to_owned();
         let rows = A_NIHAO_ROWS[i as usize % A_NIHAO_ROWS.len()];
         Ok(Box::new(NihaoDiscovery::new(available, rows, NIHAO_COLS, i)?) as Box<dyn SyncProtocol>)
     })

@@ -190,7 +190,7 @@ proptest! {
         for i in 0..net.node_count() {
             let available = net.available(NodeId::new(i as u32));
             let mut protocol =
-                mmhew_discovery::AsyncFrameDiscovery::new(available.clone(), params)
+                mmhew_discovery::AsyncFrameDiscovery::new(available.to_owned(), params)
                     .expect("non-empty channel sets");
             let mut rng = Xoshiro256StarStar::from_seed_u64(seed ^ i as u64);
             let mut terminated = false;

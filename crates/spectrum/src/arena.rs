@@ -1,0 +1,198 @@
+//! Flat bitset arena for per-node availability: all `A(u)` in one
+//! allocation.
+//!
+//! A million-node network with per-node [`ChannelSet`]s pays one heap
+//! allocation (and one pointer chase) per node. [`AvailabilityArena`]
+//! instead packs every node's bitset into a single `Vec<u64>` with a
+//! fixed per-node stride of `⌈universe / 64⌉` words, and hands out
+//! [`ChannelSetRef`] borrowed views. Mutation (channel gain/loss, node
+//! rejoin) is in-place bit twiddling — no allocation ever, because the
+//! stride is fixed by the universe at construction.
+
+use crate::channel::ChannelId;
+use crate::channel_set::{ChannelSet, ChannelSetRef};
+
+/// Per-node availability bitsets in one flat allocation.
+///
+/// Row `i` is the `stride`-word window `words[i*stride .. (i+1)*stride]`;
+/// [`get`](Self::get) returns it as a [`ChannelSetRef`]. Equality is
+/// word-for-word, which coincides with per-node set equality because the
+/// stride is identical for networks over the same universe and no bit
+/// beyond the universe is ever set by a validated caller.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_spectrum::{AvailabilityArena, ChannelId, ChannelSet};
+///
+/// let sets: Vec<ChannelSet> = vec![
+///     [0u16, 2].into_iter().collect(),
+///     [1u16].into_iter().collect(),
+/// ];
+/// let mut arena = AvailabilityArena::from_sets(&sets, 3);
+/// assert_eq!(arena.get(0).len(), 2);
+/// arena.insert(1, ChannelId::new(2));
+/// assert!(arena.get(1).contains(ChannelId::new(2)));
+/// assert_eq!(arena.to_sets(), vec![
+///     [0u16, 2].into_iter().collect::<ChannelSet>(),
+///     [1u16, 2].into_iter().collect(),
+/// ]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityArena {
+    /// Words per node: `⌈universe / 64⌉`, at least 1 so every node has a
+    /// row even in a one-channel universe.
+    stride: usize,
+    /// Number of node rows.
+    nodes: usize,
+    /// `nodes * stride` words, row-major by node.
+    words: Vec<u64>,
+}
+
+impl AvailabilityArena {
+    /// An arena of `nodes` empty sets sized for `universe` channels.
+    pub fn empty(nodes: usize, universe: u16) -> Self {
+        let stride = (universe as usize).div_ceil(64).max(1);
+        Self {
+            stride,
+            nodes,
+            words: vec![0; nodes * stride],
+        }
+    }
+
+    /// Packs one [`ChannelSet`] per node into a fresh arena.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any set holds a channel `≥ universe` (callers validate
+    /// availability against the universe before packing).
+    pub fn from_sets(sets: &[ChannelSet], universe: u16) -> Self {
+        let mut arena = Self::empty(sets.len(), universe);
+        for (i, set) in sets.iter().enumerate() {
+            arena.assign(i, set.view());
+        }
+        arena
+    }
+
+    /// Number of node rows.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// The borrowed view of node `i`'s availability.
+    pub fn get(&self, i: usize) -> ChannelSetRef<'_> {
+        ChannelSetRef::from_words(&self.words[i * self.stride..(i + 1) * self.stride])
+    }
+
+    /// Sets bit `c` in row `i`; returns true if it was newly added.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is beyond the arena's stride (i.e. outside the
+    /// universe the arena was sized for).
+    pub fn insert(&mut self, i: usize, c: ChannelId) -> bool {
+        let (word, bit) = Self::locate(c);
+        assert!(word < self.stride, "channel beyond arena universe");
+        let w = &mut self.words[i * self.stride + word];
+        let had = *w & (1 << bit) != 0;
+        *w |= 1 << bit;
+        !had
+    }
+
+    /// Clears bit `c` in row `i`; returns true if it was present.
+    pub fn remove(&mut self, i: usize, c: ChannelId) -> bool {
+        let (word, bit) = Self::locate(c);
+        if word >= self.stride {
+            return false;
+        }
+        let w = &mut self.words[i * self.stride + word];
+        let had = *w & (1 << bit) != 0;
+        *w &= !(1 << bit);
+        had
+    }
+
+    /// Overwrites row `i` with the contents of `set` — an in-place bit
+    /// copy, no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` holds a channel beyond the arena's stride.
+    pub fn assign(&mut self, i: usize, set: ChannelSetRef<'_>) {
+        let row = &mut self.words[i * self.stride..(i + 1) * self.stride];
+        row.fill(0);
+        for c in set.iter() {
+            let (word, bit) = Self::locate(c);
+            assert!(word < row.len(), "channel beyond arena universe");
+            row[word] |= 1 << bit;
+        }
+    }
+
+    /// Unpacks every row into owned, normalized [`ChannelSet`]s (the
+    /// serialization shape). Allocates; not for hot paths.
+    pub fn to_sets(&self) -> Vec<ChannelSet> {
+        (0..self.nodes).map(|i| self.get(i).to_owned()).collect()
+    }
+
+    fn locate(c: ChannelId) -> (usize, u32) {
+        ((c.index() / 64) as usize, (c.index() % 64) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(xs: &[u16]) -> ChannelSet {
+        xs.iter().copied().collect()
+    }
+
+    #[test]
+    fn round_trips_sets() {
+        let sets = vec![cs(&[0, 1]), cs(&[]), cs(&[63]), cs(&[2])];
+        let arena = AvailabilityArena::from_sets(&sets, 64);
+        assert_eq!(arena.node_count(), 4);
+        assert_eq!(arena.to_sets(), sets);
+        for (i, s) in sets.iter().enumerate() {
+            assert_eq!(arena.get(i), s.view());
+        }
+    }
+
+    #[test]
+    fn stride_covers_multi_word_universes() {
+        let sets = vec![cs(&[0, 64, 129])];
+        let arena = AvailabilityArena::from_sets(&sets, 130);
+        assert_eq!(arena.get(0).len(), 3);
+        assert!(arena.get(0).contains(ChannelId::new(129)));
+        // One-channel universe still gets a full word row.
+        let tiny = AvailabilityArena::from_sets(&[cs(&[0])], 1);
+        assert_eq!(tiny.get(0).to_owned(), cs(&[0]));
+    }
+
+    #[test]
+    fn insert_remove_assign_in_place() {
+        let mut arena = AvailabilityArena::from_sets(&[cs(&[1]), cs(&[2])], 8);
+        assert!(arena.insert(0, ChannelId::new(3)));
+        assert!(!arena.insert(0, ChannelId::new(3)), "double insert");
+        assert!(arena.remove(1, ChannelId::new(2)));
+        assert!(!arena.remove(1, ChannelId::new(2)));
+        assert_eq!(arena.to_sets(), vec![cs(&[1, 3]), cs(&[])]);
+        arena.assign(0, cs(&[7]).view());
+        assert_eq!(arena.get(0).to_owned(), cs(&[7]));
+    }
+
+    #[test]
+    fn equality_is_per_node_set_equality() {
+        let a = AvailabilityArena::from_sets(&[cs(&[1]), cs(&[2, 3])], 8);
+        let mut b = AvailabilityArena::from_sets(&[cs(&[1]), cs(&[2])], 8);
+        assert_ne!(a, b);
+        b.insert(1, ChannelId::new(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond arena universe")]
+    fn insert_beyond_universe_panics() {
+        let mut arena = AvailabilityArena::empty(1, 8);
+        arena.insert(0, ChannelId::new(64));
+    }
+}

@@ -159,6 +159,19 @@ impl ChannelSet {
         self.iter().last()
     }
 
+    /// A borrowed, `Copy` view of this set — the same read API without
+    /// owning the words. See [`ChannelSetRef`].
+    pub fn view(&self) -> ChannelSetRef<'_> {
+        ChannelSetRef { words: &self.words }
+    }
+
+    /// Overwrites this set with the contents of a borrowed view, reusing
+    /// the existing word buffer (no allocation once capacity suffices).
+    pub fn copy_from(&mut self, other: ChannelSetRef<'_>) {
+        self.words.clear();
+        self.words.extend_from_slice(other.trimmed());
+    }
+
     fn locate(c: ChannelId) -> (usize, u32) {
         ((c.index() / 64) as usize, (c.index() % 64) as u32)
     }
@@ -169,6 +182,200 @@ impl ChannelSet {
         while self.words.last() == Some(&0) {
             self.words.pop();
         }
+    }
+}
+
+/// A borrowed, `Copy` view over a channel set's `u64` words.
+///
+/// `ChannelSetRef` is the read surface of the flat availability arena
+/// ([`crate::AvailabilityArena`]) and of [`ChannelSet`] itself
+/// ([`ChannelSet::view`]): membership, cardinality, iteration and uniform
+/// random choice without owning (or allocating) the words. Trailing zero
+/// words are ignored everywhere, so views over fixed-stride arena rows
+/// compare and iterate identically to normalized owned sets.
+///
+/// The uniform draw ([`choose_uniform`](Self::choose_uniform)) performs
+/// the *exact* RNG draw sequence of [`ChannelSet::choose_uniform`] — one
+/// `gen_range(0..len)` — so swapping owned sets for views anywhere in a
+/// simulation leaves RNG streams byte-identical.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_spectrum::{ChannelId, ChannelSet};
+///
+/// let owned: ChannelSet = [1u16, 5].into_iter().collect();
+/// let view = owned.view();
+/// assert_eq!(view.len(), 2);
+/// assert!(view.contains(ChannelId::new(5)));
+/// assert_eq!(view.to_owned(), owned);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ChannelSetRef<'a> {
+    words: &'a [u64],
+}
+
+impl<'a> ChannelSetRef<'a> {
+    /// A view over raw bitset words (bit `c % 64` of word `c / 64` set iff
+    /// channel `c` is in the set). Trailing zero words are permitted.
+    pub fn from_words(words: &'a [u64]) -> Self {
+        Self { words }
+    }
+
+    /// The words with trailing zeros dropped — the canonical form that
+    /// equality, hashing of owned copies, and [`to_owned`](Self::to_owned)
+    /// use.
+    fn trimmed(self) -> &'a [u64] {
+        let mut n = self.words.len();
+        while n > 0 && self.words[n - 1] == 0 {
+            n -= 1;
+        }
+        &self.words[..n]
+    }
+
+    /// Membership test.
+    pub fn contains(self, c: ChannelId) -> bool {
+        let (word, bit) = ((c.index() / 64) as usize, c.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1 << bit) != 0)
+    }
+
+    /// Number of channels in the set.
+    pub fn len(self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if the set has no channels.
+    pub fn is_empty(self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over the channels in increasing index order.
+    pub fn iter(self) -> impl Iterator<Item = ChannelId> + 'a {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let bit = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ChannelId::new((wi as u32 * 64 + bit) as u16))
+                }
+            })
+        })
+    }
+
+    /// A channel selected uniformly at random — the identical draw
+    /// sequence as [`ChannelSet::choose_uniform`] (one `gen_range(0..len)`
+    /// then an `nth` walk), so views and owned sets are interchangeable
+    /// without perturbing RNG streams.
+    ///
+    /// Returns `None` if the set is empty.
+    pub fn choose_uniform<R: Rng + ?Sized>(self, rng: &mut R) -> Option<ChannelId> {
+        let n = self.len();
+        if n == 0 {
+            return None;
+        }
+        let k = rng.gen_range(0..n);
+        self.iter().nth(k)
+    }
+
+    /// The channel with the largest index, if any.
+    pub fn max_channel(self) -> Option<ChannelId> {
+        self.iter().last()
+    }
+
+    /// The intersection `self ∩ other` as an owned set.
+    pub fn intersection(self, other: ChannelSetRef<'_>) -> ChannelSet {
+        let n = self.words.len().min(other.words.len());
+        let mut out = ChannelSet {
+            words: (0..n).map(|i| self.words[i] & other.words[i]).collect(),
+        };
+        out.normalize();
+        out
+    }
+
+    /// Size of the intersection without allocating.
+    pub fn intersection_len(self, other: ChannelSetRef<'_>) -> usize {
+        let n = self.words.len().min(other.words.len());
+        (0..n)
+            .map(|i| (self.words[i] & other.words[i]).count_ones() as usize)
+            .sum()
+    }
+
+    /// Iterates the intersection `self ∩ other` in increasing index order
+    /// without allocating.
+    pub fn iter_common(self, other: ChannelSetRef<'a>) -> impl Iterator<Item = ChannelId> + 'a {
+        let n = self.words.len().min(other.words.len());
+        let (a, b) = (&self.words[..n], &other.words[..n]);
+        (0..n).flat_map(move |wi| {
+            let mut bits = a[wi] & b[wi];
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let bit = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(ChannelId::new((wi as u32 * 64 + bit) as u16))
+                }
+            })
+        })
+    }
+
+    /// True if every channel of `self` is in `other`.
+    pub fn is_subset(self, other: ChannelSetRef<'_>) -> bool {
+        self.words
+            .iter()
+            .enumerate()
+            .all(|(i, &w)| w & !other.words.get(i).copied().unwrap_or(0) == 0)
+    }
+
+    /// True if the sets share no channel.
+    pub fn is_disjoint(self, other: ChannelSetRef<'_>) -> bool {
+        self.intersection_len(other) == 0
+    }
+
+    /// Materializes an owned, normalized [`ChannelSet`]. This allocates —
+    /// keep it off per-slot paths (the topology migration gate enforces
+    /// exactly that for network accessors).
+    #[allow(clippy::wrong_self_convention)]
+    pub fn to_owned(self) -> ChannelSet {
+        ChannelSet {
+            words: self.trimmed().to_vec(),
+        }
+    }
+}
+
+impl PartialEq for ChannelSetRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.trimmed() == other.trimmed()
+    }
+}
+
+impl Eq for ChannelSetRef<'_> {}
+
+impl PartialEq<ChannelSet> for ChannelSetRef<'_> {
+    fn eq(&self, other: &ChannelSet) -> bool {
+        self.trimmed() == other.words.as_slice()
+    }
+}
+
+impl PartialEq<ChannelSetRef<'_>> for ChannelSet {
+    fn eq(&self, other: &ChannelSetRef<'_>) -> bool {
+        self.words.as_slice() == other.trimmed()
+    }
+}
+
+impl fmt::Display for ChannelSetRef<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", c.index())?;
+        }
+        write!(f, "}}")
     }
 }
 
@@ -320,6 +527,83 @@ mod tests {
     fn max_channel() {
         assert_eq!(set(&[5, 130, 7]).max_channel(), Some(ChannelId::new(130)));
         assert_eq!(ChannelSet::new().max_channel(), None);
+    }
+
+    #[test]
+    fn view_matches_owned_semantics() {
+        let s = set(&[3, 64, 99]);
+        let v = s.view();
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(ChannelId::new(64)));
+        assert!(!v.contains(ChannelId::new(4)));
+        assert!(!v.is_empty());
+        assert_eq!(
+            v.iter().map(|c| c.index()).collect::<Vec<_>>(),
+            vec![3, 64, 99]
+        );
+        assert_eq!(v.max_channel(), Some(ChannelId::new(99)));
+        assert_eq!(v.to_owned(), s);
+        assert_eq!(v, s);
+        assert_eq!(s, v);
+        assert_eq!(v.to_string(), s.to_string());
+        assert!(ChannelSet::new().view().is_empty());
+    }
+
+    #[test]
+    fn view_equality_and_ops_ignore_trailing_zero_words() {
+        // A fixed-stride arena row carries trailing zero words; the view
+        // must behave exactly like the normalized owned set.
+        let padded = [0b1010u64, 0, 0];
+        let v = ChannelSetRef::from_words(&padded);
+        let s = set(&[1, 3]);
+        assert_eq!(v, s.view());
+        assert_eq!(v, s);
+        assert_eq!(v.to_owned(), s);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.max_channel(), Some(ChannelId::new(3)));
+        assert!(v.is_subset(set(&[0, 1, 2, 3]).view()));
+        assert!(set(&[1]).view().is_subset(v));
+        assert!(v.is_disjoint(set(&[0, 2, 200]).view()));
+        assert_eq!(v.intersection(set(&[3, 70]).view()), set(&[3]));
+        assert_eq!(v.intersection_len(set(&[3, 70]).view()), 1);
+        assert_eq!(
+            v.iter_common(set(&[3, 70]).view()).collect::<Vec<_>>(),
+            vec![ChannelId::new(3)]
+        );
+    }
+
+    #[test]
+    fn view_choose_uniform_draws_identically_to_owned() {
+        // Byte-identity contract: a view must consume the exact RNG stream
+        // the owned set would, member by member, draw by draw.
+        let s = set(&[2, 5, 64, 130]);
+        let padded: Vec<u64> = {
+            let mut w = s.view().trimmed().to_vec();
+            w.push(0); // arena-style trailing zero word
+            w
+        };
+        let v = ChannelSetRef::from_words(&padded);
+        let mut rng_a = SeedTree::new(9).rng();
+        let mut rng_b = SeedTree::new(9).rng();
+        for _ in 0..500 {
+            assert_eq!(s.choose_uniform(&mut rng_a), v.choose_uniform(&mut rng_b));
+        }
+        assert_eq!(rng_a, rng_b, "RNG streams diverged");
+        assert_eq!(
+            ChannelSet::new().view().choose_uniform(&mut rng_a),
+            None,
+            "empty view draws nothing"
+        );
+    }
+
+    #[test]
+    fn copy_from_reuses_capacity() {
+        let mut dst = set(&[0, 1, 2, 200]);
+        dst.copy_from(set(&[5]).view());
+        assert_eq!(dst, set(&[5]));
+        dst.copy_from(ChannelSet::new().view());
+        assert!(dst.is_empty());
+        assert_eq!(dst, ChannelSet::new());
     }
 
     #[test]

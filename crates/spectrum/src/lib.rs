@@ -25,12 +25,14 @@
 //! # Ok::<(), mmhew_spectrum::AvailabilityError>(())
 //! ```
 
+pub mod arena;
 pub mod availability;
 pub mod channel;
 pub mod channel_set;
 pub mod primary_user;
 
+pub use arena::AvailabilityArena;
 pub use availability::{AvailabilityError, AvailabilityModel};
 pub use channel::ChannelId;
-pub use channel_set::ChannelSet;
+pub use channel_set::{ChannelSet, ChannelSetRef};
 pub use primary_user::{PrimaryUser, SpectrumMap};

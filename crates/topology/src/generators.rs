@@ -87,6 +87,14 @@ pub fn complete(n: usize) -> Topology {
 
 /// A random geometric (unit-disk) graph: `n` nodes uniform in a
 /// `side × side` square, edges between nodes within `radius`.
+///
+/// Edge construction uses a spatial hash (cells at least `radius` wide,
+/// so all partners of a node live in its 3×3 cell window) instead of the
+/// naive all-pairs scan — `O(n + edges)` expected instead of `O(n²)`,
+/// which is what makes 10⁵–10⁶-node networks constructible. Candidate
+/// partners are visited in ascending id order per node, reproducing the
+/// naive loop's exact `(i asc, j asc, j > i)` insertion sequence, so the
+/// resulting [`Topology`] is byte-identical at the same seed.
 pub fn unit_disk(n: usize, side: f64, radius: f64, seed: SeedTree) -> Topology {
     assert!(side > 0.0 && radius >= 0.0, "invalid geometry");
     let mut t = Topology::new(n);
@@ -95,9 +103,38 @@ pub fn unit_disk(n: usize, side: f64, radius: f64, seed: SeedTree) -> Topology {
         let pos = (rng.gen_range(0.0..side), rng.gen_range(0.0..side));
         t.set_position(NodeId::new(i as u32), pos);
     }
+    if n == 0 || radius == 0.0 {
+        return t;
+    }
+    // Cell width `side / axis` stays ≥ radius (axis ≤ ⌊side/radius⌋); the
+    // √n clamp only ever *widens* cells, which keeps the 3×3 window a
+    // superset of the disk while bounding bucket-array memory.
+    let axis = ((side / radius).floor() as usize).clamp(1, (n as f64).sqrt().ceil() as usize);
+    let cell = |x: f64| ((x / side * axis as f64) as usize).min(axis - 1);
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); axis * axis];
     for i in 0..n {
-        for j in (i + 1)..n {
-            let (u, v) = (NodeId::new(i as u32), NodeId::new(j as u32));
+        let (x, y) = t.position(NodeId::new(i as u32));
+        buckets[cell(y) * axis + cell(x)].push(i as u32);
+    }
+    let mut candidates: Vec<u32> = Vec::new();
+    for i in 0..n {
+        let u = NodeId::new(i as u32);
+        let (x, y) = t.position(u);
+        let (cx, cy) = (cell(x), cell(y));
+        candidates.clear();
+        for wy in cy.saturating_sub(1)..=(cy + 1).min(axis - 1) {
+            for wx in cx.saturating_sub(1)..=(cx + 1).min(axis - 1) {
+                candidates.extend(
+                    buckets[wy * axis + wx]
+                        .iter()
+                        .copied()
+                        .filter(|&j| j > i as u32),
+                );
+            }
+        }
+        candidates.sort_unstable();
+        for &j in &candidates {
+            let v = NodeId::new(j);
             if t.distance(u, v) <= radius {
                 t.add_bidirectional(u, v);
             }
@@ -256,6 +293,34 @@ mod tests {
                     "edge ({u},{v}) inconsistent with distance"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn unit_disk_bucketing_matches_naive_scan() {
+        // The spatial-hash fast path must reproduce the naive O(n²) loop
+        // byte-for-byte: same positions (same RNG stream) and the same
+        // edge insertion order, hence an identical Topology value.
+        for (n_nodes, side, radius, seed) in [
+            (80, 10.0, 1.5, 11u64),
+            (50, 4.0, 4.5, 12), // radius > side: single cell, all pairs
+            (64, 8.0, 0.3, 13), // sparse: many empty cells
+        ] {
+            let fast = unit_disk(n_nodes, side, radius, SeedTree::new(seed));
+            let mut naive = Topology::new(n_nodes);
+            let mut rng = SeedTree::new(seed).branch("unit-disk").rng();
+            for i in 0..n_nodes {
+                let pos = (rng.gen_range(0.0..side), rng.gen_range(0.0..side));
+                naive.set_position(n(i as u32), pos);
+            }
+            for i in 0..n_nodes {
+                for j in (i + 1)..n_nodes {
+                    if naive.distance(n(i as u32), n(j as u32)) <= radius {
+                        naive.add_bidirectional(n(i as u32), n(j as u32));
+                    }
+                }
+            }
+            assert_eq!(fast, naive, "n={n_nodes} side={side} radius={radius}");
         }
     }
 

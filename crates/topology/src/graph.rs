@@ -93,16 +93,18 @@ impl Topology {
     }
 
     /// Removes every edge incident to `u` (both directions). Returns the
-    /// number of directed edges removed.
+    /// number of directed edges removed. Allocation-free: `u`'s own lists
+    /// drain in place and the mirrors drop `u` with order-preserving
+    /// `retain`, so churn-heavy dynamics schedules stay zero-allocation.
     pub fn remove_incident(&mut self, u: NodeId) -> usize {
-        let outs: Vec<NodeId> = self.out[u.as_usize()].clone();
-        let ins: Vec<NodeId> = self.in_[u.as_usize()].clone();
         let mut removed = 0;
-        for v in outs {
-            removed += usize::from(self.remove_edge(u, v));
+        while let Some(v) = self.out[u.as_usize()].pop() {
+            self.in_[v.as_usize()].retain(|&w| w != u);
+            removed += 1;
         }
-        for v in ins {
-            removed += usize::from(self.remove_edge(v, u));
+        while let Some(v) = self.in_[u.as_usize()].pop() {
+            self.out[v.as_usize()].retain(|&w| w != u);
+            removed += 1;
         }
         removed
     }

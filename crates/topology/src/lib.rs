@@ -32,9 +32,14 @@ pub mod generators;
 pub mod graph;
 pub mod network;
 pub mod node;
+pub mod view;
 
 pub use builder::{BuildError, NetworkBuilder};
 pub use event::NetworkEvent;
 pub use graph::Topology;
-pub use network::{Link, Network, NetworkError, Propagation};
+pub use network::{
+    check_storage_cap, estimate_storage_bytes, storage_cap_bytes, Link, Network, NetworkError,
+    Propagation, StorageCapError, DEFAULT_STORAGE_CAP_BYTES,
+};
 pub use node::NodeId;
+pub use view::TopologyView;

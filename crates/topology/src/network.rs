@@ -4,12 +4,26 @@
 //! hear whom on which channel, and therefore exactly which `(neighbor,
 //! common channels)` pairs a correct neighbor-discovery run must output.
 //! It also computes the paper's complexity parameters `S`, `Δ` and `ρ`.
+//!
+//! # Memory layout
+//!
+//! Per-channel adjacency is stored as two-level CSR ([`ChannelCsr`]): one
+//! flat `Vec<NodeId>` of ids per direction plus an offset array of length
+//! `N·S + 1`, so `neighbors_on(u, c)` / `receivers_on(v, c)` are O(1)
+//! slice carves with no pointer chasing. Availability lives in a flat
+//! [`AvailabilityArena`] (one `u64` allocation for all nodes), and
+//! [`Network::available`] returns a borrowed [`ChannelSetRef`] view. The
+//! read surface is bundled as [`TopologyView`](crate::TopologyView)
+//! ([`Network::view`]). Dynamics events recompute only the touched CSR
+//! rows and compact into persistent double buffers — zero steady-state
+//! allocation, covered by the engine's churn allocation audit.
 
 use crate::event::NetworkEvent;
 use crate::graph::Topology;
 use crate::node::NodeId;
-use mmhew_spectrum::{ChannelId, ChannelSet};
-use serde::{Deserialize, Serialize};
+use mmhew_spectrum::{AvailabilityArena, ChannelId, ChannelSet, ChannelSetRef};
+use serde::ser::SerializeStruct;
+use serde::{Deserialize, Serialize, Serializer};
 use std::fmt;
 
 /// Per-channel propagation behaviour.
@@ -112,6 +126,146 @@ impl fmt::Display for Link {
     }
 }
 
+/// Two-level compressed-sparse-row adjacency: for each `(node, channel)`
+/// cell, a contiguous slice of a single flat id vector.
+///
+/// ```text
+/// starts: [ s(0,0) s(0,1) … s(0,S-1) s(1,0) … s(N-1,S-1) end ]   (N·S + 1)
+/// ids:    [ … row(0,0) … row(0,1) … … row(N-1,S-1) … ]
+/// row(u,c) = ids[starts[u·S + c] .. starts[u·S + c + 1]]
+/// ```
+///
+/// Row contents preserve the deterministic construction order (topology
+/// neighbor-list order for the receiver-centric direction, ascending
+/// receiver index for the transmitter-centric mirror), so CSR carves are
+/// byte-identical to the nested `Vec<Vec<Vec<NodeId>>>` they replaced.
+#[derive(Debug, Clone, PartialEq)]
+struct ChannelCsr {
+    universe: usize,
+    /// Length `node_count * universe + 1`; `u32` offsets (a network is
+    /// rejected by construction well before 2³² adjacency entries).
+    starts: Vec<u32>,
+    ids: Vec<NodeId>,
+}
+
+impl ChannelCsr {
+    fn node_count(&self) -> usize {
+        (self.starts.len() - 1) / self.universe.max(1)
+    }
+
+    #[inline]
+    fn row(&self, node: usize, c: usize) -> &[NodeId] {
+        let i = node * self.universe + c;
+        &self.ids[self.starts[i] as usize..self.starts[i + 1] as usize]
+    }
+
+    /// The maximum row length across all `(node, channel)` cells.
+    fn max_row_len(&self) -> usize {
+        self.starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Rebuilds the nested `[node][channel] -> Vec` shape (the wire
+    /// format). Allocates; serialization only.
+    fn to_nested(&self) -> Vec<Vec<Vec<NodeId>>> {
+        (0..self.node_count())
+            .map(|u| {
+                (0..self.universe)
+                    .map(|c| self.row(u, c).to_vec())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Packs the nested wire shape into CSR, preserving row order.
+    fn from_nested(nested: &[Vec<Vec<NodeId>>], universe: u16) -> Self {
+        let universe = universe as usize;
+        let mut starts = Vec::with_capacity(nested.len() * universe + 1);
+        let mut ids = Vec::new();
+        starts.push(0);
+        for row in nested {
+            debug_assert_eq!(row.len(), universe);
+            for cell in row {
+                ids.extend_from_slice(cell);
+                starts.push(ids.len() as u32);
+            }
+        }
+        Self {
+            universe,
+            starts,
+            ids,
+        }
+    }
+
+    /// The transmitter-centric mirror by counting sort: visiting rows in
+    /// `(u asc, c asc)` order leaves every mirrored row ascending in `u` —
+    /// the canonical `receivers_on` ordering.
+    fn invert(&self) -> ChannelCsr {
+        let n = self.node_count();
+        let s = self.universe;
+        let mut counts = vec![0u32; n * s];
+        for u in 0..n {
+            for c in 0..s {
+                for &v in self.row(u, c) {
+                    counts[v.as_usize() * s + c] += 1;
+                }
+            }
+        }
+        let mut starts = Vec::with_capacity(n * s + 1);
+        starts.push(0u32);
+        let mut acc = 0u32;
+        for &cnt in &counts {
+            acc += cnt;
+            starts.push(acc);
+        }
+        let mut cursor: Vec<u32> = starts[..n * s].to_vec();
+        let mut ids = vec![NodeId::new(0); acc as usize];
+        for u in 0..n {
+            for c in 0..s {
+                for &v in self.row(u, c) {
+                    let k = v.as_usize() * s + c;
+                    ids[cursor[k] as usize] = NodeId::new(u as u32);
+                    cursor[k] += 1;
+                }
+            }
+        }
+        ChannelCsr {
+            universe: s,
+            starts,
+            ids,
+        }
+    }
+}
+
+/// Persistent scratch for [`Network::apply`]: every buffer survives
+/// between events, so a steady stream of dynamics events performs zero
+/// heap allocation once the buffers have grown to the network's size
+/// (asserted by the engine's churn allocation audit). Replaces the former
+/// per-event `BTreeSet` + nested-`Vec` churn.
+#[derive(Debug, Clone, Default)]
+struct ApplyScratch {
+    /// Touched receiver rows, sorted + deduped per event.
+    touched: Vec<NodeId>,
+    /// Recomputed rows for the touched nodes, flat in touched order.
+    stage_ids: Vec<NodeId>,
+    /// Per-channel widths of each staged block (`touched.len() * S`).
+    stage_widths: Vec<u32>,
+    /// One node's per-channel width tally (`S`).
+    widths: Vec<u32>,
+    /// One node's per-channel fill cursors (`S`).
+    cursors: Vec<u32>,
+    /// Double buffers the compaction writes into, then swaps live.
+    ids_buf: Vec<NodeId>,
+    starts_buf: Vec<u32>,
+    /// Distinct link sources for one touched receiver.
+    froms: Vec<NodeId>,
+    /// Counting-sort tallies/cursors for the mirror rebuild (`N * S`).
+    counts: Vec<u32>,
+}
+
 /// An M²HeW network: topology, universe, per-node availability, and
 /// propagation — plus precomputed per-channel adjacency and the paper's
 /// parameters.
@@ -135,27 +289,60 @@ impl fmt::Display for Link {
 /// assert_eq!(net.links().len(), 2);
 /// # Ok::<(), mmhew_topology::NetworkError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Deserialize)]
 #[serde(from = "NetworkWire")]
 pub struct Network {
     topology: Topology,
     universe: u16,
-    availability: Vec<ChannelSet>,
+    /// Flat per-node bitsets; [`Self::available`] carves borrowed views.
+    availability: AvailabilityArena,
     propagation: Propagation,
-    /// `neighbors_on[u][c]` = in-neighbors `v` of `u` with `c ∈ span(v,u)`.
-    neighbors_on: Vec<Vec<Vec<NodeId>>>,
+    /// `neighbors.row(u, c)` = in-neighbors `v` of `u` with `c ∈ span(v,u)`.
+    neighbors: ChannelCsr,
     links: Vec<Link>,
-    /// `receivers_on[v][c]` = out-neighbors `u` of `v` with `c ∈ span(v,u)`,
-    /// ascending — the transmitter-centric mirror of `neighbors_on`, so the
+    /// `receivers.row(v, c)` = out-neighbors `u` of `v` with `c ∈ span(v,u)`,
+    /// ascending — the transmitter-centric mirror of `neighbors`, so the
     /// hot slot-resolution path can walk only the (few) transmitters.
-    /// Derived state, canonically rebuilt from `neighbors_on`; skipped on
-    /// the wire to keep the serialized shape unchanged.
-    #[serde(skip)]
-    receivers_on: Vec<Vec<Vec<NodeId>>>,
+    /// Derived state, canonically rebuilt from `neighbors`; skipped on the
+    /// wire to keep the serialized shape unchanged.
+    receivers: ChannelCsr,
+    scratch: ApplyScratch,
 }
 
-/// On-the-wire shape of [`Network`]: every stored field except the derived
-/// transmitter-centric adjacency, which is rebuilt on deserialization.
+/// Scratch state is execution residue, not network identity: equality
+/// compares the topology, spectrum, adjacency and links only, so an
+/// incrementally maintained network equals a scratch rebuild.
+impl PartialEq for Network {
+    fn eq(&self, other: &Self) -> bool {
+        self.topology == other.topology
+            && self.universe == other.universe
+            && self.availability == other.availability
+            && self.propagation == other.propagation
+            && self.neighbors == other.neighbors
+            && self.links == other.links
+            && self.receivers == other.receivers
+    }
+}
+
+/// Serializes the exact wire shape the former nested representation had
+/// (field names, order, and nested `neighbors_on` lists), so manifests and
+/// scenario files are byte-identical across the CSR migration.
+impl Serialize for Network {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut st = serializer.serialize_struct("Network", 6)?;
+        st.serialize_field("topology", &self.topology)?;
+        st.serialize_field("universe", &self.universe)?;
+        st.serialize_field("availability", &self.availability.to_sets())?;
+        st.serialize_field("propagation", &self.propagation)?;
+        st.serialize_field("neighbors_on", &self.neighbors.to_nested())?;
+        st.serialize_field("links", &self.links)?;
+        st.end()
+    }
+}
+
+/// On-the-wire shape of [`Network`]: every serialized field, with the
+/// adjacency in its historical nested form. The derived transmitter-centric
+/// mirror is rebuilt on deserialization.
 #[derive(Deserialize)]
 struct NetworkWire {
     topology: Topology,
@@ -168,15 +355,17 @@ struct NetworkWire {
 
 impl From<NetworkWire> for Network {
     fn from(w: NetworkWire) -> Self {
-        let receivers_on = Network::receivers_from_neighbors(&w.neighbors_on, w.universe);
+        let neighbors = ChannelCsr::from_nested(&w.neighbors_on, w.universe);
+        let receivers = neighbors.invert();
         Network {
             topology: w.topology,
             universe: w.universe,
-            availability: w.availability,
+            availability: AvailabilityArena::from_sets(&w.availability, w.universe),
             propagation: w.propagation,
-            neighbors_on: w.neighbors_on,
+            neighbors,
             links: w.links,
-            receivers_on,
+            receivers,
+            scratch: ApplyScratch::default(),
         }
     }
 }
@@ -221,19 +410,27 @@ impl Network {
                 });
             }
         }
+        let arena = AvailabilityArena::from_sets(&availability, universe);
 
-        // Precompute per-channel in-neighbor lists and the link inventory.
-        let mut neighbors_on = vec![vec![Vec::new(); universe as usize]; n];
+        // Precompute the per-channel in-neighbor CSR and the link
+        // inventory. Per-channel staging keeps the historical row order:
+        // within a row, transmitters appear in topology neighbor-list
+        // order.
+        let s = universe as usize;
+        let mut neighbors = ChannelCsr {
+            universe: s,
+            starts: Vec::with_capacity(n * s + 1),
+            ids: Vec::new(),
+        };
+        neighbors.starts.push(0);
+        let mut staging: Vec<Vec<NodeId>> = vec![Vec::new(); s];
         let mut links = Vec::new();
         for u in topology.nodes() {
             for &v in topology.in_neighbors(u) {
                 let mut any = false;
-                for c in availability[v.as_usize()]
-                    .intersection(&availability[u.as_usize()])
-                    .iter()
-                {
+                for c in arena.get(v.as_usize()).iter_common(arena.get(u.as_usize())) {
                     if propagation.admits(topology.distance(v, u), c) {
-                        neighbors_on[u.as_usize()][c.index() as usize].push(v);
+                        staging[c.index() as usize].push(v);
                         any = true;
                     }
                 }
@@ -241,48 +438,37 @@ impl Network {
                     links.push(Link { from: v, to: u });
                 }
             }
+            for cell in &mut staging {
+                neighbors.ids.extend_from_slice(cell);
+                neighbors.starts.push(neighbors.ids.len() as u32);
+                cell.clear();
+            }
         }
-        links.sort();
-        let receivers_on = Self::receivers_from_neighbors(&neighbors_on, universe);
+        assert!(
+            neighbors.ids.len() < u32::MAX as usize,
+            "adjacency exceeds u32 CSR offsets"
+        );
+        links.sort_unstable();
+        let receivers = neighbors.invert();
 
         Ok(Self {
             topology,
             universe,
-            availability,
+            availability: arena,
             propagation,
-            neighbors_on,
+            neighbors,
             links,
-            receivers_on,
+            receivers,
+            scratch: ApplyScratch::default(),
         })
-    }
-
-    /// Canonical construction of the transmitter-centric adjacency:
-    /// inverting `neighbors_on` with receivers visited in ascending order
-    /// leaves every `receivers_on[v][c]` sorted by receiver index. Both
-    /// `new` and `refresh_receivers` funnel through this, so an
-    /// incrementally maintained network compares equal to a scratch
-    /// rebuild.
-    fn receivers_from_neighbors(
-        neighbors_on: &[Vec<Vec<NodeId>>],
-        universe: u16,
-    ) -> Vec<Vec<Vec<NodeId>>> {
-        let mut receivers = vec![vec![Vec::new(); universe as usize]; neighbors_on.len()];
-        for (u, row) in neighbors_on.iter().enumerate() {
-            for (c, vs) in row.iter().enumerate() {
-                for &v in vs {
-                    receivers[v.as_usize()][c].push(NodeId::new(u as u32));
-                }
-            }
-        }
-        receivers
     }
 
     /// Applies one [`NetworkEvent`], incrementally recomputing the
     /// per-channel adjacency and link inventory — and therefore `S`, `Δ`
-    /// and `ρ`, which are derived from them on demand. Only the
-    /// `neighbors_on` rows whose inputs changed are rebuilt; untouched
-    /// receivers keep their lists (and their deterministic ordering)
-    /// bit-for-bit.
+    /// and `ρ`, which are derived from them on demand. Only the CSR rows
+    /// whose inputs changed are recomputed; untouched receivers' rows are
+    /// block-copied bit-for-bit during compaction, and all intermediate
+    /// state lives in persistent scratch (no steady-state allocation).
     ///
     /// The node universe is fixed: `NodeJoin` reactivates a known index
     /// (overwriting its position and availability), it never grows the
@@ -312,32 +498,42 @@ impl Network {
                     }
                 }
                 self.topology.set_position(*node, *position);
-                self.availability[node.as_usize()] = available.clone();
+                self.availability.assign(node.as_usize(), available.view());
                 // Position and availability both feed every link at `node`
                 // (in either direction), so refresh it and everyone who
                 // hears it.
-                let mut touched = vec![*node];
-                touched.extend_from_slice(self.topology.out_neighbors(*node));
-                self.refresh_receivers(&touched);
+                self.scratch.touched.clear();
+                self.scratch.touched.push(*node);
+                self.scratch
+                    .touched
+                    .extend_from_slice(self.topology.out_neighbors(*node));
+                self.refresh_touched();
             }
             NetworkEvent::NodeLeave { node } => {
                 self.check_node(*node)?;
-                let mut touched = vec![*node];
-                touched.extend_from_slice(self.topology.out_neighbors(*node));
+                self.scratch.touched.clear();
+                self.scratch.touched.push(*node);
+                self.scratch
+                    .touched
+                    .extend_from_slice(self.topology.out_neighbors(*node));
                 self.topology.remove_incident(*node);
-                self.refresh_receivers(&touched);
+                self.refresh_touched();
             }
             NetworkEvent::EdgeAdd { from, to } => {
                 self.check_node(*from)?;
                 self.check_node(*to)?;
                 self.topology.add_edge(*from, *to);
-                self.refresh_receivers(&[*to]);
+                self.scratch.touched.clear();
+                self.scratch.touched.push(*to);
+                self.refresh_touched();
             }
             NetworkEvent::EdgeRemove { from, to } => {
                 self.check_node(*from)?;
                 self.check_node(*to)?;
                 self.topology.remove_edge(*from, *to);
-                self.refresh_receivers(&[*to]);
+                self.scratch.touched.clear();
+                self.scratch.touched.push(*to);
+                self.refresh_touched();
             }
             NetworkEvent::ChannelGained { node, channel }
             | NetworkEvent::ChannelLost { node, channel } => {
@@ -350,17 +546,20 @@ impl Network {
                 }
                 match event {
                     NetworkEvent::ChannelGained { .. } => {
-                        self.availability[node.as_usize()].insert(*channel);
+                        self.availability.insert(node.as_usize(), *channel);
                     }
                     _ => {
-                        self.availability[node.as_usize()].remove(*channel);
+                        self.availability.remove(node.as_usize(), *channel);
                     }
                 }
                 // A(node) feeds node's own row and the row of every node
                 // that hears it.
-                let mut touched = vec![*node];
-                touched.extend_from_slice(self.topology.out_neighbors(*node));
-                self.refresh_receivers(&touched);
+                self.scratch.touched.clear();
+                self.scratch.touched.push(*node);
+                self.scratch
+                    .touched
+                    .extend_from_slice(self.topology.out_neighbors(*node));
+                self.refresh_touched();
             }
         }
         Ok(())
@@ -376,39 +575,161 @@ impl Network {
         Ok(())
     }
 
-    /// Rebuilds `neighbors_on[u]` for each touched receiver `u` and swaps
-    /// their entries in the sorted link inventory.
-    fn refresh_receivers(&mut self, receivers: &[NodeId]) {
-        let touched: std::collections::BTreeSet<NodeId> = receivers.iter().copied().collect();
-        for &u in &touched {
-            let mut row = vec![Vec::new(); self.universe as usize];
+    /// Recomputes the CSR rows of the receivers listed in
+    /// `scratch.touched`, compacts both adjacency directions through the
+    /// persistent double buffers, and swaps the touched links. Everything
+    /// runs out of [`ApplyScratch`]; the only per-entry recomputation is
+    /// for the touched rows themselves.
+    fn refresh_touched(&mut self) {
+        let n = self.node_count();
+        let s = self.universe as usize;
+        let scratch = &mut self.scratch;
+        scratch.touched.sort_unstable();
+        scratch.touched.dedup();
+
+        // Stage the recomputed rows of every touched receiver: a widths
+        // pass then a cursor-guided fill, both visiting in-neighbors in
+        // topology order so row contents match a from-scratch build.
+        scratch.stage_ids.clear();
+        scratch.stage_widths.clear();
+        scratch.widths.resize(s, 0);
+        scratch.cursors.resize(s, 0);
+        for &u in &scratch.touched {
+            scratch.widths.fill(0);
             for &v in self.topology.in_neighbors(u) {
-                for c in self.availability[v.as_usize()]
-                    .intersection(&self.availability[u.as_usize()])
-                    .iter()
+                for c in self
+                    .availability
+                    .get(v.as_usize())
+                    .iter_common(self.availability.get(u.as_usize()))
                 {
                     if self.propagation.admits(self.topology.distance(v, u), c) {
-                        row[c.index() as usize].push(v);
+                        scratch.widths[c.index() as usize] += 1;
                     }
                 }
             }
-            self.neighbors_on[u.as_usize()] = row;
-        }
-        self.links.retain(|l| !touched.contains(&l.to));
-        for &u in &touched {
-            let mut froms: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
-            for per_chan in &self.neighbors_on[u.as_usize()] {
-                froms.extend(per_chan.iter().copied());
+            let base = scratch.stage_ids.len() as u32;
+            let mut acc = base;
+            for c in 0..s {
+                scratch.cursors[c] = acc;
+                acc += scratch.widths[c];
             }
-            self.links
-                .extend(froms.into_iter().map(|v| Link { from: v, to: u }));
+            scratch.stage_ids.resize(acc as usize, NodeId::new(0));
+            for &v in self.topology.in_neighbors(u) {
+                for c in self
+                    .availability
+                    .get(v.as_usize())
+                    .iter_common(self.availability.get(u.as_usize()))
+                {
+                    if self.propagation.admits(self.topology.distance(v, u), c) {
+                        let cur = &mut scratch.cursors[c.index() as usize];
+                        scratch.stage_ids[*cur as usize] = v;
+                        *cur += 1;
+                    }
+                }
+            }
+            scratch.stage_widths.extend_from_slice(&scratch.widths);
         }
-        self.links.sort();
+
+        // Compact the receiver-centric CSR into the double buffers:
+        // touched blocks come from the stage, untouched blocks are bulk
+        // copies with rebased offsets.
+        scratch.ids_buf.clear();
+        scratch.starts_buf.clear();
+        scratch.starts_buf.push(0);
+        let mut t_idx = 0usize;
+        let mut stage_pos = 0usize;
+        for u in 0..n {
+            if t_idx < scratch.touched.len() && scratch.touched[t_idx].as_usize() == u {
+                let widths = &scratch.stage_widths[t_idx * s..(t_idx + 1) * s];
+                for &w in widths {
+                    let w = w as usize;
+                    scratch
+                        .ids_buf
+                        .extend_from_slice(&scratch.stage_ids[stage_pos..stage_pos + w]);
+                    stage_pos += w;
+                    scratch.starts_buf.push(scratch.ids_buf.len() as u32);
+                }
+                t_idx += 1;
+            } else {
+                let base = u * s;
+                let old_start = self.neighbors.starts[base];
+                let old_end = self.neighbors.starts[base + s];
+                let rebase = scratch.ids_buf.len() as u32;
+                scratch
+                    .ids_buf
+                    .extend_from_slice(&self.neighbors.ids[old_start as usize..old_end as usize]);
+                for c in 1..=s {
+                    scratch
+                        .starts_buf
+                        .push(self.neighbors.starts[base + c] - old_start + rebase);
+                }
+            }
+        }
+        std::mem::swap(&mut self.neighbors.ids, &mut scratch.ids_buf);
+        std::mem::swap(&mut self.neighbors.starts, &mut scratch.starts_buf);
+
+        // Swap the touched receivers' entries in the sorted link
+        // inventory. `touched` is sorted, so membership is a binary
+        // search; distinct sources come from sort+dedup over the fresh
+        // rows (ascending, like the BTreeSet this replaced).
+        let touched = std::mem::take(&mut scratch.touched);
+        self.links.retain(|l| touched.binary_search(&l.to).is_err());
+        for &u in &touched {
+            scratch.froms.clear();
+            for c in 0..s {
+                scratch
+                    .froms
+                    .extend_from_slice(self.neighbors.row(u.as_usize(), c));
+            }
+            scratch.froms.sort_unstable();
+            scratch.froms.dedup();
+            self.links
+                .extend(scratch.froms.iter().map(|&v| Link { from: v, to: u }));
+        }
+        self.links.sort_unstable();
+        scratch.touched = touched;
+
         // Dynamics events are rare relative to slots, so the
-        // transmitter-centric mirror is rebuilt wholesale — the only way to
-        // stay canonical when a receiver's refreshed row may add or drop
-        // entries anywhere in other nodes' receiver lists.
-        self.receivers_on = Self::receivers_from_neighbors(&self.neighbors_on, self.universe);
+        // transmitter-centric mirror is recompacted wholesale (a counting
+        // sort over the flat ids — the only way to stay canonical when a
+        // refreshed row may add or drop entries anywhere in other nodes'
+        // receiver lists), but through the same persistent buffers.
+        scratch.counts.resize(n * s, 0);
+        scratch.counts.fill(0);
+        for u in 0..n {
+            for c in 0..s {
+                for &v in self.neighbors.row(u, c) {
+                    scratch.counts[v.as_usize() * s + c] += 1;
+                }
+            }
+        }
+        scratch.starts_buf.clear();
+        scratch.starts_buf.push(0);
+        let mut acc = 0u32;
+        for k in 0..n * s {
+            acc += scratch.counts[k];
+            scratch.starts_buf.push(acc);
+            scratch.counts[k] = scratch.starts_buf[k];
+        }
+        scratch.ids_buf.clear();
+        scratch.ids_buf.resize(acc as usize, NodeId::new(0));
+        for u in 0..n {
+            for c in 0..s {
+                for &v in self.neighbors.row(u, c) {
+                    let k = v.as_usize() * s + c;
+                    scratch.ids_buf[scratch.counts[k] as usize] = NodeId::new(u as u32);
+                    scratch.counts[k] += 1;
+                }
+            }
+        }
+        std::mem::swap(&mut self.receivers.ids, &mut scratch.ids_buf);
+        std::mem::swap(&mut self.receivers.starts, &mut scratch.starts_buf);
+    }
+
+    /// The read-only view bundle over this network — the preferred way to
+    /// hand the topology to resolvers, engines and generators.
+    pub fn view(&self) -> crate::TopologyView<'_> {
+        crate::TopologyView::new(self)
     }
 
     /// The underlying communication graph.
@@ -426,9 +747,19 @@ impl Network {
         self.universe
     }
 
-    /// The available channel set `A(u)`.
-    pub fn available(&self, u: NodeId) -> &ChannelSet {
-        &self.availability[u.as_usize()]
+    /// The available channel set `A(u)`, as a borrowed view into the flat
+    /// availability arena. Materialize with [`ChannelSetRef::to_owned`]
+    /// only off the hot path.
+    pub fn available(&self, u: NodeId) -> ChannelSetRef<'_> {
+        self.availability.get(u.as_usize())
+    }
+
+    /// Deprecated shim for the pre-arena accessor that returned an owned
+    /// set per call. Allocates; use [`available`](Self::available) and keep
+    /// the view, or `.to_owned()` it once off the hot path.
+    #[deprecated(note = "use available(u), which returns a borrowed ChannelSetRef view")]
+    pub fn available_set(&self, u: NodeId) -> ChannelSet {
+        self.available(u).to_owned()
     }
 
     /// The propagation model.
@@ -437,27 +768,39 @@ impl Network {
     }
 
     /// In-neighbors of `u` on channel `c`: the nodes whose transmissions on
-    /// `c` reach (and can collide at) `u`.
+    /// `c` reach (and can collide at) `u`. A borrowed CSR slice.
     pub fn neighbors_on(&self, u: NodeId, c: ChannelId) -> &[NodeId] {
-        &self.neighbors_on[u.as_usize()][c.index() as usize]
+        self.neighbors.row(u.as_usize(), c.index() as usize)
+    }
+
+    /// Deprecated shim materializing an owned copy of a neighbor row.
+    /// Allocates; use [`neighbors_on`](Self::neighbors_on).
+    #[deprecated(note = "use neighbors_on(u, c), which returns a borrowed CSR slice")]
+    pub fn neighbors_on_owned(&self, u: NodeId, c: ChannelId) -> Vec<NodeId> {
+        self.neighbors_on(u, c).to_vec()
     }
 
     /// Out-neighbors of `v` on channel `c`: the nodes a transmission by `v`
     /// on `c` reaches, ascending. The transmitter-centric mirror of
     /// [`neighbors_on`](Self::neighbors_on): `u ∈ receivers_on(v, c)` iff
-    /// `v ∈ neighbors_on(u, c)`.
+    /// `v ∈ neighbors_on(u, c)`. A borrowed CSR slice.
     pub fn receivers_on(&self, v: NodeId, c: ChannelId) -> &[NodeId] {
-        &self.receivers_on[v.as_usize()][c.index() as usize]
+        self.receivers.row(v.as_usize(), c.index() as usize)
+    }
+
+    /// Deprecated shim materializing an owned copy of a receiver row.
+    /// Allocates; use [`receivers_on`](Self::receivers_on).
+    #[deprecated(note = "use receivers_on(v, c), which returns a borrowed CSR slice")]
+    pub fn receivers_on_owned(&self, v: NodeId, c: ChannelId) -> Vec<NodeId> {
+        self.receivers_on(v, c).to_vec()
     }
 
     /// The span of the directed link `from → to`: channels on which `to`
     /// can hear `from`.
     pub fn span(&self, from: NodeId, to: NodeId) -> ChannelSet {
-        self.neighbors_on[to.as_usize()]
-            .iter()
-            .enumerate()
-            .filter(|(_, vs)| vs.contains(&from))
-            .map(|(c, _)| ChannelId::new(c as u16))
+        (0..self.universe)
+            .map(ChannelId::new)
+            .filter(|&c| self.neighbors_on(to, c).contains(&from))
             .collect()
     }
 
@@ -474,20 +817,15 @@ impl Network {
 
     /// `S`: size of the largest available channel set.
     pub fn s_max(&self) -> usize {
-        self.availability
-            .iter()
-            .map(ChannelSet::len)
+        (0..self.node_count())
+            .map(|i| self.availability.get(i).len())
             .max()
             .unwrap_or(0)
     }
 
     /// `Δ`: maximum degree of any node on any channel.
     pub fn max_degree(&self) -> usize {
-        self.neighbors_on
-            .iter()
-            .flat_map(|per_chan| per_chan.iter().map(Vec::len))
-            .max()
-            .unwrap_or(0)
+        self.neighbors.max_row_len()
     }
 
     /// `ρ`: minimum span-ratio over all links — `|span(v,u)| / |A(u)|`,
@@ -538,6 +876,85 @@ impl Network {
             .map(|(i, _)| NodeId::new(i as u32))
             .collect()
     }
+}
+
+/// Estimated resident bytes of a network's fixed-cost storage: the two
+/// CSR offset arrays (`2 · (N·S + 1) · 4` bytes) plus the availability
+/// arena (`N · ⌈S/64⌉ · 8` bytes). Adjacency ids scale with the edge
+/// count, which depends on density, so this is the *floor* — the part
+/// that `N·S` word math alone determines and the part that silently OOMs
+/// a careless `--nodes 10000000` invocation.
+pub fn estimate_storage_bytes(nodes: u64, universe: u16) -> u64 {
+    let s = u64::from(universe.max(1));
+    let stride = s.div_ceil(64).max(1);
+    2 * (nodes * s + 1) * 4 + nodes * stride * 8
+}
+
+/// Default cap for [`check_storage_cap`]: 8 GiB.
+pub const DEFAULT_STORAGE_CAP_BYTES: u64 = 8 * 1024 * 1024 * 1024;
+
+/// The storage cap in effect: the `MMHEW_MEM_CAP_BYTES` environment
+/// variable if set to a positive integer, else
+/// [`DEFAULT_STORAGE_CAP_BYTES`].
+pub fn storage_cap_bytes() -> u64 {
+    std::env::var("MMHEW_MEM_CAP_BYTES")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&b| b > 0)
+        .unwrap_or(DEFAULT_STORAGE_CAP_BYTES)
+}
+
+/// A requested network would blow past the configured storage cap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StorageCapError {
+    /// Requested node count.
+    pub nodes: u64,
+    /// Requested universe size.
+    pub universe: u16,
+    /// Estimated fixed-cost bytes ([`estimate_storage_bytes`]).
+    pub estimate: u64,
+    /// The cap in effect ([`storage_cap_bytes`]).
+    pub cap: u64,
+}
+
+impl fmt::Display for StorageCapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a {}-node network over {} channels needs an estimated {} MiB \
+             of adjacency offsets + availability words, over the {} MiB cap \
+             (set MMHEW_MEM_CAP_BYTES to raise it)",
+            self.nodes,
+            self.universe,
+            self.estimate / (1024 * 1024),
+            self.cap / (1024 * 1024),
+        )
+    }
+}
+
+impl std::error::Error for StorageCapError {}
+
+/// Validates that `nodes × universe` fixed storage fits under the cap,
+/// returning the estimate-naming error otherwise. Call this *before*
+/// building a large network so an oversized `--nodes` request fails with
+/// arithmetic instead of the OOM killer.
+///
+/// # Errors
+///
+/// [`StorageCapError`] when [`estimate_storage_bytes`] exceeds
+/// [`storage_cap_bytes`].
+pub fn check_storage_cap(nodes: u64, universe: u16) -> Result<(), StorageCapError> {
+    let estimate = estimate_storage_bytes(nodes, universe);
+    let cap = storage_cap_bytes();
+    if estimate > cap {
+        return Err(StorageCapError {
+            nodes,
+            universe,
+            estimate,
+            cap,
+        });
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -696,7 +1113,7 @@ mod tests {
     /// incrementally maintained one bit-for-bit.
     fn rebuilt(net: &Network) -> Network {
         let avail: Vec<ChannelSet> = (0..net.node_count())
-            .map(|i| net.available(n(i as u32)).clone())
+            .map(|i| net.available(n(i as u32)).to_owned())
             .collect();
         Network::new(
             net.topology().clone(),
@@ -915,5 +1332,74 @@ mod tests {
                 }
             ]
         );
+    }
+
+    #[test]
+    fn wire_round_trip_rebuilds_the_mirror() {
+        // NetworkWire carries exactly the historical serialized fields; a
+        // Network reconstructed from it must equal the original (scratch
+        // excluded by the PartialEq contract) with the transmitter-centric
+        // mirror rebuilt from the nested adjacency.
+        let net = Network::new(
+            generators::star(3),
+            2,
+            vec![cs(&[0, 1]), cs(&[0]), cs(&[1])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        let wire = NetworkWire {
+            topology: net.topology.clone(),
+            universe: net.universe,
+            availability: net.availability.to_sets(),
+            propagation: net.propagation.clone(),
+            neighbors_on: net.neighbors.to_nested(),
+            links: net.links.clone(),
+        };
+        let back = Network::from(wire);
+        assert_eq!(back, net);
+        assert_eq!(back.receivers_on(n(0), ChannelId::new(0)), &[n(1)]);
+        // And the nested shape itself packs/unpacks losslessly.
+        let nested = net.neighbors.to_nested();
+        assert_eq!(
+            ChannelCsr::from_nested(&nested, net.universe),
+            net.neighbors
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_the_view_accessors() {
+        // The migration-gate companion: the shims must keep working (and
+        // keep agreeing with the borrowed views) for external callers even
+        // though in-repo code is banned from them.
+        let net = Network::new(
+            generators::star(3),
+            2,
+            vec![cs(&[0, 1]), cs(&[0]), cs(&[1])],
+            Propagation::Uniform,
+        )
+        .expect("valid network");
+        assert_eq!(net.available_set(n(0)), net.available(n(0)).to_owned());
+        assert_eq!(
+            net.neighbors_on_owned(n(0), ChannelId::new(0)),
+            net.neighbors_on(n(0), ChannelId::new(0)).to_vec()
+        );
+        assert_eq!(
+            net.receivers_on_owned(n(0), ChannelId::new(0)),
+            net.receivers_on(n(0), ChannelId::new(0)).to_vec()
+        );
+    }
+
+    #[test]
+    fn storage_estimate_and_cap() {
+        // 1M nodes × 8 channels: 2·(8M+1)·4 B of offsets + 1M·8 B of arena.
+        let est = estimate_storage_bytes(1_000_000, 8);
+        assert_eq!(est, 2 * (8_000_000 + 1) * 4 + 1_000_000 * 8);
+        assert!(check_storage_cap(1_000_000, 8).is_ok());
+        let err = check_storage_cap(u64::MAX / 1_000, 64).expect_err("over any sane cap");
+        let msg = err.to_string();
+        assert!(msg.contains("MiB"), "names the estimate: {msg}");
+        assert!(msg.contains("MMHEW_MEM_CAP_BYTES"), "names the knob: {msg}");
+        assert_eq!(err.estimate, estimate_storage_bytes(err.nodes, 64));
     }
 }

@@ -1,0 +1,152 @@
+//! [`TopologyView`]: the read-only surface of a [`Network`].
+//!
+//! Resolvers, engines, bounds and dynamics generators never mutate the
+//! network mid-slot — they only read adjacency, availability and the
+//! derived parameters. `TopologyView` bundles exactly that read surface
+//! behind a `Copy` handle, so hot paths can be written against a type
+//! that *cannot* trigger a rebuild, and so the storage representation
+//! (two-level CSR + flat availability arena) can evolve without touching
+//! consumers. All accessors are O(1) slice/view carves; none allocate.
+
+use crate::network::{Link, Network, Propagation};
+use crate::node::NodeId;
+use mmhew_spectrum::{ChannelId, ChannelSetRef};
+
+/// A borrowed, read-only view over a [`Network`].
+///
+/// Obtained from [`Network::view`]. `Copy`, pointer-sized, and safe to
+/// pass by value into per-slot inner loops.
+///
+/// # Examples
+///
+/// ```
+/// use mmhew_topology::{generators, Network, Propagation};
+/// use mmhew_spectrum::{ChannelId, ChannelSet};
+///
+/// let avail: Vec<ChannelSet> =
+///     (0..2).map(|_| [0u16, 1].into_iter().collect()).collect();
+/// let net = Network::new(generators::line(2), 2, avail, Propagation::Uniform)?;
+/// let view = net.view();
+/// assert_eq!(view.node_count(), 2);
+/// assert_eq!(view.neighbors_on(view.receivers_on(
+///     mmhew_topology::NodeId::new(0), ChannelId::new(0))[0], ChannelId::new(0)).len(), 1);
+/// assert_eq!(view.available(mmhew_topology::NodeId::new(1)).len(), 2);
+/// # Ok::<(), mmhew_topology::NetworkError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TopologyView<'a> {
+    net: &'a Network,
+}
+
+impl<'a> TopologyView<'a> {
+    pub(crate) fn new(net: &'a Network) -> Self {
+        Self { net }
+    }
+
+    /// Number of nodes (`N`).
+    pub fn node_count(self) -> usize {
+        self.net.node_count()
+    }
+
+    /// Size of the universal channel set.
+    pub fn universe_size(self) -> u16 {
+        self.net.universe_size()
+    }
+
+    /// The available channel set `A(u)` as a borrowed bitset view.
+    pub fn available(self, u: NodeId) -> ChannelSetRef<'a> {
+        self.net.available(u)
+    }
+
+    /// In-neighbors of `u` on channel `c` — a borrowed CSR row.
+    pub fn neighbors_on(self, u: NodeId, c: ChannelId) -> &'a [NodeId] {
+        self.net.neighbors_on(u, c)
+    }
+
+    /// Out-neighbors of `v` on channel `c`, ascending — a borrowed CSR row.
+    pub fn receivers_on(self, v: NodeId, c: ChannelId) -> &'a [NodeId] {
+        self.net.receivers_on(v, c)
+    }
+
+    /// The degree `Δ(u, c)`.
+    pub fn degree_on(self, u: NodeId, c: ChannelId) -> usize {
+        self.net.degree_on(u, c)
+    }
+
+    /// All discovery obligations, sorted.
+    pub fn links(self) -> &'a [Link] {
+        self.net.links()
+    }
+
+    /// The propagation model.
+    pub fn propagation(self) -> &'a Propagation {
+        self.net.propagation()
+    }
+
+    /// `S`: size of the largest available channel set.
+    pub fn s_max(self) -> usize {
+        self.net.s_max()
+    }
+
+    /// `Δ`: maximum degree of any node on any channel.
+    pub fn max_degree(self) -> usize {
+        self.net.max_degree()
+    }
+
+    /// `ρ`: minimum link span-ratio.
+    pub fn rho(self) -> f64 {
+        self.net.rho()
+    }
+
+    /// The full network, for the rare consumer that needs an accessor not
+    /// on the view (e.g. `expected_discovery` in verifiers).
+    pub fn network(self) -> &'a Network {
+        self.net
+    }
+}
+
+impl<'a> From<&'a Network> for TopologyView<'a> {
+    fn from(net: &'a Network) -> Self {
+        net.view()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use mmhew_spectrum::ChannelSet;
+
+    #[test]
+    fn view_mirrors_network_accessors() {
+        let avail: Vec<ChannelSet> = vec![
+            [0u16, 1].into_iter().collect(),
+            [0u16].into_iter().collect(),
+            [1u16].into_iter().collect(),
+        ];
+        let net = Network::new(generators::star(3), 2, avail, Propagation::Uniform)
+            .expect("valid network");
+        let view: TopologyView<'_> = (&net).into();
+        assert_eq!(view.node_count(), net.node_count());
+        assert_eq!(view.universe_size(), net.universe_size());
+        assert_eq!(view.s_max(), net.s_max());
+        assert_eq!(view.max_degree(), net.max_degree());
+        assert_eq!(view.rho(), net.rho());
+        assert_eq!(view.links(), net.links());
+        assert_eq!(view.propagation(), net.propagation());
+        for u in 0..net.node_count() as u32 {
+            let u = NodeId::new(u);
+            assert_eq!(view.available(u), net.available(u));
+            for c in 0..net.universe_size() {
+                let c = ChannelId::new(c);
+                assert_eq!(view.neighbors_on(u, c), net.neighbors_on(u, c));
+                assert_eq!(view.receivers_on(u, c), net.receivers_on(u, c));
+                assert_eq!(view.degree_on(u, c), net.degree_on(u, c));
+            }
+        }
+        // The view is a Copy handle: pass-by-value reuse is free.
+        let v2 = view;
+        assert_eq!(v2.node_count(), view.node_count());
+        assert!(std::ptr::eq(view.network(), &net));
+    }
+}

@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         NetworkEvent::NodeJoin {
             node: joiner,
             position: network.topology().position(joiner),
-            available: network.available(joiner).clone(),
+            available: network.available(joiner).to_owned(),
         },
     ));
     for i in 0..5 {

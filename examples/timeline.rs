@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let protocols: Vec<Box<dyn SyncProtocol>> = (0..network.node_count())
         .map(|i| {
-            let available = network.available(NodeId::new(i as u32)).clone();
+            let available = network.available(NodeId::new(i as u32)).to_owned();
             Box::new(
                 StagedDiscovery::new(available, SyncParams::new(delta_est).expect("positive"))
                     .expect("non-empty set"),

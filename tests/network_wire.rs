@@ -1,0 +1,106 @@
+//! Wire-format stability for [`Network`] across the CSR migration.
+//!
+//! The network used to serialize via a derived `Serialize` over nested
+//! `Vec<Vec<Vec<NodeId>>>` adjacency and per-node `ChannelSet`s. The CSR
+//! + arena storage keeps that wire format bit-for-bit: same field names,
+//! same order, same nested shapes. These tests pin the serialized bytes
+//! by reassembling the historical shape field-by-field from the public
+//! read API and comparing whole-document strings.
+
+use mmhew_obs::json;
+use mmhew_spectrum::{ChannelId, ChannelSet};
+use mmhew_topology::{generators, Network, NetworkEvent, NodeId, Propagation};
+use mmhew_util::SeedTree;
+
+/// The exact JSON the pre-CSR derived serializer produced: six fields in
+/// declaration order, nested `[node][channel]` adjacency, owned
+/// availability sets, no `receivers_on`.
+fn legacy_json(net: &Network) -> String {
+    let availability: Vec<ChannelSet> = (0..net.node_count())
+        .map(|i| net.available(NodeId::new(i as u32)).to_owned())
+        .collect();
+    let neighbors_on: Vec<Vec<Vec<NodeId>>> = (0..net.node_count())
+        .map(|u| {
+            (0..net.universe_size())
+                .map(|c| {
+                    net.neighbors_on(NodeId::new(u as u32), ChannelId::new(c))
+                        .to_vec()
+                })
+                .collect()
+        })
+        .collect();
+    format!(
+        "{{\"topology\":{},\"universe\":{},\"availability\":{},\"propagation\":{},\"neighbors_on\":{},\"links\":{}}}",
+        json::to_string(net.topology()).expect("topology"),
+        json::to_string(&net.universe_size()).expect("universe"),
+        json::to_string(&availability).expect("availability"),
+        json::to_string(net.propagation()).expect("propagation"),
+        json::to_string(&neighbors_on).expect("neighbors_on"),
+        json::to_string(&net.links().to_vec()).expect("links"),
+    )
+}
+
+fn demo_network() -> Network {
+    let topo = generators::unit_disk(12, 6.0, 2.5, SeedTree::new(42));
+    let avail: Vec<ChannelSet> = (0..12)
+        .map(|i| {
+            (0u16..4)
+                .filter(|c| (i + usize::from(*c)) % 3 != 0)
+                .collect()
+        })
+        .collect();
+    Network::new(topo, 4, avail, Propagation::Uniform).expect("valid network")
+}
+
+#[test]
+fn network_serializes_to_the_legacy_wire_bytes() {
+    let net = demo_network();
+    assert_eq!(json::to_string(&net).expect("network"), legacy_json(&net));
+}
+
+#[test]
+fn applied_network_still_serializes_to_legacy_wire_bytes() {
+    // Incremental CSR patching must not leak into the wire shape either:
+    // after a burst of dynamics events the serialized document is still
+    // exactly what a legacy nested network with the same state would emit.
+    let mut net = demo_network();
+    let events = [
+        NetworkEvent::ChannelLost {
+            node: NodeId::new(3),
+            channel: ChannelId::new(1),
+        },
+        NetworkEvent::EdgeAdd {
+            from: NodeId::new(0),
+            to: NodeId::new(7),
+        },
+        NetworkEvent::NodeLeave {
+            node: NodeId::new(5),
+        },
+        NetworkEvent::ChannelGained {
+            node: NodeId::new(3),
+            channel: ChannelId::new(0),
+        },
+    ];
+    for e in &events {
+        net.apply(e).expect("apply");
+    }
+    assert_eq!(json::to_string(&net).expect("network"), legacy_json(&net));
+}
+
+#[test]
+fn per_channel_propagation_round_trips_on_the_wire() {
+    let topo = generators::line(3);
+    let avail: Vec<ChannelSet> = (0..3).map(|_| (0u16..2).collect()).collect();
+    let net = Network::new(
+        topo,
+        2,
+        avail,
+        Propagation::PerChannelRange {
+            ranges: vec![2.0, 0.5],
+        },
+    )
+    .expect("valid network");
+    let doc = json::to_string(&net).expect("network");
+    assert_eq!(doc, legacy_json(&net));
+    assert!(doc.contains("\"PerChannelRange\""), "doc: {doc}");
+}
